@@ -1,0 +1,194 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * **buffer size** — the paper fixes the LRU buffer at 10 % of the
+//!   pages; sweep the fraction to show its effect on a dependent workload;
+//! * **incremental vs. batch-complete evaluation** — §5.1 argues the
+//!   incremental scheme wins when query objects arrive dynamically
+//!   (ExploreNeighborhoods); compare DBSCAN under both;
+//! * **declustering strategy** — round-robin vs. chunk partitioning for
+//!   the parallel engine (the §7 future-work knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_core::{QueryEngine, QueryType};
+use mq_datagen::image_histograms_config;
+use mq_index::{LinearScan, SimilarityIndex, XTree, XTreeConfig};
+use mq_metric::{Euclidean, Vector};
+use mq_mining::Dbscan;
+use mq_parallel::{Declustering, SharedNothingCluster};
+use mq_storage::{Dataset, PagedDatabase, SimulatedDisk};
+use std::hint::black_box;
+
+fn clustered(n: usize) -> Dataset<Vector> {
+    Dataset::new(image_histograms_config(n, 64, 40, 0.004, 11))
+}
+
+fn bench_buffer_fraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-buffer-fraction");
+    group.sample_size(10);
+    let ds = clustered(4_000);
+    let queries: Vec<(Vector, QueryType)> = (0..48)
+        .map(|i| {
+            (
+                ds.object(mq_metric::ObjectId(i * 53)).clone(),
+                QueryType::knn(20),
+            )
+        })
+        .collect();
+    for &fraction in &[0.01f64, 0.10, 0.50] {
+        let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+        let disk = SimulatedDisk::new(db, fraction);
+        let engine = QueryEngine::new(&disk, &tree, Euclidean);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", fraction * 100.0)),
+            &fraction,
+            |b, _| {
+                b.iter(|| {
+                    for (q, t) in &queries {
+                        black_box(engine.similarity_query(q, t));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_single_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-dbscan-mode");
+    group.sample_size(10);
+    let ds = clustered(1_500);
+    let db = PagedDatabase::pack(&ds, Default::default());
+    let scan = LinearScan::new(db.page_count());
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &scan, Euclidean);
+    let dbscan = Dbscan::new(0.05, 4);
+    group.bench_function("single-queries", |b| {
+        b.iter(|| black_box(dbscan.run_single(&engine)))
+    });
+    group.bench_function("multiple-incremental", |b| {
+        b.iter(|| black_box(dbscan.run_multiple(&engine, 64)))
+    });
+    group.finish();
+}
+
+fn bench_declustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-declustering");
+    group.sample_size(10);
+    let ds = clustered(4_000);
+    let objects = ds.objects().to_vec();
+    let queries: Vec<(Vector, QueryType)> = (0..64)
+        .map(|i| (objects[i * 31].clone(), QueryType::knn(20)))
+        .collect();
+    for strategy in [Declustering::RoundRobin, Declustering::Chunk] {
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            4,
+            strategy,
+            Euclidean,
+            0.1,
+            |ds: &Dataset<Vector>| {
+                let db = PagedDatabase::pack(ds, Default::default());
+                let scan = LinearScan::new(db.page_count());
+                (Box::new(scan) as Box<dyn SimilarityIndex<Vector>>, db)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, _| b.iter(|| black_box(cluster.multiple_query(&queries, true))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_buffer_policy(c: &mut Criterion) {
+    // LRU (the paper's choice) vs. CLOCK vs. FIFO on a dependent workload.
+    use mq_storage::{BufferPolicy, ClockBuffer, FifoBuffer, LruBuffer};
+    let mut group = c.benchmark_group("ablation-buffer-policy");
+    group.sample_size(10);
+    let ds = clustered(3_000);
+    let queries: Vec<(Vector, QueryType)> = (0..64)
+        .map(|i| {
+            (
+                ds.object(mq_metric::ObjectId((i * 13) % 200)).clone(),
+                QueryType::knn(20),
+            )
+        })
+        .collect();
+    let make_policy = |name: &str, cap: usize| -> Box<dyn BufferPolicy> {
+        match name {
+            "lru" => Box::new(LruBuffer::new(cap)),
+            "clock" => Box::new(ClockBuffer::new(cap)),
+            _ => Box::new(FifoBuffer::new(cap)),
+        }
+    };
+    for name in ["lru", "clock", "fifo"] {
+        let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+        let cap = (db.page_count() / 10).max(1);
+        let disk = SimulatedDisk::with_policy(db, make_policy(name, cap));
+        let engine = QueryEngine::new(&disk, &tree, Euclidean);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for (q, t) in &queries {
+                    black_box(engine.similarity_query(q, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load_strategies(c: &mut Criterion) {
+    // VAMSplit vs. Z-order physical clustering.
+    use mq_index::xtree::zorder::bulk_load_zorder;
+    let mut group = c.benchmark_group("ablation-bulk-load");
+    group.sample_size(10);
+    let ds = clustered(8_000);
+    group.bench_function("vamsplit", |b| {
+        b.iter(|| black_box(XTree::bulk_load(&ds, XTreeConfig::default())))
+    });
+    group.bench_function("z-order", |b| {
+        b.iter(|| black_box(bulk_load_zorder(&ds, XTreeConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_pivot_cap(c: &mut Criterion) {
+    // §7 future work: limit the quadratic pivot overhead of large batches.
+    let mut group = c.benchmark_group("ablation-pivot-cap");
+    group.sample_size(10);
+    let ds = clustered(3_000);
+    let db = PagedDatabase::pack(&ds, Default::default());
+    let scan = LinearScan::new(db.page_count());
+    let disk = SimulatedDisk::new(db, 0.1);
+    let queries: Vec<(Vector, QueryType)> = (0..96)
+        .map(|i| {
+            (
+                ds.object(mq_metric::ObjectId(i * 29)).clone(),
+                QueryType::knn(20),
+            )
+        })
+        .collect();
+    for cap in [Some(2usize), Some(8), None] {
+        let label = cap.map_or("unbounded".to_string(), |p| format!("p={p}"));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            let engine = match cap {
+                Some(p) => QueryEngine::new(&disk, &scan, Euclidean).with_max_pivots(p),
+                None => QueryEngine::new(&disk, &scan, Euclidean),
+            };
+            b.iter(|| black_box(engine.multiple_similarity_query(queries.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer_fraction,
+    bench_buffer_policy,
+    bench_bulk_load_strategies,
+    bench_incremental_vs_single_dbscan,
+    bench_declustering,
+    bench_pivot_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the CPU-cost primitives of §5.2/§6.2: distance
+//! kernels across dimensionalities and metrics, and the triangle-
+//! inequality comparison. The measured ratio between them is the machine's
+//! equivalent of the paper's 52×/155× table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_core::{AvoidanceStats, QueryDistanceMatrix};
+use mq_datagen::uniform_vectors;
+use mq_metric::{EditDistance, Euclidean, Manhattan, Metric, QuadraticForm, Symbols};
+use std::hint::black_box;
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [4usize, 20, 64, 256] {
+        let data = uniform_vectors(256, dim, 1);
+        group.bench_with_input(BenchmarkId::new("euclidean", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % 255;
+                Euclidean.distance(black_box(&data[i]), black_box(&data[i + 1]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("manhattan", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % 255;
+                Manhattan.distance(black_box(&data[i]), black_box(&data[i + 1]))
+            })
+        });
+    }
+    // Quadratic form is O(d²): bench only moderate dims.
+    for dim in [16usize, 64] {
+        let q = QuadraticForm::histogram_similarity(dim, 4.0);
+        let data = uniform_vectors(64, dim, 2);
+        group.bench_with_input(BenchmarkId::new("quadratic-form", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % 63;
+                q.distance(black_box(&data[i]), black_box(&data[i + 1]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit-distance");
+    for len in [8usize, 32, 128] {
+        let a = Symbols::new((0..len as u32).collect::<Vec<_>>());
+        let b_ = Symbols::new((0..len as u32).map(|x| x * 7 % 97).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| EditDistance.distance(black_box(&a), black_box(&b_)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangle_comparison(c: &mut Criterion) {
+    let qs = uniform_vectors(2, 4, 3);
+    let mut qq = QueryDistanceMatrix::new();
+    qq.admit(&Euclidean, &[], &qs[0]);
+    qq.admit(&Euclidean, &qs[..1], &qs[1]);
+    let known = [(0usize, 0.3f64)];
+    c.bench_function("triangle-inequality-check", |b| {
+        let mut stats = AvoidanceStats::default();
+        b.iter(|| qq.try_avoid(1, black_box(&known), black_box(10.0), &mut stats))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_edit_distance,
+    bench_triangle_comparison
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Index-construction benchmarks: X-tree bulk loading vs. dynamic R\*
+//! insertion, and M-tree insertion — the substrate cost behind every
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mq_datagen::{image_histograms_config, tycho_like_dim};
+use mq_index::{MTree, MTreeConfig, XTree, XTreeConfig};
+use mq_metric::Euclidean;
+use mq_storage::Dataset;
+
+fn bench_xtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xtree-build");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let ds = Dataset::new(tycho_like_dim(n, 20, 1));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bulk", n), &n, |b, _| {
+            b.iter(|| XTree::bulk_load(&ds, XTreeConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter(|| XTree::insert_load(&ds, XTreeConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mtree-build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let ds = Dataset::new(image_histograms_config(n, 32, 40, 0.004, 2));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| MTree::insert_load(&ds, Euclidean, MTreeConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xtree_build, bench_mtree_build);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Single-query benchmarks (Fig. 1 baseline): k-NN and range queries per
+//! access method on both §6 data distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_core::{QueryEngine, QueryType};
+use mq_datagen::{image_histograms_config, tycho_like};
+use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
+use mq_metric::{Euclidean, Vector};
+use mq_storage::{Dataset, PagedDatabase, SimulatedDisk};
+use std::hint::black_box;
+
+struct Setup {
+    disk: SimulatedDisk<Vector>,
+    index: Box<dyn SimilarityIndex<Vector>>,
+    queries: Vec<Vector>,
+}
+
+fn setups(n: usize) -> Vec<(&'static str, Setup)> {
+    let astro = Dataset::new(tycho_like(n, 1));
+    let queries: Vec<Vector> = (0..16)
+        .map(|i| astro.object(mq_metric::ObjectId(i * 131)).clone())
+        .collect();
+
+    let mut out = Vec::new();
+    let db = PagedDatabase::pack(&astro, Default::default());
+    let scan = LinearScan::new(db.page_count());
+    out.push((
+        "scan",
+        Setup {
+            disk: SimulatedDisk::new(db, 0.1),
+            index: Box::new(scan),
+            queries: queries.clone(),
+        },
+    ));
+    let (tree, db) = XTree::bulk_load(&astro, XTreeConfig::default());
+    out.push((
+        "x-tree",
+        Setup {
+            disk: SimulatedDisk::new(db, 0.1),
+            index: Box::new(tree),
+            queries: queries.clone(),
+        },
+    ));
+    let (mtree, db) = MTree::insert_load(&astro, Euclidean, MTreeConfig::default());
+    out.push((
+        "m-tree",
+        Setup {
+            disk: SimulatedDisk::new(db, 0.1),
+            index: Box::new(mtree),
+            queries,
+        },
+    ));
+    out
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single-knn");
+    for (name, setup) in setups(8_000) {
+        let engine = QueryEngine::new(&setup.disk, &*setup.index, Euclidean);
+        let t = QueryType::knn(10);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % setup.queries.len();
+                black_box(engine.similarity_query(&setup.queries[i], &t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single-range");
+    for (name, setup) in setups(8_000) {
+        let engine = QueryEngine::new(&setup.disk, &*setup.index, Euclidean);
+        let t = QueryType::range(0.2);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % setup.queries.len();
+                black_box(engine.similarity_query(&setup.queries[i], &t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustered_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single-knn-clustered-64d");
+    let image = Dataset::new(image_histograms_config(6_000, 64, 80, 0.004, 2));
+    let queries: Vec<Vector> = (0..16)
+        .map(|i| image.object(mq_metric::ObjectId(i * 37)).clone())
+        .collect();
+    let (tree, db) = XTree::bulk_load(&image, XTreeConfig::default());
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &tree, Euclidean);
+    let t = QueryType::knn(20);
+    group.bench_function("x-tree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(engine.similarity_query(&queries[i], &t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_range, bench_clustered_knn);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 10: speed-up of m multiple similarity queries over m single
+//! similarity queries, with respect to m.
+//!
+//! Paper shape to reproduce at m = 100: scan 28× (astronomy) / 68× (image);
+//! X-tree 7.2× / 12.1×. The image database speeds up more because it is
+//! highly clustered (avoiding one cluster member's distance computation
+//! tends to avoid the whole cluster).
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_bench::sweep::{m_sweep, PAPER_MS};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let total = *PAPER_MS.iter().max().unwrap();
+    let points = m_sweep(&env, &PAPER_MS, total);
+
+    for db in env.dbs() {
+        header(&format!(
+            "Fig. 10 — {} database ({}-d): speed-up vs. m",
+            db.name, db.dim
+        ));
+        let base = |method: &str| {
+            points
+                .iter()
+                .find(|p| p.db == db.name && p.m == 1 && p.method.name() == method)
+                .unwrap()
+                .total_per_query()
+        };
+        let scan_base = base("scan");
+        let tree_base = base("x-tree");
+        let mut table = Table::new(&[
+            "m",
+            "scan speed-up",
+            "x-tree speed-up",
+            "scan measured",
+            "x-tree measured",
+        ]);
+        let measured_base = |method: &str| {
+            points
+                .iter()
+                .find(|p| p.db == db.name && p.m == 1 && p.method.name() == method)
+                .unwrap()
+                .measured_per_query()
+        };
+        let scan_mb = measured_base("scan");
+        let tree_mb = measured_base("x-tree");
+        for &m in &PAPER_MS {
+            let scan = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "scan")
+                .unwrap();
+            let tree = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "x-tree")
+                .unwrap();
+            table.row(vec![
+                m.to_string(),
+                fmt(scan_base / scan.total_per_query()),
+                fmt(tree_base / tree.total_per_query()),
+                fmt(scan_mb / scan.measured_per_query()),
+                fmt(tree_mb / tree.measured_per_query()),
+            ]);
+        }
+        table.print();
+        println!(
+            "paper at m = 100: scan 28x astro / 68x image; x-tree 7.2x astro / 12.1x image\n\
+             (modeled speed-ups use the paper's 1999 cost constants; measured = wall-clock)"
+        );
+    }
+}

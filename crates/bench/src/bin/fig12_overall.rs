@@ -1,0 +1,53 @@
+//! Figure 12: overall speed-up — parallel multiple similarity queries
+//! vs. *sequential single* similarity queries, i.e. the combined effect of
+//! the multiple-query transformation and parallelization.
+//!
+//! Paper shape to reproduce at s = 16 on the astronomy database: ~374× for
+//! the parallel scan and ~128× for the parallel X-tree; on the image
+//! database at s = 8: 279× (scan) and 52× (X-tree).
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_bench::sweep::{parallel_sweep, PAPER_SS};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let points = parallel_sweep(&env, &PAPER_SS);
+
+    for db in env.dbs() {
+        header(&format!(
+            "Fig. 12 — {} database ({}-d): overall speed-up vs. sequential single queries",
+            db.name, db.dim
+        ));
+        let mut table = Table::new(&[
+            "s",
+            "m",
+            "scan overall",
+            "x-tree overall",
+            "seq single s/q (scan)",
+            "seq single s/q (x-tree)",
+        ]);
+        for &s in &PAPER_SS {
+            let scan = points
+                .iter()
+                .find(|p| p.db == db.name && p.s == s && p.method.name() == "scan")
+                .expect("sweep point");
+            let tree = points
+                .iter()
+                .find(|p| p.db == db.name && p.s == s && p.method.name() == "x-tree")
+                .expect("sweep point");
+            table.row(vec![
+                s.to_string(),
+                scan.queries.to_string(),
+                fmt(scan.overall_speedup()),
+                fmt(tree.overall_speedup()),
+                fmt(scan.seq_single_per_query),
+                fmt(tree.seq_single_per_query),
+            ]);
+        }
+        table.print();
+        println!(
+            "paper: astronomy s = 16 → scan 374x, x-tree 128x; image s = 8 → scan 279x, x-tree 52x"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 7: average I/O cost per similarity query vs. the number m of
+//! multiple similarity queries — linear scan vs. X-tree, both databases.
+//!
+//! Paper shape to reproduce: at m = 1 the X-tree beats the scan (factors
+//! 4.5 / 3.1); with growing m the scan's I/O falls by a factor of nearly m
+//! (one shared pass), the X-tree's by a smaller factor (8.7 / 15 at
+//! m = 100), so at m = 100 the scan's average I/O undercuts the X-tree's.
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_bench::sweep::{m_sweep, PAPER_MS};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let total = *PAPER_MS.iter().max().unwrap();
+    let points = m_sweep(&env, &PAPER_MS, total);
+
+    for db in env.dbs() {
+        header(&format!(
+            "Fig. 7 — {} database ({} objects, {}-d): avg I/O per query",
+            db.name,
+            db.objects.len(),
+            db.dim
+        ));
+        let mut table = Table::new(&[
+            "m",
+            "scan reads/q",
+            "scan io s/q",
+            "x-tree reads/q",
+            "x-tree io s/q",
+            "xtree/scan",
+        ]);
+        for &m in &PAPER_MS {
+            let scan = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "scan")
+                .expect("sweep point");
+            let tree = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "x-tree")
+                .expect("sweep point");
+            table.row(vec![
+                m.to_string(),
+                fmt(scan.reads_per_query()),
+                fmt(scan.io_per_query()),
+                fmt(tree.reads_per_query()),
+                fmt(tree.io_per_query()),
+                fmt(tree.io_per_query() / scan.io_per_query()),
+            ]);
+        }
+        table.print();
+        let scan1 = points
+            .iter()
+            .find(|p| p.db == db.name && p.m == 1 && p.method.name() == "scan")
+            .unwrap();
+        let tree1 = points
+            .iter()
+            .find(|p| p.db == db.name && p.m == 1 && p.method.name() == "x-tree")
+            .unwrap();
+        let scan100 = points
+            .iter()
+            .find(|p| p.db == db.name && p.m == total && p.method.name() == "scan")
+            .unwrap();
+        let tree100 = points
+            .iter()
+            .find(|p| p.db == db.name && p.m == total && p.method.name() == "x-tree")
+            .unwrap();
+        println!(
+            "single query: x-tree outperforms scan by {}x (paper: 4.5x astro / 3.1x image)",
+            fmt(scan1.io_per_query() / tree1.io_per_query())
+        );
+        println!(
+            "m = {total}: scan I/O reduced {}x (paper: ~m), x-tree I/O reduced {}x (paper: 8.7 / 15)",
+            fmt(scan1.io_per_query() / scan100.io_per_query()),
+            fmt(tree1.io_per_query() / tree100.io_per_query())
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 8: average CPU cost per similarity query vs. m.
+//!
+//! Paper shape to reproduce: on the scan, the triangle-inequality avoidance
+//! cuts CPU by 7.1× on the (nearly uniform) astronomy data and by 28× on
+//! the (highly clustered) image data at m = 100; on the X-tree, the gain is
+//! only ~2.1× on both — the index already visits only objects close to the
+//! query objects, which are the hardest to avoid.
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_bench::sweep::{m_sweep, PAPER_MS};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let total = *PAPER_MS.iter().max().unwrap();
+    let points = m_sweep(&env, &PAPER_MS, total);
+
+    for db in env.dbs() {
+        header(&format!(
+            "Fig. 8 — {} database ({}-d): avg CPU per query",
+            db.name, db.dim
+        ));
+        let mut table = Table::new(&[
+            "m",
+            "scan dists/q",
+            "scan cpu s/q",
+            "scan avoided%",
+            "x-tree dists/q",
+            "x-tree cpu s/q",
+            "x-tree avoided%",
+        ]);
+        for &m in &PAPER_MS {
+            let scan = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "scan")
+                .expect("sweep point");
+            let tree = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "x-tree")
+                .expect("sweep point");
+            table.row(vec![
+                m.to_string(),
+                fmt(scan.dists_per_query()),
+                fmt(scan.cpu_per_query()),
+                fmt(scan.stats.avoidance.avoidance_ratio() * 100.0),
+                fmt(tree.dists_per_query()),
+                fmt(tree.cpu_per_query()),
+                fmt(tree.stats.avoidance.avoidance_ratio() * 100.0),
+            ]);
+        }
+        table.print();
+        let at = |method: &str, m: usize| {
+            points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == method)
+                .unwrap()
+                .cpu_per_query()
+        };
+        println!(
+            "CPU reduction m=1 → m={total}: scan {}x (paper: 7.1 astro / 28 image), \
+             x-tree {}x (paper: 2.1)",
+            fmt(at("scan", 1) / at("scan", total)),
+            fmt(at("x-tree", 1) / at("x-tree", total)),
+        );
+    }
+}

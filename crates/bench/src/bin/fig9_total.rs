@@ -1,0 +1,72 @@
+//! Figure 9: average total query cost (I/O + CPU) per similarity query
+//! vs. m.
+//!
+//! Paper shape to reproduce: total cost falls with m for both methods; the
+//! scan's reduction is larger, so the scan overtakes the X-tree at
+//! m ≥ 10 (astronomy) / m ≥ 100 (image); for large m the scan becomes
+//! CPU-bound while the X-tree stays I/O-bound.
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_bench::sweep::{m_sweep, PAPER_MS};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let total = *PAPER_MS.iter().max().unwrap();
+    let points = m_sweep(&env, &PAPER_MS, total);
+
+    for db in env.dbs() {
+        header(&format!(
+            "Fig. 9 — {} database ({}-d): avg total cost per query (modeled s)",
+            db.name, db.dim
+        ));
+        let mut table = Table::new(&[
+            "m",
+            "scan io",
+            "scan cpu",
+            "scan total",
+            "x-tree io",
+            "x-tree cpu",
+            "x-tree total",
+            "winner",
+        ]);
+        let mut crossover: Option<usize> = None;
+        for &m in &PAPER_MS {
+            let scan = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "scan")
+                .expect("sweep point");
+            let tree = points
+                .iter()
+                .find(|p| p.db == db.name && p.m == m && p.method.name() == "x-tree")
+                .expect("sweep point");
+            let winner = if scan.total_per_query() < tree.total_per_query() {
+                if crossover.is_none() {
+                    crossover = Some(m);
+                }
+                "scan"
+            } else {
+                "x-tree"
+            };
+            table.row(vec![
+                m.to_string(),
+                fmt(scan.io_per_query()),
+                fmt(scan.cpu_per_query()),
+                fmt(scan.total_per_query()),
+                fmt(tree.io_per_query()),
+                fmt(tree.cpu_per_query()),
+                fmt(tree.total_per_query()),
+                winner.into(),
+            ]);
+        }
+        table.print();
+        match crossover {
+            Some(m) => println!(
+                "scan overtakes x-tree at m >= {m} (paper: m >= 10 astro / m >= 100 image)"
+            ),
+            None => {
+                println!("no crossover within the sweep (paper: m >= 10 astro / m >= 100 image)")
+            }
+        }
+    }
+}

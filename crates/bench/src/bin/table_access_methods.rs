@@ -1,0 +1,102 @@
+//! Extension table: all four access methods side by side on both §6
+//! databases — linear scan, VA-file (the scan refinement §2 recommends for
+//! high dimensions, paper ref. \[22\]), X-tree, and M-tree.
+//!
+//! Reports per-query page reads (data + approximation where applicable),
+//! distance calculations, and modeled total cost for single k-NN queries.
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::setup::BenchEnv;
+use mq_core::{QueryEngine, StatsProbe};
+use mq_datagen::classification_query_ids;
+use mq_index::{MTree, MTreeConfig};
+use mq_metric::{CountingMetric, Euclidean};
+use mq_storage::{Dataset, SimulatedDisk};
+use mq_vafile::{VaConfig, VaFile};
+
+const QUERIES: usize = 40;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    for db in env.dbs() {
+        header(&format!(
+            "Access methods — {} database ({} objects, {}-d), single {}-NN queries",
+            db.name,
+            db.objects.len(),
+            db.dim,
+            db.paper_k()
+        ));
+        let ids = classification_query_ids(db.objects.len(), QUERIES, env.seed);
+        let queries = db.knn_queries(&ids, db.paper_k());
+        let model = db.cost_model();
+        let mut table = Table::new(&["method", "pages/q", "dists/q", "modeled s/q"]);
+
+        // Scan and X-tree rigs from the shared environment.
+        for rig in db.rigs() {
+            rig.cold_restart();
+            let probe = StatsProbe::start(&rig.disk, rig.metric.counter(), Default::default());
+            let engine = rig.engine();
+            for (q, t) in &queries {
+                let _ = engine.similarity_query(q, t);
+            }
+            let stats = probe.finish(&rig.disk, Default::default());
+            table.row(vec![
+                rig.method.name().to_string(),
+                fmt(stats.io.physical_reads as f64 / QUERIES as f64),
+                fmt(stats.dist_calcs as f64 / QUERIES as f64),
+                fmt(model.total_seconds(&stats) / QUERIES as f64),
+            ]);
+        }
+
+        // VA-file: approximation pages + data pages; bound computations
+        // priced like distance calculations on the compressed file.
+        let dataset = Dataset::new(db.objects.clone());
+        let (va, data_db) = VaFile::build(&dataset, VaConfig::default());
+        let data_disk = SimulatedDisk::new(data_db, 0.10);
+        let metric = CountingMetric::new(Euclidean);
+        va.approx_disk().cold_restart();
+        let probe = StatsProbe::start(&data_disk, metric.counter(), Default::default());
+        let mut va_stats_total = mq_vafile::VaStats::default();
+        for (q, t) in &queries {
+            let (_, s) = va.similarity_query(&data_disk, &metric, q, t);
+            va_stats_total += s;
+        }
+        let mut stats = probe.finish(&data_disk, Default::default());
+        let approx_io = va.approx_disk().stats();
+        stats.io += approx_io;
+        // Price a bound computation like a distance calculation (same O(d)
+        // loop; the win is in I/O volume and candidate filtering).
+        stats.dist_calcs += va_stats_total.bound_computations;
+        table.row(vec![
+            format!("va-file({}bit)", va.bits()),
+            fmt(stats.io.physical_reads as f64 / QUERIES as f64),
+            fmt(stats.dist_calcs as f64 / QUERIES as f64),
+            fmt(model.total_seconds(&stats) / QUERIES as f64),
+        ]);
+
+        // M-tree.
+        let (mtree, mdb) = MTree::insert_load(&dataset, Euclidean, MTreeConfig::default());
+        let mdisk = SimulatedDisk::new(mdb, 0.10);
+        let metric = CountingMetric::new(Euclidean);
+        let probe = StatsProbe::start(&mdisk, metric.counter(), Default::default());
+        let engine = QueryEngine::new(&mdisk, &mtree, metric.clone());
+        for (q, t) in &queries {
+            let _ = engine.similarity_query(q, t);
+        }
+        let stats = probe.finish(&mdisk, Default::default());
+        table.row(vec![
+            "m-tree".into(),
+            fmt(stats.io.physical_reads as f64 / QUERIES as f64),
+            fmt(stats.dist_calcs as f64 / QUERIES as f64),
+            fmt(model.total_seconds(&stats) / QUERIES as f64),
+        ]);
+
+        table.print();
+        println!(
+            "va-file refinement: {} candidates, {} refined of {} objects per query (avg)",
+            fmt(va_stats_total.candidates as f64 / QUERIES as f64),
+            fmt(va_stats_total.refined as f64 / QUERIES as f64),
+            db.objects.len()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! §6 preamble: "we experimented with a broad range of k values and found
+//! that the average cost per k-nearest neighbor query was quite robust to
+//! the value of k".
+//!
+//! This table sweeps k at a fixed block size (m = 20) on both databases
+//! and both access methods; per-query cost should vary only mildly with k.
+
+use mq_bench::report::{fmt, header, Table};
+use mq_bench::run::run_blocked;
+use mq_bench::setup::BenchEnv;
+use mq_core::QueryType;
+use mq_datagen::classification_query_ids;
+
+const KS: [usize; 5] = [1, 5, 10, 20, 50];
+const M: usize = 20;
+const QUERIES: usize = 60;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    for db in env.dbs() {
+        header(&format!(
+            "k-robustness — {} database ({}-d), m = {M}, {QUERIES} queries",
+            db.name, db.dim
+        ));
+        let ids = classification_query_ids(db.objects.len(), QUERIES, env.seed);
+        let model = db.cost_model();
+        let mut table = Table::new(&[
+            "k",
+            "scan total s/q",
+            "x-tree total s/q",
+            "scan reads/q",
+            "x-tree reads/q",
+        ]);
+        for &k in &KS {
+            let queries: Vec<_> = ids
+                .iter()
+                .map(|id| (db.objects[id.index()].clone(), QueryType::knn(k)))
+                .collect();
+            let mut cells = vec![k.to_string()];
+            let mut reads = Vec::new();
+            for rig in db.rigs() {
+                let run = run_blocked(rig, &queries, M, true);
+                cells.push(fmt(model.total_seconds(&run.stats) / run.queries as f64));
+                reads.push(fmt(run.stats.io.physical_reads as f64 / run.queries as f64));
+            }
+            cells.extend(reads);
+            table.row(cells);
+        }
+        table.print();
+    }
+    println!("\npaper: per-query cost is quite robust to k; reported figures use k = 10 / 20.");
+}

@@ -1,0 +1,113 @@
+//! Plain-text table output for the harness binaries.
+
+/// Prints a header line followed by a separator sized to it.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// A fixed-width text table.
+pub struct Table {
+    columns: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let widths = columns.iter().map(|c| c.len()).collect();
+        Self {
+            columns,
+            widths,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must have one cell per column).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numbers, left-align first column.
+                if i == 0 {
+                    out.push_str(&format!("{c:<w$}"));
+                } else {
+                    out.push_str(&format!("{c:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.columns, &self.widths, &mut out);
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &self.widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float compactly (3 significant decimals for small values).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1.00".into()]);
+        t.row(vec!["b".into(), "123456".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_row_size_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.12345), "0.1235");
+        assert_eq!(fmt(2.71828), "2.72");
+        assert_eq!(fmt(1234.5), "1234");
+    }
+}

@@ -1,0 +1,290 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use mq_core::{CostModel, QueryEngine, QueryType, StatsProbe};
+use mq_datagen::{classification_query_ids, image_histograms, tycho_like};
+use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
+use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
+use mq_storage::{persist, Dataset, PagedDatabase, SimulatedDisk, VectorCodec};
+use mq_vafile::{VaConfig, VaFile};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+pub fn generate(args: &Args) -> CmdResult {
+    let kind = args.string_or("kind", "tycho");
+    let n: usize = args.parse_or("n", 10_000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = args.required("out")?;
+    let objects = match kind.as_str() {
+        "tycho" => tycho_like(n, seed),
+        "image" => image_histograms(n, seed),
+        other => return Err(format!("unknown --kind '{other}' (tycho|image)").into()),
+    };
+    let dim = objects.first().map(|v| v.dim()).unwrap_or(0);
+    let ds = Dataset::new(objects);
+    let db = PagedDatabase::pack(&ds, Default::default());
+    persist::save(&db, &VectorCodec, out)?;
+    println!(
+        "wrote {out}: {n} {kind} objects, {dim}-d, {} pages of 32 KB",
+        db.page_count()
+    );
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<PagedDatabase<Vector>, Box<dyn std::error::Error>> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("missing database file argument")?;
+    Ok(persist::load(&VectorCodec, path)?)
+}
+
+pub fn info(args: &Args) -> CmdResult {
+    let db = load(args)?;
+    let dim = db.object(ObjectId(0)).dim();
+    println!("objects     : {}", db.object_count());
+    println!("dimensions  : {dim}");
+    println!(
+        "data pages  : {} ({} KB blocks)",
+        db.page_count(),
+        db.layout().block_bytes / 1024
+    );
+    println!("avg fill    : {:.1} %", db.avg_fill() * 100.0);
+    Ok(())
+}
+
+fn parse_qtype(args: &Args) -> Result<QueryType, Box<dyn std::error::Error>> {
+    match (args.has("knn"), args.has("range")) {
+        (true, false) => Ok(QueryType::knn(args.parse_or("knn", 10)?)),
+        (false, true) => Ok(QueryType::range(args.parse_or("range", 1.0)?)),
+        (true, true) => Ok(QueryType::bounded_knn(
+            args.parse_or("knn", 10)?,
+            args.parse_or("range", 1.0)?,
+        )),
+        (false, false) => Err("one of --knn or --range is required".into()),
+    }
+}
+
+/// Builds the selected access method over a freshly laid-out database.
+fn build_index(
+    db: &PagedDatabase<Vector>,
+    which: &str,
+) -> Result<(Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>), Box<dyn std::error::Error>> {
+    let ds = db.to_dataset();
+    match which {
+        "scan" => {
+            let db = PagedDatabase::pack(&ds, db.layout());
+            Ok((Box::new(LinearScan::new(db.page_count())), db))
+        }
+        "xtree" => {
+            let (tree, db) = XTree::bulk_load(
+                &ds,
+                XTreeConfig {
+                    layout: db.layout(),
+                    ..Default::default()
+                },
+            );
+            Ok((Box::new(tree), db))
+        }
+        "mtree" => {
+            let (tree, db) = MTree::insert_load(
+                &ds,
+                Euclidean,
+                MTreeConfig {
+                    layout: db.layout(),
+                    ..Default::default()
+                },
+            );
+            Ok((Box::new(tree), db))
+        }
+        other => Err(format!("unknown --index '{other}' (scan|xtree|mtree|vafile)").into()),
+    }
+}
+
+pub fn query(args: &Args) -> CmdResult {
+    let stored = load(args)?;
+    let qtype = parse_qtype(args)?;
+    let object_id: u32 = args.parse_or("object", 0)?;
+    if object_id as usize >= stored.object_count() {
+        return Err(format!("--object {object_id} out of range").into());
+    }
+    let q = stored.object(ObjectId(object_id)).clone();
+    let which = args.string_or("index", "xtree");
+    let dim = q.dim();
+    let model = CostModel::paper_1999(dim);
+    let metric = CountingMetric::new(Euclidean);
+
+    let (answers, stats) = if which == "vafile" {
+        let ds = stored.to_dataset();
+        let (va, data_db) = VaFile::build(
+            &ds,
+            VaConfig {
+                layout: stored.layout(),
+                ..Default::default()
+            },
+        );
+        let disk = SimulatedDisk::new(data_db, 0.10);
+        let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+        let (answers, va_stats) = va.similarity_query(&disk, &metric, &q, &qtype);
+        let mut stats = probe.finish(&disk, Default::default());
+        stats.io += va.approx_disk().stats();
+        stats.dist_calcs += va_stats.bound_computations;
+        (answers, stats)
+    } else {
+        let (index, db) = build_index(&stored, &which)?;
+        let disk = SimulatedDisk::new(db, 0.10);
+        let engine = QueryEngine::new(&disk, &*index, metric.clone());
+        let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+        let answers = engine.similarity_query(&q, &qtype);
+        (answers, probe.finish(&disk, Default::default()))
+    };
+
+    println!("{qtype} for O{object_id} via {which}:");
+    for a in answers.as_slice() {
+        println!("  {}  distance {:.6}", a.id, a.distance);
+    }
+    println!(
+        "\ncost: {} page reads, {} distance calculations, modeled {:.4} s",
+        stats.io.physical_reads,
+        stats.dist_calcs,
+        model.total_seconds(&stats)
+    );
+    Ok(())
+}
+
+pub fn batch(args: &Args) -> CmdResult {
+    let stored = load(args)?;
+    let qtype = parse_qtype(args)?;
+    let n_queries: usize = args.parse_or("queries", 100)?;
+    let m: usize = args.parse_or("m", 10)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let which = args.string_or("index", "scan");
+    let avoidance = !args.has("no-avoidance");
+
+    let (index, db) = build_index(&stored, &which)?;
+    let dim = db.object(ObjectId(0)).dim();
+    let model = CostModel::paper_1999(dim);
+    let disk = SimulatedDisk::new(db, 0.10);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = {
+        let e = QueryEngine::new(&disk, &*index, metric.clone());
+        if avoidance {
+            e
+        } else {
+            e.without_avoidance()
+        }
+    };
+
+    let ids = classification_query_ids(
+        stored.object_count(),
+        n_queries.min(stored.object_count()),
+        seed,
+    );
+    let queries: Vec<(Vector, QueryType)> = ids
+        .iter()
+        .map(|id| (stored.object(*id).clone(), qtype))
+        .collect();
+
+    disk.cold_restart();
+    metric.counter().reset();
+    let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+    for (q, t) in &queries {
+        let _ = engine.similarity_query(q, t);
+    }
+    let singles = probe.finish(&disk, Default::default());
+
+    disk.cold_restart();
+    metric.counter().reset();
+    let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+    let mut avoided = 0u64;
+    for block in queries.chunks(m) {
+        let mut session = engine.new_session(block.to_vec());
+        engine.run_to_completion(&mut session);
+        avoided += session.avoidance_stats().avoided;
+    }
+    let multiple = probe.finish(&disk, Default::default());
+
+    println!(
+        "{n_queries} x {qtype} via {which} (avoidance {}):",
+        if avoidance { "on" } else { "off" }
+    );
+    println!(
+        "  singles      : {:>9} page reads, {:>11} distance calcs, modeled {:>9.3} s",
+        singles.io.physical_reads,
+        singles.dist_calcs,
+        model.total_seconds(&singles)
+    );
+    println!(
+        "  blocks of {m:>3}: {:>9} page reads, {:>11} distance calcs, modeled {:>9.3} s",
+        multiple.io.physical_reads,
+        multiple.dist_calcs,
+        model.total_seconds(&multiple)
+    );
+    println!(
+        "  speed-up {:.2}x, {} distance calculations avoided",
+        model.total_seconds(&singles) / model.total_seconds(&multiple),
+        avoided
+    );
+    Ok(())
+}
+
+pub fn dbscan(args: &Args) -> CmdResult {
+    let stored = load(args)?;
+    let eps: f64 = args.parse_or("eps", 0.1)?;
+    let min_pts: usize = args.parse_or("min-pts", 5)?;
+    let batch: usize = args.parse_or("batch", 0)?;
+
+    let ds = stored.to_dataset();
+    let (tree, db) = XTree::bulk_load(
+        &ds,
+        XTreeConfig {
+            layout: stored.layout(),
+            ..Default::default()
+        },
+    );
+    let dim = db.object(ObjectId(0)).dim();
+    let model = CostModel::paper_1999(dim);
+    let disk = SimulatedDisk::new(db, 0.10);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = QueryEngine::new(&disk, &tree, metric.clone());
+
+    let algo = mq_mining::Dbscan::new(eps, min_pts);
+    let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+    let result = if batch > 0 {
+        algo.run_multiple(&engine, batch)
+    } else {
+        algo.run_single(&engine)
+    };
+    let stats = probe.finish(&disk, Default::default());
+
+    println!(
+        "DBSCAN(eps = {eps}, min_pts = {min_pts}) {}:",
+        if batch > 0 {
+            format!("with multiple queries (batch {batch})")
+        } else {
+            "with single queries".into()
+        }
+    );
+    println!(
+        "  clusters: {}   noise: {}   queries: {}",
+        result.clusters,
+        result.noise_count(),
+        result.queries
+    );
+    println!(
+        "  cost: {} page reads, {} distance calcs, modeled {:.2} s",
+        stats.io.physical_reads,
+        stats.dist_calcs,
+        model.total_seconds(&stats)
+    );
+    // Cluster size histogram (top 10).
+    let mut sizes: Vec<usize> = vec![0; result.clusters as usize];
+    for l in &result.labels {
+        if let mq_mining::Label::Cluster(c) = l {
+            sizes[*c as usize] += 1;
+        }
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("  largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
+    Ok(())
+}

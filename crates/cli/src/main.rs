@@ -1,0 +1,63 @@
+//! `mq` — command-line front end for the multiple-similarity-query
+//! engine.
+//!
+//! ```text
+//! mq generate --kind tycho|image --n 50000 --seed 7 --out stars.mqdb
+//! mq info stars.mqdb
+//! mq query stars.mqdb --object 42 --knn 10 [--index scan|xtree|mtree|vafile]
+//! mq batch stars.mqdb --queries 100 --m 50 --knn 10 [--index ...]
+//! mq dbscan stars.mqdb --eps 0.3 --min-pts 5 [--batch 64]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+mquery — multiple similarity queries for mining in metric databases (ICDE 2000)
+
+USAGE:
+  mq generate --kind tycho|image --n <N> [--seed <S>] --out <FILE>
+      Generate a synthetic database and save it (binary .mqdb format).
+
+  mq info <FILE>
+      Show object/page statistics of a saved database.
+
+  mq query <FILE> --object <ID> (--knn <K> | --range <EPS>)
+                [--index scan|xtree|mtree|vafile]
+      Run one similarity query and print answers plus cost counters.
+
+  mq batch <FILE> --queries <N> --m <M> (--knn <K> | --range <EPS>)
+                [--index scan|xtree|mtree] [--seed <S>] [--no-avoidance]
+      Run N random queries in blocks of M and compare against singles.
+
+  mq dbscan <FILE> --eps <EPS> --min-pts <P> [--batch <M>]
+      Density-based clustering with single or multiple queries.
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "query" => commands::query(&args),
+        "batch" => commands::batch(&args),
+        "dbscan" => commands::dbscan(&args),
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

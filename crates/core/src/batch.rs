@@ -1,0 +1,136 @@
+//! Block processing: `M` similarity queries in `M/m` blocks of `m`
+//! simultaneous queries (§5).
+//!
+//! The paper bounds the number of simultaneous queries by available answer
+//! memory and by the quadratic `QObjDists` initialization: *"we assume that
+//! a total number of M ≥ m similarity queries is processed in M/m
+//! consecutive blocks of m multiple queries"*. A block size of `1` degrades
+//! exactly to independent single queries — the baseline of every figure.
+
+use crate::answers::Answer;
+use crate::engine::QueryEngine;
+use crate::query::QueryType;
+use mq_metric::Metric;
+use mq_storage::StorageObject;
+
+/// Evaluates `queries` in consecutive blocks of at most `block_size`
+/// simultaneous queries, returning complete answers in input order.
+///
+/// # Panics
+/// Panics if `block_size` is zero.
+pub fn process_in_blocks<O, M>(
+    engine: &QueryEngine<'_, O, M>,
+    queries: Vec<(O, QueryType)>,
+    block_size: usize,
+) -> Vec<Vec<Answer>>
+where
+    O: StorageObject,
+    M: Metric<O>,
+{
+    assert!(block_size > 0, "block size must be positive");
+    let mut results = Vec::with_capacity(queries.len());
+    let mut remaining = queries;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(block_size.min(remaining.len()));
+        let block = std::mem::replace(&mut remaining, tail);
+        results.extend(engine.multiple_similarity_query(block));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::LinearScan;
+    use mq_metric::{Euclidean, ObjectId, Vector};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
+
+    fn setup() -> (Dataset<Vector>, PagedDatabase<Vector>) {
+        let ds = Dataset::new(
+            (0..200)
+                .map(|i| Vector::new(vec![(i % 20) as f32, (i / 20) as f32]))
+                .collect(),
+        );
+        let db = PagedDatabase::pack(&ds, PageLayout::new(256, 16));
+        (ds, db)
+    }
+
+    #[test]
+    fn block_results_match_single_queries_for_any_block_size() {
+        let (ds, db) = setup();
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .step_by(11)
+            .take(13)
+            .map(|v| (v.clone(), QueryType::knn(4)))
+            .collect();
+
+        let reference: Vec<Vec<ObjectId>> = queries
+            .iter()
+            .map(|(q, t)| engine.similarity_query(q, t).ids().collect())
+            .collect();
+
+        for block_size in [1, 2, 5, 13, 100] {
+            let got = process_in_blocks(&engine, queries.clone(), block_size);
+            let got_ids: Vec<Vec<ObjectId>> = got
+                .iter()
+                .map(|a| a.iter().map(|x| x.id).collect())
+                .collect();
+            assert_eq!(got_ids, reference, "block size {block_size}");
+        }
+    }
+
+    #[test]
+    fn larger_blocks_read_fewer_pages() {
+        let (ds, db) = setup();
+        let pages = db.page_count() as u64;
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .step_by(17)
+            .take(12)
+            .map(|v| (v.clone(), QueryType::knn(3)))
+            .collect();
+
+        disk.reset_stats();
+        let _ = process_in_blocks(&engine, queries.clone(), 1);
+        let single_io = disk.stats().logical_reads;
+        assert_eq!(single_io, pages * 12, "block size 1 = one scan per query");
+
+        disk.reset_stats();
+        let _ = process_in_blocks(&engine, queries.clone(), 4);
+        let blocked_io = disk.stats().logical_reads;
+        assert_eq!(blocked_io, pages * 3, "M/m = 3 scans");
+
+        disk.reset_stats();
+        let _ = process_in_blocks(&engine, queries, 12);
+        let full_io = disk.stats().logical_reads;
+        assert_eq!(full_io, pages, "one scan for the whole batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        let (_, db) = setup();
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let _ = process_in_blocks(&engine, Vec::new(), 0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (_, db) = setup();
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        assert!(process_in_blocks(&engine, Vec::new(), 5).is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! The query engine: the paper's `DB` class with both query operations.
+
+use crate::answers::{Answer, AnswerList};
+use crate::multiple::{self, MultiQuerySession};
+use crate::query::QueryType;
+use crate::single;
+use mq_index::SimilarityIndex;
+use mq_metric::Metric;
+use mq_storage::{SimulatedDisk, StorageObject};
+
+/// A query engine over one simulated disk, one access method and one
+/// metric.
+///
+/// This is the paper's database class `DB`: it offers the classic
+/// `similarity_query(Q, T)` (Fig. 1) and the new
+/// `multiple_similarity_query(Queries, SimTypes)` (Fig. 4), the latter in
+/// its full incremental form via sessions.
+///
+/// `metric` is typically a [`mq_metric::CountingMetric`], making every
+/// distance calculation — query evaluation, `QObjDists` initialization, and
+/// (for the M-tree) routing — observable as CPU cost.
+///
+/// ```
+/// use mq_core::{QueryEngine, QueryType};
+/// use mq_index::LinearScan;
+/// use mq_metric::{Euclidean, Vector};
+/// use mq_storage::{Dataset, PagedDatabase, SimulatedDisk};
+///
+/// let ds = Dataset::new((0..100).map(|i| Vector::new(vec![i as f32])).collect());
+/// let db = PagedDatabase::pack(&ds, Default::default());
+/// let scan = LinearScan::new(db.page_count());
+/// let disk = SimulatedDisk::new(db, 0.10);
+/// let engine = QueryEngine::new(&disk, &scan, Euclidean);
+///
+/// // Fig. 1: a single 3-NN query.
+/// let q = Vector::new(vec![41.4]);
+/// let answers = engine.similarity_query(&q, &QueryType::knn(3));
+/// let ids: Vec<u32> = answers.ids().map(|id| id.0).collect();
+/// assert_eq!(ids, vec![41, 42, 40]);
+///
+/// // Fig. 4: a multiple similarity query — same answers per query.
+/// let batch = vec![(q.clone(), QueryType::knn(3)), (Vector::new(vec![7.0]), QueryType::range(1.0))];
+/// let all = engine.multiple_similarity_query(batch);
+/// assert_eq!(all[0].iter().map(|a| a.id.0).collect::<Vec<_>>(), vec![41, 42, 40]);
+/// assert_eq!(all[1].len(), 3); // 6.0, 7.0, 8.0
+/// ```
+pub struct QueryEngine<'a, O, M> {
+    disk: &'a SimulatedDisk<O>,
+    index: &'a dyn SimilarityIndex<O>,
+    metric: M,
+    avoidance: bool,
+    max_pivots: Option<usize>,
+}
+
+impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
+    /// Creates an engine with triangle-inequality avoidance enabled (the
+    /// paper's configuration).
+    pub fn new(disk: &'a SimulatedDisk<O>, index: &'a dyn SimilarityIndex<O>, metric: M) -> Self {
+        Self {
+            disk,
+            index,
+            metric,
+            avoidance: true,
+            max_pivots: None,
+        }
+    }
+
+    /// Disables §5.2 avoidance — the ablation baseline that still shares
+    /// page reads but computes every distance.
+    pub fn without_avoidance(mut self) -> Self {
+        self.avoidance = false;
+        self
+    }
+
+    /// Bounds the number of pivot distances consulted per avoidance
+    /// attempt. §7 names the quadratic-in-m overhead of the triangle-
+    /// inequality machinery as the main scalability limit of large batches;
+    /// capping the pivots makes the per-object work `O(p)` instead of
+    /// `O(m)` at the price of fewer avoided calculations. `None` (default)
+    /// is the paper's unbounded behaviour.
+    pub fn with_max_pivots(mut self, p: usize) -> Self {
+        self.max_pivots = Some(p);
+        self
+    }
+
+    /// The access method in use.
+    pub fn index(&self) -> &dyn SimilarityIndex<O> {
+        self.index
+    }
+
+    /// The simulated disk in use.
+    pub fn disk(&self) -> &SimulatedDisk<O> {
+        self.disk
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Whether §5.2 avoidance is enabled.
+    pub fn avoidance_enabled(&self) -> bool {
+        self.avoidance
+    }
+
+    /// Answers one similarity query (Fig. 1).
+    pub fn similarity_query(&self, query: &O, qtype: &QueryType) -> AnswerList {
+        single::similarity_query(self.disk, self.index, &self.metric, query, qtype)
+    }
+
+    /// Opens a multiple-query session over the given queries (the answer
+    /// buffer of Fig. 4). Queries are admitted in order; admitting each
+    /// costs its row of the `QObjDists` matrix.
+    pub fn new_session(
+        &self,
+        queries: impl IntoIterator<Item = (O, QueryType)>,
+    ) -> MultiQuerySession<O> {
+        let mut session = MultiQuerySession::with_page_count(self.disk.database().page_count());
+        for (object, qtype) in queries {
+            multiple::admit(&mut session, &self.metric, object, qtype);
+        }
+        session
+    }
+
+    /// Admits one more query object into an existing session — the dynamic
+    /// case of §5.1, where an `ExploreNeighborhoods` algorithm turns answers
+    /// of earlier queries into new query objects. Returns the new query's
+    /// index.
+    pub fn push_query(
+        &self,
+        session: &mut MultiQuerySession<O>,
+        object: O,
+        qtype: QueryType,
+    ) -> usize {
+        multiple::admit(session, &self.metric, object, qtype)
+    }
+
+    /// One call of the paper's `multiple_similarity_query` (Fig. 4):
+    /// completes the first pending query of the session (its answers are
+    /// then exactly `similarity_query(Q, T)`), advancing all trailing
+    /// pending queries opportunistically. Returns the completed query's
+    /// index, or `None` if no query is pending.
+    pub fn multiple_query_step(&self, session: &mut MultiQuerySession<O>) -> Option<usize> {
+        multiple::step(
+            session,
+            self.disk,
+            self.index,
+            &self.metric,
+            self.avoidance,
+            self.max_pivots,
+        )
+    }
+
+    /// Runs steps until every admitted query is complete.
+    pub fn run_to_completion(&self, session: &mut MultiQuerySession<O>) {
+        while self.multiple_query_step(session).is_some() {}
+    }
+
+    /// Convenience: evaluates a whole batch of queries through one session
+    /// and returns the complete answer lists in input order.
+    pub fn multiple_similarity_query(&self, queries: Vec<(O, QueryType)>) -> Vec<Vec<Answer>> {
+        let mut session = self.new_session(queries);
+        self.run_to_completion(&mut session);
+        session.into_answers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::{LinearScan, XTree, XTreeConfig};
+    use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Vector::new(
+                    (0..dim)
+                        .map(|_| (next() * 100.0) as f32)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn layout() -> PageLayout {
+        PageLayout::new(256, 16)
+    }
+
+    #[test]
+    fn multiple_head_answers_equal_single_answers() {
+        let ds = Dataset::new(random_points(400, 4, 101));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .take(8)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        let multi = engine.multiple_similarity_query(queries.clone());
+        for (q, t) in &queries {
+            let single = engine.similarity_query(q, t);
+            let idx = queries.iter().position(|(o, _)| o == q).unwrap();
+            let multi_ids: Vec<ObjectId> = multi[idx].iter().map(|a| a.id).collect();
+            let single_ids: Vec<ObjectId> = single.ids().collect();
+            assert_eq!(multi_ids, single_ids, "query {idx} differs");
+        }
+    }
+
+    #[test]
+    fn definition4_partial_answers_are_subsets() {
+        let ds = Dataset::new(random_points(300, 4, 103));
+        let cfg = XTreeConfig {
+            layout: layout(),
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(&ds, cfg);
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &tree, Euclidean);
+
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .take(6)
+            .map(|v| (v.clone(), QueryType::range(20.0)))
+            .collect();
+        let mut session = engine.new_session(queries.clone());
+        // One step: head complete, trailing partial.
+        let head = engine.multiple_query_step(&mut session).expect("one step");
+        assert_eq!(head, 0);
+        assert!(session.is_complete(0));
+        for i in 1..queries.len() {
+            let full = engine.similarity_query(&queries[i].0, &queries[i].1);
+            let full_ids: std::collections::HashSet<ObjectId> = full.ids().collect();
+            for a in session.answers(i).as_slice() {
+                assert!(
+                    full_ids.contains(&a.id),
+                    "partial answer not in full answer set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avoidance_does_not_change_results() {
+        let ds = Dataset::new(random_points(400, 4, 107));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .step_by(37)
+            .take(10)
+            .map(|v| (v.clone(), QueryType::range(15.0)))
+            .collect();
+
+        let with =
+            QueryEngine::new(&disk, &scan, Euclidean).multiple_similarity_query(queries.clone());
+        let without = QueryEngine::new(&disk, &scan, Euclidean)
+            .without_avoidance()
+            .multiple_similarity_query(queries.clone());
+        for (a, b) in with.iter().zip(&without) {
+            let ia: Vec<ObjectId> = a.iter().map(|x| x.id).collect();
+            let ib: Vec<ObjectId> = b.iter().map(|x| x.id).collect();
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn avoidance_reduces_distance_calculations() {
+        let ds = Dataset::new(random_points(600, 4, 109));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        // Clustered query objects (all near each other) with tight ranges:
+        // prime avoidance territory.
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .take(10)
+            .map(|v| (v.clone(), QueryType::range(5.0)))
+            .collect();
+
+        let counting = CountingMetric::new(Euclidean);
+        let counter = counting.counter().clone();
+        let engine = QueryEngine::new(&disk, &scan, counting);
+        counter.reset();
+        let mut session = engine.new_session(queries.clone());
+        engine.run_to_completion(&mut session);
+        let with_avoidance = counter.get();
+        let stats = session.avoidance_stats();
+        assert!(stats.avoided > 0, "no distance calculation avoided");
+
+        let counting = CountingMetric::new(Euclidean);
+        let counter = counting.counter().clone();
+        let engine = QueryEngine::new(&disk, &scan, counting).without_avoidance();
+        counter.reset();
+        let mut session = engine.new_session(queries);
+        engine.run_to_completion(&mut session);
+        let without_avoidance = counter.get();
+
+        assert!(
+            with_avoidance < without_avoidance,
+            "avoidance did not reduce calculations: {with_avoidance} vs {without_avoidance}"
+        );
+    }
+
+    #[test]
+    fn max_pivots_caps_comparisons_without_changing_answers() {
+        let ds = Dataset::new(random_points(500, 4, 108));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .take(16)
+            .map(|v| (v.clone(), QueryType::range(30.0)))
+            .collect();
+
+        let unbounded_engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let mut unbounded = unbounded_engine.new_session(queries.clone());
+        unbounded_engine.run_to_completion(&mut unbounded);
+        let unbounded_tries = unbounded.avoidance_stats().tries;
+        let unbounded_answers = unbounded.into_answers();
+
+        let capped_engine = QueryEngine::new(&disk, &scan, Euclidean).with_max_pivots(2);
+        let mut capped = capped_engine.new_session(queries);
+        capped_engine.run_to_completion(&mut capped);
+        let capped_tries = capped.avoidance_stats().tries;
+        let capped_answers = capped.into_answers();
+
+        assert_eq!(
+            unbounded_answers, capped_answers,
+            "pivot cap must not change answers"
+        );
+        assert!(
+            capped_tries < unbounded_tries,
+            "pivot cap should reduce comparisons: {capped_tries} vs {unbounded_tries}"
+        );
+    }
+
+    #[test]
+    fn multiple_on_scan_reads_database_once() {
+        let ds = Dataset::new(random_points(500, 4, 113));
+        let db = PagedDatabase::pack(&ds, layout());
+        let pages = db.page_count();
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let queries: Vec<(Vector, QueryType)> = ds
+            .objects()
+            .iter()
+            .step_by(29)
+            .take(12)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        disk.reset_stats();
+        let _ = engine.multiple_similarity_query(queries);
+        let io = disk.stats();
+        // §5.1: for the scan, relevant_pages(Q1) = … = relevant_pages(Qm),
+        // so C_io^m = C_io^1 — one pass over the database for all queries.
+        assert_eq!(
+            io.logical_reads, pages as u64,
+            "expected exactly one full scan"
+        );
+    }
+
+    #[test]
+    fn multiple_on_xtree_shares_pages() {
+        let ds = Dataset::new(random_points(800, 4, 127));
+        let cfg = XTreeConfig {
+            layout: layout(),
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(&ds, cfg);
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &tree, Euclidean);
+
+        // Nearby query objects → overlapping relevant-page sets.
+        let base = ds.object(mq_metric::ObjectId(0)).clone();
+        let queries: Vec<(Vector, QueryType)> = (0..8)
+            .map(|i| {
+                let v: Vec<f32> = base
+                    .components()
+                    .iter()
+                    .map(|c| c + i as f32 * 0.5)
+                    .collect();
+                (Vector::new(v), QueryType::knn(10))
+            })
+            .collect();
+
+        // Multiple query: union of relevant pages.
+        disk.cold_restart();
+        let _ = engine.multiple_similarity_query(queries.clone());
+        let multi_reads = disk.stats().logical_reads;
+
+        // Single queries: sum of relevant pages.
+        disk.cold_restart();
+        for (q, t) in &queries {
+            let _ = engine.similarity_query(q, t);
+        }
+        let single_reads = disk.stats().logical_reads;
+
+        assert!(
+            multi_reads < single_reads,
+            "page sharing failed: {multi_reads} vs {single_reads}"
+        );
+    }
+
+    #[test]
+    fn dynamic_push_query_is_answered() {
+        let ds = Dataset::new(random_points(300, 4, 131));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+
+        let q0 = ds.object(ObjectId(0)).clone();
+        let mut session = engine.new_session(vec![(q0, QueryType::knn(3))]);
+        let _ = engine.multiple_query_step(&mut session);
+        // Push the head's nearest neighbor as a new query (ExploreNeighborhoods).
+        let nn = session.answers(0).as_slice()[1].id;
+        let nn_obj = disk.database().object(nn).clone();
+        let idx = engine.push_query(&mut session, nn_obj.clone(), QueryType::knn(3));
+        assert_eq!(idx, 1);
+        engine.run_to_completion(&mut session);
+        assert!(session.is_complete(1));
+        let expected = engine.similarity_query(&nn_obj, &QueryType::knn(3));
+        let got: Vec<ObjectId> = session.answers(1).ids().collect();
+        let want: Vec<ObjectId> = expected.ids().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn step_returns_none_when_all_complete() {
+        let ds = Dataset::new(random_points(100, 4, 137));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let mut session =
+            engine.new_session(vec![(ds.object(ObjectId(5)).clone(), QueryType::knn(2))]);
+        assert_eq!(engine.multiple_query_step(&mut session), Some(0));
+        assert_eq!(engine.multiple_query_step(&mut session), None);
+    }
+
+    #[test]
+    fn empty_session() {
+        let ds = Dataset::new(random_points(50, 4, 139));
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let mut session = engine.new_session(Vec::new());
+        assert_eq!(engine.multiple_query_step(&mut session), None);
+        assert!(session.into_answers().is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The multiple-similarity-query session and its incremental step
+//! (Definition 4 / Fig. 4 / §5.1).
+//!
+//! A [`MultiQuerySession`] is the paper's "internal buffer of the DBMS": it
+//! holds, for every admitted query, the partial answer list, the set of
+//! data pages already evaluated for it, and (implicitly, via the answer
+//! list) its current query distance. One
+//! [`QueryEngine::multiple_query_step`](crate::QueryEngine::multiple_query_step)
+//! call is one invocation of the paper's `multiple_similarity_query`:
+//! it answers the first pending query **completely** and advances all
+//! trailing queries **opportunistically** on every page it loads.
+
+use crate::answers::{Answer, AnswerList};
+use crate::avoidance::{AvoidanceStats, QueryDistanceMatrix};
+use crate::query::QueryType;
+use mq_index::SimilarityIndex;
+use mq_metric::Metric;
+use mq_storage::{PageId, SimulatedDisk, StorageObject};
+
+/// A compact bitset over page ids — the per-query `processed pages` set.
+#[derive(Clone, Debug)]
+pub struct PageSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PageSet {
+    /// An empty set over a universe of `page_count` pages.
+    pub fn new(page_count: usize) -> Self {
+        Self {
+            words: vec![0; page_count.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Whether `page` is in the set.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        let i = page.index();
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inserts `page`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, page: PageId) -> bool {
+        let i = page.index();
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pages in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+pub(crate) struct QueryState<O> {
+    pub(crate) object: O,
+    pub(crate) qtype: QueryType,
+    pub(crate) answers: AnswerList,
+    pub(crate) processed: PageSet,
+    pub(crate) completed: bool,
+}
+
+/// The state of one multiple similarity query across incremental calls —
+/// partial answers, processed-page sets, the inter-query distance matrix,
+/// and the avoidance counters.
+///
+/// Sessions are created by
+/// [`QueryEngine::new_session`](crate::QueryEngine::new_session); new query
+/// objects can be admitted at any time with
+/// [`QueryEngine::push_query`](crate::QueryEngine::push_query) (the dynamic
+/// behaviour of `ExploreNeighborhoodsMultiple`, §5.1).
+pub struct MultiQuerySession<O> {
+    pub(crate) states: Vec<QueryState<O>>,
+    pub(crate) qq: QueryDistanceMatrix,
+    pub(crate) avoidance_stats: AvoidanceStats,
+    pub(crate) page_count: usize,
+}
+
+impl<O> MultiQuerySession<O> {
+    pub(crate) fn with_page_count(page_count: usize) -> Self {
+        Self {
+            states: Vec::new(),
+            qq: QueryDistanceMatrix::new(),
+            avoidance_stats: AvoidanceStats::default(),
+            page_count,
+        }
+    }
+
+    /// Number of admitted queries.
+    pub fn query_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The (possibly partial) answers of query `i` — Definition 4
+    /// guarantees `answers(i) ⊆ similarity_query(Qi, Ti)` at all times, and
+    /// equality once [`is_complete`](Self::is_complete)`(i)`.
+    pub fn answers(&self, i: usize) -> &AnswerList {
+        &self.states[i].answers
+    }
+
+    /// Whether query `i` has been answered completely.
+    pub fn is_complete(&self, i: usize) -> bool {
+        self.states[i].completed
+    }
+
+    /// The query object of query `i`.
+    pub fn query_object(&self, i: usize) -> &O {
+        &self.states[i].object
+    }
+
+    /// The query type of query `i`.
+    pub fn query_type(&self, i: usize) -> &QueryType {
+        &self.states[i].qtype
+    }
+
+    /// Index of the next pending (not yet completed) query, if any.
+    pub fn next_pending(&self) -> Option<usize> {
+        self.states.iter().position(|s| !s.completed)
+    }
+
+    /// Indices of all pending queries.
+    pub fn pending(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| !self.states[i].completed)
+            .collect()
+    }
+
+    /// Number of data pages evaluated for query `i` so far.
+    pub fn pages_processed(&self, i: usize) -> usize {
+        self.states[i].processed.len()
+    }
+
+    /// The accumulated triangle-inequality counters (§5.2).
+    pub fn avoidance_stats(&self) -> AvoidanceStats {
+        self.avoidance_stats
+    }
+
+    /// Consumes the session into the final answer lists, one per query, in
+    /// admission order.
+    pub fn into_answers(self) -> Vec<Vec<Answer>> {
+        self.states
+            .into_iter()
+            .map(|s| s.answers.into_vec())
+            .collect()
+    }
+}
+
+/// Admits one more query into the session: allocates its state and extends
+/// the `QObjDists` matrix (costing `current_m` distance calculations —
+/// §5.2's initialization overhead, charged through `metric`).
+pub(crate) fn admit<O, M: Metric<O>>(
+    session: &mut MultiQuerySession<O>,
+    metric: &M,
+    object: O,
+    qtype: QueryType,
+) -> usize {
+    session
+        .qq
+        .admit(metric, session.states.iter().map(|s| &s.object), &object);
+    let answers = AnswerList::new(&qtype);
+    session.states.push(QueryState {
+        object,
+        qtype,
+        answers,
+        processed: PageSet::new(session.page_count),
+        completed: false,
+    });
+    session.states.len() - 1
+}
+
+/// One incremental multiple-query call (Fig. 4): completes the first
+/// pending query, opportunistically advancing every trailing pending query
+/// on each loaded page that is relevant for it. Returns the index of the
+/// completed query, or `None` when every admitted query is already
+/// complete.
+pub(crate) fn step<O, M, I>(
+    session: &mut MultiQuerySession<O>,
+    disk: &SimulatedDisk<O>,
+    index: &I,
+    metric: &M,
+    avoidance: bool,
+    max_pivots: Option<usize>,
+) -> Option<usize>
+where
+    O: StorageObject,
+    M: Metric<O>,
+    I: SimilarityIndex<O> + ?Sized,
+{
+    let head = session.next_pending()?;
+    let head_object = session.states[head].object.clone();
+    let mut plan = index.plan(&head_object);
+
+    // Reusable scratch: the known pivot distances for the current object
+    // (the paper's `AvoidingDists`).
+    let mut known: Vec<(usize, f64)> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+
+    loop {
+        let head_dist = session.states[head]
+            .answers
+            .query_dist(&session.states[head].qtype);
+        let Some((page_id, _lb)) = plan.next(head_dist) else {
+            break;
+        };
+        if session.states[head].processed.contains(page_id) {
+            // Already evaluated for the head while it was a trailing query
+            // of an earlier call — restore_from_buffer made this page free.
+            continue;
+        }
+
+        // Which pending queries is this page relevant for? (§5.1: "we also
+        // collect answers for the Qi if the pages loaded for Q1 are also
+        // relevant for Qi".)
+        active.clear();
+        active.push(head);
+        for i in (head + 1)..session.states.len() {
+            let st = &session.states[i];
+            if st.completed || st.processed.contains(page_id) {
+                continue;
+            }
+            let qd = st.answers.query_dist(&st.qtype);
+            if index.page_mindist(&st.object, page_id) <= qd {
+                active.push(i);
+            }
+        }
+
+        let page = disk.read_page(page_id);
+        for (id, object) in page.iter() {
+            known.clear();
+            for &i in &active {
+                let qd = session.states[i]
+                    .answers
+                    .query_dist(&session.states[i].qtype);
+                let pivots = match max_pivots {
+                    Some(p) => &known[..known.len().min(p)],
+                    None => &known[..],
+                };
+                if avoidance
+                    && session
+                        .qq
+                        .try_avoid(i, pivots, qd, &mut session.avoidance_stats)
+                {
+                    // dist(Qi, O) > QueryDist(Qi) proven — O cannot answer
+                    // Qi now or later (the query distance only shrinks).
+                    continue;
+                }
+                let distance = metric.distance(object, &session.states[i].object);
+                session.avoidance_stats.computed += 1;
+                known.push((i, distance));
+                if distance <= qd {
+                    session.states[i].answers.insert(Answer { id, distance });
+                }
+            }
+        }
+
+        for &i in &active {
+            session.states[i].processed.insert(page_id);
+        }
+    }
+
+    session.states[head].completed = true;
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_storage::PageId;
+
+    #[test]
+    fn pageset_basics() {
+        let mut s = PageSet::new(200);
+        assert!(s.is_empty());
+        assert!(!s.contains(PageId(63)));
+        assert!(s.insert(PageId(63)));
+        assert!(!s.insert(PageId(63)), "double insert reports false");
+        assert!(s.insert(PageId(64)));
+        assert!(s.insert(PageId(199)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(PageId(64)));
+        assert!(!s.contains(PageId(0)));
+    }
+
+    #[test]
+    fn pageset_word_boundaries() {
+        let mut s = PageSet::new(128);
+        for i in [0u32, 1, 62, 63, 64, 65, 126, 127] {
+            assert!(s.insert(PageId(i)));
+        }
+        for i in [0u32, 1, 62, 63, 64, 65, 126, 127] {
+            assert!(s.contains(PageId(i)));
+        }
+        for i in [2u32, 61, 66, 125] {
+            assert!(!s.contains(PageId(i)));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Query types (Definitions 1–3).
+
+use std::fmt;
+
+/// How the range and cardinality conditions combine (`T.kind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// All objects within `range` (Definition 2).
+    Range,
+    /// The `cardinality` nearest objects (Definition 3).
+    KNearestNeighbor,
+    /// The `cardinality` nearest objects among those within `range` (§2's
+    /// "k-nearest neighbors but only those within a specified range").
+    BoundedKNearestNeighbor,
+}
+
+/// The query-type triple of Definition 1: `(T.range, T.cardinality, T.kind)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryType {
+    /// Maximum distance between the query object and an answer (`T.range`).
+    pub range: f64,
+    /// Maximum cardinality of the answer set (`T.cardinality`).
+    pub cardinality: usize,
+    /// How the two conditions combine (`T.kind`).
+    pub kind: QueryKind,
+}
+
+impl QueryType {
+    /// A range query: `range = ε`, `cardinality = +∞` (Definition 2).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is negative or NaN.
+    pub fn range(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "query range must be non-negative");
+        Self {
+            range: epsilon,
+            cardinality: usize::MAX,
+            kind: QueryKind::Range,
+        }
+    }
+
+    /// A k-nearest-neighbor query: `range = +∞`, `cardinality = k`
+    /// (Definition 3).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn knn(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            range: f64::INFINITY,
+            cardinality: k,
+            kind: QueryKind::KNearestNeighbor,
+        }
+    }
+
+    /// A bounded k-nearest-neighbor query: the `k` nearest objects within
+    /// `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or `epsilon` is negative or NaN.
+    pub fn bounded_knn(k: usize, epsilon: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(epsilon >= 0.0, "query range must be non-negative");
+        Self {
+            range: epsilon,
+            cardinality: k,
+            kind: QueryKind::BoundedKNearestNeighbor,
+        }
+    }
+
+    /// The initial query distance of Fig. 1 (`QueryDist := T.Range`).
+    pub fn initial_query_dist(&self) -> f64 {
+        self.range
+    }
+
+    /// Whether the answer cardinality is bounded (k-NN variants).
+    pub fn has_cardinality_bound(&self) -> bool {
+        self.cardinality != usize::MAX
+    }
+}
+
+impl fmt::Display for QueryType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            QueryKind::Range => write!(f, "range(ε={})", self.range),
+            QueryKind::KNearestNeighbor => write!(f, "knn(k={})", self.cardinality),
+            QueryKind::BoundedKNearestNeighbor => {
+                write!(f, "bounded-knn(k={}, ε={})", self.cardinality, self.range)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_shape() {
+        let t = QueryType::range(2.5);
+        assert_eq!(t.kind, QueryKind::Range);
+        assert_eq!(t.range, 2.5);
+        assert_eq!(t.cardinality, usize::MAX);
+        assert!(!t.has_cardinality_bound());
+        assert_eq!(t.initial_query_dist(), 2.5);
+        assert_eq!(t.to_string(), "range(ε=2.5)");
+    }
+
+    #[test]
+    fn knn_query_shape() {
+        let t = QueryType::knn(10);
+        assert_eq!(t.kind, QueryKind::KNearestNeighbor);
+        assert!(t.range.is_infinite());
+        assert_eq!(t.cardinality, 10);
+        assert!(t.has_cardinality_bound());
+        assert!(t.initial_query_dist().is_infinite());
+        assert_eq!(t.to_string(), "knn(k=10)");
+    }
+
+    #[test]
+    fn bounded_knn_shape() {
+        let t = QueryType::bounded_knn(5, 1.0);
+        assert_eq!(t.kind, QueryKind::BoundedKNearestNeighbor);
+        assert_eq!(t.range, 1.0);
+        assert_eq!(t.cardinality, 5);
+        assert_eq!(t.initial_query_dist(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = QueryType::knn(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_range_rejected() {
+        let _ = QueryType::range(-1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The single-similarity-query algorithm of Fig. 1.
+//!
+//! One unified loop answers any query type over any access method:
+//!
+//! ```text
+//! DB::similarity_query(object Q; type T)
+//!   Answers := initialize_answer_list();
+//!   determine_relevant_data_pages(Q, T);          // index.plan(Q)
+//!   QueryDist := T.Range;
+//!   while Self.unprocessed_pages() do             // plan.next(QueryDist)
+//!     NextPage := read_next_page_from_disk();     // disk.read_page
+//!     for each object O in NextPage do
+//!       Distance := dist(O, Q);
+//!       if Distance ≤ QueryDist then
+//!         Answers.insert(O);                      // ascending by distance
+//!         if Answers.cardinality() > T.Cardinality then
+//!           Answers.remove_last_element();
+//!         QueryDist := adapt_query_dist(...);     // answers.query_dist(T)
+//!     Self.prune_pages(QueryDist);                // next(QueryDist) skips
+//!   return Answers;
+//! ```
+
+use crate::answers::{Answer, AnswerList};
+use crate::query::QueryType;
+use mq_index::SimilarityIndex;
+use mq_metric::Metric;
+use mq_storage::{SimulatedDisk, StorageObject};
+
+/// Answers one similarity query (Fig. 1) using `index` to determine the
+/// relevant data pages, `disk` to read them (metered), and `metric` for the
+/// distance calculations (counted when `metric` is a
+/// [`mq_metric::CountingMetric`]).
+pub fn similarity_query<O, M, I>(
+    disk: &SimulatedDisk<O>,
+    index: &I,
+    metric: &M,
+    query: &O,
+    qtype: &QueryType,
+) -> AnswerList
+where
+    O: StorageObject,
+    M: Metric<O>,
+    I: SimilarityIndex<O> + ?Sized,
+{
+    let mut answers = AnswerList::new(qtype);
+    let mut plan = index.plan(query);
+    loop {
+        let query_dist = answers.query_dist(qtype);
+        let Some((page_id, _lower_bound)) = plan.next(query_dist) else {
+            break;
+        };
+        let page = disk.read_page(page_id);
+        for (id, object) in page.iter() {
+            let distance = metric.distance(object, query);
+            if distance <= answers.query_dist(qtype) {
+                answers.insert(Answer { id, distance });
+            }
+        }
+    }
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::{LinearScan, XTree, XTreeConfig};
+    use mq_metric::{Euclidean, ObjectId, Vector};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase};
+
+    fn grid_dataset() -> Dataset<Vector> {
+        // 10×10 grid of 2-d points at integer coordinates.
+        Dataset::new(
+            (0..100)
+                .map(|i| Vector::new(vec![(i % 10) as f32, (i / 10) as f32]))
+                .collect(),
+        )
+    }
+
+    fn brute_force_range(ds: &Dataset<Vector>, q: &Vector, eps: f64) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = ds
+            .iter()
+            .filter(|(_, o)| Euclidean.distance(o, q) <= eps)
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn brute_force_knn(ds: &Dataset<Vector>, q: &Vector, k: usize) -> Vec<(ObjectId, f64)> {
+        let mut all: Vec<(ObjectId, f64)> = ds
+            .iter()
+            .map(|(id, o)| (id, Euclidean.distance(o, q)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn range_query_matches_brute_force_on_scan() {
+        let ds = grid_dataset();
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let q = Vector::new(vec![4.5, 4.5]);
+        let t = QueryType::range(1.5);
+        let answers = similarity_query(&disk, &scan, &Euclidean, &q, &t);
+        let mut got: Vec<ObjectId> = answers.ids().collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force_range(&ds, &q, 1.5));
+    }
+
+    #[test]
+    fn range_query_matches_brute_force_on_xtree() {
+        let ds = grid_dataset();
+        let cfg = XTreeConfig {
+            layout: PageLayout::new(128, 16),
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(&ds, cfg);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let q = Vector::new(vec![2.0, 7.0]);
+        let t = QueryType::range(2.0);
+        let answers = similarity_query(&disk, &tree, &Euclidean, &q, &t);
+        let mut got: Vec<ObjectId> = answers.ids().collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force_range(&ds, &q, 2.0));
+    }
+
+    #[test]
+    fn knn_query_matches_brute_force_on_both_methods() {
+        let ds = grid_dataset();
+        let q = Vector::new(vec![3.3, 6.1]);
+        let t = QueryType::knn(7);
+        let expected = brute_force_knn(&ds, &q, 7);
+
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let got = similarity_query(&disk, &scan, &Euclidean, &q, &t);
+        assert_eq!(
+            got.as_slice().iter().map(|a| a.id).collect::<Vec<_>>(),
+            expected.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        );
+
+        let cfg = XTreeConfig {
+            layout: PageLayout::new(128, 16),
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(&ds, cfg);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let got = similarity_query(&disk, &tree, &Euclidean, &q, &t);
+        assert_eq!(
+            got.as_slice().iter().map(|a| a.id).collect::<Vec<_>>(),
+            expected.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn xtree_knn_reads_fewer_pages_than_scan() {
+        let ds = grid_dataset();
+        let q = Vector::new(vec![5.0, 5.0]);
+        let t = QueryType::knn(3);
+
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let scan_disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let _ = similarity_query(&scan_disk, &scan, &Euclidean, &q, &t);
+        let scan_io = scan_disk.stats().physical_reads;
+
+        let cfg = XTreeConfig {
+            layout: PageLayout::new(128, 16),
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(&ds, cfg);
+        let tree_disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let _ = similarity_query(&tree_disk, &tree, &Euclidean, &q, &t);
+        let tree_io = tree_disk.stats().physical_reads;
+
+        assert!(
+            tree_io < scan_io,
+            "x-tree should be selective on low-d data: {tree_io} vs {scan_io}"
+        );
+    }
+
+    #[test]
+    fn bounded_knn_respects_both_conditions() {
+        let ds = grid_dataset();
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let q = Vector::new(vec![0.0, 0.0]);
+        // Only 3 points within distance 1.1 of the corner: (0,0),(1,0),(0,1).
+        let t = QueryType::bounded_knn(10, 1.1);
+        let answers = similarity_query(&disk, &scan, &Euclidean, &q, &t);
+        assert_eq!(answers.len(), 3);
+        // And with k=2, the cardinality bound dominates.
+        let t = QueryType::bounded_knn(2, 1.1);
+        let answers = similarity_query(&disk, &scan, &Euclidean, &q, &t);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers.as_slice()[0].distance, 0.0);
+    }
+
+    #[test]
+    fn knn_on_database_smaller_than_k_returns_everything() {
+        let ds = Dataset::new(vec![
+            Vector::new(vec![0.0, 0.0]),
+            Vector::new(vec![1.0, 1.0]),
+        ]);
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let q = Vector::new(vec![0.0, 0.0]);
+        let answers = similarity_query(&disk, &scan, &Euclidean, &q, &QueryType::knn(10));
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn empty_range_returns_only_exact_matches() {
+        let ds = grid_dataset();
+        let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let q = Vector::new(vec![4.0, 4.0]);
+        let answers = similarity_query(&disk, &scan, &Euclidean, &q, &QueryType::range(0.0));
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers.as_slice()[0].distance, 0.0);
+    }
+}

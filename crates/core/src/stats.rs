@@ -1,0 +1,231 @@
+//! Execution statistics and the combined cost model (`C = C_io + C_cpu`, §5).
+
+use crate::avoidance::AvoidanceStats;
+use mq_metric::{CpuCostModel, DistanceCounter};
+use mq_storage::{IoCostModel, IoStats, SimulatedDisk, StorageObject};
+use std::time::{Duration, Instant};
+
+/// Everything one query run cost: I/O counters, distance calculations,
+/// triangle-inequality counters, and measured wall-clock time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecutionStats {
+    /// Disk counters.
+    pub io: IoStats,
+    /// Distance calculations (including `QObjDists` initialization and any
+    /// metric-index routing distances).
+    pub dist_calcs: u64,
+    /// Triangle-inequality counters of §5.2.
+    pub avoidance: AvoidanceStats,
+    /// Measured wall-clock time on the current machine.
+    pub elapsed: Duration,
+}
+
+impl ExecutionStats {
+    /// Per-query average: divides every counter by `n`.
+    pub fn per_query(&self, n: u64) -> PerQueryCost {
+        let n = n.max(1) as f64;
+        PerQueryCost {
+            physical_reads: self.io.physical_reads as f64 / n,
+            logical_reads: self.io.logical_reads as f64 / n,
+            dist_calcs: self.dist_calcs as f64 / n,
+            comparisons: self.avoidance.tries as f64 / n,
+            elapsed_secs: self.elapsed.as_secs_f64() / n,
+        }
+    }
+}
+
+impl std::ops::Add for ExecutionStats {
+    type Output = ExecutionStats;
+
+    fn add(self, rhs: ExecutionStats) -> ExecutionStats {
+        ExecutionStats {
+            io: self.io + rhs.io,
+            dist_calcs: self.dist_calcs + rhs.dist_calcs,
+            avoidance: self.avoidance + rhs.avoidance,
+            elapsed: self.elapsed + rhs.elapsed,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ExecutionStats {
+    fn add_assign(&mut self, rhs: ExecutionStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-query averages, as reported in the paper's figures.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerQueryCost {
+    /// Physical page reads per query.
+    pub physical_reads: f64,
+    /// Logical page requests per query.
+    pub logical_reads: f64,
+    /// Distance calculations per query.
+    pub dist_calcs: f64,
+    /// Triangle-inequality comparisons per query.
+    pub comparisons: f64,
+    /// Measured seconds per query.
+    pub elapsed_secs: f64,
+}
+
+/// The combined cost model: converts [`ExecutionStats`] into modeled
+/// seconds using the paper's CPU constants and the documented disk
+/// constants, at a fixed data dimensionality.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// CPU constants (distance calculation, comparison).
+    pub cpu: CpuCostModel,
+    /// Disk constants (seek, transfer).
+    pub io: IoCostModel,
+    /// Dimensionality used to price a distance calculation.
+    pub dim: usize,
+}
+
+impl CostModel {
+    /// The paper's 1999 constants at dimensionality `dim`.
+    pub fn paper_1999(dim: usize) -> Self {
+        Self {
+            cpu: CpuCostModel::paper_1999(),
+            io: IoCostModel::paper_1999(),
+            dim,
+        }
+    }
+
+    /// Modeled I/O seconds.
+    pub fn io_seconds(&self, stats: &ExecutionStats) -> f64 {
+        self.io.io_seconds(&stats.io)
+    }
+
+    /// Modeled CPU seconds (§5.2 formula: distance calculations — which
+    /// include the `QObjDists` initialization — plus comparisons).
+    pub fn cpu_seconds(&self, stats: &ExecutionStats) -> f64 {
+        self.cpu
+            .cpu_seconds(self.dim, stats.dist_calcs, stats.avoidance.tries)
+    }
+
+    /// Modeled total seconds (`C = C_io + C_cpu`).
+    pub fn total_seconds(&self, stats: &ExecutionStats) -> f64 {
+        self.io_seconds(stats) + self.cpu_seconds(stats)
+    }
+}
+
+/// Captures a before/after window over the shared counters of one engine:
+/// take [`StatsProbe::start`] before the run, call
+/// [`StatsProbe::finish`] after it.
+pub struct StatsProbe {
+    io0: IoStats,
+    dist0: u64,
+    avoid0: AvoidanceStats,
+    counter: DistanceCounter,
+    started: Instant,
+}
+
+impl StatsProbe {
+    /// Starts a measurement window.
+    pub fn start<O: StorageObject>(
+        disk: &SimulatedDisk<O>,
+        counter: &DistanceCounter,
+        avoidance_now: AvoidanceStats,
+    ) -> Self {
+        Self {
+            io0: disk.stats(),
+            dist0: counter.get(),
+            avoid0: avoidance_now,
+            counter: counter.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Ends the window and returns the deltas.
+    pub fn finish<O: StorageObject>(
+        self,
+        disk: &SimulatedDisk<O>,
+        avoidance_now: AvoidanceStats,
+    ) -> ExecutionStats {
+        ExecutionStats {
+            io: disk.stats() - self.io0,
+            dist_calcs: self.counter.get() - self.dist0,
+            avoidance: AvoidanceStats {
+                tries: avoidance_now.tries - self.avoid0.tries,
+                avoided: avoidance_now.avoided - self.avoid0.avoided,
+                computed: avoidance_now.computed - self.avoid0.computed,
+            },
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_combines_io_and_cpu() {
+        let model = CostModel::paper_1999(20);
+        let stats = ExecutionStats {
+            io: IoStats {
+                logical_reads: 100,
+                buffer_hits: 0,
+                physical_reads: 100,
+                random_reads: 10,
+                sequential_reads: 90,
+            },
+            dist_calcs: 1_000_000,
+            avoidance: AvoidanceStats {
+                tries: 500_000,
+                avoided: 400_000,
+                computed: 600_000,
+            },
+            elapsed: Duration::from_millis(5),
+        };
+        // IO: 10*(8ms) + 90*4ms = 440ms; CPU: 1e6*4.3µs + 5e5*0.082µs.
+        assert!((model.io_seconds(&stats) - 0.44).abs() < 1e-9);
+        assert!((model.cpu_seconds(&stats) - (4.3 + 0.041)).abs() < 1e-6);
+        assert!((model.total_seconds(&stats) - (0.44 + 4.341)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_query_averages() {
+        let stats = ExecutionStats {
+            io: IoStats {
+                logical_reads: 100,
+                physical_reads: 50,
+                ..Default::default()
+            },
+            dist_calcs: 1000,
+            avoidance: AvoidanceStats {
+                tries: 200,
+                avoided: 100,
+                computed: 900,
+            },
+            elapsed: Duration::from_secs(2),
+        };
+        let per = stats.per_query(10);
+        assert!((per.physical_reads - 5.0).abs() < 1e-12);
+        assert!((per.logical_reads - 10.0).abs() < 1e-12);
+        assert!((per.dist_calcs - 100.0).abs() < 1e-12);
+        assert!((per.comparisons - 20.0).abs() < 1e-12);
+        assert!((per.elapsed_secs - 0.2).abs() < 1e-12);
+        // n = 0 is treated as 1 to avoid division by zero.
+        let per0 = stats.per_query(0);
+        assert!((per0.dist_calcs - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_addition() {
+        let a = ExecutionStats {
+            dist_calcs: 5,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let b = ExecutionStats {
+            dist_calcs: 7,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        let mut s = a;
+        s += b;
+        assert_eq!(s.dist_calcs, 12);
+        assert_eq!(s.elapsed, Duration::from_secs(3));
+    }
+}

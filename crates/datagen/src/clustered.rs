@@ -1,0 +1,97 @@
+//! Gaussian-mixture generator — the building block for clustered datasets.
+
+use mq_metric::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws one standard-normal sample via Box–Muller (keeping the dependency
+/// set to plain `rand`).
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` vectors from a mixture of `k` isotropic Gaussians with the given
+/// per-dimension standard deviation; centers are uniform in `[0, 1)^dim`.
+/// Returns the vectors and the generating component of each (ground truth
+/// for clustering tests).
+pub fn gaussian_mixture(
+    n: usize,
+    dim: usize,
+    k: usize,
+    spread: f64,
+    seed: u64,
+) -> (Vec<Vector>, Vec<usize>) {
+    assert!(dim > 0, "dimensionality must be positive");
+    assert!(k > 0, "need at least one component");
+    assert!(spread >= 0.0, "spread must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let mut vectors = Vec::with_capacity(n);
+    let mut components = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.random_range(0..k);
+        let v: Vec<f32> = centers[c]
+            .iter()
+            .map(|&mu| (mu + spread * standard_normal(&mut rng)) as f32)
+            .collect();
+        vectors.push(Vector::new(v));
+        components.push(c);
+    }
+    (vectors, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{Euclidean, Metric};
+
+    #[test]
+    fn shape_and_reproducibility() {
+        let (a, ca) = gaussian_mixture(200, 5, 4, 0.01, 9);
+        let (b, cb) = gaussian_mixture(200, 5, 4, 0.01, 9);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert_eq!(a.len(), 200);
+        assert!(ca.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn points_cluster_around_their_component() {
+        let (v, comp) = gaussian_mixture(500, 4, 3, 0.005, 11);
+        // Average intra-component distance must be far below the average
+        // cross-component distance.
+        let mut intra = (0.0, 0u32);
+        let mut cross = (0.0, 0u32);
+        for i in (0..v.len()).step_by(7) {
+            for j in (0..v.len()).step_by(13) {
+                if i == j {
+                    continue;
+                }
+                let d = Euclidean.distance(&v[i], &v[j]);
+                if comp[i] == comp[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f64;
+        let cross = cross.0 / cross.1 as f64;
+        assert!(intra * 5.0 < cross, "intra {intra} vs cross {cross}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

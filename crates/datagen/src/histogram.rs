@@ -1,0 +1,153 @@
+//! The image-database stand-in: clustered 64-d color histograms.
+//!
+//! The paper's second dataset is 112,000 64-d color histograms of TV
+//! snapshots, described as *"highly clustered"* (§6.2) — TV material reuses
+//! scenes, sets and color grading, so histograms pile up around a limited
+//! number of looks. We reproduce that structure with a Gaussian mixture
+//! whose samples are projected onto the probability simplex (non-negative
+//! components summing to one — a histogram).
+
+use crate::clustered::standard_normal;
+use mq_metric::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default dimensionality of the image histograms (paper: 64).
+pub const HISTOGRAM_DIM: usize = 64;
+
+/// Default number of clusters ("looks") in the generated image database.
+pub const DEFAULT_CLUSTERS: usize = 80;
+
+/// `n` clustered color histograms of dimensionality [`HISTOGRAM_DIM`] with
+/// [`DEFAULT_CLUSTERS`] clusters.
+pub fn image_histograms(n: usize, seed: u64) -> Vec<Vector> {
+    image_histograms_config(n, HISTOGRAM_DIM, DEFAULT_CLUSTERS, 0.004, seed)
+}
+
+/// Fully parameterized histogram generator: `clusters` mixture components
+/// of per-bin noise `spread`, projected onto the simplex.
+pub fn image_histograms_config(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f64,
+    seed: u64,
+) -> Vec<Vector> {
+    assert!(dim > 0, "dimensionality must be positive");
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Cluster centers: sparse random histograms (a TV "look" concentrates
+    // mass in a few color bins).
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| {
+            let mut c = vec![0.0f64; dim];
+            let active = rng.random_range(3..=(dim / 4).max(4));
+            for _ in 0..active {
+                let bin = rng.random_range(0..dim);
+                c[bin] += rng.random::<f64>();
+            }
+            normalize(&mut c);
+            c
+        })
+        .collect();
+
+    (0..n)
+        .map(|_| {
+            let c = rng.random_range(0..clusters);
+            let mut h: Vec<f64> = centers[c]
+                .iter()
+                .map(|&mu| (mu + spread * standard_normal(&mut rng)).max(0.0))
+                .collect();
+            normalize(&mut h);
+            Vector::new(h.iter().map(|&x| x as f32).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+fn normalize(h: &mut [f64]) {
+    let sum: f64 = h.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate sample: fall back to the uniform histogram.
+        let u = 1.0 / h.len() as f64;
+        h.iter_mut().for_each(|x| *x = u);
+    } else {
+        h.iter_mut().for_each(|x| *x /= sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{Euclidean, Metric};
+
+    #[test]
+    fn histograms_live_on_the_simplex() {
+        let data = image_histograms(200, 3);
+        assert_eq!(data.len(), 200);
+        for h in &data {
+            assert_eq!(h.dim(), HISTOGRAM_DIM);
+            assert!(h.components().iter().all(|&c| c >= 0.0));
+            assert!((h.sum() - 1.0).abs() < 1e-3, "sum = {}", h.sum());
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        assert_eq!(image_histograms(50, 9), image_histograms(50, 9));
+        assert_ne!(image_histograms(50, 9), image_histograms(50, 10));
+    }
+
+    #[test]
+    fn highly_clustered_structure() {
+        // Nearest-neighbor distances must be much smaller than average
+        // pairwise distances — the signature of a clustered database.
+        let data = image_histograms_config(400, 32, 12, 0.003, 21);
+        let mut nn_sum = 0.0;
+        let mut all_sum = 0.0;
+        let mut all_cnt = 0u32;
+        for i in 0..data.len() {
+            let mut nn = f64::INFINITY;
+            for j in 0..data.len() {
+                if i == j {
+                    continue;
+                }
+                let d = Euclidean.distance(&data[i], &data[j]);
+                nn = nn.min(d);
+                if i < j {
+                    all_sum += d;
+                    all_cnt += 1;
+                }
+            }
+            nn_sum += nn;
+        }
+        let mean_nn = nn_sum / data.len() as f64;
+        let mean_all = all_sum / all_cnt as f64;
+        assert!(
+            mean_nn * 5.0 < mean_all,
+            "not clustered: mean NN {mean_nn} vs mean pairwise {mean_all}"
+        );
+    }
+
+    #[test]
+    fn cluster_count_affects_structure() {
+        // More clusters → larger typical nearest-neighbor distance for the
+        // same n (mass spread over more looks).
+        let few = image_histograms_config(300, 32, 4, 0.003, 5);
+        let many = image_histograms_config(300, 32, 100, 0.003, 5);
+        let mean_nn = |data: &[Vector]| {
+            let mut s = 0.0;
+            for i in 0..data.len() {
+                let mut nn = f64::INFINITY;
+                for j in 0..data.len() {
+                    if i != j {
+                        nn = nn.min(Euclidean.distance(&data[i], &data[j]));
+                    }
+                }
+                s += nn;
+            }
+            s / data.len() as f64
+        };
+        assert!(mean_nn(&few) < mean_nn(&many));
+    }
+}

@@ -1,0 +1,115 @@
+//! Class labels for the simultaneous-classification experiment (§3.2, §6).
+//!
+//! The astronomy use case classifies each new star into one of the
+//! well-known classes with a k-NN classifier. Our synthetic stars need
+//! ground-truth classes with the property a k-NN classifier relies on:
+//! *nearby objects mostly share a class*. We achieve that by cutting the
+//! feature space with random hyperplanes — each cell of the arrangement is
+//! one class region — and flipping a small fraction of labels as noise.
+
+use mq_metric::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Assigns one of `num_classes` labels to each vector, locally consistent
+/// (hyperplane arrangement) with `noise` fraction of random flips.
+pub fn assign_labels(data: &[Vector], num_classes: usize, noise: f64, seed: u64) -> Vec<usize> {
+    assert!(num_classes > 0, "need at least one class");
+    assert!((0.0..=1.0).contains(&noise), "noise must be a fraction");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let dim = data[0].dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Enough hyperplanes to distinguish the classes: ceil(log2(num_classes)) + 1.
+    let planes = (usize::BITS - (num_classes - 1).leading_zeros()).max(1) as usize + 1;
+    let normals: Vec<Vec<f64>> = (0..planes)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>() - 0.5).collect())
+        .collect();
+    let offsets: Vec<f64> = (0..planes)
+        .map(|p| {
+            // Center each plane on the data's typical projection.
+            let mean: f64 =
+                data.iter().map(|v| dot(&normals[p], v)).sum::<f64>() / data.len() as f64;
+            mean
+        })
+        .collect();
+    data.iter()
+        .map(|v| {
+            let mut cell = 0usize;
+            for p in 0..planes {
+                cell = (cell << 1) | usize::from(dot(&normals[p], v) > offsets[p]);
+            }
+            let label = cell % num_classes;
+            if rng.random::<f64>() < noise {
+                rng.random_range(0..num_classes)
+            } else {
+                label
+            }
+        })
+        .collect()
+}
+
+fn dot(n: &[f64], v: &Vector) -> f64 {
+    n.iter()
+        .zip(v.components())
+        .map(|(a, &b)| a * b as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::uniform_vectors;
+    use mq_metric::{Euclidean, Metric};
+
+    #[test]
+    fn labels_in_range_and_reproducible() {
+        let data = uniform_vectors(300, 6, 2);
+        let a = assign_labels(&data, 4, 0.02, 7);
+        let b = assign_labels(&data, 4, 0.02, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&l| l < 4));
+        assert_eq!(a.len(), 300);
+    }
+
+    #[test]
+    fn all_classes_present() {
+        let data = uniform_vectors(2000, 6, 3);
+        let labels = assign_labels(&data, 3, 0.0, 11);
+        for c in 0..3 {
+            assert!(labels.contains(&c), "class {c} missing");
+        }
+    }
+
+    #[test]
+    fn labels_are_locally_consistent() {
+        // The 1-NN of an object should share its label far more often than
+        // the 1/num_classes chance level.
+        let data = uniform_vectors(600, 4, 5);
+        let labels = assign_labels(&data, 3, 0.0, 13);
+        let mut agree = 0;
+        for i in 0..data.len() {
+            let mut best = (f64::INFINITY, 0usize);
+            for j in 0..data.len() {
+                if i == j {
+                    continue;
+                }
+                let d = Euclidean.distance(&data[i], &data[j]);
+                if d < best.0 {
+                    best = (d, j);
+                }
+            }
+            if labels[i] == labels[best.1] {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / data.len() as f64;
+        assert!(rate > 0.7, "1-NN label agreement only {rate}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_labels(&[], 3, 0.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Web-session data: the non-vector metric-database case of §1.
+//!
+//! The paper motivates general metric databases with WWW access logs whose
+//! objects are *sessions* — sequences of visited URLs — compared by a
+//! metric such as edit distance. This generator produces sessions as random
+//! walks over a synthetic site graph: users follow "trails" (popular
+//! navigation paths) with occasional detours, so sessions cluster around
+//! trails just like real click-streams.
+
+use mq_metric::Symbols;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the session generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Number of distinct URLs on the synthetic site.
+    pub num_urls: u32,
+    /// Number of popular navigation trails sessions cluster around.
+    pub num_trails: usize,
+    /// Trail length range (inclusive).
+    pub trail_len: (usize, usize),
+    /// Probability of a detour (random URL) at each step.
+    pub detour_prob: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            num_urls: 500,
+            num_trails: 20,
+            trail_len: (5, 12),
+            detour_prob: 0.15,
+        }
+    }
+}
+
+/// Generates `n` web sessions. Returns the sessions and the trail each one
+/// followed (ground truth for clustering).
+pub fn web_sessions(n: usize, cfg: SessionConfig, seed: u64) -> (Vec<Symbols>, Vec<usize>) {
+    assert!(cfg.num_urls > 0, "need at least one URL");
+    assert!(cfg.num_trails > 0, "need at least one trail");
+    assert!(
+        cfg.trail_len.0 >= 1 && cfg.trail_len.0 <= cfg.trail_len.1,
+        "bad trail length range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trails: Vec<Vec<u32>> = (0..cfg.num_trails)
+        .map(|_| {
+            let len = rng.random_range(cfg.trail_len.0..=cfg.trail_len.1);
+            (0..len)
+                .map(|_| rng.random_range(0..cfg.num_urls))
+                .collect()
+        })
+        .collect();
+    let mut sessions = Vec::with_capacity(n);
+    let mut origins = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = rng.random_range(0..cfg.num_trails);
+        let mut s: Vec<u32> = Vec::with_capacity(trails[t].len() + 2);
+        for &url in &trails[t] {
+            if rng.random::<f64>() < cfg.detour_prob {
+                s.push(rng.random_range(0..cfg.num_urls));
+            }
+            // Occasionally skip a trail step.
+            if rng.random::<f64>() < cfg.detour_prob / 2.0 {
+                continue;
+            }
+            s.push(url);
+        }
+        if s.is_empty() {
+            s.push(trails[t][0]);
+        }
+        sessions.push(Symbols::new(s));
+        origins.push(t);
+    }
+    (sessions, origins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{EditDistance, Metric};
+
+    #[test]
+    fn shape_and_reproducibility() {
+        let cfg = SessionConfig::default();
+        let (a, ta) = web_sessions(50, cfg, 3);
+        let (b, tb) = web_sessions(50, cfg, 3);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn same_trail_sessions_are_closer() {
+        let cfg = SessionConfig {
+            num_trails: 4,
+            detour_prob: 0.1,
+            ..Default::default()
+        };
+        let (sessions, trails) = web_sessions(120, cfg, 7);
+        let mut intra = (0.0, 0u32);
+        let mut cross = (0.0, 0u32);
+        for i in 0..sessions.len() {
+            for j in (i + 1)..sessions.len() {
+                let d = EditDistance.distance(&sessions[i], &sessions[j]);
+                if trails[i] == trails[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f64;
+        let cross = cross.0 / cross.1 as f64;
+        assert!(intra < cross, "intra {intra} vs cross {cross}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad trail length range")]
+    fn invalid_trail_range_rejected() {
+        let cfg = SessionConfig {
+            trail_len: (5, 3),
+            ..Default::default()
+        };
+        let _ = web_sessions(1, cfg, 1);
+    }
+}

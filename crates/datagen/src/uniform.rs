@@ -1,0 +1,43 @@
+//! Uniform random vectors — the simplest workload and the reference
+//! distribution for index stress tests.
+
+use mq_metric::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `n` vectors uniform in `[0, 1)^dim`, reproducibly seeded.
+pub fn uniform_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    assert!(dim > 0, "dimensionality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Vector::new((0..dim).map(|_| rng.random::<f32>()).collect::<Vec<_>>()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let v = uniform_vectors(100, 8, 1);
+        assert_eq!(v.len(), 100);
+        for x in &v {
+            assert_eq!(x.dim(), 8);
+            assert!(x.components().iter().all(|&c| (0.0..1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        assert_eq!(uniform_vectors(10, 4, 42), uniform_vectors(10, 4, 42));
+        assert_ne!(uniform_vectors(10, 4, 42), uniform_vectors(10, 4, 43));
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let v = uniform_vectors(2000, 2, 7);
+        let mean: f64 = v.iter().map(|x| x.components()[0] as f64).sum::<f64>() / 2000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean = {mean}");
+    }
+}

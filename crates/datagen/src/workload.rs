@@ -1,0 +1,118 @@
+//! The two §6 query workloads.
+//!
+//! * **Simultaneous classification** (astronomy database): *"M objects from
+//!   the database were chosen randomly and a k-nearest neighbor query was
+//!   performed for each"* — independent queries;
+//! * **Manual data exploration** (image database): `c` concurrent users,
+//!   each starting at a random object; in each round the k-NN of every
+//!   current answer are prefetched, each user picks one of their k answers,
+//!   and the loop continues — `m = c × k` new, highly *dependent* query
+//!   objects per round.
+//!
+//! The classification workload is pure data (query ids) and lives here; the
+//! exploration loop interacts with the engine and is implemented in
+//! `mq-mining::explore_users`, parameterized by [`ExplorationConfig`].
+
+use mq_metric::ObjectId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draws `m` distinct random object ids from a database of `n` objects —
+/// the simultaneous-classification query set.
+///
+/// # Panics
+/// Panics if `m > n`.
+pub fn classification_query_ids(n: usize, m: usize, seed: u64) -> Vec<ObjectId> {
+    assert!(m <= n, "cannot draw {m} distinct objects from {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(m);
+    ids.into_iter().map(ObjectId).collect()
+}
+
+/// Parameters of the §6 manual-exploration workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplorationConfig {
+    /// Number of concurrent hypothetical users (`c`).
+    pub users: usize,
+    /// Neighbors fetched per query (`k`); the paper uses 20 on the image
+    /// database. Each round issues `m = c × k` queries.
+    pub k: usize,
+    /// Number of exploration rounds to run.
+    pub rounds: usize,
+    /// Seed for the users' random choices.
+    pub seed: u64,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        Self {
+            users: 5,
+            k: 20,
+            rounds: 3,
+            seed: 42,
+        }
+    }
+}
+
+impl ExplorationConfig {
+    /// Queries issued per round (`m = c × k`).
+    pub fn queries_per_round(&self) -> usize {
+        self.users * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_ids_within_range() {
+        let ids = classification_query_ids(100, 30, 1);
+        assert_eq!(ids.len(), 30);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "ids must be distinct");
+        assert!(ids.iter().all(|id| id.index() < 100));
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        assert_eq!(
+            classification_query_ids(50, 10, 5),
+            classification_query_ids(50, 10, 5)
+        );
+        assert_ne!(
+            classification_query_ids(50, 10, 5),
+            classification_query_ids(50, 10, 6)
+        );
+    }
+
+    #[test]
+    fn full_draw() {
+        let ids = classification_query_ids(10, 10, 2);
+        let mut sorted = ids;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10u32).map(ObjectId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn overdraw_rejected() {
+        let _ = classification_query_ids(5, 6, 1);
+    }
+
+    #[test]
+    fn exploration_config() {
+        let cfg = ExplorationConfig {
+            users: 5,
+            k: 20,
+            rounds: 3,
+            seed: 1,
+        };
+        assert_eq!(cfg.queries_per_round(), 100);
+    }
+}

@@ -1,0 +1,319 @@
+//! Dynamic M-tree construction: insertion, promotion, partition.
+
+use super::MTreeConfig;
+use mq_metric::{Metric, ObjectId};
+
+pub(super) struct LeafItem<O> {
+    pub id: ObjectId,
+    pub obj: O,
+}
+
+pub(super) struct RouteItem<O> {
+    pub router: O,
+    pub radius: f64,
+    pub child: u32,
+}
+
+pub(super) enum MNode<O> {
+    Leaf(Vec<LeafItem<O>>),
+    Dir(Vec<RouteItem<O>>),
+}
+
+pub(super) struct Builder<'m, O, M> {
+    pub metric: &'m M,
+    pub nodes: Vec<MNode<O>>,
+    pub root: u32,
+    leaf_cap: usize,
+    dir_cap: usize,
+    min_fill: f64,
+    samples: usize,
+    rng: u64,
+}
+
+/// Result of an insertion step: either the subtree's covering requirement
+/// for the chosen child grew, or the child split into two routed nodes.
+enum Outcome<O> {
+    Done,
+    Split {
+        first: RouteItem<O>,
+        second: RouteItem<O>,
+    },
+}
+
+impl<'m, O: Clone, M: Metric<O>> Builder<'m, O, M> {
+    pub(super) fn new(metric: &'m M, cfg: &MTreeConfig, payload_bytes: usize) -> Self {
+        Self {
+            metric,
+            nodes: vec![MNode::Leaf(Vec::new())],
+            root: 0,
+            leaf_cap: cfg.leaf_capacity(payload_bytes),
+            dir_cap: cfg.dir_capacity(payload_bytes),
+            min_fill: cfg.min_fill,
+            samples: cfg.promotion_samples.max(1),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_rand(&mut self, bound: usize) -> usize {
+        // xorshift64*: deterministic sampling without external dependencies.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as usize) % bound.max(1)
+    }
+
+    pub(super) fn insert(&mut self, id: ObjectId, obj: O) {
+        match self.insert_rec(self.root, id, obj) {
+            Outcome::Done => {}
+            Outcome::Split { first, second } => {
+                let new_root = MNode::Dir(vec![first, second]);
+                self.nodes.push(new_root);
+                self.root = (self.nodes.len() - 1) as u32;
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, id: ObjectId, obj: O) -> Outcome<O> {
+        match &self.nodes[node as usize] {
+            MNode::Leaf(_) => {
+                let MNode::Leaf(items) = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                items.push(LeafItem { id, obj });
+                if items.len() <= self.leaf_cap {
+                    return Outcome::Done;
+                }
+                self.split_leaf(node)
+            }
+            MNode::Dir(entries) => {
+                // ChooseSubtree: prefer a router already covering the object
+                // (min distance); otherwise minimal radius enlargement.
+                let mut best: Option<(usize, f64, bool)> = None; // (idx, key, covered)
+                let mut dists = Vec::with_capacity(entries.len());
+                for (i, e) in entries.iter().enumerate() {
+                    let d = self.metric.distance(&obj, &e.router);
+                    dists.push(d);
+                    let covered = d <= e.radius;
+                    let key = if covered { d } else { d - e.radius };
+                    let better = match best {
+                        None => true,
+                        Some((_, bk, bc)) => (covered && !bc) || (covered == bc && key < bk),
+                    };
+                    if better {
+                        best = Some((i, key, covered));
+                    }
+                }
+                let (chosen, _, _) = best.expect("directory node has entries");
+                let d_chosen = dists[chosen];
+                {
+                    let MNode::Dir(entries) = &mut self.nodes[node as usize] else {
+                        unreachable!()
+                    };
+                    let e = &mut entries[chosen];
+                    if d_chosen > e.radius {
+                        e.radius = d_chosen;
+                    }
+                }
+                let child = match &self.nodes[node as usize] {
+                    MNode::Dir(entries) => entries[chosen].child,
+                    MNode::Leaf(_) => unreachable!(),
+                };
+                match self.insert_rec(child, id, obj) {
+                    Outcome::Done => Outcome::Done,
+                    Outcome::Split { first, second } => {
+                        let MNode::Dir(entries) = &mut self.nodes[node as usize] else {
+                            unreachable!()
+                        };
+                        entries[chosen] = first;
+                        entries.push(second);
+                        if entries.len() <= self.dir_cap {
+                            Outcome::Done
+                        } else {
+                            self.split_dir(node)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits an overflowing leaf: sample promotion pairs, partition items
+    /// to the nearer router, keep the pair minimizing the larger covering
+    /// radius (sampled mM_RAD policy).
+    fn split_leaf(&mut self, node: u32) -> Outcome<O> {
+        let MNode::Leaf(items) = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        let items = std::mem::take(items);
+        let n = items.len();
+        let min_fill = ((n as f64 * self.min_fill) as usize).max(1);
+
+        let mut best: Option<(f64, usize, usize)> = None;
+        for _ in 0..self.samples {
+            let a = self.next_rand(n);
+            let mut b = self.next_rand(n);
+            if b == a {
+                b = (a + 1) % n;
+            }
+            let score = self.partition_score(
+                &items.iter().map(|it| &it.obj).collect::<Vec<_>>(),
+                a,
+                b,
+                min_fill,
+            );
+            if best.is_none_or(|(s, _, _)| score < s) {
+                best = Some((score, a, b));
+            }
+        }
+        let (_, pa, pb) = best.expect("at least one promotion sampled");
+        let objs: Vec<&O> = items.iter().map(|it| &it.obj).collect();
+        let (assign_a, ra, rb) = self.partition(&objs, pa, pb, min_fill);
+        let router_a = items[pa].obj.clone();
+        let router_b = items[pb].obj.clone();
+        let mut first_items = Vec::new();
+        let mut second_items = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            if assign_a[i] {
+                first_items.push(item);
+            } else {
+                second_items.push(item);
+            }
+        }
+        self.nodes[node as usize] = MNode::Leaf(first_items);
+        self.nodes.push(MNode::Leaf(second_items));
+        let sibling = (self.nodes.len() - 1) as u32;
+        Outcome::Split {
+            first: RouteItem {
+                router: router_a,
+                radius: ra,
+                child: node,
+            },
+            second: RouteItem {
+                router: router_b,
+                radius: rb,
+                child: sibling,
+            },
+        }
+    }
+
+    /// Splits an overflowing directory node. Covering radii of the new
+    /// routers must cover each child subtree:
+    /// `dist(router, e.router) + e.radius`.
+    fn split_dir(&mut self, node: u32) -> Outcome<O> {
+        let MNode::Dir(entries) = &mut self.nodes[node as usize] else {
+            unreachable!()
+        };
+        let entries = std::mem::take(entries);
+        let n = entries.len();
+        let min_fill = ((n as f64 * self.min_fill) as usize).max(1);
+
+        let routers: Vec<&O> = entries.iter().map(|e| &e.router).collect();
+        let mut best: Option<(f64, usize, usize)> = None;
+        for _ in 0..self.samples {
+            let a = self.next_rand(n);
+            let mut b = self.next_rand(n);
+            if b == a {
+                b = (a + 1) % n;
+            }
+            let score = self.partition_score(&routers, a, b, min_fill);
+            if best.is_none_or(|(s, _, _)| score < s) {
+                best = Some((score, a, b));
+            }
+        }
+        let (_, pa, pb) = best.expect("at least one promotion sampled");
+        let (assign_a, _, _) = self.partition(&routers, pa, pb, min_fill);
+        let router_a = entries[pa].router.clone();
+        let router_b = entries[pb].router.clone();
+        let mut first_entries = Vec::new();
+        let mut second_entries = Vec::new();
+        let mut ra = 0.0f64;
+        let mut rb = 0.0f64;
+        for (i, e) in entries.into_iter().enumerate() {
+            if assign_a[i] {
+                ra = ra.max(self.metric.distance(&router_a, &e.router) + e.radius);
+                first_entries.push(e);
+            } else {
+                rb = rb.max(self.metric.distance(&router_b, &e.router) + e.radius);
+                second_entries.push(e);
+            }
+        }
+        self.nodes[node as usize] = MNode::Dir(first_entries);
+        self.nodes.push(MNode::Dir(second_entries));
+        let sibling = (self.nodes.len() - 1) as u32;
+        Outcome::Split {
+            first: RouteItem {
+                router: router_a,
+                radius: ra,
+                child: node,
+            },
+            second: RouteItem {
+                router: router_b,
+                radius: rb,
+                child: sibling,
+            },
+        }
+    }
+
+    /// Assigns each object to the nearer of the two promoted routers,
+    /// enforcing `min_fill` by reassigning boundary objects. Returns the
+    /// assignment (true = group A) and both covering radii.
+    fn partition(
+        &self,
+        objs: &[&O],
+        pa: usize,
+        pb: usize,
+        min_fill: usize,
+    ) -> (Vec<bool>, f64, f64) {
+        let n = objs.len();
+        let da: Vec<f64> = objs
+            .iter()
+            .map(|o| self.metric.distance(o, objs[pa]))
+            .collect();
+        let db: Vec<f64> = objs
+            .iter()
+            .map(|o| self.metric.distance(o, objs[pb]))
+            .collect();
+        let mut assign: Vec<bool> = (0..n).map(|i| da[i] <= db[i]).collect();
+        assign[pa] = true;
+        assign[pb] = false;
+        // Enforce minimum fill by moving the objects whose assignment costs
+        // the least to flip (generalized-hyperplane with balancing).
+        let balance = |assign: &mut Vec<bool>, to_a: bool| {
+            let count = assign.iter().filter(|&&x| x == to_a).count();
+            if count >= min_fill {
+                return;
+            }
+            let mut candidates: Vec<usize> = (0..n)
+                .filter(|&i| assign[i] != to_a && i != pa && i != pb)
+                .collect();
+            candidates.sort_by(|&i, &j| {
+                let ci = if to_a { da[i] - db[i] } else { db[i] - da[i] };
+                let cj = if to_a { da[j] - db[j] } else { db[j] - da[j] };
+                ci.partial_cmp(&cj).expect("finite distances")
+            });
+            for &i in candidates.iter().take(min_fill - count) {
+                assign[i] = to_a;
+            }
+        };
+        balance(&mut assign, true);
+        balance(&mut assign, false);
+        let mut ra = 0.0f64;
+        let mut rb = 0.0f64;
+        for i in 0..n {
+            if assign[i] {
+                ra = ra.max(da[i]);
+            } else {
+                rb = rb.max(db[i]);
+            }
+        }
+        (assign, ra, rb)
+    }
+
+    /// Split quality: the larger covering radius (mM_RAD criterion).
+    fn partition_score(&self, objs: &[&O], pa: usize, pb: usize, min_fill: usize) -> f64 {
+        let (_, ra, rb) = self.partition(objs, pa, pb, min_fill);
+        ra.max(rb)
+    }
+}

@@ -1,0 +1,497 @@
+//! The frozen (query-time) M-tree and its best-first page plan.
+
+use super::build::{Builder, MNode, RouteItem};
+use super::MTreeConfig;
+use crate::planner::{PagePlan, SimilarityIndex};
+use crate::util::MinHeap;
+use mq_metric::{Metric, ObjectId};
+use mq_storage::{Dataset, PageId, PagedDatabase, StorageObject};
+
+#[derive(Clone, Copy, Debug)]
+enum FTarget {
+    Dir(u32),
+    Page(PageId),
+}
+
+struct FEntry<O> {
+    router: O,
+    radius: f64,
+    /// `dist(router, parent router)`; `NaN` marks "no parent" (root level).
+    dist_to_parent: f64,
+    target: FTarget,
+}
+
+/// Construction statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MTreeStats {
+    /// Tree height including the leaf level.
+    pub height: usize,
+    /// Number of directory nodes.
+    pub dir_nodes: usize,
+    /// Number of data pages (leaves).
+    pub data_pages: usize,
+}
+
+/// The frozen M-tree over one paged database.
+///
+/// Holds the metric it was built with: query planning computes real
+/// distances (routing decisions in a metric index are distance
+/// calculations, and are counted by whatever counting wrapper the metric
+/// carries).
+///
+/// ```
+/// use mq_index::{MTree, MTreeConfig, SimilarityIndex};
+/// use mq_metric::{EditDistance, Symbols};
+/// use mq_storage::Dataset;
+///
+/// // A purely metric database: strings under edit distance.
+/// let words: Vec<Symbols> =
+///     ["query", "quarry", "berry", "merry", "metric", "matric", "matrix"]
+///         .iter().map(|w| Symbols::from(*w)).collect();
+/// let ds = Dataset::new(words);
+/// let (tree, db) = MTree::insert_load(&ds, EditDistance, MTreeConfig::default());
+/// assert_eq!(tree.page_count(), db.page_count());
+/// let query = Symbols::from("quern");
+/// let mut plan = tree.plan(&query);
+/// assert!(plan.next(2.0).is_some(), "a page within edit distance 2 exists");
+/// ```
+pub struct MTree<O, M> {
+    metric: M,
+    dirs: Vec<Vec<FEntry<O>>>,
+    root: Option<FTarget>,
+    /// Per data page: routing object and covering radius.
+    leaf_routers: Vec<(O, f64)>,
+    stats: MTreeStats,
+}
+
+impl<O: StorageObject, M: Metric<O>> MTree<O, M> {
+    /// Builds an M-tree by dynamic insertion and freezes it into a database
+    /// layout (leaf = data page, DFS page numbering).
+    pub fn insert_load(
+        dataset: &Dataset<O>,
+        metric: M,
+        cfg: MTreeConfig,
+    ) -> (Self, PagedDatabase<O>) {
+        let payload = dataset.max_payload_bytes();
+        let mut builder = Builder::new(&metric, &cfg, payload);
+        for (id, obj) in dataset.iter() {
+            builder.insert(id, obj.clone());
+        }
+
+        let mut groups: Vec<Vec<(ObjectId, O)>> = Vec::new();
+        let mut leaf_routers: Vec<(O, f64)> = Vec::new();
+        let mut dirs: Vec<Vec<FEntry<O>>> = Vec::new();
+
+        // DFS freeze. `route` carries the routing object governing the
+        // subtree (None at the root).
+        fn convert<O: Clone, M: Metric<O>>(
+            metric: &M,
+            nodes: &[MNode<O>],
+            node: u32,
+            route: Option<(&O, f64)>,
+            groups: &mut Vec<Vec<(ObjectId, O)>>,
+            leaf_routers: &mut Vec<(O, f64)>,
+            dirs: &mut Vec<Vec<FEntry<O>>>,
+        ) -> FTarget {
+            match &nodes[node as usize] {
+                MNode::Leaf(items) => {
+                    let page = PageId(groups.len() as u32);
+                    let (router, radius) = match route {
+                        Some((r, rad)) => (r.clone(), rad),
+                        None => {
+                            // Root leaf: promote the first object.
+                            let r = items.first().expect("frozen leaf non-empty").obj.clone();
+                            let rad = items
+                                .iter()
+                                .map(|it| metric.distance(&it.obj, &r))
+                                .fold(0.0f64, f64::max);
+                            (r, rad)
+                        }
+                    };
+                    groups.push(items.iter().map(|it| (it.id, it.obj.clone())).collect());
+                    leaf_routers.push((router, radius));
+                    FTarget::Page(page)
+                }
+                MNode::Dir(entries) => {
+                    let mut out = Vec::with_capacity(entries.len());
+                    for RouteItem {
+                        router,
+                        radius,
+                        child,
+                    } in entries
+                    {
+                        let target = convert(
+                            metric,
+                            nodes,
+                            *child,
+                            Some((router, *radius)),
+                            groups,
+                            leaf_routers,
+                            dirs,
+                        );
+                        let dist_to_parent = match route {
+                            Some((parent, _)) => metric.distance(router, parent),
+                            None => f64::NAN,
+                        };
+                        out.push(FEntry {
+                            router: router.clone(),
+                            radius: *radius,
+                            dist_to_parent,
+                            target,
+                        });
+                    }
+                    dirs.push(out);
+                    FTarget::Dir((dirs.len() - 1) as u32)
+                }
+            }
+        }
+
+        let has_objects = !dataset.is_empty();
+        let root = if has_objects {
+            Some(convert(
+                &metric,
+                &builder.nodes,
+                builder.root,
+                None,
+                &mut groups,
+                &mut leaf_routers,
+                &mut dirs,
+            ))
+        } else {
+            None
+        };
+
+        let height = height_of(&builder.nodes, builder.root);
+        let stats = MTreeStats {
+            height,
+            dir_nodes: dirs.len(),
+            data_pages: groups.len(),
+        };
+        let db = PagedDatabase::from_groups(groups, cfg.layout);
+        (
+            Self {
+                metric,
+                dirs,
+                root,
+                leaf_routers,
+                stats,
+            },
+            db,
+        )
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> MTreeStats {
+        self.stats
+    }
+
+    /// The routing object and covering radius of a data page.
+    pub fn leaf_router(&self, page: PageId) -> (&O, f64) {
+        let (r, rad) = &self.leaf_routers[page.index()];
+        (r, *rad)
+    }
+}
+
+fn height_of<O>(nodes: &[MNode<O>], node: u32) -> usize {
+    match &nodes[node as usize] {
+        MNode::Leaf(_) => 1,
+        MNode::Dir(entries) => {
+            1 + entries
+                .iter()
+                .map(|e| height_of(nodes, e.child))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// Heap item: a subtree plus the query-to-its-router distance (needed for
+/// the parent-distance prune when expanding it).
+struct Frontier {
+    target: FTarget,
+    query_to_router: f64, // NaN for the artificial root item
+}
+
+struct MTreePlan<'a, O, M> {
+    tree: &'a MTree<O, M>,
+    query: &'a O,
+    frontier: MinHeap<Frontier>,
+}
+
+impl<O: StorageObject, M: Metric<O>> PagePlan for MTreePlan<'_, O, M> {
+    fn next(&mut self, query_dist: f64) -> Option<(PageId, f64)> {
+        while let Some(top) = self.frontier.peek_prio() {
+            if top > query_dist {
+                self.frontier.clear();
+                return None;
+            }
+            let (lb, item) = self.frontier.pop().expect("frontier non-empty");
+            match item.target {
+                FTarget::Page(page) => return Some((page, lb)),
+                FTarget::Dir(idx) => {
+                    let parent_d = item.query_to_router;
+                    for e in &self.tree.dirs[idx as usize] {
+                        // Parent-distance prune: skip without a distance
+                        // calculation when the triangle inequality already
+                        // proves the subtree out of range.
+                        if !parent_d.is_nan()
+                            && !e.dist_to_parent.is_nan()
+                            && (parent_d - e.dist_to_parent).abs() - e.radius > query_dist
+                        {
+                            continue;
+                        }
+                        let d = self.tree.metric.distance(self.query, &e.router);
+                        let child_lb = (d - e.radius).max(0.0);
+                        if child_lb <= query_dist {
+                            self.frontier.push(
+                                child_lb,
+                                Frontier {
+                                    target: e.target,
+                                    query_to_router: d,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<O: StorageObject, M: Metric<O>> SimilarityIndex<O> for MTree<O, M> {
+    fn plan<'a>(&'a self, query: &'a O) -> Box<dyn PagePlan + 'a> {
+        let mut frontier = MinHeap::new();
+        match self.root {
+            Some(FTarget::Page(page)) => {
+                let (router, radius) = &self.leaf_routers[page.index()];
+                let d = self.metric.distance(query, router);
+                frontier.push(
+                    (d - radius).max(0.0),
+                    Frontier {
+                        target: FTarget::Page(page),
+                        query_to_router: d,
+                    },
+                );
+            }
+            Some(FTarget::Dir(idx)) => {
+                frontier.push(
+                    0.0,
+                    Frontier {
+                        target: FTarget::Dir(idx),
+                        query_to_router: f64::NAN,
+                    },
+                );
+            }
+            None => {}
+        }
+        Box::new(MTreePlan {
+            tree: self,
+            query,
+            frontier,
+        })
+    }
+
+    fn page_mindist(&self, query: &O, page: PageId) -> f64 {
+        let (router, radius) = &self.leaf_routers[page.index()];
+        (self.metric.distance(query, router) - radius).max(0.0)
+    }
+
+    fn page_count(&self) -> usize {
+        self.leaf_routers.len()
+    }
+
+    fn name(&self) -> &str {
+        "m-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{CountingMetric, EditDistance, Euclidean, Symbols, Vector};
+    use mq_storage::PageLayout;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Vector::new(
+                    (0..dim)
+                        .map(|_| (next() * 100.0) as f32)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> MTreeConfig {
+        MTreeConfig {
+            layout: PageLayout::new(200, 16),
+            ..MTreeConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_covers_all_objects() {
+        let ds = Dataset::new(random_points(300, 3, 41));
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        assert_eq!(db.object_count(), 300);
+        assert_eq!(tree.page_count(), db.page_count());
+        assert!(tree.stats().height >= 2);
+    }
+
+    #[test]
+    fn covering_radii_are_sound() {
+        let ds = Dataset::new(random_points(300, 3, 43));
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        for pid in db.page_ids() {
+            let (router, radius) = tree.leaf_router(pid);
+            for (_, obj) in db.page(pid).records() {
+                let d = Euclidean.distance(router, obj);
+                assert!(
+                    d <= radius + 1e-9,
+                    "object at distance {d} outside covering radius {radius} of {pid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_visits_all_pages_with_infinite_radius() {
+        let ds = Dataset::new(random_points(250, 3, 47));
+        let (tree, _db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        let q = Vector::new(vec![50.0, 50.0, 50.0]);
+        let mut plan = tree.plan(&q);
+        let mut pages = Vec::new();
+        while let Some((pid, _)) = plan.next(f64::INFINITY) {
+            pages.push(pid);
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        assert_eq!(pages.len(), tree.page_count());
+    }
+
+    #[test]
+    fn plan_lower_bounds_never_exceed_true_distances() {
+        let ds = Dataset::new(random_points(250, 3, 53));
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        let q = Vector::new(vec![10.0, 20.0, 30.0]);
+        let mut plan = tree.plan(&q);
+        while let Some((pid, lb)) = plan.next(f64::INFINITY) {
+            for (_, obj) in db.page(pid).records() {
+                assert!(
+                    lb <= Euclidean.distance(&q, obj) + 1e-9,
+                    "lower bound {lb} exceeds a true distance on {pid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_pruning_is_sound() {
+        let ds = Dataset::new(random_points(250, 3, 59));
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        let q = Vector::new(vec![0.0, 0.0, 0.0]);
+        let eps = 40.0;
+        let mut plan = tree.plan(&q);
+        let mut visited = std::collections::HashSet::new();
+        while let Some((pid, _)) = plan.next(eps) {
+            visited.insert(pid);
+        }
+        for pid in db.page_ids() {
+            for (oid, obj) in db.page(pid).records() {
+                if Euclidean.distance(&q, obj) <= eps {
+                    assert!(visited.contains(&pid), "answer {oid} on pruned page {pid}");
+                }
+            }
+        }
+        assert!(
+            visited.len() < db.page_count(),
+            "pruning should exclude some pages"
+        );
+    }
+
+    #[test]
+    fn parent_distance_prune_saves_distance_calculations() {
+        let ds = Dataset::new(random_points(400, 3, 61));
+        let counted = CountingMetric::new(Euclidean);
+        let counter = counted.counter().clone();
+        let (tree, _db) = MTree::insert_load(&ds, counted, tiny_cfg());
+        counter.reset();
+        let q = Vector::new(vec![5.0, 5.0, 5.0]);
+        let mut plan = tree.plan(&q);
+        while plan.next(5.0).is_some() {}
+        let with_prune = counter.get();
+        // Counting all routing entries gives the no-prune baseline.
+        let total_entries: u64 = tree.dirs.iter().map(|d| d.len() as u64).sum();
+        assert!(
+            with_prune < total_entries,
+            "parent-distance prune saved nothing: {with_prune} >= {total_entries}"
+        );
+    }
+
+    #[test]
+    fn works_with_edit_distance_objects() {
+        let words: Vec<Symbols> = [
+            "mining", "meaning", "metric", "matrix", "matter", "batter", "butter", "better",
+            "bitter", "letter", "latter", "ladder", "query", "queries", "quarry", "carry",
+            "cherry", "berry", "merry", "marry", "madam", "adam", "atom", "autumn",
+        ]
+        .iter()
+        .map(|w| Symbols::from(*w))
+        .collect();
+        let ds = Dataset::new(words.clone());
+        let cfg = MTreeConfig {
+            layout: PageLayout::new(120, 16),
+            ..MTreeConfig::default()
+        };
+        let (tree, db) = MTree::insert_load(&ds, EditDistance, cfg);
+        assert_eq!(db.object_count(), 24);
+        // Find everything within edit distance 2 of "matter".
+        let q = Symbols::from("matter");
+        let mut plan = tree.plan(&q);
+        let mut found = Vec::new();
+        while let Some((pid, _)) = plan.next(2.0) {
+            for (_, obj) in db.page(pid).records() {
+                if EditDistance.distance(&q, obj) <= 2.0 {
+                    found.push(obj.clone());
+                }
+            }
+        }
+        // Brute force reference.
+        let expected: Vec<&Symbols> = words
+            .iter()
+            .filter(|w| EditDistance.distance(&q, w) <= 2.0)
+            .collect();
+        assert_eq!(found.len(), expected.len());
+        assert!(found.iter().all(|f| expected.contains(&f)));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(Vec::<Vector>::new());
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        assert_eq!(db.page_count(), 0);
+        let q = Vector::new(vec![0.0]);
+        assert!(tree.plan(&q).next(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn single_page_root_leaf() {
+        let ds = Dataset::new(random_points(3, 3, 67));
+        let (tree, db) = MTree::insert_load(&ds, Euclidean, tiny_cfg());
+        assert_eq!(db.page_count(), 1);
+        assert_eq!(tree.stats().height, 1);
+        let q = Vector::new(vec![0.0, 0.0, 0.0]);
+        let mut plan = tree.plan(&q);
+        assert!(plan.next(f64::INFINITY).is_some());
+        assert!(plan.next(f64::INFINITY).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! The M-tree: a dynamic, paged index for *general metric spaces*
+//! (Ciaccia, Patella, Zezula — VLDB'97; paper ref. \[5\]).
+//!
+//! Where the X-tree needs vector coordinates, the M-tree organizes data by
+//! distances alone: directory entries are **routing objects** with
+//! **covering radii** (`dist(o, r) ≤ radius` for every object `o` in the
+//! subtree), and search prunes subtrees with the triangle inequality. This
+//! is the index the paper's title promises for metric (non-vector)
+//! databases such as the edit-distance URL sessions of §1.
+//!
+//! Two triangle-inequality prunes are implemented:
+//!
+//! 1. **Covering-radius prune** — a subtree can be skipped when
+//!    `dist(Q, router) − radius > QueryDist` (its lower bound exceeds the
+//!    query distance).
+//! 2. **Parent-distance prune** — skip *without computing* `dist(Q, router)`
+//!    when `|dist(Q, parent) − dist(router, parent)| − radius > QueryDist`,
+//!    using the precomputed router-to-parent distance.
+//!
+//! After construction the tree is frozen: leaves become data pages
+//! (DFS-ordered, like the X-tree) and each page keeps its routing object
+//! and covering radius so the engine can compute page relevance bounds.
+
+mod build;
+mod frozen;
+
+pub use frozen::{MTree, MTreeStats};
+
+use mq_storage::PageLayout;
+
+/// M-tree construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MTreeConfig {
+    /// Page layout shared with the storage layer.
+    pub layout: PageLayout,
+    /// Candidate promotion pairs sampled per split (higher = better splits,
+    /// more build-time distance computations).
+    pub promotion_samples: usize,
+    /// Minimum fill fraction per split group.
+    pub min_fill: f64,
+}
+
+impl Default for MTreeConfig {
+    fn default() -> Self {
+        Self {
+            layout: PageLayout::PAPER,
+            promotion_samples: 8,
+            min_fill: 0.3,
+        }
+    }
+}
+
+impl MTreeConfig {
+    /// Leaf (data page) capacity for objects of the given payload size.
+    pub fn leaf_capacity(&self, payload_bytes: usize) -> usize {
+        self.layout.capacity_for(payload_bytes).max(2)
+    }
+
+    /// Directory capacity: each routing entry stores an object copy plus
+    /// radius, parent distance and child pointer (24 bytes).
+    pub fn dir_capacity(&self, payload_bytes: usize) -> usize {
+        self.layout.capacity_for(payload_bytes + 24).max(2)
+    }
+}

@@ -1,0 +1,314 @@
+//! R\*-tree heuristics: ChooseSubtree and the topological split.
+//!
+//! The X-tree (paper ref. \[2\]) reuses the R\*-tree's insertion heuristics
+//! (Beckmann et al., SIGMOD'90 — paper ref. \[4\]) and adds supernodes when a
+//! split cannot avoid high overlap. This module implements the two R\*
+//! heuristics as free functions over slices of MBRs so that both leaf and
+//! directory nodes (and the tests) can reuse them.
+
+use crate::bbox::Mbr;
+
+/// Result of splitting a set of entries into two groups.
+#[derive(Clone, Debug)]
+pub struct SplitResult {
+    /// Indices of entries assigned to the first group.
+    pub first: Vec<usize>,
+    /// Indices of entries assigned to the second group.
+    pub second: Vec<usize>,
+    /// MBR of the first group.
+    pub first_mbr: Mbr,
+    /// MBR of the second group.
+    pub second_mbr: Mbr,
+    /// Volume of the intersection of the two group MBRs.
+    pub overlap: f64,
+}
+
+impl SplitResult {
+    /// Overlap fraction used for the X-tree supernode decision: intersection
+    /// volume over union-of-volumes (`0` when both groups are volume-free,
+    /// e.g. single points or axis-degenerate boxes).
+    pub fn overlap_fraction(&self) -> f64 {
+        let denom = self.first_mbr.area() + self.second_mbr.area() - self.overlap;
+        if denom <= 0.0 {
+            // Degenerate volumes: fall back to a margin-based proxy so that
+            // genuinely separated groups still report zero.
+            let m = self.first_mbr.margin() + self.second_mbr.margin();
+            if m <= 0.0 {
+                return 0.0;
+            }
+            let inter = self.first_mbr.overlap(&self.second_mbr);
+            return if inter > 0.0 { 1.0 } else { 0.0 };
+        }
+        (self.overlap / denom).clamp(0.0, 1.0)
+    }
+}
+
+fn union_of(mbrs: &[Mbr], idx: &[usize]) -> Mbr {
+    let mut it = idx.iter();
+    let first = *it.next().expect("group must be non-empty");
+    let mut u = mbrs[first].clone();
+    for &i in it {
+        u.expand_mbr(&mbrs[i]);
+    }
+    u
+}
+
+/// R\* topological split of `mbrs` into two groups, each with at least
+/// `min_fill` entries.
+///
+/// Axis choice: the axis minimizing the sum of group margins over all
+/// allowed distributions (computed for both the lower-bound and upper-bound
+/// sort orders). Distribution choice on that axis: minimal overlap volume,
+/// ties broken by minimal total area.
+///
+/// # Panics
+/// Panics if `mbrs.len() < 2` or `min_fill` leaves no legal distribution
+/// (`2 * min_fill > mbrs.len()`).
+pub fn rstar_split(mbrs: &[Mbr], min_fill: usize) -> SplitResult {
+    let n = mbrs.len();
+    assert!(n >= 2, "cannot split fewer than two entries");
+    let min_fill = min_fill.max(1);
+    assert!(
+        2 * min_fill <= n,
+        "min_fill {min_fill} leaves no legal distribution for {n} entries"
+    );
+    let dim = mbrs[0].dim();
+
+    // For each axis and sort order, evaluate all distributions using
+    // prefix/suffix MBR unions (O(n·d) per axis per order).
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    for axis in 0..dim {
+        let mut margin_sum = 0.0;
+        for by_upper in [false, true] {
+            let order = sorted_order(mbrs, axis, by_upper);
+            let (prefix, suffix) = prefix_suffix_unions(mbrs, &order);
+            for k in min_fill..=(n - min_fill) {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // On the chosen axis pick the distribution with minimal overlap
+    // (ties: minimal area).
+    let mut best: Option<(f64, f64, Vec<usize>, usize)> = None; // (overlap, area, order, k)
+    for by_upper in [false, true] {
+        let order = sorted_order(mbrs, best_axis, by_upper);
+        let (prefix, suffix) = prefix_suffix_unions(mbrs, &order);
+        for k in min_fill..=(n - min_fill) {
+            let (g1, g2) = (&prefix[k - 1], &suffix[k]);
+            let overlap = g1.overlap(g2);
+            let area = g1.area() + g2.area();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => {
+                    overlap < *bo - 1e-12 || ((overlap - *bo).abs() <= 1e-12 && area < *ba)
+                }
+            };
+            if better {
+                best = Some((overlap, area, order.clone(), k));
+            }
+        }
+    }
+    let (_, _, order, k) = best.expect("at least one distribution exists");
+    let first: Vec<usize> = order[..k].to_vec();
+    let second: Vec<usize> = order[k..].to_vec();
+    let first_mbr = union_of(mbrs, &first);
+    let second_mbr = union_of(mbrs, &second);
+    let overlap = first_mbr.overlap(&second_mbr);
+    SplitResult {
+        first,
+        second,
+        first_mbr,
+        second_mbr,
+        overlap,
+    }
+}
+
+fn sorted_order(mbrs: &[Mbr], axis: usize, by_upper: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..mbrs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ka, kb) = if by_upper {
+            (mbrs[a].hi()[axis], mbrs[b].hi()[axis])
+        } else {
+            (mbrs[a].lo()[axis], mbrs[b].lo()[axis])
+        };
+        ka.partial_cmp(&kb).expect("MBR bounds are finite")
+    });
+    order
+}
+
+/// `prefix[i]` = union of `order[..=i]`, `suffix[i]` = union of `order[i..]`.
+fn prefix_suffix_unions(mbrs: &[Mbr], order: &[usize]) -> (Vec<Mbr>, Vec<Mbr>) {
+    let n = order.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = mbrs[order[0]].clone();
+    prefix.push(acc.clone());
+    for &i in &order[1..] {
+        acc.expand_mbr(&mbrs[i]);
+        prefix.push(acc.clone());
+    }
+    let mut suffix = vec![mbrs[order[n - 1]].clone(); n];
+    for j in (0..n - 1).rev() {
+        let mut u = mbrs[order[j]].clone();
+        u.expand_mbr(&suffix[j + 1]);
+        suffix[j] = u;
+    }
+    (prefix, suffix)
+}
+
+/// R\* ChooseSubtree when the children are leaves: pick the child whose MBR
+/// needs the least *overlap enlargement* to absorb `new` (ties: least area
+/// enlargement, then least area).
+pub fn choose_subtree_leaf_level(children: &[Mbr], new: &Mbr) -> usize {
+    assert!(!children.is_empty(), "node has no children");
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for (i, child) in children.iter().enumerate() {
+        let enlarged = child.union(new);
+        let mut overlap_before = 0.0;
+        let mut overlap_after = 0.0;
+        for (j, other) in children.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            overlap_before += child.overlap(other);
+            overlap_after += enlarged.overlap(other);
+        }
+        let key = (
+            overlap_after - overlap_before,
+            enlarged.area() - child.area(),
+            child.area(),
+        );
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// R\* ChooseSubtree for inner directory levels: pick the child needing the
+/// least *area enlargement* (ties: least area).
+pub fn choose_subtree_inner(children: &[Mbr], new: &Mbr) -> usize {
+    assert!(!children.is_empty(), "node has no children");
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, child) in children.iter().enumerate() {
+        let enlarged = child.union(new);
+        let key = (enlarged.area() - child.area(), child.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::Vector;
+
+    fn point(x: f64, y: f64) -> Mbr {
+        Mbr::from_point(&Vector::new(vec![x as f32, y as f32]))
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clearly separated clusters of points along x.
+        let mbrs: Vec<Mbr> = vec![
+            point(0.0, 0.0),
+            point(1.0, 1.0),
+            point(0.5, 0.2),
+            point(10.0, 0.0),
+            point(11.0, 1.0),
+            point(10.5, 0.7),
+        ];
+        let split = rstar_split(&mbrs, 2);
+        assert_eq!(split.first.len() + split.second.len(), 6);
+        assert_eq!(split.overlap, 0.0);
+        assert_eq!(split.overlap_fraction(), 0.0);
+        // Each group contains one cluster.
+        let mut g1: Vec<usize> = split.first.clone();
+        g1.sort_unstable();
+        let mut g2: Vec<usize> = split.second.clone();
+        g2.sort_unstable();
+        let (low, high) = if g1[0] == 0 { (g1, g2) } else { (g2, g1) };
+        assert_eq!(low, vec![0, 1, 2]);
+        assert_eq!(high, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let mbrs: Vec<Mbr> = (0..10).map(|i| point(i as f64, 0.0)).collect();
+        let split = rstar_split(&mbrs, 4);
+        assert!(split.first.len() >= 4);
+        assert!(split.second.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no legal distribution")]
+    fn impossible_min_fill_rejected() {
+        let mbrs = vec![point(0.0, 0.0), point(1.0, 1.0), point(2.0, 2.0)];
+        let _ = rstar_split(&mbrs, 2);
+    }
+
+    #[test]
+    fn overlapping_boxes_report_positive_fraction() {
+        // Four heavily overlapping boxes: any 2/2 split overlaps.
+        let mbrs = vec![
+            Mbr::from_bounds(vec![0.0, 0.0], vec![10.0, 10.0]),
+            Mbr::from_bounds(vec![1.0, 1.0], vec![11.0, 11.0]),
+            Mbr::from_bounds(vec![0.0, 1.0], vec![10.0, 11.0]),
+            Mbr::from_bounds(vec![1.0, 0.0], vec![11.0, 10.0]),
+        ];
+        let split = rstar_split(&mbrs, 2);
+        assert!(split.overlap > 0.0);
+        assert!(
+            split.overlap_fraction() > 0.3,
+            "fraction = {}",
+            split.overlap_fraction()
+        );
+    }
+
+    #[test]
+    fn choose_subtree_prefers_containing_child() {
+        let children = vec![
+            Mbr::from_bounds(vec![0.0, 0.0], vec![5.0, 5.0]),
+            Mbr::from_bounds(vec![10.0, 10.0], vec![15.0, 15.0]),
+        ];
+        let new = point(2.0, 2.0);
+        assert_eq!(choose_subtree_leaf_level(&children, &new), 0);
+        assert_eq!(choose_subtree_inner(&children, &new), 0);
+        let new = point(12.0, 14.0);
+        assert_eq!(choose_subtree_leaf_level(&children, &new), 1);
+        assert_eq!(choose_subtree_inner(&children, &new), 1);
+    }
+
+    #[test]
+    fn choose_subtree_minimizes_overlap_enlargement() {
+        // Child 0 is big, child 1 small; point is equidistant-ish but
+        // enlarging child 1 toward it would create overlap with child 0.
+        let children = vec![
+            Mbr::from_bounds(vec![0.0, 0.0], vec![4.0, 4.0]),
+            Mbr::from_bounds(vec![5.0, 0.0], vec![6.0, 1.0]),
+        ];
+        // Inside child 0 → zero enlargement for it.
+        let new = point(3.5, 3.5);
+        assert_eq!(choose_subtree_leaf_level(&children, &new), 0);
+    }
+
+    #[test]
+    fn degenerate_point_split_fraction_is_zero() {
+        // All points collinear: group MBRs have zero volume, but if they do
+        // not intersect the fraction must be zero.
+        let mbrs: Vec<Mbr> = (0..6).map(|i| point(i as f64, 0.0)).collect();
+        let split = rstar_split(&mbrs, 2);
+        assert_eq!(split.overlap_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The linear scan "access method".
+//!
+//! §5.1: *"If the implementation is based on the linear scan, each data page
+//! is relevant"* — the scan serves all pages in physical order (pure
+//! sequential I/O) and provides no lower bounds (`page_mindist` is 0), so no
+//! page is ever pruned. In high dimensions this is often the best possible
+//! strategy (§2, citing the VA-file analysis).
+
+use crate::planner::{PagePlan, SimilarityIndex};
+use mq_storage::PageId;
+
+/// The linear scan over `page_count` data pages.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearScan {
+    page_count: usize,
+}
+
+impl LinearScan {
+    /// Creates a scan over a database with the given number of pages.
+    pub fn new(page_count: usize) -> Self {
+        Self { page_count }
+    }
+}
+
+struct ScanPlan {
+    next: u32,
+    end: u32,
+}
+
+impl PagePlan for ScanPlan {
+    fn next(&mut self, _query_dist: f64) -> Option<(PageId, f64)> {
+        if self.next == self.end {
+            return None;
+        }
+        let page = PageId(self.next);
+        self.next += 1;
+        Some((page, 0.0))
+    }
+}
+
+impl<O> SimilarityIndex<O> for LinearScan {
+    fn plan<'a>(&'a self, _query: &'a O) -> Box<dyn PagePlan + 'a> {
+        Box::new(ScanPlan {
+            next: 0,
+            end: self.page_count as u32,
+        })
+    }
+
+    fn page_mindist(&self, _query: &O, _page: PageId) -> f64 {
+        0.0
+    }
+
+    fn page_count(&self) -> usize {
+        self.page_count
+    }
+
+    fn name(&self) -> &str {
+        "scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::Vector;
+
+    #[test]
+    fn yields_all_pages_in_physical_order() {
+        let scan = LinearScan::new(4);
+        let q = Vector::new(vec![0.0]);
+        let mut plan = SimilarityIndex::<Vector>::plan(&scan, &q);
+        let mut got = Vec::new();
+        while let Some((pid, lb)) = plan.next(0.001) {
+            assert_eq!(lb, 0.0);
+            got.push(pid.0);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let scan = LinearScan::new(0);
+        let q = Vector::new(vec![0.0]);
+        let mut plan = SimilarityIndex::<Vector>::plan(&scan, &q);
+        assert!(plan.next(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn mindist_is_always_zero() {
+        let scan = LinearScan::new(2);
+        let q = Vector::new(vec![123.0]);
+        assert_eq!(
+            SimilarityIndex::<Vector>::page_mindist(&scan, &q, PageId(1)),
+            0.0
+        );
+        assert_eq!(SimilarityIndex::<Vector>::page_count(&scan), 2);
+        assert_eq!(SimilarityIndex::<Vector>::name(&scan), "scan");
+    }
+}

@@ -1,0 +1,421 @@
+//! Dynamic X-tree construction: R\* insertion plus supernodes.
+
+use super::frozen::{FrozenNodes, Target, XTree, XTreeStats};
+use super::XTreeConfig;
+use crate::bbox::Mbr;
+use crate::rstar::{choose_subtree_inner, choose_subtree_leaf_level, rstar_split};
+use mq_metric::{ObjectId, Vector};
+
+pub(super) enum BuildNode {
+    Leaf {
+        entries: Vec<(ObjectId, Vector)>,
+    },
+    Dir {
+        /// `(child MBR, child node index, child is leaf)`
+        children: Vec<(Mbr, u32)>,
+        children_are_leaves: bool,
+        /// Number of blocks this node occupies (> 1 ⇒ supernode).
+        blocks: u32,
+    },
+}
+
+pub(super) struct Builder {
+    cfg: XTreeConfig,
+    dim: usize,
+    nodes: Vec<BuildNode>,
+    root: u32,
+    supernode_events: u64,
+    /// Whether the current top-level insert already triggered a forced
+    /// reinsertion (R\*: once per level per insert; we reinsert at the
+    /// leaf level).
+    leaf_reinserted: bool,
+    /// Entries evicted by forced reinsertion, awaiting re-insertion.
+    pending_reinserts: Vec<(ObjectId, Vector)>,
+    reinsert_events: u64,
+}
+
+enum InsertOutcome {
+    /// Node absorbed the point; its MBR may have grown to `mbr`.
+    Grown { mbr: Mbr },
+    /// Node split into itself + a new sibling.
+    Split {
+        mbr: Mbr,
+        sibling: u32,
+        sibling_mbr: Mbr,
+    },
+}
+
+impl Builder {
+    pub(super) fn new(cfg: XTreeConfig, dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(
+            (0.0..1.0).contains(&cfg.max_overlap),
+            "max_overlap must be in [0, 1)"
+        );
+        assert!(
+            (0.0..=0.5).contains(&cfg.min_fill),
+            "min_fill must be in [0, 0.5]"
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.reinsert_fraction),
+            "reinsert_fraction must be in [0, 1)"
+        );
+        Self {
+            cfg,
+            dim,
+            nodes: vec![BuildNode::Leaf {
+                entries: Vec::new(),
+            }],
+            root: 0,
+            supernode_events: 0,
+            leaf_reinserted: false,
+            pending_reinserts: Vec::new(),
+            reinsert_events: 0,
+        }
+    }
+
+    pub(super) fn insert(&mut self, id: ObjectId, point: Vector) {
+        assert_eq!(point.dim(), self.dim, "point dimensionality mismatch");
+        self.leaf_reinserted = false;
+        self.insert_one(id, point);
+        // Forced reinsertion: re-route the evicted entries; with
+        // `leaf_reinserted` latched they split normally on overflow.
+        while let Some((rid, rpoint)) = self.pending_reinserts.pop() {
+            self.insert_one(rid, rpoint);
+        }
+    }
+
+    fn insert_one(&mut self, id: ObjectId, point: Vector) {
+        match self.insert_rec(self.root, id, point) {
+            InsertOutcome::Grown { .. } => {}
+            InsertOutcome::Split {
+                mbr,
+                sibling,
+                sibling_mbr,
+            } => {
+                let children_are_leaves =
+                    matches!(self.nodes[self.root as usize], BuildNode::Leaf { .. });
+                let new_root = BuildNode::Dir {
+                    children: vec![(mbr, self.root), (sibling_mbr, sibling)],
+                    children_are_leaves,
+                    blocks: 1,
+                };
+                self.nodes.push(new_root);
+                self.root = (self.nodes.len() - 1) as u32;
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, id: ObjectId, point: Vector) -> InsertOutcome {
+        let point_mbr = Mbr::from_point(&point);
+        match &mut self.nodes[node as usize] {
+            BuildNode::Leaf { entries } => {
+                entries.push((id, point));
+                if entries.len() <= self.cfg.leaf_capacity(self.dim) {
+                    let mbr = Mbr::from_points(entries.iter().map(|(_, p)| p));
+                    return InsertOutcome::Grown { mbr };
+                }
+                if !self.leaf_reinserted && self.cfg.reinsert_fraction > 0.0 && node != self.root {
+                    self.leaf_reinserted = true;
+                    self.reinsert_events += 1;
+                    return self.force_reinsert(node);
+                }
+                self.split_leaf(node)
+            }
+            BuildNode::Dir {
+                children,
+                children_are_leaves,
+                ..
+            } => {
+                let child_mbrs: Vec<Mbr> = children.iter().map(|(m, _)| m.clone()).collect();
+                let chosen = if *children_are_leaves {
+                    choose_subtree_leaf_level(&child_mbrs, &point_mbr)
+                } else {
+                    choose_subtree_inner(&child_mbrs, &point_mbr)
+                };
+                let child_id = children[chosen].1;
+                match self.insert_rec(child_id, id, point) {
+                    InsertOutcome::Grown { mbr } => {
+                        let BuildNode::Dir { children, .. } = &mut self.nodes[node as usize] else {
+                            unreachable!("directory node changed kind");
+                        };
+                        children[chosen].0 = mbr;
+                        InsertOutcome::Grown {
+                            mbr: self.node_mbr(node),
+                        }
+                    }
+                    InsertOutcome::Split {
+                        mbr,
+                        sibling,
+                        sibling_mbr,
+                    } => {
+                        let BuildNode::Dir { children, .. } = &mut self.nodes[node as usize] else {
+                            unreachable!("directory node changed kind");
+                        };
+                        children[chosen].0 = mbr;
+                        children.push((sibling_mbr, sibling));
+                        self.maybe_split_dir(node)
+                    }
+                }
+            }
+        }
+    }
+
+    /// R\* forced reinsertion: evicts the configured fraction of entries
+    /// farthest from the leaf's center; they are re-inserted from the root
+    /// by the caller.
+    fn force_reinsert(&mut self, node: u32) -> InsertOutcome {
+        let BuildNode::Leaf { entries } = &mut self.nodes[node as usize] else {
+            unreachable!("force_reinsert on a directory node");
+        };
+        let mbr = Mbr::from_points(entries.iter().map(|(_, p)| p));
+        let center = mbr.center();
+        let evict = ((entries.len() as f64 * self.cfg.reinsert_fraction) as usize).max(1);
+        // Sort descending by distance from the center; evict the prefix.
+        entries.sort_by(|a, b| {
+            let da = center_dist(&center, &a.1);
+            let db = center_dist(&center, &b.1);
+            db.partial_cmp(&da).expect("finite coordinates")
+        });
+        let remaining = entries.split_off(evict);
+        let evicted = std::mem::replace(entries, remaining);
+        self.pending_reinserts.extend(evicted);
+        let BuildNode::Leaf { entries } = &self.nodes[node as usize] else {
+            unreachable!()
+        };
+        InsertOutcome::Grown {
+            mbr: Mbr::from_points(entries.iter().map(|(_, p)| p)),
+        }
+    }
+
+    /// Splits an overflowing leaf with the R\* topological split.
+    fn split_leaf(&mut self, node: u32) -> InsertOutcome {
+        let BuildNode::Leaf { entries } = &mut self.nodes[node as usize] else {
+            unreachable!("split_leaf on a directory node");
+        };
+        let entries = std::mem::take(entries);
+        let mbrs: Vec<Mbr> = entries.iter().map(|(_, p)| Mbr::from_point(p)).collect();
+        let min_fill = ((entries.len() as f64 * self.cfg.min_fill) as usize).max(1);
+        let split = rstar_split(&mbrs, min_fill);
+        let mut first = Vec::with_capacity(split.first.len());
+        let mut second = Vec::with_capacity(split.second.len());
+        let mut taken: Vec<Option<(ObjectId, Vector)>> = entries.into_iter().map(Some).collect();
+        for &i in &split.first {
+            first.push(taken[i].take().expect("split index used twice"));
+        }
+        for &i in &split.second {
+            second.push(taken[i].take().expect("split index used twice"));
+        }
+        self.nodes[node as usize] = BuildNode::Leaf { entries: first };
+        self.nodes.push(BuildNode::Leaf { entries: second });
+        let sibling = (self.nodes.len() - 1) as u32;
+        InsertOutcome::Split {
+            mbr: split.first_mbr,
+            sibling,
+            sibling_mbr: split.second_mbr,
+        }
+    }
+
+    /// Handles an overflowing directory node: split if the best split's
+    /// overlap is tolerable, otherwise extend the node into a supernode.
+    fn maybe_split_dir(&mut self, node: u32) -> InsertOutcome {
+        let (len, blocks) = match &self.nodes[node as usize] {
+            BuildNode::Dir {
+                children, blocks, ..
+            } => (children.len(), *blocks),
+            BuildNode::Leaf { .. } => unreachable!("maybe_split_dir on a leaf"),
+        };
+        let capacity = self.cfg.dir_capacity(self.dim) * blocks as usize;
+        if len <= capacity {
+            return InsertOutcome::Grown {
+                mbr: self.node_mbr(node),
+            };
+        }
+
+        let BuildNode::Dir { children, .. } = &self.nodes[node as usize] else {
+            unreachable!();
+        };
+        let mbrs: Vec<Mbr> = children.iter().map(|(m, _)| m.clone()).collect();
+        let min_fill = ((len as f64 * self.cfg.min_fill) as usize).max(1);
+        let split = rstar_split(&mbrs, min_fill);
+
+        if split.overlap_fraction() > self.cfg.max_overlap {
+            // X-tree supernode: extend the node by one block instead of
+            // performing a high-overlap split.
+            let BuildNode::Dir { blocks, .. } = &mut self.nodes[node as usize] else {
+                unreachable!();
+            };
+            *blocks += 1;
+            self.supernode_events += 1;
+            return InsertOutcome::Grown {
+                mbr: self.node_mbr(node),
+            };
+        }
+
+        let BuildNode::Dir {
+            children,
+            children_are_leaves,
+            ..
+        } = &mut self.nodes[node as usize]
+        else {
+            unreachable!();
+        };
+        let children_are_leaves = *children_are_leaves;
+        let old = std::mem::take(children);
+        let mut taken: Vec<Option<(Mbr, u32)>> = old.into_iter().map(Some).collect();
+        let mut first = Vec::with_capacity(split.first.len());
+        let mut second = Vec::with_capacity(split.second.len());
+        for &i in &split.first {
+            first.push(taken[i].take().expect("split index used twice"));
+        }
+        for &i in &split.second {
+            second.push(taken[i].take().expect("split index used twice"));
+        }
+        self.nodes[node as usize] = BuildNode::Dir {
+            children: first,
+            children_are_leaves,
+            blocks: 1,
+        };
+        self.nodes.push(BuildNode::Dir {
+            children: second,
+            children_are_leaves,
+            blocks: 1,
+        });
+        let sibling = (self.nodes.len() - 1) as u32;
+        InsertOutcome::Split {
+            mbr: split.first_mbr,
+            sibling,
+            sibling_mbr: split.second_mbr,
+        }
+    }
+
+    fn node_mbr(&self, node: u32) -> Mbr {
+        match &self.nodes[node as usize] {
+            BuildNode::Leaf { entries } => Mbr::from_points(entries.iter().map(|(_, p)| p)),
+            BuildNode::Dir { children, .. } => {
+                let mut it = children.iter();
+                let mut mbr = it.next().expect("directory node has children").0.clone();
+                for (m, _) in it {
+                    mbr.expand_mbr(m);
+                }
+                mbr
+            }
+        }
+    }
+
+    /// Freezes the builder: leaves become data pages in DFS order; the
+    /// directory is converted into the compact frozen representation.
+    pub(super) fn freeze(self) -> (XTree, Vec<Vec<(ObjectId, Vector)>>) {
+        let mut groups: Vec<Vec<(ObjectId, Vector)>> = Vec::new();
+        let mut leaf_mbrs: Vec<Mbr> = Vec::new();
+        let mut frozen = FrozenNodes::default();
+        let mut supernode_count = 0u64;
+        let mut max_blocks = 1u32;
+
+        // DFS conversion.
+        fn convert(
+            nodes: &[BuildNode],
+            node: u32,
+            groups: &mut Vec<Vec<(ObjectId, Vector)>>,
+            leaf_mbrs: &mut Vec<Mbr>,
+            frozen: &mut FrozenNodes,
+            supernode_count: &mut u64,
+            max_blocks: &mut u32,
+        ) -> (Target, Mbr) {
+            match &nodes[node as usize] {
+                BuildNode::Leaf { entries } => {
+                    assert!(!entries.is_empty(), "frozen leaf must be non-empty");
+                    let mbr = Mbr::from_points(entries.iter().map(|(_, p)| p));
+                    let page = mq_storage::PageId(groups.len() as u32);
+                    groups.push(entries.clone());
+                    leaf_mbrs.push(mbr.clone());
+                    (Target::Page(page), mbr)
+                }
+                BuildNode::Dir {
+                    children, blocks, ..
+                } => {
+                    if *blocks > 1 {
+                        *supernode_count += 1;
+                        *max_blocks = (*max_blocks).max(*blocks);
+                    }
+                    let mut out_children = Vec::with_capacity(children.len());
+                    let mut mbr: Option<Mbr> = None;
+                    for (_, child) in children {
+                        let (target, child_mbr) = convert(
+                            nodes,
+                            *child,
+                            groups,
+                            leaf_mbrs,
+                            frozen,
+                            supernode_count,
+                            max_blocks,
+                        );
+                        match &mut mbr {
+                            None => mbr = Some(child_mbr.clone()),
+                            Some(m) => m.expand_mbr(&child_mbr),
+                        }
+                        out_children.push((child_mbr, target));
+                    }
+                    let idx = frozen.push_dir(out_children);
+                    (Target::Dir(idx), mbr.expect("directory node has children"))
+                }
+            }
+        }
+
+        let has_objects = match &self.nodes[self.root as usize] {
+            BuildNode::Leaf { entries } => !entries.is_empty(),
+            BuildNode::Dir { .. } => true,
+        };
+        let root = if has_objects {
+            let (target, _) = convert(
+                &self.nodes,
+                self.root,
+                &mut groups,
+                &mut leaf_mbrs,
+                &mut frozen,
+                &mut supernode_count,
+                &mut max_blocks,
+            );
+            Some(target)
+        } else {
+            None
+        };
+
+        let height = tree_height(&self.nodes, self.root);
+        let stats = XTreeStats {
+            height,
+            dir_nodes: frozen.dir_count(),
+            supernodes: supernode_count as usize,
+            max_supernode_blocks: max_blocks,
+            data_pages: groups.len(),
+            supernode_events: self.supernode_events,
+            reinsert_events: self.reinsert_events,
+        };
+        let tree = XTree::from_parts(self.dim, frozen, root, leaf_mbrs, stats);
+        (tree, groups)
+    }
+}
+
+fn center_dist(center: &[f64], p: &Vector) -> f64 {
+    center
+        .iter()
+        .zip(p.components())
+        .map(|(c, &x)| {
+            let d = c - x as f64;
+            d * d
+        })
+        .sum()
+}
+
+fn tree_height(nodes: &[BuildNode], node: u32) -> usize {
+    match &nodes[node as usize] {
+        BuildNode::Leaf { .. } => 1,
+        BuildNode::Dir { children, .. } => {
+            1 + children
+                .iter()
+                .map(|(_, c)| tree_height(nodes, *c))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}

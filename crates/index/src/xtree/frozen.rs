@@ -1,0 +1,544 @@
+//! The frozen (query-time) X-tree and its Hjaltason–Samet page plan.
+
+use super::build::Builder;
+use super::{bulk, XTreeConfig};
+use crate::bbox::Mbr;
+use crate::planner::{PagePlan, SimilarityIndex};
+use crate::util::MinHeap;
+use mq_metric::{ObjectId, Vector};
+use mq_storage::{Dataset, PageId, PagedDatabase};
+
+/// Where a directory entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum Target {
+    /// An inner directory node (index into the frozen node arena).
+    Dir(u32),
+    /// A data page (X-tree leaf).
+    Page(PageId),
+}
+
+/// Arena of frozen directory nodes.
+#[derive(Debug, Default)]
+pub(super) struct FrozenNodes {
+    dirs: Vec<Vec<(Mbr, Target)>>,
+}
+
+impl FrozenNodes {
+    pub(super) fn push_dir(&mut self, children: Vec<(Mbr, Target)>) -> u32 {
+        self.dirs.push(children);
+        (self.dirs.len() - 1) as u32
+    }
+
+    pub(super) fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    fn children(&self, idx: u32) -> &[(Mbr, Target)] {
+        &self.dirs[idx as usize]
+    }
+}
+
+/// Construction statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XTreeStats {
+    /// Tree height including the leaf level (a single-leaf tree has height 1).
+    pub height: usize,
+    /// Number of directory nodes.
+    pub dir_nodes: usize,
+    /// Number of supernodes (directory nodes spanning > 1 block).
+    pub supernodes: usize,
+    /// Largest supernode size in blocks.
+    pub max_supernode_blocks: u32,
+    /// Number of data pages (leaves).
+    pub data_pages: usize,
+    /// How many times an overflow was absorbed by extending a supernode.
+    pub supernode_events: u64,
+    /// How many forced reinsertions occurred during dynamic construction.
+    pub reinsert_events: u64,
+}
+
+/// The frozen X-tree: an in-memory directory over the data pages of one
+/// [`PagedDatabase`].
+///
+/// ```
+/// use mq_index::{SimilarityIndex, XTree, XTreeConfig};
+/// use mq_metric::Vector;
+/// use mq_storage::Dataset;
+///
+/// let ds = Dataset::new(
+///     (0..1000).map(|i| Vector::new(vec![(i % 37) as f32, (i % 61) as f32])).collect(),
+/// );
+/// let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+/// assert_eq!(tree.page_count(), db.page_count());
+///
+/// // The plan yields candidate pages best-first by MINDIST.
+/// let q = Vector::new(vec![5.0, 5.0]);
+/// let mut plan = tree.plan(&q);
+/// let (first_page, lower_bound) = plan.next(f64::INFINITY).unwrap();
+/// assert!(lower_bound <= tree.page_mindist(&q, first_page) + 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct XTree {
+    dim: usize,
+    nodes: FrozenNodes,
+    root: Option<Target>,
+    leaf_mbrs: Vec<Mbr>,
+    stats: XTreeStats,
+}
+
+impl XTree {
+    pub(super) fn from_parts(
+        dim: usize,
+        nodes: FrozenNodes,
+        root: Option<Target>,
+        leaf_mbrs: Vec<Mbr>,
+        stats: XTreeStats,
+    ) -> Self {
+        Self {
+            dim,
+            nodes,
+            root,
+            leaf_mbrs,
+            stats,
+        }
+    }
+
+    /// Builds an X-tree by VAMSplit bulk loading (the default for large
+    /// datasets) and lays the leaves out as the data pages of the returned
+    /// database.
+    ///
+    /// # Panics
+    /// Panics if the dataset's vectors do not share one dimensionality.
+    pub fn bulk_load(dataset: &Dataset<Vector>, cfg: XTreeConfig) -> (Self, PagedDatabase<Vector>) {
+        let dim = check_dim(dataset);
+        let objects: Vec<(ObjectId, Vector)> =
+            dataset.iter().map(|(id, v)| (id, v.clone())).collect();
+        let (tree, groups) = bulk::bulk_load(&cfg, dim, objects);
+        let db = PagedDatabase::from_groups(groups, cfg.layout);
+        (tree, db)
+    }
+
+    /// Builds an X-tree by dynamic R\* insertion with supernodes, then
+    /// freezes it into a database layout.
+    ///
+    /// # Panics
+    /// Panics if the dataset's vectors do not share one dimensionality.
+    pub fn insert_load(
+        dataset: &Dataset<Vector>,
+        cfg: XTreeConfig,
+    ) -> (Self, PagedDatabase<Vector>) {
+        let dim = check_dim(dataset);
+        let mut builder = Builder::new(cfg, dim);
+        for (id, v) in dataset.iter() {
+            builder.insert(id, v.clone());
+        }
+        let (tree, groups) = builder.freeze();
+        let db = PagedDatabase::from_groups(groups, cfg.layout);
+        (tree, db)
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> XTreeStats {
+        self.stats
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The MBR of a data page (leaf).
+    pub fn leaf_mbr(&self, page: PageId) -> &Mbr {
+        &self.leaf_mbrs[page.index()]
+    }
+}
+
+fn check_dim(dataset: &Dataset<Vector>) -> usize {
+    let dim = dataset.objects().first().map(|v| v.dim()).unwrap_or(1);
+    assert!(
+        dataset.objects().iter().all(|v| v.dim() == dim),
+        "all vectors must share one dimensionality"
+    );
+    dim
+}
+
+/// Best-first traversal state for one query (Hjaltason–Samet).
+struct XTreePlan<'a> {
+    tree: &'a XTree,
+    query: &'a Vector,
+    frontier: MinHeap<Target>,
+}
+
+impl PagePlan for XTreePlan<'_> {
+    fn next(&mut self, query_dist: f64) -> Option<(PageId, f64)> {
+        while let Some(top) = self.frontier.peek_prio() {
+            // The frontier minimum is a lower bound on every remaining
+            // page's distance; once it exceeds the (non-increasing) query
+            // distance nothing can qualify anymore.
+            if top > query_dist {
+                self.frontier.clear();
+                return None;
+            }
+            let (lb, target) = self.frontier.pop().expect("frontier is non-empty");
+            match target {
+                Target::Page(page) => return Some((page, lb)),
+                Target::Dir(idx) => {
+                    for (mbr, child) in self.tree.nodes.children(idx) {
+                        let child_lb = mbr.mindist(self.query);
+                        if child_lb <= query_dist {
+                            self.frontier.push(child_lb, *child);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl SimilarityIndex<Vector> for XTree {
+    fn plan<'a>(&'a self, query: &'a Vector) -> Box<dyn PagePlan + 'a> {
+        assert!(
+            self.root.is_none() || query.dim() == self.dim,
+            "query dimensionality mismatch: {} vs index {}",
+            query.dim(),
+            self.dim
+        );
+        let mut frontier = MinHeap::new();
+        match self.root {
+            Some(Target::Page(page)) => {
+                frontier.push(
+                    self.leaf_mbrs[page.index()].mindist(query),
+                    Target::Page(page),
+                );
+            }
+            Some(Target::Dir(idx)) => frontier.push(0.0, Target::Dir(idx)),
+            None => {}
+        }
+        Box::new(XTreePlan {
+            tree: self,
+            query,
+            frontier,
+        })
+    }
+
+    fn page_mindist(&self, query: &Vector, page: PageId) -> f64 {
+        self.leaf_mbrs[page.index()].mindist(query)
+    }
+
+    fn page_count(&self) -> usize {
+        self.leaf_mbrs.len()
+    }
+
+    fn name(&self) -> &str {
+        "x-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{Euclidean, Metric};
+    use mq_storage::PageLayout;
+
+    /// Deterministic pseudo-random points in `[0, 100)^dim`.
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Vector::new(
+                    (0..dim)
+                        .map(|_| (next() * 100.0) as f32)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> XTreeConfig {
+        // Small pages so even small datasets produce multi-level trees:
+        // 4-d f32 point = 16 bytes payload + 16 header = 32; 160/32 = 5/leaf.
+        XTreeConfig {
+            layout: PageLayout::new(160, 16),
+            ..XTreeConfig::default()
+        }
+    }
+
+    fn drain_all(tree: &XTree, q: &Vector) -> Vec<PageId> {
+        let mut plan = tree.plan(q);
+        let mut out = Vec::new();
+        while let Some((pid, _)) = plan.next(f64::INFINITY) {
+            out.push(pid);
+        }
+        out
+    }
+
+    #[test]
+    fn bulk_load_covers_all_objects() {
+        let pts = random_points(500, 4, 7);
+        let ds = Dataset::new(pts);
+        let (tree, db) = XTree::bulk_load(&ds, tiny_cfg());
+        assert_eq!(db.object_count(), 500);
+        assert_eq!(tree.page_count(), db.page_count());
+        assert!(tree.stats().height >= 2);
+        // Every object is on the page its directory entry says.
+        for (id, v) in ds.iter() {
+            let (pid, slot) = db.locate(id);
+            let (oid, obj) = &db.page(pid).records()[slot as usize];
+            assert_eq!(*oid, id);
+            assert_eq!(obj.components(), v.components());
+        }
+    }
+
+    #[test]
+    fn insert_load_covers_all_objects() {
+        let pts = random_points(300, 4, 13);
+        let ds = Dataset::new(pts);
+        let (tree, db) = XTree::insert_load(&ds, tiny_cfg());
+        assert_eq!(db.object_count(), 300);
+        assert_eq!(tree.page_count(), db.page_count());
+        // The plan visits every page exactly once with infinite query dist.
+        let q = Vector::new(vec![50.0, 50.0, 50.0, 50.0]);
+        let mut pages = drain_all(&tree, &q);
+        pages.sort_unstable();
+        pages.dedup();
+        assert_eq!(pages.len(), db.page_count());
+    }
+
+    #[test]
+    fn leaf_mbrs_contain_their_points() {
+        let ds = Dataset::new(random_points(400, 3, 29));
+        for (tree, db) in [
+            XTree::bulk_load(&ds, tiny_cfg()),
+            XTree::insert_load(&ds, tiny_cfg()),
+        ] {
+            for pid in db.page_ids() {
+                let mbr = tree.leaf_mbr(pid);
+                for (_, v) in db.page(pid).records() {
+                    assert!(
+                        mbr.contains_point(v),
+                        "{} not in leaf MBR of {pid}",
+                        v.components()[0]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_yields_pages_in_mindist_order() {
+        let ds = Dataset::new(random_points(400, 4, 3));
+        let (tree, _db) = XTree::bulk_load(&ds, tiny_cfg());
+        let q = Vector::new(vec![10.0, 90.0, 40.0, 60.0]);
+        let mut plan = tree.plan(&q);
+        let mut last = 0.0f64;
+        let mut count = 0;
+        while let Some((pid, lb)) = plan.next(f64::INFINITY) {
+            assert!(lb >= last - 1e-12, "mindist order violated");
+            assert!((tree.page_mindist(&q, pid) - lb).abs() < 1e-12);
+            last = lb;
+            count += 1;
+        }
+        assert_eq!(count, tree.page_count());
+    }
+
+    #[test]
+    fn plan_prunes_beyond_query_dist() {
+        let ds = Dataset::new(random_points(400, 4, 5));
+        let (tree, db) = XTree::bulk_load(&ds, tiny_cfg());
+        let q = Vector::new(vec![0.0, 0.0, 0.0, 0.0]);
+        let eps = 30.0;
+        let mut plan = tree.plan(&q);
+        let mut visited = Vec::new();
+        while let Some((pid, lb)) = plan.next(eps) {
+            assert!(lb <= eps);
+            visited.push(pid);
+        }
+        // Soundness: every object within eps lives on a visited page.
+        let visited_set: std::collections::HashSet<PageId> = visited.iter().copied().collect();
+        for pid in db.page_ids() {
+            for (oid, v) in db.page(pid).records() {
+                if Euclidean.distance(&q, v) <= eps {
+                    assert!(
+                        visited_set.contains(&pid),
+                        "page {pid} with answer {oid} pruned"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_query_dist_stops_traversal() {
+        let ds = Dataset::new(random_points(400, 4, 11));
+        let (tree, _db) = XTree::bulk_load(&ds, tiny_cfg());
+        let q = Vector::new(vec![50.0; 4]);
+        let mut plan = tree.plan(&q);
+        // First page at distance ~0; then shrink the radius to zero.
+        let first = plan.next(f64::INFINITY);
+        assert!(first.is_some());
+        let visited_after: Vec<_> = std::iter::from_fn(|| plan.next(0.0)).collect();
+        // Only pages whose MBR contains q (mindist 0) may still come.
+        for (_, lb) in &visited_after {
+            assert_eq!(*lb, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(Vec::<Vector>::new());
+        let (tree, db) = XTree::bulk_load(&ds, tiny_cfg());
+        assert_eq!(db.page_count(), 0);
+        assert_eq!(tree.page_count(), 0);
+        let q = Vector::new(vec![0.0; 4]);
+        assert!(tree.plan(&q).next(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn single_object_dataset() {
+        let ds = Dataset::new(vec![Vector::new(vec![1.0, 2.0, 3.0, 4.0])]);
+        let (tree, db) = XTree::insert_load(&ds, tiny_cfg());
+        assert_eq!(db.page_count(), 1);
+        let q = Vector::new(vec![0.0; 4]);
+        let mut plan = tree.plan(&q);
+        let (pid, lb) = plan.next(f64::INFINITY).expect("one page");
+        assert_eq!(pid, PageId(0));
+        assert!(lb > 0.0);
+        assert!(plan.next(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn clustered_data_produces_selective_pages() {
+        // Two far-apart clusters: a query in one cluster must not visit the
+        // other cluster's pages within a small radius.
+        let mut pts = random_points(200, 4, 17);
+        for p in random_points(200, 4, 19) {
+            let shifted: Vec<f32> = p.components().iter().map(|c| c + 10_000.0).collect();
+            pts.push(Vector::new(shifted));
+        }
+        let ds = Dataset::new(pts);
+        let (tree, _db) = XTree::bulk_load(&ds, tiny_cfg());
+        let q = Vector::new(vec![50.0; 4]);
+        let mut plan = tree.plan(&q);
+        let mut visited = 0;
+        while plan.next(500.0).is_some() {
+            visited += 1;
+        }
+        assert!(
+            visited <= tree.page_count() / 2,
+            "visited {visited} of {} pages",
+            tree.page_count()
+        );
+    }
+
+    #[test]
+    fn forced_reinsertion_improves_or_matches_io_selectivity() {
+        // With reinsertion the tree should be at least as selective as
+        // without (R*'s motivation); in any case both must answer exactly.
+        let pts = random_points(600, 4, 71);
+        let ds = Dataset::new(pts);
+        let with_cfg = tiny_cfg();
+        let without_cfg = XTreeConfig {
+            reinsert_fraction: 0.0,
+            ..tiny_cfg()
+        };
+        let (with_tree, _) = XTree::insert_load(&ds, with_cfg);
+        let (without_tree, _) = XTree::insert_load(&ds, without_cfg);
+        assert!(
+            with_tree.stats().reinsert_events > 0,
+            "reinsertion never triggered"
+        );
+        assert_eq!(without_tree.stats().reinsert_events, 0);
+
+        // Count pages visited for a batch of small range queries.
+        let visited = |tree: &XTree| -> usize {
+            let mut total = 0;
+            for i in 0..20 {
+                let q = ds.object(ObjectId(i * 29)).clone();
+                let mut plan = tree.plan(&q);
+                while plan.next(8.0).is_some() {
+                    total += 1;
+                }
+            }
+            total
+        };
+        let v_with = visited(&with_tree);
+        let v_without = visited(&without_tree);
+        // Reinsertion typically tightens MBRs; allow equality plus slack
+        // for unlucky data, but catch gross regressions.
+        assert!(
+            v_with as f64 <= v_without as f64 * 1.25,
+            "reinsertion degraded selectivity: {v_with} vs {v_without}"
+        );
+    }
+
+    #[test]
+    fn heavily_overlapping_data_creates_supernodes() {
+        // Points jittered around one location: every leaf MBR overlaps
+        // every other, so no directory split can stay below max_overlap
+        // and the builder must extend supernodes instead.
+        let mut pts = Vec::new();
+        let mut x = 1u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 11) as f64 / (1u64 << 53) as f64) as f32
+        };
+        for _ in 0..400 {
+            pts.push(Vector::new(vec![
+                5.0 + 0.01 * next(),
+                5.0 + 0.01 * next(),
+                5.0 + 0.01 * next(),
+                5.0 + 0.01 * next(),
+            ]));
+        }
+        let ds = Dataset::new(pts);
+        let (tree, db) = XTree::insert_load(&ds, tiny_cfg());
+        assert!(
+            tree.stats().supernodes > 0,
+            "expected supernodes on fully-overlapping data: {:?}",
+            tree.stats()
+        );
+        assert!(tree.stats().max_supernode_blocks > 1);
+        // Queries remain exact despite supernodes.
+        let q = Vector::new(vec![5.0, 5.0, 5.0, 5.0]);
+        let mut plan = tree.plan(&q);
+        let mut pages = Vec::new();
+        while let Some((pid, _)) = plan.next(f64::INFINITY) {
+            pages.push(pid);
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        assert_eq!(pages.len(), db.page_count());
+    }
+
+    #[test]
+    fn insert_load_on_correlated_data_may_create_supernodes() {
+        // Heavily duplicated coordinates force high-overlap directory splits
+        // in a thin config; we only assert the structure remains consistent.
+        let mut pts = Vec::new();
+        for i in 0..300 {
+            let base = (i % 5) as f32;
+            pts.push(Vector::new(vec![base, base, base, (i as f32) * 1e-3]));
+        }
+        let ds = Dataset::new(pts);
+        let (tree, db) = XTree::insert_load(&ds, tiny_cfg());
+        assert_eq!(db.object_count(), 300);
+        let q = Vector::new(vec![2.0, 2.0, 2.0, 0.1]);
+        let mut pages = drain_all(&tree, &q);
+        pages.sort_unstable();
+        pages.dedup();
+        assert_eq!(
+            pages.len(),
+            tree.page_count(),
+            "every page reachable exactly once"
+        );
+    }
+}

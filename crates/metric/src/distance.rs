@@ -1,0 +1,65 @@
+//! The [`Metric`] trait: a metric distance function over a set of objects.
+
+/// A metric distance function `dist: O × O → ℝ⁺` (paper §2).
+///
+/// Implementations must satisfy the metric axioms:
+/// identity (`dist(a, b) = 0 ⇔ a = b`), symmetry, and the triangle
+/// inequality. The query engine relies on the triangle inequality both for
+/// index pruning (M-tree) and for the avoidance of distance calculations in
+/// multiple similarity queries (paper §5.2); an implementation violating the
+/// axioms silently produces *incorrect query answers*, not just slow ones.
+///
+/// Use [`crate::validation::check_metric_axioms`] in tests to validate a new
+/// implementation on a sample.
+pub trait Metric<O: ?Sized>: Send + Sync {
+    /// Computes the distance between two objects. Must be non-negative and
+    /// finite for all valid objects.
+    fn distance(&self, a: &O, b: &O) -> f64;
+
+    /// A human-readable name for reports and benchmark tables.
+    fn name(&self) -> &str {
+        "metric"
+    }
+}
+
+impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for &M {
+    #[inline]
+    fn distance(&self, a: &O, b: &O) -> f64 {
+        (**self).distance(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for std::sync::Arc<M> {
+    #[inline]
+    fn distance(&self, a: &O, b: &O) -> f64 {
+        (**self).distance(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::Euclidean;
+    use crate::object::Vector;
+    use std::sync::Arc;
+
+    #[test]
+    fn metric_through_reference_and_arc() {
+        let a = Vector::new(vec![0.0, 0.0]);
+        let b = Vector::new(vec![3.0, 4.0]);
+        let m = Euclidean;
+        let by_ref: &dyn Metric<Vector> = &&m;
+        assert!((by_ref.distance(&a, &b) - 5.0).abs() < 1e-12);
+        let by_arc = Arc::new(Euclidean);
+        assert!((by_arc.distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert_eq!(by_arc.name(), "euclidean");
+    }
+}

@@ -1,0 +1,252 @@
+//! Minkowski-family vector distances: Euclidean, weighted Euclidean,
+//! Manhattan, Chebyshev and general Lp.
+
+use crate::distance::Metric;
+use crate::object::Vector;
+
+#[inline]
+fn check_dims(a: &Vector, b: &Vector) {
+    assert_eq!(
+        a.dim(),
+        b.dim(),
+        "distance between vectors of different dimensionality ({} vs {})",
+        a.dim(),
+        b.dim()
+    );
+}
+
+/// The Euclidean distance (L2) — the paper's default distance function for
+/// both evaluation databases (20-d astronomy vectors, 64-d color histograms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric<Vector> for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        let (xs, ys) = (a.components(), b.components());
+        let mut acc = 0.0f64;
+        for i in 0..xs.len() {
+            let d = xs[i] as f64 - ys[i] as f64;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "euclidean"
+    }
+}
+
+/// A weighted Euclidean distance `sqrt(Σ w_i (a_i - b_i)²)` with
+/// non-negative per-dimension weights (paper §2: "often, the Euclidean
+/// distance or a weighted Euclidean distance is used").
+///
+/// Dimensions with weight zero are ignored; the result is then only a
+/// *pseudo*-metric on the full space (identity can fail), but remains a
+/// metric on the subspace of weighted dimensions. The query engine only
+/// requires symmetry and the triangle inequality, which always hold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedEuclidean {
+    weights: Box<[f64]>,
+}
+
+impl WeightedEuclidean {
+    /// Creates a weighted Euclidean distance.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(weights: impl Into<Box<[f64]>>) -> Self {
+        let weights = weights.into();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self { weights }
+    }
+
+    /// The per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Metric<Vector> for WeightedEuclidean {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        assert_eq!(
+            a.dim(),
+            self.weights.len(),
+            "weight vector dimensionality mismatch"
+        );
+        let (xs, ys) = (a.components(), b.components());
+        let mut acc = 0.0f64;
+        for i in 0..xs.len() {
+            let d = xs[i] as f64 - ys[i] as f64;
+            acc += self.weights[i] * d * d;
+        }
+        acc.sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "weighted-euclidean"
+    }
+}
+
+/// The Manhattan distance (L1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric<Vector> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        let (xs, ys) = (a.components(), b.components());
+        let mut acc = 0.0f64;
+        for i in 0..xs.len() {
+            acc += (xs[i] as f64 - ys[i] as f64).abs();
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "manhattan"
+    }
+}
+
+/// The Chebyshev distance (L∞).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric<Vector> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        let (xs, ys) = (a.components(), b.components());
+        let mut acc = 0.0f64;
+        for i in 0..xs.len() {
+            acc = acc.max((xs[i] as f64 - ys[i] as f64).abs());
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "chebyshev"
+    }
+}
+
+/// The general Minkowski distance Lp for `p ≥ 1` (only then is it a metric).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates an Lp distance.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && p >= 1.0,
+            "Minkowski distance requires p >= 1"
+        );
+        Self { p }
+    }
+
+    /// The order `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<Vector> for Minkowski {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        let (xs, ys) = (a.components(), b.components());
+        let mut acc = 0.0f64;
+        for i in 0..xs.len() {
+            acc += (xs[i] as f64 - ys[i] as f64).abs().powf(self.p);
+        }
+        acc.powf(1.0 / self.p)
+    }
+
+    fn name(&self) -> &str {
+        "minkowski"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(cs: &[f32]) -> Vector {
+        Vector::new(cs.to_vec())
+    }
+
+    #[test]
+    fn euclidean_345() {
+        let d = Euclidean.distance(&v(&[0.0, 0.0]), &v(&[3.0, 4.0]));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_identity() {
+        let a = v(&[1.5, -2.5, 0.25]);
+        assert_eq!(Euclidean.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn euclidean_dim_mismatch() {
+        let _ = Euclidean.distance(&v(&[0.0]), &v(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn weighted_matches_plain_with_unit_weights() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        let b = v(&[-1.0, 0.5, 7.0]);
+        let w = WeightedEuclidean::new(vec![1.0, 1.0, 1.0]);
+        assert!((w.distance(&a, &b) - Euclidean.distance(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_zero_weight_ignores_dimension() {
+        let a = v(&[1.0, 100.0]);
+        let b = v(&[4.0, -100.0]);
+        let w = WeightedEuclidean::new(vec![1.0, 0.0]);
+        assert!((w.distance(&a, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_negative_weight_rejected() {
+        let _ = WeightedEuclidean::new(vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[3.0, -4.0]);
+        assert!((Manhattan.distance(&a, &b) - 7.0).abs() < 1e-12);
+        assert!((Chebyshev.distance(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_special_cases() {
+        let a = v(&[1.0, 2.0]);
+        let b = v(&[4.0, 6.0]);
+        let l1 = Minkowski::new(1.0);
+        let l2 = Minkowski::new(2.0);
+        assert!((l1.distance(&a, &b) - Manhattan.distance(&a, &b)).abs() < 1e-9);
+        assert!((l2.distance(&a, &b) - Euclidean.distance(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn minkowski_p_below_one_rejected() {
+        let _ = Minkowski::new(0.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Padded Hamming distance over symbol sequences.
+//!
+//! For equal-length sequences this is the classic Hamming distance (number
+//! of differing positions); shorter sequences are conceptually padded with
+//! a reserved PAD symbol, so a missing position counts as one mismatch.
+//! Padded Hamming is a metric: it is the Hamming distance over the padded
+//! alphabet, and Hamming distance is an L1 metric over indicator vectors.
+//!
+//! Compared to [`crate::EditDistance`] (O(n·m) dynamic program), Hamming is
+//! O(n) — the cheap alignment-free alternative for fixed-format records
+//! such as fingerprints or one-hot encodings.
+
+use crate::distance::Metric;
+use crate::edit::Symbols;
+
+/// Reserved pad value; sequences must not contain it.
+const PAD: u32 = u32::MAX;
+
+/// Padded Hamming distance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+impl Metric<Symbols> for Hamming {
+    fn distance(&self, a: &Symbols, b: &Symbols) -> f64 {
+        let (xs, ys) = (a.symbols(), b.symbols());
+        debug_assert!(
+            xs.iter().chain(ys).all(|&s| s != PAD),
+            "sequences must not contain the reserved PAD symbol"
+        );
+        let common = xs.len().min(ys.len());
+        let mut mismatches = xs.len().max(ys.len()) - common;
+        for i in 0..common {
+            if xs[i] != ys[i] {
+                mismatches += 1;
+            }
+        }
+        mismatches as f64
+    }
+
+    fn name(&self) -> &str {
+        "hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::check_metric_axioms;
+
+    fn s(v: &[u32]) -> Symbols {
+        Symbols::new(v.to_vec())
+    }
+
+    #[test]
+    fn equal_length_counts_mismatches() {
+        assert_eq!(Hamming.distance(&s(&[1, 2, 3]), &s(&[1, 9, 3])), 1.0);
+        assert_eq!(Hamming.distance(&s(&[1, 2, 3]), &s(&[4, 5, 6])), 3.0);
+        assert_eq!(Hamming.distance(&s(&[1, 2, 3]), &s(&[1, 2, 3])), 0.0);
+    }
+
+    #[test]
+    fn length_difference_counts_as_mismatches() {
+        assert_eq!(Hamming.distance(&s(&[1, 2]), &s(&[1, 2, 3, 4])), 2.0);
+        assert_eq!(Hamming.distance(&s(&[]), &s(&[7, 8])), 2.0);
+    }
+
+    #[test]
+    fn cheaper_than_edit_distance_semantics() {
+        // A single shift is catastrophic for Hamming but cheap for edit
+        // distance — documents the intended use (aligned records).
+        use crate::edit::EditDistance;
+        let a = s(&[1, 2, 3, 4, 5]);
+        let b = s(&[9, 1, 2, 3, 4]);
+        assert_eq!(EditDistance.distance(&a, &b), 2.0);
+        assert_eq!(Hamming.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        let sample: Vec<Symbols> = vec![
+            s(&[]),
+            s(&[1]),
+            s(&[1, 2]),
+            s(&[2, 1]),
+            s(&[1, 2, 3]),
+            s(&[3, 2, 1]),
+            s(&[1, 2, 3, 4]),
+            s(&[5, 5, 5]),
+            s(&[1, 5, 3]),
+        ];
+        assert_eq!(check_metric_axioms(&Hamming, &sample), Ok(()));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # mq-metric — metric distance functions for similarity search
+//!
+//! This crate implements the metric layer of the ICDE 2000 paper
+//! *"Efficiently Supporting Multiple Similarity Queries for Mining in Metric
+//! Databases"* (Braunmüller, Ester, Kriegel, Sander).
+//!
+//! A *metric database* is a database where a metric distance function is
+//! defined for pairs of database objects (paper §2). The distance function
+//! `dist: Objects × Objects → ℝ⁺` must satisfy, for all objects `O1, O2, O3`:
+//!
+//! 1. `dist(O1, O2) = 0 ⇔ O1 = O2` (identity),
+//! 2. `dist(O1, O2) = dist(O2, O1)` (symmetry),
+//! 3. `dist(O1, O3) ≤ dist(O1, O2) + dist(O2, O3)` (triangle inequality).
+//!
+//! The triangle inequality is the property the paper's CPU-cost optimization
+//! (§5.2, Lemmas 1 and 2) exploits, so this crate also ships a
+//! [`validation`] module used by the test suite to check the axioms for
+//! every distance implementation, and a [`counting`] wrapper that counts
+//! distance evaluations — the paper's unit of CPU cost.
+//!
+//! ## Provided distances
+//!
+//! * [`Euclidean`] and [`WeightedEuclidean`] — the common vector-space case.
+//! * [`Manhattan`] (L1) and [`Chebyshev`] (L∞).
+//! * [`QuadraticForm`] — histogram similarity as used for image databases
+//!   (paper §2 cites Seidl/Kriegel's adaptable similarity search).
+//! * [`EditDistance`] — a non-vector metric over symbol sequences, covering
+//!   the paper's "WWW access log sessions / URLs" motivation (§1).
+//!
+//! All vector distances operate on [`Vector`] (`Box<[f32]>` payloads with
+//! `f64` distance arithmetic).
+
+pub mod cost;
+pub mod counting;
+pub mod distance;
+pub mod edit;
+pub mod euclidean;
+pub mod hamming;
+pub mod object;
+pub mod quadratic;
+pub mod sets;
+pub mod validation;
+
+pub use cost::CpuCostModel;
+pub use counting::{CountingMetric, DistanceCounter};
+pub use distance::Metric;
+pub use edit::{EditDistance, Symbols};
+pub use euclidean::{Chebyshev, Euclidean, Manhattan, Minkowski, WeightedEuclidean};
+pub use hamming::Hamming;
+pub use object::{ObjectId, Vector};
+pub use quadratic::QuadraticForm;
+pub use sets::{Jaccard, SymbolSet};

@@ -1,0 +1,159 @@
+//! Jaccard distance over symbol sets.
+//!
+//! `d(A, B) = 1 − |A ∩ B| / |A ∪ B|` (with `d(∅, ∅) = 0`) is a proper
+//! metric on finite sets — the classic similarity measure for market
+//! baskets, tag sets, or the *set* of URLs a web session touched (order-
+//! insensitive, unlike [`crate::EditDistance`] on the sequence).
+
+use crate::distance::Metric;
+
+/// A set of symbols: sorted, deduplicated `u32` values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SymbolSet {
+    sorted: Box<[u32]>,
+}
+
+impl SymbolSet {
+    /// Builds a set from arbitrary symbols (sorted and deduplicated).
+    pub fn new(mut symbols: Vec<u32>) -> Self {
+        symbols.sort_unstable();
+        symbols.dedup();
+        Self {
+            sorted: symbols.into(),
+        }
+    }
+
+    /// The elements in ascending order.
+    pub fn elements(&self) -> &[u32] {
+        &self.sorted
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Whether the set contains `symbol`.
+    pub fn contains(&self, symbol: u32) -> bool {
+        self.sorted.binary_search(&symbol).is_ok()
+    }
+
+    /// Heap size in bytes (for page-capacity accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.sorted.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Sizes of the intersection and union with `other` (linear merge).
+    pub fn intersection_union(&self, other: &SymbolSet) -> (usize, usize) {
+        let (a, b) = (&self.sorted, &other.sorted);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut inter = 0usize;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        (inter, union)
+    }
+}
+
+impl From<Vec<u32>> for SymbolSet {
+    fn from(v: Vec<u32>) -> Self {
+        SymbolSet::new(v)
+    }
+}
+
+/// The Jaccard distance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+impl Metric<SymbolSet> for Jaccard {
+    fn distance(&self, a: &SymbolSet, b: &SymbolSet) -> f64 {
+        let (inter, union) = a.intersection_union(b);
+        if union == 0 {
+            0.0 // both empty: identical
+        } else {
+            1.0 - inter as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &str {
+        "jaccard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::check_metric_axioms;
+
+    fn set(v: &[u32]) -> SymbolSet {
+        SymbolSet::new(v.to_vec())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.elements(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(9));
+        assert_eq!(s.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(Jaccard.distance(&set(&[]), &set(&[])), 0.0);
+        assert_eq!(Jaccard.distance(&set(&[1, 2]), &set(&[1, 2])), 0.0);
+        assert_eq!(Jaccard.distance(&set(&[1]), &set(&[2])), 1.0);
+        // |∩| = 1, |∪| = 3 → 1 − 1/3.
+        let d = Jaccard.distance(&set(&[1, 2]), &set(&[2, 3]));
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_union_merge() {
+        let (i, u) = set(&[1, 3, 5, 7]).intersection_union(&set(&[3, 4, 5, 6]));
+        assert_eq!((i, u), (2, 6));
+        let (i, u) = set(&[]).intersection_union(&set(&[1]));
+        assert_eq!((i, u), (0, 1));
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        let sample: Vec<SymbolSet> = vec![
+            set(&[]),
+            set(&[1]),
+            set(&[2]),
+            set(&[1, 2]),
+            set(&[1, 2, 3]),
+            set(&[2, 3, 4]),
+            set(&[5, 6]),
+            set(&[1, 5]),
+            set(&[1, 2, 3, 4, 5, 6]),
+            set(&[7, 8, 9]),
+        ];
+        assert_eq!(check_metric_axioms(&Jaccard, &sample), Ok(()));
+    }
+
+    #[test]
+    fn session_url_sets_use_case() {
+        // Two sessions touching mostly the same URLs in different order.
+        let s1 = SymbolSet::from(vec![10u32, 20, 30, 40]);
+        let s2 = SymbolSet::from(vec![40u32, 30, 20, 11]);
+        let d = Jaccard.distance(&s1, &s2);
+        assert!((d - (1.0 - 3.0 / 5.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Checking the metric axioms on samples.
+//!
+//! The correctness of the entire query engine rests on the distance function
+//! being a metric (paper §2). This module provides an exhaustive
+//! pairwise/triple-wise checker for test suites and a summary of any
+//! violation found, so new distance functions can be validated before being
+//! plugged into the engine.
+
+use crate::distance::Metric;
+
+/// A violation of one of the metric axioms, found on a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxiomViolation {
+    /// `dist(a, a) != 0` for a sample object.
+    SelfDistanceNonZero {
+        /// Sample index of the offending object.
+        index: usize,
+        /// The non-zero self-distance.
+        distance: f64,
+    },
+    /// A negative or non-finite distance between two samples.
+    InvalidValue {
+        /// First sample index.
+        i: usize,
+        /// Second sample index.
+        j: usize,
+        /// The invalid value.
+        distance: f64,
+    },
+    /// `dist(a, b) != dist(b, a)`.
+    Asymmetric {
+        /// First sample index.
+        i: usize,
+        /// Second sample index.
+        j: usize,
+        /// `dist(i, j)`.
+        forward: f64,
+        /// `dist(j, i)`.
+        backward: f64,
+    },
+    /// `dist(i, k) > dist(i, j) + dist(j, k)`.
+    TriangleInequality {
+        /// Start sample index.
+        i: usize,
+        /// Pivot sample index.
+        j: usize,
+        /// End sample index.
+        k: usize,
+        /// `dist(i, k)`.
+        direct: f64,
+        /// `dist(i, j) + dist(j, k)`.
+        via: f64,
+    },
+}
+
+/// Tolerance used for floating-point axiom checks.
+pub const AXIOM_EPSILON: f64 = 1e-9;
+
+/// Checks the metric axioms of `metric` on all pairs and triples of
+/// `sample`, returning the first violation found (or `Ok`).
+///
+/// Runtime is `O(n³)` distance *lookups* but only `O(n²)` distance
+/// *computations* (the pairwise matrix is materialized first), so samples of
+/// a few hundred objects are cheap.
+pub fn check_metric_axioms<O, M: Metric<O>>(
+    metric: &M,
+    sample: &[O],
+) -> Result<(), AxiomViolation> {
+    let n = sample.len();
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = metric.distance(&sample[i], &sample[j]);
+        }
+    }
+    for i in 0..n {
+        let dii = d[i * n + i];
+        if dii.abs() > AXIOM_EPSILON {
+            return Err(AxiomViolation::SelfDistanceNonZero {
+                index: i,
+                distance: dii,
+            });
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let dij = d[i * n + j];
+            if !dij.is_finite() || dij < 0.0 {
+                return Err(AxiomViolation::InvalidValue {
+                    i,
+                    j,
+                    distance: dij,
+                });
+            }
+            let dji = d[j * n + i];
+            if (dij - dji).abs() > AXIOM_EPSILON * (1.0 + dij.abs()) {
+                return Err(AxiomViolation::Asymmetric {
+                    i,
+                    j,
+                    forward: dij,
+                    backward: dji,
+                });
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let direct = d[i * n + k];
+                let via = d[i * n + j] + d[j * n + k];
+                if direct > via + AXIOM_EPSILON * (1.0 + via.abs()) {
+                    return Err(AxiomViolation::TriangleInequality {
+                        i,
+                        j,
+                        k,
+                        direct,
+                        via,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{EditDistance, Symbols};
+    use crate::euclidean::{Chebyshev, Euclidean, Manhattan, Minkowski, WeightedEuclidean};
+    use crate::object::Vector;
+    use crate::quadratic::QuadraticForm;
+
+    fn vector_sample(dim: usize, n: usize) -> Vec<Vector> {
+        // Deterministic, irregular sample.
+        (0..n)
+            .map(|i| {
+                Vector::new(
+                    (0..dim)
+                        .map(|j| (((i * 31 + j * 17) % 97) as f32 / 9.7) - 5.0)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn euclidean_satisfies_axioms() {
+        let s = vector_sample(5, 25);
+        assert_eq!(check_metric_axioms(&Euclidean, &s), Ok(()));
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev_satisfy_axioms() {
+        let s = vector_sample(4, 20);
+        assert_eq!(check_metric_axioms(&Manhattan, &s), Ok(()));
+        assert_eq!(check_metric_axioms(&Chebyshev, &s), Ok(()));
+    }
+
+    #[test]
+    fn minkowski_l3_satisfies_axioms() {
+        let s = vector_sample(3, 18);
+        assert_eq!(check_metric_axioms(&Minkowski::new(3.0), &s), Ok(()));
+    }
+
+    #[test]
+    fn weighted_euclidean_satisfies_axioms() {
+        let s = vector_sample(4, 18);
+        let w = WeightedEuclidean::new(vec![2.0, 0.5, 1.0, 3.0]);
+        assert_eq!(check_metric_axioms(&w, &s), Ok(()));
+    }
+
+    #[test]
+    fn quadratic_form_satisfies_axioms() {
+        let s = vector_sample(6, 15);
+        let q = QuadraticForm::histogram_similarity(6, 3.0);
+        assert_eq!(check_metric_axioms(&q, &s), Ok(()));
+    }
+
+    #[test]
+    fn edit_distance_satisfies_axioms() {
+        let words = [
+            "", "a", "ab", "abc", "abd", "xbc", "hello", "hallo", "hull", "shell", "mining",
+            "meaning", "metric", "matrix",
+        ];
+        let s: Vec<Symbols> = words.iter().map(|w| Symbols::from(*w)).collect();
+        assert_eq!(check_metric_axioms(&EditDistance, &s), Ok(()));
+    }
+
+    /// A deliberately broken "distance" to prove the checker catches
+    /// triangle-inequality violations (squared Euclidean is not a metric).
+    struct SquaredEuclidean;
+    impl crate::Metric<Vector> for SquaredEuclidean {
+        fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+            let d = Euclidean.distance(a, b);
+            d * d
+        }
+    }
+
+    #[test]
+    fn checker_detects_triangle_violation() {
+        let s = vec![
+            Vector::new(vec![0.0]),
+            Vector::new(vec![1.0]),
+            Vector::new(vec![2.0]),
+        ];
+        match check_metric_axioms(&SquaredEuclidean, &s) {
+            Err(AxiomViolation::TriangleInequality { .. }) => {}
+            other => panic!("expected triangle violation, got {other:?}"),
+        }
+    }
+
+    /// An asymmetric "distance" to prove the checker catches asymmetry.
+    struct Directed;
+    impl crate::Metric<Vector> for Directed {
+        fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+            (b[0] as f64 - a[0] as f64).max(0.0)
+        }
+    }
+
+    #[test]
+    fn checker_detects_asymmetry() {
+        let s = vec![Vector::new(vec![0.0]), Vector::new(vec![1.0])];
+        match check_metric_axioms(&Directed, &s) {
+            Err(AxiomViolation::Asymmetric { .. }) => {}
+            other => panic!("expected asymmetry, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! DBSCAN — density-based clustering (Ester, Kriegel, Sander, Xu — KDD'96;
+//! paper ref. \[7\]).
+//!
+//! DBSCAN is the paper's flagship instance of iterative neighborhood
+//! exploration: it grows clusters by repeatedly issuing `ε`-range queries
+//! for objects returned by previous range queries. A *core object* has at
+//! least `min_pts` neighbors (including itself); clusters are the
+//! density-connected components of core objects plus their border objects;
+//! everything else is noise.
+//!
+//! Both execution modes produce the **same clustering** (cluster ids are
+//! assigned in discovery order, which both modes share):
+//!
+//! * [`Dbscan::run_single`] — one range query at a time (Fig. 2 behaviour);
+//! * [`Dbscan::run_multiple`] — seed-list objects are batched into one
+//!   multiple similarity query session (Fig. 3 behaviour), sharing page
+//!   reads and triangle-inequality pivots across the cluster frontier.
+
+use mq_core::{MultiQuerySession, QueryEngine, QueryType};
+use mq_metric::{Metric, ObjectId};
+use mq_storage::StorageObject;
+use std::collections::{HashMap, VecDeque};
+
+/// Cluster assignment of one object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// Not density-reachable from any core object.
+    Noise,
+    /// Member of the cluster with the given id (0-based, discovery order).
+    Cluster(u32),
+}
+
+/// The result of a DBSCAN run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbscanResult {
+    /// Per-object labels, indexed by object id.
+    pub labels: Vec<Label>,
+    /// Number of clusters found.
+    pub clusters: u32,
+    /// Number of range queries issued.
+    pub queries: usize,
+}
+
+impl DbscanResult {
+    /// Number of noise objects.
+    pub fn noise_count(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|l| matches!(l, Label::Noise))
+            .count()
+    }
+}
+
+/// DBSCAN parameters.
+///
+/// ```
+/// use mq_core::QueryEngine;
+/// use mq_index::LinearScan;
+/// use mq_metric::{Euclidean, Vector};
+/// use mq_mining::Dbscan;
+/// use mq_storage::{Dataset, PagedDatabase, SimulatedDisk};
+///
+/// // Two blobs and one outlier.
+/// let mut pts: Vec<Vector> = (0..10).map(|i| Vector::new(vec![i as f32 * 0.1])).collect();
+/// pts.extend((0..10).map(|i| Vector::new(vec![100.0 + i as f32 * 0.1])));
+/// pts.push(Vector::new(vec![50.0]));
+/// let ds = Dataset::new(pts);
+/// let db = PagedDatabase::pack(&ds, Default::default());
+/// let scan = LinearScan::new(db.page_count());
+/// let disk = SimulatedDisk::new(db, 0.10);
+/// let engine = QueryEngine::new(&disk, &scan, Euclidean);
+///
+/// let result = Dbscan::new(0.15, 3).run_multiple(&engine, 8);
+/// assert_eq!(result.clusters, 2);
+/// assert_eq!(result.noise_count(), 1);
+/// // Multiple-query execution returns the same labels as single queries.
+/// assert_eq!(result.labels, Dbscan::new(0.15, 3).run_single(&engine).labels);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Dbscan {
+    /// Neighborhood radius (`Eps`).
+    pub eps: f64,
+    /// Density threshold (`MinPts`), counting the object itself.
+    pub min_pts: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Unclassified,
+    Noise,
+    Cluster(u32),
+}
+
+impl Dbscan {
+    /// Creates the parameter set.
+    ///
+    /// # Panics
+    /// Panics if `eps` is negative or `min_pts` is zero.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps >= 0.0, "eps must be non-negative");
+        assert!(min_pts >= 1, "min_pts must be positive");
+        Self { eps, min_pts }
+    }
+
+    /// Runs DBSCAN with single similarity queries.
+    pub fn run_single<O, M>(&self, engine: &QueryEngine<'_, O, M>) -> DbscanResult
+    where
+        O: StorageObject,
+        M: Metric<O>,
+    {
+        self.run_impl(engine, None)
+    }
+
+    /// Runs DBSCAN with multiple similarity queries: the expansion seed
+    /// list is kept admitted (up to `batch_size` lookahead) in one session.
+    pub fn run_multiple<O, M>(
+        &self,
+        engine: &QueryEngine<'_, O, M>,
+        batch_size: usize,
+    ) -> DbscanResult
+    where
+        O: StorageObject,
+        M: Metric<O>,
+    {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.run_impl(engine, Some(batch_size))
+    }
+
+    fn run_impl<O, M>(&self, engine: &QueryEngine<'_, O, M>, batch: Option<usize>) -> DbscanResult
+    where
+        O: StorageObject,
+        M: Metric<O>,
+    {
+        let n = engine.disk().database().object_count();
+        let mut state = vec![State::Unclassified; n];
+        let mut clusters = 0u32;
+        let mut queries = 0usize;
+        let qtype = QueryType::range(self.eps);
+
+        // Per-cluster expansion uses one fresh session (the seed lists of
+        // one cluster are exactly the "dynamically added query objects" of
+        // §5.1).
+        for start in 0..n as u32 {
+            if state[start as usize] != State::Unclassified {
+                continue;
+            }
+            let mut runner = SeedRunner::new(engine, qtype, batch);
+            let neighbors = runner.query(ObjectId(start), &mut queries);
+            if neighbors.len() < self.min_pts {
+                state[start as usize] = State::Noise;
+                continue;
+            }
+            // New cluster: expand from the seed set.
+            let cluster = clusters;
+            clusters += 1;
+            state[start as usize] = State::Cluster(cluster);
+            let mut seeds: VecDeque<ObjectId> = VecDeque::new();
+            for id in &neighbors {
+                match state[id.index()] {
+                    State::Unclassified => {
+                        state[id.index()] = State::Cluster(cluster);
+                        seeds.push_back(*id);
+                        runner.prefetch(&seeds);
+                    }
+                    State::Noise => {
+                        // Border object adopted by the cluster.
+                        state[id.index()] = State::Cluster(cluster);
+                    }
+                    State::Cluster(_) => {}
+                }
+            }
+            while let Some(seed) = seeds.pop_front() {
+                let neighbors = runner.query(seed, &mut queries);
+                if neighbors.len() < self.min_pts {
+                    continue; // border object: no further expansion
+                }
+                for id in &neighbors {
+                    match state[id.index()] {
+                        State::Unclassified => {
+                            state[id.index()] = State::Cluster(cluster);
+                            seeds.push_back(*id);
+                            runner.prefetch(&seeds);
+                        }
+                        State::Noise => {
+                            state[id.index()] = State::Cluster(cluster);
+                        }
+                        State::Cluster(_) => {}
+                    }
+                }
+            }
+        }
+
+        let labels = state
+            .into_iter()
+            .map(|s| match s {
+                State::Noise => Label::Noise,
+                State::Cluster(c) => Label::Cluster(c),
+                State::Unclassified => unreachable!("every object is classified"),
+            })
+            .collect();
+        DbscanResult {
+            labels,
+            clusters,
+            queries,
+        }
+    }
+}
+
+/// Issues the per-seed range queries, in either mode.
+struct SeedRunner<'e, 'a, O, M> {
+    engine: &'e QueryEngine<'a, O, M>,
+    qtype: QueryType,
+    batch: Option<usize>,
+    session: Option<MultiQuerySession<O>>,
+    admitted: HashMap<ObjectId, usize>,
+}
+
+impl<'e, 'a, O, M> SeedRunner<'e, 'a, O, M>
+where
+    O: StorageObject,
+    M: Metric<O>,
+{
+    fn new(engine: &'e QueryEngine<'a, O, M>, qtype: QueryType, batch: Option<usize>) -> Self {
+        let session = batch.map(|_| engine.new_session(Vec::new()));
+        Self {
+            engine,
+            qtype,
+            batch,
+            session,
+            admitted: HashMap::new(),
+        }
+    }
+
+    /// Hints upcoming seed queries to the engine (multiple mode only).
+    fn prefetch(&mut self, seeds: &VecDeque<ObjectId>) {
+        let (Some(batch), Some(session)) = (self.batch, self.session.as_mut()) else {
+            return;
+        };
+        for &id in seeds.iter().take(batch) {
+            if !self.admitted.contains_key(&id) {
+                let obj = self.engine.disk().database().object(id).clone();
+                let idx = self.engine.push_query(session, obj, self.qtype);
+                self.admitted.insert(id, idx);
+            }
+        }
+    }
+
+    /// The ε-neighborhood of `object` (complete).
+    fn query(&mut self, object: ObjectId, queries: &mut usize) -> Vec<ObjectId> {
+        *queries += 1;
+        match self.session.as_mut() {
+            None => {
+                let obj = self.engine.disk().database().object(object).clone();
+                self.engine
+                    .similarity_query(&obj, &self.qtype)
+                    .ids()
+                    .collect()
+            }
+            Some(session) => {
+                let idx = match self.admitted.get(&object) {
+                    Some(&idx) => idx,
+                    None => {
+                        let obj = self.engine.disk().database().object(object).clone();
+                        let idx = self.engine.push_query(session, obj, self.qtype);
+                        self.admitted.insert(object, idx);
+                        idx
+                    }
+                };
+                while !session.is_complete(idx) {
+                    if self.engine.multiple_query_step(session).is_none() {
+                        break;
+                    }
+                }
+                session.answers(idx).ids().collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::LinearScan;
+    use mq_metric::{Euclidean, Vector};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
+
+    /// Two dense blobs plus two isolated points.
+    fn blobs() -> Dataset<Vector> {
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            pts.push(Vector::new(vec![
+                (i % 4) as f32 * 0.5,
+                (i / 4) as f32 * 0.5,
+            ]));
+        }
+        for i in 0..12 {
+            pts.push(Vector::new(vec![
+                100.0 + (i % 4) as f32 * 0.5,
+                (i / 4) as f32 * 0.5,
+            ]));
+        }
+        pts.push(Vector::new(vec![50.0, 50.0]));
+        pts.push(Vector::new(vec![-50.0, 50.0]));
+        Dataset::new(pts)
+    }
+
+    fn engine_parts(ds: &Dataset<Vector>) -> (PagedDatabase<Vector>, usize) {
+        let db = PagedDatabase::pack(ds, PageLayout::new(128, 16));
+        let pages = db.page_count();
+        (db, pages)
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let ds = blobs();
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let result = Dbscan::new(0.8, 3).run_single(&engine);
+        assert_eq!(result.clusters, 2);
+        assert_eq!(result.noise_count(), 2);
+        // All of blob 1 in one cluster, all of blob 2 in the other.
+        let c0 = result.labels[0];
+        assert!((0..12).all(|i| result.labels[i] == c0));
+        let c1 = result.labels[12];
+        assert!((12..24).all(|i| result.labels[i] == c1));
+        assert_ne!(c0, c1);
+        assert_eq!(result.labels[24], Label::Noise);
+        assert_eq!(result.labels[25], Label::Noise);
+    }
+
+    #[test]
+    fn multiple_mode_produces_identical_clustering() {
+        let ds = blobs();
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let single = Dbscan::new(0.8, 3).run_single(&engine);
+        for batch in [1, 4, 16] {
+            let multi = Dbscan::new(0.8, 3).run_multiple(&engine, batch);
+            assert_eq!(multi.labels, single.labels, "batch {batch}");
+            assert_eq!(multi.clusters, single.clusters);
+            assert_eq!(
+                multi.queries, single.queries,
+                "same number of range queries"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_mode_reads_fewer_pages() {
+        let ds = blobs();
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 1);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+
+        disk.reset_stats();
+        let _ = Dbscan::new(0.8, 3).run_single(&engine);
+        let single_io = disk.stats().logical_reads;
+
+        disk.reset_stats();
+        let _ = Dbscan::new(0.8, 3).run_multiple(&engine, 16);
+        let multi_io = disk.stats().logical_reads;
+
+        assert!(
+            multi_io < single_io,
+            "multiple-query DBSCAN should read fewer pages: {multi_io} vs {single_io}"
+        );
+    }
+
+    #[test]
+    fn all_noise_when_min_pts_too_high() {
+        let ds = blobs();
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let result = Dbscan::new(0.8, 100).run_single(&engine);
+        assert_eq!(result.clusters, 0);
+        assert_eq!(result.noise_count(), ds.len());
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let ds = blobs();
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let result = Dbscan::new(1000.0, 3).run_single(&engine);
+        assert_eq!(result.clusters, 1);
+        assert_eq!(result.noise_count(), 0);
+    }
+
+    #[test]
+    fn border_object_between_dense_regions() {
+        // A bridge point within eps of a cluster but not core itself.
+        let mut pts: Vec<Vector> = (0..6)
+            .map(|i| Vector::new(vec![i as f32 * 0.4, 0.0]))
+            .collect();
+        pts.push(Vector::new(vec![2.4, 0.0])); // border: within eps of the chain end only
+        let ds = Dataset::new(pts);
+        let (db, pages) = engine_parts(&ds);
+        let scan = LinearScan::new(pages);
+        let disk = SimulatedDisk::with_buffer_pages(db, 2);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        let result = Dbscan::new(0.5, 3).run_single(&engine);
+        assert_eq!(result.clusters, 1);
+        assert_eq!(
+            result.labels[6],
+            Label::Cluster(0),
+            "border object joins the cluster"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts must be positive")]
+    fn zero_min_pts_rejected() {
+        let _ = Dbscan::new(1.0, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! The shared-nothing cluster: parallel execution of multiple similarity
+//! queries (§5.3).
+
+use crate::merge::merge_answers;
+use crate::partition::Declustering;
+use crate::server::Server;
+use mq_core::{Answer, ExecutionStats, QueryEngine, QueryType, StatsProbe};
+use mq_index::SimilarityIndex;
+use mq_metric::Metric;
+use mq_storage::{Dataset, PagedDatabase, StorageObject};
+use std::time::Instant;
+
+/// Statistics of one parallel multiple-query run.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterStats {
+    /// Per-server execution statistics (I/O, distance calculations,
+    /// triangle-inequality counters), in server order.
+    pub per_server: Vec<ExecutionStats>,
+    /// Measured wall-clock of the whole parallel run.
+    pub elapsed: std::time::Duration,
+}
+
+impl ClusterStats {
+    /// Sum over servers — the work a single machine would have done.
+    pub fn total(&self) -> ExecutionStats {
+        self.per_server
+            .iter()
+            .fold(ExecutionStats::default(), |acc, s| acc + *s)
+    }
+
+    /// The dominant server under a cost function — the simulated
+    /// wall-clock of the parallel run (§5.3: servers run concurrently, so
+    /// the cluster finishes with its slowest server).
+    pub fn max_modeled_seconds(&self, cost: impl Fn(&ExecutionStats) -> f64) -> f64 {
+        self.per_server.iter().map(cost).fold(0.0, f64::max)
+    }
+}
+
+/// A cluster of `s` shared-nothing servers over one logical database.
+pub struct SharedNothingCluster<O, M> {
+    servers: Vec<Server<O, M>>,
+}
+
+impl<O, M> SharedNothingCluster<O, M>
+where
+    O: StorageObject,
+    M: Metric<O> + Clone + 'static,
+{
+    /// Declusters `objects` over `s` servers and builds each server's
+    /// local index with `build_index` (invoked once per server).
+    pub fn build<F>(
+        objects: &[O],
+        s: usize,
+        strategy: Declustering,
+        metric: M,
+        buffer_fraction: f64,
+        build_index: F,
+    ) -> Self
+    where
+        F: Fn(&Dataset<O>) -> (Box<dyn SimilarityIndex<O>>, PagedDatabase<O>),
+    {
+        let parts = strategy.partition(objects.len(), s);
+        let servers = parts
+            .iter()
+            .map(|part| Server::build(objects, part, metric.clone(), buffer_fraction, &build_index))
+            .collect();
+        Self { servers }
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The servers (for inspection in tests and reports).
+    pub fn servers(&self) -> &[Server<O, M>] {
+        &self.servers
+    }
+
+    /// Runs one multiple similarity query on every server in parallel
+    /// (scoped OS threads) and merges the per-server answers into global
+    /// answers, in query order.
+    pub fn multiple_query(
+        &self,
+        queries: &[(O, QueryType)],
+        avoidance: bool,
+    ) -> (Vec<Vec<Answer>>, ClusterStats) {
+        let started = Instant::now();
+        let per_server: Vec<(Vec<Vec<Answer>>, ExecutionStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .servers
+                .iter()
+                .map(|server| scope.spawn(move || run_on_server(server, queries, avoidance)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("server thread panicked"))
+                .collect()
+        });
+
+        let stats = ClusterStats {
+            per_server: per_server.iter().map(|(_, s)| *s).collect(),
+            elapsed: started.elapsed(),
+        };
+
+        // Merge per query across servers.
+        let answers = (0..queries.len())
+            .map(|qi| {
+                let lists: Vec<Vec<Answer>> =
+                    per_server.iter().map(|(a, _)| a[qi].clone()).collect();
+                merge_answers(&queries[qi].1, lists)
+            })
+            .collect();
+        (answers, stats)
+    }
+}
+
+/// Executes the full batch on one server and translates answers to global
+/// object ids.
+fn run_on_server<O, M>(
+    server: &Server<O, M>,
+    queries: &[(O, QueryType)],
+    avoidance: bool,
+) -> (Vec<Vec<Answer>>, ExecutionStats)
+where
+    O: StorageObject,
+    M: Metric<O> + Clone,
+{
+    let engine = {
+        let e = QueryEngine::new(server.disk(), server.index(), server.metric().clone());
+        if avoidance {
+            e
+        } else {
+            e.without_avoidance()
+        }
+    };
+    let probe = StatsProbe::start(server.disk(), server.counter(), Default::default());
+    let mut session = engine.new_session(
+        queries
+            .iter()
+            .map(|(o, t)| (o.clone(), *t))
+            .collect::<Vec<_>>(),
+    );
+    engine.run_to_completion(&mut session);
+    let avoidance_stats = session.avoidance_stats();
+    let stats = probe.finish(server.disk(), avoidance_stats);
+    let answers = session
+        .into_answers()
+        .into_iter()
+        .map(|list| {
+            list.into_iter()
+                .map(|a| Answer {
+                    id: server.global_id(a.id),
+                    distance: a.distance,
+                })
+                .collect()
+        })
+        .collect();
+    (answers, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::{LinearScan, XTree, XTreeConfig};
+    use mq_metric::{Euclidean, ObjectId, Vector};
+    use mq_storage::{PageLayout, SimulatedDisk};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Vector::new(
+                    (0..dim)
+                        .map(|_| (next() * 100.0) as f32)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn layout() -> PageLayout {
+        PageLayout::new(256, 16)
+    }
+
+    fn scan_builder(
+    ) -> impl Fn(&Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>)
+    {
+        |ds: &Dataset<Vector>| {
+            let db = PagedDatabase::pack(ds, layout());
+            let scan = LinearScan::new(db.page_count());
+            (Box::new(scan) as Box<dyn SimilarityIndex<Vector>>, db)
+        }
+    }
+
+    fn xtree_builder(
+    ) -> impl Fn(&Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>)
+    {
+        |ds: &Dataset<Vector>| {
+            let cfg = XTreeConfig {
+                layout: layout(),
+                ..Default::default()
+            };
+            let (tree, db) = XTree::bulk_load(ds, cfg);
+            (Box::new(tree) as Box<dyn SimilarityIndex<Vector>>, db)
+        }
+    }
+
+    /// Sequential reference on a single node.
+    fn sequential_answers(
+        objects: &[Vector],
+        queries: &[(Vector, QueryType)],
+    ) -> Vec<Vec<ObjectId>> {
+        let ds = Dataset::new(objects.to_vec());
+        let db = PagedDatabase::pack(&ds, layout());
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let engine = QueryEngine::new(&disk, &scan, Euclidean);
+        queries
+            .iter()
+            .map(|(q, t)| engine.similarity_query(q, t).ids().collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_knn_matches_sequential() {
+        let objects = random_points(400, 4, 201);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(41)
+            .take(8)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        let reference = sequential_answers(&objects, &queries);
+        for s in [1, 2, 4, 7] {
+            let cluster = SharedNothingCluster::build(
+                &objects,
+                s,
+                Declustering::RoundRobin,
+                Euclidean,
+                0.1,
+                scan_builder(),
+            );
+            let (answers, stats) = cluster.multiple_query(&queries, true);
+            assert_eq!(stats.per_server.len(), s);
+            for (got, want) in answers.iter().zip(&reference) {
+                let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
+                assert_eq!(&ids, want, "s = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_range_matches_sequential_on_xtree() {
+        let objects = random_points(500, 4, 203);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(67)
+            .take(6)
+            .map(|v| (v.clone(), QueryType::range(12.0)))
+            .collect();
+        let reference = sequential_answers(&objects, &queries);
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            4,
+            Declustering::Hash,
+            Euclidean,
+            0.1,
+            xtree_builder(),
+        );
+        let (answers, _) = cluster.multiple_query(&queries, true);
+        for (got, want) in answers.iter().zip(&reference) {
+            let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
+            assert_eq!(&ids, want);
+        }
+    }
+
+    #[test]
+    fn per_server_io_shrinks_with_more_servers() {
+        let objects = random_points(600, 4, 207);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .take(10)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        let run = |s: usize| {
+            let cluster = SharedNothingCluster::build(
+                &objects,
+                s,
+                Declustering::RoundRobin,
+                Euclidean,
+                0.1,
+                scan_builder(),
+            );
+            let (_, stats) = cluster.multiple_query(&queries, true);
+            stats
+                .per_server
+                .iter()
+                .map(|st| st.io.logical_reads)
+                .max()
+                .unwrap_or(0)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four * 3 <= one,
+            "per-server I/O should shrink ~4x: 1 server {one}, 4 servers {four}"
+        );
+    }
+
+    #[test]
+    fn declustering_strategies_agree_on_results() {
+        let objects = random_points(300, 3, 211);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(53)
+            .take(5)
+            .map(|v| (v.clone(), QueryType::knn(4)))
+            .collect();
+        let reference = sequential_answers(&objects, &queries);
+        for strategy in [
+            Declustering::RoundRobin,
+            Declustering::Hash,
+            Declustering::Chunk,
+        ] {
+            let cluster =
+                SharedNothingCluster::build(&objects, 3, strategy, Euclidean, 0.1, scan_builder());
+            let (answers, _) = cluster.multiple_query(&queries, true);
+            for (got, want) in answers.iter().zip(&reference) {
+                let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
+                assert_eq!(&ids, want, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_total_and_max() {
+        let objects = random_points(200, 3, 213);
+        let queries: Vec<(Vector, QueryType)> = vec![(objects[0].clone(), QueryType::knn(3))];
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            2,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        );
+        let (_, stats) = cluster.multiple_query(&queries, true);
+        let total = stats.total();
+        assert_eq!(
+            total.io.logical_reads,
+            stats
+                .per_server
+                .iter()
+                .map(|s| s.io.logical_reads)
+                .sum::<u64>()
+        );
+        let max = stats.max_modeled_seconds(|s| s.dist_calcs as f64);
+        assert!(max <= total.dist_calcs as f64);
+        assert!(
+            max * 2.0 >= total.dist_calcs as f64 * 0.9,
+            "roughly balanced"
+        );
+    }
+
+    #[test]
+    fn empty_query_batch() {
+        let objects = random_points(50, 3, 217);
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            2,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        );
+        let (answers, stats) = cluster.multiple_query(&[], true);
+        assert!(answers.is_empty());
+        assert_eq!(stats.per_server.len(), 2);
+    }
+}

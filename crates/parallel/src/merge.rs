@@ -1,0 +1,81 @@
+//! Merging per-server answers into global answers.
+//!
+//! Every server answers each query on its local partition; the global
+//! answer of a query is obtained by merging: union for range queries, the
+//! k globally smallest distances for k-NN queries. Correctness rests on a
+//! simple fact: each server's local k-NN set contains every *global* k-NN
+//! answer stored on that server, so the union of local answer sets is a
+//! superset of the global answer set.
+
+use mq_core::{Answer, AnswerList, QueryType};
+
+/// Merges one query's per-server answer lists (already translated to
+/// global object ids) into the global answer list.
+pub fn merge_answers(qtype: &QueryType, per_server: Vec<Vec<Answer>>) -> Vec<Answer> {
+    let mut merged = AnswerList::new(qtype);
+    for answers in per_server {
+        for a in answers {
+            if a.distance <= merged.query_dist(qtype) {
+                merged.insert(a);
+            }
+        }
+    }
+    merged.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::ObjectId;
+
+    fn a(id: u32, d: f64) -> Answer {
+        Answer {
+            id: ObjectId(id),
+            distance: d,
+        }
+    }
+
+    #[test]
+    fn knn_merge_takes_global_best() {
+        let qtype = QueryType::knn(3);
+        let merged = merge_answers(
+            &qtype,
+            vec![
+                vec![a(1, 0.5), a(2, 2.0), a(3, 3.0)],
+                vec![a(4, 0.1), a(5, 1.0), a(6, 9.0)],
+            ],
+        );
+        let ids: Vec<u32> = merged.iter().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![4, 1, 5]);
+    }
+
+    #[test]
+    fn range_merge_is_union() {
+        let qtype = QueryType::range(2.0);
+        let merged = merge_answers(
+            &qtype,
+            vec![vec![a(1, 0.5), a(2, 2.0)], vec![a(3, 1.5)], vec![]],
+        );
+        assert_eq!(merged.len(), 3);
+        // Sorted by distance.
+        assert_eq!(merged[0].id, ObjectId(1));
+        assert_eq!(merged[2].id, ObjectId(2));
+    }
+
+    #[test]
+    fn tie_break_by_id_matches_sequential_semantics() {
+        let qtype = QueryType::knn(2);
+        let merged = merge_answers(
+            &qtype,
+            vec![vec![a(9, 1.0)], vec![a(3, 1.0)], vec![a(7, 1.0)]],
+        );
+        let ids: Vec<u32> = merged.iter().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![3, 7]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let qtype = QueryType::knn(5);
+        assert!(merge_answers(&qtype, Vec::new()).is_empty());
+    }
+}

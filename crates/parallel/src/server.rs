@@ -1,0 +1,78 @@
+//! One shared-nothing server: a partition of the data behind its own disk,
+//! buffer and index.
+
+use mq_index::SimilarityIndex;
+use mq_metric::{CountingMetric, DistanceCounter, Metric, ObjectId};
+use mq_storage::{Dataset, PagedDatabase, SimulatedDisk, StorageObject};
+
+/// A server of the shared-nothing cluster.
+///
+/// Objects get *local* dense ids on the server; [`Server::global_id`] maps
+/// local answers back to the global id space when merging.
+pub struct Server<O, M> {
+    disk: SimulatedDisk<O>,
+    index: Box<dyn SimilarityIndex<O>>,
+    metric: CountingMetric<M>,
+    global_ids: Vec<ObjectId>,
+}
+
+impl<O: StorageObject, M: Metric<O>> Server<O, M> {
+    /// Builds a server for the objects in `part` (global ids), using
+    /// `build_index` to construct its local access method and database
+    /// layout, with a local LRU buffer of `buffer_fraction` of its pages.
+    /// The server's distance calculations are counted on a private counter.
+    pub fn build<F>(
+        objects: &[O],
+        part: &[ObjectId],
+        metric: M,
+        buffer_fraction: f64,
+        build_index: F,
+    ) -> Self
+    where
+        F: FnOnce(&Dataset<O>) -> (Box<dyn SimilarityIndex<O>>, PagedDatabase<O>),
+    {
+        let local: Vec<O> = part.iter().map(|id| objects[id.index()].clone()).collect();
+        let dataset = Dataset::new(local);
+        let (index, db) = build_index(&dataset);
+        let disk = SimulatedDisk::new(db, buffer_fraction);
+        Self {
+            disk,
+            index,
+            metric: CountingMetric::new(metric),
+            global_ids: part.to_vec(),
+        }
+    }
+
+    /// The server's simulated disk.
+    pub fn disk(&self) -> &SimulatedDisk<O> {
+        &self.disk
+    }
+
+    /// The server's access method.
+    pub fn index(&self) -> &dyn SimilarityIndex<O> {
+        &*self.index
+    }
+
+    /// The server's counted metric (shared counter).
+    pub fn metric(&self) -> &CountingMetric<M>
+    where
+        M: Clone,
+    {
+        &self.metric
+    }
+
+    /// The server's distance counter.
+    pub fn counter(&self) -> &DistanceCounter {
+        self.metric.counter()
+    }
+
+    /// Number of objects on this server.
+    pub fn object_count(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Maps a local object id back to the global id space.
+    pub fn global_id(&self, local: ObjectId) -> ObjectId {
+        self.global_ids[local.index()]
+    }
+}

@@ -1,0 +1,279 @@
+//! An LRU page buffer.
+//!
+//! The paper's setup (§6): "the buffer size was set to 10 % of the X-tree
+//! size". This is a classic O(1) LRU: a hash map into an intrusive
+//! doubly-linked list backed by a slab of nodes.
+
+use crate::page::PageId;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU set of page ids.
+#[derive(Clone, Debug)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<PageId, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a bufferless disk should be modeled
+    /// with `SimulatedDisk::with_buffer_pages(db, 0)` semantics at the disk
+    /// level, not with a zero-capacity LRU.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of buffered pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `page` is currently buffered (does not touch recency).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Accesses `page`: returns `true` on a buffer hit (and marks the page
+    /// most-recently-used), `false` on a miss (and inserts the page,
+    /// evicting the least-recently-used page if the buffer is full).
+    pub fn access(&mut self, page: PageId) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let victim_page = self.nodes[victim as usize].page;
+            self.unlink(victim);
+            self.map.remove(&victim_page);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(page, idx);
+        false
+    }
+
+    /// Drops all buffered pages (cold restart).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Buffered pages from most- to least-recently used (diagnostic).
+    pub fn pages_mru_to_lru(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur as usize].page);
+            cur = self.nodes[cur as usize].next;
+        }
+        out
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = LruBuffer::new(2);
+        assert!(!b.access(p(1)));
+        assert!(b.access(p(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.access(p(1));
+        b.access(p(2));
+        b.access(p(1)); // 1 becomes MRU; LRU is 2
+        b.access(p(3)); // evicts 2
+        assert!(b.contains(p(1)));
+        assert!(!b.contains(p(2)));
+        assert!(b.contains(p(3)));
+        assert_eq!(b.pages_mru_to_lru(), vec![p(3), p(1)]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut b = LruBuffer::new(1);
+        assert!(!b.access(p(1)));
+        assert!(!b.access(p(2)));
+        assert!(!b.access(p(1)));
+        assert!(b.access(p(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = LruBuffer::new(3);
+        b.access(p(1));
+        b.access(p(2));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.access(p(1)));
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut b = LruBuffer::new(2);
+        for i in 0..100 {
+            b.access(p(i));
+        }
+        // Slab never grows beyond capacity.
+        assert!(b.nodes.len() <= 2);
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(p(99)));
+        assert!(b.contains(p(98)));
+    }
+
+    #[test]
+    fn lru_order_is_exact_under_interleaving() {
+        let mut b = LruBuffer::new(3);
+        b.access(p(1));
+        b.access(p(2));
+        b.access(p(3));
+        b.access(p(2));
+        assert_eq!(b.pages_mru_to_lru(), vec![p(2), p(3), p(1)]);
+        b.access(p(4)); // evict 1
+        assert_eq!(b.pages_mru_to_lru(), vec![p(4), p(2), p(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruBuffer::new(0);
+    }
+
+    /// Model-based check against a naive reference implementation.
+    #[test]
+    fn matches_naive_reference() {
+        struct Naive {
+            cap: usize,
+            order: Vec<PageId>, // MRU first
+        }
+        impl Naive {
+            fn access(&mut self, page: PageId) -> bool {
+                if let Some(pos) = self.order.iter().position(|&x| x == page) {
+                    self.order.remove(pos);
+                    self.order.insert(0, page);
+                    true
+                } else {
+                    if self.order.len() == self.cap {
+                        self.order.pop();
+                    }
+                    self.order.insert(0, page);
+                    false
+                }
+            }
+        }
+        let mut lru = LruBuffer::new(4);
+        let mut naive = Naive {
+            cap: 4,
+            order: Vec::new(),
+        };
+        // Deterministic pseudo-random access pattern.
+        let mut x: u64 = 42;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = p((x >> 33) as u32 % 10);
+            assert_eq!(lru.access(page), naive.access(page));
+            assert_eq!(lru.pages_mru_to_lru(), naive.order);
+        }
+    }
+}

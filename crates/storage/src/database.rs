@@ -1,0 +1,310 @@
+//! The paged database: immutable pages plus an object directory.
+
+use crate::page::{Page, PageId, PageLayout};
+use mq_metric::{ObjectId, SymbolSet, Symbols, Vector};
+
+/// Objects that can be stored in pages: the storage layer needs to know the
+/// payload size to derive page capacities.
+pub trait StorageObject: Clone + Send + Sync + 'static {
+    /// The object's payload size in bytes.
+    fn payload_bytes(&self) -> usize;
+}
+
+impl StorageObject for Vector {
+    fn payload_bytes(&self) -> usize {
+        Vector::payload_bytes(self)
+    }
+}
+
+impl StorageObject for Symbols {
+    fn payload_bytes(&self) -> usize {
+        Symbols::payload_bytes(self)
+    }
+}
+
+impl StorageObject for SymbolSet {
+    fn payload_bytes(&self) -> usize {
+        SymbolSet::payload_bytes(self)
+    }
+}
+
+/// An in-memory dataset: the object universe before it is laid out on pages.
+/// Object ids are positions in the backing vector.
+#[derive(Clone, Debug)]
+pub struct Dataset<O> {
+    objects: Vec<O>,
+}
+
+impl<O: StorageObject> Dataset<O> {
+    /// Wraps a vector of objects; ids are assigned by position.
+    pub fn new(objects: Vec<O>) -> Self {
+        assert!(
+            u32::try_from(objects.len()).is_ok(),
+            "dataset exceeds u32 object-id space"
+        );
+        Self { objects }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object with the given id.
+    pub fn object(&self, id: ObjectId) -> &O {
+        &self.objects[id.index()]
+    }
+
+    /// All objects in id order.
+    pub fn objects(&self) -> &[O] {
+        &self.objects
+    }
+
+    /// Iterates `(ObjectId, &O)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &O)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
+    }
+
+    /// Maximum payload size over all objects (used to size pages for
+    /// variable-length objects such as symbol sequences).
+    pub fn max_payload_bytes(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| o.payload_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// An immutable paged database (paper's class `DB`).
+///
+/// Built once, then only read through [`crate::SimulatedDisk`]. Keeps a
+/// directory mapping every object id to its `(page, slot)` location.
+#[derive(Clone, Debug)]
+pub struct PagedDatabase<O> {
+    pages: Vec<Page<O>>,
+    /// `directory[object_id] = (page, slot)`.
+    directory: Vec<(PageId, u32)>,
+    layout: PageLayout,
+}
+
+impl<O: StorageObject> PagedDatabase<O> {
+    /// Packs a dataset into consecutive full pages in id order — the layout
+    /// used by the linear scan (§5.1: every page is relevant and pages are
+    /// processed in physical order).
+    pub fn pack(dataset: &Dataset<O>, layout: PageLayout) -> Self {
+        let capacity = layout.capacity_for(dataset.max_payload_bytes());
+        let groups: Vec<Vec<(ObjectId, O)>> = dataset
+            .objects()
+            .chunks(capacity)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| (ObjectId((chunk_idx * capacity + i) as u32), o.clone()))
+                    .collect()
+            })
+            .collect();
+        Self::from_groups(groups, layout)
+    }
+
+    /// Builds a database from explicit page groups — the layout an index
+    /// produces, where each group is the contents of one index leaf.
+    ///
+    /// # Panics
+    /// Panics if a group is empty, if an object id appears twice, or if the
+    /// ids are not dense `0..n`.
+    pub fn from_groups(groups: Vec<Vec<(ObjectId, O)>>, layout: PageLayout) -> Self {
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let mut directory = vec![None; n];
+        let mut pages = Vec::with_capacity(groups.len());
+        for (pid, group) in groups.into_iter().enumerate() {
+            assert!(!group.is_empty(), "page group {pid} is empty");
+            let page_id = PageId(pid as u32);
+            for (slot, (oid, _)) in group.iter().enumerate() {
+                let entry = directory
+                    .get_mut(oid.index())
+                    .unwrap_or_else(|| panic!("object id {oid} out of dense range 0..{n}"));
+                assert!(entry.is_none(), "object id {oid} appears on two pages");
+                *entry = Some((page_id, slot as u32));
+            }
+            pages.push(Page::new(page_id, group));
+        }
+        let directory = directory
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e.unwrap_or_else(|| panic!("object id O{i} missing from page groups")))
+            .collect();
+        Self {
+            pages,
+            directory,
+            layout,
+        }
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// The page layout the database was built with.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Direct (un-metered) access to a page. Query processing must go
+    /// through [`crate::SimulatedDisk::read_page`] instead; this accessor is
+    /// for index construction and tests.
+    pub fn page(&self, id: PageId) -> &Page<O> {
+        &self.pages[id.index()]
+    }
+
+    /// All page ids in physical order.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages.len() as u32).map(PageId)
+    }
+
+    /// The `(page, slot)` location of an object.
+    pub fn locate(&self, id: ObjectId) -> (PageId, u32) {
+        self.directory[id.index()]
+    }
+
+    /// Un-metered object lookup by id — bookkeeping only (e.g. fetching a
+    /// query object that a previous query already returned; the paper keeps
+    /// such objects in the DBMS answer buffer).
+    pub fn object(&self, id: ObjectId) -> &O {
+        let (pid, slot) = self.locate(id);
+        &self.pages[pid.index()].records()[slot as usize].1
+    }
+
+    /// Reconstructs the dataset (objects in id order) — e.g. to rebuild an
+    /// index over a database loaded from disk.
+    pub fn to_dataset(&self) -> Dataset<O> {
+        let objects: Vec<O> = (0..self.object_count() as u32)
+            .map(|i| self.object(ObjectId(i)).clone())
+            .collect();
+        Dataset::new(objects)
+    }
+
+    /// Average page fill (records per page relative to capacity for the
+    /// largest record) — diagnostic for index layouts.
+    pub fn avg_fill(&self) -> f64 {
+        if self.pages.is_empty() {
+            return 0.0;
+        }
+        let cap: usize = self
+            .pages
+            .iter()
+            .flat_map(|p| p.records().iter())
+            .map(|(_, o)| o.payload_bytes())
+            .max()
+            .map(|payload| self.layout.capacity_for(payload))
+            .unwrap_or(1);
+        let avg_len =
+            self.pages.iter().map(Page::len).sum::<usize>() as f64 / self.pages.len() as f64;
+        avg_len / cap as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, dim: usize) -> Dataset<Vector> {
+        Dataset::new(
+            (0..n)
+                .map(|i| Vector::new((0..dim).map(|j| (i * dim + j) as f32).collect::<Vec<_>>()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pack_fills_pages_in_order() {
+        let ds = vecs(10, 2);
+        // 2-d vector: 8 bytes + 16 header = 24 bytes; tiny block of 72 bytes
+        // holds exactly 3 records.
+        let layout = PageLayout::new(72, 16);
+        let db = PagedDatabase::pack(&ds, layout);
+        assert_eq!(db.page_count(), 4); // 3+3+3+1
+        assert_eq!(db.object_count(), 10);
+        assert_eq!(db.page(PageId(0)).len(), 3);
+        assert_eq!(db.page(PageId(3)).len(), 1);
+        // Directory is consistent.
+        for (id, o) in ds.iter() {
+            assert_eq!(db.object(id).components(), o.components());
+        }
+    }
+
+    #[test]
+    fn from_groups_preserves_grouping() {
+        let ds = vecs(5, 1);
+        let groups = vec![
+            vec![
+                (ObjectId(3), ds.object(ObjectId(3)).clone()),
+                (ObjectId(0), ds.object(ObjectId(0)).clone()),
+            ],
+            vec![(ObjectId(4), ds.object(ObjectId(4)).clone())],
+            vec![
+                (ObjectId(1), ds.object(ObjectId(1)).clone()),
+                (ObjectId(2), ds.object(ObjectId(2)).clone()),
+            ],
+        ];
+        let db = PagedDatabase::from_groups(groups, PageLayout::PAPER);
+        assert_eq!(db.page_count(), 3);
+        assert_eq!(db.locate(ObjectId(3)), (PageId(0), 0));
+        assert_eq!(db.locate(ObjectId(2)), (PageId(2), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears on two pages")]
+    fn duplicate_object_id_rejected() {
+        let v = Vector::new(vec![0.0]);
+        let groups = vec![
+            vec![(ObjectId(0), v.clone()), (ObjectId(1), v.clone())],
+            vec![(ObjectId(0), v.clone())],
+        ];
+        // Note: ids are not dense either, but the duplicate fires first.
+        let _ = PagedDatabase::from_groups(groups, PageLayout::PAPER);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dense range")]
+    fn non_dense_object_ids_rejected() {
+        let v = Vector::new(vec![0.0]);
+        let groups = vec![
+            vec![(ObjectId(0), v.clone()), (ObjectId(2), v.clone())],
+            vec![(ObjectId(3), v)],
+        ];
+        let _ = PagedDatabase::from_groups(groups, PageLayout::PAPER);
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = vecs(4, 3);
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.max_payload_bytes(), 12);
+        assert_eq!(ds.iter().count(), 4);
+    }
+
+    #[test]
+    fn avg_fill_of_packed_db_is_high() {
+        let ds = vecs(100, 2);
+        let db = PagedDatabase::pack(&ds, PageLayout::new(72, 16));
+        assert!(db.avg_fill() > 0.8, "fill = {}", db.avg_fill());
+    }
+}

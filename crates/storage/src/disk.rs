@@ -1,0 +1,270 @@
+//! The simulated disk: metered page reads through an LRU buffer.
+
+use crate::buffer::LruBuffer;
+use crate::database::{PagedDatabase, StorageObject};
+use crate::page::{Page, PageId};
+use crate::policy::BufferPolicy;
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+
+/// The paper's buffer sizing: 10 % of the data pages (§6).
+pub const PAPER_BUFFER_FRACTION: f64 = 0.10;
+
+/// Forward window within which a read still counts as sequential: skipping
+/// a few pages forward costs only rotational delay, not a head seek, so
+/// `last + 1 ..= last + SEQUENTIAL_SKIP_WINDOW` is classified sequential.
+/// Index traversals over physically clustered leaves (DFS page numbering)
+/// produce exactly such short forward skips.
+pub const SEQUENTIAL_SKIP_WINDOW: u32 = 4;
+
+#[derive(Debug)]
+struct DiskState {
+    buffer: Box<dyn BufferPolicy>,
+    stats: IoStats,
+    last_physical: Option<PageId>,
+}
+
+/// A simulated disk serving the pages of one [`PagedDatabase`].
+///
+/// Every [`read_page`](Self::read_page) is metered: it first consults the
+/// LRU buffer; on a miss it counts a physical read, classified as
+/// *sequential* if the requested page immediately follows the last
+/// physically read page, else *random*. The page data itself is returned by
+/// reference (the database is immutable).
+///
+/// The disk is `Sync`: concurrent readers contend on one internal lock,
+/// which is correct for the paper's setting (each shared-nothing server owns
+/// its own disk; within a server, query processing is sequential).
+#[derive(Debug)]
+pub struct SimulatedDisk<O> {
+    db: PagedDatabase<O>,
+    state: Mutex<DiskState>,
+}
+
+impl<O: StorageObject> SimulatedDisk<O> {
+    /// Creates a disk with a buffer of `fraction` of the database's pages
+    /// (at least one page). Use [`PAPER_BUFFER_FRACTION`] for the paper's
+    /// 10 % setting.
+    pub fn new(db: PagedDatabase<O>, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "buffer fraction must be in [0, 1]"
+        );
+        let pages = ((db.page_count() as f64 * fraction).ceil() as usize).max(1);
+        Self::with_buffer_pages(db, pages)
+    }
+
+    /// Creates a disk with an explicit buffer capacity in pages (minimum 1).
+    pub fn with_buffer_pages(db: PagedDatabase<O>, buffer_pages: usize) -> Self {
+        let capacity = buffer_pages.max(1);
+        Self::with_policy(db, Box::new(LruBuffer::new(capacity)))
+    }
+
+    /// Creates a disk with an explicit page-replacement policy (the paper
+    /// uses LRU; see [`crate::policy`] for CLOCK and FIFO alternatives).
+    pub fn with_policy(db: PagedDatabase<O>, policy: Box<dyn BufferPolicy>) -> Self {
+        Self {
+            db,
+            state: Mutex::new(DiskState {
+                buffer: policy,
+                stats: IoStats::default(),
+                last_physical: None,
+            }),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &PagedDatabase<O> {
+        &self.db
+    }
+
+    /// Buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.state.lock().buffer.capacity()
+    }
+
+    /// Reads a page, updating buffer state and I/O counters.
+    pub fn read_page(&self, id: PageId) -> &Page<O> {
+        {
+            let mut st = self.state.lock();
+            st.stats.logical_reads += 1;
+            if st.buffer.access(id) {
+                st.stats.buffer_hits += 1;
+            } else {
+                st.stats.physical_reads += 1;
+                let sequential = match st.last_physical {
+                    Some(prev) => id.0 > prev.0 && id.0 - prev.0 <= SEQUENTIAL_SKIP_WINDOW,
+                    None => false,
+                };
+                if sequential {
+                    st.stats.sequential_reads += 1;
+                } else {
+                    st.stats.random_reads += 1;
+                }
+                st.last_physical = Some(id);
+            }
+        }
+        self.db.page(id)
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Resets the I/O counters (keeps the buffer contents).
+    pub fn reset_stats(&self) {
+        let mut st = self.state.lock();
+        st.stats = IoStats::default();
+        st.last_physical = None;
+    }
+
+    /// Empties the buffer (cold restart) and resets counters.
+    pub fn cold_restart(&self) {
+        let mut st = self.state.lock();
+        st.buffer.clear();
+        st.stats = IoStats::default();
+        st.last_physical = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Dataset;
+    use crate::page::PageLayout;
+    use mq_metric::Vector;
+
+    fn disk(n_objects: usize, buffer_pages: usize) -> SimulatedDisk<Vector> {
+        let ds = Dataset::new(
+            (0..n_objects)
+                .map(|i| Vector::new(vec![i as f32, 0.0]))
+                .collect(),
+        );
+        // 3 records per page (8-byte payload + 16 header = 24; 72/24 = 3).
+        let db = PagedDatabase::pack(&ds, PageLayout::new(72, 16));
+        SimulatedDisk::with_buffer_pages(db, buffer_pages)
+    }
+
+    #[test]
+    fn sequential_scan_classification() {
+        let d = disk(30, 1); // 10 pages, 1-page buffer
+        for pid in d.database().page_ids().collect::<Vec<_>>() {
+            d.read_page(pid);
+        }
+        let s = d.stats();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 10);
+        // First page is a seek, the rest are sequential.
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.sequential_reads, 9);
+    }
+
+    #[test]
+    fn buffer_absorbs_rereads() {
+        let d = disk(30, 10);
+        for pid in d.database().page_ids().collect::<Vec<_>>() {
+            d.read_page(pid);
+        }
+        for pid in d.database().page_ids().collect::<Vec<_>>() {
+            d.read_page(pid);
+        }
+        let s = d.stats();
+        assert_eq!(s.logical_reads, 20);
+        assert_eq!(s.physical_reads, 10);
+        assert_eq!(s.buffer_hits, 10);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_buffer_thrashes() {
+        let d = disk(30, 2);
+        for _ in 0..2 {
+            for pid in d.database().page_ids().collect::<Vec<_>>() {
+                d.read_page(pid);
+            }
+        }
+        let s = d.stats();
+        assert_eq!(
+            s.buffer_hits, 0,
+            "2-page LRU cannot serve a 10-page cyclic scan"
+        );
+        assert_eq!(s.physical_reads, 20);
+    }
+
+    #[test]
+    fn random_access_pattern_counts_seeks() {
+        let d = disk(30, 1);
+        for &i in &[0u32, 5, 2, 8, 3] {
+            d.read_page(PageId(i));
+        }
+        let s = d.stats();
+        assert_eq!(s.random_reads, 5);
+        assert_eq!(s.sequential_reads, 0);
+    }
+
+    #[test]
+    fn reset_and_cold_restart() {
+        let d = disk(30, 10);
+        d.read_page(PageId(0));
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+        // Buffer still warm after reset_stats.
+        d.read_page(PageId(0));
+        assert_eq!(d.stats().buffer_hits, 1);
+        d.cold_restart();
+        d.read_page(PageId(0));
+        assert_eq!(d.stats().buffer_hits, 0);
+        assert_eq!(d.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn fraction_sizing() {
+        let ds = Dataset::new((0..300).map(|i| Vector::new(vec![i as f32, 0.0])).collect());
+        let db = PagedDatabase::pack(&ds, PageLayout::new(72, 16)); // 100 pages
+        let d = SimulatedDisk::new(db, PAPER_BUFFER_FRACTION);
+        assert_eq!(d.buffer_capacity(), 10);
+    }
+
+    #[test]
+    fn skip_window_counts_short_forward_jumps_as_sequential() {
+        let d = disk(90, 1); // 30 pages
+        // Forward jumps within the window are sequential; larger jumps and
+        // any backward movement are seeks.
+        for &i in &[0u32, 2, 4, 8, 13, 12, 20] {
+            d.read_page(PageId(i));
+        }
+        let s = d.stats();
+        // 0: random (first); 2,4,8: sequential (skips of 2,2,4);
+        // 13: random (skip 5 > window); 12: random (backward);
+        // 20: random (skip 8).
+        assert_eq!(s.sequential_reads, 3);
+        assert_eq!(s.random_reads, 4);
+    }
+
+    #[test]
+    fn custom_policy_is_honored() {
+        use crate::policy::FifoBuffer;
+        let ds = Dataset::new((0..30).map(|i| Vector::new(vec![i as f32, 0.0])).collect());
+        let db = PagedDatabase::pack(&ds, PageLayout::new(72, 16));
+        let d = SimulatedDisk::with_policy(db, Box::new(FifoBuffer::new(2)));
+        assert_eq!(d.buffer_capacity(), 2);
+        d.read_page(PageId(0));
+        d.read_page(PageId(1));
+        d.read_page(PageId(0)); // hit under FIFO
+        d.read_page(PageId(2)); // evicts 0 (oldest) despite the recent hit
+        d.read_page(PageId(0));
+        let s = d.stats();
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.physical_reads, 4);
+    }
+
+    #[test]
+    fn page_contents_served_correctly() {
+        let d = disk(9, 2);
+        let page = d.read_page(PageId(2));
+        let (id, v) = (page.records()[0].0, &page.records()[0].1);
+        assert_eq!(id.index(), 6);
+        assert_eq!(v.components()[0], 6.0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # mq-storage — the paged-storage substrate
+//!
+//! The paper's evaluation (§6) measures I/O cost in *data-page accesses*
+//! against a disk with 32 KB blocks and an LRU buffer sized at 10 % of the
+//! index. This crate reproduces that substrate in simulation:
+//!
+//! * [`Page`] / [`PageId`] — fixed-capacity data pages holding database
+//!   objects; page capacity is derived from a [`PageLayout`] (block size and
+//!   per-record header), exactly like a slotted page.
+//! * [`PagedDatabase`] — an immutable collection of pages plus an
+//!   object-id → (page, slot) directory. Databases are built either by
+//!   *packing* objects sequentially (the linear-scan layout of §5.1) or from
+//!   explicit page *groups* (the leaf-level clustering an index produces).
+//! * [`SimulatedDisk`] — serves page reads through an [`LruBuffer`] and
+//!   keeps [`IoStats`]: logical reads, buffer hits, physical reads, and the
+//!   random/sequential split (the paper orders relevant pages by physical
+//!   address "such that the number of disk seeks is minimized", §2).
+//! * [`IoCostModel`] — converts the counters into modeled seconds with
+//!   1999-class disk constants, so harness output is comparable in *shape*
+//!   to the paper's figures.
+//!
+//! The simulated disk is the **only** sanctioned way for query processing to
+//! reach object data; [`PagedDatabase::object`] exists for bookkeeping
+//! (inspecting objects that a query already returned) and is not counted as
+//! I/O, mirroring the paper's assumption that returned answers live in the
+//! DBMS answer buffer.
+
+pub mod buffer;
+pub mod database;
+pub mod disk;
+pub mod page;
+pub mod persist;
+pub mod policy;
+pub mod stats;
+
+pub use buffer::LruBuffer;
+pub use database::{Dataset, PagedDatabase, StorageObject};
+pub use disk::SimulatedDisk;
+pub use page::{Page, PageId, PageLayout};
+pub use persist::{ObjectCodec, PersistError, SymbolsCodec, VectorCodec};
+pub use policy::{BufferPolicy, ClockBuffer, FifoBuffer};
+pub use stats::{IoCostModel, IoStats};

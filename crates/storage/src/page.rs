@@ -1,0 +1,156 @@
+//! Data pages and page layout.
+
+use mq_metric::ObjectId;
+use std::fmt;
+
+/// Physical identifier of a data page. Page ids are dense (`0..p`) and
+/// double as physical addresses: page `i + 1` is physically adjacent to page
+/// `i`, which is what the sequential/random I/O classification of
+/// [`crate::SimulatedDisk`] is based on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Physical page layout: how many object records fit into one disk block.
+///
+/// The paper's setup (§6) uses 32 KB blocks. Each record consists of the
+/// object payload plus a fixed header (object id, record length, slot entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageLayout {
+    /// Disk block size in bytes.
+    pub block_bytes: usize,
+    /// Per-record overhead in bytes (id + slot-directory entry).
+    pub record_header_bytes: usize,
+}
+
+impl PageLayout {
+    /// The paper's 32 KB block size with a 16-byte record header.
+    pub const PAPER: PageLayout = PageLayout {
+        block_bytes: 32 * 1024,
+        record_header_bytes: 16,
+    };
+
+    /// Creates a layout.
+    ///
+    /// # Panics
+    /// Panics if `block_bytes` is zero.
+    pub fn new(block_bytes: usize, record_header_bytes: usize) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        Self {
+            block_bytes,
+            record_header_bytes,
+        }
+    }
+
+    /// How many records with the given payload size fit in one block
+    /// (at least one: oversized objects get an overflow page of their own).
+    pub fn capacity_for(&self, payload_bytes: usize) -> usize {
+        let record = payload_bytes + self.record_header_bytes;
+        (self.block_bytes / record.max(1)).max(1)
+    }
+}
+
+impl Default for PageLayout {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// A data page: a run of object records sharing one disk block.
+///
+/// Pages are immutable once the database is built; the query engine only
+/// ever reads them.
+#[derive(Clone, Debug)]
+pub struct Page<O> {
+    id: PageId,
+    records: Vec<(ObjectId, O)>,
+}
+
+impl<O> Page<O> {
+    /// Creates a page.
+    pub fn new(id: PageId, records: Vec<(ObjectId, O)>) -> Self {
+        Self { id, records }
+    }
+
+    /// The page's physical id.
+    #[inline]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The records stored on this page.
+    #[inline]
+    pub fn records(&self) -> &[(ObjectId, O)] {
+        &self.records
+    }
+
+    /// Number of records on this page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the page holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over `(ObjectId, &O)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &O)> {
+        self.records.iter().map(|(id, o)| (*id, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_capacity_20d() {
+        // 20-d f32 vector: 80-byte payload + 16-byte header = 96 bytes.
+        let cap = PageLayout::PAPER.capacity_for(80);
+        assert_eq!(cap, 32 * 1024 / 96);
+        assert_eq!(cap, 341);
+    }
+
+    #[test]
+    fn paper_layout_capacity_64d() {
+        // 64-d f32 vector: 256-byte payload + 16 = 272 bytes.
+        assert_eq!(PageLayout::PAPER.capacity_for(256), 120);
+    }
+
+    #[test]
+    fn oversized_object_still_fits_one_per_page() {
+        assert_eq!(PageLayout::PAPER.capacity_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn page_accessors() {
+        let p = Page::new(PageId(3), vec![(ObjectId(10), "a"), (ObjectId(11), "b")]);
+        assert_eq!(p.id(), PageId(3));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let ids: Vec<_> = p.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ObjectId(10), ObjectId(11)]);
+    }
+
+    #[test]
+    fn page_id_display_and_index() {
+        assert_eq!(PageId(5).to_string(), "P5");
+        assert_eq!(PageId(5).index(), 5);
+    }
+}

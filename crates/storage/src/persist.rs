@@ -1,0 +1,395 @@
+//! Binary persistence for paged databases.
+//!
+//! A database built once (packing or index construction is the expensive
+//! step for large datasets) can be saved to a file and reloaded with its
+//! page grouping — and therefore its physical clustering and object-id
+//! directory — intact. The format is a simple length-prefixed binary
+//! layout with a magic header and an explicit version, written and parsed
+//! with the `bytes` crate.
+//!
+//! ```text
+//! MQDB | version:u16 | layout(block:u32, header:u32) | page_count:u32
+//!   per page: record_count:u32, then records: object_id:u32, payload…
+//! ```
+//!
+//! Object payloads are encoded by an [`ObjectCodec`]; codecs ship for
+//! [`mq_metric::Vector`] and [`mq_metric::Symbols`].
+
+use crate::database::{PagedDatabase, StorageObject};
+use crate::page::PageLayout;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mq_metric::{ObjectId, Symbols, Vector};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MQDB";
+const VERSION: u16 = 1;
+
+/// Errors from saving/loading a database.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not an mquery database or is truncated/corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Encodes/decodes one object type's payload.
+pub trait ObjectCodec<O> {
+    /// Appends the payload of `object` to `buf`.
+    fn encode(&self, object: &O, buf: &mut BytesMut);
+    /// Parses one payload from `buf`.
+    fn decode(&self, buf: &mut Bytes) -> Result<O, PersistError>;
+}
+
+/// Codec for [`Vector`]: `dim:u32` then `dim × f32` little-endian.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VectorCodec;
+
+impl ObjectCodec<Vector> for VectorCodec {
+    fn encode(&self, object: &Vector, buf: &mut BytesMut) {
+        buf.put_u32_le(object.dim() as u32);
+        for &c in object.components() {
+            buf.put_f32_le(c);
+        }
+    }
+
+    fn decode(&self, buf: &mut Bytes) -> Result<Vector, PersistError> {
+        if buf.remaining() < 4 {
+            return Err(PersistError::Format("truncated vector header".into()));
+        }
+        let dim = buf.get_u32_le() as usize;
+        if dim == 0 || buf.remaining() < dim * 4 {
+            return Err(PersistError::Format(format!("bad vector of dim {dim}")));
+        }
+        let mut components = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let c = buf.get_f32_le();
+            if !c.is_finite() {
+                return Err(PersistError::Format("non-finite component".into()));
+            }
+            components.push(c);
+        }
+        Ok(Vector::new(components))
+    }
+}
+
+/// Codec for [`Symbols`]: `len:u32` then `len × u32` little-endian.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SymbolsCodec;
+
+impl ObjectCodec<Symbols> for SymbolsCodec {
+    fn encode(&self, object: &Symbols, buf: &mut BytesMut) {
+        buf.put_u32_le(object.len() as u32);
+        for &s in object.symbols() {
+            buf.put_u32_le(s);
+        }
+    }
+
+    fn decode(&self, buf: &mut Bytes) -> Result<Symbols, PersistError> {
+        if buf.remaining() < 4 {
+            return Err(PersistError::Format("truncated symbols header".into()));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(PersistError::Format(format!(
+                "bad symbol sequence of len {len}"
+            )));
+        }
+        let symbols: Vec<u32> = (0..len).map(|_| buf.get_u32_le()).collect();
+        Ok(Symbols::new(symbols))
+    }
+}
+
+/// Serializes a database (layout, page grouping, directory order) to bytes.
+pub fn to_bytes<O: StorageObject, C: ObjectCodec<O>>(db: &PagedDatabase<O>, codec: &C) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(db.layout().block_bytes as u32);
+    buf.put_u32_le(db.layout().record_header_bytes as u32);
+    buf.put_u32_le(db.page_count() as u32);
+    for pid in db.page_ids() {
+        let page = db.page(pid);
+        buf.put_u32_le(page.len() as u32);
+        for (oid, object) in page.iter() {
+            buf.put_u32_le(oid.0);
+            codec.encode(object, &mut buf);
+        }
+    }
+    buf.freeze()
+}
+
+/// Parses a database from bytes produced by [`to_bytes`].
+pub fn from_bytes<O: StorageObject, C: ObjectCodec<O>>(
+    mut buf: Bytes,
+    codec: &C,
+) -> Result<PagedDatabase<O>, PersistError> {
+    if buf.remaining() < 4 + 2 + 4 + 4 + 4 {
+        return Err(PersistError::Format("file too small".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Format(
+            "bad magic (not an mquery database)".into(),
+        ));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let block = buf.get_u32_le() as usize;
+    let header = buf.get_u32_le() as usize;
+    if block == 0 {
+        return Err(PersistError::Format("zero block size".into()));
+    }
+    let layout = PageLayout::new(block, header);
+    let page_count = buf.get_u32_le() as usize;
+    // Every page needs at least its 4-byte record count: a cheap upper
+    // bound that stops corrupt headers from provoking huge allocations.
+    if page_count > buf.remaining() / 4 {
+        return Err(PersistError::Format(format!(
+            "page count {page_count} exceeds what {} bytes can hold",
+            buf.remaining()
+        )));
+    }
+    let mut groups = Vec::with_capacity(page_count);
+    let mut total_records = 0usize;
+    for p in 0..page_count {
+        if buf.remaining() < 4 {
+            return Err(PersistError::Format(format!("truncated at page {p}")));
+        }
+        let records = buf.get_u32_le() as usize;
+        if records == 0 {
+            return Err(PersistError::Format(format!("empty page {p}")));
+        }
+        if records > buf.remaining() / 4 {
+            return Err(PersistError::Format(format!(
+                "record count overflow in page {p}"
+            )));
+        }
+        let mut group = Vec::with_capacity(records);
+        for _ in 0..records {
+            if buf.remaining() < 4 {
+                return Err(PersistError::Format(format!(
+                    "truncated record in page {p}"
+                )));
+            }
+            let oid = ObjectId(buf.get_u32_le());
+            let object = codec.decode(&mut buf)?;
+            group.push((oid, object));
+        }
+        total_records += records;
+        groups.push(group);
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes after the last page",
+            buf.remaining()
+        )));
+    }
+    // Validate the id space before handing over to `from_groups` (whose
+    // invariant violations are panics, not errors): ids must be a dense
+    // permutation of 0..n.
+    let mut seen = vec![false; total_records];
+    for group in &groups {
+        for (oid, _) in group {
+            match seen.get_mut(oid.index()) {
+                Some(slot) if !*slot => *slot = true,
+                Some(_) => return Err(PersistError::Format(format!("duplicate object id {oid}"))),
+                None => {
+                    return Err(PersistError::Format(format!(
+                        "object id {oid} out of range 0..{total_records}"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(PagedDatabase::from_groups(groups, layout))
+}
+
+/// Saves a database to a file.
+pub fn save<O: StorageObject, C: ObjectCodec<O>>(
+    db: &PagedDatabase<O>,
+    codec: &C,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let bytes = to_bytes(db, codec);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a database from a file.
+pub fn load<O: StorageObject, C: ObjectCodec<O>>(
+    codec: &C,
+    path: impl AsRef<Path>,
+) -> Result<PagedDatabase<O>, PersistError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data), codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Dataset;
+
+    fn sample_db() -> PagedDatabase<Vector> {
+        let ds = Dataset::new(
+            (0..50)
+                .map(|i| Vector::new(vec![i as f32, (i * i) as f32 * 0.1, -1.5]))
+                .collect(),
+        );
+        PagedDatabase::pack(&ds, PageLayout::new(128, 16))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let bytes = to_bytes(&db, &VectorCodec);
+        let back: PagedDatabase<Vector> = from_bytes(bytes, &VectorCodec).expect("parse");
+        assert_eq!(back.page_count(), db.page_count());
+        assert_eq!(back.object_count(), db.object_count());
+        assert_eq!(back.layout(), db.layout());
+        for i in 0..db.object_count() as u32 {
+            let id = ObjectId(i);
+            assert_eq!(back.locate(id), db.locate(id), "directory differs for {id}");
+            assert_eq!(back.object(id), db.object(id));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("mquery-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.mqdb");
+        save(&db, &VectorCodec, &path).expect("save");
+        let back: PagedDatabase<Vector> = load(&VectorCodec, &path).expect("load");
+        assert_eq!(back.object_count(), db.object_count());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        let ds = Dataset::new(vec![
+            Symbols::from("hello"),
+            Symbols::from("world"),
+            Symbols::new(vec![1u32, 2, 3, 4, 5, 6, 7]),
+        ]);
+        let db = PagedDatabase::pack(&ds, PageLayout::new(96, 16));
+        let bytes = to_bytes(&db, &SymbolsCodec);
+        let back: PagedDatabase<Symbols> = from_bytes(bytes, &SymbolsCodec).expect("parse");
+        for i in 0..3u32 {
+            assert_eq!(back.object(ObjectId(i)), db.object(ObjectId(i)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_bytes::<Vector, _>(
+            Bytes::from_static(b"NOPE\x01\x00aaaaaaaaaaaa"),
+            &VectorCodec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("magic")));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let db = sample_db();
+        let bytes = to_bytes(&db, &VectorCodec);
+        let cut = bytes.slice(0..bytes.len() - 7);
+        let err = from_bytes::<Vector, _>(cut, &VectorCodec).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let db = sample_db();
+        let mut raw = to_bytes(&db, &VectorCodec).to_vec();
+        raw.extend_from_slice(b"junk");
+        let err = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec).unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("trailing")));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let db = sample_db();
+        let mut raw = to_bytes(&db, &VectorCodec).to_vec();
+        raw[4] = 99; // bump version byte
+        let err = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec).unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("version")));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::database::Dataset;
+    use crate::page::PageLayout;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any database survives a byte roundtrip exactly.
+        #[test]
+        fn roundtrip_is_identity(
+            vectors in prop::collection::vec(
+                prop::collection::vec(-1e6f32..1e6, 1..6),
+                1..60,
+            ),
+            block in 64usize..512,
+        ) {
+            // All vectors must share one dimensionality for packing; force it.
+            let dim = vectors[0].len();
+            let ds = Dataset::new(
+                vectors
+                    .into_iter()
+                    .map(|mut v| {
+                        v.resize(dim, 0.0);
+                        Vector::new(v)
+                    })
+                    .collect(),
+            );
+            let db = PagedDatabase::pack(&ds, PageLayout::new(block, 16));
+            let back: PagedDatabase<Vector> =
+                from_bytes(to_bytes(&db, &VectorCodec), &VectorCodec).unwrap();
+            prop_assert_eq!(back.page_count(), db.page_count());
+            for i in 0..db.object_count() as u32 {
+                let id = ObjectId(i);
+                prop_assert_eq!(back.locate(id), db.locate(id));
+                prop_assert_eq!(back.object(id), db.object(id));
+            }
+        }
+
+        /// Arbitrary byte blobs never panic the parser; they either parse
+        /// (vacuously, for crafted valid prefixes) or return a clean error.
+        #[test]
+        fn parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+            let _ = from_bytes::<Vector, _>(Bytes::from(data), &VectorCodec);
+        }
+    }
+}

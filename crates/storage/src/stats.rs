@@ -1,0 +1,205 @@
+//! I/O statistics and the disk cost model.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// Counters kept by the simulated disk.
+///
+/// *Logical reads* are page requests issued by query processing; each is
+/// either a *buffer hit* or a *physical read*. Physical reads are further
+/// classified as *sequential* (the page follows the previously read page on
+/// disk) or *random* (a seek is required). The paper's algorithms order
+/// relevant pages by physical address exactly to turn random reads into
+/// sequential ones (§2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests issued.
+    pub logical_reads: u64,
+    /// Requests served from the LRU buffer.
+    pub buffer_hits: u64,
+    /// Requests that went to disk.
+    pub physical_reads: u64,
+    /// Physical reads that required a seek.
+    pub random_reads: u64,
+    /// Physical reads adjacent to the previous physical read.
+    pub sequential_reads: u64,
+}
+
+impl IoStats {
+    /// Buffer hit ratio in `[0, 1]` (0 if no reads happened).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads + rhs.logical_reads,
+            buffer_hits: self.buffer_hits + rhs.buffer_hits,
+            physical_reads: self.physical_reads + rhs.physical_reads,
+            random_reads: self.random_reads + rhs.random_reads,
+            sequential_reads: self.sequential_reads + rhs.sequential_reads,
+        }
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+
+    /// Difference of two snapshots (`later - earlier`); saturates at zero so
+    /// a stale snapshot cannot underflow.
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.saturating_sub(rhs.logical_reads),
+            buffer_hits: self.buffer_hits.saturating_sub(rhs.buffer_hits),
+            physical_reads: self.physical_reads.saturating_sub(rhs.physical_reads),
+            random_reads: self.random_reads.saturating_sub(rhs.random_reads),
+            sequential_reads: self.sequential_reads.saturating_sub(rhs.sequential_reads),
+        }
+    }
+}
+
+/// Disk cost model: converts [`IoStats`] into modeled seconds.
+///
+/// The paper does not state its disk constants. We use 1999-class values
+/// calibrated against the paper's own observations: a transfer time of
+/// **4 ms** per 32 KB block (≈ 8 MB/s effective through the 1999 Linux I/O
+/// path) and an additional **4 ms** positioning cost per random access
+/// (short-stroke seek + rotational latency — the evaluation databases are
+/// small disk extents). A random page access thus costs 2× a sequential
+/// one, which reproduces the paper's Fig. 7 (the X-tree, reading ~3–5×
+/// fewer pages than the scan but mostly randomly, beats the scan on single
+/// queries by factors 4.5 / 3.1). Sequential reads pay only the transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoCostModel {
+    /// Positioning cost per random access, in milliseconds.
+    pub seek_ms: f64,
+    /// Transfer cost per page, in milliseconds.
+    pub transfer_ms: f64,
+}
+
+impl IoCostModel {
+    /// The documented 1999-class constants.
+    pub fn paper_1999() -> Self {
+        Self {
+            seek_ms: 4.0,
+            transfer_ms: 4.0,
+        }
+    }
+
+    /// Modeled I/O seconds for a set of counters:
+    /// `random · (seek + transfer) + sequential · transfer`.
+    pub fn io_seconds(&self, stats: &IoStats) -> f64 {
+        (stats.random_reads as f64 * (self.seek_ms + self.transfer_ms)
+            + stats.sequential_reads as f64 * self.transfer_ms)
+            * 1e-3
+    }
+}
+
+impl Default for IoCostModel {
+    fn default() -> Self {
+        Self::paper_1999()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio() {
+        let s = IoStats {
+            logical_reads: 10,
+            buffer_hits: 4,
+            physical_reads: 6,
+            random_reads: 2,
+            sequential_reads: 4,
+        };
+        assert!((s.hit_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = IoStats {
+            logical_reads: 10,
+            buffer_hits: 4,
+            physical_reads: 6,
+            random_reads: 2,
+            sequential_reads: 4,
+        };
+        let b = IoStats {
+            logical_reads: 3,
+            buffer_hits: 1,
+            physical_reads: 2,
+            random_reads: 2,
+            sequential_reads: 0,
+        };
+        let sum = a + b;
+        assert_eq!(sum.logical_reads, 13);
+        assert_eq!(sum.random_reads, 4);
+        let diff = sum - a;
+        assert_eq!(diff, b);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let a = IoStats {
+            logical_reads: 1,
+            ..Default::default()
+        };
+        let b = IoStats {
+            logical_reads: 5,
+            ..Default::default()
+        };
+        assert_eq!((a - b).logical_reads, 0);
+    }
+
+    #[test]
+    fn cost_model() {
+        let m = IoCostModel::paper_1999();
+        let s = IoStats {
+            logical_reads: 100,
+            buffer_hits: 0,
+            physical_reads: 100,
+            random_reads: 10,
+            sequential_reads: 90,
+        };
+        // 10 * 8ms + 90 * 4ms = 440ms.
+        assert!((m.io_seconds(&s) - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_scan_cheaper_than_random() {
+        let m = IoCostModel::paper_1999();
+        let seq = IoStats {
+            physical_reads: 100,
+            sequential_reads: 99,
+            random_reads: 1,
+            ..Default::default()
+        };
+        let rnd = IoStats {
+            physical_reads: 100,
+            sequential_reads: 0,
+            random_reads: 100,
+            ..Default::default()
+        };
+        // A random page access costs 2x a sequential one.
+        assert!(m.io_seconds(&seq) < m.io_seconds(&rnd) / 1.9);
+    }
+}

@@ -1,0 +1,324 @@
+//! VA-file query processing: filter (approximation scan) and refine
+//! (candidate visits), for single and multiple similarity queries.
+
+use crate::VaFile;
+use mq_core::{Answer, AnswerList, QueryType};
+use mq_metric::{Metric, ObjectId, Vector};
+use mq_storage::{PageId, SimulatedDisk};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Counters of one VA-file query run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VaStats {
+    /// Bound computations during the filter scan (one per object-query
+    /// pair; each costs O(d) like a distance calculation but runs on the
+    /// compact approximation).
+    pub bound_computations: u64,
+    /// Objects surviving the filter.
+    pub candidates: u64,
+    /// Candidates whose true distance was computed during refinement.
+    pub refined: u64,
+}
+
+impl std::ops::AddAssign for VaStats {
+    fn add_assign(&mut self, rhs: VaStats) {
+        self.bound_computations += rhs.bound_computations;
+        self.candidates += rhs.candidates;
+        self.refined += rhs.refined;
+    }
+}
+
+/// Max-heap entry for tracking the k-th smallest upper bound (the filter
+/// threshold δ of the VA-SSA algorithm).
+#[derive(PartialEq)]
+struct UpperBound(f64);
+impl Eq for UpperBound {}
+impl PartialOrd for UpperBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for UpperBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Tracks δ = the k-th smallest upper bound seen so far (∞ until k seen),
+/// capped by the query's range.
+struct Delta {
+    heap: BinaryHeap<UpperBound>,
+    k: usize,
+    range: f64,
+}
+
+impl Delta {
+    fn new(t: &QueryType) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            k: if t.has_cardinality_bound() {
+                t.cardinality
+            } else {
+                0
+            },
+            range: t.range,
+        }
+    }
+
+    fn observe(&mut self, upper: f64) {
+        if self.k == 0 {
+            return; // pure range query: δ is the fixed range
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(UpperBound(upper));
+        } else if let Some(top) = self.heap.peek() {
+            if upper < top.0 {
+                self.heap.pop();
+                self.heap.push(UpperBound(upper));
+            }
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        // Until k upper bounds are known (or for a pure range query),
+        // only the range caps the threshold.
+        let kth_upper = if self.k == 0 || self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|u| u.0).unwrap_or(f64::INFINITY)
+        };
+        kth_upper.min(self.range)
+    }
+}
+
+impl VaFile {
+    /// Answers one similarity query through the VA-file. Returns the
+    /// answers (identical to Fig. 1 semantics) and the filter/refine
+    /// counters. Data pages are read through `data_disk` (metered);
+    /// approximation pages through the VA-file's own disk.
+    pub fn similarity_query<M: Metric<Vector>>(
+        &self,
+        data_disk: &SimulatedDisk<Vector>,
+        metric: &M,
+        query: &Vector,
+        qtype: &QueryType,
+    ) -> (AnswerList, VaStats) {
+        let (mut answers_vec, stats) =
+            self.multiple_similarity_query(data_disk, metric, &[(query.clone(), *qtype)]);
+        (
+            answers_vec.pop().expect("one query, one answer list"),
+            stats,
+        )
+    }
+
+    /// Answers a batch of similarity queries with **one** filter scan over
+    /// the approximation file (the §5.1 page-sharing idea applied to the
+    /// VA-file: both the approximation pages and the candidate data pages
+    /// are read once for the whole batch).
+    pub fn multiple_similarity_query<M: Metric<Vector>>(
+        &self,
+        data_disk: &SimulatedDisk<Vector>,
+        metric: &M,
+        queries: &[(Vector, QueryType)],
+    ) -> (Vec<AnswerList>, VaStats) {
+        let m = queries.len();
+        let mut stats = VaStats::default();
+        let mut deltas: Vec<Delta> = queries.iter().map(|(_, t)| Delta::new(t)).collect();
+        // Per query: (lower bound, object) candidate list.
+        let mut candidates: Vec<Vec<(f64, ObjectId)>> = vec![Vec::new(); m];
+
+        // Phase 1: one sequential scan over the approximation file.
+        let approx_db = self.approx_disk().database();
+        for pid in approx_db.page_ids().collect::<Vec<_>>() {
+            let page = self.approx_disk().read_page(pid);
+            for (oid, approx) in page.iter() {
+                for (qi, (q, _)) in queries.iter().enumerate() {
+                    let (lo, hi) = self.bounds(q, approx);
+                    stats.bound_computations += 1;
+                    deltas[qi].observe(hi);
+                    if lo <= deltas[qi].threshold() {
+                        candidates[qi].push((lo, oid));
+                    }
+                }
+            }
+        }
+
+        // Final filter with the converged thresholds, then group the
+        // surviving candidates by data page so each page is read at most
+        // once for the whole batch.
+        let mut per_page: std::collections::BTreeMap<PageId, Vec<(usize, ObjectId, f64)>> =
+            std::collections::BTreeMap::new();
+        for (qi, cands) in candidates.iter().enumerate() {
+            let threshold = deltas[qi].threshold();
+            for &(lo, oid) in cands {
+                if lo <= threshold {
+                    stats.candidates += 1;
+                    let (pid, _) = data_disk.database().locate(oid);
+                    per_page.entry(pid).or_default().push((qi, oid, lo));
+                }
+            }
+        }
+
+        // Phase 2: refine, page by page in physical order.
+        let mut answers: Vec<AnswerList> =
+            queries.iter().map(|(_, t)| AnswerList::new(t)).collect();
+        for (pid, items) in per_page {
+            let page = data_disk.read_page(pid);
+            for (qi, oid, lo) in items {
+                let qd = answers[qi].query_dist(&queries[qi].1);
+                if lo > qd {
+                    continue; // pruned by answers found meanwhile
+                }
+                let (_, slot) = data_disk.database().locate(oid);
+                let object = &page.records()[slot as usize].1;
+                let distance = metric.distance(object, &queries[qi].0);
+                stats.refined += 1;
+                if distance <= answers[qi].query_dist(&queries[qi].1) {
+                    answers[qi].insert(Answer { id: oid, distance });
+                }
+            }
+        }
+        (answers, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VaConfig;
+    use mq_metric::Euclidean;
+    use mq_storage::{Dataset, PageLayout};
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> Dataset<Vector> {
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Dataset::new(
+            (0..n)
+                .map(|_| Vector::new((0..dim).map(|_| (next() * 10.0) as f32).collect::<Vec<_>>()))
+                .collect(),
+        )
+    }
+
+    fn brute_knn(ds: &Dataset<Vector>, q: &Vector, k: usize) -> Vec<ObjectId> {
+        let mut all: Vec<(f64, u32)> = ds
+            .iter()
+            .map(|(id, o)| (Euclidean.distance(o, q), id.0))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all.into_iter().map(|(_, i)| ObjectId(i)).collect()
+    }
+
+    fn build(ds: &Dataset<Vector>) -> (VaFile, SimulatedDisk<Vector>) {
+        let cfg = VaConfig {
+            layout: PageLayout::new(512, 16),
+            ..Default::default()
+        };
+        let (va, db) = VaFile::build(ds, cfg);
+        (va, SimulatedDisk::new(db, 0.1))
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let ds = dataset(400, 6, 1);
+        let (va, disk) = build(&ds);
+        for pick in [0u32, 57, 199, 333] {
+            let q = ds.object(ObjectId(pick)).clone();
+            let (answers, _) = va.similarity_query(&disk, &Euclidean, &q, &QueryType::knn(7));
+            let got: Vec<ObjectId> = answers.ids().collect();
+            assert_eq!(got, brute_knn(&ds, &q, 7), "query {pick}");
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let ds = dataset(400, 4, 3);
+        let (va, disk) = build(&ds);
+        let q = ds.object(ObjectId(42)).clone();
+        let eps = 3.0;
+        let (answers, _) = va.similarity_query(&disk, &Euclidean, &q, &QueryType::range(eps));
+        let mut got: Vec<ObjectId> = answers.ids().collect();
+        got.sort_unstable();
+        let mut expected: Vec<ObjectId> = ds
+            .iter()
+            .filter(|(_, o)| Euclidean.distance(o, &q) <= eps)
+            .map(|(id, _)| id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multiple_matches_singles() {
+        let ds = dataset(350, 5, 5);
+        let (va, disk) = build(&ds);
+        let queries: Vec<(Vector, QueryType)> = vec![
+            (ds.object(ObjectId(3)).clone(), QueryType::knn(5)),
+            (ds.object(ObjectId(77)).clone(), QueryType::range(2.0)),
+            (
+                ds.object(ObjectId(180)).clone(),
+                QueryType::bounded_knn(4, 3.0),
+            ),
+        ];
+        let (multi, _) = va.multiple_similarity_query(&disk, &Euclidean, &queries);
+        for (i, (q, t)) in queries.iter().enumerate() {
+            let (single, _) = va.similarity_query(&disk, &Euclidean, q, t);
+            let a: Vec<ObjectId> = multi[i].ids().collect();
+            let b: Vec<ObjectId> = single.ids().collect();
+            assert_eq!(a, b, "query {i}");
+        }
+    }
+
+    #[test]
+    fn filter_skips_most_distance_calculations() {
+        let ds = dataset(2000, 8, 7);
+        let (va, disk) = build(&ds);
+        let q = ds.object(ObjectId(100)).clone();
+        let (_, stats) = va.similarity_query(&disk, &Euclidean, &q, &QueryType::knn(10));
+        assert_eq!(stats.bound_computations, 2000);
+        assert!(
+            stats.refined < 400,
+            "filter should discard most objects, refined {}",
+            stats.refined
+        );
+    }
+
+    #[test]
+    fn batch_shares_approximation_scan() {
+        let ds = dataset(1000, 6, 9);
+        let (va, disk) = build(&ds);
+        let queries: Vec<(Vector, QueryType)> = (0..10)
+            .map(|i| (ds.object(ObjectId(i * 99)).clone(), QueryType::knn(5)))
+            .collect();
+
+        va.approx_disk().cold_restart();
+        let (_, _) = va.multiple_similarity_query(&disk, &Euclidean, &queries);
+        let batch_io = va.approx_disk().stats().logical_reads;
+
+        va.approx_disk().cold_restart();
+        for (q, t) in &queries {
+            let _ = va.similarity_query(&disk, &Euclidean, q, t);
+        }
+        let single_io = va.approx_disk().stats().logical_reads;
+        assert_eq!(
+            batch_io * 10,
+            single_io,
+            "one filter scan for the whole batch"
+        );
+    }
+
+    #[test]
+    fn knn_larger_than_database_returns_all() {
+        let ds = dataset(20, 3, 11);
+        let (va, disk) = build(&ds);
+        let q = ds.object(ObjectId(0)).clone();
+        let (answers, _) = va.similarity_query(&disk, &Euclidean, &q, &QueryType::knn(100));
+        assert_eq!(answers.len(), 20);
+    }
+}

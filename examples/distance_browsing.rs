@@ -1,0 +1,58 @@
+//! Incremental nearest-neighbor browsing (paper ref. [13]): retrieve
+//! objects in ascending distance order without fixing k in advance —
+//! the interactive "give me the next match" loop of manual exploration.
+//!
+//! ```sh
+//! cargo run --release --example distance_browsing
+//! ```
+
+use mquery::core::DistanceBrowser;
+use mquery::datagen::image_histograms;
+use mquery::prelude::*;
+
+const N: usize = 10_000;
+
+fn main() {
+    let dataset = Dataset::new(image_histograms(N, 55));
+    let (xtree, db) = XTree::bulk_load(&dataset, XTreeConfig::default());
+    let total_pages = db.page_count();
+    let disk = SimulatedDisk::new(db, 0.10);
+    let metric = Euclidean;
+
+    let query = dataset.object(ObjectId(4242)).clone();
+    println!("browsing the image database outward from O4242 ({N} objects)\n");
+
+    let mut browser = DistanceBrowser::new(&disk, &xtree, &metric, &query);
+    // The analyst keeps asking for the next match until the results drift
+    // out of the query image's cluster (distance jump heuristic).
+    let mut last = 0.0f64;
+    let mut shown = 0usize;
+    for answer in browser.by_ref() {
+        if shown > 3 && answer.distance > 4.0 * last.max(1e-9) {
+            println!(
+                "  … stopping: distance jumped {last:.4} → {:.4}",
+                answer.distance
+            );
+            break;
+        }
+        println!(
+            "  #{:<3} {}  distance {:.4}",
+            shown + 1,
+            answer.id,
+            answer.distance
+        );
+        last = answer.distance;
+        shown += 1;
+        if shown >= 25 {
+            println!("  … analyst satisfied after 25 results");
+            break;
+        }
+    }
+
+    let io = disk.stats();
+    println!(
+        "\nretrieved {shown} neighbors reading {} of {} data pages — the browser \
+         fetches pages best-first and stops when the analyst does.",
+        io.physical_reads, total_pages
+    );
+}

@@ -1,0 +1,109 @@
+//! Quickstart: build a metric database, run single and multiple similarity
+//! queries, and inspect the cost counters that the paper's evaluation is
+//! built on.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mquery::core::StatsProbe;
+use mquery::datagen::tycho_like;
+use mquery::prelude::*;
+
+fn main() {
+    // 1. A 20-d "astronomy" database of 20,000 objects (synthetic stand-in
+    //    for the paper's Tycho catalogue sample).
+    let dataset = Dataset::new(tycho_like(20_000, 7));
+    println!(
+        "database: {} objects, {}-d",
+        dataset.len(),
+        dataset.object(ObjectId(0)).dim()
+    );
+
+    // 2. Access method + storage: an X-tree whose leaves are the data
+    //    pages of a simulated disk with the paper's 10 % LRU buffer.
+    let (xtree, db) = XTree::bulk_load(&dataset, XTreeConfig::default());
+    println!(
+        "x-tree: {} data pages, height {}, {} directory nodes",
+        xtree.stats().data_pages,
+        xtree.stats().height,
+        xtree.stats().dir_nodes
+    );
+    let disk = SimulatedDisk::new(db, 0.10);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = QueryEngine::new(&disk, &xtree, metric.clone());
+
+    // 3. Single similarity queries (paper Fig. 1): a range query and a
+    //    k-NN query for the same object.
+    let q = dataset.object(ObjectId(4711)).clone();
+    let range_answers = engine.similarity_query(&q, &QueryType::range(0.25));
+    let knn_answers = engine.similarity_query(&q, &QueryType::knn(10));
+    println!(
+        "\nsingle queries for O4711: {} objects within eps=0.25; 10-NN radius {:.4}",
+        range_answers.len(),
+        knn_answers.max_distance().unwrap()
+    );
+
+    // 4. A multiple similarity query (paper Fig. 4): 32 nearby query
+    //    objects answered simultaneously. Compare the cost of both plans.
+    let queries: Vec<(Vector, QueryType)> = knn_answers
+        .ids()
+        .chain(range_answers.ids())
+        .take(32)
+        .map(|id| (dataset.object(id).clone(), QueryType::knn(10)))
+        .collect();
+    let m = queries.len();
+
+    disk.cold_restart();
+    metric.counter().reset();
+    let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+    for (obj, t) in &queries {
+        let _ = engine.similarity_query(obj, t);
+    }
+    let single_stats = probe.finish(&disk, Default::default());
+
+    disk.cold_restart();
+    metric.counter().reset();
+    let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
+    let mut session = engine.new_session(queries.clone());
+    engine.run_to_completion(&mut session);
+    let avoidance = session.avoidance_stats();
+    let multi_stats = probe.finish(&disk, avoidance);
+
+    let model = CostModel::paper_1999(20);
+    println!(
+        "\n{m} queries as singles : {:>8} page reads, {:>9} distance calcs, modeled {:.3} s",
+        single_stats.io.physical_reads,
+        single_stats.dist_calcs,
+        model.total_seconds(&single_stats)
+    );
+    println!(
+        "{m} queries as multiple: {:>8} page reads, {:>9} distance calcs, modeled {:.3} s",
+        multi_stats.io.physical_reads,
+        multi_stats.dist_calcs,
+        model.total_seconds(&multi_stats)
+    );
+    println!(
+        "avoided {} of {} candidate distance calculations via the triangle inequality ({:.1} %)",
+        avoidance.avoided,
+        avoidance.avoided + avoidance.computed,
+        100.0 * avoidance.avoidance_ratio()
+    );
+    println!(
+        "speed-up (modeled): {:.1}x",
+        model.total_seconds(&single_stats) / model.total_seconds(&multi_stats)
+    );
+
+    // 5. Answers are identical either way — Definition 4 guarantees it.
+    let multi_answers = {
+        let mut s = engine.new_session(queries.clone());
+        engine.run_to_completion(&mut s);
+        s.into_answers()
+    };
+    for (i, (obj, t)) in queries.iter().enumerate() {
+        let single: Vec<ObjectId> = engine.similarity_query(obj, t).ids().collect();
+        let multi: Vec<ObjectId> = multi_answers[i].iter().map(|a| a.id).collect();
+        assert_eq!(single, multi, "query {i} differs");
+    }
+    println!("\nverified: multiple-query answers equal single-query answers for all {m} queries");
+}

@@ -1,0 +1,125 @@
+//! Integration tests: every mining algorithm produces *identical* results
+//! under single-query and multiple-query execution (the Fig. 2 ↔ Fig. 3
+//! equivalence), on realistic synthetic data from `mq-datagen`.
+
+use mquery::datagen::{assign_labels, classification_query_ids, image_histograms, tycho_like};
+use mquery::mining::proximity::top_k_proximate;
+use mquery::mining::trend::detect_trend;
+use mquery::mining::{classify_batch, classify_single, Dbscan};
+use mquery::prelude::*;
+
+fn image_engine_parts(n: usize, seed: u64) -> (Dataset<Vector>, PagedDatabase<Vector>, XTree) {
+    let ds = Dataset::new(image_histograms(n, seed));
+    let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+    (ds, db, tree)
+}
+
+#[test]
+fn dbscan_on_image_data_recovers_clusters_in_both_modes() {
+    let (_ds, db, tree) = image_engine_parts(2_000, 5);
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &tree, Euclidean);
+    let dbscan = Dbscan::new(0.05, 4);
+    let single = dbscan.run_single(&engine);
+    let multi = dbscan.run_multiple(&engine, 32);
+    assert_eq!(single.labels, multi.labels);
+    assert_eq!(single.queries, multi.queries);
+    // The generator uses 80 looks; at n = 2000 most materialize as clusters.
+    assert!(
+        single.clusters >= 40,
+        "only {} clusters found",
+        single.clusters
+    );
+}
+
+#[test]
+fn classification_on_tycho_data_agrees_and_is_accurate() {
+    let objects = tycho_like(4_000, 9);
+    let labels = assign_labels(&objects, 3, 0.02, 31);
+    let ds = Dataset::new(objects);
+    let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &tree, Euclidean);
+
+    let queries = classification_query_ids(4_000, 80, 2);
+    let single = classify_single(&engine, &labels, &queries, 7);
+    let multi = classify_batch(&engine, &labels, &queries, 7, 40);
+    assert_eq!(single, multi);
+    let acc = mquery::mining::classification_accuracy(&single, &queries, &labels);
+    assert!(acc >= 0.75, "accuracy only {acc}");
+}
+
+#[test]
+fn proximity_results_do_not_depend_on_batch_size() {
+    let (_ds, db, tree) = image_engine_parts(1_500, 11);
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &tree, Euclidean);
+    // Take a handful of objects from one cluster as "the cluster".
+    let seed_obj = ObjectId(0);
+    let members: Vec<ObjectId> = engine
+        .similarity_query(disk.database().object(seed_obj), &QueryType::knn(8))
+        .ids()
+        .collect();
+    let a = top_k_proximate(&engine, &members, 10, 1);
+    let b = top_k_proximate(&engine, &members, 10, 8);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 10);
+    // Proximate objects are sorted and exclude members.
+    for w in a.windows(2) {
+        assert!(w[0].distance <= w[1].distance);
+    }
+    for p in &a {
+        assert!(!members.contains(&p.id));
+    }
+}
+
+#[test]
+fn trend_detection_on_gradient_field() {
+    // Objects on a 2-d grid with a linear "attribute" gradient along x.
+    let mut pts = Vec::new();
+    for x in 0..30 {
+        for y in 0..10 {
+            pts.push(Vector::new(vec![x as f32, y as f32]));
+        }
+    }
+    let ds = Dataset::new(pts);
+    let db = PagedDatabase::pack(&ds, PageLayout::new(512, 16));
+    let scan = LinearScan::new(db.page_count());
+    let disk = SimulatedDisk::new(db, 0.1);
+    let engine = QueryEngine::new(&disk, &scan, Euclidean);
+    // Attribute grows with L1 distance from the start corner, so any
+    // outward neighborhood path sees a rising trend.
+    let attribute = |id: ObjectId| {
+        let v = disk.database().object(id);
+        5.0 * (v.components()[0] as f64 + v.components()[1] as f64) + 3.0
+    };
+    let result = detect_trend(&engine, ObjectId(0), attribute, 20, 4);
+    assert!(result.path.len() > 10);
+    assert!(result.r_squared > 0.5, "r2 = {}", result.r_squared);
+    assert!(result.slope > 0.0);
+}
+
+#[test]
+fn dbscan_uses_fewer_resources_in_multiple_mode() {
+    let (_ds, db, tree) = image_engine_parts(2_000, 13);
+    let disk = SimulatedDisk::new(db, 0.1);
+    let metric = CountingMetric::new(Euclidean);
+    let counter = metric.counter().clone();
+    let engine = QueryEngine::new(&disk, &tree, metric);
+    let dbscan = Dbscan::new(0.05, 4);
+
+    disk.cold_restart();
+    counter.reset();
+    let _ = dbscan.run_single(&engine);
+    let single_io = disk.stats().logical_reads;
+    let single_cpu = counter.get();
+
+    disk.cold_restart();
+    counter.reset();
+    let _ = dbscan.run_multiple(&engine, 64);
+    let multi_io = disk.stats().logical_reads;
+    let multi_cpu = counter.get();
+
+    assert!(multi_io < single_io, "I/O: {multi_io} vs {single_io}");
+    assert!(multi_cpu < single_cpu, "CPU: {multi_cpu} vs {single_cpu}");
+}

@@ -1,0 +1,79 @@
+//! End-to-end persistence flow: generate → save → load → rebuild index →
+//! identical query answers (the CLI's code path as a library test).
+
+use mquery::datagen::{image_histograms, tycho_like};
+use mquery::prelude::*;
+use mquery::storage::persist;
+use mquery::storage::VectorCodec;
+
+fn answers_on(db: &PagedDatabase<Vector>, queries: &[(Vector, QueryType)]) -> Vec<Vec<ObjectId>> {
+    let ds = db.to_dataset();
+    let (tree, fresh) = XTree::bulk_load(
+        &ds,
+        XTreeConfig {
+            layout: db.layout(),
+            ..Default::default()
+        },
+    );
+    let disk = SimulatedDisk::new(fresh, 0.1);
+    let engine = QueryEngine::new(&disk, &tree, Euclidean);
+    queries
+        .iter()
+        .map(|(q, t)| engine.similarity_query(q, t).ids().collect())
+        .collect()
+}
+
+#[test]
+fn saved_and_loaded_databases_answer_identically() {
+    let objects = tycho_like(2_000, 11);
+    let queries: Vec<(Vector, QueryType)> = objects
+        .iter()
+        .step_by(251)
+        .map(|v| (v.clone(), QueryType::knn(7)))
+        .collect();
+    let ds = Dataset::new(objects);
+    let db = PagedDatabase::pack(&ds, PageLayout::PAPER);
+
+    let bytes = persist::to_bytes(&db, &VectorCodec);
+    let restored: PagedDatabase<Vector> =
+        persist::from_bytes(bytes, &VectorCodec).expect("roundtrip");
+
+    assert_eq!(answers_on(&db, &queries), answers_on(&restored, &queries));
+}
+
+#[test]
+fn index_layout_survives_persistence() {
+    // Persist an *X-tree layout* database: the page grouping (and thus the
+    // I/O behaviour) must be preserved, not just the objects.
+    let ds = Dataset::new(image_histograms(1_500, 3));
+    let (tree, db) = XTree::bulk_load(&ds, XTreeConfig::default());
+    let restored: PagedDatabase<Vector> =
+        persist::from_bytes(persist::to_bytes(&db, &VectorCodec), &VectorCodec).unwrap();
+    assert_eq!(restored.page_count(), db.page_count());
+    for pid in db.page_ids() {
+        let a: Vec<ObjectId> = db.page(pid).iter().map(|(id, _)| id).collect();
+        let b: Vec<ObjectId> = restored.page(pid).iter().map(|(id, _)| id).collect();
+        assert_eq!(a, b, "page {pid} grouping changed");
+    }
+    // The frozen tree still matches the restored database's pages: same
+    // leaf MBR containment.
+    for pid in restored.page_ids() {
+        let mbr = tree.leaf_mbr(pid);
+        for (_, v) in restored.page(pid).records() {
+            assert!(mbr.contains_point(v));
+        }
+    }
+}
+
+#[test]
+fn file_based_roundtrip_via_tempdir() {
+    let ds = Dataset::new(tycho_like(300, 5));
+    let db = PagedDatabase::pack(&ds, PageLayout::PAPER);
+    let dir = std::env::temp_dir().join("mquery-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flow.mqdb");
+    persist::save(&db, &VectorCodec, &path).unwrap();
+    let restored: PagedDatabase<Vector> = persist::load(&VectorCodec, &path).unwrap();
+    assert_eq!(restored.object_count(), 300);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,80 @@
+//! Property-based metric-axiom checks for every shipped distance — random
+//! triples instead of the fixed samples of the unit tests.
+
+use mquery::metric::{
+    Chebyshev, EditDistance, Euclidean, Hamming, Jaccard, Manhattan, Metric, Minkowski,
+    QuadraticForm, SymbolSet, Symbols, WeightedEuclidean,
+};
+use mquery::prelude::Vector;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+fn triangle_ok<O>(m: &impl Metric<O>, a: &O, b: &O, c: &O) -> bool {
+    let (ab, bc, ac) = (m.distance(a, b), m.distance(b, c), m.distance(a, c));
+    ac <= ab + bc + EPS * (1.0 + ab + bc)
+}
+
+fn symmetric_ok<O>(m: &impl Metric<O>, a: &O, b: &O) -> bool {
+    let (ab, ba) = (m.distance(a, b), m.distance(b, a));
+    (ab - ba).abs() <= EPS * (1.0 + ab.abs())
+}
+
+fn arb_vec(dim: usize) -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-1000.0f32..1000.0, dim).prop_map(Vector::new)
+}
+
+fn arb_symbols() -> impl Strategy<Value = Symbols> {
+    prop::collection::vec(0u32..50, 0..20).prop_map(Symbols::new)
+}
+
+fn arb_set() -> impl Strategy<Value = SymbolSet> {
+    prop::collection::vec(0u32..40, 0..25).prop_map(SymbolSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vector_metrics_axioms(a in arb_vec(5), b in arb_vec(5), c in arb_vec(5)) {
+        let weighted = WeightedEuclidean::new(vec![2.0, 0.5, 1.0, 3.0, 0.1]);
+        let quad = QuadraticForm::histogram_similarity(5, 3.0);
+        let l3 = Minkowski::new(3.0);
+        macro_rules! check {
+            ($m:expr) => {
+                prop_assert!($m.distance(&a, &a) <= EPS, "{} identity", $m.name());
+                prop_assert!(symmetric_ok(&$m, &a, &b), "{} symmetry", $m.name());
+                prop_assert!(triangle_ok(&$m, &a, &b, &c), "{} triangle", $m.name());
+                prop_assert!($m.distance(&a, &b) >= 0.0, "{} non-negative", $m.name());
+            };
+        }
+        check!(Euclidean);
+        check!(Manhattan);
+        check!(Chebyshev);
+        check!(l3);
+        check!(weighted);
+        check!(quad);
+    }
+
+    #[test]
+    fn sequence_metrics_axioms(a in arb_symbols(), b in arb_symbols(), c in arb_symbols()) {
+        prop_assert_eq!(EditDistance.distance(&a, &a), 0.0);
+        prop_assert!(symmetric_ok(&EditDistance, &a, &b));
+        prop_assert!(triangle_ok(&EditDistance, &a, &b, &c));
+        prop_assert_eq!(Hamming.distance(&a, &a), 0.0);
+        prop_assert!(symmetric_ok(&Hamming, &a, &b));
+        prop_assert!(triangle_ok(&Hamming, &a, &b, &c));
+        // Hamming dominates edit distance (any Hamming alignment is a
+        // valid edit script of substitutions + length adjustment).
+        prop_assert!(EditDistance.distance(&a, &b) <= Hamming.distance(&a, &b) + EPS);
+    }
+
+    #[test]
+    fn set_metric_axioms(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(Jaccard.distance(&a, &a), 0.0);
+        prop_assert!(symmetric_ok(&Jaccard, &a, &b));
+        prop_assert!(triangle_ok(&Jaccard, &a, &b, &c));
+        let d = Jaccard.distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d), "Jaccard is bounded");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the VA-file: exact answers for arbitrary data,
+//! query types and quantization resolutions, and sound bounds.
+
+use mquery::prelude::*;
+use mquery::vafile::{VaConfig, VaFile};
+use proptest::prelude::*;
+
+fn brute_force(data: &[Vector], q: &Vector, t: &QueryType) -> Vec<ObjectId> {
+    let mut all: Vec<(f64, u32)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (Euclidean.distance(o, q), i as u32))
+        .filter(|(d, _)| *d <= t.range)
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    all.truncate(t.cardinality.min(all.len()));
+    all.into_iter().map(|(_, i)| ObjectId(i)).collect()
+}
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vector>> {
+    prop::collection::vec(
+        prop::collection::vec(-40.0f32..40.0, dim).prop_map(Vector::new),
+        2..max_n,
+    )
+}
+
+fn arb_qtype() -> impl Strategy<Value = QueryType> {
+    prop_oneof![
+        (0.0f64..50.0).prop_map(QueryType::range),
+        (1usize..10).prop_map(QueryType::knn),
+        ((1usize..6), (0.0f64..30.0)).prop_map(|(k, e)| QueryType::bounded_knn(k, e)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vafile_answers_are_exact(
+        data in arb_points(120, 3),
+        bits in 1u8..=8,
+        pick in 0usize..1000,
+        qtype in arb_qtype(),
+    ) {
+        let q = data[pick % data.len()].clone();
+        let ds = Dataset::new(data.clone());
+        let cfg = VaConfig { bits, layout: PageLayout::new(256, 16), ..Default::default() };
+        let (va, db) = VaFile::build(&ds, cfg);
+        let disk = SimulatedDisk::new(db, 0.2);
+        let (answers, stats) = va.similarity_query(&disk, &Euclidean, &q, &qtype);
+        let got: Vec<ObjectId> = answers.ids().collect();
+        prop_assert_eq!(got, brute_force(&data, &q, &qtype));
+        prop_assert_eq!(stats.bound_computations, data.len() as u64);
+        prop_assert!(stats.refined <= stats.candidates);
+    }
+
+    #[test]
+    fn vafile_batch_matches_singles(
+        data in arb_points(100, 3),
+        bits in 2u8..=7,
+        picks in prop::collection::vec((0usize..1000, arb_qtype()), 2..6),
+    ) {
+        let ds = Dataset::new(data.clone());
+        let cfg = VaConfig { bits, layout: PageLayout::new(256, 16), ..Default::default() };
+        let (va, db) = VaFile::build(&ds, cfg);
+        let disk = SimulatedDisk::new(db, 0.2);
+        let queries: Vec<(Vector, QueryType)> = picks
+            .iter()
+            .map(|(p, t)| (data[p % data.len()].clone(), *t))
+            .collect();
+        let (multi, _) = va.multiple_similarity_query(&disk, &Euclidean, &queries);
+        for (i, (q, t)) in queries.iter().enumerate() {
+            let (single, _) = va.similarity_query(&disk, &Euclidean, q, t);
+            let a: Vec<ObjectId> = multi[i].ids().collect();
+            let b: Vec<ObjectId> = single.ids().collect();
+            prop_assert_eq!(a, b, "query {}", i);
+        }
+    }
+
+    #[test]
+    fn vafile_bounds_always_bracket(
+        data in arb_points(80, 4),
+        bits in 1u8..=8,
+        pick in 0usize..1000,
+    ) {
+        let q = data[pick % data.len()].clone();
+        let ds = Dataset::new(data.clone());
+        let cfg = VaConfig { bits, layout: PageLayout::new(256, 16), ..Default::default() };
+        let (va, _db) = VaFile::build(&ds, cfg);
+        let adb = va.approx_disk().database();
+        for (oid, obj) in ds.iter() {
+            let (pid, slot) = adb.locate(oid);
+            let approx = &adb.page(pid).records()[slot as usize].1;
+            let (lo, hi) = va.bounds(&q, approx);
+            let true_d = Euclidean.distance(&q, obj);
+            prop_assert!(lo <= true_d + 1e-5, "lower {} > true {}", lo, true_d);
+            prop_assert!(hi >= true_d - 1e-5, "upper {} < true {}", hi, true_d);
+        }
+    }
+}
