@@ -6,7 +6,7 @@
 //! (one shared pass), the X-tree's by a smaller factor (8.7 / 15 at
 //! m = 100), so at m = 100 the scan's average I/O undercuts the X-tree's.
 
-use mq_bench::report::{fmt, header, Table};
+use mq_bench::report::{fmt, header, stats_record, Table};
 use mq_bench::setup::BenchEnv;
 use mq_bench::sweep::{m_sweep, PAPER_MS};
 
@@ -74,5 +74,8 @@ fn main() {
             fmt(scan1.io_per_query() / scan100.io_per_query()),
             fmt(tree1.io_per_query() / tree100.io_per_query())
         );
+        for (name, p) in [("scan", scan100), ("x-tree", tree100)] {
+            stats_record(&format!("{} {} m={total}", db.name, name), &p.stats);
+        }
     }
 }

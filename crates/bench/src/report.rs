@@ -66,6 +66,15 @@ impl Table {
     }
 }
 
+/// Prints one labelled counter record in the canonical
+/// [`mq_core::ExecutionStats::to_record`] form — the same `key=value`
+/// encoding the query server puts in its responses, so harness output and
+/// server output can be scraped by the same tooling. The leading `#` keeps
+/// record lines distinguishable from table rows.
+pub fn stats_record(label: &str, stats: &mq_core::ExecutionStats) {
+    println!("# {label}: {}", stats.to_record());
+}
+
 /// Formats a float compactly (3 significant decimals for small values).
 pub fn fmt(v: f64) -> String {
     if v == 0.0 {

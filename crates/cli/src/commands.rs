@@ -228,6 +228,90 @@ pub fn batch(args: &Args) -> CmdResult {
     Ok(())
 }
 
+pub fn serve(args: &Args) -> CmdResult {
+    use mq_server::{build_backend, ExecutionMode, QueryServer, ServerConfig};
+    let stored = load(args)?;
+    let addr = args.string_or("addr", "127.0.0.1:7878");
+    let which = args.string_or("index", "xtree");
+    let max_batch: usize = args.parse_or("max-batch", 16)?;
+    let max_wait_ms: u64 = args.parse_or("max-wait-ms", 20)?;
+    let servers: usize = args.parse_or("cluster", 0)?;
+
+    let mut config = ServerConfig::default()
+        .with_max_batch(max_batch)
+        .with_max_wait(std::time::Duration::from_millis(max_wait_ms))
+        .with_avoidance(!args.has("no-avoidance"));
+    if servers > 0 {
+        config = config.with_mode(ExecutionMode::Cluster { servers });
+    }
+
+    // Validate the index name up front so a typo fails fast, not inside
+    // the backend builder.
+    build_index(&stored, &which)?;
+    let layout = stored.layout();
+    let which_owned = which.clone();
+    let backend = build_backend(&stored, &config, 0.10, move |ds| {
+        let db = PagedDatabase::pack(ds, layout);
+        build_index(&db, &which_owned).expect("index kind validated before serving")
+    });
+
+    let server = QueryServer::bind(addr.as_str(), backend, &config)?;
+    println!(
+        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms{})",
+        server.local_addr(),
+        stored.object_count(),
+        if servers > 0 {
+            format!(", cluster of {servers}")
+        } else {
+            ", single engine".into()
+        }
+    );
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+pub fn client(args: &Args) -> CmdResult {
+    use mq_server::Client;
+    let addr = args.string_or("addr", "127.0.0.1:7878");
+    let mut client = Client::connect(addr.as_str())?;
+
+    if args.has("stats") {
+        let m = client.stats()?;
+        println!("queries served : {}", m.queries);
+        println!("batches flushed: {}", m.batches);
+        println!("largest batch  : {}", m.max_batch_size);
+        println!("totals         : {}", m.totals);
+        println!("record         : {}", m.totals.to_record());
+        return Ok(());
+    }
+
+    let raw = args.required("vector")?;
+    let components: Vec<f32> = raw
+        .split(',')
+        .map(|c| c.trim().parse::<f32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("cannot parse --vector '{raw}' (comma-separated floats)"))?;
+    if components.is_empty() {
+        return Err("--vector must have at least one component".into());
+    }
+    if components.iter().any(|c| !c.is_finite()) {
+        return Err(format!("--vector components must be finite, got '{raw}'").into());
+    }
+    let qtype = parse_qtype(args)?;
+    let q = Vector::new(components);
+
+    let reply = client.query(&q, &qtype)?;
+    println!("{qtype} answered in batch #{} of {} queries:", reply.batch_id, reply.batch_size);
+    for a in &reply.answers {
+        println!("  {}  distance {:.6}", a.id, a.distance);
+    }
+    println!("\nbatch cost: {}", reply.stats);
+    println!("record    : {}", reply.stats.to_record());
+    Ok(())
+}
+
 pub fn dbscan(args: &Args) -> CmdResult {
     let stored = load(args)?;
     let eps: f64 = args.parse_or("eps", 0.1)?;

@@ -34,6 +34,17 @@ USAGE:
 
   mq dbscan <FILE> --eps <EPS> --min-pts <P> [--batch <M>]
       Density-based clustering with single or multiple queries.
+
+  mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree]
+                [--max-batch <M>] [--max-wait-ms <MS>] [--cluster <S>]
+                [--no-avoidance]
+      Serve the database over TCP, batching concurrent client queries
+      into multiple similarity queries (one engine, or a shared-nothing
+      cluster of S servers with --cluster).
+
+  mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
+  mq client [--addr 127.0.0.1:7878] --stats true
+      Query a running server, or fetch its batching counters.
 ";
 
 fn main() {
@@ -50,6 +61,8 @@ fn main() {
         "query" => commands::query(&args),
         "batch" => commands::batch(&args),
         "dbscan" => commands::dbscan(&args),
+        "serve" => commands::serve(&args),
+        "client" => commands::client(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 /// Everything one query run cost: I/O counters, distance calculations,
 /// triangle-inequality counters, and measured wall-clock time.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExecutionStats {
     /// Disk counters.
     pub io: IoStats,
@@ -21,6 +21,51 @@ pub struct ExecutionStats {
 }
 
 impl ExecutionStats {
+    /// Canonical `key=value` record of every counter, one space-separated
+    /// line. The stable machine-readable form used by server responses and
+    /// bench reports alike; keys never change meaning across versions.
+    pub fn to_record(&self) -> String {
+        format!(
+            "logical_reads={} buffer_hits={} physical_reads={} random_reads={} \
+             sequential_reads={} dist_calcs={} avoid_tries={} avoided={} \
+             computed={} elapsed_us={}",
+            self.io.logical_reads,
+            self.io.buffer_hits,
+            self.io.physical_reads,
+            self.io.random_reads,
+            self.io.sequential_reads,
+            self.dist_calcs,
+            self.avoidance.tries,
+            self.avoidance.avoided,
+            self.avoidance.computed,
+            self.elapsed.as_micros(),
+        )
+    }
+
+    /// Parses a [`to_record`](Self::to_record) line back into stats.
+    /// Unknown keys are ignored so records stay forward-compatible.
+    pub fn from_record(record: &str) -> Option<Self> {
+        let mut out = ExecutionStats::default();
+        for pair in record.split_whitespace() {
+            let (key, value) = pair.split_once('=')?;
+            let v: u64 = value.parse().ok()?;
+            match key {
+                "logical_reads" => out.io.logical_reads = v,
+                "buffer_hits" => out.io.buffer_hits = v,
+                "physical_reads" => out.io.physical_reads = v,
+                "random_reads" => out.io.random_reads = v,
+                "sequential_reads" => out.io.sequential_reads = v,
+                "dist_calcs" => out.dist_calcs = v,
+                "avoid_tries" => out.avoidance.tries = v,
+                "avoided" => out.avoidance.avoided = v,
+                "computed" => out.avoidance.computed = v,
+                "elapsed_us" => out.elapsed = Duration::from_micros(v),
+                _ => {}
+            }
+        }
+        Some(out)
+    }
+
     /// Per-query average: divides every counter by `n`.
     pub fn per_query(&self, n: u64) -> PerQueryCost {
         let n = n.max(1) as f64;
@@ -31,6 +76,22 @@ impl ExecutionStats {
             comparisons: self.avoidance.tries as f64 / n,
             elapsed_secs: self.elapsed.as_secs_f64() / n,
         }
+    }
+}
+
+impl std::fmt::Display for ExecutionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} page reads ({} logical, {} buffer hits), {} distance calcs \
+             ({} avoided), {:.3} ms",
+            self.io.physical_reads,
+            self.io.logical_reads,
+            self.io.buffer_hits,
+            self.dist_calcs,
+            self.avoidance.avoided,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
     }
 }
 
@@ -209,6 +270,53 @@ mod tests {
         // n = 0 is treated as 1 to avoid division by zero.
         let per0 = stats.per_query(0);
         assert!((per0.dist_calcs - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let stats = ExecutionStats {
+            io: IoStats {
+                logical_reads: 100,
+                buffer_hits: 40,
+                physical_reads: 60,
+                random_reads: 10,
+                sequential_reads: 50,
+            },
+            dist_calcs: 12345,
+            avoidance: AvoidanceStats {
+                tries: 500,
+                avoided: 400,
+                computed: 600,
+            },
+            elapsed: Duration::from_micros(789),
+        };
+        let record = stats.to_record();
+        let back = ExecutionStats::from_record(&record).expect("parse");
+        assert_eq!(back.io.logical_reads, 100);
+        assert_eq!(back.io.buffer_hits, 40);
+        assert_eq!(back.io.physical_reads, 60);
+        assert_eq!(back.io.random_reads, 10);
+        assert_eq!(back.io.sequential_reads, 50);
+        assert_eq!(back.dist_calcs, 12345);
+        assert_eq!(back.avoidance.tries, 500);
+        assert_eq!(back.avoidance.avoided, 400);
+        assert_eq!(back.avoidance.computed, 600);
+        assert_eq!(back.elapsed, Duration::from_micros(789));
+        // Unknown keys are ignored; malformed records are rejected.
+        assert!(ExecutionStats::from_record("future_key=7").is_some());
+        assert!(ExecutionStats::from_record("no-equals-sign").is_none());
+        assert!(ExecutionStats::from_record("dist_calcs=abc").is_none());
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let stats = ExecutionStats {
+            dist_calcs: 42,
+            ..Default::default()
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("42 distance calcs"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The client library: a blocking connection speaking the frame protocol.
+
+use crate::protocol::{
+    read_message, write_message, Message, ProtocolError, ServiceMetrics,
+};
+use mq_core::{Answer, ExecutionStats, QueryType};
+use mq_metric::Vector;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Protocol(ProtocolError),
+    /// The server answered with an error message.
+    Server(String),
+    /// The server answered with the wrong message type.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// The answers of one remote query plus its batch's shared statistics —
+/// the client-side view of a server reply.
+#[derive(Clone, Debug)]
+pub struct RemoteAnswers {
+    /// Identifier of the batch that carried this query.
+    pub batch_id: u64,
+    /// Queries that shared the batch (> 1 means the server amortized page
+    /// reads across concurrent clients).
+    pub batch_size: u32,
+    /// Execution statistics of the whole batch.
+    pub stats: ExecutionStats,
+    /// The answers, ascending by distance.
+    pub answers: Vec<Answer>,
+}
+
+/// One blocking connection to a query server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    fn call(&mut self, request: &Message) -> Result<Message, ClientError> {
+        write_message(&mut self.stream, request)?;
+        let response = read_message(&mut self.stream)?;
+        if let Message::Error(m) = response {
+            return Err(ClientError::Server(m));
+        }
+        Ok(response)
+    }
+
+    /// Sends one similarity query and blocks until its batch flushed on
+    /// the server and the answers arrive.
+    pub fn query(
+        &mut self,
+        object: &Vector,
+        qtype: &QueryType,
+    ) -> Result<RemoteAnswers, ClientError> {
+        let response = self.call(&Message::Query {
+            object: object.clone(),
+            qtype: *qtype,
+        })?;
+        match response {
+            Message::Answers {
+                batch_id,
+                batch_size,
+                stats,
+                answers,
+            } => Ok(RemoteAnswers {
+                batch_id,
+                batch_size,
+                stats,
+                answers,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's aggregate counters.
+    pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
+        match self.call(&Message::Stats)? {
+            Message::StatsReply(m) => Ok(m),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Server configuration: batching knobs and execution mode.
+
+use std::time::Duration;
+
+/// How flushed batches are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One engine on one simulated disk (§5.1–5.2).
+    Single,
+    /// A shared-nothing cluster of `servers` declustered engines (§5.3).
+    Cluster {
+        /// Number of cluster servers.
+        servers: usize,
+    },
+}
+
+/// The scheduler's batching knobs.
+///
+/// Requests queue until either `max_batch` of them accumulated or
+/// `max_wait` elapsed since the oldest queued request arrived; the queue
+/// then flushes as one `multiple_similarity_query` batch. A larger
+/// `max_batch` shares more page reads per flush (the paper's m); a larger
+/// `max_wait` trades latency of a lone request for the chance of sharing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush at latest this long after the first queued request.
+    pub max_wait: Duration,
+    /// Single engine or shared-nothing cluster.
+    pub mode: ExecutionMode,
+    /// Whether §5.2 triangle-inequality avoidance is enabled.
+    pub avoidance: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait: Duration::from_millis(20),
+            mode: ExecutionMode::Single,
+            avoidance: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the batch-size flush threshold.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the deadline flush threshold.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Selects the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables §5.2 avoidance.
+    pub fn with_avoidance(mut self, avoidance: bool) -> Self {
+        self.avoidance = avoidance;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = ServerConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(5))
+            .with_mode(ExecutionMode::Cluster { servers: 3 })
+            .with_avoidance(false);
+        assert_eq!(c.max_batch, 4);
+        assert_eq!(c.max_wait, Duration::from_millis(5));
+        assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
+        assert!(!c.avoidance);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = ServerConfig::default().with_max_batch(0);
+    }
+}

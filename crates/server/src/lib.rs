@@ -1,0 +1,55 @@
+//! mq-server: an online similarity-query service that turns concurrent
+//! client traffic into multiple similarity queries.
+//!
+//! The paper batches m queries that arrive *together* (classification, data
+//! mining, prefetching — §3). This crate supplies the missing online half:
+//! a TCP server whose clients each send ordinary single queries, and whose
+//! [`BatchScheduler`] merges whatever arrived within a short window into
+//! one `multiple_similarity_query` batch. Concurrent traffic then enjoys
+//! the paper's §5.1 page-read sharing and §5.2 distance-calculation
+//! avoidance without any client-side coordination.
+//!
+//! Layers:
+//!
+//! - [`protocol`] — length-prefixed binary frames (requests, answers,
+//!   service counters) in the same `bytes` codec style as
+//!   `mq_storage::persist`.
+//! - [`scheduler`] — the batching scheduler: one queue, one worker,
+//!   flush on `max_batch` or `max_wait`, backends for a single engine
+//!   (§5.1–5.2) or a shared-nothing cluster (§5.3).
+//! - [`service`] — the `std::net` TCP frontend, thread-per-connection.
+//! - [`client`] — a small blocking client library.
+//! - [`config`] — the tuning knobs.
+//!
+//! ```no_run
+//! use mq_server::{Client, QueryServer, ServerConfig, SingleEngineBackend};
+//! use mq_core::QueryType;
+//! use mq_index::LinearScan;
+//! use mq_metric::Vector;
+//! use mq_storage::{Dataset, PagedDatabase};
+//!
+//! let ds = Dataset::new((0..1000).map(|i| Vector::new(vec![i as f32])).collect());
+//! let db = PagedDatabase::pack(&ds, Default::default());
+//! let scan = LinearScan::new(db.page_count());
+//! let backend = SingleEngineBackend::new(db, Box::new(scan), 0.10, true);
+//!
+//! let server = QueryServer::bind("127.0.0.1:0", Box::new(backend), &ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let reply = client.query(&Vector::new(vec![42.0]), &QueryType::knn(3))?;
+//! assert_eq!(reply.answers.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod scheduler;
+pub mod service;
+
+pub use client::{Client, ClientError, RemoteAnswers};
+pub use config::{ExecutionMode, ServerConfig};
+pub use protocol::{Message, ProtocolError, ServiceMetrics};
+pub use scheduler::{
+    build_backend, BatchScheduler, ClusterBackend, QueryBackend, QueryReply, SingleEngineBackend,
+};
+pub use service::QueryServer;

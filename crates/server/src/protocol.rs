@@ -1,0 +1,539 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! MQNW | version:u16 LE | payload_len:u32 LE | payload
+//! ```
+//!
+//! The payload starts with a one-byte message kind followed by the
+//! kind-specific fields, all little-endian (the same `bytes`-based codec
+//! style as `mq_storage::persist`):
+//!
+//! ```text
+//! 0x01 Query      object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64)
+//! 0x02 Stats      (empty)
+//! 0x81 Answers    batch_id:u64, batch_size:u32, stats(10 × u64), count:u32, count × (id:u32, distance:f64)
+//! 0x82 StatsReply queries:u64, batches:u64, max_batch_size:u32, totals(10 × u64)
+//! 0xFF Error      len:u32, len × utf-8 bytes
+//! ```
+//!
+//! `ExecutionStats` is fixed-width: the five `IoStats` counters, the
+//! distance-calculation count, the three avoidance counters, and the
+//! elapsed time in nanoseconds — ten `u64`s.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mq_core::{Answer, AvoidanceStats, ExecutionStats, QueryKind, QueryType};
+use mq_metric::{ObjectId, Vector};
+use mq_storage::IoStats;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Frame magic: "mquery network".
+pub const MAGIC: &[u8; 4] = b"MQNW";
+/// Protocol version carried in every frame.
+pub const VERSION: u16 = 1;
+/// Bytes of frame header preceding the payload.
+pub const HEADER_LEN: usize = 10;
+/// Upper bound on payload size; larger length prefixes are rejected as
+/// malformed rather than allocated.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+const KIND_QUERY: u8 = 0x01;
+const KIND_STATS: u8 = 0x02;
+const KIND_ANSWERS: u8 = 0x81;
+const KIND_STATS_REPLY: u8 = 0x82;
+const KIND_ERROR: u8 = 0xFF;
+
+/// Errors from encoding, decoding or transporting frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket/stream failure (includes clean EOF between
+    /// frames, surfaced as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's version differs from [`VERSION`].
+    BadVersion(u16),
+    /// The buffer ends before the advertised frame does.
+    Truncated,
+    /// The payload's message kind byte is unknown.
+    UnknownKind(u8),
+    /// The payload violates the message grammar.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtocolError::Truncated => write!(f, "truncated frame"),
+            ProtocolError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Aggregate service counters reported by a stats request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Queries answered since startup.
+    pub queries: u64,
+    /// Batches flushed since startup.
+    pub batches: u64,
+    /// Largest batch flushed so far.
+    pub max_batch_size: u32,
+    /// Summed execution statistics over all batches.
+    pub totals: ExecutionStats,
+}
+
+/// Every message of the protocol — requests (client → server) and
+/// responses (server → client) share one codec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Submit one similarity query for batched execution.
+    Query {
+        /// The query object.
+        object: Vector,
+        /// The query type (Definitions 1–3).
+        qtype: QueryType,
+    },
+    /// Ask for the aggregate service counters.
+    Stats,
+    /// The answers of one query, with its batch's execution statistics.
+    Answers {
+        /// Identifier of the batch that carried this query.
+        batch_id: u64,
+        /// Queries in that batch.
+        batch_size: u32,
+        /// Execution statistics of the whole batch (shared by all its
+        /// queries — the point of batching).
+        stats: ExecutionStats,
+        /// The answers, ascending by distance.
+        answers: Vec<Answer>,
+    },
+    /// The aggregate service counters.
+    StatsReply(ServiceMetrics),
+    /// The server could not process a request.
+    Error(String),
+}
+
+fn put_qtype(buf: &mut BytesMut, t: &QueryType) {
+    buf.put_u8(match t.kind {
+        QueryKind::Range => 0,
+        QueryKind::KNearestNeighbor => 1,
+        QueryKind::BoundedKNearestNeighbor => 2,
+    });
+    buf.put_f64_le(t.range);
+    buf.put_u64_le(if t.cardinality == usize::MAX {
+        u64::MAX
+    } else {
+        t.cardinality as u64
+    });
+}
+
+fn put_stats(buf: &mut BytesMut, s: &ExecutionStats) {
+    buf.put_u64_le(s.io.logical_reads);
+    buf.put_u64_le(s.io.buffer_hits);
+    buf.put_u64_le(s.io.physical_reads);
+    buf.put_u64_le(s.io.random_reads);
+    buf.put_u64_le(s.io.sequential_reads);
+    buf.put_u64_le(s.dist_calcs);
+    buf.put_u64_le(s.avoidance.tries);
+    buf.put_u64_le(s.avoidance.avoided);
+    buf.put_u64_le(s.avoidance.computed);
+    buf.put_u64_le(s.elapsed.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), ProtocolError> {
+    if buf.remaining() < n {
+        Err(ProtocolError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_vector(buf: &mut Bytes) -> Result<Vector, ProtocolError> {
+    need(buf, 4)?;
+    let dim = buf.get_u32_le() as usize;
+    if dim == 0 {
+        return Err(ProtocolError::Malformed("zero-dimensional vector".into()));
+    }
+    need(buf, dim * 4)?;
+    let mut components = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let c = buf.get_f32_le();
+        if !c.is_finite() {
+            return Err(ProtocolError::Malformed("non-finite component".into()));
+        }
+        components.push(c);
+    }
+    Ok(Vector::new(components))
+}
+
+fn get_qtype(buf: &mut Bytes) -> Result<QueryType, ProtocolError> {
+    need(buf, 1 + 8 + 8)?;
+    let kind = buf.get_u8();
+    let range = buf.get_f64_le();
+    let cardinality = buf.get_u64_le();
+    let cardinality = if cardinality == u64::MAX {
+        usize::MAX
+    } else {
+        usize::try_from(cardinality)
+            .map_err(|_| ProtocolError::Malformed("cardinality overflows usize".into()))?
+    };
+    if range.is_nan() || range < 0.0 {
+        return Err(ProtocolError::Malformed("negative or NaN range".into()));
+    }
+    let kind = match kind {
+        0 => QueryKind::Range,
+        1 => QueryKind::KNearestNeighbor,
+        2 => QueryKind::BoundedKNearestNeighbor,
+        other => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown query kind {other}"
+            )))
+        }
+    };
+    if kind != QueryKind::Range && cardinality == 0 {
+        return Err(ProtocolError::Malformed("zero cardinality".into()));
+    }
+    Ok(QueryType {
+        range,
+        cardinality,
+        kind,
+    })
+}
+
+fn get_stats(buf: &mut Bytes) -> Result<ExecutionStats, ProtocolError> {
+    need(buf, 10 * 8)?;
+    Ok(ExecutionStats {
+        io: IoStats {
+            logical_reads: buf.get_u64_le(),
+            buffer_hits: buf.get_u64_le(),
+            physical_reads: buf.get_u64_le(),
+            random_reads: buf.get_u64_le(),
+            sequential_reads: buf.get_u64_le(),
+        },
+        dist_calcs: buf.get_u64_le(),
+        avoidance: AvoidanceStats {
+            tries: buf.get_u64_le(),
+            avoided: buf.get_u64_le(),
+            computed: buf.get_u64_le(),
+        },
+        elapsed: Duration::from_nanos(buf.get_u64_le()),
+    })
+}
+
+impl Message {
+    /// Encodes this message as one complete frame (header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        match self {
+            Message::Query { object, qtype } => {
+                payload.put_u8(KIND_QUERY);
+                payload.put_u32_le(object.dim() as u32);
+                for &c in object.components() {
+                    payload.put_f32_le(c);
+                }
+                put_qtype(&mut payload, qtype);
+            }
+            Message::Stats => payload.put_u8(KIND_STATS),
+            Message::Answers {
+                batch_id,
+                batch_size,
+                stats,
+                answers,
+            } => {
+                payload.put_u8(KIND_ANSWERS);
+                payload.put_u64_le(*batch_id);
+                payload.put_u32_le(*batch_size);
+                put_stats(&mut payload, stats);
+                payload.put_u32_le(answers.len() as u32);
+                for a in answers {
+                    payload.put_u32_le(a.id.0);
+                    payload.put_f64_le(a.distance);
+                }
+            }
+            Message::StatsReply(m) => {
+                payload.put_u8(KIND_STATS_REPLY);
+                payload.put_u64_le(m.queries);
+                payload.put_u64_le(m.batches);
+                payload.put_u32_le(m.max_batch_size);
+                put_stats(&mut payload, &m.totals);
+            }
+            Message::Error(msg) => {
+                payload.put_u8(KIND_ERROR);
+                payload.put_u32_le(msg.len() as u32);
+                payload.put_slice(msg.as_bytes());
+            }
+        }
+        let mut frame = BytesMut::new();
+        frame.put_slice(MAGIC);
+        frame.put_u16_le(VERSION);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decodes one frame from the front of `bytes`; returns the message
+    /// and the number of bytes the frame occupied.
+    pub fn decode(bytes: &[u8]) -> Result<(Message, usize), ProtocolError> {
+        if bytes.len() < HEADER_LEN {
+            // Distinguish "wrong protocol" from "not enough bytes yet":
+            // a bad magic is reported as soon as the first bytes disagree.
+            let lim = bytes.len().min(MAGIC.len());
+            if bytes[..lim] != MAGIC[..lim] {
+                let mut m = [0u8; 4];
+                m[..lim].copy_from_slice(&bytes[..lim]);
+                return Err(ProtocolError::BadMagic(m));
+            }
+            return Err(ProtocolError::Truncated);
+        }
+        let mut buf = Bytes::from(bytes[..HEADER_LEN].to_vec());
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ProtocolError::BadMagic(magic));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(ProtocolError::BadVersion(version));
+        }
+        let len = buf.get_u32_le() as usize;
+        if len > MAX_PAYLOAD {
+            return Err(ProtocolError::Malformed(format!(
+                "payload of {len} bytes exceeds limit"
+            )));
+        }
+        if bytes.len() < HEADER_LEN + len {
+            return Err(ProtocolError::Truncated);
+        }
+        let mut payload = Bytes::from(bytes[HEADER_LEN..HEADER_LEN + len].to_vec());
+        let msg = Self::decode_payload(&mut payload)?;
+        if payload.has_remaining() {
+            return Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after message",
+                payload.remaining()
+            )));
+        }
+        Ok((msg, HEADER_LEN + len))
+    }
+
+    fn decode_payload(buf: &mut Bytes) -> Result<Message, ProtocolError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            KIND_QUERY => {
+                let object = get_vector(buf)?;
+                let qtype = get_qtype(buf)?;
+                Ok(Message::Query { object, qtype })
+            }
+            KIND_STATS => Ok(Message::Stats),
+            KIND_ANSWERS => {
+                need(buf, 8 + 4)?;
+                let batch_id = buf.get_u64_le();
+                let batch_size = buf.get_u32_le();
+                let stats = get_stats(buf)?;
+                need(buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                need(buf, count * 12)?;
+                let answers = (0..count)
+                    .map(|_| {
+                        let id = ObjectId(buf.get_u32_le());
+                        let distance = buf.get_f64_le();
+                        Answer { id, distance }
+                    })
+                    .collect();
+                Ok(Message::Answers {
+                    batch_id,
+                    batch_size,
+                    stats,
+                    answers,
+                })
+            }
+            KIND_STATS_REPLY => {
+                need(buf, 8 + 8 + 4)?;
+                let queries = buf.get_u64_le();
+                let batches = buf.get_u64_le();
+                let max_batch_size = buf.get_u32_le();
+                let totals = get_stats(buf)?;
+                Ok(Message::StatsReply(ServiceMetrics {
+                    queries,
+                    batches,
+                    max_batch_size,
+                    totals,
+                }))
+            }
+            KIND_ERROR => {
+                need(buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len)?;
+                let mut raw = vec![0u8; len];
+                buf.copy_to_slice(&mut raw);
+                let msg = String::from_utf8(raw)
+                    .map_err(|_| ProtocolError::Malformed("non-utf8 error text".into()))?;
+                Ok(Message::Error(msg))
+            }
+            other => Err(ProtocolError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Writes one message as a frame to `w`.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), ProtocolError> {
+    w.write_all(&msg.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one frame from `r` and decodes it. Blocks until a whole
+/// frame arrived; a connection closed between frames surfaces as
+/// `Io(UnexpectedEof)`.
+pub fn read_message(r: &mut impl Read) -> Result<Message, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let mut buf = Bytes::from(header.to_vec());
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(ProtocolError::BadVersion(version));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Malformed(format!(
+            "payload of {len} bytes exceeds limit"
+        )));
+    }
+    let mut frame = vec![0u8; HEADER_LEN + len];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    r.read_exact(&mut frame[HEADER_LEN..])?;
+    let (msg, used) = Message::decode(&frame)?;
+    debug_assert_eq!(used, frame.len());
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let msg = Message::Query {
+            object: Vector::new(vec![1.5, -2.25, 3.0]),
+            qtype: QueryType::bounded_knn(7, 0.5),
+        };
+        let frame = msg.encode();
+        let (back, used) = Message::decode(&frame).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn knn_infinite_range_survives() {
+        let msg = Message::Query {
+            object: Vector::new(vec![0.0]),
+            qtype: QueryType::knn(3),
+        };
+        let (back, _) = Message::decode(&msg.encode()).expect("decode");
+        match back {
+            Message::Query { qtype, .. } => {
+                assert!(qtype.range.is_infinite());
+                assert_eq!(qtype.cardinality, 3);
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn answers_roundtrip() {
+        let msg = Message::Answers {
+            batch_id: 9,
+            batch_size: 4,
+            stats: ExecutionStats {
+                dist_calcs: 11,
+                elapsed: Duration::from_nanos(123_456),
+                ..Default::default()
+            },
+            answers: vec![
+                Answer {
+                    id: ObjectId(3),
+                    distance: 0.25,
+                },
+                Answer {
+                    id: ObjectId(8),
+                    distance: 1.5,
+                },
+            ],
+        };
+        let (back, _) = Message::decode(&msg.encode()).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut frame = Message::Stats.encode().to_vec();
+        frame[0] = b'X';
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(ProtocolError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = Message::Query {
+            object: Vector::new(vec![1.0, 2.0]),
+            qtype: QueryType::range(1.0),
+        }
+        .encode();
+        for cut in 4..frame.len() {
+            assert!(
+                matches!(
+                    Message::decode(&frame[..cut]),
+                    Err(ProtocolError::Truncated)
+                ),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = Message::Stats.encode().to_vec();
+        frame[4] = 99;
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(ProtocolError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn io_roundtrip_over_a_buffer() {
+        let a = Message::Stats;
+        let b = Message::Error("boom".into());
+        let mut wire = Vec::new();
+        write_message(&mut wire, &a).unwrap();
+        write_message(&mut wire, &b).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_message(&mut r).unwrap(), a);
+        assert_eq!(read_message(&mut r).unwrap(), b);
+        assert!(matches!(
+            read_message(&mut r),
+            Err(ProtocolError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
+        ));
+    }
+}

@@ -1,0 +1,494 @@
+//! The batching scheduler: turns a stream of independent requests into
+//! multiple similarity queries.
+//!
+//! Requests from any number of connections flow into one queue. A worker
+//! thread collects them and flushes the queue as a single
+//! `multiple_similarity_query` batch once [`ServerConfig::max_batch`]
+//! requests accumulated or [`ServerConfig::max_wait`] passed since the
+//! first queued request — the server-side analogue of the paper's m-block:
+//! concurrent traffic pays one shared pass instead of m separate ones.
+
+use crate::config::{ExecutionMode, ServerConfig};
+use crate::protocol::ServiceMetrics;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use mq_core::{Answer, ExecutionStats, QueryEngine, QueryType, StatsProbe};
+use mq_index::SimilarityIndex;
+use mq_metric::{CountingMetric, Euclidean, Vector};
+use mq_parallel::{Declustering, SharedNothingCluster};
+use mq_storage::{PagedDatabase, SimulatedDisk};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The answers of one request plus its batch's shared statistics.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// Identifier of the batch that carried this query (1-based).
+    pub batch_id: u64,
+    /// Queries in that batch.
+    pub batch_size: u32,
+    /// Execution statistics of the whole batch.
+    pub stats: ExecutionStats,
+    /// The answers, ascending by distance.
+    pub answers: Vec<Answer>,
+}
+
+/// Executes one flushed batch. Implementations own their storage and
+/// index; the scheduler's worker thread is their only caller.
+pub trait QueryBackend: Send + 'static {
+    /// Evaluates the whole batch, returning per-query answer lists in
+    /// input order plus the batch's execution statistics.
+    fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats);
+
+    /// Dimensionality of the stored vectors, or 0 when unknown (empty
+    /// database). The frontend rejects mismatched queries up front so a
+    /// single bad request cannot reach — let alone poison — a batch that
+    /// carries other clients' queries.
+    fn dimensions(&self) -> usize;
+
+    /// One-line description for logs.
+    fn describe(&self) -> String;
+}
+
+/// Single-engine backend: one simulated disk, one access method, §5.1–5.2
+/// batched execution.
+pub struct SingleEngineBackend {
+    disk: SimulatedDisk<Vector>,
+    index: Box<dyn SimilarityIndex<Vector>>,
+    metric: CountingMetric<Euclidean>,
+    avoidance: bool,
+    dims: usize,
+}
+
+impl SingleEngineBackend {
+    /// Wraps a database and its index. `buffer_fraction` sizes the page
+    /// buffer as in [`SimulatedDisk::new`].
+    pub fn new(
+        db: PagedDatabase<Vector>,
+        index: Box<dyn SimilarityIndex<Vector>>,
+        buffer_fraction: f64,
+        avoidance: bool,
+    ) -> Self {
+        let dims = if db.object_count() > 0 {
+            db.object(mq_metric::ObjectId(0)).dim()
+        } else {
+            0
+        };
+        Self {
+            disk: SimulatedDisk::new(db, buffer_fraction),
+            index,
+            metric: CountingMetric::new(Euclidean),
+            avoidance,
+            dims,
+        }
+    }
+}
+
+impl QueryBackend for SingleEngineBackend {
+    fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
+        let engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone());
+        let engine = if self.avoidance {
+            engine
+        } else {
+            engine.without_avoidance()
+        };
+        let probe = StatsProbe::start(&self.disk, self.metric.counter(), Default::default());
+        let mut session = engine.new_session(queries);
+        engine.run_to_completion(&mut session);
+        let stats = probe.finish(&self.disk, session.avoidance_stats());
+        (session.into_answers(), stats)
+    }
+
+    fn dimensions(&self) -> usize {
+        self.dims
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "single engine, {} pages, avoidance {}",
+            self.disk.database().page_count(),
+            if self.avoidance { "on" } else { "off" }
+        )
+    }
+}
+
+/// Cluster backend: a §5.3 shared-nothing cluster evaluates every batch in
+/// parallel across its servers.
+pub struct ClusterBackend {
+    cluster: SharedNothingCluster<Vector, CountingMetric<Euclidean>>,
+    servers: usize,
+    avoidance: bool,
+    dims: usize,
+}
+
+impl ClusterBackend {
+    /// Declusters `objects` round-robin over `servers` local engines,
+    /// building each server's index with `build_index`.
+    pub fn build<F>(objects: &[Vector], servers: usize, buffer_fraction: f64, avoidance: bool, build_index: F) -> Self
+    where
+        F: Fn(&mq_storage::Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
+    {
+        let cluster = SharedNothingCluster::build(
+            objects,
+            servers,
+            Declustering::RoundRobin,
+            CountingMetric::new(Euclidean),
+            buffer_fraction,
+            build_index,
+        );
+        Self {
+            cluster,
+            servers,
+            avoidance,
+            dims: objects.first().map_or(0, |v| v.dim()),
+        }
+    }
+}
+
+impl QueryBackend for ClusterBackend {
+    fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
+        let (answers, cluster_stats) = self.cluster.multiple_query(&queries, self.avoidance);
+        // Sum of per-server work; elapsed is the parallel wall-clock, not
+        // the sum — that is the whole point of the cluster path.
+        let mut stats = cluster_stats.total();
+        stats.elapsed = cluster_stats.elapsed;
+        (answers, stats)
+    }
+
+    fn dimensions(&self) -> usize {
+        self.dims
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "shared-nothing cluster of {} servers, avoidance {}",
+            self.servers,
+            if self.avoidance { "on" } else { "off" }
+        )
+    }
+}
+
+struct Job {
+    object: Vector,
+    qtype: QueryType,
+    reply: Sender<QueryReply>,
+}
+
+/// The batching scheduler: one submission queue, one worker thread, one
+/// backend.
+pub struct BatchScheduler {
+    tx: Sender<Job>,
+    metrics: Arc<Mutex<ServiceMetrics>>,
+    dims: usize,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BatchScheduler {
+    /// Starts the worker thread over `backend` with the given batching
+    /// knobs.
+    pub fn start(backend: Box<dyn QueryBackend>, config: &ServerConfig) -> Self {
+        let (tx, rx) = channel::unbounded::<Job>();
+        let metrics = Arc::new(Mutex::new(ServiceMetrics::default()));
+        let worker_metrics = Arc::clone(&metrics);
+        let max_batch = config.max_batch.max(1);
+        let max_wait = config.max_wait;
+        let dims = backend.dimensions();
+        let worker = std::thread::Builder::new()
+            .name("mq-scheduler".into())
+            .spawn(move || worker_loop(rx, backend, max_batch, max_wait, worker_metrics))
+            .expect("spawn scheduler worker");
+        Self {
+            tx,
+            metrics,
+            dims,
+            worker: Some(worker),
+        }
+    }
+
+    /// Dimensionality the backend expects of query vectors (0 = unknown).
+    pub fn dimensions(&self) -> usize {
+        self.dims
+    }
+
+    /// Submits one query; the reply arrives on the returned channel once
+    /// the query's batch flushed.
+    pub fn submit(&self, object: Vector, qtype: QueryType) -> Receiver<QueryReply> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        // A send can only fail after shutdown; the caller then sees the
+        // reply channel disconnected, which is the honest signal.
+        let _ = self.tx.send(Job {
+            object,
+            qtype,
+            reply: reply_tx,
+        });
+        reply_rx
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        *self.metrics.lock()
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        // Closing the queue lets the worker drain pending jobs and exit.
+        let (closed_tx, _) = channel::bounded(1);
+        let _ = std::mem::replace(&mut self.tx, closed_tx);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    backend: Box<dyn QueryBackend>,
+    max_batch: usize,
+    max_wait: std::time::Duration,
+    metrics: Arc<Mutex<ServiceMetrics>>,
+) {
+    let mut batch_id = 0u64;
+    loop {
+        // Block until traffic arrives; an empty queue costs nothing.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut jobs = vec![first];
+        // Collect until the batch is full or the deadline passes.
+        let deadline = Instant::now() + max_wait;
+        while jobs.len() < max_batch {
+            match rx.recv_deadline(deadline) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        batch_id += 1;
+        let batch_size = jobs.len() as u32;
+        let queries: Vec<(Vector, QueryType)> = jobs
+            .iter()
+            .map(|j| (j.object.clone(), j.qtype))
+            .collect();
+        // The frontend validates queries, but the worker must survive a
+        // backend panic regardless — one poisoned batch must not take the
+        // service down for every later client.
+        let executed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.execute(queries)));
+        let (answers, stats) = match executed {
+            Ok(result) => result,
+            Err(_) => {
+                eprintln!(
+                    "mq-scheduler: batch #{batch_id} ({batch_size} queries) panicked; \
+                     its clients get an error reply"
+                );
+                // Dropping the jobs disconnects their reply channels, which
+                // the connection handlers report as a server error.
+                continue;
+            }
+        };
+        debug_assert_eq!(answers.len(), jobs.len());
+
+        {
+            let mut m = metrics.lock();
+            m.queries += batch_size as u64;
+            m.batches += 1;
+            m.max_batch_size = m.max_batch_size.max(batch_size);
+            m.totals += stats;
+        }
+
+        for (job, answers) in jobs.into_iter().zip(answers) {
+            // A client that hung up simply misses its reply.
+            let _ = job.reply.send(QueryReply {
+                batch_id,
+                batch_size,
+                stats,
+                answers,
+            });
+        }
+    }
+}
+
+/// Builds the backend selected by `config.mode` from a database and an
+/// index-builder callback (invoked once per cluster server, or once for
+/// the single-engine path).
+pub fn build_backend<F>(
+    db: &PagedDatabase<Vector>,
+    config: &ServerConfig,
+    buffer_fraction: f64,
+    build_index: F,
+) -> Box<dyn QueryBackend>
+where
+    F: Fn(&mq_storage::Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
+{
+    match config.mode {
+        ExecutionMode::Single => {
+            let (index, db) = build_index(&db.to_dataset());
+            Box::new(SingleEngineBackend::new(
+                db,
+                index,
+                buffer_fraction,
+                config.avoidance,
+            ))
+        }
+        ExecutionMode::Cluster { servers } => {
+            let ds = db.to_dataset();
+            Box::new(ClusterBackend::build(
+                ds.objects(),
+                servers.max(1),
+                buffer_fraction,
+                config.avoidance,
+                build_index,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_index::LinearScan;
+    use mq_storage::{Dataset, PageLayout};
+    use std::time::Duration;
+
+    fn line_db(n: usize) -> PagedDatabase<Vector> {
+        let ds = Dataset::new((0..n).map(|i| Vector::new(vec![i as f32])).collect());
+        PagedDatabase::pack(&ds, PageLayout::new(256, 16))
+    }
+
+    fn scan_backend(n: usize) -> Box<dyn QueryBackend> {
+        let db = line_db(n);
+        let scan = LinearScan::new(db.page_count());
+        Box::new(SingleEngineBackend::new(db, Box::new(scan), 0.10, true))
+    }
+
+    #[test]
+    fn replies_match_submissions() {
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(5));
+        let scheduler = BatchScheduler::start(scan_backend(100), &config);
+        let rxs: Vec<_> = (0..8)
+            .map(|i| scheduler.submit(Vector::new(vec![i as f32 * 10.0]), QueryType::knn(1)))
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let reply = rx.recv().expect("reply");
+            assert_eq!(reply.answers.len(), 1);
+            assert_eq!(reply.answers[0].id.0, i as u32 * 10);
+            assert!(reply.batch_size >= 1);
+        }
+        let m = scheduler.metrics();
+        assert_eq!(m.queries, 8);
+        assert!(m.batches >= 2, "max_batch 4 forces at least two batches");
+        assert!(m.max_batch_size <= 4);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let config = ServerConfig::default()
+            .with_max_batch(1000)
+            .with_max_wait(Duration::from_millis(10));
+        let scheduler = BatchScheduler::start(scan_backend(50), &config);
+        let rx = scheduler.submit(Vector::new(vec![7.0]), QueryType::knn(2));
+        let reply = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("deadline flush");
+        assert_eq!(reply.batch_size, 1);
+        assert_eq!(reply.answers[0].id.0, 7);
+    }
+
+    #[test]
+    fn full_batch_flushes_before_deadline() {
+        let config = ServerConfig::default()
+            .with_max_batch(3)
+            .with_max_wait(Duration::from_secs(3600));
+        let scheduler = BatchScheduler::start(scan_backend(50), &config);
+        let rxs: Vec<_> = (0..3)
+            .map(|i| scheduler.submit(Vector::new(vec![i as f32]), QueryType::knn(1)))
+            .collect();
+        for rx in rxs {
+            let reply = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("size-triggered flush despite huge max_wait");
+            assert_eq!(reply.batch_size, 3);
+            assert_eq!(reply.batch_id, 1);
+        }
+    }
+
+    #[test]
+    fn cluster_backend_agrees_with_single() {
+        let db = line_db(120);
+        let queries: Vec<(Vector, QueryType)> = (0..6)
+            .map(|i| (Vector::new(vec![i as f32 * 17.0 + 0.4]), QueryType::knn(3)))
+            .collect();
+        let single = scan_backend(120).execute(queries.clone());
+        let cluster = ClusterBackend::build(db.to_dataset().objects(), 3, 0.10, true, |ds| {
+            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        });
+        let clustered = cluster.execute(queries);
+        for (a, b) in single.0.iter().zip(&clustered.0) {
+            let ia: Vec<u32> = a.iter().map(|x| x.id.0).collect();
+            let ib: Vec<u32> = b.iter().map(|x| x.id.0).collect();
+            assert_eq!(ia, ib);
+        }
+    }
+
+    /// Stands in for any backend bug: panics when a query with the wrong
+    /// dimensionality slips through.
+    struct FussyBackend {
+        inner: Box<dyn QueryBackend>,
+    }
+
+    impl QueryBackend for FussyBackend {
+        fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
+            if queries.iter().any(|(v, _)| v.dim() != 1) {
+                panic!("unexpected dimensionality reached the backend");
+            }
+            self.inner.execute(queries)
+        }
+
+        fn dimensions(&self) -> usize {
+            1
+        }
+
+        fn describe(&self) -> String {
+            "fussy test backend".into()
+        }
+    }
+
+    #[test]
+    fn worker_survives_backend_panic() {
+        let config = ServerConfig::default()
+            .with_max_batch(1)
+            .with_max_wait(Duration::from_millis(1));
+        let backend = Box::new(FussyBackend {
+            inner: scan_backend(30),
+        });
+        let scheduler = BatchScheduler::start(backend, &config);
+        let bad = scheduler.submit(Vector::new(vec![1.0, 2.0]), QueryType::knn(1));
+        assert!(
+            bad.recv_timeout(Duration::from_secs(5)).is_err(),
+            "panicked batch must drop its reply channel"
+        );
+        let good = scheduler.submit(Vector::new(vec![7.0]), QueryType::knn(1));
+        let reply = good
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker must keep serving after a backend panic");
+        assert_eq!(reply.answers[0].id.0, 7);
+    }
+
+    #[test]
+    fn shutdown_disconnects_pending_reply_channels() {
+        let config = ServerConfig::default().with_max_batch(2);
+        let scheduler = BatchScheduler::start(scan_backend(20), &config);
+        let m0 = scheduler.metrics();
+        assert_eq!(m0.queries, 0);
+        drop(scheduler); // joins the worker without panicking
+    }
+}

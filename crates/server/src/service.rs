@@ -1,0 +1,143 @@
+//! The TCP frontend: thread-per-connection over `std::net`, all
+//! connections feeding one [`BatchScheduler`].
+
+use crate::config::ServerConfig;
+use crate::protocol::{read_message, write_message, Message, ProtocolError};
+use crate::scheduler::{BatchScheduler, QueryBackend};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running query server. Dropping it (or calling
+/// [`shutdown`](QueryServer::shutdown)) stops accepting, joins the accept
+/// thread, and lets the scheduler drain.
+pub struct QueryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    scheduler: Arc<BatchScheduler>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `backend` with the given batching configuration.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Box<dyn QueryBackend>,
+        config: &ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let scheduler = Arc::new(BatchScheduler::start(backend, config));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_scheduler = Arc::clone(&scheduler);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("mq-accept".into())
+            .spawn(move || accept_loop(listener, accept_scheduler, accept_shutdown))?;
+
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            scheduler,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the aggregate service counters.
+    pub fn metrics(&self) -> crate::protocol::ServiceMetrics {
+        self.scheduler.metrics()
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Connections already open finish their in-flight requests.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, scheduler: Arc<BatchScheduler>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_scheduler = Arc::clone(&scheduler);
+        // Connection handlers are detached: each one exits when its client
+        // hangs up, and holds only an Arc on the scheduler.
+        let _ = std::thread::Builder::new()
+            .name("mq-conn".into())
+            .spawn(move || handle_connection(stream, conn_scheduler));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, scheduler: Arc<BatchScheduler>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match read_message(&mut stream) {
+            Ok(msg) => msg,
+            // Clean disconnect or garbage: either way this connection is
+            // done. Try to tell the client about protocol errors.
+            Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                let _ = write_message(&mut stream, &Message::Error(e.to_string()));
+                return;
+            }
+        };
+        let response = match request {
+            Message::Query { object, qtype } => {
+                let expected = scheduler.dimensions();
+                if expected != 0 && object.dim() != expected {
+                    // Reject up front: a mismatched vector must never reach
+                    // a batch that carries other clients' queries. The
+                    // connection stays open for corrected retries.
+                    Message::Error(format!(
+                        "dimension mismatch: query vector has {} components, \
+                         database objects have {expected}",
+                        object.dim()
+                    ))
+                } else {
+                    let reply_rx = scheduler.submit(object, qtype);
+                    match reply_rx.recv() {
+                        Ok(reply) => Message::Answers {
+                            batch_id: reply.batch_id,
+                            batch_size: reply.batch_size,
+                            stats: reply.stats,
+                            answers: reply.answers,
+                        },
+                        Err(_) => Message::Error(
+                            "query batch failed or scheduler shut down".into(),
+                        ),
+                    }
+                }
+            }
+            Message::Stats => Message::StatsReply(scheduler.metrics()),
+            other => Message::Error(format!("unexpected client message: {other:?}")),
+        };
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}

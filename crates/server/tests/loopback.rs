@@ -1,0 +1,219 @@
+//! End-to-end loopback test: an in-process server, N concurrent clients,
+//! answers identical to serial `QueryEngine::similarity_query`, at least
+//! one flushed batch of size > 1, and fewer total page reads than the
+//! per-query sum.
+
+use mq_core::{QueryEngine, QueryType};
+use mq_index::LinearScan;
+use mq_metric::{Euclidean, ObjectId, Vector};
+use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
+use mq_server::{
+    Client, ExecutionMode, QueryServer, ServerConfig, SingleEngineBackend, build_backend,
+};
+use std::time::Duration;
+
+const N_CLIENTS: usize = 6;
+
+fn dataset(n: usize) -> Dataset<Vector> {
+    // Deterministic scattered 3-d points (xorshift), no external RNG.
+    let mut x = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    Dataset::new(
+        (0..n)
+            .map(|_| Vector::new((0..3).map(|_| (next() * 100.0) as f32).collect::<Vec<_>>()))
+            .collect(),
+    )
+}
+
+fn layout() -> PageLayout {
+    PageLayout::new(512, 16)
+}
+
+fn client_queries(ds: &Dataset<Vector>) -> Vec<(Vector, QueryType)> {
+    (0..N_CLIENTS)
+        .map(|i| {
+            let q = ds.object(ObjectId((i * 53) as u32)).clone();
+            let t = if i % 2 == 0 {
+                QueryType::knn(5)
+            } else {
+                QueryType::range(12.0)
+            };
+            (q, t)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_serial_answers_with_shared_reads() {
+    let ds = dataset(600);
+    let db = PagedDatabase::pack(&ds, layout());
+    let pages = db.page_count();
+    let scan = LinearScan::new(pages);
+    let backend = SingleEngineBackend::new(db, Box::new(scan), 0.05, true);
+
+    // max_batch = N with a generous deadline: all clients fire at once,
+    // so the first flush should carry the whole wave.
+    let config = ServerConfig::default()
+        .with_max_batch(N_CLIENTS)
+        .with_max_wait(Duration::from_secs(2));
+    let mut server = QueryServer::bind("127.0.0.1:0", Box::new(backend), &config)
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let queries = client_queries(&ds);
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|(q, t)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.query(q, t).expect("query")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+
+    // Serial reference: same data, same index, fresh disk.
+    let ref_db = PagedDatabase::pack(&ds, layout());
+    let ref_scan = LinearScan::new(ref_db.page_count());
+    let ref_disk = SimulatedDisk::new(ref_db, 0.05);
+    let engine = QueryEngine::new(&ref_disk, &ref_scan, Euclidean);
+    ref_disk.reset_stats();
+    for ((q, t), reply) in queries.iter().zip(&replies) {
+        let serial = engine.similarity_query(q, t);
+        let want: Vec<(u32, f64)> = serial.as_slice().iter().map(|a| (a.id.0, a.distance)).collect();
+        let got: Vec<(u32, f64)> = reply.answers.iter().map(|a| (a.id.0, a.distance)).collect();
+        assert_eq!(got, want, "server answers differ from serial engine");
+    }
+    let serial_reads = ref_disk.stats().logical_reads;
+
+    // At least one flushed batch carried more than one query.
+    assert!(
+        replies.iter().any(|r| r.batch_size > 1),
+        "no batch formed: sizes {:?}",
+        replies.iter().map(|r| r.batch_size).collect::<Vec<_>>()
+    );
+
+    // The batched server read fewer pages than the per-query sum (§5.1:
+    // the scan shares one pass across the whole batch).
+    let metrics = server.metrics();
+    assert_eq!(metrics.queries, N_CLIENTS as u64);
+    assert!(
+        metrics.totals.io.logical_reads < serial_reads,
+        "batching saved nothing: server {} vs serial {serial_reads}",
+        metrics.totals.io.logical_reads
+    );
+
+    // The stats request reports the same counters over the wire.
+    let mut stats_client = Client::connect(addr).expect("connect");
+    let remote = stats_client.stats().expect("stats");
+    assert_eq!(remote.queries, N_CLIENTS as u64);
+    assert_eq!(remote.max_batch_size, metrics.max_batch_size);
+    drop(stats_client);
+
+    server.shutdown();
+}
+
+#[test]
+fn cluster_mode_agrees_with_single_mode() {
+    let ds = dataset(400);
+    let db = PagedDatabase::pack(&ds, layout());
+    let build_index = |ds: &Dataset<Vector>| {
+        let db = PagedDatabase::pack(ds, layout());
+        (
+            Box::new(LinearScan::new(db.page_count())) as Box<dyn mq_index::SimilarityIndex<Vector>>,
+            db,
+        )
+    };
+
+    let single_cfg = ServerConfig::default()
+        .with_max_batch(4)
+        .with_max_wait(Duration::from_millis(100));
+    let cluster_cfg = single_cfg.with_mode(ExecutionMode::Cluster { servers: 3 });
+
+    let single_backend = build_backend(&db, &single_cfg, 0.10, build_index);
+    let cluster_backend = build_backend(&db, &cluster_cfg, 0.10, build_index);
+    let mut single_server =
+        QueryServer::bind("127.0.0.1:0", single_backend, &single_cfg).expect("bind");
+    let mut cluster_server =
+        QueryServer::bind("127.0.0.1:0", cluster_backend, &cluster_cfg).expect("bind");
+
+    let queries = client_queries(&ds);
+    let mut a = Client::connect(single_server.local_addr()).expect("connect");
+    let mut b = Client::connect(cluster_server.local_addr()).expect("connect");
+    for (q, t) in &queries {
+        let ra = a.query(q, t).expect("single");
+        let rb = b.query(q, t).expect("cluster");
+        let ia: Vec<u32> = ra.answers.iter().map(|x| x.id.0).collect();
+        let ib: Vec<u32> = rb.answers.iter().map(|x| x.id.0).collect();
+        assert_eq!(ia, ib, "cluster answers diverge for {t}");
+    }
+    drop((a, b));
+    single_server.shutdown();
+    cluster_server.shutdown();
+}
+
+#[test]
+fn malformed_frame_gets_error_reply() {
+    let ds = dataset(60);
+    let db = PagedDatabase::pack(&ds, layout());
+    let scan = LinearScan::new(db.page_count());
+    let backend = SingleEngineBackend::new(db, Box::new(scan), 0.10, true);
+    let mut server = QueryServer::bind(
+        "127.0.0.1:0",
+        Box::new(backend),
+        &ServerConfig::default().with_max_wait(Duration::from_millis(1)),
+    )
+    .expect("bind");
+
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    // The server answers with an Error frame, then closes the connection.
+    let mut response = Vec::new();
+    let _ = raw.read_to_end(&mut response);
+    let (msg, _) = mq_server::Message::decode(&response).expect("error frame");
+    assert!(matches!(msg, mq_server::Message::Error(_)), "got {msg:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn dimension_mismatch_is_rejected_and_server_keeps_serving() {
+    let ds = dataset(80);
+    let db = PagedDatabase::pack(&ds, layout());
+    let scan = LinearScan::new(db.page_count());
+    let backend = SingleEngineBackend::new(db, Box::new(scan), 0.10, true);
+    let mut server = QueryServer::bind(
+        "127.0.0.1:0",
+        Box::new(backend),
+        &ServerConfig::default().with_max_wait(Duration::from_millis(1)),
+    )
+    .expect("bind");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // The database is 3-d; a 2-d query must be rejected without reaching
+    // (and crashing) the backend.
+    let err = client
+        .query(&Vector::new(vec![1.0, 2.0]), &QueryType::knn(2))
+        .expect_err("mismatched dimensionality must be rejected");
+    match err {
+        mq_server::ClientError::Server(msg) => {
+            assert!(msg.contains("dimension mismatch"), "got: {msg}")
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // Same connection, corrected query: the service must still work.
+    let good = ds.object(ObjectId(5)).clone();
+    let reply = client.query(&good, &QueryType::knn(1)).expect("recovery");
+    assert_eq!(reply.answers[0].id.0, 5);
+
+    drop(client);
+    server.shutdown();
+}

@@ -1,0 +1,137 @@
+//! Property tests for the wire protocol: arbitrary messages survive an
+//! encode→decode roundtrip, and the two canonical corruption modes —
+//! truncated frames and bad magic — are always detected.
+
+use mq_core::{Answer, AvoidanceStats, ExecutionStats, QueryType};
+use mq_metric::{ObjectId, Vector};
+use mq_server::protocol::{Message, ProtocolError, MAGIC};
+use mq_storage::IoStats;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_vector() -> impl Strategy<Value = Vector> {
+    prop::collection::vec(-1000.0f32..1000.0, 1..12).prop_map(Vector::new)
+}
+
+fn arb_qtype() -> impl Strategy<Value = QueryType> {
+    prop_oneof![
+        (0.0f64..100.0).prop_map(QueryType::range),
+        (1usize..50).prop_map(QueryType::knn),
+        (1usize..50, 0.0f64..100.0).prop_map(|(k, eps)| QueryType::bounded_knn(k, eps)),
+    ]
+}
+
+fn arb_stats() -> impl Strategy<Value = ExecutionStats> {
+    (
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        0u64..1_000_000_000,
+    )
+        .prop_map(|((lr, bh, pr), (rr, sr, dc), (tr, av, co), ns)| ExecutionStats {
+            io: IoStats {
+                logical_reads: lr,
+                buffer_hits: bh,
+                physical_reads: pr,
+                random_reads: rr,
+                sequential_reads: sr,
+            },
+            dist_calcs: dc,
+            avoidance: AvoidanceStats {
+                tries: tr,
+                avoided: av,
+                computed: co,
+            },
+            elapsed: Duration::from_nanos(ns),
+        })
+}
+
+fn arb_answers() -> impl Strategy<Value = Vec<Answer>> {
+    prop::collection::vec(
+        (0u32..100_000, 0.0f64..1e6).prop_map(|(id, distance)| Answer {
+            id: ObjectId(id),
+            distance,
+        }),
+        0..40,
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_vector(), arb_qtype()).prop_map(|(object, qtype)| Message::Query { object, qtype }),
+        Just(Message::Stats),
+        (0u64..1_000_000, 1u32..200, arb_stats(), arb_answers()).prop_map(
+            |(batch_id, batch_size, stats, answers)| Message::Answers {
+                batch_id,
+                batch_size,
+                stats,
+                answers,
+            }
+        ),
+        (0u64..1_000_000, 0u64..1_000_000, 0u32..500, arb_stats()).prop_map(
+            |(queries, batches, max_batch_size, totals)| {
+                Message::StatsReply(mq_server::ServiceMetrics {
+                    queries,
+                    batches,
+                    max_batch_size,
+                    totals,
+                })
+            }
+        ),
+        prop::collection::vec(any::<bool>(), 0..64).prop_map(|bits| {
+            let text: String = bits.iter().map(|&b| if b { 'x' } else { 'é' }).collect();
+            Message::Error(text)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(msg in arb_message()) {
+        let frame = msg.encode();
+        let (decoded, used) = Message::decode(&frame).expect("well-formed frame must decode");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn every_truncation_is_detected(msg in arb_message(), cut_seed in 0usize..10_000) {
+        let frame = msg.encode();
+        // Any strict prefix must decode to Truncated — never to a wrong
+        // message, never to a panic. (Prefixes shorter than the magic
+        // can't be told apart from a foreign protocol and may also report
+        // BadMagic; from the magic onward only Truncated is acceptable.)
+        let cut = cut_seed % frame.len();
+        match Message::decode(&frame[..cut]) {
+            Err(ProtocolError::Truncated) => {}
+            Err(ProtocolError::BadMagic(_)) => prop_assert!(cut < MAGIC.len()),
+            other => prop_assert!(false, "prefix of {cut} bytes decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_detected(msg in arb_message(), pos in 0usize..4, bit in 0u8..8) {
+        let mut frame = msg.encode().to_vec();
+        frame[pos] ^= 1 << bit;
+        prop_assert!(
+            matches!(Message::decode(&frame), Err(ProtocolError::BadMagic(_))),
+            "corrupted magic byte {pos} went undetected"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_never_panics(msg in arb_message(), pos_seed in 0usize..10_000, byte in any::<u8>()) {
+        let mut frame = msg.encode().to_vec();
+        let header = 10;
+        if frame.len() > header {
+            let pos = header + pos_seed % (frame.len() - header);
+            frame[pos] = byte;
+            // Any outcome is fine — decoded (the flip may be benign or
+            // produce another valid message) or a clean error — as long
+            // as it does not panic or read out of bounds.
+            let _ = Message::decode(&frame);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 //! | [`mq_parallel`] | shared-nothing cluster: declustering, per-server engines, answer merging |
 //! | [`mq_datagen`] | seeded synthetic stand-ins for the paper's two evaluation databases + workloads |
 //! | [`mq_vafile`] | VA-file filter-and-refine scan acceleration (paper ref. \[22\]) |
+//! | [`mq_server`] | online query service: TCP frontend + batching scheduler turning concurrent clients into multiple similarity queries |
 
 pub use mq_core as core;
 pub use mq_datagen as datagen;
@@ -58,6 +59,7 @@ pub use mq_index as index;
 pub use mq_metric as metric;
 pub use mq_mining as mining;
 pub use mq_parallel as parallel;
+pub use mq_server as server;
 pub use mq_storage as storage;
 pub use mq_vafile as vafile;
 
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use mq_metric::{
         CountingMetric, DistanceCounter, EditDistance, Euclidean, Metric, ObjectId, Symbols, Vector,
     };
+    pub use mq_server::{Client, ExecutionMode, QueryServer, ServerConfig, SingleEngineBackend};
     pub use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
     pub use mq_vafile::{VaConfig, VaFile, VaStats};
 }

@@ -1,0 +1,419 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal implementation of the API surface it actually uses: [`Bytes`]
+//! (cheaply cloneable, sliceable, consumable byte buffer), [`BytesMut`]
+//! (growable builder), and the [`Buf`]/[`BufMut`] cursor traits with the
+//! little-endian accessors the persistence and wire codecs rely on.
+
+use std::fmt;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable byte buffer with cursor
+/// semantics: [`Buf`] reads consume from the front.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Number of remaining bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-buffer of the remaining bytes, sharing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of bounds 0..{len}");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `at` bytes remain.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to {at} out of bounds 0..{}", self.len());
+        let head = Self {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Self { data, start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vec
+    }
+
+    /// Freezes the builder into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Clears the builder, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+
+/// Sequential reads from the front of a buffer.
+///
+/// Numeric getters panic if fewer bytes remain than the value needs, like
+/// the real crate; parsers must check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The remaining bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance {cnt} past end {}", self.len());
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance {cnt} past end {}", self.len());
+        *self = &self[cnt..];
+    }
+}
+
+/// Sequential writes to the back of a buffer.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        b.put_slice(b"tail");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 4 + 8 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        let mut tail = [0u8; 4];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let ss = s.slice(1..);
+        assert_eq!(ss.as_slice(), &[3, 4]);
+        assert_eq!(b.len(), 6, "parent untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![9u8, 8, 7, 6]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_slice(), &[9, 8]);
+        assert_eq!(b.as_slice(), &[7, 6]);
+    }
+
+    #[test]
+    fn buf_for_slice() {
+        let mut s: &[u8] = &[1, 0, 2, 0];
+        assert_eq!(s.get_u16_le(), 1);
+        assert_eq!(s.get_u16_le(), 2);
+        assert!(!s.has_remaining());
+    }
+
+    #[test]
+    fn from_static_and_eq() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(&a[..], b"abc");
+    }
+}

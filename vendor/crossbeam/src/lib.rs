@@ -1,0 +1,367 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal implementation of the API surface it actually uses:
+//! [`channel`] — multi-producer channels with blocking, non-blocking and
+//! deadline-bounded receive, built on a mutex-and-condvar queue.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; clone freely across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely across threads (each message is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error of [`Sender::send`]: every receiver is gone; the unsent
+    /// message is returned.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error of [`Receiver::recv`]: the channel is empty and every sender
+    /// is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A bounded channel: sends block while `capacity` messages are queued.
+    /// (Capacity 0 is treated as capacity 1, not a rendezvous.)
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(capacity.max(1)))
+    }
+
+    fn lock<'a, T>(shared: &'a Shared<T>) -> std::sync::MutexGuard<'a, State<T>> {
+        shared.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.shared);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match st.capacity {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = self
+                            .shared
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.items.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = lock(&self.shared);
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or every sender
+        /// is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.shared);
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.shared);
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Receives, giving up at `deadline`.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut st = lock(&self.shared);
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = lock(&self.shared);
+                st.receivers -= 1;
+                st.receivers
+            };
+            if remaining == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn multi_producer() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for j in 0..100 {
+                            tx.send(i * 100 + j).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..400).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn timeout_fires_when_empty() {
+            let (tx, rx) = unbounded::<u32>();
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+            drop(tx);
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Disconnected);
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t = std::thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a recv frees a slot
+                "sent"
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(t.join().unwrap(), "sent");
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal property-testing harness with the API surface it actually uses:
+//! the [`Strategy`] trait with `prop_map`, range/tuple/[`Just`]/`any`
+//! strategies, `prop::collection::vec`, the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! test harness: no shrinking (a failing case panics with its case number;
+//! rerun with the same code to reproduce — generation is deterministic per
+//! test name), and `prop_assert!` is plain `assert!`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Number of cases to run per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy discarding values for which `f` is false (bounded
+    /// retries, then panics — keep filters permissive).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`Union`] and
+/// [`BoxedStrategy`] to mix strategies of different concrete types.
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.inner.sample_dyn(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed alternative strategies (the engine of
+/// [`prop_oneof!`]).
+pub struct Union<V> {
+    alts: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics if `alts` is empty.
+    pub fn new(alts: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        Self { alts }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.alts.len() as u64) as usize;
+        self.alts[i].sample_dyn(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite values only: arbitrary bit patterns would include NaN,
+        // which the workspace's metric axioms intentionally reject.
+        rng.unit_f64() as f32 * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2e12 - 1e12
+    }
+}
+
+/// The canonical strategy for `T` (see [`any`]).
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical "any value" strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty => $sample:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.$sample(self.start, self.end, false)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.$sample(*self.start(), *self.end(), true)
+            }
+        }
+    )*};
+}
+range_strategy!(
+    u8 => int_in_u8,
+    u16 => int_in_u16,
+    u32 => int_in_u32,
+    u64 => int_in_u64,
+    usize => int_in_usize,
+    i8 => int_in_i8,
+    i16 => int_in_i16,
+    i32 => int_in_i32,
+    i64 => int_in_i64,
+    isize => int_in_isize,
+    f32 => float_in_f32,
+    f64 => float_in_f64
+);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A size specification: an exact length or a length range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace module mirroring `proptest::prop` paths
+/// (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Items to glob-import in property tests.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runs each property in the block against many generated cases.
+///
+/// Supported grammar (the subset of real proptest this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(any::<u8>(), 0..32)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __guard = $crate::test_runner::CaseGuard::new(__case);
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::DynStrategy<_>>),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("shim::bounds");
+        for _ in 0..500 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (1u8..=4).sample(&mut rng);
+            assert!((1..=4).contains(&y));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let v = collection::vec(0u32..5, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn map_tuple_just_union() {
+        let mut rng = crate::test_runner::TestRng::deterministic("shim::adapters");
+        let s = (0usize..5, 10usize..15).prop_map(|(a, b)| a + b);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let u = prop_oneof![Just(1u32), Just(2u32), (5u32..8)];
+        let mut seen = std::collections::HashSet::<u32>::new();
+        for _ in 0..300 {
+            seen.insert(u.sample(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        assert!(seen.iter().all(|&v| v == 1 || v == 2 || (5..8).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(
+            xs in prop::collection::vec(0u32..100, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+            if flag {
+                prop_assert_eq!(doubled.len(), xs.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The deterministic RNG and failure-reporting support behind the
+//! [`proptest!`](crate::proptest) macro.
+
+/// Deterministic generator used to sample strategies. Seeded from the test
+/// name, so every run of a given property sees the same case sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator seeded from `name` (FNV-1a hash, then splitmix64
+    /// expansion). Same name, same sequence, every run.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        Self { s }
+    }
+
+    /// The next 64 uniformly distributed bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform value in `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+macro_rules! int_in {
+    ($($name:ident => $t:ty),*) => {$(
+        impl TestRng {
+            /// Uniform value in the given range of this integer type.
+            pub fn $name(&mut self, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let span = if inclusive { span + 1 } else { span };
+                assert!(span > 0, "cannot sample empty range");
+                if span > u64::MAX as u128 {
+                    return self.next_u64() as $t;
+                }
+                lo.wrapping_add(self.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+int_in!(
+    int_in_u8 => u8,
+    int_in_u16 => u16,
+    int_in_u32 => u32,
+    int_in_u64 => u64,
+    int_in_usize => usize,
+    int_in_i8 => i8,
+    int_in_i16 => i16,
+    int_in_i32 => i32,
+    int_in_i64 => i64,
+    int_in_isize => isize
+);
+
+macro_rules! float_in {
+    ($($name:ident => $t:ty),*) => {$(
+        impl TestRng {
+            /// Uniform value in the given range of this float type.
+            pub fn $name(&mut self, lo: $t, hi: $t, _inclusive: bool) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + self.unit_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+float_in!(float_in_f32 => f32, float_in_f64 => f64);
+
+/// Prints which case number failed when a property body panics, so the
+/// failure is identifiable even without shrinking.
+pub struct CaseGuard {
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for case number `case`.
+    pub fn new(case: u32) -> Self {
+        Self { case, armed: true }
+    }
+
+    /// Marks the case as passed; the guard stays silent on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest shim: property failed at case {} (generation is \
+                 deterministic per test name; rerun to reproduce)",
+                self.case
+            );
+        }
+    }
+}
