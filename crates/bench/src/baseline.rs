@@ -1,0 +1,56 @@
+//! Pre-kernel scalar baselines for the batch-kernel benchmarks.
+
+use mq_metric::{Metric, Vector};
+
+/// Euclidean distance exactly as the engine computed it before the blocked
+/// batch kernels landed: a per-pair dimensionality assert and one
+/// sequential `f64` accumulator. Only [`Metric::distance`] is implemented,
+/// so `distance_batch` and `distance_le` run through the trait's pairwise
+/// fallbacks — benchmarking against this measures the full kernel win
+/// (blocked accumulation + hoisted asserts + bounded early exit), not just
+/// the loop body.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveEuclidean;
+
+impl Metric<Vector> for NaiveEuclidean {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(
+            a.dim(),
+            b.dim(),
+            "distance between vectors of different dimensionality ({} vs {})",
+            a.dim(),
+            b.dim()
+        );
+        let mut sum = 0.0f64;
+        for (x, y) in a.components().iter().zip(b.components()) {
+            let d = *x as f64 - *y as f64;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::Euclidean;
+
+    #[test]
+    fn naive_agrees_with_kernel_metric() {
+        // The blocked kernel reorders additions, so allow an ulp-scale
+        // difference — but no more.
+        let a = Vector::new((0..64).map(|i| i as f32 * 0.37).collect::<Vec<_>>());
+        let b = Vector::new((0..64).map(|i| 20.0 - i as f32 * 0.11).collect::<Vec<_>>());
+        let naive = NaiveEuclidean.distance(&a, &b);
+        let kernel = Euclidean.distance(&a, &b);
+        assert!((naive - kernel).abs() <= naive * 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn naive_rejects_dimension_mismatch() {
+        let a = Vector::new(vec![0.0, 1.0]);
+        let b = Vector::new(vec![0.0]);
+        let _ = NaiveEuclidean.distance(&a, &b);
+    }
+}

@@ -15,15 +15,18 @@
 //! | `fig11_parallel`    | parallel vs. sequential multiple, s sweep |
 //! | `fig12_overall`     | parallel multiple vs. sequential single |
 //! | `table_k_robustness`| robustness of per-query cost to k |
+//! | `bench_core`        | batch-kernel / parallel page-eval micro-bench |
 //!
 //! Scaling: the real datasets (1,000,000 / 112,000 objects) are replaced by
 //! seeded synthetic stand-ins (see `mq-datagen`); sizes default to
 //! 60,000 / 15,000 and scale via `MQ_ASTRO_N`, `MQ_IMAGE_N`, `MQ_SEED`.
 
+pub mod baseline;
 pub mod report;
 pub mod run;
 pub mod setup;
 pub mod sweep;
 
+pub use baseline::NaiveEuclidean;
 pub use run::{run_blocked, run_singles, MeasuredRun};
 pub use setup::{BenchDb, BenchEnv, Method, Rig};

@@ -116,7 +116,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.12345), "0.1235");
-        assert_eq!(fmt(2.71828), "2.72");
+        assert_eq!(fmt(2.7244), "2.72");
         assert_eq!(fmt(1234.5), "1234");
     }
 }

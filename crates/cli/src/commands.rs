@@ -65,11 +65,14 @@ fn parse_qtype(args: &Args) -> Result<QueryType, Box<dyn std::error::Error>> {
     }
 }
 
+/// An access method plus the database laid out for it.
+type IndexedDb = (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>);
+
 /// Builds the selected access method over a freshly laid-out database.
 fn build_index(
     db: &PagedDatabase<Vector>,
     which: &str,
-) -> Result<(Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>), Box<dyn std::error::Error>> {
+) -> Result<IndexedDb, Box<dyn std::error::Error>> {
     let ds = db.to_dataset();
     match which {
         "scan" => {
@@ -236,11 +239,15 @@ pub fn serve(args: &Args) -> CmdResult {
     let max_batch: usize = args.parse_or("max-batch", 16)?;
     let max_wait_ms: u64 = args.parse_or("max-wait-ms", 20)?;
     let servers: usize = args.parse_or("cluster", 0)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    let workers: usize = args.parse_or("workers", 1)?;
 
     let mut config = ServerConfig::default()
         .with_max_batch(max_batch)
         .with_max_wait(std::time::Duration::from_millis(max_wait_ms))
-        .with_avoidance(!args.has("no-avoidance"));
+        .with_avoidance(!args.has("no-avoidance"))
+        .with_threads(threads)
+        .with_workers(workers);
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }
@@ -257,7 +264,7 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let server = QueryServer::bind(addr.as_str(), backend, &config)?;
     println!(
-        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms{})",
+        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, workers {workers}{})",
         server.local_addr(),
         stored.object_count(),
         if servers > 0 {
@@ -303,7 +310,10 @@ pub fn client(args: &Args) -> CmdResult {
     let q = Vector::new(components);
 
     let reply = client.query(&q, &qtype)?;
-    println!("{qtype} answered in batch #{} of {} queries:", reply.batch_id, reply.batch_size);
+    println!(
+        "{qtype} answered in batch #{} of {} queries:",
+        reply.batch_id, reply.batch_size
+    );
     for a in &reply.answers {
         println!("  {}  distance {:.6}", a.id, a.distance);
     }

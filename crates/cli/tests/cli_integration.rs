@@ -26,8 +26,14 @@ fn generate_info_query_roundtrip() {
     let db = tmpfile("roundtrip.mqdb");
     let db_str = db.to_str().unwrap();
 
-    let gen = mq(&["generate", "--kind", "image", "--n", "800", "--seed", "5", "--out", db_str]);
-    assert!(gen.status.success(), "generate failed: {}", String::from_utf8_lossy(&gen.stderr));
+    let gen = mq(&[
+        "generate", "--kind", "image", "--n", "800", "--seed", "5", "--out", db_str,
+    ]);
+    assert!(
+        gen.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     assert!(stdout(&gen).contains("800 image objects"));
 
     let info = mq(&["info", db_str]);
@@ -37,10 +43,15 @@ fn generate_info_query_roundtrip() {
     assert!(text.contains("dimensions  : 64"));
 
     for index in ["scan", "xtree", "mtree", "vafile"] {
-        let q = mq(&["query", db_str, "--object", "7", "--knn", "4", "--index", index]);
+        let q = mq(&[
+            "query", db_str, "--object", "7", "--knn", "4", "--index", index,
+        ]);
         assert!(q.status.success(), "query via {index} failed");
         let text = stdout(&q);
-        assert!(text.contains("O7  distance 0.000000"), "{index}: self not first\n{text}");
+        assert!(
+            text.contains("O7  distance 0.000000"),
+            "{index}: self not first\n{text}"
+        );
         assert!(text.contains("page reads"), "{index}: no cost line");
     }
     std::fs::remove_file(&db).ok();
@@ -50,11 +61,26 @@ fn generate_info_query_roundtrip() {
 fn batch_reports_speedup() {
     let db = tmpfile("batch.mqdb");
     let db_str = db.to_str().unwrap();
-    assert!(mq(&["generate", "--kind", "tycho", "--n", "1500", "--out", db_str])
-        .status
-        .success());
-    let out = mq(&["batch", db_str, "--queries", "30", "--m", "15", "--knn", "5"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        mq(&["generate", "--kind", "tycho", "--n", "1500", "--out", db_str])
+            .status
+            .success()
+    );
+    let out = mq(&[
+        "batch",
+        db_str,
+        "--queries",
+        "30",
+        "--m",
+        "15",
+        "--knn",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("singles"));
     assert!(text.contains("blocks of"));
@@ -66,12 +92,23 @@ fn batch_reports_speedup() {
 fn dbscan_runs_in_both_modes() {
     let db = tmpfile("dbscan.mqdb");
     let db_str = db.to_str().unwrap();
-    assert!(mq(&["generate", "--kind", "image", "--n", "600", "--out", db_str])
-        .status
-        .success());
+    assert!(
+        mq(&["generate", "--kind", "image", "--n", "600", "--out", db_str])
+            .status
+            .success()
+    );
     let single = mq(&["dbscan", db_str, "--eps", "0.05", "--min-pts", "4"]);
     assert!(single.status.success());
-    let multi = mq(&["dbscan", db_str, "--eps", "0.05", "--min-pts", "4", "--batch", "32"]);
+    let multi = mq(&[
+        "dbscan",
+        db_str,
+        "--eps",
+        "0.05",
+        "--min-pts",
+        "4",
+        "--batch",
+        "32",
+    ]);
     assert!(multi.status.success());
     // Same clustering summary line regardless of mode.
     let line = |o: &Output| {

@@ -8,6 +8,33 @@ use mq_index::SimilarityIndex;
 use mq_metric::Metric;
 use mq_storage::{SimulatedDisk, StorageObject};
 
+/// Tuning knobs of the [`QueryEngine`].
+///
+/// The defaults reproduce the paper's configuration: §5.2 avoidance on,
+/// an unbounded pivot set, and single-threaded page evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Whether §5.2 triangle-inequality avoidance is enabled.
+    pub avoidance: bool,
+    /// Bound on pivot distances consulted per avoidance attempt
+    /// (`None` = the paper's unbounded behaviour).
+    pub max_pivots: Option<usize>,
+    /// Worker threads evaluating each loaded page (1 = the classic
+    /// sequential loop). Results are identical for every thread count;
+    /// see [`crate::multiple`] for why.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            avoidance: true,
+            max_pivots: None,
+            threads: 1,
+        }
+    }
+}
+
 /// A query engine over one simulated disk, one access method and one
 /// metric.
 ///
@@ -48,8 +75,7 @@ pub struct QueryEngine<'a, O, M> {
     disk: &'a SimulatedDisk<O>,
     index: &'a dyn SimilarityIndex<O>,
     metric: M,
-    avoidance: bool,
-    max_pivots: Option<usize>,
+    options: EngineOptions,
 }
 
 impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
@@ -60,15 +86,21 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
             disk,
             index,
             metric,
-            avoidance: true,
-            max_pivots: None,
+            options: EngineOptions::default(),
         }
+    }
+
+    /// Replaces the whole option block at once.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self.options.threads = self.options.threads.max(1);
+        self
     }
 
     /// Disables §5.2 avoidance — the ablation baseline that still shares
     /// page reads but computes every distance.
     pub fn without_avoidance(mut self) -> Self {
-        self.avoidance = false;
+        self.options.avoidance = false;
         self
     }
 
@@ -79,7 +111,15 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// `O(m)` at the price of fewer avoided calculations. `None` (default)
     /// is the paper's unbounded behaviour.
     pub fn with_max_pivots(mut self, p: usize) -> Self {
-        self.max_pivots = Some(p);
+        self.options.max_pivots = Some(p);
+        self
+    }
+
+    /// Evaluates each loaded page with `threads` workers (clamped to at
+    /// least 1). Answers, counters and page reads are identical for every
+    /// thread count — only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
         self
     }
 
@@ -98,9 +138,14 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         &self.metric
     }
 
+    /// The current option block.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
     /// Whether §5.2 avoidance is enabled.
     pub fn avoidance_enabled(&self) -> bool {
-        self.avoidance
+        self.options.avoidance
     }
 
     /// Answers one similarity query (Fig. 1).
@@ -141,14 +186,7 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// pending queries opportunistically. Returns the completed query's
     /// index, or `None` if no query is pending.
     pub fn multiple_query_step(&self, session: &mut MultiQuerySession<O>) -> Option<usize> {
-        multiple::step(
-            session,
-            self.disk,
-            self.index,
-            &self.metric,
-            self.avoidance,
-            self.max_pivots,
-        )
+        multiple::step(session, self.disk, self.index, &self.metric, self.options)
     }
 
     /// Runs steps until every admitted query is complete.
@@ -241,8 +279,8 @@ mod tests {
         let head = engine.multiple_query_step(&mut session).expect("one step");
         assert_eq!(head, 0);
         assert!(session.is_complete(0));
-        for i in 1..queries.len() {
-            let full = engine.similarity_query(&queries[i].0, &queries[i].1);
+        for (i, (q, t)) in queries.iter().enumerate().skip(1) {
+            let full = engine.similarity_query(q, t);
             let full_ids: std::collections::HashSet<ObjectId> = full.ids().collect();
             for a in session.answers(i).as_slice() {
                 assert!(

@@ -42,7 +42,7 @@ pub use answers::{Answer, AnswerList};
 pub use avoidance::{AvoidanceStats, QueryDistanceMatrix};
 pub use browse::DistanceBrowser;
 pub use db::MetricDatabase;
-pub use engine::QueryEngine;
+pub use engine::{EngineOptions, QueryEngine};
 pub use multiple::MultiQuerySession;
 pub use query::{QueryKind, QueryType};
 pub use stats::{CostModel, ExecutionStats, StatsProbe};

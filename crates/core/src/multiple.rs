@@ -9,12 +9,45 @@
 //! call is one invocation of the paper's `multiple_similarity_query`:
 //! it answers the first pending query **completely** and advances all
 //! trailing queries **opportunistically** on every page it loads.
+//!
+//! # Page evaluation: kernels, snapshots, and parallelism
+//!
+//! Each loaded page is evaluated by `evaluate_chunk`, which processes the
+//! page query-major: per active query it first filters the chunk's objects
+//! through §5.2 avoidance, then computes the surviving distances with the
+//! metric's batch kernel ([`Metric::distance_batch`]) — or, for the last
+//! active query, whose distances are never needed as pivots, with the
+//! early-exit bounded kernel ([`Metric::distance_le`]).
+//!
+//! Three design decisions make the result *bit-identical* for every thread
+//! count (the equivalence property test in `tests/` checks answers,
+//! counters and page reads across thread counts 1–4):
+//!
+//! * **Query distances are snapshotted per page**, not refreshed per
+//!   object. A snapshot distance is never smaller than the refreshed one,
+//!   so at worst a few extra candidates are inserted — and an [`AnswerList`]
+//!   is an order-independent top-k by `(distance, id)` with truncation, so
+//!   the final answers, the adapted query distance, and therefore the page
+//!   sequence and I/O counts are unchanged. (This also hoists the repeated
+//!   `query_dist` match out of the inner loop.)
+//! * **Pivots are chunk-local.** Lemma 1/2 are sound for *any* subset of
+//!   known pivot distances — a worker that has only computed distances for
+//!   its own chunk of objects simply consults fewer pivots than the
+//!   sequential loop would. Since a chunk always spans whole objects and
+//!   pivots are per-object anyway (`AvoidingDists` is cleared per object in
+//!   Fig. 5), chunking along objects loses nothing: each object's pivot
+//!   distances all live in its own chunk, so the per-object decisions are
+//!   *identical*, not merely admissible.
+//! * **Merges are ordered.** Chunk outcomes (candidate answers and local
+//!   [`AvoidanceStats`]) are merged in chunk order, so the insert sequence
+//!   equals the sequential one.
 
 use crate::answers::{Answer, AnswerList};
 use crate::avoidance::{AvoidanceStats, QueryDistanceMatrix};
+use crate::engine::EngineOptions;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
-use mq_metric::Metric;
+use mq_metric::{Metric, ObjectId};
 use mq_storage::{PageId, SimulatedDisk, StorageObject};
 
 /// A compact bitset over page ids — the per-query `processed pages` set.
@@ -66,8 +99,7 @@ impl PageSet {
     }
 }
 
-pub(crate) struct QueryState<O> {
-    pub(crate) object: O,
+pub(crate) struct QueryState {
     pub(crate) qtype: QueryType,
     pub(crate) answers: AnswerList,
     pub(crate) processed: PageSet,
@@ -84,7 +116,11 @@ pub(crate) struct QueryState<O> {
 /// [`QueryEngine::push_query`](crate::QueryEngine::push_query) (the dynamic
 /// behaviour of `ExploreNeighborhoodsMultiple`, §5.1).
 pub struct MultiQuerySession<O> {
-    pub(crate) states: Vec<QueryState<O>>,
+    /// Query objects, indexed like `states`. Kept apart from the mutable
+    /// per-query state so that page-evaluation workers can borrow the
+    /// objects (and `qq`) immutably while the merge mutates answer lists.
+    pub(crate) objects: Vec<O>,
+    pub(crate) states: Vec<QueryState>,
     pub(crate) qq: QueryDistanceMatrix,
     pub(crate) avoidance_stats: AvoidanceStats,
     pub(crate) page_count: usize,
@@ -93,6 +129,7 @@ pub struct MultiQuerySession<O> {
 impl<O> MultiQuerySession<O> {
     pub(crate) fn with_page_count(page_count: usize) -> Self {
         Self {
+            objects: Vec::new(),
             states: Vec::new(),
             qq: QueryDistanceMatrix::new(),
             avoidance_stats: AvoidanceStats::default(),
@@ -119,7 +156,7 @@ impl<O> MultiQuerySession<O> {
 
     /// The query object of query `i`.
     pub fn query_object(&self, i: usize) -> &O {
-        &self.states[i].object
+        &self.objects[i]
     }
 
     /// The query type of query `i`.
@@ -168,18 +205,143 @@ pub(crate) fn admit<O, M: Metric<O>>(
     object: O,
     qtype: QueryType,
 ) -> usize {
-    session
-        .qq
-        .admit(metric, session.states.iter().map(|s| &s.object), &object);
+    session.qq.admit(metric, session.objects.iter(), &object);
     let answers = AnswerList::new(&qtype);
+    session.objects.push(object);
     session.states.push(QueryState {
-        object,
         qtype,
         answers,
         processed: PageSet::new(session.page_count),
         completed: false,
     });
     session.states.len() - 1
+}
+
+/// One chunk of a page to evaluate: a contiguous run of records plus the
+/// page's active-query snapshot.
+struct PageTask<'a, O> {
+    records: &'a [(ObjectId, O)],
+    active: Vec<usize>,
+    qd: Vec<f64>,
+}
+
+/// What one chunk evaluation produces: local avoidance counters and, per
+/// active query (indexed like `active`), the candidate answers found in
+/// the chunk, in record order.
+struct ChunkOutcome {
+    stats: AvoidanceStats,
+    candidates: Vec<Vec<Answer>>,
+}
+
+/// Minimum `objects × queries` pairs on a page before chunks are handed to
+/// worker threads; below this the channel round-trip costs more than the
+/// evaluation.
+const PARALLEL_MIN_WORK: usize = 512;
+
+/// Evaluates one chunk of page records against the active queries.
+///
+/// Query-major: for each active query the chunk's objects are first
+/// filtered through §5.2 avoidance (using pivot distances of *earlier*
+/// active queries, recorded per object in a chunk-local matrix — see the
+/// module docs for why chunk-local pivots are exactly equivalent to the
+/// sequential loop), then the surviving distances are computed with the
+/// batch kernel. The last active query skips pivot recording entirely and
+/// uses the early-exit bounded kernel, since no later query will consult
+/// its distances.
+fn evaluate_chunk<O, M>(
+    records: &[(ObjectId, O)],
+    queries: &[O],
+    qq: &QueryDistanceMatrix,
+    metric: &M,
+    active: &[usize],
+    qd: &[f64],
+    options: EngineOptions,
+) -> ChunkOutcome
+where
+    O: StorageObject,
+    M: Metric<O>,
+{
+    let m = active.len();
+    let mut stats = AvoidanceStats::default();
+    let mut candidates: Vec<Vec<Answer>> = std::iter::repeat_with(Vec::new).take(m).collect();
+    // dists[oi * m + qi] = computed distance of records[oi] to query
+    // active[qi]; NaN = avoided / not computed. This is the paper's
+    // per-object `AvoidingDists`, laid out for the whole chunk. A single
+    // active query needs no pivot storage at all.
+    let mut dists = vec![f64::NAN; if m > 1 { records.len() * m } else { 0 }];
+    let mut pivots: Vec<(usize, f64)> = Vec::new();
+    let mut pending: Vec<usize> = Vec::with_capacity(records.len());
+    let mut batch: Vec<&O> = Vec::new();
+    let mut out: Vec<f64> = Vec::new();
+    let pivot_cap = options.max_pivots.unwrap_or(usize::MAX);
+
+    for (qi, (&i, &bound)) in active.iter().zip(qd).enumerate() {
+        let query = &queries[i];
+        pending.clear();
+        for oi in 0..records.len() {
+            if options.avoidance && qi > 0 {
+                // Pivots in active order, first `pivot_cap` computed ones —
+                // the same list the sequential loop would consult.
+                pivots.clear();
+                for (pj, &p) in active[..qi].iter().enumerate() {
+                    if pivots.len() >= pivot_cap {
+                        break;
+                    }
+                    let d = dists[oi * m + pj];
+                    if !d.is_nan() {
+                        pivots.push((p, d));
+                    }
+                }
+                if qq.try_avoid(i, &pivots, bound, &mut stats) {
+                    // dist(Qi, O) > QueryDist(Qi) proven — O cannot answer
+                    // Qi now or later (the query distance only shrinks).
+                    continue;
+                }
+            }
+            pending.push(oi);
+        }
+        stats.computed += pending.len() as u64;
+        if qi + 1 == m {
+            for &oi in &pending {
+                let (id, object) = &records[oi];
+                if let Some(distance) = metric.distance_le(object, query, bound) {
+                    candidates[qi].push(Answer { id: *id, distance });
+                }
+            }
+        } else {
+            batch.clear();
+            batch.extend(pending.iter().map(|&oi| &records[oi].1));
+            out.clear();
+            out.resize(pending.len(), 0.0);
+            metric.distance_batch(query, &batch, &mut out);
+            for (&oi, &distance) in pending.iter().zip(&out) {
+                dists[oi * m + qi] = distance;
+                if distance <= bound {
+                    candidates[qi].push(Answer {
+                        id: records[oi].0,
+                        distance,
+                    });
+                }
+            }
+        }
+    }
+
+    ChunkOutcome { stats, candidates }
+}
+
+fn merge_outcome(
+    states: &mut [QueryState],
+    stats: &mut AvoidanceStats,
+    active: &[usize],
+    outcome: ChunkOutcome,
+) {
+    *stats += outcome.stats;
+    for (qi, candidates) in outcome.candidates.into_iter().enumerate() {
+        let answers = &mut states[active[qi]].answers;
+        for answer in candidates {
+            answers.insert(answer);
+        }
+    }
 }
 
 /// One incremental multiple-query call (Fig. 4): completes the first
@@ -192,8 +354,7 @@ pub(crate) fn step<O, M, I>(
     disk: &SimulatedDisk<O>,
     index: &I,
     metric: &M,
-    avoidance: bool,
-    max_pivots: Option<usize>,
+    options: EngineOptions,
 ) -> Option<usize>
 where
     O: StorageObject,
@@ -201,76 +362,134 @@ where
     I: SimilarityIndex<O> + ?Sized,
 {
     let head = session.next_pending()?;
-    let head_object = session.states[head].object.clone();
+    let worker_count = options.threads.max(1) - 1;
+
+    // Split the session so workers can hold `objects` and `qq` immutably
+    // while the merge below mutates `states` / `avoidance_stats`.
+    let MultiQuerySession {
+        objects,
+        states,
+        qq,
+        avoidance_stats,
+        ..
+    } = &mut *session;
+    let objects: &[O] = objects.as_slice();
+    let qq: &QueryDistanceMatrix = &*qq;
+
+    let head_object = objects[head].clone();
     let mut plan = index.plan(&head_object);
 
-    // Reusable scratch: the known pivot distances for the current object
-    // (the paper's `AvoidingDists`).
-    let mut known: Vec<(usize, f64)> = Vec::new();
+    // Reusable scratch: the page's active queries and the page-level
+    // snapshot of their current query distances (hoisting the repeated
+    // `query_dist` match out of the object loop — see the module docs for
+    // why the snapshot changes nothing).
     let mut active: Vec<usize> = Vec::new();
+    let mut qd_snapshot: Vec<f64> = Vec::new();
 
-    loop {
-        let head_dist = session.states[head]
-            .answers
-            .query_dist(&session.states[head].qtype);
-        let Some((page_id, _lb)) = plan.next(head_dist) else {
-            break;
-        };
-        if session.states[head].processed.contains(page_id) {
-            // Already evaluated for the head while it was a trailing query
-            // of an earlier call — restore_from_buffer made this page free.
-            continue;
+    crossbeam::thread::scope(|scope| {
+        // Workers persist across all pages of this step() call (spawn cost
+        // is paid once, not per page) and receive one chunk per page over
+        // rendezvous channels.
+        let mut task_txs = Vec::with_capacity(worker_count);
+        let mut result_rxs = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let (task_tx, task_rx) = crossbeam::channel::bounded::<PageTask<'_, O>>(1);
+            let (result_tx, result_rx) = crossbeam::channel::bounded::<ChunkOutcome>(1);
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    let outcome = evaluate_chunk(
+                        task.records,
+                        objects,
+                        qq,
+                        metric,
+                        &task.active,
+                        &task.qd,
+                        options,
+                    );
+                    if result_tx.send(outcome).is_err() {
+                        break;
+                    }
+                }
+            });
+            task_txs.push(task_tx);
+            result_rxs.push(result_rx);
         }
 
-        // Which pending queries is this page relevant for? (§5.1: "we also
-        // collect answers for the Qi if the pages loaded for Q1 are also
-        // relevant for Qi".)
-        active.clear();
-        active.push(head);
-        for i in (head + 1)..session.states.len() {
-            let st = &session.states[i];
-            if st.completed || st.processed.contains(page_id) {
+        loop {
+            let head_state = &states[head];
+            let head_dist = head_state.answers.query_dist(&head_state.qtype);
+            let Some((page_id, _lb)) = plan.next(head_dist) else {
+                break;
+            };
+            if states[head].processed.contains(page_id) {
+                // Already evaluated for the head while it was a trailing
+                // query of an earlier call — restore_from_buffer made this
+                // page free.
                 continue;
             }
-            let qd = st.answers.query_dist(&st.qtype);
-            if index.page_mindist(&st.object, page_id) <= qd {
-                active.push(i);
-            }
-        }
 
-        let page = disk.read_page(page_id);
-        for (id, object) in page.iter() {
-            known.clear();
-            for &i in &active {
-                let qd = session.states[i]
-                    .answers
-                    .query_dist(&session.states[i].qtype);
-                let pivots = match max_pivots {
-                    Some(p) => &known[..known.len().min(p)],
-                    None => &known[..],
-                };
-                if avoidance
-                    && session
-                        .qq
-                        .try_avoid(i, pivots, qd, &mut session.avoidance_stats)
-                {
-                    // dist(Qi, O) > QueryDist(Qi) proven — O cannot answer
-                    // Qi now or later (the query distance only shrinks).
+            // Which pending queries is this page relevant for? (§5.1: "we
+            // also collect answers for the Qi if the pages loaded for Q1
+            // are also relevant for Qi".)
+            active.clear();
+            qd_snapshot.clear();
+            active.push(head);
+            qd_snapshot.push(head_dist);
+            for i in (head + 1)..states.len() {
+                let st = &states[i];
+                if st.completed || st.processed.contains(page_id) {
                     continue;
                 }
-                let distance = metric.distance(object, &session.states[i].object);
-                session.avoidance_stats.computed += 1;
-                known.push((i, distance));
-                if distance <= qd {
-                    session.states[i].answers.insert(Answer { id, distance });
+                let qd = st.answers.query_dist(&st.qtype);
+                if index.page_mindist(&objects[i], page_id) <= qd {
+                    active.push(i);
+                    qd_snapshot.push(qd);
                 }
             }
-        }
 
-        for &i in &active {
-            session.states[i].processed.insert(page_id);
+            let records = disk.read_page(page_id).records();
+            let chunk_count =
+                if worker_count == 0 || records.len() * active.len() < PARALLEL_MIN_WORK {
+                    1
+                } else {
+                    (worker_count + 1).min(records.len())
+                };
+
+            if chunk_count <= 1 {
+                let outcome =
+                    evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
+                merge_outcome(states, avoidance_stats, &active, outcome);
+            } else {
+                let chunk_len = records.len().div_ceil(chunk_count);
+                let mut chunks = records.chunks(chunk_len);
+                let first = chunks.next().expect("page has records");
+                let mut dispatched = 0;
+                for (w, chunk) in chunks.enumerate() {
+                    let task = PageTask {
+                        records: chunk,
+                        active: active.clone(),
+                        qd: qd_snapshot.clone(),
+                    };
+                    assert!(task_txs[w].send(task).is_ok(), "page worker exited early");
+                    dispatched = w + 1;
+                }
+                // Chunk 0 on the calling thread, overlapping the workers;
+                // merge strictly in chunk order so the answer-insert
+                // sequence matches the sequential loop.
+                let outcome =
+                    evaluate_chunk(first, objects, qq, metric, &active, &qd_snapshot, options);
+                merge_outcome(states, avoidance_stats, &active, outcome);
+                for result_rx in result_rxs.iter().take(dispatched) {
+                    let outcome = result_rx.recv().expect("page worker exited early");
+                    merge_outcome(states, avoidance_stats, &active, outcome);
+                }
+            }
+
+            for &i in &active {
+                states[i].processed.insert(page_id);
+            }
         }
-    }
+    });
 
     session.states[head].completed = true;
     Some(head)

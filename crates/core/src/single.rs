@@ -50,9 +50,14 @@ where
             break;
         };
         let page = disk.read_page(page_id);
+        // `query_dist` is snapshotted per page rather than refreshed per
+        // object: a snapshot is never smaller than the refreshed value, so
+        // at worst a few extra candidates are inserted — and the answer
+        // list is an order-independent top-k with truncation, so the final
+        // answers and the adapted query distance are unchanged. The bounded
+        // kernel can then abandon far-away objects early.
         for (id, object) in page.iter() {
-            let distance = metric.distance(object, query);
-            if distance <= answers.query_dist(qtype) {
+            if let Some(distance) = metric.distance_le(object, query, query_dist) {
                 answers.insert(Answer { id, distance });
             }
         }

@@ -91,6 +91,23 @@ impl<O: ?Sized, M: Metric<O>> Metric<O> for CountingMetric<M> {
         self.inner.distance(a, b)
     }
 
+    #[inline]
+    fn distance_batch(&self, query: &O, objects: &[&O], out: &mut [f64]) {
+        // One evaluation per object pair, exactly as if each went through
+        // `distance`.
+        self.counter.record_n(objects.len() as u64);
+        self.inner.distance_batch(query, objects, out)
+    }
+
+    #[inline]
+    fn distance_le(&self, a: &O, b: &O, bound: f64) -> Option<f64> {
+        // Counted as one full calculation even when the kernel exits early:
+        // the paper's counters measure how many pairs the avoidance logic
+        // failed to prune, not how many multiplications the CPU retired.
+        self.counter.record();
+        self.inner.distance_le(a, b, bound)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -126,6 +143,24 @@ mod tests {
         let _ = m2.distance(&a, &b);
         counter.record_n(3);
         assert_eq!(counter.get(), 5);
+    }
+
+    #[test]
+    fn counts_batch_and_bounded_evaluations() {
+        let m = CountingMetric::new(Euclidean);
+        let q = Vector::new(vec![0.0, 0.0]);
+        let objects = [
+            Vector::new(vec![3.0, 4.0]),
+            Vector::new(vec![1.0, 0.0]),
+            Vector::new(vec![5.0, 12.0]),
+        ];
+        let refs: Vec<&Vector> = objects.iter().collect();
+        let mut out = vec![0.0; refs.len()];
+        m.distance_batch(&q, &refs, &mut out);
+        assert_eq!(m.counter().get(), 3);
+        assert_eq!(m.distance_le(&q, &objects[0], 10.0), Some(5.0));
+        assert_eq!(m.distance_le(&q, &objects[0], 1.0), None);
+        assert_eq!(m.counter().get(), 5);
     }
 
     #[test]

@@ -16,6 +16,47 @@ pub trait Metric<O: ?Sized>: Send + Sync {
     /// finite for all valid objects.
     fn distance(&self, a: &O, b: &O) -> f64;
 
+    /// Computes the distance from one `query` object to a batch of `objects`,
+    /// writing `distance(query, objects[i])` into `out[i]`.
+    ///
+    /// The default forwards to [`distance`](Metric::distance) pairwise.
+    /// Implementations that can amortize per-pair work (dimension checks,
+    /// widening, vectorization) should override it, but every override must
+    /// produce *bit-identical* results to the pairwise path — the engine
+    /// mixes both freely and its equivalence tests compare `f64::to_bits`.
+    ///
+    /// # Panics
+    /// Panics if `objects.len() != out.len()`.
+    fn distance_batch(&self, query: &O, objects: &[&O], out: &mut [f64]) {
+        assert_eq!(
+            objects.len(),
+            out.len(),
+            "distance_batch: objects and out have different lengths"
+        );
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = self.distance(query, object);
+        }
+    }
+
+    /// Computes the distance only as far as needed to decide `d ≤ bound`:
+    /// returns `Some(distance(a, b))` when the distance is within `bound`
+    /// and `None` otherwise.
+    ///
+    /// The verdict and the returned value must agree exactly with
+    /// `distance(a, b)`: `distance_le(a, b, t)` is `Some(d)` if and only if
+    /// `distance(a, b) = d ∧ d ≤ t`. Overrides may abandon the accumulation
+    /// early once the partial sum provably exceeds `bound` (sound for
+    /// monotone accumulations of non-negative terms), which is profitable
+    /// when most objects on a page fall outside the query region.
+    fn distance_le(&self, a: &O, b: &O, bound: f64) -> Option<f64> {
+        let d = self.distance(a, b);
+        if d <= bound {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
     /// A human-readable name for reports and benchmark tables.
     fn name(&self) -> &str {
         "metric"
@@ -28,6 +69,16 @@ impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for &M {
         (**self).distance(a, b)
     }
 
+    #[inline]
+    fn distance_batch(&self, query: &O, objects: &[&O], out: &mut [f64]) {
+        (**self).distance_batch(query, objects, out)
+    }
+
+    #[inline]
+    fn distance_le(&self, a: &O, b: &O, bound: f64) -> Option<f64> {
+        (**self).distance_le(a, b, bound)
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -37,6 +88,16 @@ impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for std::sync::Arc<M> {
     #[inline]
     fn distance(&self, a: &O, b: &O) -> f64 {
         (**self).distance(a, b)
+    }
+
+    #[inline]
+    fn distance_batch(&self, query: &O, objects: &[&O], out: &mut [f64]) {
+        (**self).distance_batch(query, objects, out)
+    }
+
+    #[inline]
+    fn distance_le(&self, a: &O, b: &O, bound: f64) -> Option<f64> {
+        (**self).distance_le(a, b, bound)
     }
 
     fn name(&self) -> &str {
@@ -61,5 +122,49 @@ mod tests {
         let by_arc = Arc::new(Euclidean);
         assert!((by_arc.distance(&a, &b) - 5.0).abs() < 1e-12);
         assert_eq!(by_arc.name(), "euclidean");
+    }
+
+    /// A metric that implements only `distance`, to exercise the trait's
+    /// default `distance_batch` / `distance_le`.
+    struct PairwiseOnly;
+
+    impl Metric<Vector> for PairwiseOnly {
+        fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+            Euclidean.distance(a, b)
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_pairwise() {
+        let q = Vector::new(vec![0.0, 0.0]);
+        let objects = [
+            Vector::new(vec![3.0, 4.0]),
+            Vector::new(vec![1.0, 0.0]),
+            Vector::new(vec![0.0, 0.0]),
+        ];
+        let refs: Vec<&Vector> = objects.iter().collect();
+        let mut out = vec![0.0; refs.len()];
+        PairwiseOnly.distance_batch(&q, &refs, &mut out);
+        for (object, d) in objects.iter().zip(&out) {
+            assert_eq!(d.to_bits(), PairwiseOnly.distance(&q, object).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn default_batch_checks_lengths() {
+        let q = Vector::new(vec![0.0]);
+        let o = Vector::new(vec![1.0]);
+        let mut out = vec![0.0; 2];
+        PairwiseOnly.distance_batch(&q, &[&o], &mut out);
+    }
+
+    #[test]
+    fn default_distance_le_agrees_with_distance() {
+        let a = Vector::new(vec![0.0, 0.0]);
+        let b = Vector::new(vec![3.0, 4.0]);
+        assert_eq!(PairwiseOnly.distance_le(&a, &b, 5.0), Some(5.0));
+        assert_eq!(PairwiseOnly.distance_le(&a, &b, 4.999), None);
+        assert_eq!(PairwiseOnly.distance_le(&a, &a, 0.0), Some(0.0));
     }
 }

@@ -15,6 +15,172 @@ fn check_dims(a: &Vector, b: &Vector) {
     );
 }
 
+#[inline]
+fn check_batch(query: &Vector, objects: &[&Vector], out: &[f64]) {
+    assert_eq!(
+        objects.len(),
+        out.len(),
+        "distance_batch: objects and out have different lengths"
+    );
+    // Dimension checks hoisted out of the arithmetic loops: pages store
+    // fixed-dimensionality vectors, so this pass is branch-predicted free.
+    for object in objects {
+        check_dims(query, object);
+    }
+}
+
+/// Number of independent accumulators in the blocked kernels. Four f64
+/// lanes match a 256-bit vector register and break the loop-carried
+/// addition dependency so the compiler can auto-vectorize.
+const LANES: usize = 4;
+
+/// Relative slack applied to the squared bound before the early-exit
+/// comparison in the L2 kernels. A partial sum can only exceed
+/// `bound² · SLACK` if the true distance exceeds `bound` by well over the
+/// combined rounding error of the squaring and the square root, so the
+/// early verdict always agrees with the full computation.
+const EARLY_EXIT_SLACK: f64 = 1.0 + 1e-9;
+
+/// Fixed reduction tree over the lane accumulators. Every kernel — full,
+/// batched, and early-exit — reduces through the same tree so results stay
+/// bit-identical no matter which code path computed them.
+#[inline]
+fn combine(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Blocked sum of squared differences. For `dim < LANES` this degenerates
+/// to the plain sequential sum (the chunked loop body never runs and
+/// `combine` contributes an exact `0.0`).
+#[inline]
+fn l2_sq_blocked(xs: &[f32], ys: &[f32]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    for (x, y) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            let d = x[l] as f64 - y[l] as f64;
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
+        let d = *x as f64 - *y as f64;
+        tail += d * d;
+    }
+    combine(acc) + tail
+}
+
+/// [`l2_sq_blocked`] with early exit: returns `None` as soon as the partial
+/// sum exceeds `limit`. Sound because floating-point accumulation of
+/// non-negative terms is monotone per lane and `combine` is monotone in
+/// each argument, so any partial reduction lower-bounds the final sum.
+/// When it runs to completion the additions (and therefore the bits) are
+/// identical to [`l2_sq_blocked`].
+#[inline]
+fn l2_sq_le_blocked(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    // Check every 4 chunks (16 dimensions): frequent enough to save work
+    // on far-away objects, rare enough not to serialize the lanes.
+    const CHECK_EVERY: u32 = 4;
+    let mut acc = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    let mut until_check = CHECK_EVERY;
+    for (x, y) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            let d = x[l] as f64 - y[l] as f64;
+            acc[l] += d * d;
+        }
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine(acc) > limit {
+                return None;
+            }
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
+        let d = *x as f64 - *y as f64;
+        tail += d * d;
+    }
+    Some(combine(acc) + tail)
+}
+
+/// Blocked weighted sum of squared differences (same structure as
+/// [`l2_sq_blocked`]).
+#[inline]
+fn weighted_l2_sq_blocked(xs: &[f32], ys: &[f32], ws: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    let mut wc = ws.chunks_exact(LANES);
+    for ((x, y), w) in (&mut xc).zip(&mut yc).zip(&mut wc) {
+        for l in 0..LANES {
+            let d = x[l] as f64 - y[l] as f64;
+            acc[l] += w[l] * d * d;
+        }
+    }
+    let mut tail = 0.0f64;
+    for ((x, y), w) in xc
+        .remainder()
+        .iter()
+        .zip(yc.remainder())
+        .zip(wc.remainder())
+    {
+        let d = *x as f64 - *y as f64;
+        tail += w * d * d;
+    }
+    combine(acc) + tail
+}
+
+/// Blocked sum of absolute differences.
+#[inline]
+fn l1_blocked(xs: &[f32], ys: &[f32]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    for (x, y) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            acc[l] += (x[l] as f64 - y[l] as f64).abs();
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += (*x as f64 - *y as f64).abs();
+    }
+    combine(acc) + tail
+}
+
+/// [`l1_blocked`] with early exit once the partial sum exceeds `limit`.
+/// L1 needs no slack: the partial sum lives in the same domain as the
+/// final distance, so `partial > limit` already proves `total > limit`.
+#[inline]
+fn l1_le_blocked(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    const CHECK_EVERY: u32 = 4;
+    let mut acc = [0.0f64; LANES];
+    let mut xc = xs.chunks_exact(LANES);
+    let mut yc = ys.chunks_exact(LANES);
+    let mut until_check = CHECK_EVERY;
+    for (x, y) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            acc[l] += (x[l] as f64 - y[l] as f64).abs();
+        }
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine(acc) > limit {
+                return None;
+            }
+        }
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += (*x as f64 - *y as f64).abs();
+    }
+    Some(combine(acc) + tail)
+}
+
 /// The Euclidean distance (L2) — the paper's default distance function for
 /// both evaluation databases (20-d astronomy vectors, 64-d color histograms).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -24,13 +190,35 @@ impl Metric<Vector> for Euclidean {
     #[inline]
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
-        let (xs, ys) = (a.components(), b.components());
-        let mut acc = 0.0f64;
-        for i in 0..xs.len() {
-            let d = xs[i] as f64 - ys[i] as f64;
-            acc += d * d;
+        l2_sq_blocked(a.components(), b.components()).sqrt()
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        let q = query.components();
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = l2_sq_blocked(q, object.components()).sqrt();
         }
-        acc.sqrt()
+    }
+
+    fn distance_le(&self, a: &Vector, b: &Vector, bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        if bound.is_nan() || bound < 0.0 {
+            // Negative or NaN bound: no non-negative distance satisfies it.
+            return None;
+        }
+        let limit = (bound * bound) * EARLY_EXIT_SLACK;
+        let total = l2_sq_le_blocked(a.components(), b.components(), limit)?;
+        // The early exit is only a conservative filter (see
+        // EARLY_EXIT_SLACK); the authoritative verdict uses the full sum
+        // and the same sqrt as `distance`, so value and verdict match the
+        // scalar path exactly.
+        let d = total.sqrt();
+        if d <= bound {
+            Some(d)
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -71,22 +259,53 @@ impl WeightedEuclidean {
     }
 }
 
-impl Metric<Vector> for WeightedEuclidean {
+impl WeightedEuclidean {
     #[inline]
-    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
-        check_dims(a, b);
+    fn check_weights(&self, a: &Vector) {
         assert_eq!(
             a.dim(),
             self.weights.len(),
             "weight vector dimensionality mismatch"
         );
-        let (xs, ys) = (a.components(), b.components());
-        let mut acc = 0.0f64;
-        for i in 0..xs.len() {
-            let d = xs[i] as f64 - ys[i] as f64;
-            acc += self.weights[i] * d * d;
+    }
+}
+
+impl Metric<Vector> for WeightedEuclidean {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        self.check_weights(a);
+        weighted_l2_sq_blocked(a.components(), b.components(), &self.weights).sqrt()
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        self.check_weights(query);
+        let q = query.components();
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = weighted_l2_sq_blocked(q, object.components(), &self.weights).sqrt();
         }
-        acc.sqrt()
+    }
+
+    fn distance_le(&self, a: &Vector, b: &Vector, bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        self.check_weights(a);
+        if bound.is_nan() || bound < 0.0 {
+            return None;
+        }
+        // The weighted terms are non-negative (weights are validated at
+        // construction), so the same monotone early exit applies. Reuse
+        // the full kernel for the partial sums by piggybacking on the L2
+        // early-exit structure: a dedicated weighted early-exit kernel is
+        // not worth a third copy of the loop — the full weighted sum is
+        // cheap and already blocked.
+        let total = weighted_l2_sq_blocked(a.components(), b.components(), &self.weights);
+        let d = total.sqrt();
+        if d <= bound {
+            Some(d)
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -102,12 +321,31 @@ impl Metric<Vector> for Manhattan {
     #[inline]
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
-        let (xs, ys) = (a.components(), b.components());
-        let mut acc = 0.0f64;
-        for i in 0..xs.len() {
-            acc += (xs[i] as f64 - ys[i] as f64).abs();
+        l1_blocked(a.components(), b.components())
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        let q = query.components();
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = l1_blocked(q, object.components());
         }
-        acc
+    }
+
+    fn distance_le(&self, a: &Vector, b: &Vector, bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        if bound.is_nan() || bound < 0.0 {
+            return None;
+        }
+        // L1 needs no slack: partial and final sums share a domain, and
+        // monotone accumulation makes `partial > bound ⇒ total > bound`
+        // exact. The final check still decides from the full sum.
+        let total = l1_le_blocked(a.components(), b.components(), bound)?;
+        if total <= bound {
+            Some(total)
+        } else {
+            None
+        }
     }
 
     fn name(&self) -> &str {
@@ -166,9 +404,19 @@ impl Metric<Vector> for Minkowski {
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
         let (xs, ys) = (a.components(), b.components());
+        // p = 1 and p = 2 dominate real workloads; `powf` per dimension is
+        // roughly an order of magnitude slower than the blocked L1/L2
+        // kernels, and `x.powf(2.0).powf(0.5)` is also less accurate than
+        // `sqrt(x·x)`.
+        if self.p == 1.0 {
+            return l1_blocked(xs, ys);
+        }
+        if self.p == 2.0 {
+            return l2_sq_blocked(xs, ys).sqrt();
+        }
         let mut acc = 0.0f64;
-        for i in 0..xs.len() {
-            acc += (xs[i] as f64 - ys[i] as f64).abs().powf(self.p);
+        for (x, y) in xs.iter().zip(ys) {
+            acc += (*x as f64 - *y as f64).abs().powf(self.p);
         }
         acc.powf(1.0 / self.p)
     }
@@ -242,6 +490,112 @@ mod tests {
         let l2 = Minkowski::new(2.0);
         assert!((l1.distance(&a, &b) - Manhattan.distance(&a, &b)).abs() < 1e-9);
         assert!((l2.distance(&a, &b) - Euclidean.distance(&a, &b)).abs() < 1e-9);
+    }
+
+    /// Deterministic pseudo-random vector with a mix of magnitudes and
+    /// signs, long enough to exercise both the blocked loop and the tail.
+    fn pseudo(dim: usize, seed: u32) -> Vector {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let cs: Vec<f32> = (0..dim)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                // Map to roughly [-8, 8) with a fractional part.
+                (state >> 8) as f32 / (1u32 << 20) as f32 - 8.0
+            })
+            .collect();
+        Vector::new(cs)
+    }
+
+    #[test]
+    fn minkowski_special_cases_bit_equal_to_dedicated_metrics() {
+        for dim in [1, 2, 3, 4, 7, 20, 64, 65] {
+            let a = pseudo(dim, 11);
+            let b = pseudo(dim, 97);
+            let l1 = Minkowski::new(1.0).distance(&a, &b);
+            let l2 = Minkowski::new(2.0).distance(&a, &b);
+            assert_eq!(l1.to_bits(), Manhattan.distance(&a, &b).to_bits());
+            assert_eq!(l2.to_bits(), Euclidean.distance(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_kernels_bit_equal_to_scalar() {
+        for dim in [1, 2, 3, 4, 5, 16, 20, 63, 64, 65] {
+            let query = pseudo(dim, 3);
+            let objects: Vec<Vector> = (0..17).map(|i| pseudo(dim, 100 + i)).collect();
+            let refs: Vec<&Vector> = objects.iter().collect();
+            let mut out = vec![f64::NAN; refs.len()];
+            let weights: Vec<f64> = (0..dim).map(|i| (i % 3) as f64 * 0.5).collect();
+            let weighted = WeightedEuclidean::new(weights);
+
+            Euclidean.distance_batch(&query, &refs, &mut out);
+            for (object, d) in objects.iter().zip(&out) {
+                assert_eq!(d.to_bits(), Euclidean.distance(object, &query).to_bits());
+            }
+            Manhattan.distance_batch(&query, &refs, &mut out);
+            for (object, d) in objects.iter().zip(&out) {
+                assert_eq!(d.to_bits(), Manhattan.distance(object, &query).to_bits());
+            }
+            weighted.distance_batch(&query, &refs, &mut out);
+            for (object, d) in objects.iter().zip(&out) {
+                assert_eq!(d.to_bits(), weighted.distance(object, &query).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_le_agrees_with_scalar_predicate() {
+        for dim in [1, 2, 3, 4, 5, 16, 20, 63, 64, 65] {
+            let a = pseudo(dim, 5);
+            for seed in 0..24u32 {
+                let b = pseudo(dim, 200 + seed);
+                for metric in [&Euclidean as &dyn Metric<Vector>, &Manhattan] {
+                    let d = metric.distance(&a, &b);
+                    // Bounds straddling the distance, including the exact
+                    // value and one-ulp neighbours, plus degenerate bounds.
+                    let bounds = [
+                        0.0,
+                        d * 0.5,
+                        f64::from_bits(d.to_bits().wrapping_sub(1)),
+                        d,
+                        f64::from_bits(d.to_bits() + 1),
+                        d * 2.0,
+                        f64::INFINITY,
+                        -1.0,
+                        f64::NAN,
+                    ];
+                    for bound in bounds {
+                        let got = metric.distance_le(&a, &b, bound);
+                        let want = if d <= bound { Some(d) } else { None };
+                        assert_eq!(
+                            got.map(f64::to_bits),
+                            want.map(f64::to_bits),
+                            "metric={} dim={dim} d={d} bound={bound}",
+                            metric.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_le_identical_points_zero_bound() {
+        // The zero-radius regression case: d = 0 must satisfy bound = 0.
+        let a = pseudo(64, 9);
+        assert_eq!(Euclidean.distance_le(&a, &a, 0.0), Some(0.0));
+        assert_eq!(Manhattan.distance_le(&a, &a, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn weighted_distance_le_agrees_with_scalar_predicate() {
+        let weights: Vec<f64> = (0..20).map(|i| 0.25 + (i % 4) as f64).collect();
+        let w = WeightedEuclidean::new(weights);
+        let a = pseudo(20, 1);
+        let b = pseudo(20, 2);
+        let d = w.distance(&a, &b);
+        assert_eq!(w.distance_le(&a, &b, d), Some(d));
+        assert_eq!(w.distance_le(&a, &b, d * 0.99), None);
     }
 
     #[test]

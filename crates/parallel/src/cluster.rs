@@ -39,6 +39,9 @@ impl ClusterStats {
 /// A cluster of `s` shared-nothing servers over one logical database.
 pub struct SharedNothingCluster<O, M> {
     servers: Vec<Server<O, M>>,
+    /// Page-evaluation threads of each server's engine (inter-server
+    /// parallelism times intra-batch parallelism).
+    engine_threads: usize,
 }
 
 impl<O, M> SharedNothingCluster<O, M>
@@ -64,7 +67,24 @@ where
             .iter()
             .map(|part| Server::build(objects, part, metric.clone(), buffer_fraction, &build_index))
             .collect();
-        Self { servers }
+        Self {
+            servers,
+            engine_threads: 1,
+        }
+    }
+
+    /// Evaluates each loaded page with `threads` workers *per server*
+    /// (clamped to at least 1). Orthogonal to the inter-server parallelism:
+    /// a 4-server cluster with 2 engine threads runs on up to 8 cores.
+    /// Answers and counters are identical for every thread count.
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads.max(1);
+        self
+    }
+
+    /// Page-evaluation threads of each server's engine.
+    pub fn engine_threads(&self) -> usize {
+        self.engine_threads
     }
 
     /// Number of servers.
@@ -87,10 +107,13 @@ where
     ) -> (Vec<Vec<Answer>>, ClusterStats) {
         let started = Instant::now();
         let per_server: Vec<(Vec<Vec<Answer>>, ExecutionStats)> = std::thread::scope(|scope| {
+            let engine_threads = self.engine_threads;
             let handles: Vec<_> = self
                 .servers
                 .iter()
-                .map(|server| scope.spawn(move || run_on_server(server, queries, avoidance)))
+                .map(|server| {
+                    scope.spawn(move || run_on_server(server, queries, avoidance, engine_threads))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -121,13 +144,15 @@ fn run_on_server<O, M>(
     server: &Server<O, M>,
     queries: &[(O, QueryType)],
     avoidance: bool,
+    engine_threads: usize,
 ) -> (Vec<Vec<Answer>>, ExecutionStats)
 where
     O: StorageObject,
     M: Metric<O> + Clone,
 {
     let engine = {
-        let e = QueryEngine::new(server.disk(), server.index(), server.metric().clone());
+        let e = QueryEngine::new(server.disk(), server.index(), server.metric().clone())
+            .with_threads(engine_threads);
         if avoidance {
             e
         } else {
@@ -367,6 +392,33 @@ mod tests {
             max * 2.0 >= total.dist_calcs as f64 * 0.9,
             "roughly balanced"
         );
+    }
+
+    #[test]
+    fn engine_threads_do_not_change_results() {
+        let objects = random_points(500, 4, 219);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(59)
+            .take(8)
+            .map(|v| (v.clone(), QueryType::knn(6)))
+            .collect();
+        let reference = sequential_answers(&objects, &queries);
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            2,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        )
+        .with_engine_threads(3);
+        assert_eq!(cluster.engine_threads(), 3);
+        let (answers, _) = cluster.multiple_query(&queries, true);
+        for (got, want) in answers.iter().zip(&reference) {
+            let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
+            assert_eq!(&ids, want);
+        }
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! The client library: a blocking connection speaking the frame protocol.
 
-use crate::protocol::{
-    read_message, write_message, Message, ProtocolError, ServiceMetrics,
-};
+use crate::protocol::{read_message, write_message, Message, ProtocolError, ServiceMetrics};
 use mq_core::{Answer, ExecutionStats, QueryType};
 use mq_metric::Vector;
 use std::net::{TcpStream, ToSocketAddrs};

@@ -31,6 +31,14 @@ pub struct ServerConfig {
     pub mode: ExecutionMode,
     /// Whether §5.2 triangle-inequality avoidance is enabled.
     pub avoidance: bool,
+    /// Page-evaluation threads per engine (intra-batch parallelism; 1 =
+    /// the classic sequential loop). Identical answers for every value.
+    pub threads: usize,
+    /// Scheduler worker threads executing flushed batches. With 1 worker
+    /// (the default) batches execute strictly one after another; more
+    /// workers overlap batch execution with batch collection, at the cost
+    /// of batches competing for cores.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +48,8 @@ impl Default for ServerConfig {
             max_wait: Duration::from_millis(20),
             mode: ExecutionMode::Single,
             avoidance: true,
+            threads: 1,
+            workers: 1,
         }
     }
 }
@@ -72,6 +82,18 @@ impl ServerConfig {
         self.avoidance = avoidance;
         self
     }
+
+    /// Sets the page-evaluation threads per engine (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the scheduler worker-thread count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -84,11 +106,29 @@ mod tests {
             .with_max_batch(4)
             .with_max_wait(Duration::from_millis(5))
             .with_mode(ExecutionMode::Cluster { servers: 3 })
-            .with_avoidance(false);
+            .with_avoidance(false)
+            .with_threads(4)
+            .with_workers(2);
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
         assert!(!c.avoidance);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.workers, 2);
+    }
+
+    #[test]
+    fn defaults_are_sequential() {
+        let c = ServerConfig::default();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.workers, 1);
+    }
+
+    #[test]
+    fn zero_threads_and_workers_clamp_to_one() {
+        let c = ServerConfig::default().with_threads(0).with_workers(0);
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.workers, 1);
     }
 
     #[test]

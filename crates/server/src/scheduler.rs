@@ -1,12 +1,15 @@
 //! The batching scheduler: turns a stream of independent requests into
 //! multiple similarity queries.
 //!
-//! Requests from any number of connections flow into one queue. A worker
-//! thread collects them and flushes the queue as a single
-//! `multiple_similarity_query` batch once [`ServerConfig::max_batch`]
-//! requests accumulated or [`ServerConfig::max_wait`] passed since the
-//! first queued request — the server-side analogue of the paper's m-block:
-//! concurrent traffic pays one shared pass instead of m separate ones.
+//! Requests from any number of connections flow into one queue. A pool of
+//! [`ServerConfig::workers`] worker threads (default 1) collects them and
+//! flushes the queue as `multiple_similarity_query` batches once
+//! [`ServerConfig::max_batch`] requests accumulated or
+//! [`ServerConfig::max_wait`] passed since the first queued request — the
+//! server-side analogue of the paper's m-block: concurrent traffic pays one
+//! shared pass instead of m separate ones. With one worker, batches execute
+//! strictly sequentially; with more, batch execution overlaps batch
+//! collection.
 
 use crate::config::{ExecutionMode, ServerConfig};
 use crate::protocol::ServiceMetrics;
@@ -17,6 +20,7 @@ use mq_metric::{CountingMetric, Euclidean, Vector};
 use mq_parallel::{Declustering, SharedNothingCluster};
 use mq_storage::{PagedDatabase, SimulatedDisk};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,8 +38,9 @@ pub struct QueryReply {
 }
 
 /// Executes one flushed batch. Implementations own their storage and
-/// index; the scheduler's worker thread is their only caller.
-pub trait QueryBackend: Send + 'static {
+/// index; the scheduler's worker threads are their only callers, and with
+/// more than one worker `execute` runs concurrently — hence `Sync`.
+pub trait QueryBackend: Send + Sync + 'static {
     /// Evaluates the whole batch, returning per-query answer lists in
     /// input order plus the batch's execution statistics.
     fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats);
@@ -57,6 +62,7 @@ pub struct SingleEngineBackend {
     index: Box<dyn SimilarityIndex<Vector>>,
     metric: CountingMetric<Euclidean>,
     avoidance: bool,
+    threads: usize,
     dims: usize,
 }
 
@@ -79,14 +85,23 @@ impl SingleEngineBackend {
             index,
             metric: CountingMetric::new(Euclidean),
             avoidance,
+            threads: 1,
             dims,
         }
+    }
+
+    /// Evaluates each loaded page with `threads` engine workers (clamped
+    /// to ≥ 1). Answers and counters are identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
 impl QueryBackend for SingleEngineBackend {
     fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
-        let engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone());
+        let engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone())
+            .with_threads(self.threads);
         let engine = if self.avoidance {
             engine
         } else {
@@ -124,9 +139,17 @@ pub struct ClusterBackend {
 impl ClusterBackend {
     /// Declusters `objects` round-robin over `servers` local engines,
     /// building each server's index with `build_index`.
-    pub fn build<F>(objects: &[Vector], servers: usize, buffer_fraction: f64, avoidance: bool, build_index: F) -> Self
+    pub fn build<F>(
+        objects: &[Vector],
+        servers: usize,
+        buffer_fraction: f64,
+        avoidance: bool,
+        build_index: F,
+    ) -> Self
     where
-        F: Fn(&mq_storage::Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
+        F: Fn(
+            &mq_storage::Dataset<Vector>,
+        ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
     {
         let cluster = SharedNothingCluster::build(
             objects,
@@ -142,6 +165,13 @@ impl ClusterBackend {
             avoidance,
             dims: objects.first().map_or(0, |v| v.dim()),
         }
+    }
+
+    /// Evaluates each loaded page with `threads` engine workers on every
+    /// cluster server (clamped to ≥ 1).
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.cluster = self.cluster.with_engine_threads(threads);
+        self
     }
 }
 
@@ -174,34 +204,47 @@ struct Job {
     reply: Sender<QueryReply>,
 }
 
-/// The batching scheduler: one submission queue, one worker thread, one
-/// backend.
+/// The batching scheduler: one submission queue, a pool of worker threads
+/// (usually just one), one shared backend.
 pub struct BatchScheduler {
     tx: Sender<Job>,
     metrics: Arc<Mutex<ServiceMetrics>>,
     dims: usize,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl BatchScheduler {
-    /// Starts the worker thread over `backend` with the given batching
-    /// knobs.
+    /// Starts [`ServerConfig::workers`] worker threads over `backend` with
+    /// the given batching knobs. The workers share the submission queue
+    /// (each job is delivered to exactly one) and draw batch ids from one
+    /// shared counter.
     pub fn start(backend: Box<dyn QueryBackend>, config: &ServerConfig) -> Self {
         let (tx, rx) = channel::unbounded::<Job>();
         let metrics = Arc::new(Mutex::new(ServiceMetrics::default()));
-        let worker_metrics = Arc::clone(&metrics);
         let max_batch = config.max_batch.max(1);
         let max_wait = config.max_wait;
         let dims = backend.dimensions();
-        let worker = std::thread::Builder::new()
-            .name("mq-scheduler".into())
-            .spawn(move || worker_loop(rx, backend, max_batch, max_wait, worker_metrics))
-            .expect("spawn scheduler worker");
+        let backend: Arc<dyn QueryBackend> = Arc::from(backend);
+        let batch_ids = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let rx = rx.clone();
+                let backend = Arc::clone(&backend);
+                let metrics = Arc::clone(&metrics);
+                let batch_ids = Arc::clone(&batch_ids);
+                std::thread::Builder::new()
+                    .name(format!("mq-scheduler-{w}"))
+                    .spawn(move || {
+                        worker_loop(rx, backend, max_batch, max_wait, metrics, batch_ids)
+                    })
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
         Self {
             tx,
             metrics,
             dims,
-            worker: Some(worker),
+            workers,
         }
     }
 
@@ -232,10 +275,10 @@ impl BatchScheduler {
 
 impl Drop for BatchScheduler {
     fn drop(&mut self) {
-        // Closing the queue lets the worker drain pending jobs and exit.
+        // Closing the queue lets the workers drain pending jobs and exit.
         let (closed_tx, _) = channel::bounded(1);
         let _ = std::mem::replace(&mut self.tx, closed_tx);
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -243,12 +286,12 @@ impl Drop for BatchScheduler {
 
 fn worker_loop(
     rx: Receiver<Job>,
-    backend: Box<dyn QueryBackend>,
+    backend: Arc<dyn QueryBackend>,
     max_batch: usize,
     max_wait: std::time::Duration,
     metrics: Arc<Mutex<ServiceMetrics>>,
+    batch_ids: Arc<AtomicU64>,
 ) {
-    let mut batch_id = 0u64;
     loop {
         // Block until traffic arrives; an empty queue costs nothing.
         let first = match rx.recv() {
@@ -266,12 +309,10 @@ fn worker_loop(
             }
         }
 
-        batch_id += 1;
+        let batch_id = batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let batch_size = jobs.len() as u32;
-        let queries: Vec<(Vector, QueryType)> = jobs
-            .iter()
-            .map(|j| (j.object.clone(), j.qtype))
-            .collect();
+        let queries: Vec<(Vector, QueryType)> =
+            jobs.iter().map(|j| (j.object.clone(), j.qtype)).collect();
         // The frontend validates queries, but the worker must survive a
         // backend panic regardless — one poisoned batch must not take the
         // service down for every later client.
@@ -321,27 +362,30 @@ pub fn build_backend<F>(
     build_index: F,
 ) -> Box<dyn QueryBackend>
 where
-    F: Fn(&mq_storage::Dataset<Vector>) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
+    F: Fn(
+        &mq_storage::Dataset<Vector>,
+    ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
 {
     match config.mode {
         ExecutionMode::Single => {
             let (index, db) = build_index(&db.to_dataset());
-            Box::new(SingleEngineBackend::new(
-                db,
-                index,
-                buffer_fraction,
-                config.avoidance,
-            ))
+            Box::new(
+                SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
+                    .with_threads(config.threads),
+            )
         }
         ExecutionMode::Cluster { servers } => {
             let ds = db.to_dataset();
-            Box::new(ClusterBackend::build(
-                ds.objects(),
-                servers.max(1),
-                buffer_fraction,
-                config.avoidance,
-                build_index,
-            ))
+            Box::new(
+                ClusterBackend::build(
+                    ds.objects(),
+                    servers.max(1),
+                    buffer_fraction,
+                    config.avoidance,
+                    build_index,
+                )
+                .with_engine_threads(config.threads),
+            )
         }
     }
 }
@@ -415,6 +459,31 @@ mod tests {
             assert_eq!(reply.batch_size, 3);
             assert_eq!(reply.batch_id, 1);
         }
+    }
+
+    #[test]
+    fn worker_pool_serves_every_client() {
+        let config = ServerConfig::default()
+            .with_max_batch(1)
+            .with_max_wait(Duration::from_millis(1))
+            .with_workers(3);
+        let scheduler = BatchScheduler::start(scan_backend(100), &config);
+        let rxs: Vec<_> = (0..12)
+            .map(|i| scheduler.submit(Vector::new(vec![i as f32 * 5.0]), QueryType::knn(1)))
+            .collect();
+        let mut batch_ids = Vec::new();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(5)).expect("reply");
+            assert_eq!(reply.answers[0].id.0, i as u32 * 5);
+            batch_ids.push(reply.batch_id);
+        }
+        // One job per batch: ids are unique even across concurrent workers.
+        batch_ids.sort_unstable();
+        batch_ids.dedup();
+        assert_eq!(batch_ids.len(), 12, "duplicate batch ids across workers");
+        let m = scheduler.metrics();
+        assert_eq!(m.queries, 12);
+        assert_eq!(m.batches, 12);
     }
 
     #[test]

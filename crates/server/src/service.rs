@@ -127,9 +127,9 @@ fn handle_connection(mut stream: TcpStream, scheduler: Arc<BatchScheduler>) {
                             stats: reply.stats,
                             answers: reply.answers,
                         },
-                        Err(_) => Message::Error(
-                            "query batch failed or scheduler shut down".into(),
-                        ),
+                        Err(_) => {
+                            Message::Error("query batch failed or scheduler shut down".into())
+                        }
                     }
                 }
             }

@@ -6,10 +6,10 @@
 use mq_core::{QueryEngine, QueryType};
 use mq_index::LinearScan;
 use mq_metric::{Euclidean, ObjectId, Vector};
-use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
 use mq_server::{
-    Client, ExecutionMode, QueryServer, ServerConfig, SingleEngineBackend, build_backend,
+    build_backend, Client, ExecutionMode, QueryServer, ServerConfig, SingleEngineBackend,
 };
+use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
 use std::time::Duration;
 
 const N_CLIENTS: usize = 6;
@@ -61,8 +61,8 @@ fn concurrent_clients_get_serial_answers_with_shared_reads() {
     let config = ServerConfig::default()
         .with_max_batch(N_CLIENTS)
         .with_max_wait(Duration::from_secs(2));
-    let mut server = QueryServer::bind("127.0.0.1:0", Box::new(backend), &config)
-        .expect("bind loopback");
+    let mut server =
+        QueryServer::bind("127.0.0.1:0", Box::new(backend), &config).expect("bind loopback");
     let addr = server.local_addr();
 
     let queries = client_queries(&ds);
@@ -76,7 +76,10 @@ fn concurrent_clients_get_serial_answers_with_shared_reads() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
     });
 
     // Serial reference: same data, same index, fresh disk.
@@ -87,7 +90,11 @@ fn concurrent_clients_get_serial_answers_with_shared_reads() {
     ref_disk.reset_stats();
     for ((q, t), reply) in queries.iter().zip(&replies) {
         let serial = engine.similarity_query(q, t);
-        let want: Vec<(u32, f64)> = serial.as_slice().iter().map(|a| (a.id.0, a.distance)).collect();
+        let want: Vec<(u32, f64)> = serial
+            .as_slice()
+            .iter()
+            .map(|a| (a.id.0, a.distance))
+            .collect();
         let got: Vec<(u32, f64)> = reply.answers.iter().map(|a| (a.id.0, a.distance)).collect();
         assert_eq!(got, want, "server answers differ from serial engine");
     }
@@ -127,7 +134,8 @@ fn cluster_mode_agrees_with_single_mode() {
     let build_index = |ds: &Dataset<Vector>| {
         let db = PagedDatabase::pack(ds, layout());
         (
-            Box::new(LinearScan::new(db.page_count())) as Box<dyn mq_index::SimilarityIndex<Vector>>,
+            Box::new(LinearScan::new(db.page_count()))
+                as Box<dyn mq_index::SimilarityIndex<Vector>>,
             db,
         )
     };

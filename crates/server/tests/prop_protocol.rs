@@ -28,22 +28,24 @@ fn arb_stats() -> impl Strategy<Value = ExecutionStats> {
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         0u64..1_000_000_000,
     )
-        .prop_map(|((lr, bh, pr), (rr, sr, dc), (tr, av, co), ns)| ExecutionStats {
-            io: IoStats {
-                logical_reads: lr,
-                buffer_hits: bh,
-                physical_reads: pr,
-                random_reads: rr,
-                sequential_reads: sr,
+        .prop_map(
+            |((lr, bh, pr), (rr, sr, dc), (tr, av, co), ns)| ExecutionStats {
+                io: IoStats {
+                    logical_reads: lr,
+                    buffer_hits: bh,
+                    physical_reads: pr,
+                    random_reads: rr,
+                    sequential_reads: sr,
+                },
+                dist_calcs: dc,
+                avoidance: AvoidanceStats {
+                    tries: tr,
+                    avoided: av,
+                    computed: co,
+                },
+                elapsed: Duration::from_nanos(ns),
             },
-            dist_calcs: dc,
-            avoidance: AvoidanceStats {
-                tries: tr,
-                avoided: av,
-                computed: co,
-            },
-            elapsed: Duration::from_nanos(ns),
-        })
+        )
 }
 
 fn arb_answers() -> impl Strategy<Value = Vec<Answer>> {

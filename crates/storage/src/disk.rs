@@ -229,8 +229,8 @@ mod tests {
     #[test]
     fn skip_window_counts_short_forward_jumps_as_sequential() {
         let d = disk(90, 1); // 30 pages
-        // Forward jumps within the window are sequential; larger jumps and
-        // any backward movement are seeks.
+                             // Forward jumps within the window are sequential; larger jumps and
+                             // any backward movement are seeks.
         for &i in &[0u32, 2, 4, 8, 13, 12, 20] {
             d.read_page(PageId(i));
         }

@@ -37,7 +37,11 @@ fn served_answers_match_local_engine() {
     ] {
         let remote = client.query(&q, &t).expect("remote query");
         let local = engine.similarity_query(&q, &t);
-        let got: Vec<(u32, f64)> = remote.answers.iter().map(|a| (a.id.0, a.distance)).collect();
+        let got: Vec<(u32, f64)> = remote
+            .answers
+            .iter()
+            .map(|a| (a.id.0, a.distance))
+            .collect();
         let want: Vec<(u32, f64)> = local
             .as_slice()
             .iter()

@@ -18,7 +18,10 @@ fn setup(data: &[Vector]) -> (PagedDatabase<Vector>, XTree) {
     let ds = Dataset::new(data.to_vec());
     let (tree, db) = XTree::bulk_load(
         &ds,
-        XTreeConfig { layout: PageLayout::new(512, 16), ..Default::default() },
+        XTreeConfig {
+            layout: PageLayout::new(512, 16),
+            ..Default::default()
+        },
     );
     (db, tree)
 }
@@ -37,7 +40,11 @@ fn interleaved_push_and_step_matches_single_queries() {
     ]);
     assert_eq!(engine.multiple_query_step(&mut session), Some(0));
     let i2 = engine.push_query(&mut session, data[399].clone(), QueryType::knn(6));
-    let i3 = engine.push_query(&mut session, data[5].clone(), QueryType::bounded_knn(3, 4.0));
+    let i3 = engine.push_query(
+        &mut session,
+        data[5].clone(),
+        QueryType::bounded_knn(3, 4.0),
+    );
     engine.run_to_completion(&mut session);
     assert!(session.is_complete(i2) && session.is_complete(i3));
 
@@ -99,10 +106,7 @@ fn pending_and_pages_processed_reporting() {
         "trailing neighbor query saw no shared pages"
     );
     assert_eq!(session.query_type(1).cardinality, 5);
-    assert_eq!(
-        session.query_object(2).components(),
-        data[200].components()
-    );
+    assert_eq!(session.query_object(2).components(), data[200].components());
 }
 
 #[test]
@@ -125,6 +129,14 @@ fn completed_head_costs_nothing_when_fully_buffered() {
     let io_after_first = disk.stats().logical_reads;
     let cpu_after_first = counter.get();
     engine.run_to_completion(&mut session);
-    assert_eq!(disk.stats().logical_reads, io_after_first, "buffered steps re-read pages");
-    assert_eq!(counter.get(), cpu_after_first, "buffered steps recomputed distances");
+    assert_eq!(
+        disk.stats().logical_reads,
+        io_after_first,
+        "buffered steps re-read pages"
+    );
+    assert_eq!(
+        counter.get(),
+        cpu_after_first,
+        "buffered steps recomputed distances"
+    );
 }

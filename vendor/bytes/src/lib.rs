@@ -71,7 +71,10 @@ impl Bytes {
             std::ops::Bound::Excluded(&n) => n,
             std::ops::Bound::Unbounded => len,
         };
-        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of bounds 0..{len}");
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of bounds 0..{len}"
+        );
         Self {
             data: Arc::clone(&self.data),
             start: self.start + lo,
@@ -84,7 +87,11 @@ impl Bytes {
     /// # Panics
     /// Panics if fewer than `at` bytes remain.
     pub fn split_to(&mut self, at: usize) -> Self {
-        assert!(at <= self.len(), "split_to {at} out of bounds 0..{}", self.len());
+        assert!(
+            at <= self.len(),
+            "split_to {at} out of bounds 0..{}",
+            self.len()
+        );
         let head = Self {
             data: Arc::clone(&self.data),
             start: self.start,
@@ -99,7 +106,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Self { data, start: 0, end }
+        Self {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

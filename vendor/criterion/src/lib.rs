@@ -99,7 +99,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, f: &mut F) {
-    let mut b = Bencher { iters: samples as u64, elapsed_ns: 0.0 };
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed_ns: 0.0,
+    };
     f(&mut b);
     let label = if group.is_empty() {
         id.to_string()

@@ -3,7 +3,19 @@
 //! The build environment has no crates.io access, so this workspace ships a
 //! minimal implementation of the API surface it actually uses:
 //! [`channel`] — multi-producer channels with blocking, non-blocking and
-//! deadline-bounded receive, built on a mutex-and-condvar queue.
+//! deadline-bounded receive, built on a mutex-and-condvar queue — and
+//! [`thread`] — scoped threads that may borrow from the spawning stack.
+
+/// Scoped threads.
+///
+/// `crossbeam::thread::scope` predates the standard library's scoped
+/// threads; since Rust 1.63 `std::thread::scope` provides the same
+/// guarantee (all spawned threads join before the scope returns, so they
+/// may borrow local state). The shim re-exports the std implementation,
+/// which covers the surface this workspace uses.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {

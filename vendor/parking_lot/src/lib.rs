@@ -91,7 +91,9 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_deref_mut().expect("guard present outside waits")
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside waits")
     }
 }
 

@@ -150,7 +150,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive values",
+            self.whence
+        );
     }
 }
 
@@ -176,7 +179,10 @@ impl<V> Union<V> {
     /// # Panics
     /// Panics if `alts` is empty.
     pub fn new(alts: Vec<Box<dyn DynStrategy<V>>>) -> Self {
-        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !alts.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Self { alts }
     }
 }
@@ -477,13 +483,15 @@ mod tests {
             let v = s.sample(&mut rng);
             assert!((10..20).contains(&v));
         }
-        let u = prop_oneof![Just(1u32), Just(2u32), (5u32..8)];
+        let u = prop_oneof![Just(1u32), Just(2u32), 5u32..8];
         let mut seen = std::collections::HashSet::<u32>::new();
         for _ in 0..300 {
             seen.insert(u.sample(&mut rng));
         }
         assert!(seen.contains(&1) && seen.contains(&2));
-        assert!(seen.iter().all(|&v| v == 1 || v == 2 || (5..8).contains(&v)));
+        assert!(seen
+            .iter()
+            .all(|&v| v == 1 || v == 2 || (5..8).contains(&v)));
     }
 
     #[test]
