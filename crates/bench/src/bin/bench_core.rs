@@ -11,14 +11,22 @@
 //!   `distance_batch`/`distance_le` overrides), 1 thread: the pre-kernel
 //!   engine.
 //! * `kernel`   — [`Euclidean`]'s blocked kernels, 1 thread.
-//! * `parallel` — blocked kernels + 4 page-evaluation threads.
+//! * `parallel` — blocked kernels + 2 and 4 page-evaluation threads from
+//!   the engine's persistent worker pool, with pipelined page prefetch
+//!   (depth 2).
 //!
-//! All three produce bit-identical answers (enforced here, property-tested
-//! in `mq-core`), so the comparison is pure throughput. Results go to
-//! `BENCH_core.json` in the current directory.
+//! All configurations produce bit-identical answers (enforced here,
+//! property-tested in `mq-core`), so the comparison is pure throughput.
+//! Results go to `BENCH_core.json` in the current directory, together
+//! with the host's core count — thread-scaling numbers from a 1-core
+//! container measure scheduling overhead, not parallelism, so read the
+//! `cores` field before comparing rows.
 //!
 //! Flags/env: `--smoke` shrinks the database and repetitions for CI;
-//! `MQ_BENCH_N` overrides the object count; `MQ_SEED` the seed.
+//! `--assert-speedup` exits non-zero when the parallel rows regress
+//! against the single-thread kernel row (with a documented tolerance on
+//! 1-core hosts, where parallel cannot win); `MQ_BENCH_N` overrides the
+//! object count; `MQ_SEED` the seed.
 
 use mq_bench::baseline::NaiveEuclidean;
 use mq_bench::setup::{env_u64, env_usize};
@@ -48,12 +56,17 @@ fn measure<M2: Metric<Vector> + Sync>(
     queries: &[(Vector, QueryType)],
     metric: M2,
     threads: usize,
+    prefetch_depth: usize,
     reps: usize,
 ) -> Measurement {
     let db = PagedDatabase::pack(dataset, PageLayout::PAPER);
     let index = LinearScan::new(db.page_count());
     let disk = SimulatedDisk::new(db, 0.10);
-    let engine = QueryEngine::new(&disk, &index, metric).with_threads(threads);
+    // One engine for all reps: its persistent worker pool is created once
+    // and reused, exactly like a long-lived server backend.
+    let engine = QueryEngine::new(&disk, &index, metric)
+        .with_threads(threads)
+        .with_prefetch_depth(prefetch_depth);
     let mut best = f64::INFINITY;
     let mut answers = Vec::new();
     let mut pairs = 0;
@@ -150,6 +163,8 @@ fn measure_kernel<M2: Metric<Vector>>(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let assert_speedup = std::env::args().any(|a| a == "--assert-speedup");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let n = env_usize("MQ_BENCH_N", if smoke { 2_000 } else { 15_000 });
     let seed = env_u64("MQ_SEED", 20000203);
     let reps = if smoke { 2 } else { 5 };
@@ -161,7 +176,7 @@ fn main() {
         .collect();
     let dataset = Dataset::new(objects);
 
-    println!("bench_core: {n} objects, {dim}-d, m={M} knn({K}), {reps} reps");
+    println!("bench_core: {n} objects, {dim}-d, m={M} knn({K}), {reps} reps, {cores} cores");
 
     // Raw kernel throughput first: page-sized distance_batch calls, no
     // engine bookkeeping.
@@ -181,22 +196,24 @@ fn main() {
         kernel_pairs as f64 / blocked_secs,
     );
 
-    let scalar = measure("scalar", &dataset, &queries, NaiveEuclidean, 1, reps);
-    let kernel = measure("kernel", &dataset, &queries, Euclidean, 1, reps);
-    let parallel = measure("parallel", &dataset, &queries, Euclidean, 4, reps);
+    let scalar = measure("scalar", &dataset, &queries, NaiveEuclidean, 1, 0, reps);
+    let kernel = measure("kernel", &dataset, &queries, Euclidean, 1, 0, reps);
+    let parallel2 = measure("parallel", &dataset, &queries, Euclidean, 2, 2, reps);
+    let parallel4 = measure("parallel", &dataset, &queries, Euclidean, 4, 2, reps);
 
-    // Same kernels, different thread count: bit for bit. Naive baseline:
-    // same answers up to accumulation-order ulps.
-    assert_identical(&kernel, &parallel);
+    // Same kernels, different thread count / prefetch depth: bit for bit.
+    // Naive baseline: same answers up to accumulation-order ulps.
+    assert_identical(&kernel, &parallel2);
+    assert_identical(&kernel, &parallel4);
     assert_close(&kernel, &scalar);
 
-    let rows = [&scalar, &kernel, &parallel];
+    let rows = [&scalar, &kernel, &parallel2, &parallel4];
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"page_eval_multiple_query\",\n");
     json.push_str(&format!(
         "  \"config\": {{ \"db\": \"image-histograms\", \"objects\": {n}, \"dim\": {dim}, \
          \"m\": {M}, \"k\": {K}, \"index\": \"scan\", \"page_layout\": \"PAPER\", \
-         \"seed\": {seed}, \"reps\": {reps}, \"smoke\": {smoke} }},\n"
+         \"seed\": {seed}, \"reps\": {reps}, \"smoke\": {smoke}, \"cores\": {cores} }},\n"
     ));
     json.push_str(&format!("  \"pairs_evaluated\": {},\n", scalar.pairs));
     json.push_str(&format!(
@@ -231,8 +248,54 @@ fn main() {
 
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
     println!("wrote BENCH_core.json");
-    let best_engine = scalar.secs / kernel.secs.min(parallel.secs);
+    let best_parallel = parallel2.secs.min(parallel4.secs);
+    let best_engine = scalar.secs / kernel.secs.min(best_parallel);
     if !smoke && kernel_speedup.max(best_engine) < 1.5 {
         eprintln!("warning: best speedup {kernel_speedup:.2}x below the 1.5x target");
+    }
+
+    if assert_speedup {
+        // The blocked kernels must beat the naive scalar loop everywhere
+        // (5% noise allowance — it is the same single thread).
+        assert!(
+            kernel.secs <= scalar.secs * 1.05,
+            "kernel row regressed below scalar: {:.4}s vs {:.4}s",
+            kernel.secs,
+            scalar.secs,
+        );
+        if cores >= 2 {
+            // With real cores, pipelined parallel evaluation must beat the
+            // single-thread kernel row outright.
+            assert!(
+                best_parallel <= kernel.secs,
+                "parallel rows regressed below the single-thread kernel on a \
+                 {cores}-core host: {best_parallel:.4}s vs {:.4}s",
+                kernel.secs,
+            );
+            println!(
+                "speedup assertion passed: parallel {best_parallel:.4}s <= kernel {:.4}s on {cores} cores",
+                kernel.secs,
+            );
+        } else {
+            // 1-core caveat: extra threads cannot add throughput, they can
+            // only take turns on the single core, so the bar is "the pool
+            // and prefetch machinery cost at most ~10% over the kernel
+            // row" — ~25% under --smoke, whose millisecond-scale runs put
+            // fixed costs and timer noise above that line. Multi-core
+            // speedups are asserted by CI on multi-core runners; re-run
+            // this binary there to see parallel > kernel.
+            let tolerance = kernel.secs / if smoke { 0.75 } else { 0.9 };
+            assert!(
+                best_parallel <= tolerance,
+                "parallel overhead exceeds the 1-core tolerance: \
+                 {best_parallel:.4}s vs kernel {:.4}s (limit {tolerance:.4}s)",
+                kernel.secs,
+            );
+            println!(
+                "speedup assertion passed with the 1-core caveat: single core, \
+                 parallel {best_parallel:.4}s within tolerance of kernel {:.4}s",
+                kernel.secs,
+            );
+        }
     }
 }

@@ -240,6 +240,15 @@ pub fn serve(args: &Args) -> CmdResult {
     let max_wait_ms: u64 = args.parse_or("max-wait-ms", 20)?;
     let servers: usize = args.parse_or("cluster", 0)?;
     let threads: usize = args.parse_or("threads", 1)?;
+    let prefetch_depth: usize = args.parse_or("prefetch-depth", 0)?;
+    let leader_name = args.string_or("leader", "fifo");
+    let leader = match leader_name.as_str() {
+        "fifo" => mq_core::LeaderPolicy::Fifo,
+        "nearest" => mq_core::LeaderPolicy::NearestChain,
+        other => {
+            return Err(format!("unknown --leader '{other}' (expected fifo or nearest)").into())
+        }
+    };
     let workers: usize = args.parse_or("workers", 1)?;
 
     let mut config = ServerConfig::default()
@@ -247,6 +256,8 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_max_wait(std::time::Duration::from_millis(max_wait_ms))
         .with_avoidance(!args.has("no-avoidance"))
         .with_threads(threads)
+        .with_prefetch_depth(prefetch_depth)
+        .with_leader(leader)
         .with_workers(workers);
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
@@ -264,7 +275,7 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let server = QueryServer::bind(addr.as_str(), backend, &config)?;
     println!(
-        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, workers {workers}{})",
+        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, prefetch {prefetch_depth}, leader {leader_name}, workers {workers}{})",
         server.local_addr(),
         stored.object_count(),
         if servers > 0 {

@@ -37,12 +37,16 @@ USAGE:
 
   mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree]
                 [--max-batch <M>] [--max-wait-ms <MS>] [--cluster <S>]
-                [--threads <T>] [--workers <W>] [--no-avoidance]
+                [--threads <T>] [--prefetch-depth <D>] [--leader fifo|nearest]
+                [--workers <W>] [--no-avoidance]
       Serve the database over TCP, batching concurrent client queries
       into multiple similarity queries (one engine, or a shared-nothing
       cluster of S servers with --cluster). --threads sets the
-      page-evaluation threads per engine; --workers the number of
-      scheduler threads executing flushed batches.
+      page-evaluation threads per engine; --prefetch-depth stages pages
+      ahead of evaluation; --leader picks which pending query leads each
+      step (nearest = nearest-neighbor chains over the inter-query
+      distance matrix); --workers the number of scheduler threads
+      executing flushed batches.
 
   mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
   mq client [--addr 127.0.0.1:7878] --stats true

@@ -1,17 +1,20 @@
 //! The query engine: the paper's `DB` class with both query operations.
 
 use crate::answers::{Answer, AnswerList};
-use crate::multiple::{self, MultiQuerySession};
+use crate::multiple::{self, LeaderPolicy, MultiQuerySession};
+use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use crate::single;
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
 use mq_storage::{SimulatedDisk, StorageObject};
+use std::sync::{Arc, OnceLock};
 
 /// Tuning knobs of the [`QueryEngine`].
 ///
 /// The defaults reproduce the paper's configuration: §5.2 avoidance on,
-/// an unbounded pivot set, and single-threaded page evaluation.
+/// an unbounded pivot set, single-threaded page evaluation, no prefetch,
+/// and FIFO leader order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Whether §5.2 triangle-inequality avoidance is enabled.
@@ -23,6 +26,12 @@ pub struct EngineOptions {
     /// sequential loop). Results are identical for every thread count;
     /// see [`crate::multiple`] for why.
     pub threads: usize,
+    /// Pages staged ahead of the one being evaluated (0 = no prefetch).
+    /// Answers, counters, `logical_reads`, and per-query page sets are
+    /// identical for every depth; see [`crate::multiple`] for why.
+    pub prefetch_depth: usize,
+    /// Which pending query leads each step; see [`LeaderPolicy`].
+    pub leader: LeaderPolicy,
 }
 
 impl Default for EngineOptions {
@@ -31,6 +40,8 @@ impl Default for EngineOptions {
             avoidance: true,
             max_pivots: None,
             threads: 1,
+            prefetch_depth: 0,
+            leader: LeaderPolicy::Fifo,
         }
     }
 }
@@ -76,6 +87,12 @@ pub struct QueryEngine<'a, O, M> {
     index: &'a dyn SimilarityIndex<O>,
     metric: M,
     options: EngineOptions,
+    /// The persistent page-evaluation pool. Created lazily on the first
+    /// parallel step (so single-threaded engines never spawn a thread) or
+    /// injected with [`with_pool`](Self::with_pool) to share one pool
+    /// across engines — e.g. a server building a fresh engine per batch
+    /// reuses the same workers for every batch.
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
@@ -87,6 +104,7 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
             index,
             metric,
             options: EngineOptions::default(),
+            pool: OnceLock::new(),
         }
     }
 
@@ -121,6 +139,45 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.options.threads = threads.max(1);
         self
+    }
+
+    /// Stages up to `depth` pages ahead of the one being evaluated
+    /// (pipelined prefetch; 0 disables it). Answers, counters, logical
+    /// reads and per-query page sets are identical for every depth.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.options.prefetch_depth = depth;
+        self
+    }
+
+    /// Selects which pending query leads each step; see [`LeaderPolicy`].
+    pub fn with_leader_policy(mut self, leader: LeaderPolicy) -> Self {
+        self.options.leader = leader;
+        self
+    }
+
+    /// Shares an existing persistent [`WorkerPool`] with this engine
+    /// instead of letting it create its own on first use. The pool's
+    /// thread count takes precedence over [`EngineOptions::threads`] for
+    /// sizing morsels; results are identical either way.
+    pub fn with_pool(self, pool: Arc<WorkerPool>) -> Self {
+        self.options_pool_init(pool);
+        self
+    }
+
+    fn options_pool_init(&self, pool: Arc<WorkerPool>) {
+        let _ = self.pool.set(pool);
+    }
+
+    /// The engine's page-evaluation pool, if parallel evaluation is
+    /// enabled (`threads > 1`); created on first use.
+    fn worker_pool(&self) -> Option<&WorkerPool> {
+        if self.options.threads <= 1 && self.pool.get().is_none() {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| Arc::new(WorkerPool::new(self.options.threads))),
+        )
     }
 
     /// The access method in use.
@@ -186,12 +243,36 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// pending queries opportunistically. Returns the completed query's
     /// index, or `None` if no query is pending.
     pub fn multiple_query_step(&self, session: &mut MultiQuerySession<O>) -> Option<usize> {
-        multiple::step(session, self.disk, self.index, &self.metric, self.options)
+        multiple::step(
+            session,
+            self.disk,
+            self.index,
+            &self.metric,
+            self.options,
+            self.worker_pool(),
+        )
     }
 
     /// Runs steps until every admitted query is complete.
     pub fn run_to_completion(&self, session: &mut MultiQuerySession<O>) {
         while self.multiple_query_step(session).is_some() {}
+    }
+
+    /// Runs steps until query `i` is complete — the paper's incremental
+    /// contract made explicit: whatever the leader policy, the demanded
+    /// query (typically the first-admitted pending one) is answered
+    /// completely when the caller needs it. Returns `true` once complete
+    /// (`false` only if `i` is out of range).
+    pub fn complete_query(&self, session: &mut MultiQuerySession<O>, i: usize) -> bool {
+        if i >= session.query_count() {
+            return false;
+        }
+        while !session.is_complete(i) {
+            if self.multiple_query_step(session).is_none() {
+                break;
+            }
+        }
+        session.is_complete(i)
     }
 
     /// Convenience: evaluates a whole batch of queries through one session

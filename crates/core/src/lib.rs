@@ -34,6 +34,7 @@ pub mod browse;
 pub mod db;
 pub mod engine;
 pub mod multiple;
+pub mod pool;
 pub mod query;
 pub mod single;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use avoidance::{AvoidanceStats, QueryDistanceMatrix};
 pub use browse::DistanceBrowser;
 pub use db::MetricDatabase;
 pub use engine::{EngineOptions, QueryEngine};
-pub use multiple::MultiQuerySession;
+pub use multiple::{LeaderPolicy, MultiQuerySession};
+pub use pool::WorkerPool;
 pub use query::{QueryKind, QueryType};
 pub use stats::{CostModel, ExecutionStats, StatsProbe};

@@ -41,14 +41,76 @@
 //! * **Merges are ordered.** Chunk outcomes (candidate answers and local
 //!   [`AvoidanceStats`]) are merged in chunk order, so the insert sequence
 //!   equals the sequential one.
+//!
+//! Page evaluation runs on the engine's persistent [`WorkerPool`] at
+//! *morsel* granularity (several morsels per pool thread, claimed from a
+//! shared counter): no threads are spawned per step, and a worker that
+//! finishes a light morsel immediately claims the next one. The morsel
+//! boundaries are irrelevant to the result, by the same three arguments.
+//!
+//! # Pipelined prefetch
+//!
+//! With `EngineOptions::prefetch_depth = d > 0`, the step keeps a window
+//! of up to `d` pages staged ahead of the one being evaluated
+//! ([`SimulatedDisk::prefetch`]); staged pages are pinned so buffer
+//! pressure cannot evict them before their demand read. Determinism
+//! argument: the page plan is best-first (non-decreasing lower bounds)
+//! and `plan.next(qd)` prunes exactly the entries with `lb > qd`, so the
+//! *demanded* page sequence is depth-invariant — a window entry whose
+//! recorded lower bound exceeds the current query distance terminates the
+//! loop exactly where a depth-0 `plan.next` would have returned `None`
+//! (every later entry has a lower bound at least as large). Prefetch I/O
+//! is accounted at *schedule* time, so `IoStats` are reproducible for any
+//! interleaving of evaluation and staging; `logical_reads`, per-query
+//! answers, counters, and processed-page sets are depth-invariant, while
+//! `physical_reads` may include window entries that were staged but never
+//! demanded.
+//!
+//! # Leader scheduling
+//!
+//! §5.1 leaves unspecified *which* pending query takes the lead in each
+//! call. [`LeaderPolicy::Fifo`] is the paper's reading (admission order);
+//! [`LeaderPolicy::NearestChain`] greedily chains leaders by the smallest
+//! `QObjDists` entry to the previous leader — consecutive leaders are
+//! close in metric space, so their relevant-page sets overlap and the
+//! trailing opportunistic evaluations land on buffer-resident pages. Any
+//! policy completes one pending query per step, so demanding a specific
+//! query (`QueryEngine::complete_query`, or the mining loops' step-until-
+//! complete pattern) still terminates; per-query final answers are
+//! policy-invariant because each query's answer list is a pure function
+//! of its own evaluated pages, and every query is eventually evaluated
+//! against every page its final query distance cannot prune.
 
 use crate::answers::{Answer, AnswerList};
 use crate::avoidance::{AvoidanceStats, QueryDistanceMatrix};
 use crate::engine::EngineOptions;
+use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
 use mq_metric::{Metric, ObjectId};
 use mq_storage::{PageId, SimulatedDisk, StorageObject};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Which pending query leads the next
+/// [`multiple_query_step`](crate::QueryEngine::multiple_query_step) call.
+///
+/// Every policy completes exactly one pending query per step and yields
+/// identical final answers; policies differ only in completion *order*
+/// and therefore in buffer locality (total I/O).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LeaderPolicy {
+    /// Admission order — the paper's reading of Fig. 4: the first-admitted
+    /// pending query leads. The default.
+    #[default]
+    Fifo,
+    /// Nearest-neighbor chaining over the `QObjDists` matrix: the pending
+    /// query closest to the previous leader goes next (ties broken toward
+    /// the lower index; the first step, with no previous leader, picks the
+    /// first pending query). Consecutive leaders share relevant pages, so
+    /// trailing queries hit the buffer more often.
+    NearestChain,
+}
 
 /// A compact bitset over page ids — the per-query `processed pages` set.
 #[derive(Clone, Debug)]
@@ -97,6 +159,15 @@ impl PageSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The pages of the set in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64u32)
+                .filter(move |b| (bits >> b) & 1 == 1)
+                .map(move |b| PageId(w as u32 * 64 + b))
+        })
+    }
 }
 
 pub(crate) struct QueryState {
@@ -124,6 +195,9 @@ pub struct MultiQuerySession<O> {
     pub(crate) qq: QueryDistanceMatrix,
     pub(crate) avoidance_stats: AvoidanceStats,
     pub(crate) page_count: usize,
+    /// The leader completed by the most recent step — the chain link
+    /// consulted by [`LeaderPolicy::NearestChain`].
+    pub(crate) last_leader: Option<usize>,
 }
 
 impl<O> MultiQuerySession<O> {
@@ -134,6 +208,7 @@ impl<O> MultiQuerySession<O> {
             qq: QueryDistanceMatrix::new(),
             avoidance_stats: AvoidanceStats::default(),
             page_count,
+            last_leader: None,
         }
     }
 
@@ -181,6 +256,14 @@ impl<O> MultiQuerySession<O> {
         self.states[i].processed.len()
     }
 
+    /// The data pages evaluated for query `i` so far, in ascending page
+    /// order. For a completed query this set is an invariant of the query
+    /// (thread count, prefetch depth, and — for range queries — leader
+    /// policy do not change it).
+    pub fn processed_pages(&self, i: usize) -> Vec<PageId> {
+        self.states[i].processed.iter().collect()
+    }
+
     /// The accumulated triangle-inequality counters (§5.2).
     pub fn avoidance_stats(&self) -> AvoidanceStats {
         self.avoidance_stats
@@ -217,14 +300,6 @@ pub(crate) fn admit<O, M: Metric<O>>(
     session.states.len() - 1
 }
 
-/// One chunk of a page to evaluate: a contiguous run of records plus the
-/// page's active-query snapshot.
-struct PageTask<'a, O> {
-    records: &'a [(ObjectId, O)],
-    active: Vec<usize>,
-    qd: Vec<f64>,
-}
-
 /// What one chunk evaluation produces: local avoidance counters and, per
 /// active query (indexed like `active`), the candidate answers found in
 /// the chunk, in record order.
@@ -233,10 +308,15 @@ struct ChunkOutcome {
     candidates: Vec<Vec<Answer>>,
 }
 
-/// Minimum `objects × queries` pairs on a page before chunks are handed to
-/// worker threads; below this the channel round-trip costs more than the
+/// Minimum `objects × queries` pairs on a page before morsels are handed
+/// to the worker pool; below this waking the pool costs more than the
 /// evaluation.
 const PARALLEL_MIN_WORK: usize = 512;
+
+/// Morsels per pool thread and page: small enough that a worker stalled on
+/// a heavy morsel leaves plenty for the others to steal, large enough that
+/// claim traffic on the pool's counter stays negligible.
+const MORSELS_PER_THREAD: usize = 4;
 
 /// Evaluates one chunk of page records against the active queries.
 ///
@@ -344,9 +424,33 @@ fn merge_outcome(
     }
 }
 
-/// One incremental multiple-query call (Fig. 4): completes the first
-/// pending query, opportunistically advancing every trailing pending query
-/// on each loaded page that is relevant for it. Returns the index of the
+/// Picks the next leader according to `policy` (see [`LeaderPolicy`]).
+fn select_leader<O>(session: &MultiQuerySession<O>, policy: LeaderPolicy) -> Option<usize> {
+    let first = session.next_pending()?;
+    match (policy, session.last_leader) {
+        (LeaderPolicy::Fifo, _) | (LeaderPolicy::NearestChain, None) => Some(first),
+        (LeaderPolicy::NearestChain, Some(prev)) => {
+            let mut best = first;
+            let mut best_dist = session.qq.get(prev, first);
+            for i in (first + 1)..session.states.len() {
+                if session.states[i].completed {
+                    continue;
+                }
+                let d = session.qq.get(prev, i);
+                if d.total_cmp(&best_dist) == std::cmp::Ordering::Less {
+                    best = i;
+                    best_dist = d;
+                }
+            }
+            Some(best)
+        }
+    }
+}
+
+/// One incremental multiple-query call (Fig. 4): completes the leader
+/// chosen by `options.leader` (the first pending query under the default
+/// FIFO policy), opportunistically advancing every other pending query on
+/// each loaded page that is relevant for it. Returns the index of the
 /// completed query, or `None` when every admitted query is already
 /// complete.
 pub(crate) fn step<O, M, I>(
@@ -355,14 +459,15 @@ pub(crate) fn step<O, M, I>(
     index: &I,
     metric: &M,
     options: EngineOptions,
+    pool: Option<&WorkerPool>,
 ) -> Option<usize>
 where
     O: StorageObject,
     M: Metric<O>,
     I: SimilarityIndex<O> + ?Sized,
 {
-    let head = session.next_pending()?;
-    let worker_count = options.threads.max(1) - 1;
+    let head = select_leader(session, options.leader)?;
+    session.last_leader = Some(head);
 
     // Split the session so workers can hold `objects` and `qq` immutably
     // while the merge below mutates `states` / `avoidance_stats`.
@@ -386,110 +491,105 @@ where
     let mut active: Vec<usize> = Vec::new();
     let mut qd_snapshot: Vec<f64> = Vec::new();
 
-    crossbeam::thread::scope(|scope| {
-        // Workers persist across all pages of this step() call (spawn cost
-        // is paid once, not per page) and receive one chunk per page over
-        // rendezvous channels.
-        let mut task_txs = Vec::with_capacity(worker_count);
-        let mut result_rxs = Vec::with_capacity(worker_count);
-        for _ in 0..worker_count {
-            let (task_tx, task_rx) = crossbeam::channel::bounded::<PageTask<'_, O>>(1);
-            let (result_tx, result_rx) = crossbeam::channel::bounded::<ChunkOutcome>(1);
-            scope.spawn(move || {
-                while let Ok(task) = task_rx.recv() {
-                    let outcome = evaluate_chunk(
-                        task.records,
-                        objects,
-                        qq,
-                        metric,
-                        &task.active,
-                        &task.qd,
-                        options,
-                    );
-                    if result_tx.send(outcome).is_err() {
-                        break;
-                    }
-                }
-            });
-            task_txs.push(task_tx);
-            result_rxs.push(result_rx);
-        }
+    // The lookahead window over the head's page plan: front = the page to
+    // demand next; everything behind it is staged on the disk
+    // (`prefetch`) so its physical I/O is already accounted and its frame
+    // is pinned. Entries carry the lower bound the plan reported, checked
+    // against the *current* query distance at pop time (see the module
+    // docs for the depth-invariance argument).
+    let mut window: VecDeque<(PageId, f64)> = VecDeque::new();
 
-        loop {
-            let head_state = &states[head];
-            let head_dist = head_state.answers.query_dist(&head_state.qtype);
-            let Some((page_id, _lb)) = plan.next(head_dist) else {
+    loop {
+        let head_state = &states[head];
+        let head_dist = head_state.answers.query_dist(&head_state.qtype);
+        while window.len() < options.prefetch_depth + 1 {
+            let Some((page_id, lb)) = plan.next(head_dist) else {
                 break;
             };
             if states[head].processed.contains(page_id) {
                 // Already evaluated for the head while it was a trailing
-                // query of an earlier call — restore_from_buffer made this
-                // page free.
+                // query of an earlier call — that page is free now.
                 continue;
             }
-
-            // Which pending queries is this page relevant for? (§5.1: "we
-            // also collect answers for the Qi if the pages loaded for Q1
-            // are also relevant for Qi".)
-            active.clear();
-            qd_snapshot.clear();
-            active.push(head);
-            qd_snapshot.push(head_dist);
-            for i in (head + 1)..states.len() {
-                let st = &states[i];
-                if st.completed || st.processed.contains(page_id) {
-                    continue;
-                }
-                let qd = st.answers.query_dist(&st.qtype);
-                if index.page_mindist(&objects[i], page_id) <= qd {
-                    active.push(i);
-                    qd_snapshot.push(qd);
-                }
+            if !window.is_empty() {
+                disk.prefetch(page_id);
             }
+            window.push_back((page_id, lb));
+        }
+        let Some((page_id, lb)) = window.pop_front() else {
+            break;
+        };
+        if lb > head_dist {
+            // The query distance shrank below this staged page's lower
+            // bound: a fresh plan would prune it, and every remaining
+            // window entry has an even larger bound. Terminate exactly
+            // where the unpipelined loop would.
+            break;
+        }
 
-            let records = disk.read_page(page_id).records();
-            let chunk_count =
-                if worker_count == 0 || records.len() * active.len() < PARALLEL_MIN_WORK {
-                    1
-                } else {
-                    (worker_count + 1).min(records.len())
-                };
-
-            if chunk_count <= 1 {
-                let outcome =
-                    evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
-                merge_outcome(states, avoidance_stats, &active, outcome);
-            } else {
-                let chunk_len = records.len().div_ceil(chunk_count);
-                let mut chunks = records.chunks(chunk_len);
-                let first = chunks.next().expect("page has records");
-                let mut dispatched = 0;
-                for (w, chunk) in chunks.enumerate() {
-                    let task = PageTask {
-                        records: chunk,
-                        active: active.clone(),
-                        qd: qd_snapshot.clone(),
-                    };
-                    assert!(task_txs[w].send(task).is_ok(), "page worker exited early");
-                    dispatched = w + 1;
-                }
-                // Chunk 0 on the calling thread, overlapping the workers;
-                // merge strictly in chunk order so the answer-insert
-                // sequence matches the sequential loop.
-                let outcome =
-                    evaluate_chunk(first, objects, qq, metric, &active, &qd_snapshot, options);
-                merge_outcome(states, avoidance_stats, &active, outcome);
-                for result_rx in result_rxs.iter().take(dispatched) {
-                    let outcome = result_rx.recv().expect("page worker exited early");
-                    merge_outcome(states, avoidance_stats, &active, outcome);
-                }
+        // Which pending queries is this page relevant for? (§5.1: "we
+        // also collect answers for the Qi if the pages loaded for Q1
+        // are also relevant for Qi".)
+        active.clear();
+        qd_snapshot.clear();
+        active.push(head);
+        qd_snapshot.push(head_dist);
+        for (i, st) in states.iter().enumerate() {
+            if i == head || st.completed || st.processed.contains(page_id) {
+                continue;
             }
-
-            for &i in &active {
-                states[i].processed.insert(page_id);
+            let qd = st.answers.query_dist(&st.qtype);
+            if index.page_mindist(&objects[i], page_id) <= qd {
+                active.push(i);
+                qd_snapshot.push(qd);
             }
         }
-    });
+
+        let records = disk.read_page_pinned(page_id).records();
+        let parallel = pool.filter(|p| {
+            p.threads() > 1
+                && records.len() > 1
+                && records.len() * active.len() >= PARALLEL_MIN_WORK
+        });
+        if let Some(pool) = parallel {
+            let morsel_count = (pool.threads() * MORSELS_PER_THREAD).min(records.len());
+            let morsel_len = records.len().div_ceil(morsel_count);
+            let morsel_count = records.len().div_ceil(morsel_len);
+            let outcomes: Vec<Mutex<Option<ChunkOutcome>>> =
+                (0..morsel_count).map(|_| Mutex::new(None)).collect();
+            let active_ref: &[usize] = &active;
+            let qd_ref: &[f64] = &qd_snapshot;
+            pool.run(morsel_count, &|i| {
+                let lo = i * morsel_len;
+                let hi = (lo + morsel_len).min(records.len());
+                let outcome =
+                    evaluate_chunk(&records[lo..hi], objects, qq, metric, active_ref, qd_ref, options);
+                *outcomes[i].lock().unwrap() = Some(outcome);
+            });
+            // Merge strictly in morsel order so the answer-insert sequence
+            // matches the sequential loop.
+            for cell in outcomes {
+                let outcome = cell
+                    .into_inner()
+                    .unwrap()
+                    .expect("pool.run completed every morsel");
+                merge_outcome(states, avoidance_stats, &active, outcome);
+            }
+        } else {
+            let outcome =
+                evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
+            merge_outcome(states, avoidance_stats, &active, outcome);
+        }
+        disk.unpin_page(page_id);
+
+        for &i in &active {
+            states[i].processed.insert(page_id);
+        }
+    }
+
+    // Window entries staged beyond the termination point keep their
+    // accounted physical reads but release their frames.
+    disk.drop_prefetch_pins();
 
     session.states[head].completed = true;
     Some(head)

@@ -1,0 +1,306 @@
+//! A persistent, morsel-driven worker pool.
+//!
+//! PR 2's page evaluation spawned a fresh `crossbeam::thread::scope` on
+//! every [`multiple_query_step`](crate::QueryEngine::multiple_query_step)
+//! call, so each step paid thread spawn/join, and each page was a
+//! synchronization barrier between exactly `threads` fixed-size chunks.
+//! This pool is created **once** (from `EngineOptions::threads`, or
+//! shared explicitly via `QueryEngine::with_pool`) and reused across
+//! steps, sessions, and server batches; work is claimed at *morsel*
+//! granularity from a shared counter, so a worker that finishes a light
+//! morsel immediately steals the next one instead of idling at a chunk
+//! boundary.
+//!
+//! [`run`](WorkerPool::run) executes `task(0), …, task(count-1)` with the
+//! calling thread participating alongside the workers, and returns only
+//! when every index has finished — the caller may therefore hand the task
+//! borrows of stack data. Panics inside a task are caught, forwarded, and
+//! re-raised on the calling thread (workers survive for the next run).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The borrowed task shape executed by [`WorkerPool::run`].
+type Task = dyn Fn(usize) + Sync;
+
+struct Run {
+    /// The active task. Lifetime-erased: `run()` transmutes the caller's
+    /// `&Task` to `'static`. This is sound because a worker dereferences
+    /// it only between claiming an index and reporting it completed, and
+    /// `run()` does not return (ending the real borrow) until every
+    /// claimed index has been reported completed.
+    task: &'static Task,
+    count: usize,
+    next: usize,
+    completed: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+#[derive(Default)]
+struct State {
+    run: Option<Run>,
+    shutdown: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when a run starts (or shutdown): workers wake to claim.
+    work_ready: Condvar,
+    /// Signaled when the last index of a run completes.
+    work_done: Condvar,
+}
+
+/// A fixed set of worker threads executing indexed tasks on demand.
+///
+/// `WorkerPool::new(t)` spawns `t - 1` OS threads (the calling thread is
+/// the `t`-th worker during [`run`](Self::run)); `t <= 1` spawns none and
+/// `run` degenerates to a sequential loop. Dropping the pool joins all
+/// workers.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run()` callers (e.g. several server batch
+    /// workers sharing one backend pool): the pool state holds one run at
+    /// a time.
+    run_lock: Mutex<()>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total parallelism (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mq-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Total parallelism (workers + the participating caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `task(0), …, task(count-1)` across the pool, with the
+    /// calling thread participating. Returns when all indices completed.
+    /// If any task panicked, the first panic payload is re-raised here.
+    pub fn run(&self, count: usize, task: &(dyn Fn(usize) + Sync + '_)) {
+        if count == 0 {
+            return;
+        }
+        if self.workers.is_empty() {
+            for i in 0..count {
+                task(i);
+            }
+            return;
+        }
+        // A forwarded task panic unwinds out of `run` while this guard is
+        // held, poisoning the lock; the pool state itself is consistent at
+        // that point, so later runs may simply clear the poison.
+        let _serial = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Erase the task lifetime for the shared state; see `Run::task`
+        // for the soundness argument.
+        let task: &'static Task = unsafe { std::mem::transmute(task) };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.run.is_none(), "run_lock serializes runs");
+            st.run = Some(Run {
+                task,
+                count,
+                next: 0,
+                completed: 0,
+                panic: None,
+            });
+            self.shared.work_ready.notify_all();
+        }
+        loop {
+            let mut st = self.shared.state.lock().unwrap();
+            let Some(run) = st.run.as_mut() else {
+                break; // all indices completed and the run was retired
+            };
+            if run.next >= run.count {
+                while st.run.is_some() {
+                    st = self.shared.work_done.wait(st).unwrap();
+                }
+                break;
+            }
+            let i = run.next;
+            run.next += 1;
+            drop(st);
+            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            complete_one(&self.shared, result.err());
+        }
+        let panic = self.shared.state.lock().unwrap().panic.take();
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Marks one claimed index as completed (recording a panic payload, if
+/// any); the thread completing the last index retires the run and wakes
+/// the caller.
+fn complete_one(shared: &Shared, panicked: Option<Box<dyn std::any::Any + Send>>) {
+    let mut st = shared.state.lock().unwrap();
+    let run = st.run.as_mut().expect("run outlives its claims");
+    run.completed += 1;
+    if run.panic.is_none() {
+        run.panic = panicked;
+    }
+    if run.completed == run.count {
+        let finished = st.run.take().expect("checked above");
+        if st.panic.is_none() {
+            st.panic = finished.panic;
+        }
+        shared.work_done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (task, i) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(run) = st.run.as_mut() {
+                    if run.next < run.count {
+                        let i = run.next;
+                        run.next += 1;
+                        break (run.task, i);
+                    }
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+        complete_one(shared, result.err());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_index_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for count in [0usize, 1, 3, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(count, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn reusable_across_runs_and_borrows_stack_data() {
+        let pool = WorkerPool::new(3);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let inputs: Vec<u64> = (0..37).map(|i| i + round).collect();
+            let sums: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(inputs.len(), &|i| {
+                sums[i].store(inputs[i] as usize * 2, Ordering::Relaxed);
+            });
+            total += sums.iter().map(|s| s.load(Ordering::Relaxed) as u64).sum::<u64>();
+        }
+        let expected: u64 = (0..50u64)
+            .map(|r| (0..37u64).map(|i| (i + r) * 2).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 7 {
+                    panic!("task seven failed");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // The pool is still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_runs_are_serialized() {
+        let pool = std::sync::Arc::new(WorkerPool::new(3));
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                let counter = std::sync::Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        pool.run(11, &|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 25 * 11);
+    }
+}

@@ -27,13 +27,16 @@ impl ExecutionStats {
     pub fn to_record(&self) -> String {
         format!(
             "logical_reads={} buffer_hits={} physical_reads={} random_reads={} \
-             sequential_reads={} dist_calcs={} avoid_tries={} avoided={} \
+             sequential_reads={} prefetch_reads={} prefetched_hits={} \
+             dist_calcs={} avoid_tries={} avoided={} \
              computed={} elapsed_us={}",
             self.io.logical_reads,
             self.io.buffer_hits,
             self.io.physical_reads,
             self.io.random_reads,
             self.io.sequential_reads,
+            self.io.prefetch_reads,
+            self.io.prefetched_hits,
             self.dist_calcs,
             self.avoidance.tries,
             self.avoidance.avoided,
@@ -55,6 +58,8 @@ impl ExecutionStats {
                 "physical_reads" => out.io.physical_reads = v,
                 "random_reads" => out.io.random_reads = v,
                 "sequential_reads" => out.io.sequential_reads = v,
+                "prefetch_reads" => out.io.prefetch_reads = v,
+                "prefetched_hits" => out.io.prefetched_hits = v,
                 "dist_calcs" => out.dist_calcs = v,
                 "avoid_tries" => out.avoidance.tries = v,
                 "avoided" => out.avoidance.avoided = v,
@@ -83,11 +88,13 @@ impl std::fmt::Display for ExecutionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} page reads ({} logical, {} buffer hits), {} distance calcs \
-             ({} avoided), {:.3} ms",
+            "{} page reads ({} logical, {} buffer hits, {} prefetched, \
+             {} prefetch hits), {} distance calcs ({} avoided), {:.3} ms",
             self.io.physical_reads,
             self.io.logical_reads,
             self.io.buffer_hits,
+            self.io.prefetch_reads,
+            self.io.prefetched_hits,
             self.dist_calcs,
             self.avoidance.avoided,
             self.elapsed.as_secs_f64() * 1e3,
@@ -230,6 +237,7 @@ mod tests {
                 physical_reads: 100,
                 random_reads: 10,
                 sequential_reads: 90,
+                ..Default::default()
             },
             dist_calcs: 1_000_000,
             avoidance: AvoidanceStats {
@@ -281,6 +289,8 @@ mod tests {
                 physical_reads: 60,
                 random_reads: 10,
                 sequential_reads: 50,
+                prefetch_reads: 3,
+                prefetched_hits: 2,
             },
             dist_calcs: 12345,
             avoidance: AvoidanceStats {
@@ -297,6 +307,8 @@ mod tests {
         assert_eq!(back.io.physical_reads, 60);
         assert_eq!(back.io.random_reads, 10);
         assert_eq!(back.io.sequential_reads, 50);
+        assert_eq!(back.io.prefetch_reads, 3);
+        assert_eq!(back.io.prefetched_hits, 2);
         assert_eq!(back.dist_calcs, 12345);
         assert_eq!(back.avoidance.tries, 500);
         assert_eq!(back.avoidance.avoided, 400);

@@ -1,0 +1,247 @@
+//! The leader scheduler must be invisible in the answers and profitable
+//! in the I/O.
+//!
+//! Scheduling changes *when* each pending query gets answered, never
+//! *what* its answer is: for any admission order and either
+//! [`LeaderPolicy`], every query's final answer list must equal the FIFO
+//! baseline's bit for bit. For range queries the processed-page set is
+//! also schedule-invariant (the set of pages within a constant radius does
+//! not depend on visit order). And on a clustered workload admitted in an
+//! adversarial interleaved order, chaining nearest queries must not *cost*
+//! I/O: the union of physical page reads under `NearestChain` stays at or
+//! below the FIFO baseline, because consecutive leaders share buffer
+//! contents.
+
+use mq_core::{Answer, EngineOptions, LeaderPolicy, QueryEngine, QueryKind, QueryType};
+use mq_index::{XTree, XTreeConfig};
+use mq_metric::{CountingMetric, Euclidean, Vector};
+use mq_storage::{Dataset, IoStats, PageId, PageLayout, SimulatedDisk};
+use proptest::prelude::*;
+
+struct RunOutcome {
+    answers: Vec<Vec<Answer>>,
+    pages: Vec<Vec<PageId>>,
+}
+
+fn run_batch(
+    ds: &Dataset<Vector>,
+    layout: PageLayout,
+    buffer_pages: usize,
+    queries: &[(Vector, QueryType)],
+    leader: LeaderPolicy,
+) -> RunOutcome {
+    let cfg = XTreeConfig {
+        layout,
+        ..Default::default()
+    };
+    let (tree, db) = XTree::bulk_load(ds, cfg);
+    let disk = SimulatedDisk::with_buffer_pages(db, buffer_pages);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = QueryEngine::new(&disk, &tree, metric).with_options(EngineOptions {
+        leader,
+        ..EngineOptions::default()
+    });
+    let mut session = engine.new_session(queries.to_vec());
+    engine.run_to_completion(&mut session);
+    RunOutcome {
+        pages: (0..queries.len())
+            .map(|i| session.processed_pages(i))
+            .collect(),
+        answers: session.into_answers(),
+    }
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from an xorshift seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn cloud(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 * 100.0
+    };
+    (0..n)
+        .map(|_| Vector::new((0..dim).map(|_| next()).collect::<Vec<_>>()))
+        .collect()
+}
+
+fn query_type_strategy() -> impl Strategy<Value = QueryType> {
+    prop_oneof![
+        (1.0f64..25.0).prop_map(QueryType::range),
+        (1usize..10).prop_map(QueryType::knn),
+        ((1usize..10), (1.0f64..25.0)).prop_map(|(k, r)| QueryType::bounded_knn(k, r)),
+    ]
+}
+
+fn assert_answers_eq(a: &[Answer], b: &[Answer], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: answer count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: answer id");
+        assert_eq!(
+            x.distance.to_bits(),
+            y.distance.to_bits(),
+            "{what}: answer distance bits"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any admission order and either policy, every query's final
+    /// answer equals the FIFO baseline's answer for the same query
+    /// object; range queries additionally keep their processed-page set.
+    #[test]
+    fn answers_are_schedule_invariant_for_any_admission_order(
+        n in 40usize..180,
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+        queries in prop::collection::vec(
+            ((0.0f32..100.0), (0.0f32..100.0), query_type_strategy()),
+            2..6,
+        ),
+    ) {
+        let dim = 3;
+        let points = cloud(n, dim, seed);
+        let ds = Dataset::new(points);
+        let layout = PageLayout::new(1024, 20);
+        let queries: Vec<(Vector, QueryType)> = queries
+            .into_iter()
+            .map(|(a, b, t)| {
+                let coords: Vec<f32> =
+                    (0..dim).map(|d| if d % 2 == 0 { a } else { b }).collect();
+                (Vector::new(coords), t)
+            })
+            .collect();
+
+        // The reference: FIFO on the original admission order.
+        let baseline = run_batch(&ds, layout, 4, &queries, LeaderPolicy::Fifo);
+
+        let perm = permutation(queries.len(), order_seed);
+        let reordered: Vec<(Vector, QueryType)> =
+            perm.iter().map(|&i| queries[i].clone()).collect();
+        for leader in [LeaderPolicy::Fifo, LeaderPolicy::NearestChain] {
+            let got = run_batch(&ds, layout, 4, &reordered, leader);
+            for (pos, &orig) in perm.iter().enumerate() {
+                let what = format!("{leader:?} perm position {pos} (query {orig})");
+                assert_answers_eq(&baseline.answers[orig], &got.answers[pos], &what);
+                if queries[orig].1.kind == QueryKind::Range {
+                    // A constant-radius query processes exactly the pages
+                    // within its radius, whatever the visit order.
+                    assert_eq!(
+                        baseline.pages[orig], got.pages[pos],
+                        "{what}: processed-page set"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs a *dynamic* workload: the first `initial` queries of `stream` are
+/// admitted up front, then every step is followed by one new admission
+/// until the stream is drained, and the session runs to completion.
+fn run_dynamic(
+    ds: &Dataset<Vector>,
+    layout: PageLayout,
+    buffer_pages: usize,
+    stream: &[(Vector, QueryType)],
+    initial: usize,
+    leader: LeaderPolicy,
+) -> (Vec<Vec<Answer>>, IoStats) {
+    let cfg = XTreeConfig {
+        layout,
+        ..Default::default()
+    };
+    let (tree, db) = XTree::bulk_load(ds, cfg);
+    let disk = SimulatedDisk::with_buffer_pages(db, buffer_pages);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = QueryEngine::new(&disk, &tree, metric).with_options(EngineOptions {
+        leader,
+        ..EngineOptions::default()
+    });
+    let mut session = engine.new_session(stream[..initial.min(stream.len())].to_vec());
+    for (object, qtype) in stream.iter().skip(initial).cloned() {
+        engine.multiple_query_step(&mut session);
+        engine.push_query(&mut session, object, qtype);
+    }
+    engine.run_to_completion(&mut session);
+    (session.into_answers(), disk.stats())
+}
+
+/// On a clustered workload whose queries arrive interleaved across
+/// clusters — the worst case for FIFO buffer locality — chaining nearest
+/// pending queries must not increase the union of physical page reads,
+/// and across the seeds it must actually save some: a query admitted
+/// after its cluster's pages were loaded re-demands them, and chaining
+/// makes that re-demand a buffer hit instead of an eviction casualty.
+#[test]
+fn nearest_chain_saves_io_on_dynamic_clustered_workloads() {
+    let mut total_fifo = 0u64;
+    let mut total_chained = 0u64;
+    for seed in [11u64, 42, 1234] {
+        let clusters = 5;
+        let (points, components) =
+            mq_datagen::clustered::gaussian_mixture(900, 4, clusters, 0.02, seed);
+        let ds = Dataset::new(points.clone());
+        let layout = PageLayout::new(1024, 24);
+
+        // Three range queries per cluster, arriving round-robin across
+        // clusters so consecutive FIFO leaders jump between clusters
+        // while NearestChain can stay within one.
+        let mut per_cluster: Vec<Vec<Vector>> = vec![Vec::new(); clusters];
+        for (v, &c) in points.iter().zip(&components) {
+            if per_cluster[c].len() < 3 {
+                per_cluster[c].push(v.clone());
+            }
+        }
+        let mut stream: Vec<(Vector, QueryType)> = Vec::new();
+        for round in 0..3 {
+            for cluster in &per_cluster {
+                if let Some(q) = cluster.get(round) {
+                    stream.push((q.clone(), QueryType::range(0.05)));
+                }
+            }
+        }
+        assert!(stream.len() >= clusters * 2, "workload must be non-trivial");
+
+        let (fifo_answers, fifo) =
+            run_dynamic(&ds, layout, 4, &stream, clusters, LeaderPolicy::Fifo);
+        let (chained_answers, chained) =
+            run_dynamic(&ds, layout, 4, &stream, clusters, LeaderPolicy::NearestChain);
+
+        for (qi, (a, b)) in fifo_answers.iter().zip(&chained_answers).enumerate() {
+            assert_answers_eq(a, b, &format!("seed {seed}, query {qi}"));
+        }
+        assert!(
+            chained.physical_reads <= fifo.physical_reads,
+            "seed {seed}: NearestChain must not cost I/O \
+             (chained {} vs fifo {} physical reads)",
+            chained.physical_reads,
+            fifo.physical_reads,
+        );
+        total_fifo += fifo.physical_reads;
+        total_chained += chained.physical_reads;
+    }
+    assert!(
+        total_chained < total_fifo,
+        "NearestChain should save physical reads somewhere \
+         (chained {total_chained} vs fifo {total_fifo})"
+    );
+}

@@ -2,16 +2,26 @@
 //! classic sequential loop.
 //!
 //! The multiple-query engine promises *bit-identical* results for every
-//! thread count (see the module docs of `mq_core::multiple`): the same
-//! answers (ids and `f64::to_bits` of every distance), the same avoidance
-//! counters, the same distance-calculation totals, and the same page I/O.
-//! These tests enforce that promise over randomized databases, query
-//! mixes, and thread counts.
+//! thread count and every prefetch depth (see the module docs of
+//! `mq_core::multiple`): the same answers (ids and `f64::to_bits` of every
+//! distance), the same avoidance counters, the same distance-calculation
+//! totals, the same per-query processed-page sets, and the same demanded
+//! (logical) page I/O. These tests enforce that promise over randomized
+//! databases, query mixes, thread counts, prefetch depths, and both leader
+//! scheduling policies.
+//!
+//! What may legitimately vary:
+//!
+//! * `physical_reads` at `prefetch_depth > 0` — a staged page the leader
+//!   never demands still paid its physical read at schedule time.
+//! * Everything except the final answers across *leader policies* — the
+//!   scheduler changes page visit order, so counters differ, but the
+//!   answer to every query is unique and must not change.
 
-use mq_core::{Answer, EngineOptions, QueryEngine, QueryType};
+use mq_core::{Answer, EngineOptions, LeaderPolicy, QueryEngine, QueryType};
 use mq_index::{LinearScan, SimilarityIndex, XTree, XTreeConfig};
 use mq_metric::{CountingMetric, Euclidean, Vector};
-use mq_storage::{Dataset, IoStats, PageLayout, PagedDatabase, SimulatedDisk};
+use mq_storage::{Dataset, IoStats, PageId, PageLayout, PagedDatabase, SimulatedDisk};
 use proptest::prelude::*;
 
 /// Everything observable about one batched run.
@@ -20,6 +30,8 @@ struct RunOutcome {
     avoidance: mq_core::AvoidanceStats,
     distance_calcs: u64,
     io: IoStats,
+    /// Ascending processed-page set of each query.
+    pages: Vec<Vec<PageId>>,
 }
 
 /// Runs the whole batch through a fresh disk/engine with the given options.
@@ -50,12 +62,15 @@ fn run_batch(
         avoidance: session.avoidance_stats(),
         distance_calcs: engine.metric().counter().get(),
         io: disk.stats(),
+        pages: (0..queries.len())
+            .map(|i| session.processed_pages(i))
+            .collect(),
         answers: session.into_answers(),
     }
 }
 
-/// Asserts two outcomes are bit-identical, labelling failures with `what`.
-fn assert_outcomes_identical(base: &RunOutcome, other: &RunOutcome, what: &str) {
+/// Asserts the answers of two outcomes are bit-identical.
+fn assert_answers_identical(base: &RunOutcome, other: &RunOutcome, what: &str) {
     assert_eq!(
         base.answers.len(),
         other.answers.len(),
@@ -72,11 +87,30 @@ fn assert_outcomes_identical(base: &RunOutcome, other: &RunOutcome, what: &str) 
             );
         }
     }
+}
+
+/// Asserts two outcomes are bit-identical up to prefetch staging: answers,
+/// avoidance counters, distance calculations, processed-page sets, and the
+/// *demanded* page I/O must all match. `physical_reads` (and the prefetch
+/// counters) may differ, because a deeper pipeline may stage pages the
+/// leader never ends up demanding.
+fn assert_outcomes_equivalent(base: &RunOutcome, other: &RunOutcome, what: &str) {
+    assert_answers_identical(base, other, what);
     assert_eq!(base.avoidance, other.avoidance, "{what}: avoidance stats");
     assert_eq!(
         base.distance_calcs, other.distance_calcs,
         "{what}: distance calculations"
     );
+    assert_eq!(base.pages, other.pages, "{what}: processed-page sets");
+    assert_eq!(
+        base.io.logical_reads, other.io.logical_reads,
+        "{what}: demanded page reads"
+    );
+}
+
+/// Asserts two outcomes are bit-identical, labelling failures with `what`.
+fn assert_outcomes_identical(base: &RunOutcome, other: &RunOutcome, what: &str) {
+    assert_outcomes_equivalent(base, other, what);
     assert_eq!(base.io, other.io, "{what}: page I/O");
 }
 
@@ -144,6 +178,80 @@ proptest! {
         }
     }
 
+    /// The full matrix of the tentpole: threads 1..=4 × prefetch depths
+    /// 0..=2 × both leader policies. Within a policy every cell must be
+    /// equivalent to that policy's (threads=1, depth=0) run — identical
+    /// answers, avoidance counters, distance calcs, page sets and demanded
+    /// I/O; at depth 0 the whole `IoStats` must match bit for bit. Across
+    /// policies the final answers must agree.
+    #[test]
+    fn matrix_threads_prefetch_leader_is_equivalent(
+        n in 40usize..160,
+        seed in any::<u64>(),
+        use_xtree in any::<bool>(),
+        queries in prop::collection::vec(
+            ((0.0f32..100.0), (0.0f32..100.0), query_type_strategy()),
+            2..6,
+        ),
+    ) {
+        let dim = 3;
+        let points = cloud(n, dim, seed);
+        let ds = Dataset::new(points);
+        let layout = PageLayout::new(1024, 20);
+        let queries: Vec<(Vector, QueryType)> = queries
+            .into_iter()
+            .map(|(a, b, t)| {
+                let coords: Vec<f32> =
+                    (0..dim).map(|d| if d % 2 == 0 { a } else { b }).collect();
+                (Vector::new(coords), t)
+            })
+            .collect();
+
+        let mut per_policy: Vec<RunOutcome> = Vec::new();
+        for leader in [LeaderPolicy::Fifo, LeaderPolicy::NearestChain] {
+            let base = run_batch(
+                &ds,
+                layout,
+                use_xtree,
+                &queries,
+                EngineOptions {
+                    leader,
+                    ..EngineOptions::default()
+                },
+            );
+            for threads in 1..=4usize {
+                for prefetch_depth in 0..=2usize {
+                    if threads == 1 && prefetch_depth == 0 {
+                        continue;
+                    }
+                    let got = run_batch(
+                        &ds,
+                        layout,
+                        use_xtree,
+                        &queries,
+                        EngineOptions {
+                            threads,
+                            prefetch_depth,
+                            leader,
+                            ..EngineOptions::default()
+                        },
+                    );
+                    let what =
+                        format!("{leader:?} threads={threads} depth={prefetch_depth}");
+                    if prefetch_depth == 0 {
+                        assert_outcomes_identical(&base, &got, &what);
+                    } else {
+                        assert_outcomes_equivalent(&base, &got, &what);
+                    }
+                }
+            }
+            per_policy.push(base);
+        }
+        // The leader schedule changes page order and counters, never the
+        // answer to any individual query.
+        assert_answers_identical(&per_policy[0], &per_policy[1], "Fifo vs NearestChain");
+    }
+
     /// Avoidance off and pivot caps must also be thread-count invariant.
     #[test]
     fn option_combinations_are_thread_invariant(
@@ -165,14 +273,24 @@ proptest! {
             layout,
             true,
             &queries,
-            EngineOptions { avoidance, max_pivots, threads: 1 },
+            EngineOptions {
+                avoidance,
+                max_pivots,
+                threads: 1,
+                ..EngineOptions::default()
+            },
         );
         let got = run_batch(
             &ds,
             layout,
             true,
             &queries,
-            EngineOptions { avoidance, max_pivots, threads: 4 },
+            EngineOptions {
+                avoidance,
+                max_pivots,
+                threads: 4,
+                ..EngineOptions::default()
+            },
         );
         assert_outcomes_identical(&base, &got, "threads=4 with options");
     }
@@ -212,4 +330,39 @@ fn xtree_mixed_batch_threads_1_vs_4() {
     // Sanity: the batch actually found something, so the comparison is
     // not vacuous.
     assert!(base.answers.iter().all(|a| !a.is_empty()));
+}
+
+/// A fixed regression case for the pipelined path: prefetch depth 2 with
+/// a shared pool must match the depth-0 sequential run on everything the
+/// determinism contract covers, and staging must actually happen.
+#[test]
+fn xtree_prefetch_depth_2_matches_depth_0() {
+    let points = cloud(500, 4, 0xDECADE);
+    let ds = Dataset::new(points);
+    let layout = PageLayout::new(1024, 24);
+    let queries: Vec<(Vector, QueryType)> = vec![
+        (Vector::new(vec![30.0, 60.0, 20.0, 80.0]), QueryType::knn(10)),
+        (
+            Vector::new(vec![70.0, 15.0, 45.0, 35.0]),
+            QueryType::range(20.0),
+        ),
+        (Vector::new(vec![55.0, 55.0, 25.0, 25.0]), QueryType::knn(5)),
+    ];
+    let base = run_batch(&ds, layout, true, &queries, EngineOptions::default());
+    let got = run_batch(
+        &ds,
+        layout,
+        true,
+        &queries,
+        EngineOptions {
+            threads: 2,
+            prefetch_depth: 2,
+            ..EngineOptions::default()
+        },
+    );
+    assert_outcomes_equivalent(&base, &got, "prefetch depth=2");
+    assert!(
+        got.io.prefetch_reads > 0 || got.io.prefetched_hits > 0,
+        "depth=2 should actually stage pages"
+    );
 }

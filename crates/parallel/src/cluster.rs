@@ -4,10 +4,11 @@
 use crate::merge::merge_answers;
 use crate::partition::Declustering;
 use crate::server::Server;
-use mq_core::{Answer, ExecutionStats, QueryEngine, QueryType, StatsProbe};
+use mq_core::{Answer, ExecutionStats, LeaderPolicy, QueryEngine, QueryType, StatsProbe, WorkerPool};
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
 use mq_storage::{Dataset, PagedDatabase, StorageObject};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Statistics of one parallel multiple-query run.
@@ -42,6 +43,15 @@ pub struct SharedNothingCluster<O, M> {
     /// Page-evaluation threads of each server's engine (inter-server
     /// parallelism times intra-batch parallelism).
     engine_threads: usize,
+    /// One persistent page-evaluation pool per server, created once by
+    /// [`with_engine_threads`](Self::with_engine_threads) and shared by
+    /// every engine built for that server across `multiple_query` calls.
+    /// Empty while `engine_threads == 1` (nothing to parallelize).
+    pools: Vec<Arc<WorkerPool>>,
+    /// Pipelined prefetch depth of each server's engine.
+    prefetch_depth: usize,
+    /// Leader scheduling policy of each server's engine.
+    leader: LeaderPolicy,
 }
 
 impl<O, M> SharedNothingCluster<O, M>
@@ -70,6 +80,9 @@ where
         Self {
             servers,
             engine_threads: 1,
+            pools: Vec::new(),
+            prefetch_depth: 0,
+            leader: LeaderPolicy::default(),
         }
     }
 
@@ -77,8 +90,34 @@ where
     /// (clamped to at least 1). Orthogonal to the inter-server parallelism:
     /// a 4-server cluster with 2 engine threads runs on up to 8 cores.
     /// Answers and counters are identical for every thread count.
+    ///
+    /// With `threads > 1` each server gets its own persistent
+    /// [`WorkerPool`], created here and reused by every
+    /// [`multiple_query`](Self::multiple_query) call — batches do not pay
+    /// thread spawn/join.
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = threads.max(1);
+        self.pools = if self.engine_threads > 1 {
+            self.servers
+                .iter()
+                .map(|_| Arc::new(WorkerPool::new(self.engine_threads)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self
+    }
+
+    /// Stages up to `depth` pages ahead on every server's engine
+    /// (pipelined prefetch; 0 disables it).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Selects the leader scheduling policy of every server's engine.
+    pub fn with_leader_policy(mut self, leader: LeaderPolicy) -> Self {
+        self.leader = leader;
         self
     }
 
@@ -111,8 +150,20 @@ where
             let handles: Vec<_> = self
                 .servers
                 .iter()
-                .map(|server| {
-                    scope.spawn(move || run_on_server(server, queries, avoidance, engine_threads))
+                .enumerate()
+                .map(|(si, server)| {
+                    let pool = self.pools.get(si).cloned();
+                    scope.spawn(move || {
+                        run_on_server(
+                            server,
+                            queries,
+                            avoidance,
+                            engine_threads,
+                            pool,
+                            self.prefetch_depth,
+                            self.leader,
+                        )
+                    })
                 })
                 .collect();
             handles
@@ -145,14 +196,22 @@ fn run_on_server<O, M>(
     queries: &[(O, QueryType)],
     avoidance: bool,
     engine_threads: usize,
+    pool: Option<Arc<WorkerPool>>,
+    prefetch_depth: usize,
+    leader: LeaderPolicy,
 ) -> (Vec<Vec<Answer>>, ExecutionStats)
 where
     O: StorageObject,
     M: Metric<O> + Clone,
 {
     let engine = {
-        let e = QueryEngine::new(server.disk(), server.index(), server.metric().clone())
-            .with_threads(engine_threads);
+        let mut e = QueryEngine::new(server.disk(), server.index(), server.metric().clone())
+            .with_threads(engine_threads)
+            .with_prefetch_depth(prefetch_depth)
+            .with_leader_policy(leader);
+        if let Some(pool) = pool {
+            e = e.with_pool(pool);
+        }
         if avoidance {
             e
         } else {
@@ -418,6 +477,38 @@ mod tests {
         for (got, want) in answers.iter().zip(&reference) {
             let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
             assert_eq!(&ids, want);
+        }
+    }
+
+    #[test]
+    fn prefetch_and_leader_do_not_change_results_and_pools_are_reused() {
+        let objects = random_points(500, 4, 223);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(61)
+            .take(7)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        let reference = sequential_answers(&objects, &queries);
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            3,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            xtree_builder(),
+        )
+        .with_engine_threads(2)
+        .with_prefetch_depth(2)
+        .with_leader_policy(LeaderPolicy::NearestChain);
+        // Two batches through the same cluster: the per-server pools are
+        // created once and must survive reuse.
+        for round in 0..2 {
+            let (answers, _) = cluster.multiple_query(&queries, true);
+            for (got, want) in answers.iter().zip(&reference) {
+                let ids: Vec<ObjectId> = got.iter().map(|a| a.id).collect();
+                assert_eq!(&ids, want, "round {round}");
+            }
         }
     }
 

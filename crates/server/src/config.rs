@@ -1,5 +1,6 @@
 //! Server configuration: batching knobs and execution mode.
 
+use mq_core::LeaderPolicy;
 use std::time::Duration;
 
 /// How flushed batches are executed.
@@ -34,6 +35,11 @@ pub struct ServerConfig {
     /// Page-evaluation threads per engine (intra-batch parallelism; 1 =
     /// the classic sequential loop). Identical answers for every value.
     pub threads: usize,
+    /// Pages staged ahead of the one being evaluated (pipelined prefetch;
+    /// 0 disables it). Identical answers for every depth.
+    pub prefetch_depth: usize,
+    /// Which pending query leads each step of a batch.
+    pub leader: LeaderPolicy,
     /// Scheduler worker threads executing flushed batches. With 1 worker
     /// (the default) batches execute strictly one after another; more
     /// workers overlap batch execution with batch collection, at the cost
@@ -49,6 +55,8 @@ impl Default for ServerConfig {
             mode: ExecutionMode::Single,
             avoidance: true,
             threads: 1,
+            prefetch_depth: 0,
+            leader: LeaderPolicy::default(),
             workers: 1,
         }
     }
@@ -89,6 +97,18 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the pipelined prefetch depth per engine.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Selects the leader scheduling policy per engine.
+    pub fn with_leader(mut self, leader: LeaderPolicy) -> Self {
+        self.leader = leader;
+        self
+    }
+
     /// Sets the scheduler worker-thread count (clamped to ≥ 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -108,12 +128,16 @@ mod tests {
             .with_mode(ExecutionMode::Cluster { servers: 3 })
             .with_avoidance(false)
             .with_threads(4)
+            .with_prefetch_depth(2)
+            .with_leader(LeaderPolicy::NearestChain)
             .with_workers(2);
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
         assert!(!c.avoidance);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.prefetch_depth, 2);
+        assert_eq!(c.leader, LeaderPolicy::NearestChain);
         assert_eq!(c.workers, 2);
     }
 
@@ -121,6 +145,8 @@ mod tests {
     fn defaults_are_sequential() {
         let c = ServerConfig::default();
         assert_eq!(c.threads, 1);
+        assert_eq!(c.prefetch_depth, 0);
+        assert_eq!(c.leader, LeaderPolicy::Fifo);
         assert_eq!(c.workers, 1);
     }
 

@@ -13,14 +13,15 @@
 //! ```text
 //! 0x01 Query      object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64)
 //! 0x02 Stats      (empty)
-//! 0x81 Answers    batch_id:u64, batch_size:u32, stats(10 × u64), count:u32, count × (id:u32, distance:f64)
-//! 0x82 StatsReply queries:u64, batches:u64, max_batch_size:u32, totals(10 × u64)
+//! 0x81 Answers    batch_id:u64, batch_size:u32, stats(12 × u64), count:u32, count × (id:u32, distance:f64)
+//! 0x82 StatsReply queries:u64, batches:u64, max_batch_size:u32, totals(12 × u64)
 //! 0xFF Error      len:u32, len × utf-8 bytes
 //! ```
 //!
-//! `ExecutionStats` is fixed-width: the five `IoStats` counters, the
+//! `ExecutionStats` is fixed-width: the seven `IoStats` counters
+//! (including the prefetch pair added in version 2), the
 //! distance-calculation count, the three avoidance counters, and the
-//! elapsed time in nanoseconds — ten `u64`s.
+//! elapsed time in nanoseconds — twelve `u64`s.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mq_core::{Answer, AvoidanceStats, ExecutionStats, QueryKind, QueryType};
@@ -31,8 +32,9 @@ use std::time::Duration;
 
 /// Frame magic: "mquery network".
 pub const MAGIC: &[u8; 4] = b"MQNW";
-/// Protocol version carried in every frame.
-pub const VERSION: u16 = 1;
+/// Protocol version carried in every frame. Version 2 widened the stats
+/// block from ten to twelve `u64`s (prefetch counters).
+pub const VERSION: u16 = 2;
 /// Bytes of frame header preceding the payload.
 pub const HEADER_LEN: usize = 10;
 /// Upper bound on payload size; larger length prefixes are rejected as
@@ -148,6 +150,8 @@ fn put_stats(buf: &mut BytesMut, s: &ExecutionStats) {
     buf.put_u64_le(s.io.physical_reads);
     buf.put_u64_le(s.io.random_reads);
     buf.put_u64_le(s.io.sequential_reads);
+    buf.put_u64_le(s.io.prefetch_reads);
+    buf.put_u64_le(s.io.prefetched_hits);
     buf.put_u64_le(s.dist_calcs);
     buf.put_u64_le(s.avoidance.tries);
     buf.put_u64_le(s.avoidance.avoided);
@@ -216,7 +220,7 @@ fn get_qtype(buf: &mut Bytes) -> Result<QueryType, ProtocolError> {
 }
 
 fn get_stats(buf: &mut Bytes) -> Result<ExecutionStats, ProtocolError> {
-    need(buf, 10 * 8)?;
+    need(buf, 12 * 8)?;
     Ok(ExecutionStats {
         io: IoStats {
             logical_reads: buf.get_u64_le(),
@@ -224,6 +228,8 @@ fn get_stats(buf: &mut Bytes) -> Result<ExecutionStats, ProtocolError> {
             physical_reads: buf.get_u64_le(),
             random_reads: buf.get_u64_le(),
             sequential_reads: buf.get_u64_le(),
+            prefetch_reads: buf.get_u64_le(),
+            prefetched_hits: buf.get_u64_le(),
         },
         dist_calcs: buf.get_u64_le(),
         avoidance: AvoidanceStats {

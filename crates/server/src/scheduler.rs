@@ -14,7 +14,9 @@
 use crate::config::{ExecutionMode, ServerConfig};
 use crate::protocol::ServiceMetrics;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use mq_core::{Answer, ExecutionStats, QueryEngine, QueryType, StatsProbe};
+use mq_core::{
+    Answer, ExecutionStats, LeaderPolicy, QueryEngine, QueryType, StatsProbe, WorkerPool,
+};
 use mq_index::SimilarityIndex;
 use mq_metric::{CountingMetric, Euclidean, Vector};
 use mq_parallel::{Declustering, SharedNothingCluster};
@@ -63,6 +65,13 @@ pub struct SingleEngineBackend {
     metric: CountingMetric<Euclidean>,
     avoidance: bool,
     threads: usize,
+    prefetch_depth: usize,
+    leader: LeaderPolicy,
+    /// The backend's persistent page-evaluation pool: created once (by
+    /// [`with_threads`](Self::with_threads)) and shared by the short-lived
+    /// engine of every batch, so batches never pay thread spawn/join.
+    /// `None` while `threads == 1`.
+    pool: Option<Arc<WorkerPool>>,
     dims: usize,
 }
 
@@ -86,22 +95,44 @@ impl SingleEngineBackend {
             metric: CountingMetric::new(Euclidean),
             avoidance,
             threads: 1,
+            prefetch_depth: 0,
+            leader: LeaderPolicy::default(),
+            pool: None,
             dims,
         }
     }
 
     /// Evaluates each loaded page with `threads` engine workers (clamped
-    /// to ≥ 1). Answers and counters are identical for every value.
+    /// to ≥ 1). Answers and counters are identical for every value. With
+    /// `threads > 1` this creates the backend's persistent worker pool.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self.pool = (self.threads > 1).then(|| Arc::new(WorkerPool::new(self.threads)));
+        self
+    }
+
+    /// Stages up to `depth` pages ahead per batch (pipelined prefetch).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Selects which pending query leads each step of a batch.
+    pub fn with_leader(mut self, leader: LeaderPolicy) -> Self {
+        self.leader = leader;
         self
     }
 }
 
 impl QueryBackend for SingleEngineBackend {
     fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
-        let engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone())
-            .with_threads(self.threads);
+        let mut engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone())
+            .with_threads(self.threads)
+            .with_prefetch_depth(self.prefetch_depth)
+            .with_leader_policy(self.leader);
+        if let Some(pool) = &self.pool {
+            engine = engine.with_pool(Arc::clone(pool));
+        }
         let engine = if self.avoidance {
             engine
         } else {
@@ -168,9 +199,23 @@ impl ClusterBackend {
     }
 
     /// Evaluates each loaded page with `threads` engine workers on every
-    /// cluster server (clamped to ≥ 1).
+    /// cluster server (clamped to ≥ 1). With `threads > 1` each server
+    /// gets its own persistent worker pool, reused across batches.
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.cluster = self.cluster.with_engine_threads(threads);
+        self
+    }
+
+    /// Stages up to `depth` pages ahead on every server (pipelined
+    /// prefetch).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.cluster = self.cluster.with_prefetch_depth(depth);
+        self
+    }
+
+    /// Selects the leader scheduling policy on every server.
+    pub fn with_leader(mut self, leader: LeaderPolicy) -> Self {
+        self.cluster = self.cluster.with_leader_policy(leader);
         self
     }
 }
@@ -371,7 +416,9 @@ where
             let (index, db) = build_index(&db.to_dataset());
             Box::new(
                 SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
-                    .with_threads(config.threads),
+                    .with_threads(config.threads)
+                    .with_prefetch_depth(config.prefetch_depth)
+                    .with_leader(config.leader),
             )
         }
         ExecutionMode::Cluster { servers } => {
@@ -384,7 +431,9 @@ where
                     config.avoidance,
                     build_index,
                 )
-                .with_engine_threads(config.threads),
+                .with_engine_threads(config.threads)
+                .with_prefetch_depth(config.prefetch_depth)
+                .with_leader(config.leader),
             )
         }
     }
@@ -484,6 +533,30 @@ mod tests {
         let m = scheduler.metrics();
         assert_eq!(m.queries, 12);
         assert_eq!(m.batches, 12);
+    }
+
+    #[test]
+    fn pipelined_backend_agrees_with_sequential_across_batches() {
+        let queries: Vec<(Vector, QueryType)> = (0..6)
+            .map(|i| (Vector::new(vec![i as f32 * 13.0 + 0.2]), QueryType::knn(3)))
+            .collect();
+        let plain = scan_backend(120).execute(queries.clone());
+        let db = line_db(120);
+        let scan = LinearScan::new(db.page_count());
+        let pipelined = SingleEngineBackend::new(db, Box::new(scan), 0.10, true)
+            .with_threads(2)
+            .with_prefetch_depth(2)
+            .with_leader(LeaderPolicy::NearestChain);
+        // Two batches through the same backend: the persistent pool is
+        // created once and must survive reuse.
+        for round in 0..2 {
+            let (answers, _) = pipelined.execute(queries.clone());
+            for (qi, (a, b)) in plain.0.iter().zip(&answers).enumerate() {
+                let ia: Vec<u32> = a.iter().map(|x| x.id.0).collect();
+                let ib: Vec<u32> = b.iter().map(|x| x.id.0).collect();
+                assert_eq!(ia, ib, "round {round}, query {qi}");
+            }
+        }
     }
 
     #[test]

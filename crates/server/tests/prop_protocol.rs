@@ -26,16 +26,19 @@ fn arb_stats() -> impl Strategy<Value = ExecutionStats> {
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000),
         0u64..1_000_000_000,
     )
         .prop_map(
-            |((lr, bh, pr), (rr, sr, dc), (tr, av, co), ns)| ExecutionStats {
+            |((lr, bh, pr), (rr, sr, dc), (tr, av, co), (pf, ph), ns)| ExecutionStats {
                 io: IoStats {
                     logical_reads: lr,
                     buffer_hits: bh,
                     physical_reads: pr,
                     random_reads: rr,
                     sequential_reads: sr,
+                    prefetch_reads: pf,
+                    prefetched_hits: ph,
                 },
                 dist_calcs: dc,
                 avoidance: AvoidanceStats {

@@ -17,6 +17,12 @@ struct Node {
 }
 
 /// A fixed-capacity LRU set of page ids.
+///
+/// Pages can be **pinned** (see [`pin`](Self::pin)): a pinned page is never
+/// chosen as an eviction victim. If every resident page is pinned, an
+/// insertion is allowed to exceed `capacity` temporarily; the excess is
+/// reclaimed as soon as a pin is released ([`unpin`](Self::unpin)) or a
+/// later insertion finds an unpinned victim.
 #[derive(Clone, Debug)]
 pub struct LruBuffer {
     capacity: usize,
@@ -25,6 +31,7 @@ pub struct LruBuffer {
     free: Vec<u32>,
     head: u32, // most recently used
     tail: u32, // least recently used
+    pins: HashMap<PageId, u32>,
 }
 
 impl LruBuffer {
@@ -43,6 +50,7 @@ impl LruBuffer {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            pins: HashMap::new(),
         }
     }
 
@@ -75,9 +83,16 @@ impl LruBuffer {
             self.push_front(idx);
             return true;
         }
-        if self.map.len() == self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
+        while self.map.len() >= self.capacity {
+            // Walk from the LRU end, skipping pinned pages. If every
+            // resident page is pinned, overflow: insert without evicting.
+            let mut victim = self.tail;
+            while victim != NIL && self.pins.contains_key(&self.nodes[victim as usize].page) {
+                victim = self.nodes[victim as usize].prev;
+            }
+            if victim == NIL {
+                break;
+            }
             let victim_page = self.nodes[victim as usize].page;
             self.unlink(victim);
             self.map.remove(&victim_page);
@@ -106,6 +121,39 @@ impl LruBuffer {
         false
     }
 
+    /// Pins `page` against eviction. Pins nest: each `pin` must be matched
+    /// by an [`unpin`](Self::unpin). Pinning a page that is not resident is
+    /// a no-op (there is nothing to protect).
+    pub fn pin(&mut self, page: PageId) {
+        if self.map.contains_key(&page) {
+            *self.pins.entry(page).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one pin on `page`. When the last pin drops and the buffer
+    /// is over capacity (pins forced an overflow earlier), the page is
+    /// evicted immediately to restore the capacity bound.
+    pub fn unpin(&mut self, page: PageId) {
+        if let Some(count) = self.pins.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&page);
+                if self.map.len() > self.capacity {
+                    if let Some(&idx) = self.map.get(&page) {
+                        self.unlink(idx);
+                        self.map.remove(&page);
+                        self.free.push(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of distinct pinned pages (diagnostic).
+    pub fn pinned_len(&self) -> usize {
+        self.pins.len()
+    }
+
     /// Drops all buffered pages (cold restart).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -113,6 +161,7 @@ impl LruBuffer {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.pins.clear();
     }
 
     /// Buffered pages from most- to least-recently used (diagnostic).
@@ -236,6 +285,65 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = LruBuffer::new(0);
+    }
+
+    #[test]
+    fn pinned_page_survives_eviction_pressure() {
+        let mut b = LruBuffer::new(2);
+        b.access(p(1));
+        b.pin(p(1));
+        b.access(p(2));
+        b.access(p(3)); // would evict 1 (LRU), but it is pinned -> evicts 2
+        assert!(b.contains(p(1)));
+        assert!(!b.contains(p(2)));
+        assert!(b.contains(p(3)));
+        b.unpin(p(1));
+        b.access(p(4)); // 1 unpinned and LRU again -> evicted
+        assert!(!b.contains(p(1)));
+    }
+
+    #[test]
+    fn all_pinned_overflows_then_reclaims_on_unpin() {
+        let mut b = LruBuffer::new(2);
+        b.access(p(1));
+        b.pin(p(1));
+        b.access(p(2));
+        b.pin(p(2));
+        b.access(p(3)); // no unpinned victim: overflow to 3 pages
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(p(1)) && b.contains(p(2)) && b.contains(p(3)));
+        b.unpin(p(1)); // over capacity -> reclaimed immediately
+        assert_eq!(b.len(), 2);
+        assert!(!b.contains(p(1)));
+        b.unpin(p(2)); // back at capacity -> stays resident
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(p(2)));
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut b = LruBuffer::new(1);
+        b.access(p(1));
+        b.pin(p(1));
+        b.pin(p(1));
+        b.unpin(p(1));
+        b.access(p(2)); // still pinned once -> overflow
+        assert!(b.contains(p(1)));
+        assert_eq!(b.len(), 2);
+        b.unpin(p(1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pinned_len(), 0);
+    }
+
+    #[test]
+    fn pinning_non_resident_page_is_noop() {
+        let mut b = LruBuffer::new(1);
+        b.pin(p(7));
+        assert_eq!(b.pinned_len(), 0);
+        b.unpin(p(7)); // must not underflow or panic
+        b.access(p(1));
+        b.access(p(2));
+        assert!(!b.contains(p(1)));
     }
 
     /// Model-based check against a naive reference implementation.

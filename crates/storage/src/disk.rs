@@ -6,6 +6,7 @@ use crate::page::{Page, PageId};
 use crate::policy::BufferPolicy;
 use crate::stats::IoStats;
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 
 /// The paper's buffer sizing: 10 % of the data pages (§6).
 pub const PAPER_BUFFER_FRACTION: f64 = 0.10;
@@ -22,6 +23,11 @@ struct DiskState {
     buffer: Box<dyn BufferPolicy>,
     stats: IoStats,
     last_physical: Option<PageId>,
+    /// Pages staged by [`SimulatedDisk::prefetch`] whose pin is still held
+    /// by the disk (released by the demand read or by
+    /// [`SimulatedDisk::drop_prefetch_pins`]). A `BTreeSet` so leftover
+    /// pins are released in deterministic (ascending page id) order.
+    prefetched: BTreeSet<PageId>,
 }
 
 /// A simulated disk serving the pages of one [`PagedDatabase`].
@@ -69,6 +75,7 @@ impl<O: StorageObject> SimulatedDisk<O> {
                 buffer: policy,
                 stats: IoStats::default(),
                 last_physical: None,
+                prefetched: BTreeSet::new(),
             }),
         }
     }
@@ -85,26 +92,97 @@ impl<O: StorageObject> SimulatedDisk<O> {
 
     /// Reads a page, updating buffer state and I/O counters.
     pub fn read_page(&self, id: PageId) -> &Page<O> {
+        self.read_page_impl(id, false)
+    }
+
+    /// Reads a page like [`read_page`](Self::read_page) and additionally
+    /// **pins** it in the buffer so it cannot be evicted while in use. The
+    /// caller must release the pin with [`unpin_page`](Self::unpin_page).
+    ///
+    /// If the page was staged by a [`prefetch`](Self::prefetch), the demand
+    /// read counts a `prefetched_hit` and the prefetch pin is handed over
+    /// (released) before the caller's pin is taken.
+    pub fn read_page_pinned(&self, id: PageId) -> &Page<O> {
+        self.read_page_impl(id, true)
+    }
+
+    fn read_page_impl(&self, id: PageId, pin: bool) -> &Page<O> {
         {
             let mut st = self.state.lock();
             st.stats.logical_reads += 1;
             if st.buffer.access(id) {
                 st.stats.buffer_hits += 1;
-            } else {
-                st.stats.physical_reads += 1;
-                let sequential = match st.last_physical {
-                    Some(prev) => id.0 > prev.0 && id.0 - prev.0 <= SEQUENTIAL_SKIP_WINDOW,
-                    None => false,
-                };
-                if sequential {
-                    st.stats.sequential_reads += 1;
-                } else {
-                    st.stats.random_reads += 1;
+                if st.prefetched.remove(&id) {
+                    st.stats.prefetched_hits += 1;
+                    st.buffer.unpin(id);
                 }
-                st.last_physical = Some(id);
+            } else {
+                // A staged page is pinned and so cannot miss; this branch
+                // only de-stages defensively if a policy ignored the pin.
+                if st.prefetched.remove(&id) {
+                    st.buffer.unpin(id);
+                }
+                Self::count_physical(&mut st, id);
+            }
+            if pin {
+                st.buffer.pin(id);
             }
         }
         self.db.page(id)
+    }
+
+    /// Stages a page ahead of demand: on a buffer miss the physical read is
+    /// performed (and accounted — `physical_reads` plus `prefetch_reads`,
+    /// classified sequential/random) **now**, at schedule time, which keeps
+    /// I/O counters deterministic regardless of when evaluation catches up.
+    /// The page is pinned until its demand read or until
+    /// [`drop_prefetch_pins`](Self::drop_prefetch_pins). A prefetch is
+    /// *not* a logical read: issuing it never changes `logical_reads`.
+    ///
+    /// Prefetching an already-staged page is a no-op.
+    pub fn prefetch(&self, id: PageId) {
+        let mut st = self.state.lock();
+        if st.prefetched.contains(&id) {
+            return;
+        }
+        if !st.buffer.access(id) {
+            st.stats.prefetch_reads += 1;
+            Self::count_physical(&mut st, id);
+        }
+        st.buffer.pin(id);
+        st.prefetched.insert(id);
+    }
+
+    /// Releases one pin taken by [`read_page_pinned`](Self::read_page_pinned).
+    pub fn unpin_page(&self, id: PageId) {
+        self.state.lock().buffer.unpin(id);
+    }
+
+    /// Releases the pins of all staged pages that were never demanded
+    /// (e.g. lookahead beyond the point where a query plan terminated).
+    /// Their physical reads remain accounted — the prefetcher did issue
+    /// them — but no logical read is ever recorded for them.
+    pub fn drop_prefetch_pins(&self) {
+        let mut st = self.state.lock();
+        let staged: Vec<PageId> = st.prefetched.iter().copied().collect();
+        st.prefetched.clear();
+        for id in staged {
+            st.buffer.unpin(id);
+        }
+    }
+
+    fn count_physical(st: &mut DiskState, id: PageId) {
+        st.stats.physical_reads += 1;
+        let sequential = match st.last_physical {
+            Some(prev) => id.0 > prev.0 && id.0 - prev.0 <= SEQUENTIAL_SKIP_WINDOW,
+            None => false,
+        };
+        if sequential {
+            st.stats.sequential_reads += 1;
+        } else {
+            st.stats.random_reads += 1;
+        }
+        st.last_physical = Some(id);
     }
 
     /// Snapshot of the I/O counters.
@@ -125,6 +203,7 @@ impl<O: StorageObject> SimulatedDisk<O> {
         st.buffer.clear();
         st.stats = IoStats::default();
         st.last_physical = None;
+        st.prefetched.clear();
     }
 }
 
@@ -257,6 +336,76 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.buffer_hits, 1);
         assert_eq!(s.physical_reads, 4);
+    }
+
+    #[test]
+    fn prefetch_accounts_io_at_schedule_time() {
+        let d = disk(30, 4); // 10 pages
+        d.prefetch(PageId(3));
+        let s = d.stats();
+        assert_eq!(s.logical_reads, 0, "a prefetch is not a logical read");
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.prefetch_reads, 1);
+        assert_eq!(s.random_reads, 1);
+        // The demand read is a pure buffer hit credited to the prefetcher.
+        d.read_page_pinned(PageId(3));
+        let s = d.stats();
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.prefetched_hits, 1);
+        assert_eq!(s.physical_reads, 1, "no second physical read");
+        d.unpin_page(PageId(3));
+    }
+
+    #[test]
+    fn prefetch_sequential_classification_at_schedule_time() {
+        let d = disk(30, 4);
+        d.read_page(PageId(0));
+        d.prefetch(PageId(1)); // adjacent to the last physical read
+        let s = d.stats();
+        assert_eq!(s.sequential_reads, 1);
+        assert_eq!(s.prefetch_reads, 1);
+    }
+
+    #[test]
+    fn prefetched_page_survives_eviction_until_demanded() {
+        let d = disk(30, 1); // 1-page buffer: everything thrashes
+        d.prefetch(PageId(5));
+        // These demand reads would normally evict page 5 from a 1-page
+        // buffer; the prefetch pin forces a temporary overflow instead.
+        d.read_page(PageId(0));
+        d.read_page(PageId(1));
+        d.read_page_pinned(PageId(5));
+        assert_eq!(d.stats().prefetched_hits, 1);
+        d.unpin_page(PageId(5));
+    }
+
+    #[test]
+    fn undemanded_prefetch_pins_are_dropped() {
+        let d = disk(30, 1);
+        d.prefetch(PageId(5));
+        d.prefetch(PageId(5)); // idempotent: no second physical read
+        assert_eq!(d.stats().prefetch_reads, 1);
+        d.drop_prefetch_pins();
+        // Page 5 is evictable again: a cold page replaces it, and a later
+        // demand read of 5 misses.
+        d.read_page(PageId(0));
+        d.read_page(PageId(5));
+        let s = d.stats();
+        assert_eq!(s.prefetched_hits, 0);
+        assert_eq!(s.physical_reads, 3);
+    }
+
+    #[test]
+    fn read_page_pinned_counts_like_read_page() {
+        let a = disk(30, 4);
+        let b = disk(30, 4);
+        for &i in &[0u32, 3, 1, 3, 9] {
+            a.read_page(PageId(i));
+            b.read_page_pinned(PageId(i));
+            b.unpin_page(PageId(i));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! * [`FifoBuffer`] — plain FIFO eviction, oblivious to re-references —
 //!   the lower baseline (subject to Bélády's anomaly).
 //!
+//! All policies support **pinning**: a pinned page is never chosen as an
+//! eviction victim (the prefetch pipeline pins staged pages so they cannot
+//! be evicted between schedule time and the demand read). When every
+//! resident page is pinned, an insertion may exceed the capacity
+//! temporarily; the excess is reclaimed as soon as the responsible pin is
+//! released.
+//!
 //! The `ablation-buffer-fraction` bench and the storage tests compare hit
 //! ratios on scan and index access patterns.
 
@@ -22,6 +29,17 @@ pub trait BufferPolicy: Send + std::fmt::Debug {
     /// Accesses `page`: `true` on a buffer hit, `false` on a miss (the
     /// page is then resident, evicting another if the buffer was full).
     fn access(&mut self, page: PageId) -> bool;
+
+    /// Pins a resident page against eviction. Pins nest: each `pin` must
+    /// be matched by an [`unpin`](Self::unpin). Pinning a page that is not
+    /// resident is a no-op.
+    fn pin(&mut self, page: PageId);
+
+    /// Releases one pin on `page`. When the last pin drops while the
+    /// buffer is over capacity (an earlier insertion overflowed because
+    /// everything was pinned), the page is evicted immediately to restore
+    /// the capacity bound.
+    fn unpin(&mut self, page: PageId);
 
     /// Drops all buffered pages.
     fn clear(&mut self);
@@ -41,6 +59,14 @@ pub trait BufferPolicy: Send + std::fmt::Debug {
 impl BufferPolicy for LruBuffer {
     fn access(&mut self, page: PageId) -> bool {
         LruBuffer::access(self, page)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        LruBuffer::pin(self, page)
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        LruBuffer::unpin(self, page)
     }
 
     fn clear(&mut self) {
@@ -63,6 +89,7 @@ pub struct ClockBuffer {
     frames: Vec<(PageId, bool)>, // (page, referenced)
     map: HashMap<PageId, usize>,
     hand: usize,
+    pins: HashMap<PageId, u32>,
 }
 
 impl ClockBuffer {
@@ -77,6 +104,23 @@ impl ClockBuffer {
             frames: Vec::with_capacity(capacity),
             map: HashMap::new(),
             hand: 0,
+            pins: HashMap::new(),
+        }
+    }
+
+    fn remove_frame(&mut self, idx: usize) {
+        let (page, _) = self.frames.remove(idx);
+        self.map.remove(&page);
+        for slot in self.map.values_mut() {
+            if *slot > idx {
+                *slot -= 1;
+            }
+        }
+        if self.hand > idx {
+            self.hand -= 1;
+        }
+        if self.hand >= self.frames.len() {
+            self.hand = 0;
         }
     }
 }
@@ -87,23 +131,52 @@ impl BufferPolicy for ClockBuffer {
             self.frames[idx].1 = true;
             return true;
         }
-        if self.frames.len() < self.capacity {
+        if self.frames.len() < self.capacity
+            || self.frames.iter().all(|(p, _)| self.pins.contains_key(p))
+        {
+            // Room left, or everything pinned: append (the latter case
+            // overflows the capacity until a pin is released).
             self.frames.push((page, true));
             self.map.insert(page, self.frames.len() - 1);
             return false;
         }
-        // Sweep: clear reference bits until an unreferenced frame appears.
+        // Sweep: skip pinned frames, clear reference bits until an
+        // unreferenced, unpinned frame appears. At least one frame is
+        // unpinned (checked above), so the sweep terminates within two
+        // revolutions.
         loop {
             let (victim_page, referenced) = self.frames[self.hand];
-            if referenced {
+            if self.pins.contains_key(&victim_page) {
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else if referenced {
                 self.frames[self.hand].1 = false;
-                self.hand = (self.hand + 1) % self.capacity;
+                self.hand = (self.hand + 1) % self.frames.len();
             } else {
                 self.map.remove(&victim_page);
                 self.frames[self.hand] = (page, true);
                 self.map.insert(page, self.hand);
-                self.hand = (self.hand + 1) % self.capacity;
+                self.hand = (self.hand + 1) % self.frames.len();
                 return false;
+            }
+        }
+    }
+
+    fn pin(&mut self, page: PageId) {
+        if self.map.contains_key(&page) {
+            *self.pins.entry(page).or_insert(0) += 1;
+        }
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        if let Some(count) = self.pins.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&page);
+                if self.frames.len() > self.capacity {
+                    if let Some(&idx) = self.map.get(&page) {
+                        self.remove_frame(idx);
+                    }
+                }
             }
         }
     }
@@ -112,6 +185,7 @@ impl BufferPolicy for ClockBuffer {
         self.frames.clear();
         self.map.clear();
         self.hand = 0;
+        self.pins.clear();
     }
 
     fn capacity(&self) -> usize {
@@ -129,6 +203,7 @@ pub struct FifoBuffer {
     capacity: usize,
     queue: VecDeque<PageId>,
     resident: HashMap<PageId, ()>,
+    pins: HashMap<PageId, u32>,
 }
 
 impl FifoBuffer {
@@ -142,6 +217,7 @@ impl FifoBuffer {
             capacity,
             queue: VecDeque::with_capacity(capacity),
             resident: HashMap::new(),
+            pins: HashMap::new(),
         }
     }
 }
@@ -151,8 +227,15 @@ impl BufferPolicy for FifoBuffer {
         if self.resident.contains_key(&page) {
             return true;
         }
-        if self.queue.len() == self.capacity {
-            if let Some(victim) = self.queue.pop_front() {
+        if self.queue.len() >= self.capacity {
+            // Evict the oldest unpinned page; if everything is pinned the
+            // insertion overflows until a pin is released.
+            if let Some(pos) = self
+                .queue
+                .iter()
+                .position(|q| !self.pins.contains_key(q))
+            {
+                let victim = self.queue.remove(pos).expect("position is in range");
                 self.resident.remove(&victim);
             }
         }
@@ -161,9 +244,31 @@ impl BufferPolicy for FifoBuffer {
         false
     }
 
+    fn pin(&mut self, page: PageId) {
+        if self.resident.contains_key(&page) {
+            *self.pins.entry(page).or_insert(0) += 1;
+        }
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        if let Some(count) = self.pins.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&page);
+                if self.queue.len() > self.capacity {
+                    if let Some(pos) = self.queue.iter().position(|&q| q == page) {
+                        self.queue.remove(pos);
+                        self.resident.remove(&page);
+                    }
+                }
+            }
+        }
+    }
+
     fn clear(&mut self) {
         self.queue.clear();
         self.resident.clear();
+        self.pins.clear();
     }
 
     fn capacity(&self) -> usize {
@@ -258,6 +363,243 @@ mod tests {
             }
             policy.clear();
             assert_eq!(policy.len(), 0);
+        }
+    }
+
+    #[test]
+    fn all_policies_pin_against_eviction() {
+        for mut policy in [
+            Box::new(ClockBuffer::new(2)) as Box<dyn BufferPolicy>,
+            Box::new(FifoBuffer::new(2)),
+            Box::new(LruBuffer::new(2)),
+        ] {
+            policy.access(p(1));
+            policy.pin(p(1));
+            // A stream of cold pages may evict anything except page 1.
+            for i in 10..30 {
+                policy.access(p(i));
+            }
+            assert!(policy.access(p(1)), "pinned page must stay resident");
+            policy.unpin(p(1));
+            for i in 30..50 {
+                policy.access(p(i));
+            }
+            assert!(!policy.access(p(1)), "unpinned page is evictable again");
+        }
+    }
+
+    #[test]
+    fn all_policies_overflow_when_fully_pinned_and_reclaim() {
+        for mut policy in [
+            Box::new(ClockBuffer::new(2)) as Box<dyn BufferPolicy>,
+            Box::new(FifoBuffer::new(2)),
+            Box::new(LruBuffer::new(2)),
+        ] {
+            policy.access(p(1));
+            policy.pin(p(1));
+            policy.access(p(2));
+            policy.pin(p(2));
+            policy.access(p(3)); // everything pinned: overflow
+            assert_eq!(policy.len(), 3);
+            policy.unpin(p(1)); // over capacity: reclaimed immediately
+            assert_eq!(policy.len(), 2);
+            assert!(!policy.access(p(1)) || policy.len() <= policy.capacity());
+        }
+    }
+
+    /// The naive pin-aware eviction models: straightforward, list-based
+    /// re-implementations of the policies' documented semantics, checked
+    /// against the real (index/slab-based) implementations on a long
+    /// pseudo-random access/pin/unpin workload. This is the same
+    /// model-based pattern as `buffer::tests::matches_naive_reference`,
+    /// extended with pinning.
+    mod reference_models {
+        use super::*;
+
+        struct NaiveFifo {
+            cap: usize,
+            order: Vec<PageId>, // oldest first
+            pins: HashMap<PageId, u32>,
+        }
+
+        impl NaiveFifo {
+            fn access(&mut self, page: PageId) -> bool {
+                if self.order.contains(&page) {
+                    return true;
+                }
+                if self.order.len() >= self.cap {
+                    if let Some(pos) = self
+                        .order
+                        .iter()
+                        .position(|q| !self.pins.contains_key(q))
+                    {
+                        self.order.remove(pos);
+                    }
+                }
+                self.order.push(page);
+                false
+            }
+
+            fn pin(&mut self, page: PageId) {
+                if self.order.contains(&page) {
+                    *self.pins.entry(page).or_insert(0) += 1;
+                }
+            }
+
+            fn unpin(&mut self, page: PageId) {
+                if let Some(c) = self.pins.get_mut(&page) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.pins.remove(&page);
+                        if self.order.len() > self.cap {
+                            self.order.retain(|&q| q != page);
+                        }
+                    }
+                }
+            }
+        }
+
+        struct NaiveClock {
+            cap: usize,
+            frames: Vec<(PageId, bool)>,
+            hand: usize,
+            pins: HashMap<PageId, u32>,
+        }
+
+        impl NaiveClock {
+            fn access(&mut self, page: PageId) -> bool {
+                if let Some(f) = self.frames.iter_mut().find(|(q, _)| *q == page) {
+                    f.1 = true;
+                    return true;
+                }
+                if self.frames.len() < self.cap
+                    || self.frames.iter().all(|(q, _)| self.pins.contains_key(q))
+                {
+                    self.frames.push((page, true));
+                    return false;
+                }
+                loop {
+                    let (victim, referenced) = self.frames[self.hand];
+                    if self.pins.contains_key(&victim) {
+                        self.hand = (self.hand + 1) % self.frames.len();
+                    } else if referenced {
+                        self.frames[self.hand].1 = false;
+                        self.hand = (self.hand + 1) % self.frames.len();
+                    } else {
+                        self.frames[self.hand] = (page, true);
+                        self.hand = (self.hand + 1) % self.frames.len();
+                        return false;
+                    }
+                }
+            }
+
+            fn pin(&mut self, page: PageId) {
+                if self.frames.iter().any(|(q, _)| *q == page) {
+                    *self.pins.entry(page).or_insert(0) += 1;
+                }
+            }
+
+            fn unpin(&mut self, page: PageId) {
+                if let Some(c) = self.pins.get_mut(&page) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.pins.remove(&page);
+                        if self.frames.len() > self.cap {
+                            if let Some(idx) =
+                                self.frames.iter().position(|(q, _)| *q == page)
+                            {
+                                self.frames.remove(idx);
+                                if self.hand > idx {
+                                    self.hand -= 1;
+                                }
+                                if self.hand >= self.frames.len() {
+                                    self.hand = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Deterministic LCG (same constants as the LRU reference test).
+        fn lcg(x: &mut u64) -> u64 {
+            *x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x >> 33
+        }
+
+        #[test]
+        fn fifo_matches_naive_reference_with_pins() {
+            let mut fifo = FifoBuffer::new(4);
+            let mut naive = NaiveFifo {
+                cap: 4,
+                order: Vec::new(),
+                pins: HashMap::new(),
+            };
+            let mut pinned: Vec<PageId> = Vec::new();
+            let mut x: u64 = 7;
+            for _ in 0..4000 {
+                let r = lcg(&mut x);
+                let page = p((r % 10) as u32);
+                match (r / 16) % 4 {
+                    0 if pinned.len() < 3 => {
+                        fifo.pin(page);
+                        naive.pin(page);
+                        if naive.pins.contains_key(&page) {
+                            pinned.push(page);
+                        }
+                    }
+                    1 if !pinned.is_empty() => {
+                        let victim = pinned.remove((r as usize / 64) % pinned.len());
+                        fifo.unpin(victim);
+                        naive.unpin(victim);
+                    }
+                    _ => {
+                        assert_eq!(fifo.access(page), naive.access(page));
+                        assert_eq!(fifo.len(), naive.order.len());
+                    }
+                }
+                let resident: Vec<PageId> = fifo.queue.iter().copied().collect();
+                assert_eq!(resident, naive.order, "FIFO queue order diverged");
+            }
+        }
+
+        #[test]
+        fn clock_matches_naive_reference_with_pins() {
+            let mut clock = ClockBuffer::new(4);
+            let mut naive = NaiveClock {
+                cap: 4,
+                frames: Vec::new(),
+                hand: 0,
+                pins: HashMap::new(),
+            };
+            let mut pinned: Vec<PageId> = Vec::new();
+            let mut x: u64 = 99;
+            for _ in 0..4000 {
+                let r = lcg(&mut x);
+                let page = p((r % 10) as u32);
+                match (r / 16) % 4 {
+                    0 if pinned.len() < 3 => {
+                        clock.pin(page);
+                        naive.pin(page);
+                        if naive.pins.contains_key(&page) {
+                            pinned.push(page);
+                        }
+                    }
+                    1 if !pinned.is_empty() => {
+                        let victim = pinned.remove((r as usize / 64) % pinned.len());
+                        clock.unpin(victim);
+                        naive.unpin(victim);
+                    }
+                    _ => {
+                        assert_eq!(clock.access(page), naive.access(page));
+                    }
+                }
+                assert_eq!(clock.frames, naive.frames, "CLOCK frames diverged");
+                assert_eq!(clock.hand, naive.hand, "CLOCK hand diverged");
+            }
         }
     }
 }

@@ -22,6 +22,13 @@ pub struct IoStats {
     pub random_reads: u64,
     /// Physical reads adjacent to the previous physical read.
     pub sequential_reads: u64,
+    /// Physical reads issued ahead of demand by the prefetcher. A subset of
+    /// `physical_reads`: a prefetch that misses the buffer pays its physical
+    /// read (classified sequential/random) at *schedule* time.
+    pub prefetch_reads: u64,
+    /// Demand reads that found their page already staged by a prefetch. A
+    /// subset of `buffer_hits`.
+    pub prefetched_hits: u64,
 }
 
 impl IoStats {
@@ -45,6 +52,8 @@ impl Add for IoStats {
             physical_reads: self.physical_reads + rhs.physical_reads,
             random_reads: self.random_reads + rhs.random_reads,
             sequential_reads: self.sequential_reads + rhs.sequential_reads,
+            prefetch_reads: self.prefetch_reads + rhs.prefetch_reads,
+            prefetched_hits: self.prefetched_hits + rhs.prefetched_hits,
         }
     }
 }
@@ -67,6 +76,8 @@ impl Sub for IoStats {
             physical_reads: self.physical_reads.saturating_sub(rhs.physical_reads),
             random_reads: self.random_reads.saturating_sub(rhs.random_reads),
             sequential_reads: self.sequential_reads.saturating_sub(rhs.sequential_reads),
+            prefetch_reads: self.prefetch_reads.saturating_sub(rhs.prefetch_reads),
+            prefetched_hits: self.prefetched_hits.saturating_sub(rhs.prefetched_hits),
         }
     }
 }
@@ -126,6 +137,7 @@ mod tests {
             physical_reads: 6,
             random_reads: 2,
             sequential_reads: 4,
+            ..Default::default()
         };
         assert!((s.hit_ratio() - 0.4).abs() < 1e-12);
         assert_eq!(IoStats::default().hit_ratio(), 0.0);
@@ -139,6 +151,7 @@ mod tests {
             physical_reads: 6,
             random_reads: 2,
             sequential_reads: 4,
+            ..Default::default()
         };
         let b = IoStats {
             logical_reads: 3,
@@ -146,6 +159,7 @@ mod tests {
             physical_reads: 2,
             random_reads: 2,
             sequential_reads: 0,
+            ..Default::default()
         };
         let sum = a + b;
         assert_eq!(sum.logical_reads, 13);
@@ -179,6 +193,7 @@ mod tests {
             physical_reads: 100,
             random_reads: 10,
             sequential_reads: 90,
+            ..Default::default()
         };
         // 10 * 8ms + 90 * 4ms = 440ms.
         assert!((m.io_seconds(&s) - 0.44).abs() < 1e-12);
