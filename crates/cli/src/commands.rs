@@ -250,6 +250,9 @@ pub fn serve(args: &Args) -> CmdResult {
         }
     };
     let workers: usize = args.parse_or("workers", 1)?;
+    let retry_budget: u32 = args.parse_or("retry-budget", 2)?;
+    // 0 = no timeout: a stalled client blocks its handler thread forever.
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 0)?;
 
     let mut config = ServerConfig::default()
         .with_max_batch(max_batch)
@@ -258,7 +261,9 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_threads(threads)
         .with_prefetch_depth(prefetch_depth)
         .with_leader(leader)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_retry_budget(retry_budget)
+        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }
@@ -275,7 +280,7 @@ pub fn serve(args: &Args) -> CmdResult {
 
     let server = QueryServer::bind(addr.as_str(), backend, &config)?;
     println!(
-        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, prefetch {prefetch_depth}, leader {leader_name}, workers {workers}{})",
+        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, prefetch {prefetch_depth}, leader {leader_name}, workers {workers}, retry_budget {retry_budget}{})",
         server.local_addr(),
         stored.object_count(),
         if servers > 0 {
@@ -291,9 +296,17 @@ pub fn serve(args: &Args) -> CmdResult {
 }
 
 pub fn client(args: &Args) -> CmdResult {
-    use mq_server::Client;
+    use mq_server::{RetryConfig, RetryingClient};
     let addr = args.string_or("addr", "127.0.0.1:7878");
-    let mut client = Client::connect(addr.as_str())?;
+    let retries: u32 = args.parse_or("retries", 3)?;
+    let connect_timeout_ms: u64 = args.parse_or("connect-timeout-ms", 2000)?;
+    // 0 = no read timeout: wait for the reply however long it takes.
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 10_000)?;
+    let config = RetryConfig::default()
+        .with_max_retries(retries)
+        .with_connect_timeout(std::time::Duration::from_millis(connect_timeout_ms.max(1)))
+        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
+    let mut client = RetryingClient::new(addr, config);
 
     if args.has("stats") {
         let m = client.stats()?;
@@ -325,6 +338,12 @@ pub fn client(args: &Args) -> CmdResult {
         "{qtype} answered in batch #{} of {} queries:",
         reply.batch_id, reply.batch_size
     );
+    if client.retries_performed() > 0 {
+        println!(
+            "(recovered after {} transport retries)",
+            client.retries_performed()
+        );
+    }
     for a in &reply.answers {
         println!("  {}  distance {:.6}", a.id, a.distance);
     }

@@ -1,6 +1,7 @@
 //! The query engine: the paper's `DB` class with both query operations.
 
 use crate::answers::{Answer, AnswerList};
+use crate::fault::{EngineError, FaultPolicy};
 use crate::multiple::{self, LeaderPolicy, MultiQuerySession};
 use crate::pool::WorkerPool;
 use crate::query::QueryType;
@@ -32,6 +33,11 @@ pub struct EngineOptions {
     pub prefetch_depth: usize,
     /// Which pending query leads each step; see [`LeaderPolicy`].
     pub leader: LeaderPolicy,
+    /// How disk faults are retried before a step surfaces an
+    /// [`EngineError`]; see [`FaultPolicy`]. Irrelevant (and free) when the
+    /// disk has no fault plan installed — the default budget of 0 then
+    /// never costs a branch on the hot path.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for EngineOptions {
@@ -42,6 +48,7 @@ impl Default for EngineOptions {
             threads: 1,
             prefetch_depth: 0,
             leader: LeaderPolicy::Fifo,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -155,6 +162,19 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         self
     }
 
+    /// Sets the whole fault policy; see [`FaultPolicy`].
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.options.fault_policy = policy;
+        self
+    }
+
+    /// Retries transient disk faults up to `budget` extra times per read
+    /// before a step surfaces an [`EngineError`].
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.options.fault_policy.retry_budget = budget;
+        self
+    }
+
     /// Shares an existing persistent [`WorkerPool`] with this engine
     /// instead of letting it create its own on first use. The pool's
     /// thread count takes precedence over [`EngineOptions::threads`] for
@@ -206,8 +226,30 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     }
 
     /// Answers one similarity query (Fig. 1).
+    ///
+    /// # Panics
+    /// Panics if the disk faults past the retry budget; fault-aware callers
+    /// use [`try_similarity_query`](Self::try_similarity_query).
     pub fn similarity_query(&self, query: &O, qtype: &QueryType) -> AnswerList {
-        single::similarity_query(self.disk, self.index, &self.metric, query, qtype)
+        self.try_similarity_query(query, qtype)
+            .unwrap_or_else(|e| panic!("unrecoverable engine error: {e}"))
+    }
+
+    /// Fallible [`similarity_query`](Self::similarity_query): disk faults
+    /// are retried per the engine's [`FaultPolicy`], then surfaced.
+    pub fn try_similarity_query(
+        &self,
+        query: &O,
+        qtype: &QueryType,
+    ) -> Result<AnswerList, EngineError> {
+        single::try_similarity_query(
+            self.disk,
+            self.index,
+            &self.metric,
+            query,
+            qtype,
+            self.options.fault_policy,
+        )
     }
 
     /// Opens a multiple-query session over the given queries (the answer
@@ -242,7 +284,25 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// then exactly `similarity_query(Q, T)`), advancing all trailing
     /// pending queries opportunistically. Returns the completed query's
     /// index, or `None` if no query is pending.
+    ///
+    /// # Panics
+    /// Panics if the disk faults past the retry budget; fault-aware callers
+    /// use [`try_multiple_query_step`](Self::try_multiple_query_step).
     pub fn multiple_query_step(&self, session: &mut MultiQuerySession<O>) -> Option<usize> {
+        self.try_multiple_query_step(session)
+            .unwrap_or_else(|e| panic!("unrecoverable engine error: {e}"))
+    }
+
+    /// Fallible [`multiple_query_step`](Self::multiple_query_step): disk
+    /// faults are retried per the engine's [`FaultPolicy`], then surfaced
+    /// as `Err` **with the session intact** — partial answers and
+    /// processed-page sets keep Definition 4's subset guarantee, and
+    /// calling the step again resumes where the error struck without
+    /// re-evaluating any merged page.
+    pub fn try_multiple_query_step(
+        &self,
+        session: &mut MultiQuerySession<O>,
+    ) -> Result<Option<usize>, EngineError> {
         multiple::step(
             session,
             self.disk,
@@ -254,8 +314,24 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     }
 
     /// Runs steps until every admitted query is complete.
+    ///
+    /// # Panics
+    /// Panics if the disk faults past the retry budget; fault-aware callers
+    /// use [`try_run_to_completion`](Self::try_run_to_completion).
     pub fn run_to_completion(&self, session: &mut MultiQuerySession<O>) {
         while self.multiple_query_step(session).is_some() {}
+    }
+
+    /// Fallible [`run_to_completion`](Self::run_to_completion). On `Err`
+    /// the session keeps every already-completed query and all partial
+    /// answers; the caller may retry (transient faults re-roll per attempt)
+    /// or surface the error.
+    pub fn try_run_to_completion(
+        &self,
+        session: &mut MultiQuerySession<O>,
+    ) -> Result<(), EngineError> {
+        while self.try_multiple_query_step(session)?.is_some() {}
+        Ok(())
     }
 
     /// Runs steps until query `i` is complete — the paper's incremental
@@ -264,15 +340,27 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// completely when the caller needs it. Returns `true` once complete
     /// (`false` only if `i` is out of range).
     pub fn complete_query(&self, session: &mut MultiQuerySession<O>, i: usize) -> bool {
+        self.try_complete_query(session, i)
+            .unwrap_or_else(|e| panic!("unrecoverable engine error: {e}"))
+    }
+
+    /// Fallible [`complete_query`](Self::complete_query); see
+    /// [`try_multiple_query_step`](Self::try_multiple_query_step) for the
+    /// error contract.
+    pub fn try_complete_query(
+        &self,
+        session: &mut MultiQuerySession<O>,
+        i: usize,
+    ) -> Result<bool, EngineError> {
         if i >= session.query_count() {
-            return false;
+            return Ok(false);
         }
         while !session.is_complete(i) {
-            if self.multiple_query_step(session).is_none() {
+            if self.try_multiple_query_step(session)?.is_none() {
                 break;
             }
         }
-        session.is_complete(i)
+        Ok(session.is_complete(i))
     }
 
     /// Convenience: evaluates a whole batch of queries through one session

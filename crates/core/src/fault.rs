@@ -1,0 +1,219 @@
+//! Fault handling for the query engine: the retry policy and the typed
+//! error surfaced when a disk fault outlives its retry budget.
+//!
+//! The engine's contract under faults extends Definition 4's incremental
+//! contract: a failed [`multiple_query_step`] leaves the session exactly as
+//! the error found it — every page evaluated **and merged** before the
+//! error is recorded in the per-query processed sets, the erroring page is
+//! not — so partial answers remain valid subsets of the full answers, and
+//! a retried step simply re-plans and skips the already-processed pages.
+//! No answer can be double-inserted and none is lost.
+//!
+//! [`multiple_query_step`]: crate::QueryEngine::multiple_query_step
+
+use mq_storage::{DiskError, PageId, SimulatedDisk, StorageObject};
+use std::error::Error;
+use std::fmt;
+
+/// How the engine reacts to disk faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Extra read attempts after a *transient* fault (transient read
+    /// errors and torn pages) before the error is surfaced. 0 (default)
+    /// surfaces the first fault. Permanent faults
+    /// ([`DiskError::Unavailable`]) are never retried.
+    ///
+    /// Retries against the simulated disk are immediate — the simulation
+    /// has no time axis to back off along; wall-clock backoff belongs to
+    /// the network client (`mq-server`'s `RetryingClient`).
+    pub retry_budget: u32,
+}
+
+impl FaultPolicy {
+    /// A policy with the given retry budget.
+    pub fn new(retry_budget: u32) -> Self {
+        Self { retry_budget }
+    }
+}
+
+/// A typed engine failure: a page read faulted past the retry budget.
+///
+/// The failing step's session keeps all buffered partial answers (see the
+/// module docs); callers can retry the step, surface a degraded result, or
+/// give up with the partial answers still intact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A disk read failed `attempts` times (1 initial + retries used).
+    Storage {
+        /// The page whose read failed.
+        page: PageId,
+        /// Total attempts made, including the initial read.
+        attempts: u32,
+        /// The final disk error.
+        source: DiskError,
+    },
+}
+
+impl EngineError {
+    /// The underlying disk error.
+    pub fn disk_error(&self) -> &DiskError {
+        match self {
+            EngineError::Storage { source, .. } => source,
+        }
+    }
+
+    /// Whether retrying the whole step could possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.disk_error().is_transient()
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage {
+                page,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "page {} read failed after {} attempt(s): {}",
+                page.0, attempts, source
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Storage { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Reads a page, retrying transient faults within `policy.retry_budget`.
+pub(crate) fn read_page_with_retry<O: StorageObject>(
+    disk: &SimulatedDisk<O>,
+    id: PageId,
+    policy: FaultPolicy,
+) -> Result<&mq_storage::Page<O>, EngineError> {
+    retry_loop(policy, id, || disk.try_read_page(id))
+}
+
+/// Pinned variant of [`read_page_with_retry`].
+pub(crate) fn read_page_pinned_with_retry<O: StorageObject>(
+    disk: &SimulatedDisk<O>,
+    id: PageId,
+    policy: FaultPolicy,
+) -> Result<&mq_storage::Page<O>, EngineError> {
+    retry_loop(policy, id, || disk.try_read_page_pinned(id))
+}
+
+/// Prefetches a page, retrying transient faults within the budget. A
+/// prefetch that still fails is *absorbed* (`Ok(false)`): the page simply
+/// is not staged, and the later demand read — which has its own budget —
+/// performs the physical read. Answers and avoidance counters stay
+/// oracle-identical either way; only prefetch-related I/O counters can
+/// differ from a fault-free run.
+pub(crate) fn prefetch_absorbing<O: StorageObject>(
+    disk: &SimulatedDisk<O>,
+    id: PageId,
+    policy: FaultPolicy,
+) -> bool {
+    retry_loop(policy, id, || disk.try_prefetch(id)).is_ok()
+}
+
+fn retry_loop<T>(
+    policy: FaultPolicy,
+    id: PageId,
+    mut attempt_once: impl FnMut() -> Result<T, DiskError>,
+) -> Result<T, EngineError> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt_once() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempts <= policy.retry_budget => continue,
+            Err(e) => {
+                return Err(EngineError::Storage {
+                    page: id,
+                    attempts,
+                    source: e,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn budget_counts_extra_attempts() {
+        let calls = Cell::new(0u32);
+        let r: Result<(), EngineError> = retry_loop(FaultPolicy::new(2), p(1), || {
+            calls.set(calls.get() + 1);
+            Err(DiskError::TransientRead {
+                page: p(1),
+                attempt: calls.get() - 1,
+            })
+        });
+        assert_eq!(calls.get(), 3, "1 initial + 2 retries");
+        match r {
+            Err(EngineError::Storage { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected Storage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn success_within_budget_is_ok() {
+        let calls = Cell::new(0u32);
+        let r: Result<u8, EngineError> = retry_loop(FaultPolicy::new(3), p(2), || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(DiskError::TransientRead {
+                    page: p(2),
+                    attempt: calls.get() - 1,
+                })
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let calls = Cell::new(0u32);
+        let r: Result<(), EngineError> = retry_loop(FaultPolicy::new(10), p(3), || {
+            calls.set(calls.get() + 1);
+            Err(DiskError::Unavailable { page: p(3) })
+        });
+        assert_eq!(calls.get(), 1, "Unavailable must not be retried");
+        let err = r.unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(err.disk_error(), &DiskError::Unavailable { page: p(3) });
+    }
+
+    #[test]
+    fn display_names_page_and_attempts() {
+        let e = EngineError::Storage {
+            page: p(9),
+            attempts: 3,
+            source: DiskError::TransientRead {
+                page: p(9),
+                attempt: 2,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("page 9") && s.contains("3 attempt"), "{s}");
+    }
+}

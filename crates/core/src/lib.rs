@@ -33,6 +33,7 @@ pub mod batch;
 pub mod browse;
 pub mod db;
 pub mod engine;
+pub mod fault;
 pub mod multiple;
 pub mod pool;
 pub mod query;
@@ -44,6 +45,7 @@ pub use avoidance::{AvoidanceStats, QueryDistanceMatrix};
 pub use browse::DistanceBrowser;
 pub use db::MetricDatabase;
 pub use engine::{EngineOptions, QueryEngine};
+pub use fault::{EngineError, FaultPolicy};
 pub use multiple::{LeaderPolicy, MultiQuerySession};
 pub use pool::WorkerPool;
 pub use query::{QueryKind, QueryType};

@@ -84,6 +84,7 @@
 use crate::answers::{Answer, AnswerList};
 use crate::avoidance::{AvoidanceStats, QueryDistanceMatrix};
 use crate::engine::EngineOptions;
+use crate::fault::{self, EngineError};
 use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
@@ -447,12 +448,46 @@ fn select_leader<O>(session: &MultiQuerySession<O>, policy: LeaderPolicy) -> Opt
     }
 }
 
+/// Releases one demand-read pin when dropped — including during an unwind
+/// (a panicking metric or worker must not leak the pin and leave the page
+/// permanently unevictable).
+struct PinGuard<'a, O: StorageObject> {
+    disk: &'a SimulatedDisk<O>,
+    page: PageId,
+}
+
+impl<O: StorageObject> Drop for PinGuard<'_, O> {
+    fn drop(&mut self) {
+        self.disk.unpin_page(self.page);
+    }
+}
+
+/// Releases all outstanding prefetch pins when dropped — on normal step
+/// completion, on an error return, and during an unwind alike. Window
+/// entries staged beyond the termination point keep their accounted
+/// physical reads but must release their frames.
+struct PrefetchPinsGuard<'a, O: StorageObject> {
+    disk: &'a SimulatedDisk<O>,
+}
+
+impl<O: StorageObject> Drop for PrefetchPinsGuard<'_, O> {
+    fn drop(&mut self) {
+        self.disk.drop_prefetch_pins();
+    }
+}
+
 /// One incremental multiple-query call (Fig. 4): completes the leader
 /// chosen by `options.leader` (the first pending query under the default
 /// FIFO policy), opportunistically advancing every other pending query on
 /// each loaded page that is relevant for it. Returns the index of the
 /// completed query, or `None` when every admitted query is already
 /// complete.
+///
+/// A disk fault that outlives `options.fault_policy`'s retry budget
+/// surfaces as [`EngineError`] with the session intact: pages evaluated and
+/// merged before the error are recorded as processed, the erroring page is
+/// not, so partial answers stay valid and a retried step resumes without
+/// re-evaluating (or double-inserting from) any completed page.
 pub(crate) fn step<O, M, I>(
     session: &mut MultiQuerySession<O>,
     disk: &SimulatedDisk<O>,
@@ -460,13 +495,15 @@ pub(crate) fn step<O, M, I>(
     metric: &M,
     options: EngineOptions,
     pool: Option<&WorkerPool>,
-) -> Option<usize>
+) -> Result<Option<usize>, EngineError>
 where
     O: StorageObject,
     M: Metric<O>,
     I: SimilarityIndex<O> + ?Sized,
 {
-    let head = select_leader(session, options.leader)?;
+    let Some(head) = select_leader(session, options.leader) else {
+        return Ok(None);
+    };
     session.last_leader = Some(head);
 
     // Split the session so workers can hold `objects` and `qq` immutably
@@ -499,6 +536,9 @@ where
     // docs for the depth-invariance argument).
     let mut window: VecDeque<(PageId, f64)> = VecDeque::new();
 
+    // Dropped on every exit path — return, error, or unwind.
+    let _prefetch_pins = PrefetchPinsGuard { disk };
+
     loop {
         let head_state = &states[head];
         let head_dist = head_state.answers.query_dist(&head_state.qtype);
@@ -512,7 +552,10 @@ where
                 continue;
             }
             if !window.is_empty() {
-                disk.prefetch(page_id);
+                // A prefetch that faults past the budget is absorbed: the
+                // page enters the window unstaged and the demand read below
+                // performs (and re-rolls) the physical read itself.
+                fault::prefetch_absorbing(disk, page_id, options.fault_policy);
             }
             window.push_back((page_id, lb));
         }
@@ -545,7 +588,14 @@ where
             }
         }
 
-        let records = disk.read_page_pinned(page_id).records();
+        let records =
+            fault::read_page_pinned_with_retry(disk, page_id, options.fault_policy)?.records();
+        // Pin released at the end of this iteration — or during an unwind,
+        // if evaluation panics.
+        let _pin = PinGuard {
+            disk,
+            page: page_id,
+        };
         let parallel = pool.filter(|p| {
             p.threads() > 1
                 && records.len() > 1
@@ -562,8 +612,15 @@ where
             pool.run(morsel_count, &|i| {
                 let lo = i * morsel_len;
                 let hi = (lo + morsel_len).min(records.len());
-                let outcome =
-                    evaluate_chunk(&records[lo..hi], objects, qq, metric, active_ref, qd_ref, options);
+                let outcome = evaluate_chunk(
+                    &records[lo..hi],
+                    objects,
+                    qq,
+                    metric,
+                    active_ref,
+                    qd_ref,
+                    options,
+                );
                 *outcomes[i].lock().unwrap() = Some(outcome);
             });
             // Merge strictly in morsel order so the answer-insert sequence
@@ -580,19 +637,13 @@ where
                 evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
             merge_outcome(states, avoidance_stats, &active, outcome);
         }
-        disk.unpin_page(page_id);
-
         for &i in &active {
             states[i].processed.insert(page_id);
         }
     }
 
-    // Window entries staged beyond the termination point keep their
-    // accounted physical reads but release their frames.
-    disk.drop_prefetch_pins();
-
     session.states[head].completed = true;
-    Some(head)
+    Ok(Some(head))
 }
 
 #[cfg(test)]

@@ -248,7 +248,10 @@ mod tests {
             pool.run(inputs.len(), &|i| {
                 sums[i].store(inputs[i] as usize * 2, Ordering::Relaxed);
             });
-            total += sums.iter().map(|s| s.load(Ordering::Relaxed) as u64).sum::<u64>();
+            total += sums
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed) as u64)
+                .sum::<u64>();
         }
         let expected: u64 = (0..50u64)
             .map(|r| (0..37u64).map(|i| (i + r) * 2).sum::<u64>())

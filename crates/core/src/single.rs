@@ -21,6 +21,7 @@
 //! ```
 
 use crate::answers::{Answer, AnswerList};
+use crate::fault::{self, EngineError, FaultPolicy};
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
@@ -30,6 +31,10 @@ use mq_storage::{SimulatedDisk, StorageObject};
 /// relevant data pages, `disk` to read them (metered), and `metric` for the
 /// distance calculations (counted when `metric` is a
 /// [`mq_metric::CountingMetric`]).
+///
+/// # Panics
+/// Panics if the disk has a fault plan installed and a read faults;
+/// fault-aware callers use [`try_similarity_query`].
 pub fn similarity_query<O, M, I>(
     disk: &SimulatedDisk<O>,
     index: &I,
@@ -42,6 +47,27 @@ where
     M: Metric<O>,
     I: SimilarityIndex<O> + ?Sized,
 {
+    try_similarity_query(disk, index, metric, query, qtype, FaultPolicy::default())
+        .unwrap_or_else(|e| panic!("unrecoverable engine error: {e}"))
+}
+
+/// Fallible [`similarity_query`]: each page read retries transient disk
+/// faults within `policy.retry_budget`, then surfaces an [`EngineError`].
+/// A successful result is bit-identical to a fault-free run (failed
+/// attempts touch no I/O counter and no buffer state).
+pub fn try_similarity_query<O, M, I>(
+    disk: &SimulatedDisk<O>,
+    index: &I,
+    metric: &M,
+    query: &O,
+    qtype: &QueryType,
+    policy: FaultPolicy,
+) -> Result<AnswerList, EngineError>
+where
+    O: StorageObject,
+    M: Metric<O>,
+    I: SimilarityIndex<O> + ?Sized,
+{
     let mut answers = AnswerList::new(qtype);
     let mut plan = index.plan(query);
     loop {
@@ -49,7 +75,7 @@ where
         let Some((page_id, _lower_bound)) = plan.next(query_dist) else {
             break;
         };
-        let page = disk.read_page(page_id);
+        let page = fault::read_page_with_retry(disk, page_id, policy)?;
         // `query_dist` is snapshotted per page rather than refreshed per
         // object: a snapshot is never smaller than the refreshed value, so
         // at worst a few extra candidates are inserted — and the answer
@@ -62,7 +88,7 @@ where
             }
         }
     }
-    answers
+    Ok(answers)
 }
 
 #[cfg(test)]

@@ -223,8 +223,14 @@ fn nearest_chain_saves_io_on_dynamic_clustered_workloads() {
 
         let (fifo_answers, fifo) =
             run_dynamic(&ds, layout, 4, &stream, clusters, LeaderPolicy::Fifo);
-        let (chained_answers, chained) =
-            run_dynamic(&ds, layout, 4, &stream, clusters, LeaderPolicy::NearestChain);
+        let (chained_answers, chained) = run_dynamic(
+            &ds,
+            layout,
+            4,
+            &stream,
+            clusters,
+            LeaderPolicy::NearestChain,
+        );
 
         for (qi, (a, b)) in fifo_answers.iter().zip(&chained_answers).enumerate() {
             assert_answers_eq(a, b, &format!("seed {seed}, query {qi}"));

@@ -341,7 +341,10 @@ fn xtree_prefetch_depth_2_matches_depth_0() {
     let ds = Dataset::new(points);
     let layout = PageLayout::new(1024, 24);
     let queries: Vec<(Vector, QueryType)> = vec![
-        (Vector::new(vec![30.0, 60.0, 20.0, 80.0]), QueryType::knn(10)),
+        (
+            Vector::new(vec![30.0, 60.0, 20.0, 80.0]),
+            QueryType::knn(10),
+        ),
         (
             Vector::new(vec![70.0, 15.0, 45.0, 35.0]),
             QueryType::range(20.0),

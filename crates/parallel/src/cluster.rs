@@ -4,12 +4,19 @@
 use crate::merge::merge_answers;
 use crate::partition::Declustering;
 use crate::server::Server;
-use mq_core::{Answer, ExecutionStats, LeaderPolicy, QueryEngine, QueryType, StatsProbe, WorkerPool};
+use mq_core::{
+    Answer, EngineError, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType,
+    StatsProbe, WorkerPool,
+};
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
 use mq_storage::{Dataset, PagedDatabase, StorageObject};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One server's outcome: its per-query answers and stats, or the reason
+/// the partition is unreachable.
+type ServerRun = Result<(Vec<Vec<Answer>>, ExecutionStats), String>;
 
 /// Statistics of one parallel multiple-query run.
 #[derive(Clone, Debug, Default)]
@@ -19,6 +26,38 @@ pub struct ClusterStats {
     pub per_server: Vec<ExecutionStats>,
     /// Measured wall-clock of the whole parallel run.
     pub elapsed: std::time::Duration,
+}
+
+/// The result of a fault-tolerant cluster run: global answers merged from
+/// every *reachable* server, plus an explicit record of the partitions
+/// that failed. A degraded result is never silently complete — callers
+/// must check [`is_complete`](Self::is_complete) (or `missing_partitions`)
+/// before treating the answers as the full Definition 4 result.
+#[derive(Clone, Debug)]
+pub struct DegradedAnswers {
+    /// Global answers per query, merged over the servers that responded —
+    /// the best answers computable from the reachable part of the
+    /// database. With missing partitions, a range query returns a subset
+    /// of the full result; a k-NN query returns the k nearest *reachable*
+    /// objects (never nearer than the full result at any rank).
+    pub answers: Vec<Vec<Answer>>,
+    /// Statistics of the run; failed servers report
+    /// [`ExecutionStats::default`] in their slot of `per_server`.
+    pub stats: ClusterStats,
+    /// Indices (server order) of the partitions that failed, ascending.
+    /// Empty means the result is complete.
+    pub missing_partitions: Vec<usize>,
+    /// Human-readable reason per missing partition, parallel to
+    /// `missing_partitions` (engine error display or panic note).
+    pub failure_reasons: Vec<String>,
+}
+
+impl DegradedAnswers {
+    /// Whether every partition contributed — i.e. the answers are the
+    /// complete multiple-query result, not a degraded subset.
+    pub fn is_complete(&self) -> bool {
+        self.missing_partitions.is_empty()
+    }
 }
 
 impl ClusterStats {
@@ -52,6 +91,8 @@ pub struct SharedNothingCluster<O, M> {
     prefetch_depth: usize,
     /// Leader scheduling policy of each server's engine.
     leader: LeaderPolicy,
+    /// Fault policy of each server's engine (per-read retry budget).
+    fault_policy: FaultPolicy,
 }
 
 impl<O, M> SharedNothingCluster<O, M>
@@ -83,6 +124,7 @@ where
             pools: Vec::new(),
             prefetch_depth: 0,
             leader: LeaderPolicy::default(),
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -121,6 +163,19 @@ where
         self
     }
 
+    /// Sets the fault policy (per-read transient retry budget) of every
+    /// server's engine. Only matters when a server disk has a
+    /// [`mq_storage::FaultPlan`] installed.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// The fault policy of each server's engine.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
     /// Page-evaluation threads of each server's engine.
     pub fn engine_threads(&self) -> usize {
         self.engine_threads
@@ -139,13 +194,39 @@ where
     /// Runs one multiple similarity query on every server in parallel
     /// (scoped OS threads) and merges the per-server answers into global
     /// answers, in query order.
+    ///
+    /// # Panics
+    /// Panics if any partition fails (a server thread panics or its engine
+    /// surfaces an unrecoverable fault) — this entry point never returns a
+    /// silently partial result. Fault-tolerant callers use
+    /// [`multiple_query_degraded`](Self::multiple_query_degraded).
     pub fn multiple_query(
         &self,
         queries: &[(O, QueryType)],
         avoidance: bool,
     ) -> (Vec<Vec<Answer>>, ClusterStats) {
+        let degraded = self.multiple_query_degraded(queries, avoidance);
+        assert!(
+            degraded.is_complete(),
+            "cluster partitions failed: {:?} ({:?})",
+            degraded.missing_partitions,
+            degraded.failure_reasons
+        );
+        (degraded.answers, degraded.stats)
+    }
+
+    /// Fault-tolerant [`multiple_query`](Self::multiple_query): every server
+    /// runs in parallel; a server whose engine errors (past the cluster's
+    /// fault policy) or whose thread panics becomes an explicitly recorded
+    /// *missing partition* instead of poisoning the whole run. Answers are
+    /// merged over the reachable servers only.
+    pub fn multiple_query_degraded(
+        &self,
+        queries: &[(O, QueryType)],
+        avoidance: bool,
+    ) -> DegradedAnswers {
         let started = Instant::now();
-        let per_server: Vec<(Vec<Vec<Answer>>, ExecutionStats)> = std::thread::scope(|scope| {
+        let per_server: Vec<ServerRun> = std::thread::scope(|scope| {
             let engine_threads = self.engine_threads;
             let handles: Vec<_> = self
                 .servers
@@ -162,35 +243,62 @@ where
                             pool,
                             self.prefetch_depth,
                             self.leader,
+                            self.fault_policy,
                         )
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("server thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(Ok(result)) => Ok(result),
+                    Ok(Err(e)) => Err(format!("engine error: {e}")),
+                    Err(_) => Err("server thread panicked".to_string()),
+                })
                 .collect()
         });
 
+        let mut missing_partitions = Vec::new();
+        let mut failure_reasons = Vec::new();
+        for (si, r) in per_server.iter().enumerate() {
+            if let Err(reason) = r {
+                missing_partitions.push(si);
+                failure_reasons.push(reason.clone());
+            }
+        }
+
         let stats = ClusterStats {
-            per_server: per_server.iter().map(|(_, s)| *s).collect(),
+            per_server: per_server
+                .iter()
+                .map(|r| r.as_ref().map(|(_, s)| *s).unwrap_or_default())
+                .collect(),
             elapsed: started.elapsed(),
         };
 
-        // Merge per query across servers.
+        // Merge per query across the servers that responded.
         let answers = (0..queries.len())
             .map(|qi| {
-                let lists: Vec<Vec<Answer>> =
-                    per_server.iter().map(|(a, _)| a[qi].clone()).collect();
+                let lists: Vec<Vec<Answer>> = per_server
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|(a, _)| a[qi].clone())
+                    .collect();
                 merge_answers(&queries[qi].1, lists)
             })
             .collect();
-        (answers, stats)
+        DegradedAnswers {
+            answers,
+            stats,
+            missing_partitions,
+            failure_reasons,
+        }
     }
 }
 
 /// Executes the full batch on one server and translates answers to global
-/// object ids.
+/// object ids. Surfaces the engine's typed error when a read faults past
+/// the retry budget.
+#[allow(clippy::too_many_arguments)]
 fn run_on_server<O, M>(
     server: &Server<O, M>,
     queries: &[(O, QueryType)],
@@ -199,7 +307,8 @@ fn run_on_server<O, M>(
     pool: Option<Arc<WorkerPool>>,
     prefetch_depth: usize,
     leader: LeaderPolicy,
-) -> (Vec<Vec<Answer>>, ExecutionStats)
+    fault_policy: FaultPolicy,
+) -> Result<(Vec<Vec<Answer>>, ExecutionStats), EngineError>
 where
     O: StorageObject,
     M: Metric<O> + Clone,
@@ -208,7 +317,8 @@ where
         let mut e = QueryEngine::new(server.disk(), server.index(), server.metric().clone())
             .with_threads(engine_threads)
             .with_prefetch_depth(prefetch_depth)
-            .with_leader_policy(leader);
+            .with_leader_policy(leader)
+            .with_fault_policy(fault_policy);
         if let Some(pool) = pool {
             e = e.with_pool(pool);
         }
@@ -225,7 +335,7 @@ where
             .map(|(o, t)| (o.clone(), *t))
             .collect::<Vec<_>>(),
     );
-    engine.run_to_completion(&mut session);
+    engine.try_run_to_completion(&mut session)?;
     let avoidance_stats = session.avoidance_stats();
     let stats = probe.finish(server.disk(), avoidance_stats);
     let answers = session
@@ -240,7 +350,7 @@ where
                 .collect()
         })
         .collect();
-    (answers, stats)
+    Ok((answers, stats))
 }
 
 #[cfg(test)]
@@ -510,6 +620,117 @@ mod tests {
                 assert_eq!(&ids, want, "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn killed_server_yields_explicit_missing_partition() {
+        use mq_storage::FaultPlan;
+        let objects = random_points(300, 3, 229);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(37)
+            .take(6)
+            .map(|v| (v.clone(), QueryType::knn(4)))
+            .collect();
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            3,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        );
+        // Healthy reference first.
+        let healthy = cluster.multiple_query_degraded(&queries, true);
+        assert!(healthy.is_complete());
+        // Kill server 1's disk outright: every read is Unavailable.
+        cluster.servers()[1]
+            .disk()
+            .set_fault_plan(Some(FaultPlan::new(42).with_kill_after(0)));
+        let degraded = cluster.multiple_query_degraded(&queries, true);
+        assert!(!degraded.is_complete());
+        assert_eq!(degraded.missing_partitions, vec![1]);
+        assert_eq!(degraded.failure_reasons.len(), 1);
+        assert!(
+            degraded.failure_reasons[0].contains("unavailable"),
+            "{}",
+            degraded.failure_reasons[0]
+        );
+        // The failed slot reports empty stats; the others worked.
+        assert_eq!(degraded.stats.per_server[1], ExecutionStats::default());
+        assert!(degraded.stats.per_server[0].io.logical_reads > 0);
+        // No degraded answer comes from the dead partition, and at every
+        // rank the degraded neighbor is no nearer than the full one.
+        let dead: Vec<ObjectId> = Declustering::RoundRobin.partition(objects.len(), 3)[1].clone();
+        for (got, full) in degraded.answers.iter().zip(&healthy.answers) {
+            for a in got {
+                assert!(!dead.contains(&a.id), "answer from a dead partition");
+            }
+            for (g, f) in got.iter().zip(full) {
+                assert!(g.distance >= f.distance - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_query_panics_on_missing_partition() {
+        use mq_storage::FaultPlan;
+        let objects = random_points(120, 3, 231);
+        let queries: Vec<(Vector, QueryType)> = vec![(objects[0].clone(), QueryType::knn(3))];
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            2,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        );
+        cluster.servers()[0]
+            .disk()
+            .set_fault_plan(Some(FaultPlan::new(7).with_kill_after(0)));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.multiple_query(&queries, true)
+        }));
+        assert!(r.is_err(), "strict entry point must refuse partial results");
+    }
+
+    #[test]
+    fn retry_budget_recovers_transient_cluster_faults() {
+        use mq_storage::FaultPlan;
+        let objects = random_points(300, 3, 233);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(43)
+            .take(5)
+            .map(|v| (v.clone(), QueryType::knn(4)))
+            .collect();
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            2,
+            Declustering::Hash,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        )
+        .with_fault_policy(mq_core::FaultPolicy::new(3));
+        let healthy = cluster.multiple_query_degraded(&queries, true);
+        for server in cluster.servers() {
+            server
+                .disk()
+                .set_fault_plan(Some(FaultPlan::new(99).with_transient(0.3)));
+        }
+        let faulty = cluster.multiple_query_degraded(&queries, true);
+        assert!(faulty.is_complete(), "{:?}", faulty.failure_reasons);
+        for (got, want) in faulty.answers.iter().zip(&healthy.answers) {
+            assert_eq!(got, want, "answers must be bit-identical after retries");
+        }
+        assert!(
+            cluster
+                .servers()
+                .iter()
+                .any(|s| s.disk().fault_stats().transient_errors > 0),
+            "the plan should actually have fired"
+        );
     }
 
     #[test]

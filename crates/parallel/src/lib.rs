@@ -22,6 +22,6 @@ pub mod merge;
 pub mod partition;
 pub mod server;
 
-pub use cluster::{ClusterStats, SharedNothingCluster};
+pub use cluster::{ClusterStats, DegradedAnswers, SharedNothingCluster};
 pub use partition::Declustering;
 pub use server::Server;

@@ -45,6 +45,14 @@ pub struct ServerConfig {
     /// workers overlap batch execution with batch collection, at the cost
     /// of batches competing for cores.
     pub workers: usize,
+    /// Extra read attempts the engines make on a *transient* disk fault
+    /// before a batch fails (see [`mq_core::FaultPolicy`]). Only matters
+    /// when the backend's disks have a fault plan installed.
+    pub retry_budget: u32,
+    /// Read timeout applied to every client connection; a client that
+    /// stalls mid-frame for longer is disconnected instead of pinning its
+    /// handler thread forever. `None` (the default) blocks indefinitely.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +66,8 @@ impl Default for ServerConfig {
             prefetch_depth: 0,
             leader: LeaderPolicy::default(),
             workers: 1,
+            retry_budget: 2,
+            read_timeout: None,
         }
     }
 }
@@ -114,6 +124,18 @@ impl ServerConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Sets the engines' transient-fault retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the per-connection read timeout (`None` blocks forever).
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +152,9 @@ mod tests {
             .with_threads(4)
             .with_prefetch_depth(2)
             .with_leader(LeaderPolicy::NearestChain)
-            .with_workers(2);
+            .with_workers(2)
+            .with_retry_budget(5)
+            .with_read_timeout(Some(Duration::from_secs(3)));
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
@@ -139,6 +163,8 @@ mod tests {
         assert_eq!(c.prefetch_depth, 2);
         assert_eq!(c.leader, LeaderPolicy::NearestChain);
         assert_eq!(c.workers, 2);
+        assert_eq!(c.retry_budget, 5);
+        assert_eq!(c.read_timeout, Some(Duration::from_secs(3)));
     }
 
     #[test]
@@ -148,6 +174,8 @@ mod tests {
         assert_eq!(c.prefetch_depth, 0);
         assert_eq!(c.leader, LeaderPolicy::Fifo);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.retry_budget, 2);
+        assert_eq!(c.read_timeout, None);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod service;
 
-pub use client::{Client, ClientError, RemoteAnswers};
+pub use client::{Client, ClientError, RemoteAnswers, RetryConfig, RetryingClient};
 pub use config::{ExecutionMode, ServerConfig};
 pub use protocol::{Message, ProtocolError, ServiceMetrics};
 pub use scheduler::{

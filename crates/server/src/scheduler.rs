@@ -15,7 +15,8 @@ use crate::config::{ExecutionMode, ServerConfig};
 use crate::protocol::ServiceMetrics;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use mq_core::{
-    Answer, ExecutionStats, LeaderPolicy, QueryEngine, QueryType, StatsProbe, WorkerPool,
+    Answer, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType, StatsProbe,
+    WorkerPool,
 };
 use mq_index::SimilarityIndex;
 use mq_metric::{CountingMetric, Euclidean, Vector};
@@ -72,6 +73,7 @@ pub struct SingleEngineBackend {
     /// engine of every batch, so batches never pay thread spawn/join.
     /// `None` while `threads == 1`.
     pool: Option<Arc<WorkerPool>>,
+    fault_policy: FaultPolicy,
     dims: usize,
 }
 
@@ -98,6 +100,7 @@ impl SingleEngineBackend {
             prefetch_depth: 0,
             leader: LeaderPolicy::default(),
             pool: None,
+            fault_policy: FaultPolicy::default(),
             dims,
         }
     }
@@ -122,6 +125,18 @@ impl SingleEngineBackend {
         self.leader = leader;
         self
     }
+
+    /// Sets the engine's transient-fault retry budget (only matters when
+    /// the disk has a [`mq_storage::FaultPlan`] installed).
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.fault_policy = FaultPolicy::new(budget);
+        self
+    }
+
+    /// The backend's simulated disk (fault-plan installation in tests).
+    pub fn disk(&self) -> &SimulatedDisk<Vector> {
+        &self.disk
+    }
 }
 
 impl QueryBackend for SingleEngineBackend {
@@ -129,7 +144,8 @@ impl QueryBackend for SingleEngineBackend {
         let mut engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone())
             .with_threads(self.threads)
             .with_prefetch_depth(self.prefetch_depth)
-            .with_leader_policy(self.leader);
+            .with_leader_policy(self.leader)
+            .with_fault_policy(self.fault_policy);
         if let Some(pool) = &self.pool {
             engine = engine.with_pool(Arc::clone(pool));
         }
@@ -217,6 +233,17 @@ impl ClusterBackend {
     pub fn with_leader(mut self, leader: LeaderPolicy) -> Self {
         self.cluster = self.cluster.with_leader_policy(leader);
         self
+    }
+
+    /// Sets every server engine's transient-fault retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.cluster = self.cluster.with_fault_policy(FaultPolicy::new(budget));
+        self
+    }
+
+    /// The underlying cluster (fault-plan installation in tests).
+    pub fn cluster(&self) -> &SharedNothingCluster<Vector, CountingMetric<Euclidean>> {
+        &self.cluster
     }
 }
 
@@ -418,7 +445,8 @@ where
                 SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
-                    .with_leader(config.leader),
+                    .with_leader(config.leader)
+                    .with_retry_budget(config.retry_budget),
             )
         }
         ExecutionMode::Cluster { servers } => {
@@ -433,7 +461,8 @@ where
                 )
                 .with_engine_threads(config.threads)
                 .with_prefetch_depth(config.prefetch_depth)
-                .with_leader(config.leader),
+                .with_leader(config.leader)
+                .with_retry_budget(config.retry_budget),
             )
         }
     }

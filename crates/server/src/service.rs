@@ -30,12 +30,16 @@ impl QueryServer {
         let addr = listener.local_addr()?;
         let scheduler = Arc::new(BatchScheduler::start(backend, config));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let read_timeout = config.read_timeout;
 
         let accept_scheduler = Arc::clone(&scheduler);
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name("mq-accept".into())
-            .spawn(move || accept_loop(listener, accept_scheduler, accept_shutdown))?;
+        let accept_thread =
+            std::thread::Builder::new()
+                .name("mq-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, accept_scheduler, accept_shutdown, read_timeout)
+                })?;
 
         Ok(Self {
             addr,
@@ -75,7 +79,12 @@ impl Drop for QueryServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, scheduler: Arc<BatchScheduler>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    scheduler: Arc<BatchScheduler>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Option<std::time::Duration>,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -89,12 +98,19 @@ fn accept_loop(listener: TcpListener, scheduler: Arc<BatchScheduler>, shutdown: 
         // hangs up, and holds only an Arc on the scheduler.
         let _ = std::thread::Builder::new()
             .name("mq-conn".into())
-            .spawn(move || handle_connection(stream, conn_scheduler));
+            .spawn(move || handle_connection(stream, conn_scheduler, read_timeout));
     }
 }
 
-fn handle_connection(mut stream: TcpStream, scheduler: Arc<BatchScheduler>) {
+fn handle_connection(
+    mut stream: TcpStream,
+    scheduler: Arc<BatchScheduler>,
+    read_timeout: Option<std::time::Duration>,
+) {
     let _ = stream.set_nodelay(true);
+    // A client that stalls mid-frame is disconnected after the timeout
+    // instead of holding its handler thread hostage forever.
+    let _ = stream.set_read_timeout(read_timeout);
     loop {
         let request = match read_message(&mut stream) {
             Ok(msg) => msg,

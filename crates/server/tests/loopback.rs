@@ -193,6 +193,76 @@ fn malformed_frame_gets_error_reply() {
 }
 
 #[test]
+fn client_dropped_mid_batch_leaks_no_slot_and_others_complete() {
+    let ds = dataset(300);
+    let db = PagedDatabase::pack(&ds, layout());
+    let scan = LinearScan::new(db.page_count());
+    let backend = SingleEngineBackend::new(db, Box::new(scan), 0.10, true);
+    // max_batch = 3: one doomed client plus two survivors fill a batch.
+    let config = ServerConfig::default()
+        .with_max_batch(3)
+        .with_max_wait(Duration::from_millis(200));
+    let mut server =
+        QueryServer::bind("127.0.0.1:0", Box::new(backend), &config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // The doomed client: writes a complete, valid Query frame and then
+    // drops the connection before the batch flushes. Its reply has
+    // nowhere to go; the server must shrug, not stall or leak the slot.
+    {
+        use std::io::Write;
+        let doomed_query = mq_server::Message::Query {
+            object: ds.object(ObjectId(7)).clone(),
+            qtype: QueryType::knn(3),
+        };
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect doomed");
+        raw.write_all(&doomed_query.encode()).expect("write frame");
+        // Dropped here — socket closes while the query sits in the batch.
+    }
+
+    // Two survivors joining the same batch window must both complete.
+    let survivors: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let q = ds.object(ObjectId((i * 31 + 1) as u32)).clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect survivor");
+                    client
+                        .query(&q, &QueryType::knn(4))
+                        .expect("survivor query")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("survivor thread"))
+            .collect()
+    });
+    for reply in &survivors {
+        assert_eq!(reply.answers.len(), 4, "survivor got a full kNN answer");
+    }
+
+    // A later, unrelated query must still be served: if the dead client
+    // leaked a batch slot the admission queue would wedge.
+    let mut late = Client::connect(addr).expect("connect late");
+    let reply = late
+        .query(ds.object(ObjectId(9)), &QueryType::knn(1))
+        .expect("service must survive the dropped client");
+    assert_eq!(reply.answers[0].id.0, 9);
+    drop(late);
+
+    // The doomed query was still *executed* — only its reply was lost.
+    let metrics = server.metrics();
+    assert!(
+        metrics.queries >= 4,
+        "all submitted queries ran, got {}",
+        metrics.queries
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn dimension_mismatch_is_rejected_and_server_keeps_serving() {
     let ds = dataset(80);
     let db = PagedDatabase::pack(&ds, layout());

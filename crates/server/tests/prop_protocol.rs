@@ -4,7 +4,7 @@
 
 use mq_core::{Answer, AvoidanceStats, ExecutionStats, QueryType};
 use mq_metric::{ObjectId, Vector};
-use mq_server::protocol::{Message, ProtocolError, MAGIC};
+use mq_server::protocol::{Message, ProtocolError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 use mq_storage::IoStats;
 use proptest::prelude::*;
 use std::time::Duration;
@@ -137,6 +137,88 @@ proptest! {
             // produce another valid message) or a clean error — as long
             // as it does not panic or read out of bounds.
             let _ = Message::decode(&frame);
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation(
+        extra in prop_oneof![Just(1u64), 1u64..1_000_000, Just(u32::MAX as u64 - MAX_PAYLOAD as u64)],
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A header that *claims* a payload beyond the limit must be
+        // refused from the 10 header bytes alone — typed Malformed, no
+        // attempt to read (or allocate) the declared gigabytes.
+        let len = (MAX_PAYLOAD as u64 + extra) as u32;
+        let mut frame = Vec::with_capacity(HEADER_LEN + tail.len());
+        frame.extend_from_slice(MAGIC);
+        frame.extend_from_slice(&VERSION.to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&tail);
+        match Message::decode(&frame) {
+            Err(ProtocolError::Malformed(reason)) => {
+                prop_assert!(
+                    reason.contains("exceeds"),
+                    "oversized length must be named in the error: {reason}"
+                );
+            }
+            other => prop_assert!(false, "declared {len} bytes decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_beyond_buffer_reads_as_truncated_never_over(
+        declared in 1u32..10_000,
+        provided_seed in 0usize..10_000,
+    ) {
+        // A well-formed header whose declared payload extends past the
+        // buffer must report Truncated — decode may never read past the
+        // bytes it was handed.
+        let provided = provided_seed % declared as usize;
+        let mut frame = Vec::with_capacity(HEADER_LEN + provided);
+        frame.extend_from_slice(MAGIC);
+        frame.extend_from_slice(&VERSION.to_le_bytes());
+        frame.extend_from_slice(&declared.to_le_bytes());
+        frame.resize(HEADER_LEN + provided, 0xAB);
+        prop_assert!(
+            matches!(Message::decode(&frame), Err(ProtocolError::Truncated)),
+            "declared {declared}, provided {provided}: must be Truncated"
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_never_over_read(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Fully random input: decode returns a typed error or a message,
+        // and on success the consumed count stays within the input.
+        if let Ok((_, used)) = Message::decode(&bytes) {
+            prop_assert!(used <= bytes.len(), "consumed {used} of {} bytes", bytes.len());
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_a_clean_outcome(
+        msg in arb_message(),
+        pos_seed in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere — magic, version, length, or payload.
+        // The decoder must produce a typed error or a (possibly different)
+        // valid message; it must never panic and never consume more bytes
+        // than the frame holds.
+        let mut frame = msg.encode().to_vec();
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= 1 << bit;
+        match Message::decode(&frame) {
+            Ok((_, used)) => prop_assert!(used <= frame.len()),
+            Err(
+                ProtocolError::BadMagic(_)
+                | ProtocolError::BadVersion(_)
+                | ProtocolError::Truncated
+                | ProtocolError::UnknownKind(_)
+                | ProtocolError::Malformed(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "bit flip at {pos} gave unexpected error {other:?}"),
         }
     }
 }

@@ -2,11 +2,12 @@
 
 use crate::buffer::LruBuffer;
 use crate::database::{PagedDatabase, StorageObject};
+use crate::fault::{page_checksum, DiskError, FaultDecision, FaultPlan, FaultStats};
 use crate::page::{Page, PageId};
 use crate::policy::BufferPolicy;
 use crate::stats::IoStats;
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The paper's buffer sizing: 10 % of the data pages (§6).
 pub const PAPER_BUFFER_FRACTION: f64 = 0.10;
@@ -28,6 +29,18 @@ struct DiskState {
     /// [`SimulatedDisk::drop_prefetch_pins`]). A `BTreeSet` so leftover
     /// pins are released in deterministic (ascending page id) order.
     prefetched: BTreeSet<PageId>,
+    /// Active fault schedule (`None` = the disk never fails).
+    fault_plan: Option<FaultPlan>,
+    /// Injected-fault counters — deliberately separate from [`IoStats`]:
+    /// failed attempts leave every I/O counter untouched, so a run whose
+    /// reads all eventually succeed is bit-identical to a fault-free run.
+    fault_stats: FaultStats,
+    /// Injected faults suffered so far, per page (the plan's `attempt` axis).
+    fault_attempts: HashMap<PageId, u32>,
+    /// Successful physical reads, for the plan's `kill_after` trigger.
+    successful_physical: u64,
+    /// Once `true`, every read fails with [`DiskError::Unavailable`].
+    killed: bool,
 }
 
 /// A simulated disk serving the pages of one [`PagedDatabase`].
@@ -44,6 +57,12 @@ struct DiskState {
 #[derive(Debug)]
 pub struct SimulatedDisk<O> {
     db: PagedDatabase<O>,
+    /// Per-page checksums (indexed by page id), precomputed at construction.
+    /// Both the "platter" and the "wire" side of a simulated transfer hash
+    /// to the same value, so only an injected corruption (which XORs noise
+    /// into the transferred checksum) can make them disagree — the page
+    /// data itself is never damaged in memory.
+    checksums: Vec<u64>,
     state: Mutex<DiskState>,
 }
 
@@ -69,15 +88,75 @@ impl<O: StorageObject> SimulatedDisk<O> {
     /// Creates a disk with an explicit page-replacement policy (the paper
     /// uses LRU; see [`crate::policy`] for CLOCK and FIFO alternatives).
     pub fn with_policy(db: PagedDatabase<O>, policy: Box<dyn BufferPolicy>) -> Self {
+        let checksums = db
+            .page_ids()
+            .map(|pid| {
+                page_checksum(
+                    pid,
+                    db.page(pid).records().iter().map(|r| r.0.index() as u32),
+                )
+            })
+            .collect();
         Self {
             db,
+            checksums,
             state: Mutex::new(DiskState {
                 buffer: policy,
                 stats: IoStats::default(),
                 last_physical: None,
                 prefetched: BTreeSet::new(),
+                fault_plan: None,
+                fault_stats: FaultStats::default(),
+                fault_attempts: HashMap::new(),
+                successful_physical: 0,
+                killed: false,
             }),
         }
+    }
+
+    /// Installs (or, with `None`, removes) a fault schedule. Resets all
+    /// fault bookkeeping — attempt counters, the kill switch, and
+    /// [`FaultStats`] — so a freshly installed plan always replays the same
+    /// schedule for the same access sequence.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut st = self.state.lock();
+        st.fault_plan = plan;
+        st.fault_stats = FaultStats::default();
+        st.fault_attempts.clear();
+        st.successful_physical = 0;
+        st.killed = false;
+    }
+
+    /// The active fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.lock().fault_plan
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().fault_stats
+    }
+
+    /// Whether the simulated device has died (`kill_after` fired).
+    pub fn is_killed(&self) -> bool {
+        self.state.lock().killed
+    }
+
+    /// The precomputed checksum of a page (diagnostic; testkit use).
+    pub fn checksum(&self, id: PageId) -> u64 {
+        self.checksums[id.0 as usize]
+    }
+
+    /// Number of currently resident buffer pages (diagnostic).
+    pub fn buffer_len(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Number of distinct currently pinned pages (diagnostic). Zero
+    /// whenever no read is in flight — a nonzero value between steps is a
+    /// pin leak.
+    pub fn pinned_pages(&self) -> usize {
+        self.state.lock().buffer.pinned()
     }
 
     /// The underlying database.
@@ -91,8 +170,13 @@ impl<O: StorageObject> SimulatedDisk<O> {
     }
 
     /// Reads a page, updating buffer state and I/O counters.
+    ///
+    /// # Panics
+    /// Panics if a [`FaultPlan`] is installed and this read attempt faults.
+    /// Fault-aware callers use [`try_read_page`](Self::try_read_page).
     pub fn read_page(&self, id: PageId) -> &Page<O> {
-        self.read_page_impl(id, false)
+        self.try_read_page(id)
+            .unwrap_or_else(|e| panic!("unhandled disk fault: {e}"))
     }
 
     /// Reads a page like [`read_page`](Self::read_page) and additionally
@@ -102,13 +186,44 @@ impl<O: StorageObject> SimulatedDisk<O> {
     /// If the page was staged by a [`prefetch`](Self::prefetch), the demand
     /// read counts a `prefetched_hit` and the prefetch pin is handed over
     /// (released) before the caller's pin is taken.
+    ///
+    /// # Panics
+    /// Panics if a [`FaultPlan`] is installed and this read attempt faults.
     pub fn read_page_pinned(&self, id: PageId) -> &Page<O> {
-        self.read_page_impl(id, true)
+        self.try_read_page_pinned(id)
+            .unwrap_or_else(|e| panic!("unhandled disk fault: {e}"))
     }
 
-    fn read_page_impl(&self, id: PageId, pin: bool) -> &Page<O> {
+    /// Fallible [`read_page`](Self::read_page): under an installed
+    /// [`FaultPlan`], a buffer miss may fail instead of performing the
+    /// physical read. A failed attempt touches **only** [`FaultStats`] —
+    /// no I/O counter moves, the buffer is untouched — so a successful
+    /// retry is indistinguishable from a read that never faulted. Buffer
+    /// hits never fault (the data is already in memory), except on a dead
+    /// disk, which refuses everything.
+    pub fn try_read_page(&self, id: PageId) -> Result<&Page<O>, DiskError> {
+        self.try_read_page_impl(id, false)
+    }
+
+    /// Fallible [`read_page_pinned`](Self::read_page_pinned); see
+    /// [`try_read_page`](Self::try_read_page) for the fault semantics.
+    pub fn try_read_page_pinned(&self, id: PageId) -> Result<&Page<O>, DiskError> {
+        self.try_read_page_impl(id, true)
+    }
+
+    fn try_read_page_impl(&self, id: PageId, pin: bool) -> Result<&Page<O>, DiskError> {
         {
             let mut st = self.state.lock();
+            if st.killed {
+                st.fault_stats.unavailable_reads += 1;
+                return Err(DiskError::Unavailable { page: id });
+            }
+            // Fault check strictly before any accounting or buffer
+            // mutation: only a would-be miss touches the platter, and a
+            // failed attempt must leave the disk exactly as it found it.
+            if !st.buffer.contains(id) {
+                self.check_fault(&mut st, id)?;
+            }
             st.stats.logical_reads += 1;
             if st.buffer.access(id) {
                 st.stats.buffer_hits += 1;
@@ -128,7 +243,7 @@ impl<O: StorageObject> SimulatedDisk<O> {
                 st.buffer.pin(id);
             }
         }
-        self.db.page(id)
+        Ok(self.db.page(id))
     }
 
     /// Stages a page ahead of demand: on a buffer miss the physical read is
@@ -140,10 +255,29 @@ impl<O: StorageObject> SimulatedDisk<O> {
     /// *not* a logical read: issuing it never changes `logical_reads`.
     ///
     /// Prefetching an already-staged page is a no-op.
+    ///
+    /// # Panics
+    /// Panics if a [`FaultPlan`] is installed and this prefetch faults.
     pub fn prefetch(&self, id: PageId) {
+        self.try_prefetch(id)
+            .unwrap_or_else(|e| panic!("unhandled disk fault: {e}"))
+    }
+
+    /// Fallible [`prefetch`](Self::prefetch); see
+    /// [`try_read_page`](Self::try_read_page) for the fault semantics. On
+    /// failure the page is simply not staged — a later demand read performs
+    /// (and re-rolls) its own physical read.
+    pub fn try_prefetch(&self, id: PageId) -> Result<(), DiskError> {
         let mut st = self.state.lock();
+        if st.killed {
+            st.fault_stats.unavailable_reads += 1;
+            return Err(DiskError::Unavailable { page: id });
+        }
         if st.prefetched.contains(&id) {
-            return;
+            return Ok(());
+        }
+        if !st.buffer.contains(id) {
+            self.check_fault(&mut st, id)?;
         }
         if !st.buffer.access(id) {
             st.stats.prefetch_reads += 1;
@@ -151,6 +285,46 @@ impl<O: StorageObject> SimulatedDisk<O> {
         }
         st.buffer.pin(id);
         st.prefetched.insert(id);
+        Ok(())
+    }
+
+    /// Rolls the fault plan for one physical read attempt of `id`. Called
+    /// only for would-be buffer misses, with no accounting done yet.
+    fn check_fault(&self, st: &mut DiskState, id: PageId) -> Result<(), DiskError> {
+        let Some(plan) = st.fault_plan else {
+            return Ok(());
+        };
+        let attempt = st.fault_attempts.get(&id).copied().unwrap_or(0);
+        match plan.decide(id, attempt) {
+            FaultDecision::Success { latency_spike } => {
+                if latency_spike {
+                    st.fault_stats.latency_spikes += 1;
+                }
+                st.successful_physical += 1;
+                if let Some(k) = plan.kill_after {
+                    if st.successful_physical >= k {
+                        st.killed = true;
+                    }
+                }
+                Ok(())
+            }
+            FaultDecision::Transient => {
+                st.fault_stats.transient_errors += 1;
+                *st.fault_attempts.entry(id).or_insert(0) += 1;
+                Err(DiskError::TransientRead { page: id, attempt })
+            }
+            FaultDecision::Corrupt => {
+                st.fault_stats.corrupt_reads += 1;
+                *st.fault_attempts.entry(id).or_insert(0) += 1;
+                let expected = self.checksums[id.0 as usize];
+                Err(DiskError::CorruptPage {
+                    page: id,
+                    attempt,
+                    expected,
+                    actual: expected ^ plan.corruption_noise(id, attempt),
+                })
+            }
+        }
     }
 
     /// Releases one pin taken by [`read_page_pinned`](Self::read_page_pinned).
@@ -190,20 +364,28 @@ impl<O: StorageObject> SimulatedDisk<O> {
         self.state.lock().stats
     }
 
-    /// Resets the I/O counters (keeps the buffer contents).
+    /// Resets the I/O and fault counters (keeps the buffer contents and the
+    /// fault plan's attempt/kill state — counters are a view, not a device).
     pub fn reset_stats(&self) {
         let mut st = self.state.lock();
         st.stats = IoStats::default();
+        st.fault_stats = FaultStats::default();
         st.last_physical = None;
     }
 
-    /// Empties the buffer (cold restart) and resets counters.
+    /// Empties the buffer (cold restart), resets counters, and revives the
+    /// device: fault attempt counters and the kill switch start over (the
+    /// installed fault plan, if any, stays).
     pub fn cold_restart(&self) {
         let mut st = self.state.lock();
         st.buffer.clear();
         st.stats = IoStats::default();
+        st.fault_stats = FaultStats::default();
         st.last_physical = None;
         st.prefetched.clear();
+        st.fault_attempts.clear();
+        st.successful_physical = 0;
+        st.killed = false;
     }
 }
 
@@ -415,5 +597,145 @@ mod tests {
         let (id, v) = (page.records()[0].0, &page.records()[0].1);
         assert_eq!(id.index(), 6);
         assert_eq!(v.components()[0], 6.0);
+    }
+
+    #[test]
+    fn failed_attempts_leave_io_stats_untouched() {
+        let d = disk(30, 4);
+        d.set_fault_plan(Some(
+            crate::FaultPlan::new(11)
+                .with_transient(1.0)
+                .with_max_faults_per_page(2),
+        ));
+        // Two injected failures, then success.
+        assert!(d.try_read_page(PageId(0)).is_err());
+        assert_eq!(
+            d.stats(),
+            IoStats::default(),
+            "failure must not move I/O counters"
+        );
+        assert_eq!(d.buffer_len(), 0, "failure must not install the page");
+        assert!(d.try_read_page(PageId(0)).is_err());
+        assert!(d.try_read_page(PageId(0)).is_ok());
+        let s = d.stats();
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(d.fault_stats().transient_errors, 2);
+    }
+
+    #[test]
+    fn retried_run_matches_fault_free_stats() {
+        let faulty = disk(30, 4);
+        let clean = disk(30, 4);
+        faulty.set_fault_plan(Some(
+            crate::FaultPlan::new(77)
+                .with_transient(0.4)
+                .with_corrupt(0.2)
+                .with_max_faults_per_page(3),
+        ));
+        for &i in &[0u32, 3, 1, 3, 9, 2, 1, 0, 5, 9] {
+            // Retry until the per-page fault cap lets the read through.
+            loop {
+                if faulty.try_read_page(PageId(i)).is_ok() {
+                    break;
+                }
+            }
+            clean.read_page(PageId(i));
+        }
+        assert_eq!(faulty.stats(), clean.stats());
+    }
+
+    #[test]
+    fn buffer_hits_never_fault() {
+        let d = disk(30, 4);
+        d.read_page(PageId(0)); // now resident
+        d.set_fault_plan(Some(crate::FaultPlan::new(5).with_transient(1.0)));
+        assert!(d.try_read_page(PageId(0)).is_ok(), "hits read from memory");
+        assert!(
+            d.try_read_page(PageId(1)).is_err(),
+            "misses hit the platter"
+        );
+    }
+
+    #[test]
+    fn corrupt_page_reports_checksum_mismatch() {
+        let d = disk(30, 4);
+        d.set_fault_plan(Some(
+            crate::FaultPlan::new(5)
+                .with_corrupt(1.0)
+                .with_max_faults_per_page(1),
+        ));
+        match d.try_read_page(PageId(2)) {
+            Err(crate::DiskError::CorruptPage {
+                page,
+                expected,
+                actual,
+                ..
+            }) => {
+                assert_eq!(page, PageId(2));
+                assert_eq!(expected, d.checksum(PageId(2)));
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
+        assert_eq!(d.fault_stats().corrupt_reads, 1);
+        // The cap lets the retry through, and the page served is intact.
+        let page = d.try_read_page(PageId(2)).expect("capped retry succeeds");
+        assert_eq!(page.records()[0].0.index(), 6);
+    }
+
+    #[test]
+    fn killed_disk_refuses_everything_including_hits() {
+        let d = disk(30, 4);
+        d.set_fault_plan(Some(crate::FaultPlan::new(1).with_kill_after(2)));
+        d.read_page(PageId(0));
+        d.read_page(PageId(1)); // second successful physical read: disk dies
+        let err = d.try_read_page(PageId(0)).unwrap_err();
+        assert_eq!(err, crate::DiskError::Unavailable { page: PageId(0) });
+        assert!(!err.is_transient());
+        assert!(d.is_killed());
+        assert!(d.try_prefetch(PageId(3)).is_err());
+        assert!(d.fault_stats().unavailable_reads >= 2);
+        // cold_restart revives the device.
+        d.cold_restart();
+        assert!(!d.is_killed());
+        assert!(d.try_read_page(PageId(0)).is_ok());
+    }
+
+    #[test]
+    fn failed_prefetch_leaves_page_unstaged() {
+        let d = disk(30, 4);
+        d.set_fault_plan(Some(
+            crate::FaultPlan::new(11)
+                .with_transient(1.0)
+                .with_max_faults_per_page(1),
+        ));
+        assert!(d.try_prefetch(PageId(4)).is_err());
+        let s = d.stats();
+        assert_eq!(s.prefetch_reads, 0);
+        assert_eq!(s.physical_reads, 0);
+        assert_eq!(d.pinned_pages(), 0, "failed prefetch must not pin");
+        // The demand read re-rolls with the next attempt number (capped
+        // at 1 fault, so it succeeds) and pays its own physical read.
+        assert!(d.try_read_page(PageId(4)).is_ok());
+        assert_eq!(d.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn set_fault_plan_resets_bookkeeping() {
+        let d = disk(30, 4);
+        let plan = crate::FaultPlan::new(3)
+            .with_transient(1.0)
+            .with_max_faults_per_page(1);
+        d.set_fault_plan(Some(plan));
+        assert!(d.try_read_page(PageId(0)).is_err());
+        assert_eq!(d.fault_stats().transient_errors, 1);
+        // Reinstalling the same plan replays the same schedule.
+        d.cold_restart();
+        d.set_fault_plan(Some(plan));
+        assert_eq!(d.fault_stats(), crate::FaultStats::default());
+        assert!(d.try_read_page(PageId(0)).is_err(), "schedule replays");
+        d.set_fault_plan(None);
+        assert!(d.try_read_page(PageId(0)).is_ok());
     }
 }

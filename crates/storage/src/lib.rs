@@ -29,6 +29,7 @@
 pub mod buffer;
 pub mod database;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod persist;
 pub mod policy;
@@ -37,6 +38,7 @@ pub mod stats;
 pub use buffer::LruBuffer;
 pub use database::{Dataset, PagedDatabase, StorageObject};
 pub use disk::SimulatedDisk;
+pub use fault::{DiskError, FaultPlan, FaultStats};
 pub use page::{Page, PageId, PageLayout};
 pub use persist::{ObjectCodec, PersistError, SymbolsCodec, VectorCodec};
 pub use policy::{BufferPolicy, ClockBuffer, FifoBuffer};

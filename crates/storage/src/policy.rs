@@ -41,6 +41,14 @@ pub trait BufferPolicy: Send + std::fmt::Debug {
     /// the capacity bound.
     fn unpin(&mut self, page: PageId);
 
+    /// Whether `page` is resident, **without** touching recency/reference
+    /// state. Lets callers (e.g. fault injection) distinguish a would-be
+    /// hit from a would-be miss before committing to the access.
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Number of distinct pinned pages (diagnostic).
+    fn pinned(&self) -> usize;
+
     /// Drops all buffered pages.
     fn clear(&mut self);
 
@@ -67,6 +75,14 @@ impl BufferPolicy for LruBuffer {
 
     fn unpin(&mut self, page: PageId) {
         LruBuffer::unpin(self, page)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        LruBuffer::contains(self, page)
+    }
+
+    fn pinned(&self) -> usize {
+        LruBuffer::pinned_len(self)
     }
 
     fn clear(&mut self) {
@@ -181,6 +197,14 @@ impl BufferPolicy for ClockBuffer {
         }
     }
 
+    fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn pinned(&self) -> usize {
+        self.pins.len()
+    }
+
     fn clear(&mut self) {
         self.frames.clear();
         self.map.clear();
@@ -230,11 +254,7 @@ impl BufferPolicy for FifoBuffer {
         if self.queue.len() >= self.capacity {
             // Evict the oldest unpinned page; if everything is pinned the
             // insertion overflows until a pin is released.
-            if let Some(pos) = self
-                .queue
-                .iter()
-                .position(|q| !self.pins.contains_key(q))
-            {
+            if let Some(pos) = self.queue.iter().position(|q| !self.pins.contains_key(q)) {
                 let victim = self.queue.remove(pos).expect("position is in range");
                 self.resident.remove(&victim);
             }
@@ -263,6 +283,14 @@ impl BufferPolicy for FifoBuffer {
                 }
             }
         }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    fn pinned(&self) -> usize {
+        self.pins.len()
     }
 
     fn clear(&mut self) {
@@ -428,11 +456,7 @@ mod tests {
                     return true;
                 }
                 if self.order.len() >= self.cap {
-                    if let Some(pos) = self
-                        .order
-                        .iter()
-                        .position(|q| !self.pins.contains_key(q))
-                    {
+                    if let Some(pos) = self.order.iter().position(|q| !self.pins.contains_key(q)) {
                         self.order.remove(pos);
                     }
                 }
@@ -505,9 +529,7 @@ mod tests {
                     if *c == 0 {
                         self.pins.remove(&page);
                         if self.frames.len() > self.cap {
-                            if let Some(idx) =
-                                self.frames.iter().position(|(q, _)| *q == page)
-                            {
+                            if let Some(idx) = self.frames.iter().position(|(q, _)| *q == page) {
                                 self.frames.remove(idx);
                                 if self.hand > idx {
                                     self.hand -= 1;
@@ -516,6 +538,51 @@ mod tests {
                                     self.hand = 0;
                                 }
                             }
+                        }
+                    }
+                }
+            }
+        }
+
+        struct NaiveLru {
+            cap: usize,
+            order: Vec<PageId>, // MRU first
+            pins: HashMap<PageId, u32>,
+        }
+
+        impl NaiveLru {
+            fn access(&mut self, page: PageId) -> bool {
+                if let Some(pos) = self.order.iter().position(|&q| q == page) {
+                    self.order.remove(pos);
+                    self.order.insert(0, page);
+                    return true;
+                }
+                while self.order.len() >= self.cap {
+                    // Evict the least-recently-used unpinned page; if
+                    // everything is pinned, overflow.
+                    if let Some(pos) = self.order.iter().rposition(|q| !self.pins.contains_key(q)) {
+                        self.order.remove(pos);
+                    } else {
+                        break;
+                    }
+                }
+                self.order.insert(0, page);
+                false
+            }
+
+            fn pin(&mut self, page: PageId) {
+                if self.order.contains(&page) {
+                    *self.pins.entry(page).or_insert(0) += 1;
+                }
+            }
+
+            fn unpin(&mut self, page: PageId) {
+                if let Some(c) = self.pins.get_mut(&page) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.pins.remove(&page);
+                        if self.order.len() > self.cap {
+                            self.order.retain(|&q| q != page);
                         }
                     }
                 }
@@ -600,6 +667,202 @@ mod tests {
                 assert_eq!(clock.frames, naive.frames, "CLOCK frames diverged");
                 assert_eq!(clock.hand, naive.hand, "CLOCK hand diverged");
             }
+        }
+
+        #[test]
+        fn lru_matches_naive_reference_with_pins() {
+            let mut lru = LruBuffer::new(4);
+            let mut naive = NaiveLru {
+                cap: 4,
+                order: Vec::new(),
+                pins: HashMap::new(),
+            };
+            let mut pinned: Vec<PageId> = Vec::new();
+            let mut x: u64 = 1234;
+            for _ in 0..4000 {
+                let r = lcg(&mut x);
+                let page = p((r % 10) as u32);
+                match (r / 16) % 4 {
+                    0 if pinned.len() < 3 => {
+                        lru.pin(page);
+                        naive.pin(page);
+                        if naive.pins.contains_key(&page) {
+                            pinned.push(page);
+                        }
+                    }
+                    1 if !pinned.is_empty() => {
+                        let victim = pinned.remove((r as usize / 64) % pinned.len());
+                        lru.unpin(victim);
+                        naive.unpin(victim);
+                    }
+                    _ => {
+                        assert_eq!(lru.access(page), naive.access(page));
+                    }
+                }
+                assert_eq!(lru.pages_mru_to_lru(), naive.order, "LRU order diverged");
+            }
+        }
+
+        /// The prefetch corner case the disk can produce: every resident
+        /// page is pinned by staged prefetches when a demand read for an
+        /// unstaged page arrives. The insertion must overflow capacity, the
+        /// overflow must be reclaimed exactly when the responsible pin
+        /// drops, and the whole trajectory — hit/miss results and resident
+        /// count at every step — must match the naive model, for all three
+        /// policies.
+        #[test]
+        fn fully_pinned_by_prefetch_demand_read_matches_models() {
+            // One step of the script: access / pin / unpin against both the
+            // real policy and its naive model, comparing observable state.
+            enum Op {
+                Access(u32, bool), // page, expected hit
+                Pin(u32),
+                Unpin(u32),
+                Len(usize),
+            }
+            use Op::*;
+            // Capacity 2 throughout. Pages 1,2 are staged (accessed and
+            // pinned) by the prefetcher; page 3 is the demand read.
+            let script = [
+                Access(1, false),
+                Pin(1),
+                Access(2, false),
+                Pin(2),
+                Len(2),
+                // Demand read of unstaged page 3 with everything pinned:
+                // no victim exists, so the insertion overflows.
+                Access(3, false),
+                Len(3),
+                Pin(3), // the demand read pins its page too
+                Len(3),
+                // Prefetch pin on 1 handed over/dropped: buffer is over
+                // capacity, so 1 is reclaimed immediately.
+                Unpin(1),
+                Len(2),
+                // Re-demand 1: reclaimed above, so a miss; 2 and 3 are both
+                // pinned, so it overflows again.
+                Access(1, false),
+                Len(3),
+                // Demand pin on 3 released while over capacity: 3 itself is
+                // the reclaimed page.
+                Unpin(3),
+                Len(2),
+                // Last prefetch pin released at capacity: nothing reclaimed.
+                Unpin(2),
+                Len(2),
+                Access(2, true),
+                Access(1, true),
+            ];
+            trait NaiveModel {
+                fn access(&mut self, page: PageId) -> bool;
+                fn pin(&mut self, page: PageId);
+                fn unpin(&mut self, page: PageId);
+                fn len(&self) -> usize;
+            }
+            impl NaiveModel for NaiveFifo {
+                fn access(&mut self, page: PageId) -> bool {
+                    NaiveFifo::access(self, page)
+                }
+                fn pin(&mut self, page: PageId) {
+                    NaiveFifo::pin(self, page)
+                }
+                fn unpin(&mut self, page: PageId) {
+                    NaiveFifo::unpin(self, page)
+                }
+                fn len(&self) -> usize {
+                    self.order.len()
+                }
+            }
+            impl NaiveModel for NaiveClock {
+                fn access(&mut self, page: PageId) -> bool {
+                    NaiveClock::access(self, page)
+                }
+                fn pin(&mut self, page: PageId) {
+                    NaiveClock::pin(self, page)
+                }
+                fn unpin(&mut self, page: PageId) {
+                    NaiveClock::unpin(self, page)
+                }
+                fn len(&self) -> usize {
+                    self.frames.len()
+                }
+            }
+            impl NaiveModel for NaiveLru {
+                fn access(&mut self, page: PageId) -> bool {
+                    NaiveLru::access(self, page)
+                }
+                fn pin(&mut self, page: PageId) {
+                    NaiveLru::pin(self, page)
+                }
+                fn unpin(&mut self, page: PageId) {
+                    NaiveLru::unpin(self, page)
+                }
+                fn len(&self) -> usize {
+                    self.order.len()
+                }
+            }
+
+            fn run(
+                real: &mut dyn BufferPolicy,
+                naive: &mut dyn NaiveModel,
+                script: &[Op],
+                name: &str,
+            ) {
+                for (i, op) in script.iter().enumerate() {
+                    match *op {
+                        Op::Access(page, expect_hit) => {
+                            let (rh, nh) = (real.access(p(page)), naive.access(p(page)));
+                            assert_eq!(rh, nh, "{name} step {i}: hit/miss diverged");
+                            assert_eq!(rh, expect_hit, "{name} step {i}: unexpected outcome");
+                        }
+                        Op::Pin(page) => {
+                            real.pin(p(page));
+                            naive.pin(p(page));
+                        }
+                        Op::Unpin(page) => {
+                            real.unpin(p(page));
+                            naive.unpin(p(page));
+                        }
+                        Op::Len(expect) => {
+                            assert_eq!(real.len(), expect, "{name} step {i}: real len");
+                            assert_eq!(naive.len(), expect, "{name} step {i}: naive len");
+                        }
+                    }
+                    assert_eq!(real.len(), naive.len(), "{name} step {i}: len diverged");
+                }
+            }
+
+            run(
+                &mut FifoBuffer::new(2),
+                &mut NaiveFifo {
+                    cap: 2,
+                    order: Vec::new(),
+                    pins: HashMap::new(),
+                },
+                &script,
+                "fifo",
+            );
+            run(
+                &mut ClockBuffer::new(2),
+                &mut NaiveClock {
+                    cap: 2,
+                    frames: Vec::new(),
+                    hand: 0,
+                    pins: HashMap::new(),
+                },
+                &script,
+                "clock",
+            );
+            run(
+                &mut LruBuffer::new(2),
+                &mut NaiveLru {
+                    cap: 2,
+                    order: Vec::new(),
+                    pins: HashMap::new(),
+                },
+                &script,
+                "lru",
+            );
         }
     }
 }

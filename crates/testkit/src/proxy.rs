@@ -1,0 +1,175 @@
+//! [`FlakyProxy`]: a TCP forwarder that kills connections after a byte
+//! budget — deterministic network faults for the retrying client.
+//!
+//! The proxy forwards client bytes upstream untouched and counts the
+//! bytes flowing back. A connection whose per-connection budget runs out
+//! is shut down in both directions mid-frame, which a protocol client
+//! observes as an I/O error exactly like a crashed or partitioned server.
+//! Budgets are assigned per accepted connection from a fixed schedule, so
+//! a test's failure pattern is a plain data value, not a race.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A byte-budgeted TCP proxy in front of one upstream address.
+pub struct FlakyProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlakyProxy {
+    /// Starts a proxy to `upstream` on an ephemeral loopback port.
+    ///
+    /// `budgets[i]` bounds the bytes the `i`-th accepted connection may
+    /// receive *from* the upstream before it is cut; connections beyond
+    /// the schedule (and `None` entries) are unlimited.
+    pub fn start(upstream: SocketAddr, budgets: Vec<Option<usize>>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("mq-flaky-accept".into())
+            .spawn(move || {
+                let connections = AtomicUsize::new(0);
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let client = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let i = connections.fetch_add(1, Ordering::SeqCst);
+                    let budget = budgets.get(i).copied().flatten();
+                    let _ = std::thread::Builder::new()
+                        .name(format!("mq-flaky-conn-{i}"))
+                        .spawn(move || forward(client, upstream, budget));
+                }
+            })?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Forwards one client connection, cutting it once `budget` upstream
+/// bytes were relayed.
+fn forward(client: TcpStream, upstream: SocketAddr, budget: Option<usize>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_rx), Ok(server_rx)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Client → upstream: unrestricted (requests always get through; it is
+    // the *reply* path a budget severs, modelling a server lost mid-answer).
+    let up = std::thread::spawn(move || copy_until(client_rx, server, None));
+    copy_until(server_rx, client, budget);
+    let _ = up.join();
+}
+
+/// Copies bytes until EOF, an error, or the budget runs out; then shuts
+/// the destination down so both halves of the proxied connection die.
+fn copy_until(mut from: TcpStream, mut to: TcpStream, budget: Option<usize>) {
+    let mut remaining = budget;
+    let mut buf = [0u8; 4096];
+    loop {
+        let cap = match remaining {
+            Some(0) => break,
+            Some(r) => r.min(buf.len()),
+            None => buf.len(),
+        };
+        let n = match from.read(&mut buf[..cap]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        if let Some(r) = remaining.as_mut() {
+            *r -= n;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A trivial upstream echoing everything it receives.
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = stream.try_clone().expect("clone");
+                    let mut writer = stream;
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = reader.read(&mut buf) {
+                        if n == 0 || writer.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn unbudgeted_connections_pass_through() {
+        let proxy = FlakyProxy::start(echo_server(), vec![]).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        conn.write_all(b"hello through the proxy").expect("write");
+        let mut got = [0u8; 23];
+        conn.read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"hello through the proxy");
+    }
+
+    #[test]
+    fn budget_cuts_the_connection_and_later_ones_survive() {
+        let upstream = echo_server();
+        let proxy = FlakyProxy::start(upstream, vec![Some(4)]).expect("proxy");
+        let mut first = TcpStream::connect(proxy.local_addr()).expect("connect");
+        first.write_all(b"0123456789").expect("write");
+        let mut buf = Vec::new();
+        // At most 4 bytes arrive, then EOF — never the full reply.
+        first.read_to_end(&mut buf).expect("cut reads as EOF");
+        assert!(buf.len() <= 4, "got {} bytes past the budget", buf.len());
+        // The second connection has no budget and works.
+        let mut second = TcpStream::connect(proxy.local_addr()).expect("connect");
+        second.write_all(b"again").expect("write");
+        let mut got = [0u8; 5];
+        second.read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"again");
+    }
+}

@@ -1,0 +1,280 @@
+//! The [`Sim`] runner: one seed-determined workload, an optional fault
+//! plan, and a fault-free oracle to compare against.
+//!
+//! A `Sim` owns nothing but numbers; every [`run`](Sim::run) rebuilds the
+//! dataset, disk and engine from the seed, so runs are independent and a
+//! faulty run and its oracle see byte-identical inputs.
+
+use mq_core::{Answer, AvoidanceStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType};
+use mq_datagen::sessions::{web_sessions, SessionConfig};
+use mq_index::LinearScan;
+use mq_metric::{EditDistance, Symbols};
+use mq_storage::{
+    Dataset, FaultPlan, FaultStats, IoStats, PageLayout, PagedDatabase, SimulatedDisk,
+};
+
+/// One engine configuration of the equivalence matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Page-evaluation threads.
+    pub threads: usize,
+    /// Pipelined prefetch depth.
+    pub prefetch_depth: usize,
+    /// Leader scheduling policy.
+    pub leader: LeaderPolicy,
+}
+
+/// The full configuration matrix the acceptance criteria quantify over:
+/// threads {1, 2, 4} × prefetch depths {0, 2} × both leader schedulers.
+pub fn config_matrix() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        for &prefetch_depth in &[0usize, 2] {
+            for &leader in &[LeaderPolicy::Fifo, LeaderPolicy::NearestChain] {
+                configs.push(SimConfig {
+                    threads,
+                    prefetch_depth,
+                    leader,
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The seed that determined workload and faults — print this to
+    /// reproduce the run exactly.
+    pub seed: u64,
+    /// Per-query answers. Complete when `gave_up` is `None`; otherwise
+    /// the buffered partial answers the failed session preserved
+    /// (Definition 4's incremental contract).
+    pub answers: Vec<Vec<Answer>>,
+    /// Which queries completed before the run ended.
+    pub completed: Vec<bool>,
+    /// §5.2 avoidance counters of the run.
+    pub avoidance: AvoidanceStats,
+    /// Disk counters of the run (fault-free attempts only).
+    pub io: IoStats,
+    /// Injected-fault counters of the run.
+    pub fault_stats: FaultStats,
+    /// `Some(error)` when the engine surfaced a fault past its retry
+    /// budget; the session's partial state is still in `answers`.
+    pub gave_up: Option<String>,
+}
+
+/// A deterministic simulation: seed-derived workload, optional fault
+/// plan, engine retry budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Sim {
+    seed: u64,
+    objects: usize,
+    queries: usize,
+    plan: Option<FaultPlan>,
+    retry_budget: u32,
+}
+
+impl Sim {
+    /// A simulation of `seed` with the default workload size (160
+    /// sessions, 8 queries) and no faults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            objects: 160,
+            queries: 8,
+            plan: None,
+            retry_budget: 0,
+        }
+    }
+
+    /// Installs a fault plan (see [`crate::scenario`] for presets).
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Sets the engine's transient-fault retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the number of stored session objects.
+    pub fn with_objects(mut self, objects: usize) -> Self {
+        self.objects = objects;
+        self
+    }
+
+    /// Sets the number of queries in the batch.
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// The seed of this simulation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The seed-derived workload: the stored sessions and a mixed
+    /// k-NN/range query batch drawn from them.
+    pub fn workload(&self) -> (Vec<Symbols>, Vec<(Symbols, QueryType)>) {
+        let (sessions, _trails) = web_sessions(self.objects, SessionConfig::default(), self.seed);
+        let stride = (self.objects / self.queries.max(1)).max(1);
+        let queries = sessions
+            .iter()
+            .step_by(stride)
+            .take(self.queries)
+            .enumerate()
+            .map(|(i, s)| {
+                // Alternate query types so every run exercises both the
+                // adapting k-NN distance and the fixed range predicate.
+                let qtype = if i % 2 == 0 {
+                    QueryType::knn(5)
+                } else {
+                    QueryType::range(6.0)
+                };
+                (s.clone(), qtype)
+            })
+            .collect();
+        (sessions, queries)
+    }
+
+    /// Runs the simulation under `config`, faults included.
+    pub fn run(&self, config: SimConfig) -> SimReport {
+        let (sessions, queries) = self.workload();
+        let ds = Dataset::new(sessions);
+        let db = PagedDatabase::pack(&ds, PageLayout::new(256, 8));
+        let scan = LinearScan::new(db.page_count());
+        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        disk.set_fault_plan(self.plan);
+        let engine = QueryEngine::new(&disk, &scan, EditDistance)
+            .with_threads(config.threads)
+            .with_prefetch_depth(config.prefetch_depth)
+            .with_leader_policy(config.leader)
+            .with_fault_policy(FaultPolicy::new(self.retry_budget));
+        let mut session = engine.new_session(queries);
+        let gave_up = engine
+            .try_run_to_completion(&mut session)
+            .err()
+            .map(|e| e.to_string());
+        let completed = (0..session.query_count())
+            .map(|i| session.is_complete(i))
+            .collect();
+        let avoidance = session.avoidance_stats();
+        SimReport {
+            seed: self.seed,
+            completed,
+            avoidance,
+            io: disk.stats(),
+            fault_stats: disk.fault_stats(),
+            gave_up,
+            answers: session.into_answers(),
+        }
+    }
+
+    /// Runs the fault-free oracle of this simulation under `config`.
+    pub fn oracle(&self, config: SimConfig) -> SimReport {
+        Sim {
+            plan: None,
+            ..*self
+        }
+        .run(config)
+    }
+
+    /// Asserts the testkit's central invariant over the whole
+    /// [`config_matrix`]: whenever the faulty run succeeds, its answers
+    /// and avoidance counters are bit-identical to the oracle's. Without
+    /// prefetch the full I/O counters must match too (failed attempts
+    /// leave no trace); with prefetch only `logical_reads` is required to
+    /// match, because an absorbed prefetch fault legitimately turns a
+    /// prefetched hit into a demand read.
+    ///
+    /// Panics name the seed and configuration, which reproduce the run.
+    pub fn assert_oracle_equivalence(&self) {
+        for config in config_matrix() {
+            let run = self.run(config);
+            let oracle = self.oracle(config);
+            assert!(
+                oracle.gave_up.is_none(),
+                "seed {}: oracle must never fail, got {:?}",
+                self.seed,
+                oracle.gave_up
+            );
+            if let Some(reason) = &run.gave_up {
+                // The policy reported failure — that is a legitimate
+                // outcome; equivalence is only promised on success.
+                assert!(
+                    run.fault_stats.total_failures() > 0,
+                    "seed {}, {config:?}: gave up ({reason}) without any injected fault",
+                    self.seed
+                );
+                continue;
+            }
+            assert_eq!(
+                run.answers, oracle.answers,
+                "seed {}, {config:?}: answers diverged from the oracle",
+                self.seed
+            );
+            assert_eq!(
+                run.avoidance, oracle.avoidance,
+                "seed {}, {config:?}: avoidance counters diverged from the oracle",
+                self.seed
+            );
+            assert_eq!(
+                run.io.logical_reads, oracle.io.logical_reads,
+                "seed {}, {config:?}: logical reads diverged from the oracle",
+                self.seed
+            );
+            if config.prefetch_depth == 0 {
+                assert_eq!(
+                    run.io, oracle.io,
+                    "seed {}, {config:?}: I/O counters diverged without prefetch",
+                    self.seed
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_seed_sensitive() {
+        let (a_obj, a_q) = Sim::new(3).workload();
+        let (b_obj, b_q) = Sim::new(3).workload();
+        assert_eq!(a_obj, b_obj);
+        assert_eq!(a_q.len(), b_q.len());
+        let (c_obj, _) = Sim::new(4).workload();
+        assert_ne!(a_obj, c_obj);
+    }
+
+    #[test]
+    fn matrix_covers_threads_depths_and_leaders() {
+        let m = config_matrix();
+        assert_eq!(m.len(), 12);
+        assert!(m.iter().any(|c| c.threads == 4
+            && c.prefetch_depth == 2
+            && c.leader == LeaderPolicy::NearestChain));
+        assert!(m
+            .iter()
+            .any(|c| c.threads == 1 && c.prefetch_depth == 0 && c.leader == LeaderPolicy::Fifo));
+    }
+
+    #[test]
+    fn fault_free_run_completes_every_query() {
+        let report = Sim::new(11).run(SimConfig {
+            threads: 1,
+            prefetch_depth: 0,
+            leader: LeaderPolicy::Fifo,
+        });
+        assert!(report.gave_up.is_none());
+        assert!(report.completed.iter().all(|&c| c));
+        assert_eq!(report.answers.len(), 8);
+        assert_eq!(report.fault_stats, FaultStats::default());
+    }
+}
