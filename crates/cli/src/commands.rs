@@ -232,7 +232,9 @@ pub fn batch(args: &Args) -> CmdResult {
 }
 
 pub fn serve(args: &Args) -> CmdResult {
-    use mq_server::{build_backend, ExecutionMode, QueryServer, ServerConfig};
+    use mq_obs::{Recorder, Registry};
+    use mq_server::{build_backend_with_recorder, ExecutionMode, QueryServer, ServerConfig};
+    use std::sync::Arc;
     let stored = load(args)?;
     let addr = args.string_or("addr", "127.0.0.1:7878");
     let which = args.string_or("index", "xtree");
@@ -268,31 +270,74 @@ pub fn serve(args: &Args) -> CmdResult {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }
 
+    let log_interval_s: u64 = args.parse_or("log-interval-s", 60)?;
+
     // Validate the index name up front so a typo fails fast, not inside
     // the backend builder.
     build_index(&stored, &which)?;
     let layout = stored.layout();
     let which_owned = which.clone();
-    let backend = build_backend(&stored, &config, 0.10, move |ds| {
+    let registry = Arc::new(Registry::new());
+    let recorder = Recorder::new(Arc::clone(&registry));
+    let backend = build_backend_with_recorder(&stored, &config, 0.10, &recorder, move |ds| {
         let db = PagedDatabase::pack(ds, layout);
         build_index(&db, &which_owned).expect("index kind validated before serving")
     });
 
-    let server = QueryServer::bind(addr.as_str(), backend, &config)?;
+    let server = QueryServer::bind_with_recorder(addr.as_str(), backend, &config, &recorder)?;
     println!(
-        "mq-server listening on {} ({} objects via {which}, max_batch {max_batch}, max_wait {max_wait_ms} ms, threads {threads}, prefetch {prefetch_depth}, leader {leader_name}, workers {workers}, retry_budget {retry_budget}{})",
+        "mq-server listening on {} ({} objects via {which})",
         server.local_addr(),
         stored.object_count(),
-        if servers > 0 {
-            format!(", cluster of {servers}")
-        } else {
-            ", single engine".into()
-        }
     );
+    println!("config: {}", config.describe());
+    println!("metrics: scrape with `mq stats {}`", server.local_addr());
     println!("press Ctrl-C to stop");
+    // Periodic one-line heartbeat with the headline service counters.
+    let interval = std::time::Duration::from_secs(log_interval_s.max(1));
+    let mut last = registry.snapshot();
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(interval);
+        let now = registry.snapshot();
+        let delta = now.delta(&last);
+        let m = server.metrics();
+        println!(
+            "served {} queries in {} batches (max {}): +{} queries, \
+             +{} distance calcs ({} avoided) in the last {}s",
+            m.queries,
+            m.batches,
+            m.max_batch_size,
+            delta.value("mq_server_queries_total") as u64,
+            delta.value("mq_core_distance_calculations_total{outcome=\"performed\"}") as u64,
+            delta.value("mq_core_distance_calculations_total{outcome=\"avoided\"}") as u64,
+            interval.as_secs(),
+        );
+        last = now;
     }
+}
+
+pub fn stats(args: &Args) -> CmdResult {
+    use mq_server::{RetryConfig, RetryingClient};
+    let addr = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| args.string_or("addr", "127.0.0.1:7878"));
+    let retries: u32 = args.parse_or("retries", 3)?;
+    let connect_timeout_ms: u64 = args.parse_or("connect-timeout-ms", 2000)?;
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 10_000)?;
+    let config = RetryConfig::default()
+        .with_max_retries(retries)
+        .with_connect_timeout(std::time::Duration::from_millis(connect_timeout_ms.max(1)))
+        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
+    let mut client = RetryingClient::new(addr, config);
+    let text = client.metrics()?;
+    if text.is_empty() {
+        println!("# no metrics: the server is running without observability");
+    } else {
+        print!("{text}");
+    }
+    Ok(())
 }
 
 pub fn client(args: &Args) -> CmdResult {

@@ -51,6 +51,12 @@ USAGE:
   mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
   mq client [--addr 127.0.0.1:7878] --stats true
       Query a running server, or fetch its batching counters.
+
+  mq stats [<ADDR>] [--addr 127.0.0.1:7878]
+      Scrape a running server's metric registry (Prometheus text
+      exposition): distance calculations performed vs. avoided, buffer
+      and prefetch hit ratios, batch-size and queue-wait histograms,
+      per-worker pool counters, per-partition cluster counters.
 ";
 
 fn main() {
@@ -69,6 +75,7 @@ fn main() {
         "dbscan" => commands::dbscan(&args),
         "serve" => commands::serve(&args),
         "client" => commands::client(&args),
+        "stats" => commands::stats(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

@@ -3,11 +3,13 @@
 use crate::answers::{Answer, AnswerList};
 use crate::fault::{EngineError, FaultPolicy};
 use crate::multiple::{self, LeaderPolicy, MultiQuerySession};
+use crate::obs::EngineObs;
 use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use crate::single;
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
+use mq_obs::Recorder;
 use mq_storage::{SimulatedDisk, StorageObject};
 use std::sync::{Arc, OnceLock};
 
@@ -100,6 +102,13 @@ pub struct QueryEngine<'a, O, M> {
     /// across engines — e.g. a server building a fresh engine per batch
     /// reuses the same workers for every batch.
     pool: OnceLock<Arc<WorkerPool>>,
+    /// Engine instruments, pre-registered by
+    /// [`with_recorder`](Self::with_recorder) (`None` = observability off;
+    /// the step loop then pays one discriminant check).
+    obs: Option<Arc<EngineObs>>,
+    /// The recorder the engine was wired with, so a lazily created
+    /// [`WorkerPool`] inherits it.
+    recorder: Recorder,
 }
 
 impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
@@ -112,7 +121,29 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
             metric,
             options: EngineOptions::default(),
             pool: OnceLock::new(),
+            obs: None,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Wires an observability [`Recorder`] through the engine: step,
+    /// distance-calculation and completion-latency instruments are
+    /// registered now, and a lazily created worker pool inherits the
+    /// recorder. A disabled recorder (the default) keeps the hot path at a
+    /// single branch. The disk is **not** implicitly attached — call
+    /// [`SimulatedDisk::attach_recorder`] for buffer metrics, so that
+    /// engines sharing a disk don't fight over its recorder.
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.obs = EngineObs::new(recorder);
+        self.recorder = recorder.clone();
+        self
+    }
+
+    /// Shares a pre-built instrument bundle (e.g. one per server backend,
+    /// reused across per-batch engines) instead of registering a fresh one.
+    pub fn with_obs(mut self, obs: Option<Arc<EngineObs>>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replaces the whole option block at once.
@@ -194,10 +225,12 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         if self.options.threads <= 1 && self.pool.get().is_none() {
             return None;
         }
-        Some(
-            self.pool
-                .get_or_init(|| Arc::new(WorkerPool::new(self.options.threads))),
-        )
+        Some(self.pool.get_or_init(|| {
+            Arc::new(WorkerPool::with_recorder(
+                self.options.threads,
+                &self.recorder,
+            ))
+        }))
     }
 
     /// The access method in use.
@@ -310,6 +343,7 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
             &self.metric,
             self.options,
             self.worker_pool(),
+            self.obs.as_deref(),
         )
     }
 

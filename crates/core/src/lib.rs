@@ -35,6 +35,7 @@ pub mod db;
 pub mod engine;
 pub mod fault;
 pub mod multiple;
+pub mod obs;
 pub mod pool;
 pub mod query;
 pub mod single;
@@ -47,6 +48,7 @@ pub use db::MetricDatabase;
 pub use engine::{EngineOptions, QueryEngine};
 pub use fault::{EngineError, FaultPolicy};
 pub use multiple::{LeaderPolicy, MultiQuerySession};
+pub use obs::EngineObs;
 pub use pool::WorkerPool;
 pub use query::{QueryKind, QueryType};
 pub use stats::{CostModel, ExecutionStats, StatsProbe};

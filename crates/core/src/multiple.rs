@@ -85,6 +85,7 @@ use crate::answers::{Answer, AnswerList};
 use crate::avoidance::{AvoidanceStats, QueryDistanceMatrix};
 use crate::engine::EngineOptions;
 use crate::fault::{self, EngineError};
+use crate::obs::EngineObs;
 use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
@@ -488,6 +489,7 @@ impl<O: StorageObject> Drop for PrefetchPinsGuard<'_, O> {
 /// merged before the error are recorded as processed, the erroring page is
 /// not, so partial answers stay valid and a retried step resumes without
 /// re-evaluating (or double-inserting from) any completed page.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn step<O, M, I>(
     session: &mut MultiQuerySession<O>,
     disk: &SimulatedDisk<O>,
@@ -495,6 +497,7 @@ pub(crate) fn step<O, M, I>(
     metric: &M,
     options: EngineOptions,
     pool: Option<&WorkerPool>,
+    obs: Option<&EngineObs>,
 ) -> Result<Option<usize>, EngineError>
 where
     O: StorageObject,
@@ -505,6 +508,14 @@ where
         return Ok(None);
     };
     session.last_leader = Some(head);
+
+    // Observability is strictly read-only over the step: it duplicates
+    // counter deltas and wall-clock spans into the recorder's registry and
+    // never feeds anything back, so answers, AvoidanceStats and IoStats
+    // are bit-identical with `obs` present or absent. The step span guard
+    // records on every exit — success, fault error, or unwind.
+    let step_span = obs.map(|o| o.step_seconds.start_timer());
+    let avoidance_before = session.avoidance_stats;
 
     // Split the session so workers can hold `objects` and `qq` immutably
     // while the merge below mutates `states` / `avoidance_stats`.
@@ -588,8 +599,10 @@ where
             }
         }
 
+        let fetch_span = obs.map(|o| o.fetch_seconds.start_timer());
         let records =
             fault::read_page_pinned_with_retry(disk, page_id, options.fault_policy)?.records();
+        drop(fetch_span);
         // Pin released at the end of this iteration — or during an unwind,
         // if evaluation panics.
         let _pin = PinGuard {
@@ -609,6 +622,7 @@ where
                 (0..morsel_count).map(|_| Mutex::new(None)).collect();
             let active_ref: &[usize] = &active;
             let qd_ref: &[f64] = &qd_snapshot;
+            let eval_span = obs.map(|o| o.eval_seconds.start_timer());
             pool.run(morsel_count, &|i| {
                 let lo = i * morsel_len;
                 let hi = (lo + morsel_len).min(records.len());
@@ -623,8 +637,10 @@ where
                 );
                 *outcomes[i].lock().unwrap() = Some(outcome);
             });
+            drop(eval_span);
             // Merge strictly in morsel order so the answer-insert sequence
             // matches the sequential loop.
+            let merge_span = obs.map(|o| o.merge_seconds.start_timer());
             for cell in outcomes {
                 let outcome = cell
                     .into_inner()
@@ -632,10 +648,15 @@ where
                     .expect("pool.run completed every morsel");
                 merge_outcome(states, avoidance_stats, &active, outcome);
             }
+            drop(merge_span);
         } else {
+            let eval_span = obs.map(|o| o.eval_seconds.start_timer());
             let outcome =
                 evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
+            drop(eval_span);
+            let merge_span = obs.map(|o| o.merge_seconds.start_timer());
             merge_outcome(states, avoidance_stats, &active, outcome);
+            drop(merge_span);
         }
         for &i in &active {
             states[i].processed.insert(page_id);
@@ -643,6 +664,18 @@ where
     }
 
     session.states[head].completed = true;
+    if let Some(o) = obs {
+        o.steps.inc();
+        o.queries_completed.inc();
+        let after = session.avoidance_stats;
+        o.avoid_tries.add(after.tries - avoidance_before.tries);
+        o.dist_avoided.add(after.avoided - avoidance_before.avoided);
+        o.dist_performed
+            .add(after.computed - avoidance_before.computed);
+        if let Some(span) = &step_span {
+            o.completion_seconds.observe(span.elapsed_secs());
+        }
+    }
     Ok(Some(head))
 }
 

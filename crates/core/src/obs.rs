@@ -1,0 +1,99 @@
+//! Engine-level observability: the §4 cost-model terms as live metrics.
+//!
+//! [`EngineObs`] is a bundle of pre-registered instruments mirroring what
+//! [`ExecutionStats`](crate::ExecutionStats) reports at the end of a run —
+//! steps, performed vs. avoided distance calculations (`C_cpu`), per-query
+//! completion latency — plus stage-level span histograms for the four
+//! phases of a [`multiple_query_step`](crate::QueryEngine::multiple_query_step):
+//! leader *step* wall-clock, *page_fetch*, *kernel_eval*, and *merge*.
+//!
+//! The bundle is built once per engine from a [`Recorder`]
+//! ([`EngineObs::new`] returns `None` for a disabled recorder), so the hot
+//! loop pays a single `Option` check when observability is off and plain
+//! atomic adds when it is on. Recording only ever *reads* the session's
+//! counters — answers, [`AvoidanceStats`](crate::AvoidanceStats) and
+//! `IoStats` are computed exactly as without a recorder.
+
+use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS};
+use std::sync::Arc;
+
+/// Pre-registered engine instruments; see the module docs.
+#[derive(Debug)]
+pub struct EngineObs {
+    /// `mq_core_steps_total` — multiple-query steps executed.
+    pub(crate) steps: Arc<Counter>,
+    /// `mq_core_queries_completed_total` — queries answered completely.
+    pub(crate) queries_completed: Arc<Counter>,
+    /// `mq_core_distance_calculations_total{outcome="performed"}`.
+    pub(crate) dist_performed: Arc<Counter>,
+    /// `mq_core_distance_calculations_total{outcome="avoided"}`.
+    pub(crate) dist_avoided: Arc<Counter>,
+    /// `mq_core_avoidance_tries_total` — §5.2 lemma applications.
+    pub(crate) avoid_tries: Arc<Counter>,
+    /// `mq_core_query_completion_seconds` — wall-clock of the completing
+    /// step, i.e. the latency of answering one query within its session.
+    pub(crate) completion_seconds: Arc<Histogram>,
+    /// `mq_core_stage_seconds{stage="step"}` — whole-step wall-clock,
+    /// recorded on every exit (success, fault error, or unwind).
+    pub(crate) step_seconds: Arc<Histogram>,
+    /// `mq_core_stage_seconds{stage="page_fetch"}` — demand read latency.
+    pub(crate) fetch_seconds: Arc<Histogram>,
+    /// `mq_core_stage_seconds{stage="kernel_eval"}` — page evaluation
+    /// (avoidance filter + distance kernels), parallel or sequential.
+    pub(crate) eval_seconds: Arc<Histogram>,
+    /// `mq_core_stage_seconds{stage="merge"}` — ordered answer merging.
+    pub(crate) merge_seconds: Arc<Histogram>,
+}
+
+impl EngineObs {
+    /// Registers the engine's instruments with `recorder`; `None` when the
+    /// recorder is disabled.
+    pub fn new(recorder: &Recorder) -> Option<Arc<Self>> {
+        let registry = recorder.registry()?;
+        let dist = |outcome: &str| {
+            registry.counter(
+                "mq_core_distance_calculations_total",
+                "Distance calculations by outcome: performed, or proven \
+                 unnecessary by triangle-inequality avoidance (§5.2)",
+                &[("outcome", outcome)],
+            )
+        };
+        let stage = |stage: &str| {
+            registry.histogram(
+                "mq_core_stage_seconds",
+                "Wall-clock seconds per engine stage of a multiple-query step",
+                &[("stage", stage)],
+                &DURATION_BOUNDS,
+            )
+        };
+        Some(Arc::new(Self {
+            steps: registry.counter(
+                "mq_core_steps_total",
+                "Incremental multiple-query steps executed (Fig. 4 calls)",
+                &[],
+            ),
+            queries_completed: registry.counter(
+                "mq_core_queries_completed_total",
+                "Queries answered completely across all sessions",
+                &[],
+            ),
+            dist_performed: dist("performed"),
+            dist_avoided: dist("avoided"),
+            avoid_tries: registry.counter(
+                "mq_core_avoidance_tries_total",
+                "Triangle-inequality avoidance attempts (§5.2 lemma applications)",
+                &[],
+            ),
+            completion_seconds: registry.histogram(
+                "mq_core_query_completion_seconds",
+                "Wall-clock seconds of the step that completed a query",
+                &[],
+                &DURATION_BOUNDS,
+            ),
+            step_seconds: stage("step"),
+            fetch_seconds: stage("page_fetch"),
+            eval_seconds: stage("kernel_eval"),
+            merge_seconds: stage("merge"),
+        }))
+    }
+}

@@ -17,9 +17,11 @@
 //! borrows of stack data. Panics inside a task are caught, forwarded, and
 //! re-raised on the calling thread (workers survive for the next run).
 
+use mq_obs::{Counter, FloatCounter, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The borrowed task shape executed by [`WorkerPool::run`].
 type Task = dyn Fn(usize) + Sync;
@@ -44,12 +46,26 @@ struct State {
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
+/// Per-worker pool instruments (index 0 = the participating caller,
+/// `1..threads` = the spawned `mq-pool-{i}` workers). Purely additive:
+/// claiming order and morsel results are identical with or without them.
+struct PoolObs {
+    /// `mq_pool_morsels_claimed_total{worker="i"}`.
+    morsels: Vec<Arc<Counter>>,
+    /// `mq_pool_idle_seconds_total{worker="i"}` — time a spawned worker
+    /// spent parked on the condvar waiting for work (the caller never
+    /// parks there, so its series stays zero).
+    idle: Vec<Arc<FloatCounter>>,
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Signaled when a run starts (or shutdown): workers wake to claim.
     work_ready: Condvar,
     /// Signaled when the last index of a run completes.
     work_done: Condvar,
+    /// `Some` when the pool was built with an enabled [`Recorder`].
+    obs: Option<PoolObs>,
 }
 
 /// A fixed set of worker threads executing indexed tasks on demand.
@@ -79,18 +95,59 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Creates a pool with `threads` total parallelism (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
+        Self::with_recorder(threads, &Recorder::disabled())
+    }
+
+    /// Like [`new`](Self::new), additionally registering per-worker
+    /// utilization instruments (morsels claimed, condvar idle seconds)
+    /// with `recorder`. Pools of the same size share series names, so a
+    /// cluster's per-server pools aggregate into one fleet-wide view.
+    pub fn with_recorder(threads: usize, recorder: &Recorder) -> Self {
         let threads = threads.max(1);
+        let obs = recorder.registry().map(|registry| {
+            registry
+                .gauge(
+                    "mq_pool_threads",
+                    "Total parallelism of the page-evaluation pool \
+                     (workers + participating caller)",
+                    &[],
+                )
+                .set(threads as i64);
+            let worker_label: Vec<String> = (0..threads).map(|i| i.to_string()).collect();
+            PoolObs {
+                morsels: (0..threads)
+                    .map(|i| {
+                        registry.counter(
+                            "mq_pool_morsels_claimed_total",
+                            "Page-evaluation morsels claimed, per pool worker \
+                             (worker 0 is the participating caller)",
+                            &[("worker", worker_label[i].as_str())],
+                        )
+                    })
+                    .collect(),
+                idle: (0..threads)
+                    .map(|i| {
+                        registry.float_counter(
+                            "mq_pool_idle_seconds_total",
+                            "Seconds a pool worker spent parked waiting for work",
+                            &[("worker", worker_label[i].as_str())],
+                        )
+                    })
+                    .collect(),
+            }
+        });
         let shared = std::sync::Arc::new(Shared {
             state: Mutex::new(State::default()),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
+            obs,
         });
         let workers = (1..threads)
             .map(|i| {
                 let shared = std::sync::Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("mq-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -115,6 +172,9 @@ impl WorkerPool {
             return;
         }
         if self.workers.is_empty() {
+            if let Some(obs) = &self.shared.obs {
+                obs.morsels[0].add(count as u64);
+            }
             for i in 0..count {
                 task(i);
             }
@@ -156,6 +216,9 @@ impl WorkerPool {
             let i = run.next;
             run.next += 1;
             drop(st);
+            if let Some(obs) = &self.shared.obs {
+                obs.morsels[0].inc();
+            }
             let result = catch_unwind(AssertUnwindSafe(|| task(i)));
             complete_one(&self.shared, result.err());
         }
@@ -195,7 +258,7 @@ fn complete_one(shared: &Shared, panicked: Option<Box<dyn std::any::Any + Send>>
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         let (task, i) = {
             let mut st = shared.state.lock().unwrap();
@@ -210,9 +273,16 @@ fn worker_loop(shared: &Shared) {
                         break (run.task, i);
                     }
                 }
+                let parked = shared.obs.as_ref().map(|_| Instant::now());
                 st = shared.work_ready.wait(st).unwrap();
+                if let (Some(obs), Some(t)) = (&shared.obs, parked) {
+                    obs.idle[worker].add(t.elapsed().as_secs_f64());
+                }
             }
         };
+        if let Some(obs) = &shared.obs {
+            obs.morsels[worker].inc();
+        }
         let result = catch_unwind(AssertUnwindSafe(|| task(i)));
         complete_one(shared, result.err());
     }
@@ -285,6 +355,36 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn recorder_counts_every_morsel_once() {
+        let recorder = Recorder::enabled();
+        let pool = WorkerPool::with_recorder(3, &recorder);
+        for _ in 0..10 {
+            pool.run(40, &|_| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            });
+        }
+        let snap = recorder.snapshot();
+        let claimed: f64 = (0..3)
+            .map(|w| snap.value(&format!("mq_pool_morsels_claimed_total{{worker=\"{w}\"}}")))
+            .sum();
+        assert_eq!(claimed, 400.0, "every morsel claimed by exactly one worker");
+        assert_eq!(snap.value("mq_pool_threads"), 3.0);
+    }
+
+    #[test]
+    fn single_thread_recorder_attributes_to_caller() {
+        let recorder = Recorder::enabled();
+        let pool = WorkerPool::with_recorder(1, &recorder);
+        pool.run(7, &|_| {});
+        assert_eq!(
+            recorder
+                .snapshot()
+                .value("mq_pool_morsels_claimed_total{worker=\"0\"}"),
+            7.0
+        );
     }
 
     #[test]

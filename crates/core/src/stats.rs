@@ -88,15 +88,20 @@ impl std::fmt::Display for ExecutionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} page reads ({} logical, {} buffer hits, {} prefetched, \
-             {} prefetch hits), {} distance calcs ({} avoided), {:.3} ms",
+            "{} page reads ({} logical, {} buffer hits, {} random, \
+             {} sequential, {} prefetched, {} prefetch hits), \
+             {} distance calcs ({} tries, {} avoided, {} computed), {:.3} ms",
             self.io.physical_reads,
             self.io.logical_reads,
             self.io.buffer_hits,
+            self.io.random_reads,
+            self.io.sequential_reads,
             self.io.prefetch_reads,
             self.io.prefetched_hits,
             self.dist_calcs,
+            self.avoidance.tries,
             self.avoidance.avoided,
+            self.avoidance.computed,
             self.elapsed.as_secs_f64() * 1e3,
         )
     }
@@ -329,6 +334,42 @@ mod tests {
         let line = stats.to_string();
         assert!(!line.contains('\n'));
         assert!(line.contains("42 distance calcs"));
+    }
+
+    #[test]
+    fn display_prints_all_twelve_fields() {
+        let stats = ExecutionStats {
+            io: IoStats {
+                logical_reads: 100,
+                buffer_hits: 40,
+                physical_reads: 60,
+                random_reads: 10,
+                sequential_reads: 50,
+                prefetch_reads: 3,
+                prefetched_hits: 2,
+            },
+            dist_calcs: 42,
+            avoidance: AvoidanceStats {
+                tries: 500,
+                avoided: 400,
+                computed: 600,
+            },
+            elapsed: Duration::from_micros(789),
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("60 page reads"));
+        assert!(line.contains("100 logical"));
+        assert!(line.contains("40 buffer hits"));
+        assert!(line.contains("10 random"));
+        assert!(line.contains("50 sequential"));
+        assert!(line.contains("3 prefetched"));
+        assert!(line.contains("2 prefetch hits"));
+        assert!(line.contains("42 distance calcs"));
+        assert!(line.contains("500 tries"));
+        assert!(line.contains("400 avoided"));
+        assert!(line.contains("600 computed"));
+        assert!(line.contains("0.789 ms"));
     }
 
     #[test]

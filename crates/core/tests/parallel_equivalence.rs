@@ -369,3 +369,95 @@ fn xtree_prefetch_depth_2_matches_depth_0() {
         "depth=2 should actually stage pages"
     );
 }
+
+/// Runs the batch with an *enabled* recorder wired through the engine and
+/// disk, like `run_batch` but observed.
+fn run_batch_observed(
+    ds: &Dataset<Vector>,
+    layout: PageLayout,
+    use_xtree: bool,
+    queries: &[(Vector, QueryType)],
+    options: EngineOptions,
+) -> (RunOutcome, mq_obs::Snapshot) {
+    let (index, db): (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>) = if use_xtree {
+        let cfg = XTreeConfig {
+            layout,
+            ..Default::default()
+        };
+        let (tree, db) = XTree::bulk_load(ds, cfg);
+        (Box::new(tree), db)
+    } else {
+        let db = PagedDatabase::pack(ds, layout);
+        (Box::new(LinearScan::new(db.page_count())), db)
+    };
+    let registry = std::sync::Arc::new(mq_obs::Registry::new());
+    let recorder = mq_obs::Recorder::new(std::sync::Arc::clone(&registry));
+    let disk = SimulatedDisk::with_buffer_pages(db, 4);
+    disk.attach_recorder(&recorder);
+    let metric = CountingMetric::new(Euclidean);
+    let engine = QueryEngine::new(&disk, index.as_ref(), metric)
+        .with_options(options)
+        .with_recorder(&recorder);
+    let mut session = engine.new_session(queries.to_vec());
+    engine.run_to_completion(&mut session);
+    let outcome = RunOutcome {
+        avoidance: session.avoidance_stats(),
+        distance_calcs: engine.metric().counter().get(),
+        io: disk.stats(),
+        pages: (0..queries.len())
+            .map(|i| session.processed_pages(i))
+            .collect(),
+        answers: session.into_answers(),
+    };
+    (outcome, registry.snapshot())
+}
+
+/// Observability must be pure mirroring: a run with an enabled recorder
+/// is bit-identical — answers, avoidance counters, distance calculations,
+/// processed-page sets, and the full I/O block — to the unobserved run,
+/// and the mirrored counters agree with the authoritative stats.
+#[test]
+fn enabled_recorder_keeps_runs_bit_identical() {
+    let points = cloud(450, 4, 0x0B5E);
+    let ds = Dataset::new(points);
+    let layout = PageLayout::new(1024, 24);
+    let queries: Vec<(Vector, QueryType)> = vec![
+        (Vector::new(vec![20.0, 40.0, 60.0, 80.0]), QueryType::knn(7)),
+        (
+            Vector::new(vec![75.0, 25.0, 35.0, 65.0]),
+            QueryType::range(19.0),
+        ),
+        (
+            Vector::new(vec![45.0, 55.0, 15.0, 85.0]),
+            QueryType::bounded_knn(4, 25.0),
+        ),
+    ];
+    for (what, options) in [
+        ("sequential", EngineOptions::default()),
+        (
+            "threads=3 prefetch=2",
+            EngineOptions {
+                threads: 3,
+                prefetch_depth: 2,
+                ..EngineOptions::default()
+            },
+        ),
+    ] {
+        let plain = run_batch(&ds, layout, true, &queries, options);
+        let (observed, snapshot) = run_batch_observed(&ds, layout, true, &queries, options);
+        assert_outcomes_identical(&plain, &observed, what);
+        // The mirror agrees with the authoritative counters.
+        assert_eq!(
+            snapshot.value("mq_core_distance_calculations_total{outcome=\"avoided\"}"),
+            observed.avoidance.avoided as f64,
+            "{what}: avoided mirror"
+        );
+        assert_eq!(
+            snapshot.value("mq_core_queries_completed_total"),
+            queries.len() as f64,
+            "{what}: completion mirror"
+        );
+        let hits = snapshot.value("mq_storage_buffer_reads_total{outcome=\"hit\",policy=\"lru\"}");
+        assert_eq!(hits, observed.io.buffer_hits as f64, "{what}: hit mirror");
+    }
+}

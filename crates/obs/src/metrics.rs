@@ -1,0 +1,284 @@
+//! The four instrument types. All of them are plain atomics: incrementing
+//! a counter from the worker pool's inner loop costs one relaxed
+//! fetch-add, and none of them ever block.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge that can go up and down (queue depths, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing `f64` counter (total seconds spent idle,
+/// summed span durations). Stored as bit-cast `f64` in an `AtomicU64`,
+/// updated with a CAS loop — contention on these is low (one add per
+/// condvar wake or span end, not per distance calculation).
+#[derive(Debug, Default)]
+pub struct FloatCounter(AtomicU64);
+
+impl FloatCounter {
+    /// Creates a float counter starting at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Adds `v` (negative or non-finite values are ignored so the counter
+    /// stays monotone).
+    pub fn add(&self, v: f64) {
+        if !v.is_finite() || v <= 0.0 {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-boundary histogram: `bounds` are strictly increasing bucket
+/// upper limits, with an implicit `+Inf` overflow bucket at the end.
+/// Buckets are stored non-cumulatively so an observation touches exactly
+/// one bucket; [`Registry::render`](crate::Registry::render) accumulates
+/// them into Prometheus `le` form.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    sum: FloatCounter,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket upper bounds. Bounds must
+    /// be finite and strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.into(),
+            buckets,
+            sum: FloatCounter::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+    }
+
+    /// Records the seconds elapsed since `start`.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe(start.elapsed().as_secs_f64());
+    }
+
+    /// Starts a span: the returned guard records the elapsed seconds into
+    /// this histogram when dropped.
+    pub fn start_timer(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// The configured bucket upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) observation counts, including the final
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+}
+
+/// Drop guard from [`Histogram::start_timer`]: records the span's elapsed
+/// seconds into the histogram when it goes out of scope.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl SpanTimer<'_> {
+    /// Seconds elapsed so far (the span keeps running).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.observe_since(self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        g.sub(2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn float_counter_accumulates_and_stays_monotone() {
+        let f = FloatCounter::new();
+        f.add(1.5);
+        f.add(2.25);
+        f.add(-7.0); // ignored
+        f.add(f64::NAN); // ignored
+        assert_eq!(f.get(), 3.75);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 7.0, 100.0] {
+            h.observe(v);
+        }
+        // 0.5 and 1.0 fall in le=1 (bound is inclusive), 3.0 in le=5,
+        // 7.0 in le=10, 100.0 overflows.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 111.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = Histogram::new(&[1000.0]);
+        {
+            let _t = h.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() > 0.0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+}

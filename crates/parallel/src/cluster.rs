@@ -10,6 +10,7 @@ use mq_core::{
 };
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
+use mq_obs::{Counter, Recorder};
 use mq_storage::{Dataset, PagedDatabase, StorageObject};
 use std::sync::Arc;
 use std::time::Instant;
@@ -76,6 +77,55 @@ impl ClusterStats {
     }
 }
 
+/// Pre-registered per-partition instruments: one series per server under
+/// a `partition` label, so a scrape shows how evenly the declustering
+/// spread the work (§5.3 skew) and which partitions have been failing.
+struct ClusterObs {
+    /// Queries routed to each partition (every query goes to every
+    /// reachable partition in a shared-nothing scan).
+    queries: Vec<Arc<Counter>>,
+    /// Distance calculations each partition performed.
+    dist_calcs: Vec<Arc<Counter>>,
+    /// Logical page reads each partition performed.
+    logical_reads: Vec<Arc<Counter>>,
+    /// Runs in which the partition was reported missing.
+    failures: Vec<Arc<Counter>>,
+}
+
+impl ClusterObs {
+    fn new(recorder: &Recorder, servers: usize) -> Option<Self> {
+        if !recorder.is_enabled() {
+            return None;
+        }
+        let labels: Vec<String> = (0..servers).map(|i| i.to_string()).collect();
+        let series = |name: &str, help: &str| -> Vec<Arc<Counter>> {
+            labels
+                .iter()
+                .filter_map(|l| recorder.counter(name, help, &[("partition", l.as_str())]))
+                .collect()
+        };
+        let obs = Self {
+            queries: series(
+                "mq_cluster_partition_queries_total",
+                "Queries evaluated on each shared-nothing partition.",
+            ),
+            dist_calcs: series(
+                "mq_cluster_partition_distance_calculations_total",
+                "Distance calculations performed by each partition.",
+            ),
+            logical_reads: series(
+                "mq_cluster_partition_logical_reads_total",
+                "Logical page reads performed by each partition.",
+            ),
+            failures: series(
+                "mq_cluster_partition_failures_total",
+                "Cluster runs in which the partition was missing (degraded).",
+            ),
+        };
+        (obs.queries.len() == servers).then_some(obs)
+    }
+}
+
 /// A cluster of `s` shared-nothing servers over one logical database.
 pub struct SharedNothingCluster<O, M> {
     servers: Vec<Server<O, M>>,
@@ -93,6 +143,11 @@ pub struct SharedNothingCluster<O, M> {
     leader: LeaderPolicy,
     /// Fault policy of each server's engine (per-read retry budget).
     fault_policy: FaultPolicy,
+    /// Observability handle threaded into every server's engine, pool, and
+    /// disk; disabled by default.
+    recorder: Recorder,
+    /// Per-partition instruments, present iff `recorder` is enabled.
+    obs: Option<ClusterObs>,
 }
 
 impl<O, M> SharedNothingCluster<O, M>
@@ -125,6 +180,8 @@ where
             prefetch_depth: 0,
             leader: LeaderPolicy::default(),
             fault_policy: FaultPolicy::default(),
+            recorder: Recorder::disabled(),
+            obs: None,
         }
     }
 
@@ -139,15 +196,37 @@ where
     /// thread spawn/join.
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = threads.max(1);
+        self.rebuild_pools();
+        self
+    }
+
+    /// Attaches an observability [`Recorder`] to the whole cluster:
+    /// per-partition query/distance/read/failure counters, every server
+    /// disk's buffer and fault counters, and the per-server worker pools.
+    /// A disabled recorder detaches everything. Call it *before*
+    /// [`with_engine_threads`](Self::with_engine_threads) or after — pools
+    /// are rebuilt here so the order does not matter.
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
+        self.obs = ClusterObs::new(recorder, self.servers.len());
+        for server in &self.servers {
+            server.disk().attach_recorder(recorder);
+        }
+        self.rebuild_pools();
+        self
+    }
+
+    /// (Re)creates the per-server page-evaluation pools for the current
+    /// thread count and recorder.
+    fn rebuild_pools(&mut self) {
         self.pools = if self.engine_threads > 1 {
             self.servers
                 .iter()
-                .map(|_| Arc::new(WorkerPool::new(self.engine_threads)))
+                .map(|_| Arc::new(WorkerPool::with_recorder(self.engine_threads, &self.recorder)))
                 .collect()
         } else {
             Vec::new()
         };
-        self
     }
 
     /// Stages up to `depth` pages ahead on every server's engine
@@ -234,6 +313,7 @@ where
                 .enumerate()
                 .map(|(si, server)| {
                     let pool = self.pools.get(si).cloned();
+                    let recorder = &self.recorder;
                     scope.spawn(move || {
                         run_on_server(
                             server,
@@ -244,6 +324,7 @@ where
                             self.prefetch_depth,
                             self.leader,
                             self.fault_policy,
+                            recorder,
                         )
                     })
                 })
@@ -264,6 +345,21 @@ where
             if let Err(reason) = r {
                 missing_partitions.push(si);
                 failure_reasons.push(reason.clone());
+            }
+        }
+
+        // Mirror the per-partition outcome into the registry (write-only:
+        // nothing below reads these counters back).
+        if let Some(obs) = &self.obs {
+            for (si, r) in per_server.iter().enumerate() {
+                match r {
+                    Ok((_, stats)) => {
+                        obs.queries[si].add(queries.len() as u64);
+                        obs.dist_calcs[si].add(stats.dist_calcs);
+                        obs.logical_reads[si].add(stats.io.logical_reads);
+                    }
+                    Err(_) => obs.failures[si].inc(),
+                }
             }
         }
 
@@ -308,6 +404,7 @@ fn run_on_server<O, M>(
     prefetch_depth: usize,
     leader: LeaderPolicy,
     fault_policy: FaultPolicy,
+    recorder: &Recorder,
 ) -> Result<(Vec<Vec<Answer>>, ExecutionStats), EngineError>
 where
     O: StorageObject,
@@ -318,7 +415,8 @@ where
             .with_threads(engine_threads)
             .with_prefetch_depth(prefetch_depth)
             .with_leader_policy(leader)
-            .with_fault_policy(fault_policy);
+            .with_fault_policy(fault_policy)
+            .with_recorder(recorder);
         if let Some(pool) = pool {
             e = e.with_pool(pool);
         }
@@ -731,6 +829,104 @@ mod tests {
                 .any(|s| s.disk().fault_stats().transient_errors > 0),
             "the plan should actually have fired"
         );
+    }
+
+    #[test]
+    fn recorder_tracks_partition_skew_and_failures() {
+        use mq_obs::Registry;
+        use mq_storage::FaultPlan;
+        let objects = random_points(300, 3, 241);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(37)
+            .take(6)
+            .map(|v| (v.clone(), QueryType::knn(4)))
+            .collect();
+        let registry = Arc::new(Registry::new());
+        let recorder = Recorder::new(Arc::clone(&registry));
+        let cluster = SharedNothingCluster::build(
+            &objects,
+            3,
+            Declustering::RoundRobin,
+            Euclidean,
+            0.1,
+            scan_builder(),
+        )
+        .with_engine_threads(2)
+        .with_recorder(&recorder);
+        let healthy = cluster.multiple_query_degraded(&queries, true);
+        assert!(healthy.is_complete());
+        let snap = registry.snapshot();
+        for si in 0..3 {
+            let q = snap.value(&format!(
+                "mq_cluster_partition_queries_total{{partition=\"{si}\"}}"
+            ));
+            assert_eq!(q, queries.len() as f64, "partition {si}");
+            let reads = snap.value(&format!(
+                "mq_cluster_partition_logical_reads_total{{partition=\"{si}\"}}"
+            ));
+            assert_eq!(
+                reads,
+                healthy.stats.per_server[si].io.logical_reads as f64
+            );
+            let dists = snap.value(&format!(
+                "mq_cluster_partition_distance_calculations_total{{partition=\"{si}\"}}"
+            ));
+            assert_eq!(dists, healthy.stats.per_server[si].dist_calcs as f64);
+        }
+        // The engine-level recorder fires too: distance calculations from
+        // all three partitions land in the shared core counter.
+        let performed =
+            snap.value("mq_core_distance_calculations_total{outcome=\"performed\"}");
+        assert!(performed > 0.0);
+        // Kill one partition and check the failure counter.
+        cluster.servers()[2]
+            .disk()
+            .set_fault_plan(Some(FaultPlan::new(11).with_kill_after(0)));
+        let degraded = cluster.multiple_query_degraded(&queries, true);
+        assert_eq!(degraded.missing_partitions, vec![2]);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.value("mq_cluster_partition_failures_total{partition=\"2\"}"),
+            1.0
+        );
+        // The dead partition's query counter did not advance.
+        assert_eq!(
+            snap.value("mq_cluster_partition_queries_total{partition=\"2\"}"),
+            queries.len() as f64
+        );
+    }
+
+    #[test]
+    fn recorder_does_not_change_cluster_answers() {
+        use mq_obs::Registry;
+        let objects = random_points(400, 4, 251);
+        let queries: Vec<(Vector, QueryType)> = objects
+            .iter()
+            .step_by(47)
+            .take(8)
+            .map(|v| (v.clone(), QueryType::knn(5)))
+            .collect();
+        let build = || {
+            SharedNothingCluster::build(
+                &objects,
+                3,
+                Declustering::Hash,
+                Euclidean,
+                0.1,
+                scan_builder(),
+            )
+            .with_engine_threads(2)
+        };
+        let plain = build().multiple_query(&queries, true);
+        let recorder = Recorder::new(Arc::new(Registry::new()));
+        let observed = build().with_recorder(&recorder).multiple_query(&queries, true);
+        assert_eq!(plain.0, observed.0, "answers must be bit-identical");
+        for (a, b) in plain.1.per_server.iter().zip(&observed.1.per_server) {
+            assert_eq!(a.io, b.io);
+            assert_eq!(a.dist_calcs, b.dist_calcs);
+            assert_eq!(a.avoidance, b.avoidance);
+        }
     }
 
     #[test]

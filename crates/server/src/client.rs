@@ -135,6 +135,15 @@ impl Client {
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
+
+    /// Fetches the server's metric registry as Prometheus text exposition.
+    /// Empty when the server runs without an attached recorder.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Message::MetricsRequest)? {
+            Message::MetricsReply(text) => Ok(text),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
 }
 
 /// Knobs of the fault-tolerant [`RetryingClient`].
@@ -261,6 +270,12 @@ impl RetryingClient {
     /// behavior as [`query`](Self::query).
     pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
         self.with_retries(|client| client.stats())
+    }
+
+    /// Fetches the server's metric exposition, with the same retry
+    /// behavior as [`query`](Self::query).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.with_retries(|client| client.metrics())
     }
 
     fn with_retries<T>(

@@ -136,6 +136,31 @@ impl ServerConfig {
         self.read_timeout = timeout;
         self
     }
+
+    /// One-line summary of every resolved knob, for startup logs.
+    pub fn describe(&self) -> String {
+        let mode = match self.mode {
+            ExecutionMode::Single => "single".to_string(),
+            ExecutionMode::Cluster { servers } => format!("cluster({servers})"),
+        };
+        let read_timeout = match self.read_timeout {
+            Some(t) => format!("{:.1}s", t.as_secs_f64()),
+            None => "none".to_string(),
+        };
+        format!(
+            "mode={mode} max_batch={} max_wait={:.0}ms workers={} threads={} \
+             prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
+             read_timeout={read_timeout}",
+            self.max_batch,
+            self.max_wait.as_secs_f64() * 1e3,
+            self.workers,
+            self.threads,
+            self.prefetch_depth,
+            self.leader,
+            self.avoidance,
+            self.retry_budget,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +214,31 @@ mod tests {
     #[should_panic(expected = "max_batch must be positive")]
     fn zero_batch_rejected() {
         let _ = ServerConfig::default().with_max_batch(0);
+    }
+
+    #[test]
+    fn describe_names_every_knob() {
+        let line = ServerConfig::default()
+            .with_mode(ExecutionMode::Cluster { servers: 3 })
+            .with_threads(4)
+            .with_workers(2)
+            .with_prefetch_depth(2)
+            .with_retry_budget(5)
+            .describe();
+        assert!(!line.contains('\n'));
+        for needle in [
+            "mode=cluster(3)",
+            "max_batch=16",
+            "max_wait=20ms",
+            "workers=2",
+            "threads=4",
+            "prefetch_depth=2",
+            "leader=Fifo",
+            "avoidance=true",
+            "retry_budget=5",
+            "read_timeout=none",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
     }
 }

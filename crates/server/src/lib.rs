@@ -50,6 +50,7 @@ pub use client::{Client, ClientError, RemoteAnswers, RetryConfig, RetryingClient
 pub use config::{ExecutionMode, ServerConfig};
 pub use protocol::{Message, ProtocolError, ServiceMetrics};
 pub use scheduler::{
-    build_backend, BatchScheduler, ClusterBackend, QueryBackend, QueryReply, SingleEngineBackend,
+    build_backend, build_backend_with_recorder, BatchScheduler, ClusterBackend, QueryBackend,
+    QueryReply, SingleEngineBackend,
 };
 pub use service::QueryServer;

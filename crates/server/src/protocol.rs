@@ -11,11 +11,13 @@
 //! style as `mq_storage::persist`):
 //!
 //! ```text
-//! 0x01 Query      object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64)
-//! 0x02 Stats      (empty)
-//! 0x81 Answers    batch_id:u64, batch_size:u32, stats(12 × u64), count:u32, count × (id:u32, distance:f64)
-//! 0x82 StatsReply queries:u64, batches:u64, max_batch_size:u32, totals(12 × u64)
-//! 0xFF Error      len:u32, len × utf-8 bytes
+//! 0x01 Query        object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64)
+//! 0x02 Stats        (empty)
+//! 0x03 Metrics      (empty)
+//! 0x81 Answers      batch_id:u64, batch_size:u32, stats(12 × u64), count:u32, count × (id:u32, distance:f64)
+//! 0x82 StatsReply   queries:u64, batches:u64, max_batch_size:u32, totals(12 × u64)
+//! 0x83 MetricsReply len:u32, len × utf-8 bytes (Prometheus text exposition)
+//! 0xFF Error        len:u32, len × utf-8 bytes
 //! ```
 //!
 //! `ExecutionStats` is fixed-width: the seven `IoStats` counters
@@ -43,8 +45,10 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 
 const KIND_QUERY: u8 = 0x01;
 const KIND_STATS: u8 = 0x02;
+const KIND_METRICS: u8 = 0x03;
 const KIND_ANSWERS: u8 = 0x81;
 const KIND_STATS_REPLY: u8 = 0x82;
+const KIND_METRICS_REPLY: u8 = 0x83;
 const KIND_ERROR: u8 = 0xFF;
 
 /// Errors from encoding, decoding or transporting frames.
@@ -112,6 +116,8 @@ pub enum Message {
     },
     /// Ask for the aggregate service counters.
     Stats,
+    /// Ask for the full metric registry in Prometheus text exposition.
+    MetricsRequest,
     /// The answers of one query, with its batch's execution statistics.
     Answers {
         /// Identifier of the batch that carried this query.
@@ -126,6 +132,9 @@ pub enum Message {
     },
     /// The aggregate service counters.
     StatsReply(ServiceMetrics),
+    /// The metric registry rendered as Prometheus text exposition. Empty
+    /// when the server runs without an attached recorder.
+    MetricsReply(String),
     /// The server could not process a request.
     Error(String),
 }
@@ -255,6 +264,12 @@ impl Message {
                 put_qtype(&mut payload, qtype);
             }
             Message::Stats => payload.put_u8(KIND_STATS),
+            Message::MetricsRequest => payload.put_u8(KIND_METRICS),
+            Message::MetricsReply(text) => {
+                payload.put_u8(KIND_METRICS_REPLY);
+                payload.put_u32_le(text.len() as u32);
+                payload.put_slice(text.as_bytes());
+            }
             Message::Answers {
                 batch_id,
                 batch_size,
@@ -345,6 +360,17 @@ impl Message {
                 Ok(Message::Query { object, qtype })
             }
             KIND_STATS => Ok(Message::Stats),
+            KIND_METRICS => Ok(Message::MetricsRequest),
+            KIND_METRICS_REPLY => {
+                need(buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len)?;
+                let mut raw = vec![0u8; len];
+                buf.copy_to_slice(&mut raw);
+                let text = String::from_utf8(raw)
+                    .map_err(|_| ProtocolError::Malformed("non-utf8 metrics text".into()))?;
+                Ok(Message::MetricsReply(text))
+            }
             KIND_ANSWERS => {
                 need(buf, 8 + 4)?;
                 let batch_id = buf.get_u64_le();
@@ -525,6 +551,25 @@ mod tests {
             Message::decode(&frame),
             Err(ProtocolError::BadVersion(99))
         ));
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let (back, _) = Message::decode(&Message::MetricsRequest.encode()).expect("decode");
+        assert_eq!(back, Message::MetricsRequest);
+        let text = "# HELP x y\n# TYPE x counter\nx{a=\"b\"} 1\n".to_string();
+        let msg = Message::MetricsReply(text);
+        let frame = msg.encode();
+        let (back, used) = Message::decode(&frame).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(used, frame.len());
+        // Truncation anywhere inside the reply is detected, never panics.
+        for cut in 4..frame.len() {
+            assert!(matches!(
+                Message::decode(&frame[..cut]),
+                Err(ProtocolError::Truncated)
+            ));
+        }
     }
 
     #[test]

@@ -18,8 +18,10 @@ use mq_core::{
     Answer, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType, StatsProbe,
     WorkerPool,
 };
+use mq_core::EngineObs;
 use mq_index::SimilarityIndex;
 use mq_metric::{CountingMetric, Euclidean, Vector};
+use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS, SIZE_BOUNDS};
 use mq_parallel::{Declustering, SharedNothingCluster};
 use mq_storage::{PagedDatabase, SimulatedDisk};
 use parking_lot::Mutex;
@@ -75,6 +77,11 @@ pub struct SingleEngineBackend {
     pool: Option<Arc<WorkerPool>>,
     fault_policy: FaultPolicy,
     dims: usize,
+    /// Observability handle; disabled by default. Kept so `with_threads`
+    /// can rebuild the pool with it regardless of builder call order.
+    recorder: Recorder,
+    /// Engine instruments shared by the short-lived engine of every batch.
+    obs: Option<Arc<EngineObs>>,
 }
 
 impl SingleEngineBackend {
@@ -102,6 +109,8 @@ impl SingleEngineBackend {
             pool: None,
             fault_policy: FaultPolicy::default(),
             dims,
+            recorder: Recorder::disabled(),
+            obs: None,
         }
     }
 
@@ -110,7 +119,21 @@ impl SingleEngineBackend {
     /// `threads > 1` this creates the backend's persistent worker pool.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
-        self.pool = (self.threads > 1).then(|| Arc::new(WorkerPool::new(self.threads)));
+        self.pool = (self.threads > 1)
+            .then(|| Arc::new(WorkerPool::with_recorder(self.threads, &self.recorder)));
+        self
+    }
+
+    /// Attaches an observability [`Recorder`]: engine counters and stage
+    /// spans, the disk's buffer/prefetch/fault counters, and the worker
+    /// pool's per-worker counters. Order-independent with
+    /// [`with_threads`](Self::with_threads) — the pool is rebuilt here.
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
+        self.obs = EngineObs::new(recorder);
+        self.disk.attach_recorder(recorder);
+        self.pool = (self.threads > 1)
+            .then(|| Arc::new(WorkerPool::with_recorder(self.threads, &self.recorder)));
         self
     }
 
@@ -145,7 +168,8 @@ impl QueryBackend for SingleEngineBackend {
             .with_threads(self.threads)
             .with_prefetch_depth(self.prefetch_depth)
             .with_leader_policy(self.leader)
-            .with_fault_policy(self.fault_policy);
+            .with_fault_policy(self.fault_policy)
+            .with_obs(self.obs.clone());
         if let Some(pool) = &self.pool {
             engine = engine.with_pool(Arc::clone(pool));
         }
@@ -241,6 +265,13 @@ impl ClusterBackend {
         self
     }
 
+    /// Attaches an observability [`Recorder`] to the whole cluster —
+    /// per-partition counters, every server disk, every worker pool.
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.cluster = self.cluster.with_recorder(recorder);
+        self
+    }
+
     /// The underlying cluster (fault-plan installation in tests).
     pub fn cluster(&self) -> &SharedNothingCluster<Vector, CountingMetric<Euclidean>> {
         &self.cluster
@@ -274,6 +305,80 @@ struct Job {
     object: Vector,
     qtype: QueryType,
     reply: Sender<QueryReply>,
+    /// When the job entered the queue (queue-wait observability).
+    submitted: Instant,
+}
+
+/// Why a batch stopped collecting and flushed.
+#[derive(Clone, Copy)]
+enum FlushReason {
+    /// The batch reached [`ServerConfig::max_batch`] jobs.
+    Full,
+    /// [`ServerConfig::max_wait`] passed since the first queued job.
+    Deadline,
+    /// The submission queue was closed (shutdown drain).
+    Closed,
+}
+
+/// Pre-registered scheduler instruments: batch-size and queue-wait
+/// distributions plus flush-reason counters.
+struct SchedObs {
+    batch_size: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    flush_full: Arc<Counter>,
+    flush_deadline: Arc<Counter>,
+    flush_closed: Arc<Counter>,
+    queries: Arc<Counter>,
+}
+
+impl SchedObs {
+    fn new(recorder: &Recorder) -> Option<Arc<Self>> {
+        let flush = |reason: &'static str| {
+            recorder.counter(
+                "mq_server_batches_total",
+                "Batches flushed by the scheduler, by flush reason.",
+                &[("reason", reason)],
+            )
+        };
+        Some(Arc::new(Self {
+            batch_size: recorder.histogram(
+                "mq_server_batch_size",
+                "Queries per flushed batch.",
+                &[],
+                &SIZE_BOUNDS,
+            )?,
+            queue_wait: recorder.histogram(
+                "mq_server_queue_wait_seconds",
+                "Time each query waited in the submission queue before its \
+                 batch flushed.",
+                &[],
+                &DURATION_BOUNDS,
+            )?,
+            flush_full: flush("full")?,
+            flush_deadline: flush("deadline")?,
+            flush_closed: flush("closed")?,
+            queries: recorder.counter(
+                "mq_server_queries_total",
+                "Queries accepted into flushed batches.",
+                &[],
+            )?,
+        }))
+    }
+
+    fn record_flush(&self, jobs: &[Job], reason: FlushReason) {
+        self.batch_size.observe(jobs.len() as f64);
+        self.queries.add(jobs.len() as u64);
+        let now = Instant::now();
+        for job in jobs {
+            self.queue_wait
+                .observe(now.saturating_duration_since(job.submitted).as_secs_f64());
+        }
+        match reason {
+            FlushReason::Full => self.flush_full.inc(),
+            FlushReason::Deadline => self.flush_deadline.inc(),
+            FlushReason::Closed => self.flush_closed.inc(),
+        }
+    }
 }
 
 /// The batching scheduler: one submission queue, a pool of worker threads
@@ -291,6 +396,17 @@ impl BatchScheduler {
     /// (each job is delivered to exactly one) and draw batch ids from one
     /// shared counter.
     pub fn start(backend: Box<dyn QueryBackend>, config: &ServerConfig) -> Self {
+        Self::start_with_recorder(backend, config, &Recorder::disabled())
+    }
+
+    /// [`start`](Self::start) with scheduler observability: batch-size and
+    /// queue-wait histograms plus flush-reason counters registered on
+    /// `recorder`. A disabled recorder makes this identical to `start`.
+    pub fn start_with_recorder(
+        backend: Box<dyn QueryBackend>,
+        config: &ServerConfig,
+        recorder: &Recorder,
+    ) -> Self {
         let (tx, rx) = channel::unbounded::<Job>();
         let metrics = Arc::new(Mutex::new(ServiceMetrics::default()));
         let max_batch = config.max_batch.max(1);
@@ -298,16 +414,18 @@ impl BatchScheduler {
         let dims = backend.dimensions();
         let backend: Arc<dyn QueryBackend> = Arc::from(backend);
         let batch_ids = Arc::new(AtomicU64::new(0));
+        let obs = SchedObs::new(recorder);
         let workers = (0..config.workers.max(1))
             .map(|w| {
                 let rx = rx.clone();
                 let backend = Arc::clone(&backend);
                 let metrics = Arc::clone(&metrics);
                 let batch_ids = Arc::clone(&batch_ids);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("mq-scheduler-{w}"))
                     .spawn(move || {
-                        worker_loop(rx, backend, max_batch, max_wait, metrics, batch_ids)
+                        worker_loop(rx, backend, max_batch, max_wait, metrics, batch_ids, obs)
                     })
                     .expect("spawn scheduler worker")
             })
@@ -335,6 +453,7 @@ impl BatchScheduler {
             object,
             qtype,
             reply: reply_tx,
+            submitted: Instant::now(),
         });
         reply_rx
     }
@@ -363,6 +482,7 @@ fn worker_loop(
     max_wait: std::time::Duration,
     metrics: Arc<Mutex<ServiceMetrics>>,
     batch_ids: Arc<AtomicU64>,
+    obs: Option<Arc<SchedObs>>,
 ) {
     loop {
         // Block until traffic arrives; an empty queue costs nothing.
@@ -373,12 +493,22 @@ fn worker_loop(
         let mut jobs = vec![first];
         // Collect until the batch is full or the deadline passes.
         let deadline = Instant::now() + max_wait;
+        let mut reason = FlushReason::Full;
         while jobs.len() < max_batch {
             match rx.recv_deadline(deadline) {
                 Ok(job) => jobs.push(job),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    reason = FlushReason::Deadline;
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    reason = FlushReason::Closed;
+                    break;
+                }
             }
+        }
+        if let Some(obs) = &obs {
+            obs.record_flush(&jobs, reason);
         }
 
         let batch_id = batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
@@ -438,6 +568,24 @@ where
         &mq_storage::Dataset<Vector>,
     ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
 {
+    build_backend_with_recorder(db, config, buffer_fraction, &Recorder::disabled(), build_index)
+}
+
+/// [`build_backend`] with an observability [`Recorder`] threaded through
+/// the backend (engine counters, disk counters, worker pools, and — in
+/// cluster mode — per-partition counters).
+pub fn build_backend_with_recorder<F>(
+    db: &PagedDatabase<Vector>,
+    config: &ServerConfig,
+    buffer_fraction: f64,
+    recorder: &Recorder,
+    build_index: F,
+) -> Box<dyn QueryBackend>
+where
+    F: Fn(
+        &mq_storage::Dataset<Vector>,
+    ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
+{
     match config.mode {
         ExecutionMode::Single => {
             let (index, db) = build_index(&db.to_dataset());
@@ -446,7 +594,8 @@ where
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
-                    .with_retry_budget(config.retry_budget),
+                    .with_retry_budget(config.retry_budget)
+                    .with_recorder(recorder),
             )
         }
         ExecutionMode::Cluster { servers } => {
@@ -462,7 +611,8 @@ where
                 .with_engine_threads(config.threads)
                 .with_prefetch_depth(config.prefetch_depth)
                 .with_leader(config.leader)
-                .with_retry_budget(config.retry_budget),
+                .with_retry_budget(config.retry_budget)
+                .with_recorder(recorder),
             )
         }
     }

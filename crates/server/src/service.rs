@@ -4,6 +4,7 @@
 use crate::config::ServerConfig;
 use crate::protocol::{read_message, write_message, Message, ProtocolError};
 use crate::scheduler::{BatchScheduler, QueryBackend};
+use mq_obs::Recorder;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,29 +17,57 @@ pub struct QueryServer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     scheduler: Arc<BatchScheduler>,
+    recorder: Recorder,
 }
 
 impl QueryServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `backend` with the given batching configuration.
+    /// `backend` with the given batching configuration. No recorder: a
+    /// `MetricsRequest` gets an empty reply. Use
+    /// [`bind_with_recorder`](Self::bind_with_recorder) for a live
+    /// metrics endpoint.
     pub fn bind(
         addr: impl ToSocketAddrs,
         backend: Box<dyn QueryBackend>,
         config: &ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_recorder(addr, backend, config, &Recorder::disabled())
+    }
+
+    /// [`bind`](Self::bind) with an observability [`Recorder`]: the
+    /// scheduler's batch/queue instruments register on it, and the `STATS`
+    /// (`MetricsRequest`) opcode serves its registry's text exposition.
+    /// The backend should have been built against the *same* recorder
+    /// (e.g. via [`crate::scheduler::build_backend_with_recorder`]) so one
+    /// scrape covers every layer.
+    pub fn bind_with_recorder(
+        addr: impl ToSocketAddrs,
+        backend: Box<dyn QueryBackend>,
+        config: &ServerConfig,
+        recorder: &Recorder,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let scheduler = Arc::new(BatchScheduler::start(backend, config));
+        let scheduler = Arc::new(BatchScheduler::start_with_recorder(
+            backend, config, recorder,
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let read_timeout = config.read_timeout;
 
         let accept_scheduler = Arc::clone(&scheduler);
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_recorder = recorder.clone();
         let accept_thread =
             std::thread::Builder::new()
                 .name("mq-accept".into())
                 .spawn(move || {
-                    accept_loop(listener, accept_scheduler, accept_shutdown, read_timeout)
+                    accept_loop(
+                        listener,
+                        accept_scheduler,
+                        accept_shutdown,
+                        read_timeout,
+                        accept_recorder,
+                    )
                 })?;
 
         Ok(Self {
@@ -46,6 +75,7 @@ impl QueryServer {
             shutdown,
             accept_thread: Some(accept_thread),
             scheduler,
+            recorder: recorder.clone(),
         })
     }
 
@@ -57,6 +87,18 @@ impl QueryServer {
     /// A snapshot of the aggregate service counters.
     pub fn metrics(&self) -> crate::protocol::ServiceMetrics {
         self.scheduler.metrics()
+    }
+
+    /// The server's recorder (disabled unless bound with
+    /// [`bind_with_recorder`](Self::bind_with_recorder)).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The metric registry rendered as Prometheus text exposition — what
+    /// a `MetricsRequest` over the wire returns. Empty without a recorder.
+    pub fn render_metrics(&self) -> String {
+        self.recorder.render()
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -84,6 +126,7 @@ fn accept_loop(
     scheduler: Arc<BatchScheduler>,
     shutdown: Arc<AtomicBool>,
     read_timeout: Option<std::time::Duration>,
+    recorder: Recorder,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -94,11 +137,12 @@ fn accept_loop(
             Err(_) => continue,
         };
         let conn_scheduler = Arc::clone(&scheduler);
+        let conn_recorder = recorder.clone();
         // Connection handlers are detached: each one exits when its client
         // hangs up, and holds only an Arc on the scheduler.
         let _ = std::thread::Builder::new()
             .name("mq-conn".into())
-            .spawn(move || handle_connection(stream, conn_scheduler, read_timeout));
+            .spawn(move || handle_connection(stream, conn_scheduler, read_timeout, conn_recorder));
     }
 }
 
@@ -106,6 +150,7 @@ fn handle_connection(
     mut stream: TcpStream,
     scheduler: Arc<BatchScheduler>,
     read_timeout: Option<std::time::Duration>,
+    recorder: Recorder,
 ) {
     let _ = stream.set_nodelay(true);
     // A client that stalls mid-frame is disconnected after the timeout
@@ -150,6 +195,7 @@ fn handle_connection(
                 }
             }
             Message::Stats => Message::StatsReply(scheduler.metrics()),
+            Message::MetricsRequest => Message::MetricsReply(recorder.render()),
             other => Message::Error(format!("unexpected client message: {other:?}")),
         };
         if write_message(&mut stream, &response).is_err() {

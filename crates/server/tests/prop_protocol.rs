@@ -65,6 +65,33 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (arb_vector(), arb_qtype()).prop_map(|(object, qtype)| Message::Query { object, qtype }),
         Just(Message::Stats),
+        Just(Message::MetricsRequest),
+        // Exposition-shaped and arbitrary text alike must survive the
+        // roundtrip and every corruption property below.
+        prop_oneof![
+            Just(Message::MetricsReply(String::new())),
+            Just(Message::MetricsReply(
+                "# HELP mq_core_steps_total Steps.\n# TYPE mq_core_steps_total counter\n\
+                 mq_core_steps_total 42\n"
+                    .to_string()
+            )),
+            prop::collection::vec((0u8..5, any::<bool>()), 0..120).prop_map(|picks| {
+                let text: String = picks
+                    .iter()
+                    .map(|&(c, b)| match (c, b) {
+                        (0, _) => 'x',
+                        (1, _) => 'é',
+                        (2, true) => '\n',
+                        (2, false) => '"',
+                        (3, true) => '{',
+                        (3, false) => '}',
+                        (4, true) => ' ',
+                        _ => '9',
+                    })
+                    .collect();
+                Message::MetricsReply(text)
+            }),
+        ],
         (0u64..1_000_000, 1u32..200, arb_stats(), arb_answers()).prop_map(
             |(batch_id, batch_size, stats, answers)| Message::Answers {
                 batch_id,

@@ -6,11 +6,22 @@ use crate::fault::{page_checksum, DiskError, FaultDecision, FaultPlan, FaultStat
 use crate::page::{Page, PageId};
 use crate::policy::BufferPolicy;
 use crate::stats::IoStats;
+use mq_obs::{Counter, Recorder};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The paper's buffer sizing: 10 % of the data pages (§6).
 pub const PAPER_BUFFER_FRACTION: f64 = 0.10;
+
+/// `num / den` as a ratio gauge, `0.0` when nothing was observed yet.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
 
 /// Forward window within which a read still counts as sequential: skipping
 /// a few pages forward costs only rotational delay, not a head seek, so
@@ -19,10 +30,30 @@ pub const PAPER_BUFFER_FRACTION: f64 = 0.10;
 /// produce exactly such short forward skips.
 pub const SEQUENTIAL_SKIP_WINDOW: u32 = 4;
 
+/// Live observability counters, duplicated from the [`IoStats`] /
+/// [`FaultStats`] bookkeeping into a shared [`Registry`] so `mq stats` can
+/// watch them while the disk serves traffic. Strictly write-only from the
+/// disk's perspective: attaching (or not attaching) a recorder never
+/// changes what [`IoStats`] reports or which pages the buffer holds.
+///
+/// [`Registry`]: mq_obs::Registry
+#[derive(Debug)]
+struct DiskObs {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    prefetch_reads: Arc<Counter>,
+    prefetched_hits: Arc<Counter>,
+    fault_transient: Arc<Counter>,
+    fault_corrupt: Arc<Counter>,
+    fault_unavailable: Arc<Counter>,
+}
+
 #[derive(Debug)]
 struct DiskState {
     buffer: Box<dyn BufferPolicy>,
     stats: IoStats,
+    /// `Some` once a [`Recorder`] is attached; `None` costs one branch.
+    obs: Option<DiskObs>,
     last_physical: Option<PageId>,
     /// Pages staged by [`SimulatedDisk::prefetch`] whose pin is still held
     /// by the disk (released by the demand read or by
@@ -103,6 +134,7 @@ impl<O: StorageObject> SimulatedDisk<O> {
             state: Mutex::new(DiskState {
                 buffer: policy,
                 stats: IoStats::default(),
+                obs: None,
                 last_physical: None,
                 prefetched: BTreeSet::new(),
                 fault_plan: None,
@@ -112,6 +144,73 @@ impl<O: StorageObject> SimulatedDisk<O> {
                 killed: false,
             }),
         }
+    }
+
+    /// Attaches an observability [`Recorder`]: buffer hits/misses (labelled
+    /// with the replacement policy's name), prefetch traffic, and injected
+    /// fault retries are mirrored into the recorder's registry from now on,
+    /// alongside — never instead of — the exact [`IoStats`] accounting. A
+    /// disabled recorder detaches. Derived gauges
+    /// `mq_storage_buffer_hit_ratio` and `mq_storage_prefetch_hit_ratio`
+    /// are computed from the mirrored counters at scrape time.
+    pub fn attach_recorder(&self, recorder: &Recorder) {
+        let mut st = self.state.lock();
+        let Some(registry) = recorder.registry() else {
+            st.obs = None;
+            return;
+        };
+        let policy = st.buffer.name();
+        let labels = [("policy", policy)];
+        let hits = registry.counter(
+            "mq_storage_buffer_reads_total",
+            "Buffer lookups by outcome, per replacement policy",
+            &[("policy", policy), ("outcome", "hit")],
+        );
+        let misses = registry.counter(
+            "mq_storage_buffer_reads_total",
+            "Buffer lookups by outcome, per replacement policy",
+            &[("policy", policy), ("outcome", "miss")],
+        );
+        let prefetch_reads = registry.counter(
+            "mq_storage_prefetch_reads_total",
+            "Physical reads issued by the prefetcher at schedule time",
+            &labels,
+        );
+        let prefetched_hits = registry.counter(
+            "mq_storage_prefetched_hits_total",
+            "Demand reads served from a previously staged prefetch",
+            &labels,
+        );
+        let (h, m) = (Arc::clone(&hits), Arc::clone(&misses));
+        registry.derived_gauge(
+            "mq_storage_buffer_hit_ratio",
+            "hits / (hits + misses) since the recorder was attached",
+            &labels,
+            move || ratio(h.get(), h.get() + m.get()),
+        );
+        let (pr, ph) = (Arc::clone(&prefetch_reads), Arc::clone(&prefetched_hits));
+        registry.derived_gauge(
+            "mq_storage_prefetch_hit_ratio",
+            "prefetched demand hits / prefetch reads since the recorder was attached",
+            &labels,
+            move || ratio(ph.get(), pr.get()),
+        );
+        let fault = |kind: &str| {
+            registry.counter(
+                "mq_storage_fault_retries_total",
+                "Injected disk faults surfaced to callers, by kind",
+                &[("kind", kind)],
+            )
+        };
+        st.obs = Some(DiskObs {
+            hits,
+            misses,
+            prefetch_reads,
+            prefetched_hits,
+            fault_transient: fault("transient"),
+            fault_corrupt: fault("corrupt"),
+            fault_unavailable: fault("unavailable"),
+        });
     }
 
     /// Installs (or, with `None`, removes) a fault schedule. Resets all
@@ -216,6 +315,9 @@ impl<O: StorageObject> SimulatedDisk<O> {
             let mut st = self.state.lock();
             if st.killed {
                 st.fault_stats.unavailable_reads += 1;
+                if let Some(obs) = &st.obs {
+                    obs.fault_unavailable.inc();
+                }
                 return Err(DiskError::Unavailable { page: id });
             }
             // Fault check strictly before any accounting or buffer
@@ -227,9 +329,16 @@ impl<O: StorageObject> SimulatedDisk<O> {
             st.stats.logical_reads += 1;
             if st.buffer.access(id) {
                 st.stats.buffer_hits += 1;
-                if st.prefetched.remove(&id) {
+                let staged = st.prefetched.remove(&id);
+                if staged {
                     st.stats.prefetched_hits += 1;
                     st.buffer.unpin(id);
+                }
+                if let Some(obs) = &st.obs {
+                    obs.hits.inc();
+                    if staged {
+                        obs.prefetched_hits.inc();
+                    }
                 }
             } else {
                 // A staged page is pinned and so cannot miss; this branch
@@ -238,6 +347,9 @@ impl<O: StorageObject> SimulatedDisk<O> {
                     st.buffer.unpin(id);
                 }
                 Self::count_physical(&mut st, id);
+                if let Some(obs) = &st.obs {
+                    obs.misses.inc();
+                }
             }
             if pin {
                 st.buffer.pin(id);
@@ -271,6 +383,9 @@ impl<O: StorageObject> SimulatedDisk<O> {
         let mut st = self.state.lock();
         if st.killed {
             st.fault_stats.unavailable_reads += 1;
+            if let Some(obs) = &st.obs {
+                obs.fault_unavailable.inc();
+            }
             return Err(DiskError::Unavailable { page: id });
         }
         if st.prefetched.contains(&id) {
@@ -282,6 +397,9 @@ impl<O: StorageObject> SimulatedDisk<O> {
         if !st.buffer.access(id) {
             st.stats.prefetch_reads += 1;
             Self::count_physical(&mut st, id);
+            if let Some(obs) = &st.obs {
+                obs.prefetch_reads.inc();
+            }
         }
         st.buffer.pin(id);
         st.prefetched.insert(id);
@@ -311,11 +429,17 @@ impl<O: StorageObject> SimulatedDisk<O> {
             FaultDecision::Transient => {
                 st.fault_stats.transient_errors += 1;
                 *st.fault_attempts.entry(id).or_insert(0) += 1;
+                if let Some(obs) = &st.obs {
+                    obs.fault_transient.inc();
+                }
                 Err(DiskError::TransientRead { page: id, attempt })
             }
             FaultDecision::Corrupt => {
                 st.fault_stats.corrupt_reads += 1;
                 *st.fault_attempts.entry(id).or_insert(0) += 1;
+                if let Some(obs) = &st.obs {
+                    obs.fault_corrupt.inc();
+                }
                 let expected = self.checksums[id.0 as usize];
                 Err(DiskError::CorruptPage {
                     page: id,
@@ -719,6 +843,91 @@ mod tests {
         // at 1 fault, so it succeeds) and pays its own physical read.
         assert!(d.try_read_page(PageId(4)).is_ok());
         assert_eq!(d.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn attached_recorder_mirrors_io_without_perturbing_it() {
+        use mq_obs::Recorder;
+        let observed = disk(30, 4);
+        let plain = disk(30, 4);
+        let recorder = Recorder::enabled();
+        observed.attach_recorder(&recorder);
+        let pattern = [0u32, 3, 1, 3, 9, 2, 1, 0];
+        for &i in &pattern {
+            observed.read_page(PageId(i));
+            plain.read_page(PageId(i));
+        }
+        observed.prefetch(PageId(5));
+        plain.prefetch(PageId(5));
+        observed.read_page_pinned(PageId(5));
+        plain.read_page_pinned(PageId(5));
+        observed.unpin_page(PageId(5));
+        plain.unpin_page(PageId(5));
+        assert_eq!(
+            observed.stats(),
+            plain.stats(),
+            "observability must never change I/O accounting"
+        );
+        let snap = recorder.snapshot();
+        let s = observed.stats();
+        assert_eq!(
+            snap.value("mq_storage_buffer_reads_total{outcome=\"hit\",policy=\"lru\"}"),
+            s.buffer_hits as f64
+        );
+        assert_eq!(
+            snap.value("mq_storage_buffer_reads_total{outcome=\"miss\",policy=\"lru\"}"),
+            (s.logical_reads - s.buffer_hits) as f64
+        );
+        assert_eq!(
+            snap.value("mq_storage_prefetch_reads_total{policy=\"lru\"}"),
+            s.prefetch_reads as f64
+        );
+        assert_eq!(
+            snap.value("mq_storage_prefetched_hits_total{policy=\"lru\"}"),
+            s.prefetched_hits as f64
+        );
+        let expected_ratio = s.buffer_hits as f64 / s.logical_reads as f64;
+        assert!(
+            (snap.value("mq_storage_buffer_hit_ratio{policy=\"lru\"}") - expected_ratio).abs()
+                < 1e-12
+        );
+        assert_eq!(
+            snap.value("mq_storage_prefetch_hit_ratio{policy=\"lru\"}"),
+            1.0,
+            "the one staged page was demanded"
+        );
+    }
+
+    #[test]
+    fn recorder_counts_fault_retries() {
+        use mq_obs::Recorder;
+        let d = disk(30, 4);
+        let recorder = Recorder::enabled();
+        d.attach_recorder(&recorder);
+        d.set_fault_plan(Some(
+            crate::FaultPlan::new(11)
+                .with_transient(1.0)
+                .with_max_faults_per_page(2),
+        ));
+        assert!(d.try_read_page(PageId(0)).is_err());
+        assert!(d.try_read_page(PageId(0)).is_err());
+        assert!(d.try_read_page(PageId(0)).is_ok());
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.value("mq_storage_fault_retries_total{kind=\"transient\"}"),
+            2.0
+        );
+        // Detaching stops the mirroring.
+        d.set_fault_plan(None);
+        d.attach_recorder(&Recorder::disabled());
+        d.read_page(PageId(1));
+        assert_eq!(
+            recorder
+                .snapshot()
+                .value("mq_storage_buffer_reads_total{outcome=\"miss\",policy=\"lru\"}"),
+            1.0,
+            "only the faulted page's eventual miss was recorded while attached"
+        );
     }
 
     #[test]

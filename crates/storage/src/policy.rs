@@ -26,6 +26,12 @@ use std::collections::{HashMap, VecDeque};
 
 /// A fixed-capacity page-replacement policy.
 pub trait BufferPolicy: Send + std::fmt::Debug {
+    /// A short lowercase identifier for the policy ("lru", "clock",
+    /// "fifo"), used as the `policy` label on buffer metrics.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+
     /// Accesses `page`: `true` on a buffer hit, `false` on a miss (the
     /// page is then resident, evicting another if the buffer was full).
     fn access(&mut self, page: PageId) -> bool;
@@ -65,6 +71,10 @@ pub trait BufferPolicy: Send + std::fmt::Debug {
 }
 
 impl BufferPolicy for LruBuffer {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
     fn access(&mut self, page: PageId) -> bool {
         LruBuffer::access(self, page)
     }
@@ -142,6 +152,10 @@ impl ClockBuffer {
 }
 
 impl BufferPolicy for ClockBuffer {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
     fn access(&mut self, page: PageId) -> bool {
         if let Some(&idx) = self.map.get(&page) {
             self.frames[idx].1 = true;
@@ -247,6 +261,10 @@ impl FifoBuffer {
 }
 
 impl BufferPolicy for FifoBuffer {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
     fn access(&mut self, page: PageId) -> bool {
         if self.resident.contains_key(&page) {
             return true;
