@@ -5,7 +5,7 @@ use mq_core::{CostModel, QueryEngine, QueryType, StatsProbe};
 use mq_datagen::{classification_query_ids, image_histograms, tycho_like};
 use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
 use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
-use mq_storage::{persist, Dataset, PagedDatabase, SimulatedDisk, VectorCodec};
+use mq_storage::{persist, Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
 use mq_vafile::{VaConfig, VaFile};
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -231,13 +231,29 @@ pub fn batch(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Parses a `--store` value: `sim` (default) or `file:<DIR>`.
+fn parse_store(args: &Args) -> Result<mq_server::StoreChoice, Box<dyn std::error::Error>> {
+    use mq_server::StoreChoice;
+    let raw = args.string_or("store", "sim");
+    match raw.as_str() {
+        "sim" => Ok(StoreChoice::Sim),
+        s => match s.strip_prefix("file:") {
+            Some(dir) if !dir.is_empty() => Ok(StoreChoice::File(dir.into())),
+            _ => Err(format!("unknown --store '{s}' (expected sim or file:<DIR>)").into()),
+        },
+    }
+}
+
 pub fn serve(args: &Args) -> CmdResult {
     use mq_obs::{Recorder, Registry};
-    use mq_server::{build_backend_with_recorder, ExecutionMode, QueryServer, ServerConfig};
+    use mq_server::{
+        build_backend_with_recorder, ExecutionMode, QueryServer, ServerConfig, StoreChoice,
+    };
     use std::sync::Arc;
     let stored = load(args)?;
     let addr = args.string_or("addr", "127.0.0.1:7878");
     let which = args.string_or("index", "xtree");
+    let store = parse_store(args)?;
     let max_batch: usize = args.parse_or("max-batch", 16)?;
     let max_wait_ms: u64 = args.parse_or("max-wait-ms", 20)?;
     let servers: usize = args.parse_or("cluster", 0)?;
@@ -265,10 +281,17 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_leader(leader)
         .with_workers(workers)
         .with_retry_budget(retry_budget)
-        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
+        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
+        .with_store(store.clone());
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }
+    let which = if matches!(store, StoreChoice::File(_)) && which != "scan" {
+        println!("note: the file store serves its recovered page layout via sequential scan; --index {which} is ignored");
+        "scan".to_string()
+    } else {
+        which
+    };
 
     let log_interval_s: u64 = args.parse_or("log-interval-s", 60)?;
 
@@ -282,7 +305,7 @@ pub fn serve(args: &Args) -> CmdResult {
     let backend = build_backend_with_recorder(&stored, &config, 0.10, &recorder, move |ds| {
         let db = PagedDatabase::pack(ds, layout);
         build_index(&db, &which_owned).expect("index kind validated before serving")
-    });
+    })?;
 
     let server = QueryServer::bind_with_recorder(addr.as_str(), backend, &config, &recorder)?;
     println!(
@@ -337,6 +360,88 @@ pub fn stats(args: &Args) -> CmdResult {
     } else {
         print!("{text}");
     }
+    Ok(())
+}
+
+/// The durable store directory of an `insert`/`delete` invocation:
+/// positional `<STOREDIR>` or `--store file:<DIR>`.
+fn store_dir(args: &Args) -> Result<std::path::PathBuf, Box<dyn std::error::Error>> {
+    if let Some(dir) = args.positional.first() {
+        return Ok(dir.into());
+    }
+    match parse_store(args)? {
+        mq_server::StoreChoice::File(dir) => Ok(dir),
+        mq_server::StoreChoice::Sim => {
+            Err("this command needs a durable store: pass <STOREDIR> or --store file:<DIR>".into())
+        }
+    }
+}
+
+/// Parses a comma-separated `--vector` into a finite [`Vector`].
+fn parse_vector(raw: &str) -> Result<Vector, Box<dyn std::error::Error>> {
+    let components: Vec<f32> = raw
+        .split(',')
+        .map(|c| c.trim().parse::<f32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("cannot parse --vector '{raw}' (comma-separated floats)"))?;
+    if components.is_empty() {
+        return Err("--vector must have at least one component".into());
+    }
+    if components.iter().any(|c| !c.is_finite()) {
+        return Err(format!("--vector components must be finite, got '{raw}'").into());
+    }
+    Ok(Vector::new(components))
+}
+
+pub fn insert(args: &Args) -> CmdResult {
+    use mq_store::FilePageStore;
+    let dir = store_dir(args)?;
+    let object = parse_vector(args.required("vector")?)?;
+    // Offline single-writer mutation: nothing else may serve this
+    // directory while the WAL is appended and the frame rewritten.
+    let mut store: FilePageStore<Vector, VectorCodec> = FilePageStore::open(&dir, VectorCodec, 1)?;
+    let id = store.insert(object)?;
+    let (page, _slot) = store.database().locate(id);
+    if args.has("checkpoint") {
+        store.checkpoint()?;
+    }
+    let stats = store.store_stats();
+    println!(
+        "inserted {id} into {} (page {}); wal {} B, {} appends, {} fsyncs, {} checkpoints",
+        dir.display(),
+        page.0,
+        store.wal_bytes(),
+        stats.wal_appends,
+        stats.fsyncs,
+        stats.checkpoints,
+    );
+    Ok(())
+}
+
+pub fn delete(args: &Args) -> CmdResult {
+    use mq_store::FilePageStore;
+    let dir = store_dir(args)?;
+    let id: u32 = args.required("object")?.parse().map_err(|_| {
+        format!(
+            "cannot parse --object '{}' (object id)",
+            args.string_or("object", "")
+        )
+    })?;
+    let mut store: FilePageStore<Vector, VectorCodec> = FilePageStore::open(&dir, VectorCodec, 1)?;
+    let page = store.delete(ObjectId(id))?;
+    if args.has("checkpoint") {
+        store.checkpoint()?;
+    }
+    let stats = store.store_stats();
+    println!(
+        "deleted object {id} from {} (page {}); {} live objects remain; wal {} B, {} appends, {} fsyncs",
+        dir.display(),
+        page.0,
+        store.database().live_object_count(),
+        store.wal_bytes(),
+        stats.wal_appends,
+        stats.fsyncs,
+    );
     Ok(())
 }
 

@@ -36,17 +36,29 @@ USAGE:
       Density-based clustering with single or multiple queries.
 
   mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree]
-                [--max-batch <M>] [--max-wait-ms <MS>] [--cluster <S>]
-                [--threads <T>] [--prefetch-depth <D>] [--leader fifo|nearest]
-                [--workers <W>] [--no-avoidance]
+                [--store sim|file:<DIR>] [--max-batch <M>] [--max-wait-ms <MS>]
+                [--cluster <S>] [--threads <T>] [--prefetch-depth <D>]
+                [--leader fifo|nearest] [--workers <W>] [--no-avoidance]
       Serve the database over TCP, batching concurrent client queries
       into multiple similarity queries (one engine, or a shared-nothing
-      cluster of S servers with --cluster). --threads sets the
-      page-evaluation threads per engine; --prefetch-depth stages pages
-      ahead of evaluation; --leader picks which pending query leads each
-      step (nearest = nearest-neighbor chains over the inter-query
-      distance matrix); --workers the number of scheduler threads
-      executing flushed batches.
+      cluster of S servers with --cluster). --store file:<DIR> serves
+      from a durable page store in DIR (created from <FILE> on first
+      start, recovered from segment + WAL afterwards; one store per
+      partition under --cluster). --threads sets the page-evaluation
+      threads per engine; --prefetch-depth stages pages ahead of
+      evaluation; --leader picks which pending query leads each step
+      (nearest = nearest-neighbor chains over the inter-query distance
+      matrix); --workers the number of scheduler threads executing
+      flushed batches.
+
+  mq insert <STOREDIR> --vector 1.0,2.0,... [--checkpoint true]
+      Append one object to a durable file store: WAL append + fsync,
+      then an atomic page rewrite. Offline single-writer — stop any
+      server on the directory first.
+
+  mq delete <STOREDIR> --object <ID> [--checkpoint true]
+      Tombstone one object in a durable file store (same WAL protocol;
+      ids are never reused).
 
   mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
   mq client [--addr 127.0.0.1:7878] --stats true
@@ -74,6 +86,8 @@ fn main() {
         "batch" => commands::batch(&args),
         "dbscan" => commands::dbscan(&args),
         "serve" => commands::serve(&args),
+        "insert" => commands::insert(&args),
+        "delete" => commands::delete(&args),
         "client" => commands::client(&args),
         "stats" => commands::stats(&args),
         "" | "help" | "--help" => {

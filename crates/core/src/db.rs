@@ -82,7 +82,7 @@ impl<O: StorageObject, M: Metric<O> + Clone> MetricDatabase<O, M> {
 
     /// A fresh engine over this database's components.
     pub fn engine(&self) -> QueryEngine<'_, O, CountingMetric<M>> {
-        let mut e = QueryEngine::new(&self.disk, &*self.index, self.metric.clone());
+        let mut e = QueryEngine::new(&*self.disk, &*self.index, self.metric.clone());
         if !self.avoidance {
             e = e.without_avoidance();
         }

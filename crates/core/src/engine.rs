@@ -8,9 +8,9 @@ use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use crate::single;
 use mq_index::SimilarityIndex;
-use mq_metric::Metric;
+use mq_metric::{Metric, ObjectId};
 use mq_obs::Recorder;
-use mq_storage::{SimulatedDisk, StorageObject};
+use mq_storage::{PageStore, StorageObject};
 use std::sync::{Arc, OnceLock};
 
 /// Tuning knobs of the [`QueryEngine`].
@@ -55,8 +55,8 @@ impl Default for EngineOptions {
     }
 }
 
-/// A query engine over one simulated disk, one access method and one
-/// metric.
+/// A query engine over one page store (simulated or file-backed), one
+/// access method and one metric.
 ///
 /// This is the paper's database class `DB`: it offers the classic
 /// `similarity_query(Q, T)` (Fig. 1) and the new
@@ -92,7 +92,7 @@ impl Default for EngineOptions {
 /// assert_eq!(all[1].len(), 3); // 6.0, 7.0, 8.0
 /// ```
 pub struct QueryEngine<'a, O, M> {
-    disk: &'a SimulatedDisk<O>,
+    disk: &'a dyn PageStore<O>,
     index: &'a dyn SimilarityIndex<O>,
     metric: M,
     options: EngineOptions,
@@ -114,7 +114,7 @@ pub struct QueryEngine<'a, O, M> {
 impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// Creates an engine with triangle-inequality avoidance enabled (the
     /// paper's configuration).
-    pub fn new(disk: &'a SimulatedDisk<O>, index: &'a dyn SimilarityIndex<O>, metric: M) -> Self {
+    pub fn new(disk: &'a dyn PageStore<O>, index: &'a dyn SimilarityIndex<O>, metric: M) -> Self {
         Self {
             disk,
             index,
@@ -131,7 +131,7 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     /// registered now, and a lazily created worker pool inherits the
     /// recorder. A disabled recorder (the default) keeps the hot path at a
     /// single branch. The disk is **not** implicitly attached — call
-    /// [`SimulatedDisk::attach_recorder`] for buffer metrics, so that
+    /// [`PageStore::attach_recorder`] for buffer metrics, so that
     /// engines sharing a disk don't fight over its recorder.
     pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
         self.obs = EngineObs::new(recorder);
@@ -238,8 +238,8 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         self.index
     }
 
-    /// The simulated disk in use.
-    pub fn disk(&self) -> &SimulatedDisk<O> {
+    /// The page store in use.
+    pub fn disk(&self) -> &'a dyn PageStore<O> {
         self.disk
     }
 
@@ -397,6 +397,50 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         Ok(session.is_complete(i))
     }
 
+    /// Reconciles an in-flight session with an object newly inserted into
+    /// the underlying store (the online-insert path of `mq-store`).
+    ///
+    /// The session's page universe grows to the store's current
+    /// `page_count`. Queries that already processed the affected page —
+    /// and queries that are already complete — would otherwise never see
+    /// the new object, so it is evaluated against them immediately (one
+    /// counted distance computation each, §5.2 bounds still applied via
+    /// [`Metric::distance_le`]); every other query picks it up through
+    /// normal page processing. This preserves Definition 4's incremental
+    /// contract: partial answers stay subsets of the post-insert full
+    /// answers at every step. Returns how many queries were evaluated
+    /// eagerly.
+    ///
+    /// The engine must have been (re)built over the post-insert store and
+    /// index before calling this.
+    ///
+    /// # Panics
+    /// Panics if `new_id` is not present in the store's database.
+    pub fn notify_insert(&self, session: &mut MultiQuerySession<O>, new_id: ObjectId) -> usize {
+        let db = self.disk.database();
+        let (page, _slot) = db.locate(new_id);
+        let object = db.object(new_id).clone();
+        multiple::notify_insert(
+            session,
+            &self.metric,
+            new_id,
+            &object,
+            page,
+            db.page_count(),
+        )
+    }
+
+    /// Reconciles an in-flight session with an object deleted from the
+    /// underlying store. Queries whose answer lists contain the deleted
+    /// object are reset (answers, processed pages, completion) and will
+    /// re-scan: a k-NN list that loses a member may need to re-admit an
+    /// object it pruned earlier, so incremental repair is unsound there.
+    /// Queries unaffected by the deletion keep all progress. Returns how
+    /// many queries were invalidated.
+    pub fn notify_delete(&self, session: &mut MultiQuerySession<O>, id: ObjectId) -> usize {
+        multiple::notify_delete(session, id)
+    }
+
     /// Convenience: evaluates a whole batch of queries through one session
     /// and returns the complete answer lists in input order.
     pub fn multiple_similarity_query(&self, queries: Vec<(O, QueryType)>) -> Vec<Vec<Answer>> {
@@ -411,7 +455,7 @@ mod tests {
     use super::*;
     use mq_index::{LinearScan, XTree, XTreeConfig};
     use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
-    use mq_storage::{Dataset, PageLayout, PagedDatabase};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
         let mut x = seed.max(1);

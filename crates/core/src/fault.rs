@@ -11,7 +11,7 @@
 //!
 //! [`multiple_query_step`]: crate::QueryEngine::multiple_query_step
 
-use mq_storage::{DiskError, PageId, SimulatedDisk, StorageObject};
+use mq_storage::{DiskError, PageId, PageStore, StorageObject};
 use std::error::Error;
 use std::fmt;
 
@@ -94,7 +94,7 @@ impl Error for EngineError {
 
 /// Reads a page, retrying transient faults within `policy.retry_budget`.
 pub(crate) fn read_page_with_retry<O: StorageObject>(
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     id: PageId,
     policy: FaultPolicy,
 ) -> Result<&mq_storage::Page<O>, EngineError> {
@@ -103,7 +103,7 @@ pub(crate) fn read_page_with_retry<O: StorageObject>(
 
 /// Pinned variant of [`read_page_with_retry`].
 pub(crate) fn read_page_pinned_with_retry<O: StorageObject>(
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     id: PageId,
     policy: FaultPolicy,
 ) -> Result<&mq_storage::Page<O>, EngineError> {
@@ -117,7 +117,7 @@ pub(crate) fn read_page_pinned_with_retry<O: StorageObject>(
 /// oracle-identical either way; only prefetch-related I/O counters can
 /// differ from a fault-free run.
 pub(crate) fn prefetch_absorbing<O: StorageObject>(
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     id: PageId,
     policy: FaultPolicy,
 ) -> bool {

@@ -52,7 +52,7 @@
 //!
 //! With `EngineOptions::prefetch_depth = d > 0`, the step keeps a window
 //! of up to `d` pages staged ahead of the one being evaluated
-//! ([`SimulatedDisk::prefetch`]); staged pages are pinned so buffer
+//! ([`PageStore::prefetch`]); staged pages are pinned so buffer
 //! pressure cannot evict them before their demand read. Determinism
 //! argument: the page plan is best-first (non-decreasing lower bounds)
 //! and `plan.next(qd)` prunes exactly the entries with `lb > qd`, so the
@@ -90,7 +90,7 @@ use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
 use mq_metric::{Metric, ObjectId};
-use mq_storage::{PageId, SimulatedDisk, StorageObject};
+use mq_storage::{PageId, PageStore, StorageObject};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -160,6 +160,16 @@ impl PageSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Grows the universe to `page_count` pages (no-op when not larger) —
+    /// an online insert can append a fresh page to the stored database
+    /// while sessions are in flight.
+    pub fn grow(&mut self, page_count: usize) {
+        let words = page_count.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
     }
 
     /// The pages of the set in ascending id order.
@@ -279,6 +289,87 @@ impl<O> MultiQuerySession<O> {
             .map(|s| s.answers.into_vec())
             .collect()
     }
+
+    /// Grows the session's page universe (after an online insert appended
+    /// a fresh page). No-op when `page_count` is not larger.
+    pub(crate) fn grow(&mut self, page_count: usize) {
+        if page_count > self.page_count {
+            self.page_count = page_count;
+            for st in &mut self.states {
+                st.processed.grow(page_count);
+            }
+        }
+    }
+}
+
+/// Folds one newly inserted object into an in-flight session, preserving
+/// Definition 4's subset guarantee without rescanning anything.
+///
+/// Only the queries whose view of the affected page is already fixed need
+/// the new object evaluated now: completed queries (their answers claim to
+/// equal the full answer set, which now includes the newcomer) and pending
+/// queries that have `page` in their processed set (the normal step loop
+/// will never revisit it). Every other pending query picks the object up
+/// when its own processing reaches the page. The distance goes through
+/// `metric`, so it is counted like any other calculation.
+///
+/// Returns how many queries evaluated the new object.
+pub(crate) fn notify_insert<O, M>(
+    session: &mut MultiQuerySession<O>,
+    metric: &M,
+    new_id: ObjectId,
+    object: &O,
+    page: PageId,
+    page_count: usize,
+) -> usize
+where
+    O: StorageObject,
+    M: Metric<O>,
+{
+    session.grow(page_count);
+    let MultiQuerySession {
+        objects, states, ..
+    } = &mut *session;
+    let mut evaluated = 0;
+    for (i, st) in states.iter_mut().enumerate() {
+        if !(st.completed || st.processed.contains(page)) {
+            continue;
+        }
+        evaluated += 1;
+        let bound = st.answers.query_dist(&st.qtype);
+        if let Some(distance) = metric.distance_le(object, &objects[i], bound) {
+            st.answers.insert(Answer {
+                id: new_id,
+                distance,
+            });
+        }
+    }
+    evaluated
+}
+
+/// Invalidates the per-query state impacted by a deletion: only queries
+/// whose answer list contains the deleted id are reset to pending (a k-NN
+/// answer set that loses a member must re-admit objects its old, tighter
+/// query distance had pruned — so answers *and* processed pages restart).
+/// Queries that never answered with the object keep their state: their
+/// partial answers remain valid subsets of the new full answer sets.
+///
+/// Returns how many queries were invalidated.
+pub(crate) fn notify_delete<O: StorageObject>(
+    session: &mut MultiQuerySession<O>,
+    id: ObjectId,
+) -> usize {
+    let page_count = session.page_count;
+    let mut invalidated = 0;
+    for st in &mut session.states {
+        if st.answers.as_slice().iter().any(|a| a.id == id) {
+            st.answers = AnswerList::new(&st.qtype);
+            st.processed = PageSet::new(page_count);
+            st.completed = false;
+            invalidated += 1;
+        }
+    }
+    invalidated
 }
 
 /// Admits one more query into the session: allocates its state and extends
@@ -453,7 +544,7 @@ fn select_leader<O>(session: &MultiQuerySession<O>, policy: LeaderPolicy) -> Opt
 /// (a panicking metric or worker must not leak the pin and leave the page
 /// permanently unevictable).
 struct PinGuard<'a, O: StorageObject> {
-    disk: &'a SimulatedDisk<O>,
+    disk: &'a dyn PageStore<O>,
     page: PageId,
 }
 
@@ -468,7 +559,7 @@ impl<O: StorageObject> Drop for PinGuard<'_, O> {
 /// entries staged beyond the termination point keep their accounted
 /// physical reads but must release their frames.
 struct PrefetchPinsGuard<'a, O: StorageObject> {
-    disk: &'a SimulatedDisk<O>,
+    disk: &'a dyn PageStore<O>,
 }
 
 impl<O: StorageObject> Drop for PrefetchPinsGuard<'_, O> {
@@ -492,7 +583,7 @@ impl<O: StorageObject> Drop for PrefetchPinsGuard<'_, O> {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn step<O, M, I>(
     session: &mut MultiQuerySession<O>,
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     index: &I,
     metric: &M,
     options: EngineOptions,

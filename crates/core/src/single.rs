@@ -25,7 +25,7 @@ use crate::fault::{self, EngineError, FaultPolicy};
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
-use mq_storage::{SimulatedDisk, StorageObject};
+use mq_storage::{PageStore, StorageObject};
 
 /// Answers one similarity query (Fig. 1) using `index` to determine the
 /// relevant data pages, `disk` to read them (metered), and `metric` for the
@@ -36,7 +36,7 @@ use mq_storage::{SimulatedDisk, StorageObject};
 /// Panics if the disk has a fault plan installed and a read faults;
 /// fault-aware callers use [`try_similarity_query`].
 pub fn similarity_query<O, M, I>(
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     index: &I,
     metric: &M,
     query: &O,
@@ -56,7 +56,7 @@ where
 /// A successful result is bit-identical to a fault-free run (failed
 /// attempts touch no I/O counter and no buffer state).
 pub fn try_similarity_query<O, M, I>(
-    disk: &SimulatedDisk<O>,
+    disk: &dyn PageStore<O>,
     index: &I,
     metric: &M,
     query: &O,
@@ -96,7 +96,7 @@ mod tests {
     use super::*;
     use mq_index::{LinearScan, XTree, XTreeConfig};
     use mq_metric::{Euclidean, ObjectId, Vector};
-    use mq_storage::{Dataset, PageLayout, PagedDatabase};
+    use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
 
     fn grid_dataset() -> Dataset<Vector> {
         // 10×10 grid of 2-d points at integer coordinates.

@@ -2,7 +2,7 @@
 
 use crate::avoidance::AvoidanceStats;
 use mq_metric::{CpuCostModel, DistanceCounter};
-use mq_storage::{IoCostModel, IoStats, SimulatedDisk, StorageObject};
+use mq_storage::{IoCostModel, IoStats, PageStore, StorageObject};
 use std::time::{Duration, Instant};
 
 /// Everything one query run cost: I/O counters, distance calculations,
@@ -196,7 +196,7 @@ pub struct StatsProbe {
 impl StatsProbe {
     /// Starts a measurement window.
     pub fn start<O: StorageObject>(
-        disk: &SimulatedDisk<O>,
+        disk: &dyn PageStore<O>,
         counter: &DistanceCounter,
         avoidance_now: AvoidanceStats,
     ) -> Self {
@@ -212,7 +212,7 @@ impl StatsProbe {
     /// Ends the window and returns the deltas.
     pub fn finish<O: StorageObject>(
         self,
-        disk: &SimulatedDisk<O>,
+        disk: &dyn PageStore<O>,
         avoidance_now: AvoidanceStats,
     ) -> ExecutionStats {
         ExecutionStats {

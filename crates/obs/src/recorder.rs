@@ -49,7 +49,9 @@ impl Recorder {
 
     /// Registers a [`Counter`] series (`None` when disabled).
     pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Option<Arc<Counter>> {
-        self.registry.as_ref().map(|r| r.counter(name, help, labels))
+        self.registry
+            .as_ref()
+            .map(|r| r.counter(name, help, labels))
     }
 
     /// Registers a [`FloatCounter`] series (`None` when disabled).

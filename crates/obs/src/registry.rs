@@ -211,7 +211,9 @@ impl Registry {
             "metric {name} registered twice with conflicting kinds ({:?} vs Gauge)",
             family.kind
         );
-        family.series.insert(owned, Instrument::Derived(Arc::new(f)));
+        family
+            .series
+            .insert(owned, Instrument::Derived(Arc::new(f)));
     }
 
     /// Renders the whole registry in the Prometheus text exposition
@@ -245,8 +247,7 @@ impl Registry {
         for (name, family) in families.iter() {
             for (labels, instrument) in &family.series {
                 for (sample_name, extra, value) in flatten(name, instrument) {
-                    let key =
-                        format!("{sample_name}{}", format_labels(labels, extra.as_deref()));
+                    let key = format!("{sample_name}{}", format_labels(labels, extra.as_deref()));
                     samples.insert(key, value);
                 }
             }

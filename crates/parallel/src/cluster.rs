@@ -185,6 +185,23 @@ where
         }
     }
 
+    /// Assembles a cluster from pre-built servers (any [`mq_storage::PageStore`]
+    /// backend per partition — this is how `mq serve --store file:` brings
+    /// up a durable cluster, one store directory per server). Knobs start
+    /// at [`build`](Self::build)'s defaults; chain the `with_*` builders.
+    pub fn from_servers(servers: Vec<Server<O, M>>) -> Self {
+        Self {
+            servers,
+            engine_threads: 1,
+            pools: Vec::new(),
+            prefetch_depth: 0,
+            leader: LeaderPolicy::default(),
+            fault_policy: FaultPolicy::default(),
+            recorder: Recorder::disabled(),
+            obs: None,
+        }
+    }
+
     /// Evaluates each loaded page with `threads` workers *per server*
     /// (clamped to at least 1). Orthogonal to the inter-server parallelism:
     /// a 4-server cluster with 2 engine threads runs on up to 8 cores.
@@ -222,7 +239,12 @@ where
         self.pools = if self.engine_threads > 1 {
             self.servers
                 .iter()
-                .map(|_| Arc::new(WorkerPool::with_recorder(self.engine_threads, &self.recorder)))
+                .map(|_| {
+                    Arc::new(WorkerPool::with_recorder(
+                        self.engine_threads,
+                        &self.recorder,
+                    ))
+                })
                 .collect()
         } else {
             Vec::new()
@@ -865,10 +887,7 @@ mod tests {
             let reads = snap.value(&format!(
                 "mq_cluster_partition_logical_reads_total{{partition=\"{si}\"}}"
             ));
-            assert_eq!(
-                reads,
-                healthy.stats.per_server[si].io.logical_reads as f64
-            );
+            assert_eq!(reads, healthy.stats.per_server[si].io.logical_reads as f64);
             let dists = snap.value(&format!(
                 "mq_cluster_partition_distance_calculations_total{{partition=\"{si}\"}}"
             ));
@@ -876,8 +895,7 @@ mod tests {
         }
         // The engine-level recorder fires too: distance calculations from
         // all three partitions land in the shared core counter.
-        let performed =
-            snap.value("mq_core_distance_calculations_total{outcome=\"performed\"}");
+        let performed = snap.value("mq_core_distance_calculations_total{outcome=\"performed\"}");
         assert!(performed > 0.0);
         // Kill one partition and check the failure counter.
         cluster.servers()[2]
@@ -920,7 +938,9 @@ mod tests {
         };
         let plain = build().multiple_query(&queries, true);
         let recorder = Recorder::new(Arc::new(Registry::new()));
-        let observed = build().with_recorder(&recorder).multiple_query(&queries, true);
+        let observed = build()
+            .with_recorder(&recorder)
+            .multiple_query(&queries, true);
         assert_eq!(plain.0, observed.0, "answers must be bit-identical");
         for (a, b) in plain.1.per_server.iter().zip(&observed.1.per_server) {
             assert_eq!(a.io, b.io);

@@ -3,14 +3,14 @@
 
 use mq_index::SimilarityIndex;
 use mq_metric::{CountingMetric, DistanceCounter, Metric, ObjectId};
-use mq_storage::{Dataset, PagedDatabase, SimulatedDisk, StorageObject};
+use mq_storage::{Dataset, PageStore, PagedDatabase, SimulatedDisk, StorageObject};
 
 /// A server of the shared-nothing cluster.
 ///
 /// Objects get *local* dense ids on the server; [`Server::global_id`] maps
 /// local answers back to the global id space when merging.
 pub struct Server<O, M> {
-    disk: SimulatedDisk<O>,
+    disk: Box<dyn PageStore<O>>,
     index: Box<dyn SimilarityIndex<O>>,
     metric: CountingMetric<M>,
     global_ids: Vec<ObjectId>,
@@ -36,16 +36,39 @@ impl<O: StorageObject, M: Metric<O>> Server<O, M> {
         let (index, db) = build_index(&dataset);
         let disk = SimulatedDisk::new(db, buffer_fraction);
         Self {
-            disk,
+            disk: Box::new(disk),
             index,
             metric: CountingMetric::new(metric),
             global_ids: part.to_vec(),
         }
     }
 
-    /// The server's simulated disk.
-    pub fn disk(&self) -> &SimulatedDisk<O> {
-        &self.disk
+    /// Assembles a server from an already-built page store (any backend),
+    /// access method, and local→global id map. This is how a durable
+    /// (`mq-store`) partition joins the cluster: the caller opens or
+    /// creates the per-partition store and hands it over boxed.
+    pub fn from_parts(
+        disk: Box<dyn PageStore<O>>,
+        index: Box<dyn SimilarityIndex<O>>,
+        metric: M,
+        global_ids: Vec<ObjectId>,
+    ) -> Self {
+        assert_eq!(
+            disk.database().object_count(),
+            global_ids.len(),
+            "every local id needs a global mapping"
+        );
+        Self {
+            disk,
+            index,
+            metric: CountingMetric::new(metric),
+            global_ids,
+        }
+    }
+
+    /// The server's page store.
+    pub fn disk(&self) -> &dyn PageStore<O> {
+        &*self.disk
     }
 
     /// The server's access method.

@@ -1,7 +1,21 @@
 //! Server configuration: batching knobs and execution mode.
 
 use mq_core::LeaderPolicy;
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// Which page-store backend serves the database.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum StoreChoice {
+    /// The in-memory simulated disk (the paper's metered model).
+    #[default]
+    Sim,
+    /// The durable `mq-store` file backend rooted at this directory (one
+    /// per-partition subdirectory in cluster mode). If the directory
+    /// already holds a store it is opened (running crash recovery);
+    /// otherwise it is created from the loaded database.
+    File(PathBuf),
+}
 
 /// How flushed batches are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,7 +36,7 @@ pub enum ExecutionMode {
 /// then flushes as one `multiple_similarity_query` batch. A larger
 /// `max_batch` shares more page reads per flush (the paper's m); a larger
 /// `max_wait` trades latency of a lone request for the chance of sharing.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Flush as soon as this many requests are queued.
     pub max_batch: usize,
@@ -53,6 +67,9 @@ pub struct ServerConfig {
     /// stalls mid-frame for longer is disconnected instead of pinning its
     /// handler thread forever. `None` (the default) blocks indefinitely.
     pub read_timeout: Option<Duration>,
+    /// Page-store backend: in-memory simulation (the default) or the
+    /// durable file store.
+    pub store: StoreChoice,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +85,7 @@ impl Default for ServerConfig {
             workers: 1,
             retry_budget: 2,
             read_timeout: None,
+            store: StoreChoice::Sim,
         }
     }
 }
@@ -137,6 +155,12 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the page-store backend.
+    pub fn with_store(mut self, store: StoreChoice) -> Self {
+        self.store = store;
+        self
+    }
+
     /// One-line summary of every resolved knob, for startup logs.
     pub fn describe(&self) -> String {
         let mode = match self.mode {
@@ -147,8 +171,12 @@ impl ServerConfig {
             Some(t) => format!("{:.1}s", t.as_secs_f64()),
             None => "none".to_string(),
         };
+        let store = match &self.store {
+            StoreChoice::Sim => "sim".to_string(),
+            StoreChoice::File(dir) => format!("file:{}", dir.display()),
+        };
         format!(
-            "mode={mode} max_batch={} max_wait={:.0}ms workers={} threads={} \
+            "mode={mode} store={store} max_batch={} max_wait={:.0}ms workers={} threads={} \
              prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
              read_timeout={read_timeout}",
             self.max_batch,
@@ -179,7 +207,8 @@ mod tests {
             .with_leader(LeaderPolicy::NearestChain)
             .with_workers(2)
             .with_retry_budget(5)
-            .with_read_timeout(Some(Duration::from_secs(3)));
+            .with_read_timeout(Some(Duration::from_secs(3)))
+            .with_store(StoreChoice::File(PathBuf::from("/tmp/mqdb")));
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
@@ -190,6 +219,7 @@ mod tests {
         assert_eq!(c.workers, 2);
         assert_eq!(c.retry_budget, 5);
         assert_eq!(c.read_timeout, Some(Duration::from_secs(3)));
+        assert_eq!(c.store, StoreChoice::File(PathBuf::from("/tmp/mqdb")));
     }
 
     #[test]
@@ -201,6 +231,7 @@ mod tests {
         assert_eq!(c.workers, 1);
         assert_eq!(c.retry_budget, 2);
         assert_eq!(c.read_timeout, None);
+        assert_eq!(c.store, StoreChoice::Sim);
     }
 
     #[test]
@@ -228,6 +259,7 @@ mod tests {
         assert!(!line.contains('\n'));
         for needle in [
             "mode=cluster(3)",
+            "store=sim",
             "max_batch=16",
             "max_wait=20ms",
             "workers=2",
@@ -240,5 +272,9 @@ mod tests {
         ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
+        let file_line = ServerConfig::default()
+            .with_store(StoreChoice::File(PathBuf::from("/data/mq")))
+            .describe();
+        assert!(file_line.contains("store=file:/data/mq"), "{file_line}");
     }
 }

@@ -11,20 +11,22 @@
 //! strictly sequentially; with more, batch execution overlaps batch
 //! collection.
 
-use crate::config::{ExecutionMode, ServerConfig};
+use crate::config::{ExecutionMode, ServerConfig, StoreChoice};
 use crate::protocol::ServiceMetrics;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use mq_core::EngineObs;
 use mq_core::{
     Answer, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType, StatsProbe,
     WorkerPool,
 };
-use mq_core::EngineObs;
-use mq_index::SimilarityIndex;
-use mq_metric::{CountingMetric, Euclidean, Vector};
+use mq_index::{LinearScan, SimilarityIndex};
+use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
 use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS, SIZE_BOUNDS};
-use mq_parallel::{Declustering, SharedNothingCluster};
-use mq_storage::{PagedDatabase, SimulatedDisk};
+use mq_parallel::{Declustering, Server, SharedNothingCluster};
+use mq_storage::{Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
+use mq_store::{FilePageStore, SegmentMeta, StoreError, SEGMENT_FILE};
 use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,10 +62,10 @@ pub trait QueryBackend: Send + Sync + 'static {
     fn describe(&self) -> String;
 }
 
-/// Single-engine backend: one simulated disk, one access method, §5.1–5.2
-/// batched execution.
+/// Single-engine backend: one page store (simulated or file-backed), one
+/// access method, §5.1–5.2 batched execution.
 pub struct SingleEngineBackend {
-    disk: SimulatedDisk<Vector>,
+    disk: Box<dyn PageStore<Vector>>,
     index: Box<dyn SimilarityIndex<Vector>>,
     metric: CountingMetric<Euclidean>,
     avoidance: bool,
@@ -93,13 +95,22 @@ impl SingleEngineBackend {
         buffer_fraction: f64,
         avoidance: bool,
     ) -> Self {
-        let dims = if db.object_count() > 0 {
-            db.object(mq_metric::ObjectId(0)).dim()
-        } else {
-            0
-        };
+        let disk = Box::new(SimulatedDisk::new(db, buffer_fraction));
+        Self::from_store(disk, index, avoidance)
+    }
+
+    /// Wraps an already-built page store (any backend) and its index. This
+    /// is how the durable `mq-store` backend joins the scheduler: the
+    /// caller opens or creates the [`FilePageStore`] and hands it over
+    /// boxed.
+    pub fn from_store(
+        disk: Box<dyn PageStore<Vector>>,
+        index: Box<dyn SimilarityIndex<Vector>>,
+        avoidance: bool,
+    ) -> Self {
+        let dims = dims_of(disk.database());
         Self {
-            disk: SimulatedDisk::new(db, buffer_fraction),
+            disk,
             index,
             metric: CountingMetric::new(Euclidean),
             avoidance,
@@ -156,15 +167,23 @@ impl SingleEngineBackend {
         self
     }
 
-    /// The backend's simulated disk (fault-plan installation in tests).
-    pub fn disk(&self) -> &SimulatedDisk<Vector> {
-        &self.disk
+    /// The backend's page store (fault-plan installation in tests).
+    pub fn disk(&self) -> &dyn PageStore<Vector> {
+        &*self.disk
     }
+}
+
+/// Dimensionality of the first live vector, or 0 when the database holds
+/// none (empty, or every id tombstoned).
+fn dims_of(db: &PagedDatabase<Vector>) -> usize {
+    (0..db.object_count() as u32)
+        .find_map(|i| db.try_object(ObjectId(i)))
+        .map_or(0, |v| v.dim())
 }
 
 impl QueryBackend for SingleEngineBackend {
     fn execute(&self, queries: Vec<(Vector, QueryType)>) -> (Vec<Vec<Answer>>, ExecutionStats) {
-        let mut engine = QueryEngine::new(&self.disk, &*self.index, self.metric.clone())
+        let mut engine = QueryEngine::new(&*self.disk, &*self.index, self.metric.clone())
             .with_threads(self.threads)
             .with_prefetch_depth(self.prefetch_depth)
             .with_leader_policy(self.leader)
@@ -178,10 +197,10 @@ impl QueryBackend for SingleEngineBackend {
         } else {
             engine.without_avoidance()
         };
-        let probe = StatsProbe::start(&self.disk, self.metric.counter(), Default::default());
+        let probe = StatsProbe::start(&*self.disk, self.metric.counter(), Default::default());
         let mut session = engine.new_session(queries);
         engine.run_to_completion(&mut session);
-        let stats = probe.finish(&self.disk, session.avoidance_stats());
+        let stats = probe.finish(&*self.disk, session.avoidance_stats());
         (session.into_answers(), stats)
     }
 
@@ -235,6 +254,27 @@ impl ClusterBackend {
             servers,
             avoidance,
             dims: objects.first().map_or(0, |v| v.dim()),
+        }
+    }
+
+    /// Assembles the backend from already-built servers (any page-store
+    /// backend). This is how durable per-partition `mq-store` stores join
+    /// the cluster path.
+    pub fn from_servers(
+        servers: Vec<Server<Vector, CountingMetric<Euclidean>>>,
+        avoidance: bool,
+    ) -> Self {
+        let dims = servers
+            .iter()
+            .map(|s| dims_of(s.disk().database()))
+            .find(|&d| d > 0)
+            .unwrap_or(0);
+        let count = servers.len();
+        Self {
+            cluster: SharedNothingCluster::from_servers(servers),
+            servers: count,
+            avoidance,
+            dims,
         }
     }
 
@@ -554,56 +594,84 @@ fn worker_loop(
     }
 }
 
-/// Builds the backend selected by `config.mode` from a database and an
-/// index-builder callback (invoked once per cluster server, or once for
-/// the single-engine path).
+/// Builds the backend selected by `config.mode` and `config.store` from a
+/// database and an index-builder callback (invoked once per cluster
+/// server, or once for the single-engine path; ignored by the file-backed
+/// store, which always serves its recovered layout through a sequential
+/// scan).
+///
+/// # Errors
+/// Fails only in file-store mode, when the store directory cannot be
+/// created, opened, or recovered.
 pub fn build_backend<F>(
     db: &PagedDatabase<Vector>,
     config: &ServerConfig,
     buffer_fraction: f64,
     build_index: F,
-) -> Box<dyn QueryBackend>
+) -> Result<Box<dyn QueryBackend>, StoreError>
 where
     F: Fn(
         &mq_storage::Dataset<Vector>,
     ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
 {
-    build_backend_with_recorder(db, config, buffer_fraction, &Recorder::disabled(), build_index)
+    build_backend_with_recorder(
+        db,
+        config,
+        buffer_fraction,
+        &Recorder::disabled(),
+        build_index,
+    )
 }
 
 /// [`build_backend`] with an observability [`Recorder`] threaded through
-/// the backend (engine counters, disk counters, worker pools, and — in
-/// cluster mode — per-partition counters).
+/// the backend (engine counters, disk counters, worker pools, store
+/// durability counters, and — in cluster mode — per-partition counters).
+///
+/// # Errors
+/// Fails only in file-store mode, when the store directory cannot be
+/// created, opened, or recovered.
 pub fn build_backend_with_recorder<F>(
     db: &PagedDatabase<Vector>,
     config: &ServerConfig,
     buffer_fraction: f64,
     recorder: &Recorder,
     build_index: F,
-) -> Box<dyn QueryBackend>
+) -> Result<Box<dyn QueryBackend>, StoreError>
 where
     F: Fn(
         &mq_storage::Dataset<Vector>,
     ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
 {
-    match config.mode {
-        ExecutionMode::Single => {
+    match (&config.mode, &config.store) {
+        (ExecutionMode::Single, StoreChoice::Sim) => {
             let (index, db) = build_index(&db.to_dataset());
-            Box::new(
+            Ok(Box::new(
                 SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
                     .with_retry_budget(config.retry_budget)
                     .with_recorder(recorder),
-            )
+            ))
         }
-        ExecutionMode::Cluster { servers } => {
+        (ExecutionMode::Single, StoreChoice::File(dir)) => {
+            let store = open_or_create_store(dir, db, buffer_fraction)?;
+            let index = Box::new(LinearScan::new(store.database().page_count()));
+            Ok(Box::new(
+                SingleEngineBackend::from_store(Box::new(store), index, config.avoidance)
+                    .with_threads(config.threads)
+                    .with_prefetch_depth(config.prefetch_depth)
+                    .with_leader(config.leader)
+                    .with_retry_budget(config.retry_budget)
+                    .with_recorder(recorder),
+            ))
+        }
+        (ExecutionMode::Cluster { servers }, StoreChoice::Sim) => {
             let ds = db.to_dataset();
-            Box::new(
+            Ok(Box::new(
                 ClusterBackend::build(
                     ds.objects(),
-                    servers.max(1),
+                    (*servers).max(1),
                     buffer_fraction,
                     config.avoidance,
                     build_index,
@@ -613,9 +681,111 @@ where
                 .with_leader(config.leader)
                 .with_retry_budget(config.retry_budget)
                 .with_recorder(recorder),
-            )
+            ))
+        }
+        (ExecutionMode::Cluster { servers }, StoreChoice::File(dir)) => {
+            let parts =
+                open_or_create_partition_stores(dir, db, (*servers).max(1), buffer_fraction)?;
+            Ok(Box::new(
+                ClusterBackend::from_servers(parts, config.avoidance)
+                    .with_engine_threads(config.threads)
+                    .with_prefetch_depth(config.prefetch_depth)
+                    .with_leader(config.leader)
+                    .with_retry_budget(config.retry_budget)
+                    .with_recorder(recorder),
+            ))
         }
     }
+}
+
+/// Buffer capacity matching [`SimulatedDisk::new`]'s fraction sizing.
+fn buffer_pages(page_count: usize, fraction: f64) -> usize {
+    ((page_count as f64 * fraction).ceil() as usize).max(1)
+}
+
+/// Opens the durable store in `dir` if a segment exists there, otherwise
+/// creates one seeded with `db`'s pages (layout preserved as packed —
+/// never repacked, so the segment stays valid for any later access).
+fn open_or_create_store(
+    dir: &Path,
+    db: &PagedDatabase<Vector>,
+    buffer_fraction: f64,
+) -> Result<FilePageStore<Vector, VectorCodec>, StoreError> {
+    let seg = dir.join(SEGMENT_FILE);
+    if seg.exists() {
+        let meta = SegmentMeta::decode_header(&std::fs::read(&seg)?)?;
+        let pages = buffer_pages(meta.page_count as usize, buffer_fraction);
+        FilePageStore::open(dir, VectorCodec, pages)
+    } else {
+        let pages = buffer_pages(db.page_count(), buffer_fraction);
+        FilePageStore::create(dir, db.clone(), VectorCodec, pages)
+    }
+}
+
+/// Builds one durable store per cluster partition under
+/// `dir/part-<i>/`.
+///
+/// When `dir/part-0/` already holds a segment, every existing partition is
+/// reopened (their count wins over `servers` so a recovered cluster keeps
+/// its declustering). Otherwise `db` is declustered round-robin — object
+/// `i` to partition `i % servers` — exactly like
+/// [`Declustering::RoundRobin`], so answers stay bit-identical to the
+/// simulated cluster. Local id `j` of partition `p` maps to global id
+/// `j * parts + p`, which the reopen path reconstructs without any extra
+/// metadata.
+fn open_or_create_partition_stores(
+    dir: &Path,
+    db: &PagedDatabase<Vector>,
+    servers: usize,
+    buffer_fraction: f64,
+) -> Result<Vec<Server<Vector, CountingMetric<Euclidean>>>, StoreError> {
+    let part_dir = |p: usize| dir.join(format!("part-{p}"));
+    let mut out = Vec::new();
+    if part_dir(0).join(SEGMENT_FILE).exists() {
+        let mut parts = 0;
+        while part_dir(parts).join(SEGMENT_FILE).exists() {
+            parts += 1;
+        }
+        for p in 0..parts {
+            let store = open_or_create_store(&part_dir(p), db, buffer_fraction)?;
+            let local = store.database();
+            let index = Box::new(LinearScan::new(local.page_count()));
+            let global_ids = (0..local.object_count())
+                .map(|j| ObjectId((j * parts + p) as u32))
+                .collect();
+            out.push(Server::from_parts(
+                Box::new(store),
+                index,
+                CountingMetric::new(Euclidean),
+                global_ids,
+            ));
+        }
+    } else {
+        let ds = db.to_dataset();
+        for p in 0..servers {
+            let local: Vec<Vector> = ds
+                .objects()
+                .iter()
+                .skip(p)
+                .step_by(servers)
+                .cloned()
+                .collect();
+            let global_ids: Vec<ObjectId> = (0..local.len())
+                .map(|j| ObjectId((j * servers + p) as u32))
+                .collect();
+            let part_db = PagedDatabase::pack(&Dataset::new(local), db.layout());
+            let pages = buffer_pages(part_db.page_count(), buffer_fraction);
+            let store = FilePageStore::create(part_dir(p), part_db, VectorCodec, pages)?;
+            let index = Box::new(LinearScan::new(store.database().page_count()));
+            out.push(Server::from_parts(
+                Box::new(store),
+                index,
+                CountingMetric::new(Euclidean),
+                global_ids,
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -802,6 +972,52 @@ mod tests {
             .recv_timeout(Duration::from_secs(5))
             .expect("worker must keep serving after a backend panic");
         assert_eq!(reply.answers[0].id.0, 7);
+    }
+
+    #[test]
+    fn file_store_backends_agree_with_sim_and_survive_restart() {
+        use crate::config::StoreChoice;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mq-sched-store-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let db = line_db(120);
+        let build = |ds: &Dataset<Vector>| {
+            let db = PagedDatabase::pack(ds, db.layout());
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        };
+        let queries: Vec<(Vector, QueryType)> = (0..6)
+            .map(|i| (Vector::new(vec![i as f32 * 19.0 + 0.3]), QueryType::knn(3)))
+            .collect();
+        let oracle = build_backend(&db, &ServerConfig::default(), 0.10, build)
+            .expect("sim backend")
+            .execute(queries.clone());
+
+        for (mode, sub) in [
+            (ExecutionMode::Single, "single"),
+            (ExecutionMode::Cluster { servers: 3 }, "cluster"),
+        ] {
+            let config = ServerConfig::default()
+                .with_mode(mode)
+                .with_store(StoreChoice::File(dir.join(sub)));
+            // First build creates the store, second reopens it from disk.
+            for round in ["create", "reopen"] {
+                let backend =
+                    build_backend(&db, &config, 0.10, build).expect("file backend builds");
+                let (answers, _) = backend.execute(queries.clone());
+                for (qi, (a, b)) in oracle.0.iter().zip(&answers).enumerate() {
+                    let ia: Vec<u32> = a.iter().map(|x| x.id.0).collect();
+                    let ib: Vec<u32> = b.iter().map(|x| x.id.0).collect();
+                    assert_eq!(ia, ib, "{sub} {round}, query {qi}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -143,10 +143,12 @@ fn cluster_mode_agrees_with_single_mode() {
     let single_cfg = ServerConfig::default()
         .with_max_batch(4)
         .with_max_wait(Duration::from_millis(100));
-    let cluster_cfg = single_cfg.with_mode(ExecutionMode::Cluster { servers: 3 });
+    let cluster_cfg = single_cfg
+        .clone()
+        .with_mode(ExecutionMode::Cluster { servers: 3 });
 
-    let single_backend = build_backend(&db, &single_cfg, 0.10, build_index);
-    let cluster_backend = build_backend(&db, &cluster_cfg, 0.10, build_index);
+    let single_backend = build_backend(&db, &single_cfg, 0.10, build_index).expect("backend");
+    let cluster_backend = build_backend(&db, &cluster_cfg, 0.10, build_index).expect("backend");
     let mut single_server =
         QueryServer::bind("127.0.0.1:0", single_backend, &single_cfg).expect("bind");
     let mut cluster_server =

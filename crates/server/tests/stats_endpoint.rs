@@ -9,7 +9,7 @@ use mq_index::LinearScan;
 use mq_metric::{ObjectId, Vector};
 use mq_obs::{Recorder, Registry};
 use mq_server::{
-    build_backend_with_recorder, Client, ExecutionMode, QueryServer, ServerConfig,
+    build_backend_with_recorder, Client, ExecutionMode, QueryServer, ServerConfig, StoreChoice,
 };
 use mq_storage::{persist, Dataset, PageLayout, PagedDatabase, VectorCodec};
 use std::sync::Arc;
@@ -88,7 +88,9 @@ fn sum_with_prefix(samples: &[(String, f64)], prefix: &str) -> f64 {
 fn run_queries(addr: std::net::SocketAddr, db: &PagedDatabase<Vector>, n: usize) {
     std::thread::scope(|scope| {
         for i in 0..n {
-            let q = db.object(ObjectId((i * 37 % db.object_count()) as u32)).clone();
+            let q = db
+                .object(ObjectId((i * 37 % db.object_count()) as u32))
+                .clone();
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let reply = client
@@ -113,11 +115,9 @@ fn persisted_database_serves_scrapeable_metrics() {
     let layout = db.layout();
     let backend = build_backend_with_recorder(&db, &config, 0.10, &recorder, move |ds| {
         let db = PagedDatabase::pack(ds, layout);
-        (
-            Box::new(LinearScan::new(db.page_count())) as _,
-            db,
-        )
-    });
+        (Box::new(LinearScan::new(db.page_count())) as _, db)
+    })
+    .expect("backend");
     let mut server = QueryServer::bind_with_recorder("127.0.0.1:0", backend, &config, &recorder)
         .expect("bind loopback");
 
@@ -210,11 +210,9 @@ fn cluster_mode_scrape_reports_per_partition_counts() {
     let layout = db.layout();
     let backend = build_backend_with_recorder(&db, &config, 0.10, &recorder, move |ds| {
         let db = PagedDatabase::pack(ds, layout);
-        (
-            Box::new(LinearScan::new(db.page_count())) as _,
-            db,
-        )
-    });
+        (Box::new(LinearScan::new(db.page_count())) as _, db)
+    })
+    .expect("backend");
     let mut server = QueryServer::bind_with_recorder("127.0.0.1:0", backend, &config, &recorder)
         .expect("bind loopback");
 
@@ -246,6 +244,61 @@ fn cluster_mode_scrape_reports_per_partition_counts() {
 }
 
 #[test]
+fn file_store_scrape_reports_store_series() {
+    let db = persisted_db("filestore", 400);
+    let dir = std::env::temp_dir().join(format!("mq-stats-endpoint-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig::default()
+        .with_max_batch(2)
+        .with_max_wait(Duration::from_millis(250))
+        .with_store(StoreChoice::File(dir.clone()));
+    let registry = Arc::new(Registry::new());
+    let recorder = Recorder::new(Arc::clone(&registry));
+    let layout = db.layout();
+    let backend = build_backend_with_recorder(&db, &config, 0.10, &recorder, move |ds| {
+        let db = PagedDatabase::pack(ds, layout);
+        (Box::new(LinearScan::new(db.page_count())) as _, db)
+    })
+    .expect("backend");
+    let mut server = QueryServer::bind_with_recorder("127.0.0.1:0", backend, &config, &recorder)
+        .expect("bind loopback");
+
+    run_queries(server.local_addr(), &db, 4);
+
+    let text = Client::connect(server.local_addr())
+        .expect("connect for scrape")
+        .metrics()
+        .expect("metrics scrape");
+    let samples = parse_exposition(&text);
+
+    // A fresh store was just created: the segment write fsync'd, and no
+    // WAL record has ever been appended, replayed, or checkpointed away.
+    assert!(value(&samples, "mq_store_fsyncs_total") >= 1.0);
+    assert_eq!(value(&samples, "mq_store_wal_appends_total"), 0.0);
+    assert_eq!(
+        value(&samples, "mq_store_recovery_replayed_records_total"),
+        0.0
+    );
+    assert_eq!(value(&samples, "mq_store_checkpoints_total"), 0.0);
+    assert_eq!(value(&samples, "mq_store_page_rewrites_total"), 0.0);
+
+    // The query path over the file store registers the same engine and
+    // buffer series the simulated backend does.
+    assert!(
+        value(
+            &samples,
+            "mq_core_distance_calculations_total{outcome=\"performed\"}",
+        ) > 0.0
+    );
+    assert!(
+        sum_with_prefix(&samples, "mq_storage_buffer_reads_total") > 0.0,
+        "file-backed reads must hit the same buffer accounting"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn server_without_recorder_returns_empty_exposition() {
     let db = persisted_db("plain", 200);
     let config = ServerConfig::default()
@@ -254,13 +307,10 @@ fn server_without_recorder_returns_empty_exposition() {
     let layout = db.layout();
     let backend = mq_server::build_backend(&db, &config, 0.10, move |ds| {
         let db = PagedDatabase::pack(ds, layout);
-        (
-            Box::new(LinearScan::new(db.page_count())) as _,
-            db,
-        )
-    });
-    let mut server =
-        QueryServer::bind("127.0.0.1:0", backend, &config).expect("bind loopback");
+        (Box::new(LinearScan::new(db.page_count())) as _, db)
+    })
+    .expect("backend");
+    let mut server = QueryServer::bind("127.0.0.1:0", backend, &config).expect("bind loopback");
     run_queries(server.local_addr(), &db, 2);
     let text = Client::connect(server.local_addr())
         .expect("connect")

@@ -4,8 +4,9 @@ use crate::page::{Page, PageId, PageLayout};
 use mq_metric::{ObjectId, SymbolSet, Symbols, Vector};
 
 /// Objects that can be stored in pages: the storage layer needs to know the
-/// payload size to derive page capacities.
-pub trait StorageObject: Clone + Send + Sync + 'static {
+/// payload size to derive page capacities. `Debug` so stores holding
+/// objects can themselves be `Debug` trait objects.
+pub trait StorageObject: Clone + Send + Sync + std::fmt::Debug + 'static {
     /// The object's payload size in bytes.
     fn payload_bytes(&self) -> usize;
 }
@@ -84,15 +85,21 @@ impl<O: StorageObject> Dataset<O> {
     }
 }
 
-/// An immutable paged database (paper's class `DB`).
+/// A paged database (paper's class `DB`).
 ///
-/// Built once, then only read through [`crate::SimulatedDisk`]. Keeps a
-/// directory mapping every object id to its `(page, slot)` location.
+/// Built once, then read through [`crate::SimulatedDisk`]. Keeps a
+/// directory mapping every object id to its `(page, slot)` location. The
+/// only mutations are the online [`insert_object`]/[`delete_object`] used
+/// by the durable file store: object ids are never reused, so a deleted
+/// id's directory slot becomes a tombstone (`None`).
+///
+/// [`insert_object`]: Self::insert_object
+/// [`delete_object`]: Self::delete_object
 #[derive(Clone, Debug)]
 pub struct PagedDatabase<O> {
     pages: Vec<Page<O>>,
-    /// `directory[object_id] = (page, slot)`.
-    directory: Vec<(PageId, u32)>,
+    /// `directory[object_id] = Some((page, slot))`, `None` once deleted.
+    directory: Vec<Option<(PageId, u32)>>,
     layout: PageLayout,
 }
 
@@ -139,11 +146,37 @@ impl<O: StorageObject> PagedDatabase<O> {
             }
             pages.push(Page::new(page_id, group));
         }
-        let directory = directory
-            .into_iter()
-            .enumerate()
-            .map(|(i, e)| e.unwrap_or_else(|| panic!("object id O{i} missing from page groups")))
-            .collect();
+        for (i, e) in directory.iter().enumerate() {
+            assert!(e.is_some(), "object id O{i} missing from page groups");
+        }
+        Self {
+            pages,
+            directory,
+            layout,
+        }
+    }
+
+    /// Reassembles a database from recovered parts — the file store's
+    /// recovery path, which reads pages back from a segment file and then
+    /// rebuilds the directory (tombstones included) by scanning them.
+    ///
+    /// # Panics
+    /// Panics if a directory entry points outside its page.
+    pub fn from_parts(
+        pages: Vec<Page<O>>,
+        directory: Vec<Option<(PageId, u32)>>,
+        layout: PageLayout,
+    ) -> Self {
+        for (i, entry) in directory.iter().enumerate() {
+            if let Some((pid, slot)) = entry {
+                let page = &pages[pid.index()];
+                let (oid, _) = page.records()[*slot as usize];
+                assert!(
+                    oid.index() == i,
+                    "directory entry O{i} points at {oid} on {pid}"
+                );
+            }
+        }
         Self {
             pages,
             directory,
@@ -156,9 +189,15 @@ impl<O: StorageObject> PagedDatabase<O> {
         self.pages.len()
     }
 
-    /// Number of objects.
+    /// Size of the object-id space (`0..n`), deleted ids included: ids are
+    /// positions and are never reused, so this only grows.
     pub fn object_count(&self) -> usize {
         self.directory.len()
+    }
+
+    /// Number of live (non-deleted) objects.
+    pub fn live_object_count(&self) -> usize {
+        self.directory.iter().filter(|e| e.is_some()).count()
     }
 
     /// The page layout the database was built with.
@@ -179,20 +218,93 @@ impl<O: StorageObject> PagedDatabase<O> {
     }
 
     /// The `(page, slot)` location of an object.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range or was deleted; use
+    /// [`try_locate`](Self::try_locate) when tombstones are expected.
     pub fn locate(&self, id: ObjectId) -> (PageId, u32) {
-        self.directory[id.index()]
+        self.try_locate(id)
+            .unwrap_or_else(|| panic!("object {id} is deleted or out of range"))
+    }
+
+    /// The `(page, slot)` location of an object, or `None` if the id is out
+    /// of range or was deleted.
+    pub fn try_locate(&self, id: ObjectId) -> Option<(PageId, u32)> {
+        self.directory.get(id.index()).copied().flatten()
     }
 
     /// Un-metered object lookup by id — bookkeeping only (e.g. fetching a
     /// query object that a previous query already returned; the paper keeps
     /// such objects in the DBMS answer buffer).
+    ///
+    /// # Panics
+    /// Panics if the id is out of range or was deleted.
     pub fn object(&self, id: ObjectId) -> &O {
         let (pid, slot) = self.locate(id);
         &self.pages[pid.index()].records()[slot as usize].1
     }
 
+    /// [`object`](Self::object) that returns `None` for deleted or
+    /// out-of-range ids instead of panicking.
+    pub fn try_object(&self, id: ObjectId) -> Option<&O> {
+        let (pid, slot) = self.try_locate(id)?;
+        Some(&self.pages[pid.index()].records()[slot as usize].1)
+    }
+
+    /// Appends a new object, assigning it the next id. The object goes on
+    /// the last page if that page still has room under `capacity`, else on
+    /// a fresh page; the capacity is the caller's because a durable store
+    /// fixes it by its frame size, not by the current contents.
+    ///
+    /// Returns the new object's id; [`locate`](Self::locate) gives the
+    /// affected page.
+    pub fn insert_object(&mut self, object: O, capacity: usize) -> ObjectId {
+        assert!(capacity > 0, "page capacity must be positive");
+        assert!(
+            u32::try_from(self.directory.len()).is_ok(),
+            "object-id space exhausted"
+        );
+        let id = ObjectId(self.directory.len() as u32);
+        let (pid, slot) = match self.pages.last_mut() {
+            Some(page) if page.len() < capacity => {
+                let slot = page.len() as u32;
+                page.records_mut().push((id, object));
+                (page.id(), slot)
+            }
+            _ => {
+                let pid = PageId(self.pages.len() as u32);
+                self.pages.push(Page::new(pid, vec![(id, object)]));
+                (pid, 0)
+            }
+        };
+        self.directory.push(Some((pid, slot)));
+        id
+    }
+
+    /// Deletes an object, tombstoning its directory slot (ids are never
+    /// reused). Later records on the same page shift one slot left, exactly
+    /// as a slotted-page compaction would; a page left empty stays in place
+    /// so page ids remain physical addresses.
+    ///
+    /// Returns the page that was rewritten, or `None` if the id was out of
+    /// range or already deleted.
+    pub fn delete_object(&mut self, id: ObjectId) -> Option<PageId> {
+        let (pid, slot) = self.directory.get_mut(id.index())?.take()?;
+        let page = &mut self.pages[pid.index()];
+        page.records_mut().remove(slot as usize);
+        for s in slot as usize..self.pages[pid.index()].len() {
+            let (oid, _) = self.pages[pid.index()].records()[s];
+            self.directory[oid.index()] = Some((pid, s as u32));
+        }
+        Some(pid)
+    }
+
     /// Reconstructs the dataset (objects in id order) — e.g. to rebuild an
     /// index over a database loaded from disk.
+    ///
+    /// # Panics
+    /// Panics if any object was deleted: a dataset's ids are positions, so
+    /// a tombstoned id space cannot round-trip through it.
     pub fn to_dataset(&self) -> Dataset<O> {
         let objects: Vec<O> = (0..self.object_count() as u32)
             .map(|i| self.object(ObjectId(i)).clone())
@@ -299,6 +411,79 @@ mod tests {
         assert!(!ds.is_empty());
         assert_eq!(ds.max_payload_bytes(), 12);
         assert_eq!(ds.iter().count(), 4);
+    }
+
+    #[test]
+    fn insert_appends_to_last_page_then_opens_a_new_one() {
+        let ds = vecs(5, 2);
+        let layout = PageLayout::new(72, 16); // 3 records per page
+        let mut db = PagedDatabase::pack(&ds, layout); // pages: 3 + 2
+        let cap = layout.capacity_for(ds.max_payload_bytes());
+        let a = db.insert_object(Vector::new(vec![100.0, 0.0]), cap);
+        assert_eq!(a, ObjectId(5));
+        assert_eq!(db.page_count(), 2, "filled the last page's free slot");
+        assert_eq!(db.locate(a), (PageId(1), 2));
+        let b = db.insert_object(Vector::new(vec![101.0, 0.0]), cap);
+        assert_eq!(db.locate(b), (PageId(2), 0), "page 1 full → new page");
+        assert_eq!(db.page_count(), 3);
+        assert_eq!(db.object_count(), 7);
+        assert_eq!(db.object(b).components()[0], 101.0);
+    }
+
+    #[test]
+    fn delete_tombstones_and_compacts_the_page() {
+        let ds = vecs(6, 2);
+        let mut db = PagedDatabase::pack(&ds, PageLayout::new(72, 16)); // 3+3
+        let gone = db.delete_object(ObjectId(0));
+        assert_eq!(gone, Some(PageId(0)));
+        assert_eq!(db.try_locate(ObjectId(0)), None);
+        assert_eq!(db.try_object(ObjectId(0)), None);
+        // Objects 1 and 2 shifted one slot left; the directory follows.
+        assert_eq!(db.locate(ObjectId(1)), (PageId(0), 0));
+        assert_eq!(db.locate(ObjectId(2)), (PageId(0), 1));
+        assert_eq!(db.object(ObjectId(2)).components()[0], 4.0);
+        // Id space keeps its size; live count shrinks.
+        assert_eq!(db.object_count(), 6);
+        assert_eq!(db.live_object_count(), 5);
+        // Double delete and out-of-range are clean no-ops.
+        assert_eq!(db.delete_object(ObjectId(0)), None);
+        assert_eq!(db.delete_object(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn delete_can_empty_a_page_without_renumbering() {
+        let ds = vecs(4, 2);
+        let mut db = PagedDatabase::pack(&ds, PageLayout::new(72, 16)); // 3+1
+        db.delete_object(ObjectId(3));
+        assert_eq!(db.page_count(), 2, "empty page keeps its physical slot");
+        assert!(db.page(PageId(1)).is_empty());
+        assert_eq!(db.locate(ObjectId(2)), (PageId(0), 2));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_mutated_database() {
+        let ds = vecs(6, 2);
+        let mut db = PagedDatabase::pack(&ds, PageLayout::new(72, 16));
+        db.delete_object(ObjectId(1));
+        let pages: Vec<_> = db.page_ids().map(|p| db.page(p).clone()).collect();
+        let directory = (0..db.object_count() as u32)
+            .map(|i| db.try_locate(ObjectId(i)))
+            .collect();
+        let back = PagedDatabase::from_parts(pages, directory, db.layout());
+        assert_eq!(back.object_count(), db.object_count());
+        assert_eq!(back.live_object_count(), db.live_object_count());
+        for i in 0..db.object_count() as u32 {
+            assert_eq!(back.try_locate(ObjectId(i)), db.try_locate(ObjectId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted or out of range")]
+    fn locate_panics_on_tombstone() {
+        let ds = vecs(3, 2);
+        let mut db = PagedDatabase::pack(&ds, PageLayout::new(72, 16));
+        db.delete_object(ObjectId(1));
+        let _ = db.locate(ObjectId(1));
     }
 
     #[test]

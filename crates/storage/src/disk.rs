@@ -263,6 +263,41 @@ impl<O: StorageObject> SimulatedDisk<O> {
         &self.db
     }
 
+    /// Mutable access to the underlying database, for the file store's
+    /// insert/delete page rewrites. Callers that change page contents must
+    /// follow up with [`refresh_checksums`](Self::refresh_checksums).
+    pub fn database_mut(&mut self) -> &mut PagedDatabase<O> {
+        &mut self.db
+    }
+
+    /// Recomputes the per-page checksums from the current page contents —
+    /// the in-memory half of a page rewrite (the file store stamps the same
+    /// value into the on-disk frame).
+    pub fn refresh_checksums(&mut self) {
+        self.checksums = self
+            .db
+            .page_ids()
+            .map(|pid| {
+                page_checksum(
+                    pid,
+                    self.db
+                        .page(pid)
+                        .records()
+                        .iter()
+                        .map(|r| r.0.index() as u32),
+                )
+            })
+            .collect();
+    }
+
+    /// Whether a page is currently resident in the buffer. A pure lookup:
+    /// no counter moves, no LRU state changes — the file store uses it to
+    /// decide when a demand read will actually touch the platter (and so
+    /// when to verify the on-disk frame's checksum).
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.state.lock().buffer.contains(id)
+    }
+
     /// Buffer capacity in pages.
     pub fn buffer_capacity(&self) -> usize {
         self.state.lock().buffer.capacity()

@@ -255,7 +255,12 @@ impl FaultStats {
 /// Per-page checksum used to detect torn pages. Pure function of the page
 /// contents' identifying data; the same hash on both "disk" and "wire"
 /// sides, so only an injected corruption can make them disagree.
-pub(crate) fn page_checksum(page: PageId, record_ids: impl Iterator<Item = u32>) -> u64 {
+///
+/// Public because the file-backed page store (`mq-store`) stamps the same
+/// checksum into every on-disk frame and verifies it on read, so a torn
+/// frame surfaces as the same [`DiskError::CorruptPage`] the simulated
+/// fault path produces.
+pub fn page_checksum(page: PageId, record_ids: impl Iterator<Item = u32>) -> u64 {
     let mut h = splitmix64(0x8000_0000_0000_0000 | page.0 as u64);
     let mut count: u64 = 0;
     for id in record_ids {

@@ -19,6 +19,9 @@
 //! * [`IoCostModel`] — converts the counters into modeled seconds with
 //!   1999-class disk constants, so harness output is comparable in *shape*
 //!   to the paper's figures.
+//! * [`PageStore`] — the backend-neutral read/pin/prefetch trait extracted
+//!   from the simulated disk's surface; the durable file-backed
+//!   implementation lives in the `mq-store` crate.
 //!
 //! The simulated disk is the **only** sanctioned way for query processing to
 //! reach object data; [`PagedDatabase::object`] exists for bookkeeping
@@ -34,12 +37,14 @@ pub mod page;
 pub mod persist;
 pub mod policy;
 pub mod stats;
+pub mod store;
 
 pub use buffer::LruBuffer;
 pub use database::{Dataset, PagedDatabase, StorageObject};
 pub use disk::SimulatedDisk;
-pub use fault::{DiskError, FaultPlan, FaultStats};
+pub use fault::{page_checksum, DiskError, FaultPlan, FaultStats};
 pub use page::{Page, PageId, PageLayout};
 pub use persist::{ObjectCodec, PersistError, SymbolsCodec, VectorCodec};
 pub use policy::{BufferPolicy, ClockBuffer, FifoBuffer};
 pub use stats::{IoCostModel, IoStats};
+pub use store::PageStore;

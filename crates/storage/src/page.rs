@@ -71,8 +71,12 @@ impl Default for PageLayout {
 
 /// A data page: a run of object records sharing one disk block.
 ///
-/// Pages are immutable once the database is built; the query engine only
-/// ever reads them.
+/// The query engine only ever reads pages; the sole mutation path is the
+/// database's online [`insert`]/[`delete`], which rewrites one page as a
+/// unit (mirroring the atomic page rewrite a durable store performs).
+///
+/// [`insert`]: crate::PagedDatabase::insert_object
+/// [`delete`]: crate::PagedDatabase::delete_object
 #[derive(Clone, Debug)]
 pub struct Page<O> {
     id: PageId,
@@ -112,6 +116,11 @@ impl<O> Page<O> {
     /// Iterates over `(ObjectId, &O)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &O)> {
         self.records.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// Mutable record access for the database's page-rewrite mutations.
+    pub(crate) fn records_mut(&mut self) -> &mut Vec<(ObjectId, O)> {
+        &mut self.records
     }
 }
 

@@ -228,12 +228,20 @@ pub fn from_bytes<O: StorageObject, C: ObjectCodec<O>>(
     Ok(PagedDatabase::from_groups(groups, layout))
 }
 
-/// Saves a database to a file.
+/// Saves a database to a file, creating missing parent directories. Every
+/// failure comes back as a typed [`PersistError`] for the caller (the CLI)
+/// to print — nothing in here panics.
 pub fn save<O: StorageObject, C: ObjectCodec<O>>(
     db: &PagedDatabase<O>,
     codec: &C,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let bytes = to_bytes(db, codec);
     let mut file = std::fs::File::create(path)?;
     file.write_all(&bytes)?;
@@ -335,6 +343,65 @@ mod tests {
     }
 
     #[test]
+    fn save_creates_missing_parent_directories() {
+        let db = sample_db();
+        let dir =
+            std::env::temp_dir().join(format!("mquery-persist-nested-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("a").join("b").join("sample.mqdb");
+        save(&db, &VectorCodec, &path).expect("save into missing dirs");
+        let back: PagedDatabase<Vector> = load(&VectorCodec, &path).expect("load");
+        assert_eq!(back.object_count(), db.object_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_surfaces_io_errors_instead_of_panicking() {
+        let db = sample_db();
+        // The parent "directory" is a file, so create_dir_all must fail.
+        let dir = std::env::temp_dir().join(format!("mquery-persist-clash-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&dir).ok();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let err = save(&db, &VectorCodec, dir.join("sample.mqdb")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "got {err}");
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn load_surfaces_missing_file_as_io_error() {
+        let err = load::<Vector, _>(&VectorCodec, "/nonexistent/nowhere.mqdb").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn oversized_page_count_is_rejected_before_allocating() {
+        // A header claiming u32::MAX pages with no page data behind it must
+        // fail cleanly instead of reserving gigabytes.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&256u32.to_le_bytes()); // block
+        raw.extend_from_slice(&16u32.to_le_bytes()); // header
+        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // page count
+        let err = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec).unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("page count")));
+    }
+
+    #[test]
+    fn oversized_record_count_is_rejected_before_allocating() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&256u32.to_le_bytes());
+        raw.extend_from_slice(&16u32.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes()); // one page…
+        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // …claiming 4G records
+        let err = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec).unwrap_err();
+        assert!(matches!(err, PersistError::Format(m) if m.contains("record count")));
+    }
+
+    #[test]
     fn rejects_wrong_version() {
         let db = sample_db();
         let mut raw = to_bytes(&db, &VectorCodec).to_vec();
@@ -390,6 +457,63 @@ mod proptests {
         #[test]
         fn parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..4096)) {
             let _ = from_bytes::<Vector, _>(Bytes::from(data), &VectorCodec);
+        }
+
+        /// Truncating a valid database at any point yields a typed error,
+        /// never a panic (cutting nothing is the valid blob itself).
+        #[test]
+        fn truncated_valid_blob_errors_cleanly(
+            n in 1usize..40,
+            cut in 1usize..4096,
+        ) {
+            let ds = Dataset::new(
+                (0..n).map(|i| Vector::new(vec![i as f32, 0.5])).collect(),
+            );
+            let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+            let raw = to_bytes(&db, &VectorCodec);
+            let cut = cut.min(raw.len());
+            let err = from_bytes::<Vector, _>(
+                raw.slice(0..raw.len() - cut),
+                &VectorCodec,
+            );
+            prop_assert!(err.is_err());
+            prop_assert!(matches!(err.unwrap_err(), PersistError::Format(_)));
+        }
+
+        /// Flipping any single bit of a valid database either still parses
+        /// (flips inside float payloads can stay finite and valid) or
+        /// returns a typed error — it never panics or over-allocates.
+        #[test]
+        fn bit_flipped_valid_blob_never_panics(
+            n in 1usize..40,
+            flip_byte in 0usize..4096,
+            flip_bit in 0u8..8,
+        ) {
+            let ds = Dataset::new(
+                (0..n).map(|i| Vector::new(vec![i as f32, -2.0])).collect(),
+            );
+            let db = PagedDatabase::pack(&ds, PageLayout::new(128, 16));
+            let mut raw = to_bytes(&db, &VectorCodec).to_vec();
+            let idx = flip_byte % raw.len();
+            raw[idx] ^= 1 << flip_bit;
+            let _ = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec);
+        }
+
+        /// Headers that claim absurd page/record/dimension counts fail with
+        /// a typed error before any proportional allocation happens.
+        #[test]
+        fn oversized_length_claims_error_cleanly(
+            pages in any::<u32>(),
+            records in any::<u32>(),
+        ) {
+            let mut raw = Vec::new();
+            raw.extend_from_slice(MAGIC);
+            raw.extend_from_slice(&VERSION.to_le_bytes());
+            raw.extend_from_slice(&256u32.to_le_bytes());
+            raw.extend_from_slice(&16u32.to_le_bytes());
+            raw.extend_from_slice(&pages.to_le_bytes());
+            raw.extend_from_slice(&records.to_le_bytes());
+            let _ = from_bytes::<Vector, _>(Bytes::from(raw), &VectorCodec);
         }
     }
 }

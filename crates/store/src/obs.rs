@@ -1,0 +1,224 @@
+//! Durability counters ([`StoreStats`]) and their observability mirror
+//! ([`StoreObs`]).
+//!
+//! The atomic counters are the source of truth and tick from the store's
+//! construction; attaching a [`mq_obs::Recorder`] later registers the
+//! `mq_store_*` series and *catches them up* to the current totals, so
+//! recovery work done before the registry existed (WAL records replayed
+//! during `open`) is still visible in `mq stats`.
+
+use mq_obs::{Counter, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of a store's durability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL records appended (one per insert/delete).
+    pub wal_appends: u64,
+    /// `fsync`/`fdatasync` calls issued (WAL, segment, directory).
+    pub fsyncs: u64,
+    /// Checkpoints completed (including the implicit one after recovery).
+    pub checkpoints: u64,
+    /// Complete WAL records replayed by `open`.
+    pub recovery_replayed_records: u64,
+    /// In-place frame rewrites (one per insert/delete).
+    pub page_rewrites: u64,
+}
+
+/// Interior-mutable counters shared by the store and its obs mirror.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    wal_appends: AtomicU64,
+    fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery_replayed_records: AtomicU64,
+    page_rewrites: AtomicU64,
+}
+
+impl StoreCounters {
+    /// One WAL record appended.
+    pub fn count_wal_append(&self) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `fsync`-class call issued.
+    pub fn count_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One checkpoint completed.
+    pub fn count_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` WAL records replayed during recovery.
+    pub fn count_replayed(&self, n: u64) {
+        self.recovery_replayed_records
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One frame rewritten in place.
+    pub fn count_page_rewrite(&self) {
+        self.page_rewrites.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
+            page_rewrites: self.page_rewrites.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Registry-side mirror of [`StoreCounters`].
+///
+/// `sync` raises each registry counter to the store's current total
+/// (registry counters are monotonic, so only the positive delta is
+/// added). With several per-partition stores attached to one registry the
+/// series aggregate — each store contributes its own deltas.
+#[derive(Debug)]
+pub struct StoreObs {
+    wal_appends: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    recovery_replayed_records: Arc<Counter>,
+    page_rewrites: Arc<Counter>,
+    /// Totals already pushed to the registry by *this* mirror, so shared
+    /// counters never double-count and never go backwards.
+    pushed: StoreCounters,
+}
+
+impl StoreObs {
+    /// Registers (or looks up) the `mq_store_*` series.
+    pub fn register(registry: &Arc<Registry>) -> Self {
+        Self {
+            wal_appends: registry.counter(
+                "mq_store_wal_appends_total",
+                "WAL records appended by the file-backed page store",
+                &[],
+            ),
+            fsyncs: registry.counter(
+                "mq_store_fsyncs_total",
+                "fsync-class calls issued by the file-backed page store",
+                &[],
+            ),
+            checkpoints: registry.counter(
+                "mq_store_checkpoints_total",
+                "Segment checkpoints completed by the file-backed page store",
+                &[],
+            ),
+            recovery_replayed_records: registry.counter(
+                "mq_store_recovery_replayed_records_total",
+                "Complete WAL records replayed during crash recovery",
+                &[],
+            ),
+            page_rewrites: registry.counter(
+                "mq_store_page_rewrites_total",
+                "In-place page-frame rewrites (one per insert/delete)",
+                &[],
+            ),
+            pushed: StoreCounters::default(),
+        }
+    }
+
+    /// Pushes the delta between `counters` and what this mirror already
+    /// pushed.
+    pub fn sync(&self, counters: &StoreCounters) {
+        let now = counters.snapshot();
+        let pushed = self.pushed.snapshot();
+        let push = |c: &Counter, now: u64, pushed: u64, record: &AtomicU64| {
+            if now > pushed {
+                c.add(now - pushed);
+                record.fetch_add(now - pushed, Ordering::Relaxed);
+            }
+        };
+        push(
+            &self.wal_appends,
+            now.wal_appends,
+            pushed.wal_appends,
+            &self.pushed.wal_appends,
+        );
+        push(&self.fsyncs, now.fsyncs, pushed.fsyncs, &self.pushed.fsyncs);
+        push(
+            &self.checkpoints,
+            now.checkpoints,
+            pushed.checkpoints,
+            &self.pushed.checkpoints,
+        );
+        push(
+            &self.recovery_replayed_records,
+            now.recovery_replayed_records,
+            pushed.recovery_replayed_records,
+            &self.pushed.recovery_replayed_records,
+        );
+        push(
+            &self.page_rewrites,
+            now.page_rewrites,
+            pushed.page_rewrites,
+            &self.pushed.page_rewrites,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_moves_with_ticks() {
+        let c = StoreCounters::default();
+        c.count_wal_append();
+        c.count_wal_append();
+        c.count_fsync();
+        c.count_checkpoint();
+        c.count_replayed(5);
+        c.count_page_rewrite();
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            StoreStats {
+                wal_appends: 2,
+                fsyncs: 1,
+                checkpoints: 1,
+                recovery_replayed_records: 5,
+                page_rewrites: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn sync_pushes_only_deltas() {
+        let registry = Arc::new(Registry::new());
+        let obs = StoreObs::register(&registry);
+        let c = StoreCounters::default();
+        c.count_replayed(3);
+        c.count_wal_append();
+        obs.sync(&c);
+        obs.sync(&c); // idempotent: no delta, no double count
+        assert_eq!(obs.recovery_replayed_records.get(), 3);
+        assert_eq!(obs.wal_appends.get(), 1);
+        c.count_wal_append();
+        obs.sync(&c);
+        assert_eq!(obs.wal_appends.get(), 2);
+    }
+
+    #[test]
+    fn two_stores_aggregate_into_one_registry() {
+        let registry = Arc::new(Registry::new());
+        let obs_a = StoreObs::register(&registry);
+        let obs_b = StoreObs::register(&registry);
+        let (a, b) = (StoreCounters::default(), StoreCounters::default());
+        a.count_wal_append();
+        b.count_wal_append();
+        b.count_wal_append();
+        obs_a.sync(&a);
+        obs_b.sync(&b);
+        // Same unlabeled series, summed across partitions.
+        assert_eq!(obs_a.wal_appends.get(), 3);
+    }
+}

@@ -22,6 +22,14 @@
 //! attempts only ever touch [`mq_storage::FaultStats`]; they never leak
 //! into I/O counters, the buffer, or the answers.
 //!
+//! The durable backend extends the invariant
+//! ([`Sim::assert_backend_equivalence`]): a `mq_store::FilePageStore`
+//! over the same workload must produce **fully** bit-identical reports —
+//! including every I/O and fault counter — for every matrix
+//! configuration, and recover from torn WAL tails and
+//! kill-after-N-appends crashes to exactly the state a clean twin
+//! reaches.
+//!
 //! Layers:
 //!
 //! * [`scenario`] — canonical fault-plan presets (disk, latency-only,

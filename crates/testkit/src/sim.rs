@@ -10,8 +10,11 @@ use mq_datagen::sessions::{web_sessions, SessionConfig};
 use mq_index::LinearScan;
 use mq_metric::{EditDistance, Symbols};
 use mq_storage::{
-    Dataset, FaultPlan, FaultStats, IoStats, PageLayout, PagedDatabase, SimulatedDisk,
+    Dataset, FaultPlan, FaultStats, IoStats, PageLayout, PageStore, PagedDatabase, SimulatedDisk,
+    SymbolsCodec,
 };
+use mq_store::{FilePageStore, SEGMENT_FILE};
+use std::path::Path;
 
 /// One engine configuration of the equivalence matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,15 +145,47 @@ impl Sim {
         (sessions, queries)
     }
 
-    /// Runs the simulation under `config`, faults included.
+    /// The seed-derived stored database, paged exactly as every run pages
+    /// it.
+    pub fn database(&self) -> PagedDatabase<Symbols> {
+        let (sessions, _) = self.workload();
+        PagedDatabase::pack(&Dataset::new(sessions), PageLayout::new(256, 8))
+    }
+
+    /// Runs the simulation under `config` on the in-memory backend,
+    /// faults included.
     pub fn run(&self, config: SimConfig) -> SimReport {
-        let (sessions, queries) = self.workload();
-        let ds = Dataset::new(sessions);
-        let db = PagedDatabase::pack(&ds, PageLayout::new(256, 8));
-        let scan = LinearScan::new(db.page_count());
-        let disk = SimulatedDisk::with_buffer_pages(db, 4);
+        let disk = SimulatedDisk::with_buffer_pages(self.database(), 4);
+        self.run_on(config, &disk)
+    }
+
+    /// [`run`](Self::run) against the durable file backend: a
+    /// [`FilePageStore`] in `dir`, created from the workload on first use
+    /// and recovered from segment + WAL afterwards. The report must be
+    /// bit-identical to the in-memory backend's
+    /// ([`assert_backend_equivalence`](Self::assert_backend_equivalence)).
+    pub fn run_file(&self, config: SimConfig, dir: &Path) -> SimReport {
+        self.run_on(config, &self.open_or_create_store(dir))
+    }
+
+    /// Opens the durable store in `dir`, creating it from the workload
+    /// database when no segment exists yet. The buffer holds 4 pages,
+    /// like the in-memory backend's.
+    pub fn open_or_create_store(&self, dir: &Path) -> FilePageStore<Symbols, SymbolsCodec> {
+        if dir.join(SEGMENT_FILE).exists() {
+            FilePageStore::open(dir, SymbolsCodec, 4).expect("reopen durable store")
+        } else {
+            FilePageStore::create(dir, self.database(), SymbolsCodec, 4)
+                .expect("create durable store")
+        }
+    }
+
+    /// Runs the workload's query batch against an already-built backend.
+    fn run_on(&self, config: SimConfig, disk: &dyn PageStore<Symbols>) -> SimReport {
+        let (_, queries) = self.workload();
+        let scan = LinearScan::new(disk.database().page_count());
         disk.set_fault_plan(self.plan);
-        let engine = QueryEngine::new(&disk, &scan, EditDistance)
+        let engine = QueryEngine::new(disk, &scan, EditDistance)
             .with_threads(config.threads)
             .with_prefetch_depth(config.prefetch_depth)
             .with_leader_policy(config.leader)
@@ -235,6 +270,50 @@ impl Sim {
                     self.seed
                 );
             }
+        }
+    }
+
+    /// Asserts the durable backend's half of the central invariant over
+    /// the whole [`config_matrix`]: the file-backed store in `dir` must
+    /// produce a **fully** bit-identical [`SimReport`] — answers,
+    /// avoidance counters, every I/O counter, every fault counter — for
+    /// every configuration, faults included. (Unlike faulty-vs-oracle
+    /// comparisons, the two backends see the same fault plan, so nothing
+    /// is exempted.)
+    pub fn assert_backend_equivalence(&self, dir: &Path) {
+        for config in config_matrix() {
+            let mem = self.run(config);
+            let file = self.run_file(config, dir);
+            assert_eq!(
+                mem.answers, file.answers,
+                "seed {}, {config:?}: file-backend answers diverged",
+                self.seed
+            );
+            assert_eq!(
+                mem.completed, file.completed,
+                "seed {}, {config:?}: file-backend completion flags diverged",
+                self.seed
+            );
+            assert_eq!(
+                mem.avoidance, file.avoidance,
+                "seed {}, {config:?}: file-backend avoidance counters diverged",
+                self.seed
+            );
+            assert_eq!(
+                mem.io, file.io,
+                "seed {}, {config:?}: file-backend I/O counters diverged",
+                self.seed
+            );
+            assert_eq!(
+                mem.fault_stats, file.fault_stats,
+                "seed {}, {config:?}: file-backend fault counters diverged",
+                self.seed
+            );
+            assert_eq!(
+                mem.gave_up, file.gave_up,
+                "seed {}, {config:?}: file-backend failure outcome diverged",
+                self.seed
+            );
         }
     }
 }
