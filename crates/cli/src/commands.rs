@@ -377,6 +377,23 @@ fn store_dir(args: &Args) -> Result<std::path::PathBuf, Box<dyn std::error::Erro
     }
 }
 
+/// Refuses offline mutation of a clustered store's partition: the local
+/// store would accept it, but the cluster's persisted global-id mapping
+/// would no longer cover the partition and every reopen would fail.
+fn reject_partition_member(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(manifest) = mq_store::PartitionManifest::load(dir)? {
+        return Err(format!(
+            "{} is partition {} of a {}-way cluster store; offline mutation would \
+             desynchronize the cluster's global-id mapping",
+            dir.display(),
+            manifest.partition,
+            manifest.parts
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// Parses a comma-separated `--vector` into a finite [`Vector`].
 fn parse_vector(raw: &str) -> Result<Vector, Box<dyn std::error::Error>> {
     let components: Vec<f32> = raw
@@ -396,6 +413,7 @@ fn parse_vector(raw: &str) -> Result<Vector, Box<dyn std::error::Error>> {
 pub fn insert(args: &Args) -> CmdResult {
     use mq_store::FilePageStore;
     let dir = store_dir(args)?;
+    reject_partition_member(&dir)?;
     let object = parse_vector(args.required("vector")?)?;
     // Offline single-writer mutation: nothing else may serve this
     // directory while the WAL is appended and the frame rewritten.
@@ -421,6 +439,7 @@ pub fn insert(args: &Args) -> CmdResult {
 pub fn delete(args: &Args) -> CmdResult {
     use mq_store::FilePageStore;
     let dir = store_dir(args)?;
+    reject_partition_member(&dir)?;
     let id: u32 = args.required("object")?.parse().map_err(|_| {
         format!(
             "cannot parse --object '{}' (object id)",

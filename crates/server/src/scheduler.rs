@@ -24,7 +24,9 @@ use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
 use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS, SIZE_BOUNDS};
 use mq_parallel::{Declustering, Server, SharedNothingCluster};
 use mq_storage::{Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
-use mq_store::{FilePageStore, SegmentMeta, StoreError, SEGMENT_FILE};
+use mq_store::{
+    FilePageStore, PartitionManifest, SegmentMeta, StoreError, SEGMENT_FILE, SEGMENT_HEADER_LEN,
+};
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -655,6 +657,18 @@ where
             ))
         }
         (ExecutionMode::Single, StoreChoice::File(dir)) => {
+            // A partition of a clustered store must not be served alone:
+            // its answers would carry partition-local ids.
+            if let Some(manifest) = PartitionManifest::load(dir)? {
+                return Err(StoreError::Format(format!(
+                    "{} is partition {} of a {}-way cluster store; serve its parent \
+                     directory with --cluster {} instead",
+                    dir.display(),
+                    manifest.partition,
+                    manifest.parts,
+                    manifest.parts
+                )));
+            }
             let store = open_or_create_store(dir, db, buffer_fraction)?;
             let index = Box::new(LinearScan::new(store.database().page_count()));
             Ok(Box::new(
@@ -713,7 +727,18 @@ fn open_or_create_store(
 ) -> Result<FilePageStore<Vector, VectorCodec>, StoreError> {
     let seg = dir.join(SEGMENT_FILE);
     if seg.exists() {
-        let meta = SegmentMeta::decode_header(&std::fs::read(&seg)?)?;
+        // Only the header is needed for buffer sizing; open() reads the
+        // frames itself, so a full std::fs::read here would double the
+        // startup I/O of a large segment.
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        std::io::Read::read_exact(&mut std::fs::File::open(&seg)?, &mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Format("segment header truncated".into())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let meta = SegmentMeta::decode_header(&header)?;
         let pages = buffer_pages(meta.page_count as usize, buffer_fraction);
         FilePageStore::open(dir, VectorCodec, pages)
     } else {
@@ -730,9 +755,15 @@ fn open_or_create_store(
 /// its declustering). Otherwise `db` is declustered round-robin — object
 /// `i` to partition `i % servers` — exactly like
 /// [`Declustering::RoundRobin`], so answers stay bit-identical to the
-/// simulated cluster. Local id `j` of partition `p` maps to global id
-/// `j * parts + p`, which the reopen path reconstructs without any extra
-/// metadata.
+/// simulated cluster.
+///
+/// Each partition directory carries a [`PartitionManifest`] recording the
+/// partition count, its index, and the **explicit** local→global id
+/// mapping. Reopen reads the mapping back instead of deriving ids
+/// positionally, and cross-checks it against the recovered store — a
+/// partition mutated behind the cluster's back (offline `mq insert` on a
+/// single `part-<i>/`), a missing manifest, or a duplicated global id is
+/// a typed error rather than silently mis-addressed answers.
 fn open_or_create_partition_stores(
     dir: &Path,
     db: &PagedDatabase<Vector>,
@@ -746,18 +777,48 @@ fn open_or_create_partition_stores(
         while part_dir(parts).join(SEGMENT_FILE).exists() {
             parts += 1;
         }
+        let mut seen_gids = std::collections::HashSet::new();
         for p in 0..parts {
-            let store = open_or_create_store(&part_dir(p), db, buffer_fraction)?;
+            let pdir = part_dir(p);
+            let manifest = PartitionManifest::load(&pdir)?.ok_or_else(|| {
+                StoreError::Format(format!(
+                    "{} has no partition manifest; cannot reconstruct its global ids",
+                    pdir.display()
+                ))
+            })?;
+            if manifest.parts as usize != parts || manifest.partition as usize != p {
+                return Err(StoreError::Format(format!(
+                    "{} declares itself partition {} of {}, but the directory holds \
+                     partition {p} of {parts}",
+                    pdir.display(),
+                    manifest.partition,
+                    manifest.parts
+                )));
+            }
+            let store = open_or_create_store(&pdir, db, buffer_fraction)?;
             let local = store.database();
+            if manifest.global_ids.len() != local.object_count() {
+                return Err(StoreError::Format(format!(
+                    "{} holds {} object ids but its manifest maps {} — the partition \
+                     was mutated outside the cluster",
+                    pdir.display(),
+                    local.object_count(),
+                    manifest.global_ids.len()
+                )));
+            }
+            for gid in &manifest.global_ids {
+                if !seen_gids.insert(*gid) {
+                    return Err(StoreError::Format(format!(
+                        "global id {gid} is mapped by two partitions"
+                    )));
+                }
+            }
             let index = Box::new(LinearScan::new(local.page_count()));
-            let global_ids = (0..local.object_count())
-                .map(|j| ObjectId((j * parts + p) as u32))
-                .collect();
             out.push(Server::from_parts(
                 Box::new(store),
                 index,
                 CountingMetric::new(Euclidean),
-                global_ids,
+                manifest.global_ids,
             ));
         }
     } else {
@@ -776,6 +837,12 @@ fn open_or_create_partition_stores(
             let part_db = PagedDatabase::pack(&Dataset::new(local), db.layout());
             let pages = buffer_pages(part_db.page_count(), buffer_fraction);
             let store = FilePageStore::create(part_dir(p), part_db, VectorCodec, pages)?;
+            PartitionManifest {
+                parts: servers as u32,
+                partition: p as u32,
+                global_ids: global_ids.clone(),
+            }
+            .save(&part_dir(p))?;
             let index = Box::new(LinearScan::new(store.database().page_count()));
             out.push(Server::from_parts(
                 Box::new(store),
@@ -1018,6 +1085,76 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_reopen_validates_partition_manifests() {
+        use crate::config::StoreChoice;
+        use mq_store::PARTITION_MANIFEST_FILE;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "mq-sched-manifest-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let db = line_db(120);
+        let build = |ds: &Dataset<Vector>| {
+            let db = PagedDatabase::pack(ds, db.layout());
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        };
+        let cluster_config = |dir: &std::path::Path| {
+            ServerConfig::default()
+                .with_mode(ExecutionMode::Cluster { servers: 3 })
+                .with_store(StoreChoice::File(dir.to_path_buf()))
+        };
+
+        // An offline insert against a single partition desynchronizes the
+        // persisted global-id mapping; reopen must refuse rather than
+        // silently mis-address answers.
+        let dir = root.join("mutated");
+        let config = cluster_config(&dir);
+        drop(build_backend(&db, &config, 0.10, build).expect("create cluster"));
+        {
+            let mut part: FilePageStore<Vector, VectorCodec> =
+                FilePageStore::open(dir.join("part-1"), VectorCodec, 1).expect("open partition");
+            part.insert(Vector::new(vec![500.0])).expect("offline insert");
+        }
+        match build_backend(&db, &config, 0.10, build) {
+            Err(StoreError::Format(msg)) => {
+                assert!(msg.contains("mutated outside the cluster"), "{msg}")
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("reopen of a desynchronized partition must fail"),
+        }
+
+        // A missing manifest leaves the global ids unknowable.
+        let dir = root.join("missing");
+        let config = cluster_config(&dir);
+        drop(build_backend(&db, &config, 0.10, build).expect("create cluster"));
+        std::fs::remove_file(dir.join("part-2").join(PARTITION_MANIFEST_FILE)).unwrap();
+        match build_backend(&db, &config, 0.10, build) {
+            Err(StoreError::Format(msg)) => {
+                assert!(msg.contains("no partition manifest"), "{msg}")
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("reopen without a manifest must fail"),
+        }
+
+        // Serving one partition standalone would answer with local ids.
+        let dir = root.join("single");
+        let config = cluster_config(&dir);
+        drop(build_backend(&db, &config, 0.10, build).expect("create cluster"));
+        let single = ServerConfig::default().with_store(StoreChoice::File(dir.join("part-0")));
+        match build_backend(&db, &single, 0.10, build) {
+            Err(StoreError::Format(msg)) => assert!(msg.contains("--cluster 3"), "{msg}"),
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("single-mode serve of a partition must fail"),
+        }
+
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub enum StoreError {
     },
     /// A mutation referenced an object id that is deleted or out of range.
     UnknownObject(ObjectId),
+    /// The store directory is already owned by a live process — the store
+    /// is single-writer, and opening it twice could destroy
+    /// un-checkpointed mutations.
+    Locked {
+        /// The contested store directory.
+        dir: std::path::PathBuf,
+        /// Pid recorded in the lock file.
+        holder: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -49,6 +58,14 @@ impl fmt::Display for StoreError {
             }
             StoreError::UnknownObject(id) => {
                 write!(f, "object {id} is deleted or out of range")
+            }
+            StoreError::Locked { dir, holder } => {
+                write!(
+                    f,
+                    "store {} is locked by live process {holder} (the store is \
+                     single-writer; stop that process first)",
+                    dir.display()
+                )
             }
         }
     }
@@ -99,6 +116,11 @@ mod tests {
         assert!(StoreError::UnknownObject(ObjectId(3))
             .to_string()
             .contains("O3"));
+        let l = StoreError::Locked {
+            dir: "/tmp/s".into(),
+            holder: 1234,
+        };
+        assert!(l.to_string().contains("/tmp/s") && l.to_string().contains("1234"));
     }
 
     #[test]

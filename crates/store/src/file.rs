@@ -49,6 +49,97 @@ use std::path::{Path, PathBuf};
 pub const SEGMENT_FILE: &str = "segment.mqsg";
 /// WAL file name inside the store directory.
 pub const WAL_FILE: &str = "wal.mqwl";
+/// Lock file name inside the store directory.
+pub const LOCK_FILE: &str = "lock.mqlk";
+
+/// Exclusive advisory ownership of a store directory, backed by a lock
+/// file holding the owner's pid.
+///
+/// The store is single-writer: a second opener could checkpoint away the
+/// first's un-checkpointed WAL or interleave frame writes, so
+/// [`FilePageStore::create`]/[`open`](FilePageStore::open) acquire this
+/// first and fail fast with [`StoreError::Locked`] when the directory is
+/// already owned. The file is removed on drop; after a crash (`kill -9`)
+/// the pid it names is dead, which the next opener detects (on Linux, via
+/// `/proc/<pid>`) and steals — so a crashed store never needs manual
+/// unlocking.
+#[derive(Debug)]
+struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    fn acquire(dir: &Path) -> Result<Self, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        // Two rounds: the second retries after removing a stale lock.
+        for _ in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    file.write_all(std::process::id().to_string().as_bytes())?;
+                    file.sync_all()?;
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if process_alive(pid) => {
+                            return Err(StoreError::Locked {
+                                dir: dir.to_path_buf(),
+                                holder: pid,
+                            })
+                        }
+                        // Dead owner, or garbage left by a crash mid-acquire:
+                        // the lock is stale either way.
+                        _ => {
+                            std::fs::remove_file(&path).ok();
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Lost the post-steal race to another opener.
+        let holder = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .unwrap_or(0);
+        Err(StoreError::Locked {
+            dir: dir.to_path_buf(),
+            holder,
+        })
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Whether `pid` names a live process. Without `libc` in the dependency
+/// tree there is no `flock`/`kill(0)`; `/proc` answers the same question
+/// on Linux. A zombie (killed but not yet reaped — state `Z` in its stat
+/// line) still has a `/proc` entry but can't own anything, so it counts
+/// as dead. Elsewhere liveness is unknowable from here, so a held lock
+/// is conservatively assumed live (never stolen).
+fn process_alive(pid: u32) -> bool {
+    if !cfg!(target_os = "linux") {
+        return true;
+    }
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        // "pid (comm) STATE ..." — comm may contain anything, so the
+        // state is the first field after the *last* ')'.
+        Ok(stat) => {
+            let state = stat
+                .rfind(')')
+                .and_then(|i| stat[i + 1..].trim_start().chars().next());
+            state != Some('Z')
+        }
+        Err(_) => false,
+    }
+}
 
 /// A durable page store: one directory holding a segment file and a WAL.
 ///
@@ -56,9 +147,14 @@ pub const WAL_FILE: &str = "wal.mqwl";
 /// [`SimulatedDisk`]; mutations ([`insert`](Self::insert) /
 /// [`delete`](Self::delete)) are WAL-first and crash-safe. The store is a
 /// **single-writer** structure: mutations take `&mut self`, and exactly
-/// one store may own a directory at a time.
+/// one store may own a directory at a time — enforced by a pid lock file
+/// ([`LOCK_FILE`]) acquired in [`create`](Self::create)/[`open`](Self::open),
+/// released on drop, and stolen automatically when its owner is dead
+/// (crash recovery never needs manual unlocking).
 pub struct FilePageStore<O: StorageObject, C> {
     dir: PathBuf,
+    /// Exclusive directory ownership; released (file removed) on drop.
+    _lock: StoreLock,
     segment: File,
     wal: File,
     /// Next WAL append offset (header + complete records).
@@ -103,6 +199,7 @@ where
     ) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let lock = StoreLock::acquire(&dir)?;
         let mut max_rec = 1u32;
         let mut capacity = 1u32;
         for pid in db.page_ids() {
@@ -141,6 +238,7 @@ where
         sync_dir(&dir, &counters)?;
         Ok(Self {
             dir,
+            _lock: lock,
             segment,
             wal,
             wal_len: WAL_HEADER_LEN,
@@ -160,6 +258,7 @@ where
     /// segment is clean again.
     pub fn open(dir: impl AsRef<Path>, codec: C, buffer_pages: usize) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
+        let lock = StoreLock::acquire(&dir)?;
         let seg_bytes = std::fs::read(dir.join(SEGMENT_FILE))?;
         let meta = SegmentMeta::decode_header(&seg_bytes)?;
 
@@ -187,6 +286,11 @@ where
         }
         let replay = decode_wal::<O, _>(&wal_bytes[WAL_HEADER_LEN as usize..], &codec)?;
         let replayed = replay.records.len() as u64;
+        // Each insert grows the segment by at most one page, and a stale
+        // record (see below) never exceeds the checkpointed count — so no
+        // valid WAL can push the page count past this. A tampered record
+        // must not size the frame table.
+        let max_pages = meta.page_count as usize + replay.records.len();
         let mut id_space = meta.id_space as usize;
         for record in replay.records {
             if record.records.len() > meta.capacity as usize {
@@ -196,17 +300,28 @@ where
                     meta.capacity
                 )));
             }
+            // A record may be *stale*: a crash between a checkpoint's
+            // segment rename and its WAL truncation leaves the fresh
+            // segment alongside records the checkpoint already folded in.
+            // Replaying a stale post-image is idempotent, so the only
+            // per-record sanity requirement is internal consistency — the
+            // rewritten page must lie inside the page count the record
+            // itself declares.
             let idx = record.page.index();
+            if idx >= record.page_count_after as usize
+                || record.page_count_after as usize > max_pages
+            {
+                return Err(StoreError::Format(format!(
+                    "WAL record rewrites page {idx} with page count {} (segment holds {}, \
+                     {replayed} records replayed)",
+                    record.page_count_after, meta.page_count,
+                )));
+            }
             if idx >= frames.len() {
                 frames.resize(idx + 1, None);
             }
             frames[idx] = Some(record.records);
             id_space = id_space.max(record.id_space_after as usize);
-            if (record.page_count_after as usize) < frames.len() {
-                return Err(StoreError::Format(
-                    "WAL page_count_after shrinks the segment".into(),
-                ));
-            }
         }
 
         // Assemble: every frame must now be intact.
@@ -249,6 +364,7 @@ where
         counters.count_replayed(replayed);
         let mut store = Self {
             dir,
+            _lock: lock,
             segment,
             wal,
             wal_len: wal_bytes.len() as u64,

@@ -28,8 +28,10 @@ pub mod error;
 pub mod file;
 pub mod format;
 pub mod obs;
+pub mod partition;
 
 pub use error::StoreError;
-pub use file::{FilePageStore, SEGMENT_FILE, WAL_FILE};
-pub use format::SegmentMeta;
+pub use file::{FilePageStore, LOCK_FILE, SEGMENT_FILE, WAL_FILE};
+pub use format::{SegmentMeta, SEGMENT_HEADER_LEN};
 pub use obs::{StoreCounters, StoreObs, StoreStats};
+pub use partition::{PartitionManifest, PARTITION_MANIFEST_FILE};

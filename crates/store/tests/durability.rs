@@ -9,7 +9,7 @@ use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
 use mq_storage::{
     Dataset, PageId, PageLayout, PageStore, PagedDatabase, SimulatedDisk, VectorCodec,
 };
-use mq_store::{FilePageStore, StoreError, SEGMENT_FILE, WAL_FILE};
+use mq_store::{FilePageStore, StoreError, LOCK_FILE, SEGMENT_FILE, WAL_FILE};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -127,6 +127,102 @@ fn torn_wal_tail_recovers_to_last_complete_record() {
     let db = store.database();
     assert_eq!(db.object_count(), 31, "first insert survives");
     assert_eq!(db.object(ObjectId(30)).components(), &[20.0, 20.0]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_between_checkpoint_rename_and_wal_truncate_recovers() {
+    let dir = temp_dir("ckpt-window");
+    let mut store = FilePageStore::create(&dir, db(30), VectorCodec, 4).expect("create");
+    store.insert(Vector::new(vec![20.0, 20.0])).expect("insert");
+    store.delete(ObjectId(3)).expect("delete");
+    let wal_image = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    let before = answers_on(&store);
+    store.checkpoint().expect("checkpoint");
+    drop(store);
+
+    // Simulated crash inside the checkpoint window: the fresh segment was
+    // renamed into place, but the process died before the WAL truncation —
+    // every record on disk is a stale duplicate of state the segment
+    // already carries. Reopen must replay them idempotently, not fail.
+    std::fs::write(dir.join(WAL_FILE), &wal_image).unwrap();
+
+    let store = FilePageStore::open(&dir, VectorCodec, 4)
+        .expect("reopen after a crash inside the checkpoint window");
+    assert_eq!(store.store_stats().recovery_replayed_records, 2);
+    assert_eq!(store.wal_bytes(), 8, "checkpoint-on-open cleared the stale WAL");
+    let db = store.database();
+    assert_eq!(db.try_locate(ObjectId(3)), None);
+    assert_eq!(db.object(ObjectId(30)).components(), &[20.0, 20.0]);
+    assert_eq!(answers_on(&store), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tampered_wal_page_count_is_a_typed_error_not_an_allocation() {
+    use mq_store::format::{encode_wal_record, WalRecord, OP_INSERT};
+    let dir = temp_dir("tampered-count");
+    let mut store = FilePageStore::create(&dir, db(30), VectorCodec, 4).expect("create");
+    store.insert(Vector::new(vec![20.0, 20.0])).expect("insert");
+    drop(store);
+
+    // A CRC-valid record claiming a page far outside any segment one
+    // append could have grown to: recovery must reject it (typed error)
+    // instead of sizing the frame table to a million entries.
+    let record = WalRecord {
+        op: OP_INSERT,
+        oid: ObjectId(31),
+        page: PageId(1_000_000),
+        page_count_after: 1_000_001,
+        id_space_after: 32,
+        records: vec![(ObjectId(31), Vector::new(vec![1.0, 1.0]))],
+    };
+    let bytes = encode_wal_record(&record, &VectorCodec);
+    let mut wal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join(WAL_FILE))
+        .unwrap();
+    std::io::Write::write_all(&mut wal, &bytes).unwrap();
+    drop(wal);
+
+    match FilePageStore::<Vector, _>::open(&dir, VectorCodec, 4) {
+        Err(StoreError::Format(msg)) => assert!(msg.contains("page count"), "{msg}"),
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn second_opener_is_rejected_while_the_store_is_live() {
+    let dir = temp_dir("locked");
+    let store = FilePageStore::create(&dir, db(10), VectorCodec, 4).expect("create");
+    match FilePageStore::<Vector, _>::open(&dir, VectorCodec, 4) {
+        Err(StoreError::Locked { holder, .. }) => assert_eq!(holder, std::process::id()),
+        other => panic!("expected Locked, got {other:?}"),
+    }
+    drop(store);
+    // The drop released the lock; the directory can be owned again.
+    FilePageStore::<Vector, _>::open(&dir, VectorCodec, 4).expect("reopen after release");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_lock_of_a_dead_process_is_stolen() {
+    let dir = temp_dir("stale-lock");
+    drop(FilePageStore::create(&dir, db(10), VectorCodec, 4).expect("create"));
+    // A crashed owner leaves its lock file behind: a pid no live process
+    // can hold (beyond any PID_MAX), and the garbage a crash mid-acquire
+    // leaves. Both are stale and must be stolen, never fatal.
+    for stale in ["4294967294", "not-a-pid", ""] {
+        std::fs::write(dir.join(LOCK_FILE), stale).unwrap();
+        let store = FilePageStore::<Vector, _>::open(&dir, VectorCodec, 4)
+            .unwrap_or_else(|e| panic!("stale lock '{stale}' must be stolen, got {e}"));
+        drop(store);
+        assert!(
+            !dir.join(LOCK_FILE).exists(),
+            "lock file must be removed on drop"
+        );
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

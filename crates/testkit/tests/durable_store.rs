@@ -199,6 +199,51 @@ fn kill_after_n_appends_recovers_to_the_clean_twin() {
 }
 
 #[test]
+fn crash_inside_the_checkpoint_window_reopens_with_the_stale_wal() {
+    let sim = Sim::new(55);
+    let (sessions, _) = sim.workload();
+    const OPS: usize = 4;
+
+    let crash_dir = temp_dir("ckpt-window");
+    let mut store = sim.open_or_create_store(&crash_dir);
+    apply_ops(&mut store, &sessions, OPS);
+    let wal_image = std::fs::read(crash_dir.join(WAL_FILE)).expect("pre-checkpoint WAL");
+    store.checkpoint().expect("checkpoint");
+    drop(store);
+    // Kill between the checkpoint's segment rename and its WAL
+    // truncation: the fresh segment sits alongside the full
+    // pre-checkpoint WAL, whose records are stale duplicates of state
+    // the segment already carries.
+    std::fs::write(crash_dir.join(WAL_FILE), &wal_image).expect("restore stale WAL");
+
+    let clean_dir = temp_dir("ckpt-clean");
+    let mut clean = sim.open_or_create_store(&clean_dir);
+    apply_ops(&mut clean, &sessions, OPS);
+    drop(clean);
+
+    let recovered = sim.open_or_create_store(&crash_dir);
+    assert_eq!(
+        recovered.store_stats().recovery_replayed_records,
+        OPS as u64,
+        "every stale record replays idempotently"
+    );
+    assert_eq!(recovered.wal_bytes(), 8, "checkpoint-on-open empties the WAL");
+    let clean = sim.open_or_create_store(&clean_dir);
+    assert_same_database(&recovered, &clean, "checkpoint-window crash");
+    drop((recovered, clean));
+
+    let config = config_matrix()[0];
+    assert_eq!(
+        sim.run_file(config, &crash_dir).answers,
+        sim.run_file(config, &clean_dir).answers,
+        "checkpoint-window crash: answers diverged from the clean twin"
+    );
+    for dir in [&crash_dir, &clean_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
 fn torn_wal_tail_is_discarded_and_checkpointed_away() {
     let sim = Sim::new(44);
     let (sessions, _) = sim.workload();
