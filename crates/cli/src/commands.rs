@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use mq_core::{CostModel, QueryEngine, QueryType, StatsProbe};
-use mq_datagen::{classification_query_ids, image_histograms, tycho_like};
+use mq_datagen::{classification_query_ids, embeddings, image_histograms, tycho_like};
 use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
-use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
+use mq_metric::{CountingMetric, Euclidean, Metric, ObjectId, Vector, VectorMetric};
 use mq_storage::{persist, Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
 use mq_vafile::{VaConfig, VaFile};
 
@@ -18,7 +18,8 @@ pub fn generate(args: &Args) -> CmdResult {
     let objects = match kind.as_str() {
         "tycho" => tycho_like(n, seed),
         "image" => image_histograms(n, seed),
-        other => return Err(format!("unknown --kind '{other}' (tycho|image)").into()),
+        "embeddings" => embeddings(n, seed),
+        other => return Err(format!("unknown --kind '{other}' (tycho|image|embeddings)").into()),
     };
     let dim = objects.first().map(|v| v.dim()).unwrap_or(0);
     let ds = Dataset::new(objects);
@@ -54,15 +55,58 @@ pub fn info(args: &Args) -> CmdResult {
 }
 
 fn parse_qtype(args: &Args) -> Result<QueryType, Box<dyn std::error::Error>> {
+    let range = || -> Result<f64, Box<dyn std::error::Error>> {
+        let eps: f64 = args.parse_or("range", 1.0)?;
+        // QueryType::range asserts on NaN; turn it into a CLI error here.
+        // Negative values are fine (dot-product score thresholds).
+        if eps.is_nan() {
+            return Err("--range must not be NaN".into());
+        }
+        Ok(eps)
+    };
     match (args.has("knn"), args.has("range")) {
         (true, false) => Ok(QueryType::knn(args.parse_or("knn", 10)?)),
-        (false, true) => Ok(QueryType::range(args.parse_or("range", 1.0)?)),
-        (true, true) => Ok(QueryType::bounded_knn(
-            args.parse_or("knn", 10)?,
-            args.parse_or("range", 1.0)?,
-        )),
+        (false, true) => Ok(QueryType::range(range()?)),
+        (true, true) => Ok(QueryType::bounded_knn(args.parse_or("knn", 10)?, range()?)),
         (false, false) => Err("one of --knn or --range is required".into()),
     }
+}
+
+/// Parses `--metric` (default euclidean) against the registered names.
+fn parse_metric(args: &Args) -> Result<VectorMetric, Box<dyn std::error::Error>> {
+    let raw = args.string_or("metric", "euclidean");
+    VectorMetric::parse(&raw).ok_or_else(|| {
+        format!(
+            "unknown --metric '{raw}' (expected one of {})",
+            VectorMetric::NAMES.join("|")
+        )
+        .into()
+    })
+}
+
+/// Resolves the index choice for a metric: tree and VA-file page bounds
+/// are Euclidean geometry, so every other metric must run on a sequential
+/// scan. The default flips from `default_index` to `scan` accordingly; an
+/// explicit incompatible `--index` is an error rather than a silent
+/// wrong-answer run.
+fn resolve_index_for_metric(
+    args: &Args,
+    metric: VectorMetric,
+    default_index: &str,
+) -> Result<String, Box<dyn std::error::Error>> {
+    if metric == VectorMetric::Euclidean {
+        return Ok(args.string_or("index", default_index));
+    }
+    let which = args.string_or("index", "scan");
+    if which != "scan" {
+        return Err(format!(
+            "--metric {} requires --index scan: the {which} index prunes with \
+             Euclidean page bounds",
+            metric.name()
+        )
+        .into());
+    }
+    Ok(which)
 }
 
 /// An access method plus the database laid out for it.
@@ -112,10 +156,11 @@ pub fn query(args: &Args) -> CmdResult {
         return Err(format!("--object {object_id} out of range").into());
     }
     let q = stored.object(ObjectId(object_id)).clone();
-    let which = args.string_or("index", "xtree");
+    let metric_choice = parse_metric(args)?;
+    let which = resolve_index_for_metric(args, metric_choice, "xtree")?;
     let dim = q.dim();
     let model = CostModel::paper_1999(dim);
-    let metric = CountingMetric::new(Euclidean);
+    let metric = CountingMetric::new(metric_choice);
 
     let (answers, stats) = if which == "vafile" {
         let ds = stored.to_dataset();
@@ -142,7 +187,10 @@ pub fn query(args: &Args) -> CmdResult {
         (answers, probe.finish(&disk, Default::default()))
     };
 
-    println!("{qtype} for O{object_id} via {which}:");
+    println!(
+        "{qtype} for O{object_id} via {which} ({} distance):",
+        metric_choice.name()
+    );
     for a in answers.as_slice() {
         println!("  {}  distance {:.6}", a.id, a.distance);
     }
@@ -161,14 +209,15 @@ pub fn batch(args: &Args) -> CmdResult {
     let n_queries: usize = args.parse_or("queries", 100)?;
     let m: usize = args.parse_or("m", 10)?;
     let seed: u64 = args.parse_or("seed", 1)?;
-    let which = args.string_or("index", "scan");
+    let metric_choice = parse_metric(args)?;
+    let which = resolve_index_for_metric(args, metric_choice, "scan")?;
     let avoidance = !args.has("no-avoidance");
 
     let (index, db) = build_index(&stored, &which)?;
     let dim = db.object(ObjectId(0)).dim();
     let model = CostModel::paper_1999(dim);
     let disk = SimulatedDisk::new(db, 0.10);
-    let metric = CountingMetric::new(Euclidean);
+    let metric = CountingMetric::new(metric_choice);
     let engine = {
         let e = QueryEngine::new(&disk, &*index, metric.clone());
         if avoidance {
@@ -208,7 +257,8 @@ pub fn batch(args: &Args) -> CmdResult {
     let multiple = probe.finish(&disk, Default::default());
 
     println!(
-        "{n_queries} x {qtype} via {which} (avoidance {}):",
+        "{n_queries} x {qtype} via {which} ({} distance, avoidance {}):",
+        metric_choice.name(),
         if avoidance { "on" } else { "off" }
     );
     println!(
@@ -252,7 +302,8 @@ pub fn serve(args: &Args) -> CmdResult {
     use std::sync::Arc;
     let stored = load(args)?;
     let addr = args.string_or("addr", "127.0.0.1:7878");
-    let which = args.string_or("index", "xtree");
+    let metric = parse_metric(args)?;
+    let which = resolve_index_for_metric(args, metric, "xtree")?;
     let store = parse_store(args)?;
     let max_batch: usize = args.parse_or("max-batch", 16)?;
     let max_wait_ms: u64 = args.parse_or("max-wait-ms", 20)?;
@@ -282,7 +333,8 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_workers(workers)
         .with_retry_budget(retry_budget)
         .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
-        .with_store(store.clone());
+        .with_store(store.clone())
+        .with_metric(metric);
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }

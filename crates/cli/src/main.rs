@@ -2,11 +2,12 @@
 //! engine.
 //!
 //! ```text
-//! mq generate --kind tycho|image --n 50000 --seed 7 --out stars.mqdb
-//! mq info stars.mqdb
-//! mq query stars.mqdb --object 42 --knn 10 [--index scan|xtree|mtree|vafile]
-//! mq batch stars.mqdb --queries 100 --m 50 --knn 10 [--index ...]
-//! mq dbscan stars.mqdb --eps 0.3 --min-pts 5 [--batch 64]
+//! mq generate --kind tycho|image|embeddings --n 50000 --seed 7 --out db.mqdb
+//! mq info db.mqdb
+//! mq query db.mqdb --object 42 --knn 10 [--index scan|xtree|mtree|vafile]
+//!                  [--metric euclidean|manhattan|cosine|dot]
+//! mq batch db.mqdb --queries 100 --m 50 --knn 10 [--index ...] [--metric ...]
+//! mq dbscan db.mqdb --eps 0.3 --min-pts 5 [--batch 64]
 //! ```
 
 mod args;
@@ -18,24 +19,31 @@ const USAGE: &str = "\
 mquery — multiple similarity queries for mining in metric databases (ICDE 2000)
 
 USAGE:
-  mq generate --kind tycho|image --n <N> [--seed <S>] --out <FILE>
+  mq generate --kind tycho|image|embeddings --n <N> [--seed <S>] --out <FILE>
       Generate a synthetic database and save it (binary .mqdb format).
+      --kind embeddings produces clustered unit-norm 32-d vectors (a
+      retrieval-embedding workload for the cosine/dot metrics).
 
   mq info <FILE>
       Show object/page statistics of a saved database.
 
   mq query <FILE> --object <ID> (--knn <K> | --range <EPS>)
                 [--index scan|xtree|mtree|vafile]
+                [--metric euclidean|manhattan|cosine|dot]
       Run one similarity query and print answers plus cost counters.
+      Non-Euclidean metrics require --index scan (tree and VA-file page
+      bounds are Euclidean geometry).
 
   mq batch <FILE> --queries <N> --m <M> (--knn <K> | --range <EPS>)
-                [--index scan|xtree|mtree] [--seed <S>] [--no-avoidance]
+                [--index scan|xtree|mtree] [--metric ...] [--seed <S>]
+                [--no-avoidance]
       Run N random queries in blocks of M and compare against singles.
 
   mq dbscan <FILE> --eps <EPS> --min-pts <P> [--batch <M>]
       Density-based clustering with single or multiple queries.
 
   mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree]
+                [--metric euclidean|manhattan|cosine|dot]
                 [--store sim|file:<DIR>] [--max-batch <M>] [--max-wait-ms <MS>]
                 [--cluster <S>] [--threads <T>] [--prefetch-depth <D>]
                 [--leader fifo|nearest] [--workers <W>] [--no-avoidance]
@@ -49,7 +57,10 @@ USAGE:
       evaluation; --leader picks which pending query leads each step
       (nearest = nearest-neighbor chains over the inter-query distance
       matrix); --workers the number of scheduler threads executing
-      flushed batches.
+      flushed batches. --metric selects the distance the engines
+      evaluate (non-Euclidean metrics require --index scan); clients
+      receive distances under the server's configured metric — e.g.
+      serve an embeddings database with --metric cosine --index scan.
 
   mq insert <STOREDIR> --vector 1.0,2.0,... [--checkpoint true]
       Append one object to a durable file store: WAL append + fsync,
@@ -62,13 +73,23 @@ USAGE:
 
   mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
   mq client [--addr 127.0.0.1:7878] --stats true
-      Query a running server, or fetch its batching counters.
+      Query a running server, or fetch its batching counters. Answer
+      distances use the server's configured --metric (euclidean,
+      manhattan, cosine, or dot); under dot the \"distances\" are negated
+      inner products, so --range accepts negative thresholds.
 
   mq stats [<ADDR>] [--addr 127.0.0.1:7878]
       Scrape a running server's metric registry (Prometheus text
       exposition): distance calculations performed vs. avoided, buffer
       and prefetch hit ratios, batch-size and queue-wait histograms,
       per-worker pool counters, per-partition cluster counters.
+
+GLOBAL OPTIONS:
+  --simd off|sse2|avx2|neon|auto
+      Pin the distance-kernel SIMD dispatch tier (default: runtime CPU
+      detection; the MQ_SIMD environment variable is the same knob).
+      Every tier returns bit-identical distances — this only trades
+      speed, never answers.
 ";
 
 fn main() {
@@ -79,6 +100,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Global `--simd` override, equivalent to the MQ_SIMD environment
+    // variable: pin the distance-kernel dispatch tier before any command
+    // touches a metric. Answers are bit-identical across tiers; this knob
+    // exists for benchmarking and for ruling the kernels out when
+    // debugging.
+    if args.has("simd") {
+        let raw = args.string_or("simd", "auto");
+        match mq_metric::SimdLevel::parse(&raw) {
+            Ok(Some(level)) => {
+                mq_metric::kernel::force(level);
+            }
+            Ok(None) => {} // auto: keep runtime detection
+            Err(e) => {
+                eprintln!("error: --simd: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "info" => commands::info(&args),

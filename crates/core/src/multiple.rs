@@ -600,6 +600,19 @@ where
     };
     session.last_leader = Some(head);
 
+    // Capability-gated execution: a distance function without the
+    // triangle inequality (e.g. dot product) makes §5.2 avoidance
+    // unsound, so mask it off here — every evaluation site below receives
+    // this masked copy. Signed distances additionally make `0` useless as
+    // a page lower bound: `plan_bound` widens the planning/pruning bound
+    // to ∞ so no page (or trailing query) is wrongly pruned against a
+    // negative query distance, while answer insertion and `distance_le`
+    // still use the real (possibly negative) bounds.
+    let mut options = options;
+    options.avoidance &= metric.supports_triangle_avoidance();
+    let nonneg = metric.nonnegative();
+    let plan_bound = move |qd: f64| if nonneg { qd } else { f64::INFINITY };
+
     // Observability is strictly read-only over the step: it duplicates
     // counter deltas and wall-clock spans into the recorder's registry and
     // never feeds anything back, so answers, AvoidanceStats and IoStats
@@ -645,7 +658,7 @@ where
         let head_state = &states[head];
         let head_dist = head_state.answers.query_dist(&head_state.qtype);
         while window.len() < options.prefetch_depth + 1 {
-            let Some((page_id, lb)) = plan.next(head_dist) else {
+            let Some((page_id, lb)) = plan.next(plan_bound(head_dist)) else {
                 break;
             };
             if states[head].processed.contains(page_id) {
@@ -664,7 +677,7 @@ where
         let Some((page_id, lb)) = window.pop_front() else {
             break;
         };
-        if lb > head_dist {
+        if lb > plan_bound(head_dist) {
             // The query distance shrank below this staged page's lower
             // bound: a fresh plan would prune it, and every remaining
             // window entry has an even larger bound. Terminate exactly
@@ -684,7 +697,7 @@ where
                 continue;
             }
             let qd = st.answers.query_dist(&st.qtype);
-            if index.page_mindist(&objects[i], page_id) <= qd {
+            if index.page_mindist(&objects[i], page_id) <= plan_bound(qd) {
                 active.push(i);
                 qd_snapshot.push(qd);
             }

@@ -50,6 +50,17 @@ impl EngineObs {
     /// recorder is disabled.
     pub fn new(recorder: &Recorder) -> Option<Arc<Self>> {
         let registry = recorder.registry()?;
+        // Info-style gauge: constant 1, the payload is the label. Scrapes
+        // can tell which distance-kernel tier this process dispatches to
+        // (scalar / sse2 / avx2 / neon) without guessing from the host.
+        registry
+            .gauge(
+                "mq_core_simd_dispatch_info",
+                "Distance-kernel SIMD dispatch tier selected at startup \
+                 (constant 1; the tier is the 'level' label)",
+                &[("level", mq_metric::kernel::active().name())],
+            )
+            .set(1);
         let dist = |outcome: &str| {
             registry.counter(
                 "mq_core_distance_calculations_total",

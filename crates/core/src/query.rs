@@ -28,10 +28,14 @@ pub struct QueryType {
 impl QueryType {
     /// A range query: `range = ε`, `cardinality = +∞` (Definition 2).
     ///
+    /// A negative `ε` is allowed: signed ranking functions (dot product)
+    /// express "score at least `−ε`" thresholds that way. For genuine
+    /// metrics a negative range simply matches nothing.
+    ///
     /// # Panics
-    /// Panics if `epsilon` is negative or NaN.
+    /// Panics if `epsilon` is NaN.
     pub fn range(epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0, "query range must be non-negative");
+        assert!(!epsilon.is_nan(), "query range must not be NaN");
         Self {
             range: epsilon,
             cardinality: usize::MAX,
@@ -57,10 +61,10 @@ impl QueryType {
     /// `epsilon`.
     ///
     /// # Panics
-    /// Panics if `k` is zero or `epsilon` is negative or NaN.
+    /// Panics if `k` is zero or `epsilon` is NaN.
     pub fn bounded_knn(k: usize, epsilon: f64) -> Self {
         assert!(k > 0, "k must be positive");
-        assert!(epsilon >= 0.0, "query range must be non-negative");
+        assert!(!epsilon.is_nan(), "query range must not be NaN");
         Self {
             range: epsilon,
             cardinality: k,
@@ -133,8 +137,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn negative_range_rejected() {
-        let _ = QueryType::range(-1.0);
+    #[should_panic(expected = "NaN")]
+    fn nan_range_rejected() {
+        let _ = QueryType::range(f64::NAN);
+    }
+
+    #[test]
+    fn negative_range_allowed_for_signed_scores() {
+        // Dot-product thresholds are negative for similar pairs; the
+        // constructor must accept them (a metric just matches nothing).
+        let t = QueryType::range(-3.5);
+        assert_eq!(t.initial_query_dist(), -3.5);
     }
 }

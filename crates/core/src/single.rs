@@ -70,9 +70,15 @@ where
 {
     let mut answers = AnswerList::new(qtype);
     let mut plan = index.plan(query);
+    // Signed distances (e.g. dot product) make `0` useless as a page
+    // lower bound: widen the planning bound to ∞ so no page is pruned
+    // against a negative query distance. Answer filtering below still
+    // uses the real bound.
+    let nonneg = metric.nonnegative();
     loop {
         let query_dist = answers.query_dist(qtype);
-        let Some((page_id, _lower_bound)) = plan.next(query_dist) else {
+        let plan_dist = if nonneg { query_dist } else { f64::INFINITY };
+        let Some((page_id, _lower_bound)) = plan.next(plan_dist) else {
             break;
         };
         let page = fault::read_page_with_retry(disk, page_id, policy)?;

@@ -1,0 +1,215 @@
+//! End-to-end correctness of the engine under non-Euclidean metrics:
+//! cosine (a pseudo-metric with sound triangle avoidance) and dot product
+//! (a signed, non-metric ranking function).
+//!
+//! Dot product exercises the two capability gates wired through the
+//! engine: avoidance must be masked off (`supports_triangle_avoidance` is
+//! false, and applying §5.2 would silently drop answers) and planning
+//! bounds must widen to ∞ (`nonnegative` is false, and a LinearScan's
+//! page lower bound of 0 would otherwise prune everything once the query
+//! distance of a k-NN answer list goes negative).
+
+use mq_core::single::similarity_query;
+use mq_core::{Answer, EngineOptions, QueryEngine, QueryType};
+use mq_index::LinearScan;
+use mq_metric::{CountingMetric, Metric, Vector, VectorMetric};
+use mq_storage::{Dataset, PageLayout, PagedDatabase, SimulatedDisk};
+
+/// Deterministic pseudo-random cloud (same xorshift as the equivalence
+/// suites), centered so dot products take both signs.
+fn cloud(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 * 100.0 - 50.0
+    };
+    (0..n)
+        .map(|_| Vector::new((0..dim).map(|_| next()).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// The ground truth for one query: every (id, distance) pair, sorted by
+/// ascending distance with ids breaking ties.
+fn brute_force(points: &[Vector], metric: &VectorMetric, query: &Vector) -> Vec<(u64, f64)> {
+    let mut all: Vec<(u64, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, metric.distance(query, p)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all
+}
+
+fn sorted_pairs(answers: &[Answer]) -> Vec<(u64, u64)> {
+    let mut got: Vec<(u64, u64)> = answers
+        .iter()
+        .map(|a| (a.id.0 as u64, a.distance.to_bits()))
+        .collect();
+    got.sort_unstable();
+    got
+}
+
+fn check_knn(got: &[Answer], truth: &[(u64, f64)], k: usize, what: &str) {
+    assert_eq!(got.len(), k.min(truth.len()), "{what}: answer count");
+    let want: Vec<(u64, u64)> = truth[..got.len()]
+        .iter()
+        .map(|(id, d)| (*id, d.to_bits()))
+        .collect();
+    let mut want = want;
+    want.sort_unstable();
+    assert_eq!(sorted_pairs(got), want, "{what}: k-NN answer set");
+}
+
+/// Runs a batch through the multiple-query engine on a linear scan.
+fn run_engine(
+    points: &[Vector],
+    metric: VectorMetric,
+    queries: &[(Vector, QueryType)],
+    options: EngineOptions,
+) -> (Vec<Vec<Answer>>, mq_core::AvoidanceStats) {
+    let ds = Dataset::new(points.to_vec());
+    let layout = PageLayout::new(1024, 24);
+    let db = PagedDatabase::pack(&ds, layout);
+    let index = LinearScan::new(db.page_count());
+    let disk = SimulatedDisk::with_buffer_pages(db, 4);
+    let engine = QueryEngine::new(&disk, &index, CountingMetric::new(metric)).with_options(options);
+    let mut session = engine.new_session(queries.to_vec());
+    engine.run_to_completion(&mut session);
+    let stats = session.avoidance_stats();
+    (session.into_answers(), stats)
+}
+
+#[test]
+fn dot_product_knn_matches_brute_force_single_and_batched() {
+    let points = cloud(400, 8, 0xD07);
+    let metric = VectorMetric::Dot;
+    let queries: Vec<(Vector, QueryType)> = (0..5)
+        .map(|i| (points[i * 37].clone(), QueryType::knn(7)))
+        .collect();
+
+    // Single-query path.
+    let ds = Dataset::new(points.clone());
+    let db = PagedDatabase::pack(&ds, PageLayout::new(1024, 24));
+    let index = LinearScan::new(db.page_count());
+    let disk = SimulatedDisk::with_buffer_pages(db, 4);
+    for (q, _) in &queries {
+        let answers = similarity_query(&disk, &index, &metric, q, &QueryType::knn(7));
+        let truth = brute_force(&points, &metric, q);
+        check_knn(answers.as_slice(), &truth, 7, "single dot knn");
+        // Signed scores: the nearest neighbors of an in-database query
+        // must have negative "distance" (large positive dot products).
+        assert!(
+            answers.as_slice().iter().any(|a| a.distance < 0.0),
+            "dot-product distances should go negative on this cloud"
+        );
+    }
+
+    // Batched path, with avoidance *requested* — the engine must mask it.
+    let (answers, stats) = run_engine(
+        &points,
+        metric,
+        &queries,
+        EngineOptions {
+            avoidance: true,
+            ..Default::default()
+        },
+    );
+    for ((q, _), got) in queries.iter().zip(&answers) {
+        let truth = brute_force(&points, &metric, q);
+        check_knn(got, &truth, 7, "batched dot knn");
+    }
+    assert_eq!(
+        stats.tries, 0,
+        "triangle avoidance must be disabled for a non-metric distance"
+    );
+    assert_eq!(stats.avoided, 0, "no distance may be 'avoided' unsoundly");
+}
+
+#[test]
+fn dot_product_range_query_with_negative_radius() {
+    let points = cloud(300, 6, 0xBEEF);
+    let metric = VectorMetric::Dot;
+    let query = points[11].clone();
+    let truth = brute_force(&points, &metric, &query);
+    // A threshold strictly inside the score distribution — negative, so
+    // it only matches high-dot-product objects.
+    let radius = truth[20].1;
+    assert!(radius < 0.0, "threshold should be negative on this cloud");
+    let (answers, _) = run_engine(
+        &points,
+        metric,
+        &[(query.clone(), QueryType::range(radius))],
+        EngineOptions::default(),
+    );
+    let want: Vec<(u64, u64)> = truth
+        .iter()
+        .filter(|(_, d)| *d <= radius)
+        .map(|(id, d)| (*id, d.to_bits()))
+        .collect();
+    let mut want = want;
+    want.sort_unstable();
+    assert_eq!(sorted_pairs(&answers[0]), want, "dot range answer set");
+}
+
+#[test]
+fn cosine_knn_matches_brute_force_and_keeps_avoidance() {
+    let points = cloud(400, 8, 0xC05);
+    let metric = VectorMetric::Cosine;
+    let queries: Vec<(Vector, QueryType)> = (0..6)
+        .map(|i| (points[i * 31].clone(), QueryType::knn(5)))
+        .collect();
+    let (answers, stats) = run_engine(
+        &points,
+        metric,
+        &queries,
+        EngineOptions {
+            avoidance: true,
+            ..Default::default()
+        },
+    );
+    for ((q, _), got) in queries.iter().zip(&answers) {
+        let truth = brute_force(&points, &metric, q);
+        check_knn(got, &truth, 5, "batched cosine knn");
+    }
+    // Cosine (angular) is a genuine pseudo-metric: avoidance stays on and
+    // should fire on a multi-query batch over shared pages.
+    assert!(
+        stats.tries > 0,
+        "cosine keeps triangle avoidance enabled (got {stats:?})"
+    );
+}
+
+#[test]
+fn euclidean_behaviour_unchanged_by_capability_gates() {
+    // Regression guard: for a nonnegative metric the plan-bound clamp is
+    // the identity and answers must match the dedicated brute force.
+    let points = cloud(250, 4, 0xE0C);
+    let metric = VectorMetric::Euclidean;
+    let queries: Vec<(Vector, QueryType)> = vec![
+        (points[3].clone(), QueryType::knn(9)),
+        (points[99].clone(), QueryType::range(40.0)),
+    ];
+    let (answers, stats) = run_engine(
+        &points,
+        metric,
+        &queries,
+        EngineOptions {
+            avoidance: true,
+            ..Default::default()
+        },
+    );
+    let truth = brute_force(&points, &metric, &queries[0].0);
+    check_knn(&answers[0], &truth, 9, "euclidean knn");
+    let truth_range = brute_force(&points, &metric, &queries[1].0);
+    let want: Vec<(u64, u64)> = truth_range
+        .iter()
+        .filter(|(_, d)| *d <= 40.0)
+        .map(|(id, d)| (*id, d.to_bits()))
+        .collect();
+    let mut want = want;
+    want.sort_unstable();
+    assert_eq!(sorted_pairs(&answers[1]), want, "euclidean range");
+    assert!(stats.tries > 0, "avoidance still active for Euclidean");
+}

@@ -1,0 +1,122 @@
+//! Embedding-like workload: clustered unit-norm vectors.
+//!
+//! Learned text/image embeddings are (a) L2-normalized, so cosine and dot
+//! product rank identically on them, and (b) strongly clustered around
+//! semantic topics. This generator reproduces both properties: cluster
+//! centers are drawn uniformly on the unit sphere, members are perturbed
+//! Gaussians around a center, and every vector is normalized back onto the
+//! sphere. The result exercises the cosine/dot metric paths the way a real
+//! retrieval corpus would.
+
+use crate::clustered::standard_normal;
+use mq_metric::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws one point uniformly on the unit sphere in `dim` dimensions
+/// (normalized isotropic Gaussian).
+fn unit_sphere(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        // A zero draw is astronomically unlikely but would divide by zero.
+        if norm > 1e-12 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+/// `n` unit-norm `dim`-dimensional vectors clustered around `k` topics:
+/// each vector is a Gaussian perturbation (`spread` per dimension) of a
+/// uniformly-drawn unit-sphere center, re-normalized to length 1. Returns
+/// the vectors and the generating topic of each. Fully seeded.
+pub fn embeddings_config(
+    n: usize,
+    dim: usize,
+    k: usize,
+    spread: f64,
+    seed: u64,
+) -> (Vec<Vector>, Vec<usize>) {
+    assert!(dim > 0, "dimensionality must be positive");
+    assert!(k > 0, "need at least one topic");
+    assert!(spread >= 0.0, "spread must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k).map(|_| unit_sphere(&mut rng, dim)).collect();
+    let mut vectors = Vec::with_capacity(n);
+    let mut topics = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = rng.random_range(0..k);
+        let raw: Vec<f64> = centers[t]
+            .iter()
+            .map(|&mu| mu + spread * standard_normal(&mut rng))
+            .collect();
+        let norm = raw.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        vectors.push(Vector::new(
+            raw.into_iter()
+                .map(|x| (x / norm) as f32)
+                .collect::<Vec<_>>(),
+        ));
+        topics.push(t);
+    }
+    (vectors, topics)
+}
+
+/// [`embeddings_config`] with the default embedding shape: 32 dimensions,
+/// 16 topics, spread 0.15 — tight enough that nearest neighbors under
+/// cosine distance overwhelmingly share a topic.
+pub fn embeddings(n: usize, seed: u64) -> Vec<Vector> {
+    embeddings_config(n, 32, 16, 0.15, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_metric::{Cosine, Metric};
+
+    #[test]
+    fn shape_and_reproducibility() {
+        let (a, ta) = embeddings_config(300, 16, 8, 0.1, 42);
+        let (b, tb) = embeddings_config(300, 16, 8, 0.1, 42);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+        assert_eq!(a.len(), 300);
+        assert!(a.iter().all(|v| v.dim() == 16));
+        assert!(ta.iter().all(|&t| t < 8));
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        for v in embeddings(200, 7) {
+            let norm: f64 = v
+                .components()
+                .iter()
+                .map(|&c| c as f64 * c as f64)
+                .sum::<f64>()
+                .sqrt();
+            assert!((norm - 1.0).abs() < 1e-3, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn same_topic_pairs_are_closer_under_cosine() {
+        let (v, topic) = embeddings_config(400, 16, 6, 0.1, 11);
+        let mut intra = (0.0, 0u32);
+        let mut cross = (0.0, 0u32);
+        for i in (0..v.len()).step_by(7) {
+            for j in (0..v.len()).step_by(13) {
+                if i == j {
+                    continue;
+                }
+                let d = Cosine.distance(&v[i], &v[j]);
+                if topic[i] == topic[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f64;
+        let cross = cross.0 / cross.1 as f64;
+        assert!(intra * 2.0 < cross, "intra {intra} vs cross {cross}");
+    }
+}

@@ -18,6 +18,10 @@
 //!   projected onto the probability simplex (non-negative, unit sum), with
 //!   a configurable number of clusters.
 //!
+//! Beyond the paper's two databases, [`embeddings::embeddings`] generates
+//! clustered unit-norm vectors shaped like learned retrieval embeddings,
+//! the natural workload for the cosine and dot-product metrics.
+//!
 //! Both are fully seeded and reproducible. [`labels`] assigns class labels
 //! for the classification experiment, [`workload`] generates the two §6
 //! query workloads (independent classification queries; the parameters of
@@ -25,6 +29,7 @@
 //! edit-distance web-session data for the non-vector metric case of §1.
 
 pub mod clustered;
+pub mod embeddings;
 pub mod histogram;
 pub mod labels;
 pub mod sessions;
@@ -32,6 +37,7 @@ pub mod tycho;
 pub mod uniform;
 pub mod workload;
 
+pub use embeddings::{embeddings, embeddings_config};
 pub use histogram::{image_histograms, image_histograms_config};
 pub use labels::assign_labels;
 pub use tycho::{tycho_like, tycho_like_dim};

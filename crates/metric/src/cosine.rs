@@ -1,0 +1,255 @@
+//! Embedding-workload distances: cosine (angular) distance and negated
+//! dot product, both built on the dispatched inner-product kernel.
+
+use std::f64::consts::FRAC_PI_2;
+
+use crate::distance::Metric;
+use crate::euclidean::{check_batch, check_dims};
+use crate::kernel::{self, SimdLevel};
+use crate::object::Vector;
+
+/// The angular form of a dot-product / norm ratio:
+/// `acos(clamp(dot / (‖a‖·‖b‖), −1, 1))`, with zero-norm conventions.
+#[inline]
+fn angular(dot: f64, a_sq: f64, b_sq: f64) -> f64 {
+    // A zero vector has no direction. Two zero vectors are "the same
+    // direction" (distance 0); one zero vector is treated as orthogonal
+    // to everything (π/2), keeping the function symmetric and bounded.
+    let a_zero = a_sq <= 0.0;
+    let b_zero = b_sq <= 0.0;
+    if a_zero && b_zero {
+        return 0.0;
+    }
+    if a_zero || b_zero {
+        return FRAC_PI_2;
+    }
+    let cos = (dot / (a_sq.sqrt() * b_sq.sqrt())).clamp(-1.0, 1.0);
+    cos.acos()
+}
+
+/// The cosine distance in its *angular* form: `acos` of the cosine
+/// similarity, in radians (`[0, π]`).
+///
+/// The angular form — unlike `1 − cos` — satisfies the triangle
+/// inequality on the unit sphere, so §5.2 avoidance and triangle-based
+/// pruning stay sound. On all of `ℝⁿ` it is a pseudo-metric (identity
+/// fails between parallel vectors of different length), the same caveat
+/// [`WeightedEuclidean`](crate::WeightedEuclidean) documents: the engine
+/// only needs symmetry and the triangle inequality, which always hold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Cosine {
+    #[inline]
+    fn distance_at(level: SimdLevel, a: &Vector, b: &Vector) -> f64 {
+        let (xs, ys) = (a.components(), b.components());
+        angular(
+            kernel::dot_at(level, xs, ys),
+            kernel::dot_at(level, xs, xs),
+            kernel::dot_at(level, ys, ys),
+        )
+    }
+}
+
+impl Metric<Vector> for Cosine {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        Self::distance_at(kernel::active(), a, b)
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        let level = kernel::active();
+        let q = query.components();
+        // Hoist the query's self inner product: `dot(q, q)` is the same
+        // bits no matter which pair it is computed for, so hoisting keeps
+        // batch results identical to the pairwise path.
+        let q_sq = kernel::dot_at(level, q, q);
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            let o = object.components();
+            *slot = angular(
+                kernel::dot_at(level, q, o),
+                q_sq,
+                kernel::dot_at(level, o, o),
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cosine"
+    }
+}
+
+/// Negated dot product: `distance(a, b) = −⟨a, b⟩`, so that *smaller is
+/// more similar* like every other distance here and k-NN returns the
+/// highest-dot-product neighbors.
+///
+/// This is a ranking function, **not** a metric: distances can be
+/// negative and the triangle inequality does not hold. It reports
+/// [`supports_triangle_avoidance`](Metric::supports_triangle_avoidance)
+/// and [`nonnegative`](Metric::nonnegative) as `false`, which makes the
+/// query engine disable §5.2 avoidance and zero-based pruning bounds and
+/// evaluate candidate pages exhaustively. Metric *indexes* (M-tree)
+/// cannot serve it — use a linear scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DotProduct;
+
+impl Metric<Vector> for DotProduct {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        check_dims(a, b);
+        -kernel::dot(a.components(), b.components())
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        let level = kernel::active();
+        let q = query.components();
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = -kernel::dot_at(level, q, object.components());
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dot"
+    }
+
+    fn supports_triangle_avoidance(&self) -> bool {
+        false
+    }
+
+    fn nonnegative(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(cs: &[f32]) -> Vector {
+        Vector::new(cs.to_vec())
+    }
+
+    fn pseudo(dim: usize, seed: u32) -> Vector {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let cs: Vec<f32> = (0..dim)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 20) as f32 - 8.0
+            })
+            .collect();
+        Vector::new(cs)
+    }
+
+    #[test]
+    fn cosine_basic_angles() {
+        let x = v(&[1.0, 0.0]);
+        let y = v(&[0.0, 1.0]);
+        let neg_x = v(&[-2.0, 0.0]);
+        assert!(Cosine.distance(&x, &x).abs() < 1e-12);
+        assert!((Cosine.distance(&x, &y) - FRAC_PI_2).abs() < 1e-12);
+        assert!((Cosine.distance(&x, &neg_x) - std::f64::consts::PI).abs() < 1e-12);
+        // Scale invariance: the angle ignores magnitude.
+        let x_scaled = v(&[7.5, 0.0]);
+        assert_eq!(
+            Cosine.distance(&x, &y).to_bits(),
+            Cosine.distance(&x_scaled, &y).to_bits()
+        );
+    }
+
+    #[test]
+    fn cosine_zero_vector_conventions() {
+        let z = v(&[0.0, 0.0]);
+        let x = v(&[1.0, 0.0]);
+        assert_eq!(Cosine.distance(&z, &z), 0.0);
+        assert_eq!(Cosine.distance(&z, &x), FRAC_PI_2);
+        assert_eq!(Cosine.distance(&x, &z), FRAC_PI_2);
+    }
+
+    #[test]
+    fn cosine_symmetric_and_bounded() {
+        for seed in 0..16 {
+            let a = pseudo(20, seed);
+            let b = pseudo(20, 100 + seed);
+            let d_ab = Cosine.distance(&a, &b);
+            let d_ba = Cosine.distance(&b, &a);
+            assert_eq!(d_ab.to_bits(), d_ba.to_bits());
+            assert!((0.0..=std::f64::consts::PI).contains(&d_ab));
+        }
+    }
+
+    #[test]
+    fn cosine_triangle_inequality_on_sample() {
+        for seed in 0..12 {
+            let a = pseudo(16, seed);
+            let b = pseudo(16, 50 + seed);
+            let c = pseudo(16, 200 + seed);
+            let ab = Cosine.distance(&a, &b);
+            let bc = Cosine.distance(&b, &c);
+            let ac = Cosine.distance(&a, &c);
+            assert!(ac <= ab + bc + 1e-12, "triangle violated: {ac} > {ab}+{bc}");
+        }
+    }
+
+    #[test]
+    fn cosine_batch_bit_equal_to_pairwise() {
+        for dim in [1, 2, 3, 4, 5, 16, 20, 63, 64, 65] {
+            let query = pseudo(dim, 7);
+            let objects: Vec<Vector> = (0..13).map(|i| pseudo(dim, 300 + i)).collect();
+            let refs: Vec<&Vector> = objects.iter().collect();
+            let mut out = vec![f64::NAN; refs.len()];
+            Cosine.distance_batch(&query, &refs, &mut out);
+            for (object, d) in objects.iter().zip(&out) {
+                assert_eq!(d.to_bits(), Cosine.distance(&query, object).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_negated_inner_product() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        let b = v(&[4.0, -5.0, 6.0]);
+        assert!((DotProduct.distance(&a, &b) - -(4.0 - 10.0 + 18.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_batch_and_le_bit_equal_to_pairwise() {
+        for dim in [1, 4, 20, 64, 65] {
+            let query = pseudo(dim, 9);
+            let objects: Vec<Vector> = (0..13).map(|i| pseudo(dim, 400 + i)).collect();
+            let refs: Vec<&Vector> = objects.iter().collect();
+            let mut out = vec![f64::NAN; refs.len()];
+            DotProduct.distance_batch(&query, &refs, &mut out);
+            for (object, d) in objects.iter().zip(&out) {
+                let want = DotProduct.distance(&query, object);
+                assert_eq!(d.to_bits(), want.to_bits());
+                // Negative bounds are meaningful for signed scores.
+                assert_eq!(
+                    DotProduct.distance_le(&query, object, want),
+                    Some(want),
+                    "exact bound must admit"
+                );
+                assert_eq!(
+                    DotProduct
+                        .distance_le(
+                            &query,
+                            object,
+                            f64::from_bits(want.to_bits().wrapping_sub(1))
+                        )
+                        .is_some(),
+                    want <= f64::from_bits(want.to_bits().wrapping_sub(1)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(Cosine.supports_triangle_avoidance());
+        assert!(Cosine.nonnegative());
+        assert!(!DotProduct.supports_triangle_avoidance());
+        assert!(!DotProduct.nonnegative());
+    }
+}

@@ -111,6 +111,14 @@ impl<O: ?Sized, M: Metric<O>> Metric<O> for CountingMetric<M> {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn supports_triangle_avoidance(&self) -> bool {
+        self.inner.supports_triangle_avoidance()
+    }
+
+    fn nonnegative(&self) -> bool {
+        self.inner.nonnegative()
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,27 @@ pub trait Metric<O: ?Sized>: Send + Sync {
     fn name(&self) -> &str {
         "metric"
     }
+
+    /// Whether the triangle inequality holds, making §5.2 distance-
+    /// calculation avoidance and triangle-based index pruning sound.
+    ///
+    /// Defaults to `true` (the trait's contract). Similarity functions
+    /// that are *not* metrics — e.g. [`DotProduct`](crate::DotProduct) —
+    /// return `false`, and the query engine then disables avoidance and
+    /// falls back to exhaustive page evaluation for correctness.
+    fn supports_triangle_avoidance(&self) -> bool {
+        true
+    }
+
+    /// Whether `distance` is guaranteed non-negative for all inputs.
+    ///
+    /// Defaults to `true`. Ranking functions with signed scores (again
+    /// [`DotProduct`](crate::DotProduct)) return `false`; the engine then
+    /// stops treating `0` as a universal lower bound when planning page
+    /// visits and pruning.
+    fn nonnegative(&self) -> bool {
+        true
+    }
 }
 
 impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for &M {
@@ -82,6 +103,14 @@ impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for &M {
     fn name(&self) -> &str {
         (**self).name()
     }
+
+    fn supports_triangle_avoidance(&self) -> bool {
+        (**self).supports_triangle_avoidance()
+    }
+
+    fn nonnegative(&self) -> bool {
+        (**self).nonnegative()
+    }
 }
 
 impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for std::sync::Arc<M> {
@@ -102,6 +131,14 @@ impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for std::sync::Arc<M> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn supports_triangle_avoidance(&self) -> bool {
+        (**self).supports_triangle_avoidance()
+    }
+
+    fn nonnegative(&self) -> bool {
+        (**self).nonnegative()
     }
 }
 

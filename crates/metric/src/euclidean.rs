@@ -1,11 +1,16 @@
 //! Minkowski-family vector distances: Euclidean, weighted Euclidean,
 //! Manhattan, Chebyshev and general Lp.
+//!
+//! The arithmetic lives in [`crate::kernel`], which dispatches at runtime
+//! between blocked scalar and SIMD tiers that are bit-identical by
+//! construction. Batch loops hoist the dispatch decision once per batch.
 
 use crate::distance::Metric;
+use crate::kernel::{self, EARLY_EXIT_SLACK};
 use crate::object::Vector;
 
 #[inline]
-fn check_dims(a: &Vector, b: &Vector) {
+pub(crate) fn check_dims(a: &Vector, b: &Vector) {
     assert_eq!(
         a.dim(),
         b.dim(),
@@ -16,7 +21,7 @@ fn check_dims(a: &Vector, b: &Vector) {
 }
 
 #[inline]
-fn check_batch(query: &Vector, objects: &[&Vector], out: &[f64]) {
+pub(crate) fn check_batch(query: &Vector, objects: &[&Vector], out: &[f64]) {
     assert_eq!(
         objects.len(),
         out.len(),
@@ -29,158 +34,6 @@ fn check_batch(query: &Vector, objects: &[&Vector], out: &[f64]) {
     }
 }
 
-/// Number of independent accumulators in the blocked kernels. Four f64
-/// lanes match a 256-bit vector register and break the loop-carried
-/// addition dependency so the compiler can auto-vectorize.
-const LANES: usize = 4;
-
-/// Relative slack applied to the squared bound before the early-exit
-/// comparison in the L2 kernels. A partial sum can only exceed
-/// `bound² · SLACK` if the true distance exceeds `bound` by well over the
-/// combined rounding error of the squaring and the square root, so the
-/// early verdict always agrees with the full computation.
-const EARLY_EXIT_SLACK: f64 = 1.0 + 1e-9;
-
-/// Fixed reduction tree over the lane accumulators. Every kernel — full,
-/// batched, and early-exit — reduces through the same tree so results stay
-/// bit-identical no matter which code path computed them.
-#[inline]
-fn combine(acc: [f64; LANES]) -> f64 {
-    (acc[0] + acc[1]) + (acc[2] + acc[3])
-}
-
-/// Blocked sum of squared differences. For `dim < LANES` this degenerates
-/// to the plain sequential sum (the chunked loop body never runs and
-/// `combine` contributes an exact `0.0`).
-#[inline]
-fn l2_sq_blocked(xs: &[f32], ys: &[f32]) -> f64 {
-    let mut acc = [0.0f64; LANES];
-    let mut xc = xs.chunks_exact(LANES);
-    let mut yc = ys.chunks_exact(LANES);
-    for (x, y) in (&mut xc).zip(&mut yc) {
-        for l in 0..LANES {
-            let d = x[l] as f64 - y[l] as f64;
-            acc[l] += d * d;
-        }
-    }
-    let mut tail = 0.0f64;
-    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
-        let d = *x as f64 - *y as f64;
-        tail += d * d;
-    }
-    combine(acc) + tail
-}
-
-/// [`l2_sq_blocked`] with early exit: returns `None` as soon as the partial
-/// sum exceeds `limit`. Sound because floating-point accumulation of
-/// non-negative terms is monotone per lane and `combine` is monotone in
-/// each argument, so any partial reduction lower-bounds the final sum.
-/// When it runs to completion the additions (and therefore the bits) are
-/// identical to [`l2_sq_blocked`].
-#[inline]
-fn l2_sq_le_blocked(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
-    // Check every 4 chunks (16 dimensions): frequent enough to save work
-    // on far-away objects, rare enough not to serialize the lanes.
-    const CHECK_EVERY: u32 = 4;
-    let mut acc = [0.0f64; LANES];
-    let mut xc = xs.chunks_exact(LANES);
-    let mut yc = ys.chunks_exact(LANES);
-    let mut until_check = CHECK_EVERY;
-    for (x, y) in (&mut xc).zip(&mut yc) {
-        for l in 0..LANES {
-            let d = x[l] as f64 - y[l] as f64;
-            acc[l] += d * d;
-        }
-        until_check -= 1;
-        if until_check == 0 {
-            until_check = CHECK_EVERY;
-            if combine(acc) > limit {
-                return None;
-            }
-        }
-    }
-    let mut tail = 0.0f64;
-    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
-        let d = *x as f64 - *y as f64;
-        tail += d * d;
-    }
-    Some(combine(acc) + tail)
-}
-
-/// Blocked weighted sum of squared differences (same structure as
-/// [`l2_sq_blocked`]).
-#[inline]
-fn weighted_l2_sq_blocked(xs: &[f32], ys: &[f32], ws: &[f64]) -> f64 {
-    let mut acc = [0.0f64; LANES];
-    let mut xc = xs.chunks_exact(LANES);
-    let mut yc = ys.chunks_exact(LANES);
-    let mut wc = ws.chunks_exact(LANES);
-    for ((x, y), w) in (&mut xc).zip(&mut yc).zip(&mut wc) {
-        for l in 0..LANES {
-            let d = x[l] as f64 - y[l] as f64;
-            acc[l] += w[l] * d * d;
-        }
-    }
-    let mut tail = 0.0f64;
-    for ((x, y), w) in xc
-        .remainder()
-        .iter()
-        .zip(yc.remainder())
-        .zip(wc.remainder())
-    {
-        let d = *x as f64 - *y as f64;
-        tail += w * d * d;
-    }
-    combine(acc) + tail
-}
-
-/// Blocked sum of absolute differences.
-#[inline]
-fn l1_blocked(xs: &[f32], ys: &[f32]) -> f64 {
-    let mut acc = [0.0f64; LANES];
-    let mut xc = xs.chunks_exact(LANES);
-    let mut yc = ys.chunks_exact(LANES);
-    for (x, y) in (&mut xc).zip(&mut yc) {
-        for l in 0..LANES {
-            acc[l] += (x[l] as f64 - y[l] as f64).abs();
-        }
-    }
-    let mut tail = 0.0f64;
-    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
-        tail += (*x as f64 - *y as f64).abs();
-    }
-    combine(acc) + tail
-}
-
-/// [`l1_blocked`] with early exit once the partial sum exceeds `limit`.
-/// L1 needs no slack: the partial sum lives in the same domain as the
-/// final distance, so `partial > limit` already proves `total > limit`.
-#[inline]
-fn l1_le_blocked(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
-    const CHECK_EVERY: u32 = 4;
-    let mut acc = [0.0f64; LANES];
-    let mut xc = xs.chunks_exact(LANES);
-    let mut yc = ys.chunks_exact(LANES);
-    let mut until_check = CHECK_EVERY;
-    for (x, y) in (&mut xc).zip(&mut yc) {
-        for l in 0..LANES {
-            acc[l] += (x[l] as f64 - y[l] as f64).abs();
-        }
-        until_check -= 1;
-        if until_check == 0 {
-            until_check = CHECK_EVERY;
-            if combine(acc) > limit {
-                return None;
-            }
-        }
-    }
-    let mut tail = 0.0f64;
-    for (x, y) in xc.remainder().iter().zip(yc.remainder()) {
-        tail += (*x as f64 - *y as f64).abs();
-    }
-    Some(combine(acc) + tail)
-}
-
 /// The Euclidean distance (L2) — the paper's default distance function for
 /// both evaluation databases (20-d astronomy vectors, 64-d color histograms).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -190,14 +43,15 @@ impl Metric<Vector> for Euclidean {
     #[inline]
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
-        l2_sq_blocked(a.components(), b.components()).sqrt()
+        kernel::l2_sq(a.components(), b.components()).sqrt()
     }
 
     fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
         check_batch(query, objects, out);
+        let level = kernel::active();
         let q = query.components();
         for (object, slot) in objects.iter().zip(out.iter_mut()) {
-            *slot = l2_sq_blocked(q, object.components()).sqrt();
+            *slot = kernel::l2_sq_at(level, q, object.components()).sqrt();
         }
     }
 
@@ -208,7 +62,7 @@ impl Metric<Vector> for Euclidean {
             return None;
         }
         let limit = (bound * bound) * EARLY_EXIT_SLACK;
-        let total = l2_sq_le_blocked(a.components(), b.components(), limit)?;
+        let total = kernel::l2_sq_le(a.components(), b.components(), limit)?;
         // The early exit is only a conservative filter (see
         // EARLY_EXIT_SLACK); the authoritative verdict uses the full sum
         // and the same sqrt as `distance`, so value and verdict match the
@@ -275,15 +129,16 @@ impl Metric<Vector> for WeightedEuclidean {
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
         self.check_weights(a);
-        weighted_l2_sq_blocked(a.components(), b.components(), &self.weights).sqrt()
+        kernel::weighted_l2_sq(a.components(), b.components(), &self.weights).sqrt()
     }
 
     fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
         check_batch(query, objects, out);
         self.check_weights(query);
+        let level = kernel::active();
         let q = query.components();
         for (object, slot) in objects.iter().zip(out.iter_mut()) {
-            *slot = weighted_l2_sq_blocked(q, object.components(), &self.weights).sqrt();
+            *slot = kernel::weighted_l2_sq_at(level, q, object.components(), &self.weights).sqrt();
         }
     }
 
@@ -299,7 +154,7 @@ impl Metric<Vector> for WeightedEuclidean {
         // early-exit structure: a dedicated weighted early-exit kernel is
         // not worth a third copy of the loop — the full weighted sum is
         // cheap and already blocked.
-        let total = weighted_l2_sq_blocked(a.components(), b.components(), &self.weights);
+        let total = kernel::weighted_l2_sq(a.components(), b.components(), &self.weights);
         let d = total.sqrt();
         if d <= bound {
             Some(d)
@@ -321,14 +176,15 @@ impl Metric<Vector> for Manhattan {
     #[inline]
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
         check_dims(a, b);
-        l1_blocked(a.components(), b.components())
+        kernel::l1(a.components(), b.components())
     }
 
     fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
         check_batch(query, objects, out);
+        let level = kernel::active();
         let q = query.components();
         for (object, slot) in objects.iter().zip(out.iter_mut()) {
-            *slot = l1_blocked(q, object.components());
+            *slot = kernel::l1_at(level, q, object.components());
         }
     }
 
@@ -340,7 +196,7 @@ impl Metric<Vector> for Manhattan {
         // L1 needs no slack: partial and final sums share a domain, and
         // monotone accumulation makes `partial > bound ⇒ total > bound`
         // exact. The final check still decides from the full sum.
-        let total = l1_le_blocked(a.components(), b.components(), bound)?;
+        let total = kernel::l1_le(a.components(), b.components(), bound)?;
         if total <= bound {
             Some(total)
         } else {
@@ -406,19 +262,41 @@ impl Metric<Vector> for Minkowski {
         let (xs, ys) = (a.components(), b.components());
         // p = 1 and p = 2 dominate real workloads; `powf` per dimension is
         // roughly an order of magnitude slower than the blocked L1/L2
-        // kernels, and `x.powf(2.0).powf(0.5)` is also less accurate than
-        // `sqrt(x·x)`.
+        // kernels (which also pick up the SIMD tiers), and
+        // `x.powf(2.0).powf(0.5)` is also less accurate than `sqrt(x·x)`.
         if self.p == 1.0 {
-            return l1_blocked(xs, ys);
+            return kernel::l1(xs, ys);
         }
         if self.p == 2.0 {
-            return l2_sq_blocked(xs, ys).sqrt();
+            return kernel::l2_sq(xs, ys).sqrt();
         }
         let mut acc = 0.0f64;
         for (x, y) in xs.iter().zip(ys) {
             acc += (*x as f64 - *y as f64).abs().powf(self.p);
         }
         acc.powf(1.0 / self.p)
+    }
+
+    fn distance_batch(&self, query: &Vector, objects: &[&Vector], out: &mut [f64]) {
+        check_batch(query, objects, out);
+        let q = query.components();
+        if self.p == 1.0 {
+            let level = kernel::active();
+            for (object, slot) in objects.iter().zip(out.iter_mut()) {
+                *slot = kernel::l1_at(level, q, object.components());
+            }
+            return;
+        }
+        if self.p == 2.0 {
+            let level = kernel::active();
+            for (object, slot) in objects.iter().zip(out.iter_mut()) {
+                *slot = kernel::l2_sq_at(level, q, object.components()).sqrt();
+            }
+            return;
+        }
+        for (object, slot) in objects.iter().zip(out.iter_mut()) {
+            *slot = self.distance(query, object);
+        }
     }
 
     fn name(&self) -> &str {
@@ -429,6 +307,7 @@ impl Metric<Vector> for Minkowski {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{l2_sq_at, SimdLevel as L};
 
     fn v(cs: &[f32]) -> Vector {
         Vector::new(cs.to_vec())
@@ -540,6 +419,18 @@ mod tests {
             for (object, d) in objects.iter().zip(&out) {
                 assert_eq!(d.to_bits(), weighted.distance(object, &query).to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn metric_results_match_forced_scalar_tier() {
+        // Whatever tier the process dispatches to, the metric API must
+        // produce the scalar tier's bits (the cross-tier guarantee).
+        for dim in [1, 4, 20, 64, 65] {
+            let a = pseudo(dim, 21);
+            let b = pseudo(dim, 22);
+            let want = l2_sq_at(L::Scalar, a.components(), b.components()).sqrt();
+            assert_eq!(Euclidean.distance(&a, &b).to_bits(), want.to_bits());
         }
     }
 

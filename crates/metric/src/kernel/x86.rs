@@ -1,0 +1,297 @@
+//! SSE2 and AVX2 kernel tiers (x86-64).
+//!
+//! Bit-identity with the scalar tier is load-bearing: every kernel widens
+//! four `f32`s to `f64`, then performs the same subtract / multiply / add
+//! per lane that `scalar.rs` does, reduces through the same
+//! `(l0 + l1) + (l2 + l3)` tree, and finishes with the identical
+//! sequential tail loop. FMA is deliberately never used — the scalar
+//! kernels round after the multiply, and fusing would change the bits.
+//!
+//! The AVX2 tier keeps the four lane accumulators in one `__m256d`; the
+//! SSE2 tier splits them across two `__m128d`s (lanes 0–1 and 2–3), which
+//! preserves the per-lane accumulation order exactly.
+
+#![allow(clippy::missing_safety_doc)] // every fn: caller must ensure the
+                                      // named target feature is available
+
+use std::arch::x86_64::*;
+
+use super::LANES;
+
+const CHECK_EVERY: u32 = 4;
+
+/// Reduces a 256-bit accumulator through the fixed combine tree.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn combine256(acc: __m256d) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Reduces the split 128-bit accumulators (lanes 0–1, lanes 2–3) through
+/// the fixed combine tree.
+#[inline]
+unsafe fn combine128(acc01: __m128d, acc23: __m128d) -> f64 {
+    let mut lo = [0.0f64; 2];
+    let mut hi = [0.0f64; 2];
+    _mm_storeu_pd(lo.as_mut_ptr(), acc01);
+    _mm_storeu_pd(hi.as_mut_ptr(), acc23);
+    (lo[0] + lo[1]) + (hi[0] + hi[1])
+}
+
+/// Scalar tails, shared by both tiers: identical to the `chunks_exact`
+/// remainder loops in `scalar.rs`.
+#[inline]
+fn tail_l2(xs: &[f32], ys: &[f32], from: usize) -> f64 {
+    let mut tail = 0.0f64;
+    for i in from..xs.len() {
+        let d = xs[i] as f64 - ys[i] as f64;
+        tail += d * d;
+    }
+    tail
+}
+
+#[inline]
+fn tail_weighted(xs: &[f32], ys: &[f32], ws: &[f64], from: usize) -> f64 {
+    let mut tail = 0.0f64;
+    for i in from..xs.len() {
+        let d = xs[i] as f64 - ys[i] as f64;
+        tail += ws[i] * d * d;
+    }
+    tail
+}
+
+#[inline]
+fn tail_l1(xs: &[f32], ys: &[f32], from: usize) -> f64 {
+    let mut tail = 0.0f64;
+    for i in from..xs.len() {
+        tail += (xs[i] as f64 - ys[i] as f64).abs();
+    }
+    tail
+}
+
+#[inline]
+fn tail_dot(xs: &[f32], ys: &[f32], from: usize) -> f64 {
+    let mut tail = 0.0f64;
+    for i in from..xs.len() {
+        tail += xs[i] as f64 * ys[i] as f64;
+    }
+    tail
+}
+
+// ---------------------------------------------------------------------------
+// AVX2
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn l2_sq_avx2(xs: &[f32], ys: &[f32]) -> f64 {
+    let chunks = xs.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        let d = _mm256_sub_pd(x, y);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    combine256(acc) + tail_l2(xs, ys, chunks * LANES)
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn l2_sq_le_avx2(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    let chunks = xs.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    let mut until_check = CHECK_EVERY;
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        let d = _mm256_sub_pd(x, y);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine256(acc) > limit {
+                return None;
+            }
+        }
+    }
+    Some(combine256(acc) + tail_l2(xs, ys, chunks * LANES))
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn weighted_l2_sq_avx2(xs: &[f32], ys: &[f32], ws: &[f64]) -> f64 {
+    let chunks = xs.len().min(ws.len()) / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        let w = _mm256_loadu_pd(ws.as_ptr().add(i * LANES));
+        let d = _mm256_sub_pd(x, y);
+        // (w · d) · d — the same association order as the scalar kernel.
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_mul_pd(w, d), d));
+    }
+    combine256(acc) + tail_weighted(xs, ys, ws, chunks * LANES)
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn l1_avx2(xs: &[f32], ys: &[f32]) -> f64 {
+    let sign = _mm256_set1_pd(-0.0);
+    let chunks = xs.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        let d = _mm256_sub_pd(x, y);
+        acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, d));
+    }
+    combine256(acc) + tail_l1(xs, ys, chunks * LANES)
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn l1_le_avx2(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    let sign = _mm256_set1_pd(-0.0);
+    let chunks = xs.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    let mut until_check = CHECK_EVERY;
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        let d = _mm256_sub_pd(x, y);
+        acc = _mm256_add_pd(acc, _mm256_andnot_pd(sign, d));
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine256(acc) > limit {
+                return None;
+            }
+        }
+    }
+    Some(combine256(acc) + tail_l1(xs, ys, chunks * LANES))
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn dot_avx2(xs: &[f32], ys: &[f32]) -> f64 {
+    let chunks = xs.len() / LANES;
+    let mut acc = _mm256_setzero_pd();
+    for i in 0..chunks {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(xs.as_ptr().add(i * LANES)));
+        let y = _mm256_cvtps_pd(_mm_loadu_ps(ys.as_ptr().add(i * LANES)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(x, y));
+    }
+    combine256(acc) + tail_dot(xs, ys, chunks * LANES)
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 (x86-64 baseline — no runtime check needed)
+// ---------------------------------------------------------------------------
+
+/// Loads one LANES-sized block as two f64 pairs: lanes 0–1 and 2–3.
+#[inline]
+unsafe fn load_pd_pair(xs: &[f32], at: usize) -> (__m128d, __m128d) {
+    let v = _mm_loadu_ps(xs.as_ptr().add(at));
+    (_mm_cvtps_pd(v), _mm_cvtps_pd(_mm_movehl_ps(v, v)))
+}
+
+pub(crate) unsafe fn l2_sq_sse2(xs: &[f32], ys: &[f32]) -> f64 {
+    let chunks = xs.len() / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        let d01 = _mm_sub_pd(x01, y01);
+        let d23 = _mm_sub_pd(x23, y23);
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+    }
+    combine128(acc01, acc23) + tail_l2(xs, ys, chunks * LANES)
+}
+
+pub(crate) unsafe fn l2_sq_le_sse2(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    let chunks = xs.len() / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    let mut until_check = CHECK_EVERY;
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        let d01 = _mm_sub_pd(x01, y01);
+        let d23 = _mm_sub_pd(x23, y23);
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine128(acc01, acc23) > limit {
+                return None;
+            }
+        }
+    }
+    Some(combine128(acc01, acc23) + tail_l2(xs, ys, chunks * LANES))
+}
+
+pub(crate) unsafe fn weighted_l2_sq_sse2(xs: &[f32], ys: &[f32], ws: &[f64]) -> f64 {
+    let chunks = xs.len().min(ws.len()) / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        let w01 = _mm_loadu_pd(ws.as_ptr().add(i * LANES));
+        let w23 = _mm_loadu_pd(ws.as_ptr().add(i * LANES + 2));
+        let d01 = _mm_sub_pd(x01, y01);
+        let d23 = _mm_sub_pd(x23, y23);
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(_mm_mul_pd(w01, d01), d01));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(_mm_mul_pd(w23, d23), d23));
+    }
+    combine128(acc01, acc23) + tail_weighted(xs, ys, ws, chunks * LANES)
+}
+
+pub(crate) unsafe fn l1_sse2(xs: &[f32], ys: &[f32]) -> f64 {
+    let sign = _mm_set1_pd(-0.0);
+    let chunks = xs.len() / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        acc01 = _mm_add_pd(acc01, _mm_andnot_pd(sign, _mm_sub_pd(x01, y01)));
+        acc23 = _mm_add_pd(acc23, _mm_andnot_pd(sign, _mm_sub_pd(x23, y23)));
+    }
+    combine128(acc01, acc23) + tail_l1(xs, ys, chunks * LANES)
+}
+
+pub(crate) unsafe fn l1_le_sse2(xs: &[f32], ys: &[f32], limit: f64) -> Option<f64> {
+    let sign = _mm_set1_pd(-0.0);
+    let chunks = xs.len() / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    let mut until_check = CHECK_EVERY;
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        acc01 = _mm_add_pd(acc01, _mm_andnot_pd(sign, _mm_sub_pd(x01, y01)));
+        acc23 = _mm_add_pd(acc23, _mm_andnot_pd(sign, _mm_sub_pd(x23, y23)));
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = CHECK_EVERY;
+            if combine128(acc01, acc23) > limit {
+                return None;
+            }
+        }
+    }
+    Some(combine128(acc01, acc23) + tail_l1(xs, ys, chunks * LANES))
+}
+
+pub(crate) unsafe fn dot_sse2(xs: &[f32], ys: &[f32]) -> f64 {
+    let chunks = xs.len() / LANES;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    for i in 0..chunks {
+        let (x01, x23) = load_pd_pair(xs, i * LANES);
+        let (y01, y23) = load_pd_pair(ys, i * LANES);
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(x01, y01));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(x23, y23));
+    }
+    combine128(acc01, acc23) + tail_dot(xs, ys, chunks * LANES)
+}

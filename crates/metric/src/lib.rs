@@ -23,31 +23,45 @@
 //!
 //! * [`Euclidean`] and [`WeightedEuclidean`] — the common vector-space case.
 //! * [`Manhattan`] (L1) and [`Chebyshev`] (L∞).
+//! * [`Cosine`] (angular) and [`DotProduct`] — embedding workloads.
+//!   `DotProduct` is a ranking function, not a metric; it reports itself as
+//!   such through [`Metric::supports_triangle_avoidance`] /
+//!   [`Metric::nonnegative`] and the engine degrades gracefully.
 //! * [`QuadraticForm`] — histogram similarity as used for image databases
 //!   (paper §2 cites Seidl/Kriegel's adaptable similarity search).
 //! * [`EditDistance`] — a non-vector metric over symbol sequences, covering
 //!   the paper's "WWW access log sessions / URLs" motivation (§1).
 //!
 //! All vector distances operate on [`Vector`] (`Box<[f32]>` payloads with
-//! `f64` distance arithmetic).
+//! `f64` distance arithmetic). The vector kernels live in [`kernel`] and
+//! dispatch at runtime between blocked scalar and SIMD (SSE2/AVX2/NEON)
+//! tiers that produce bit-identical results; `MQ_SIMD=off|sse2|avx2|neon|auto`
+//! overrides the choice. [`VectorMetric`] names the subset of metrics the
+//! server and CLI can select at runtime.
 
+pub mod cosine;
 pub mod cost;
 pub mod counting;
 pub mod distance;
 pub mod edit;
 pub mod euclidean;
 pub mod hamming;
+pub mod kernel;
 pub mod object;
 pub mod quadratic;
+pub mod registry;
 pub mod sets;
 pub mod validation;
 
+pub use cosine::{Cosine, DotProduct};
 pub use cost::CpuCostModel;
 pub use counting::{CountingMetric, DistanceCounter};
 pub use distance::Metric;
 pub use edit::{EditDistance, Symbols};
 pub use euclidean::{Chebyshev, Euclidean, Manhattan, Minkowski, WeightedEuclidean};
 pub use hamming::Hamming;
+pub use kernel::SimdLevel;
 pub use object::{ObjectId, Vector};
 pub use quadratic::QuadraticForm;
+pub use registry::VectorMetric;
 pub use sets::{Jaccard, SymbolSet};

@@ -1,6 +1,7 @@
 //! Server configuration: batching knobs and execution mode.
 
 use mq_core::LeaderPolicy;
+use mq_metric::{Metric, VectorMetric};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -70,6 +71,11 @@ pub struct ServerConfig {
     /// Page-store backend: in-memory simulation (the default) or the
     /// durable file store.
     pub store: StoreChoice,
+    /// Distance function the engines evaluate (see
+    /// [`VectorMetric`] for the names). Non-Euclidean metrics must be
+    /// served through a sequential-scan index: tree page bounds are
+    /// Euclidean geometry and would prune wrongly.
+    pub metric: VectorMetric,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +92,7 @@ impl Default for ServerConfig {
             retry_budget: 2,
             read_timeout: None,
             store: StoreChoice::Sim,
+            metric: VectorMetric::default(),
         }
     }
 }
@@ -161,6 +168,12 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the distance function the engines evaluate.
+    pub fn with_metric(mut self, metric: VectorMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
     /// One-line summary of every resolved knob, for startup logs.
     pub fn describe(&self) -> String {
         let mode = match self.mode {
@@ -176,9 +189,10 @@ impl ServerConfig {
             StoreChoice::File(dir) => format!("file:{}", dir.display()),
         };
         format!(
-            "mode={mode} store={store} max_batch={} max_wait={:.0}ms workers={} threads={} \
-             prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
+            "mode={mode} store={store} metric={} max_batch={} max_wait={:.0}ms workers={} \
+             threads={} prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
              read_timeout={read_timeout}",
+            self.metric.name(),
             self.max_batch,
             self.max_wait.as_secs_f64() * 1e3,
             self.workers,
@@ -208,7 +222,8 @@ mod tests {
             .with_workers(2)
             .with_retry_budget(5)
             .with_read_timeout(Some(Duration::from_secs(3)))
-            .with_store(StoreChoice::File(PathBuf::from("/tmp/mqdb")));
+            .with_store(StoreChoice::File(PathBuf::from("/tmp/mqdb")))
+            .with_metric(VectorMetric::Cosine);
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
@@ -220,6 +235,7 @@ mod tests {
         assert_eq!(c.retry_budget, 5);
         assert_eq!(c.read_timeout, Some(Duration::from_secs(3)));
         assert_eq!(c.store, StoreChoice::File(PathBuf::from("/tmp/mqdb")));
+        assert_eq!(c.metric, VectorMetric::Cosine);
     }
 
     #[test]
@@ -232,6 +248,7 @@ mod tests {
         assert_eq!(c.retry_budget, 2);
         assert_eq!(c.read_timeout, None);
         assert_eq!(c.store, StoreChoice::Sim);
+        assert_eq!(c.metric, VectorMetric::Euclidean);
     }
 
     #[test]
@@ -260,6 +277,7 @@ mod tests {
         for needle in [
             "mode=cluster(3)",
             "store=sim",
+            "metric=euclidean",
             "max_batch=16",
             "max_wait=20ms",
             "workers=2",

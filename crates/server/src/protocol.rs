@@ -205,8 +205,11 @@ fn get_qtype(buf: &mut Bytes) -> Result<QueryType, ProtocolError> {
         usize::try_from(cardinality)
             .map_err(|_| ProtocolError::Malformed("cardinality overflows usize".into()))?
     };
-    if range.is_nan() || range < 0.0 {
-        return Err(ProtocolError::Malformed("negative or NaN range".into()));
+    // Negative ranges are valid: under a signed ranking function (dot
+    // product) a range query "score at least s" arrives as ε = -s. Only
+    // NaN is meaningless (mirrors QueryType::range's own contract).
+    if range.is_nan() {
+        return Err(ProtocolError::Malformed("NaN range".into()));
     }
     let kind = match kind {
         0 => QueryKind::Range,

@@ -20,7 +20,7 @@ use mq_core::{
     WorkerPool,
 };
 use mq_index::{LinearScan, SimilarityIndex};
-use mq_metric::{CountingMetric, Euclidean, ObjectId, Vector};
+use mq_metric::{CountingMetric, ObjectId, Vector, VectorMetric};
 use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS, SIZE_BOUNDS};
 use mq_parallel::{Declustering, Server, SharedNothingCluster};
 use mq_storage::{Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
@@ -69,7 +69,7 @@ pub trait QueryBackend: Send + Sync + 'static {
 pub struct SingleEngineBackend {
     disk: Box<dyn PageStore<Vector>>,
     index: Box<dyn SimilarityIndex<Vector>>,
-    metric: CountingMetric<Euclidean>,
+    metric: CountingMetric<VectorMetric>,
     avoidance: bool,
     threads: usize,
     prefetch_depth: usize,
@@ -114,7 +114,7 @@ impl SingleEngineBackend {
         Self {
             disk,
             index,
-            metric: CountingMetric::new(Euclidean),
+            metric: CountingMetric::new(VectorMetric::default()),
             avoidance,
             threads: 1,
             prefetch_depth: 0,
@@ -166,6 +166,13 @@ impl SingleEngineBackend {
     /// the disk has a [`mq_storage::FaultPlan`] installed).
     pub fn with_retry_budget(mut self, budget: u32) -> Self {
         self.fault_policy = FaultPolicy::new(budget);
+        self
+    }
+
+    /// Selects the distance function. Non-Euclidean metrics must be paired
+    /// with a sequential-scan index (see [`ServerConfig::metric`]).
+    pub fn with_metric(mut self, metric: VectorMetric) -> Self {
+        self.metric = CountingMetric::new(metric);
         self
     }
 
@@ -222,7 +229,7 @@ impl QueryBackend for SingleEngineBackend {
 /// Cluster backend: a §5.3 shared-nothing cluster evaluates every batch in
 /// parallel across its servers.
 pub struct ClusterBackend {
-    cluster: SharedNothingCluster<Vector, CountingMetric<Euclidean>>,
+    cluster: SharedNothingCluster<Vector, CountingMetric<VectorMetric>>,
     servers: usize,
     avoidance: bool,
     dims: usize,
@@ -230,12 +237,14 @@ pub struct ClusterBackend {
 
 impl ClusterBackend {
     /// Declusters `objects` round-robin over `servers` local engines,
-    /// building each server's index with `build_index`.
+    /// building each server's index with `build_index` and evaluating
+    /// `metric` on every server.
     pub fn build<F>(
         objects: &[Vector],
         servers: usize,
         buffer_fraction: f64,
         avoidance: bool,
+        metric: VectorMetric,
         build_index: F,
     ) -> Self
     where
@@ -247,7 +256,7 @@ impl ClusterBackend {
             objects,
             servers,
             Declustering::RoundRobin,
-            CountingMetric::new(Euclidean),
+            CountingMetric::new(metric),
             buffer_fraction,
             build_index,
         );
@@ -263,7 +272,7 @@ impl ClusterBackend {
     /// backend). This is how durable per-partition `mq-store` stores join
     /// the cluster path.
     pub fn from_servers(
-        servers: Vec<Server<Vector, CountingMetric<Euclidean>>>,
+        servers: Vec<Server<Vector, CountingMetric<VectorMetric>>>,
         avoidance: bool,
     ) -> Self {
         let dims = servers
@@ -315,7 +324,7 @@ impl ClusterBackend {
     }
 
     /// The underlying cluster (fault-plan installation in tests).
-    pub fn cluster(&self) -> &SharedNothingCluster<Vector, CountingMetric<Euclidean>> {
+    pub fn cluster(&self) -> &SharedNothingCluster<Vector, CountingMetric<VectorMetric>> {
         &self.cluster
     }
 }
@@ -649,6 +658,7 @@ where
             let (index, db) = build_index(&db.to_dataset());
             Ok(Box::new(
                 SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
+                    .with_metric(config.metric)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
@@ -673,6 +683,7 @@ where
             let index = Box::new(LinearScan::new(store.database().page_count()));
             Ok(Box::new(
                 SingleEngineBackend::from_store(Box::new(store), index, config.avoidance)
+                    .with_metric(config.metric)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
@@ -688,6 +699,7 @@ where
                     (*servers).max(1),
                     buffer_fraction,
                     config.avoidance,
+                    config.metric,
                     build_index,
                 )
                 .with_engine_threads(config.threads)
@@ -698,8 +710,13 @@ where
             ))
         }
         (ExecutionMode::Cluster { servers }, StoreChoice::File(dir)) => {
-            let parts =
-                open_or_create_partition_stores(dir, db, (*servers).max(1), buffer_fraction)?;
+            let parts = open_or_create_partition_stores(
+                dir,
+                db,
+                (*servers).max(1),
+                buffer_fraction,
+                config.metric,
+            )?;
             Ok(Box::new(
                 ClusterBackend::from_servers(parts, config.avoidance)
                     .with_engine_threads(config.threads)
@@ -769,7 +786,8 @@ fn open_or_create_partition_stores(
     db: &PagedDatabase<Vector>,
     servers: usize,
     buffer_fraction: f64,
-) -> Result<Vec<Server<Vector, CountingMetric<Euclidean>>>, StoreError> {
+    metric: VectorMetric,
+) -> Result<Vec<Server<Vector, CountingMetric<VectorMetric>>>, StoreError> {
     let part_dir = |p: usize| dir.join(format!("part-{p}"));
     let mut out = Vec::new();
     if part_dir(0).join(SEGMENT_FILE).exists() {
@@ -817,7 +835,7 @@ fn open_or_create_partition_stores(
             out.push(Server::from_parts(
                 Box::new(store),
                 index,
-                CountingMetric::new(Euclidean),
+                CountingMetric::new(metric),
                 manifest.global_ids,
             ));
         }
@@ -847,7 +865,7 @@ fn open_or_create_partition_stores(
             out.push(Server::from_parts(
                 Box::new(store),
                 index,
-                CountingMetric::new(Euclidean),
+                CountingMetric::new(metric),
                 global_ids,
             ));
         }
@@ -982,13 +1000,20 @@ mod tests {
             .map(|i| (Vector::new(vec![i as f32 * 17.0 + 0.4]), QueryType::knn(3)))
             .collect();
         let single = scan_backend(120).execute(queries.clone());
-        let cluster = ClusterBackend::build(db.to_dataset().objects(), 3, 0.10, true, |ds| {
-            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
-            (
-                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
-                db,
-            )
-        });
+        let cluster = ClusterBackend::build(
+            db.to_dataset().objects(),
+            3,
+            0.10,
+            true,
+            VectorMetric::Euclidean,
+            |ds| {
+                let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+                (
+                    Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                    db,
+                )
+            },
+        );
         let clustered = cluster.execute(queries);
         for (a, b) in single.0.iter().zip(&clustered.0) {
             let ia: Vec<u32> = a.iter().map(|x| x.id.0).collect();
@@ -1120,7 +1145,8 @@ mod tests {
         {
             let mut part: FilePageStore<Vector, VectorCodec> =
                 FilePageStore::open(dir.join("part-1"), VectorCodec, 1).expect("open partition");
-            part.insert(Vector::new(vec![500.0])).expect("offline insert");
+            part.insert(Vector::new(vec![500.0]))
+                .expect("offline insert");
         }
         match build_backend(&db, &config, 0.10, build) {
             Err(StoreError::Format(msg)) => {
@@ -1155,6 +1181,26 @@ mod tests {
         }
 
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn configured_metric_reaches_the_engine() {
+        // Under the dot-product ranking the best match for q=[5] in the
+        // 0..60 line is the *largest* vector, not the nearest one — so a
+        // Euclidean engine would answer id 5 and give the game away.
+        let db = line_db(60);
+        let config = ServerConfig::default().with_metric(VectorMetric::Dot);
+        let backend = build_backend(&db, &config, 0.10, |ds| {
+            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        })
+        .expect("sim backend");
+        let (answers, _) = backend.execute(vec![(Vector::new(vec![5.0]), QueryType::knn(1))]);
+        assert_eq!(answers[0][0].id.0, 59);
+        assert_eq!(answers[0][0].distance, -(5.0 * 59.0));
     }
 
     #[test]

@@ -15,7 +15,9 @@ fn arb_vector() -> impl Strategy<Value = Vector> {
 
 fn arb_qtype() -> impl Strategy<Value = QueryType> {
     prop_oneof![
-        (0.0f64..100.0).prop_map(QueryType::range),
+        // Negative ranges are legal on the wire: dot-product "score at
+        // least s" thresholds arrive as ε = -s.
+        (-100.0f64..100.0).prop_map(QueryType::range),
         (1usize..50).prop_map(QueryType::knn),
         (1usize..50, 0.0f64..100.0).prop_map(|(k, eps)| QueryType::bounded_knn(k, eps)),
     ]

@@ -150,7 +150,11 @@ fn crash_between_checkpoint_rename_and_wal_truncate_recovers() {
     let store = FilePageStore::open(&dir, VectorCodec, 4)
         .expect("reopen after a crash inside the checkpoint window");
     assert_eq!(store.store_stats().recovery_replayed_records, 2);
-    assert_eq!(store.wal_bytes(), 8, "checkpoint-on-open cleared the stale WAL");
+    assert_eq!(
+        store.wal_bytes(),
+        8,
+        "checkpoint-on-open cleared the stale WAL"
+    );
     let db = store.database();
     assert_eq!(db.try_locate(ObjectId(3)), None);
     assert_eq!(db.object(ObjectId(30)).components(), &[20.0, 20.0]);

@@ -227,7 +227,11 @@ fn crash_inside_the_checkpoint_window_reopens_with_the_stale_wal() {
         OPS as u64,
         "every stale record replays idempotently"
     );
-    assert_eq!(recovered.wal_bytes(), 8, "checkpoint-on-open empties the WAL");
+    assert_eq!(
+        recovered.wal_bytes(),
+        8,
+        "checkpoint-on-open empties the WAL"
+    );
     let clean = sim.open_or_create_store(&clean_dir);
     assert_same_database(&recovered, &clean, "checkpoint-window crash");
     drop((recovered, clean));
