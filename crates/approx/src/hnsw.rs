@@ -1,0 +1,362 @@
+//! A small, deterministic in-memory HNSW graph — the optional second
+//! candidate tier (`--approx hnsw:<ef>`).
+//!
+//! Hierarchical Navigable Small Worlds (Malkov & Yashunin): each node gets
+//! a geometrically distributed top level; upper layers form coarse
+//! "express" links that a greedy descent rides toward the query's region,
+//! and the bottom layer is beam-searched with width `ef` to produce the
+//! candidate set. Unlike the usual randomized construction, level draws
+//! here hash the object id (SplitMix64), so the same collection always
+//! builds the same graph and candidate sets are reproducible — the same
+//! determinism contract the rest of the engine keeps.
+//!
+//! Distances are squared Euclidean through the runtime-dispatched kernel
+//! (`mq_metric::kernel::l2_sq`), which is bit-identical across SIMD tiers;
+//! ordering ties break by node index. The graph lives purely in memory and
+//! is rebuilt on open — the durable sidecar belongs to the cheaper binary
+//! sketch, while HNSW trades build time for better recall at tiny budgets.
+
+use mq_core::CandidatePrescreen;
+use mq_metric::{kernel, ObjectId, Vector};
+use mq_storage::PagedDatabase;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Construction knobs; the defaults follow the paper's common practice
+/// (`M = 16`, doubled degree on the ground layer, `ef_construction = 100`).
+#[derive(Clone, Copy, Debug)]
+pub struct HnswConfig {
+    /// Max neighbors per node on layers above ground (ground keeps `2M`).
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+        }
+    }
+}
+
+/// A distance-ordered heap entry: `total_cmp` on the distance, node index
+/// as the tie-break, so every heap decision is deterministic.
+#[derive(Clone, Copy, PartialEq)]
+struct Scored(f64, u32);
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The navigable small-world graph over one collection's live vectors.
+pub struct Hnsw {
+    ids: Vec<ObjectId>,
+    vectors: Vec<Vector>,
+    /// `links[node][level]` = neighbor node indices (level 0 = ground).
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+    m: usize,
+}
+
+impl Hnsw {
+    /// Builds the graph over every live object of `db`, inserting in id
+    /// order (determinism: same collection, same graph).
+    ///
+    /// # Panics
+    /// Panics if the database holds no live object.
+    pub fn build(db: &PagedDatabase<Vector>, config: HnswConfig) -> Self {
+        let m = config.m.max(2);
+        let mut graph = Self {
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            links: Vec::new(),
+            entry: 0,
+            max_level: 0,
+            m,
+        };
+        for i in 0..db.object_count() {
+            let id = ObjectId(i as u32);
+            if let Some(v) = db.try_object(id) {
+                graph.insert(id, v.clone(), config.ef_construction);
+            }
+        }
+        assert!(!graph.ids.is_empty(), "cannot build HNSW over zero objects");
+        graph
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the graph is empty (never true after [`build`](Self::build)).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Geometric level draw, hashed from the object id (SplitMix64) so the
+    /// graph shape is a pure function of the collection.
+    fn level_for(&self, id: ObjectId) -> usize {
+        let mut z = (id.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Uniform in (0, 1]; `1 - u` keeps ln's argument away from 0.
+        let u = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        (-u.ln() / (self.m as f64).ln()).floor() as usize
+    }
+
+    #[inline]
+    fn dist(&self, q: &[f32], node: u32) -> f64 {
+        kernel::l2_sq(q, self.vectors[node as usize].components())
+    }
+
+    /// Greedy descent on one layer: walk to the closest neighbor until no
+    /// neighbor improves.
+    fn descend(&self, q: &[f32], mut at: u32, level: usize) -> u32 {
+        let mut best = self.dist(q, at);
+        loop {
+            let mut improved = false;
+            for &n in &self.links[at as usize][level] {
+                let d = self.dist(q, n);
+                if Scored(d, n) < Scored(best, at) {
+                    at = n;
+                    best = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return at;
+            }
+        }
+    }
+
+    /// Beam search of width `ef` on one layer, returning the beam sorted
+    /// ascending by `(distance, node)`.
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, level: usize) -> Vec<Scored> {
+        let mut visited = vec![0u64; self.ids.len().div_ceil(64)];
+        let mut visit = |n: u32| {
+            let (w, b) = (n as usize / 64, n as usize % 64);
+            let seen = (visited[w] >> b) & 1 == 1;
+            visited[w] |= 1 << b;
+            !seen
+        };
+        visit(entry);
+        let start = Scored(self.dist(q, entry), entry);
+        // `frontier` pops nearest-first, `beam` evicts farthest-first.
+        let mut frontier = BinaryHeap::from([Reverse(start)]);
+        let mut beam = BinaryHeap::from([start]);
+        while let Some(Reverse(cand)) = frontier.pop() {
+            if cand > *beam.peek().expect("beam is never empty") && beam.len() >= ef {
+                break;
+            }
+            for &n in &self.links[cand.1 as usize][level] {
+                if !visit(n) {
+                    continue;
+                }
+                let scored = Scored(self.dist(q, n), n);
+                if beam.len() < ef || scored < *beam.peek().unwrap() {
+                    beam.push(scored);
+                    if beam.len() > ef {
+                        beam.pop();
+                    }
+                    frontier.push(Reverse(scored));
+                }
+            }
+        }
+        let mut out = beam.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    fn insert(&mut self, id: ObjectId, vector: Vector, ef_construction: usize) {
+        let node = self.ids.len() as u32;
+        let level = self.level_for(id);
+        self.ids.push(id);
+        self.vectors.push(vector);
+        self.links.push(vec![Vec::new(); level + 1]);
+        if node == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        let q: Vec<f32> = self.vectors[node as usize].components().to_vec();
+        let mut at = self.entry;
+        for l in (level + 1..=self.max_level).rev() {
+            at = self.descend(&q, at, l);
+        }
+        for l in (0..=level.min(self.max_level)).rev() {
+            let beam = self.search_layer(&q, at, ef_construction, l);
+            at = beam[0].1;
+            let cap = if l == 0 { self.m * 2 } else { self.m };
+            let chosen: Vec<u32> = beam.iter().take(cap).map(|s| s.1).collect();
+            for &n in &chosen {
+                self.links[n as usize][l].push(node);
+                self.prune(n, l, cap);
+            }
+            self.links[node as usize][l] = chosen;
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node;
+        }
+    }
+
+    /// Keeps a node's neighbor list at the `cap` nearest by `(dist, node)`.
+    fn prune(&mut self, node: u32, level: usize, cap: usize) {
+        if self.links[node as usize][level].len() <= cap {
+            return;
+        }
+        let q: Vec<f32> = self.vectors[node as usize].components().to_vec();
+        let mut scored: Vec<Scored> = self.links[node as usize][level]
+            .iter()
+            .map(|&n| Scored(self.dist(&q, n), n))
+            .collect();
+        scored.sort_unstable();
+        scored.truncate(cap);
+        self.links[node as usize][level] = scored.into_iter().map(|s| s.1).collect();
+    }
+
+    /// The `ef` candidate ids nearest to `query` along the graph, sorted
+    /// by ascending `(distance, id)`.
+    pub fn search(&self, query: &Vector, ef: usize) -> Vec<ObjectId> {
+        let q = query.components();
+        let mut at = self.entry;
+        for l in (1..=self.max_level).rev() {
+            at = self.descend(q, at, l);
+        }
+        self.search_layer(q, at, ef.max(1), 0)
+            .into_iter()
+            .map(|s| self.ids[s.1 as usize])
+            .collect()
+    }
+}
+
+/// The HNSW tier as an engine-attachable prescreen: per query, the beam of
+/// `ef` graph-nearest ids.
+pub struct HnswPrescreen {
+    graph: Arc<Hnsw>,
+    ef: usize,
+    name: String,
+}
+
+impl HnswPrescreen {
+    /// Wraps a graph with a search beam width (= candidate budget).
+    pub fn new(graph: Arc<Hnsw>, ef: usize) -> Self {
+        Self {
+            graph,
+            ef,
+            name: format!("hnsw:{ef}"),
+        }
+    }
+
+    /// The beam width.
+    pub fn ef(&self) -> usize {
+        self.ef
+    }
+}
+
+impl CandidatePrescreen<Vector> for HnswPrescreen {
+    fn candidates(&self, query: &Vector) -> Vec<ObjectId> {
+        self.graph.search(query, self.ef)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_storage::{Dataset, PageLayout};
+
+    fn db(n: usize, dim: usize) -> PagedDatabase<Vector> {
+        let ds = Dataset::new(
+            (0..n)
+                .map(|i| {
+                    Vector::new(
+                        (0..dim)
+                            .map(|d| (((i * 31 + d * 17) % 101) as f32).sin() * 50.0)
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        );
+        PagedDatabase::pack(&ds, PageLayout::new(512, 16))
+    }
+
+    fn exact_knn(db: &PagedDatabase<Vector>, q: &Vector, k: usize) -> Vec<ObjectId> {
+        let mut all: Vec<(f64, u32)> = (0..db.object_count())
+            .filter_map(|i| {
+                db.try_object(ObjectId(i as u32))
+                    .map(|v| (kernel::l2_sq(q.components(), v.components()), i as u32))
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.into_iter().take(k).map(|(_, i)| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let db = db(300, 8);
+        let a = Hnsw::build(&db, HnswConfig::default());
+        let b = Hnsw::build(&db, HnswConfig::default());
+        let q = db.object(ObjectId(123)).clone();
+        assert_eq!(a.search(&q, 32), b.search(&q, 32));
+        assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn finds_true_neighbors_at_reasonable_ef() {
+        let db = db(500, 8);
+        let graph = Hnsw::build(&db, HnswConfig::default());
+        let mut hits = 0;
+        let mut total = 0;
+        for i in (0..500).step_by(41) {
+            let q = db.object(ObjectId(i)).clone();
+            let truth = exact_knn(&db, &q, 10);
+            let got = graph.search(&q, 64);
+            total += truth.len();
+            hits += truth.iter().filter(|t| got.contains(t)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        // n ≤ 101 keeps the generator cycle-free: no duplicate vectors, so
+        // the (distance, id) tie-break cannot prefer a twin.
+        let db = db(100, 6);
+        let graph = Hnsw::build(&db, HnswConfig::default());
+        for i in [0u32, 57, 99] {
+            let q = db.object(ObjectId(i)).clone();
+            assert_eq!(graph.search(&q, 16)[0], ObjectId(i));
+        }
+    }
+
+    #[test]
+    fn tombstones_are_not_indexed() {
+        let mut db = db(100, 6);
+        db.delete_object(ObjectId(33));
+        let graph = Hnsw::build(&db, HnswConfig::default());
+        assert_eq!(graph.len(), 99);
+        let q = db.object(ObjectId(34)).clone();
+        assert!(!graph.search(&q, 99).contains(&ObjectId(33)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Binary quantization of feature vectors: per-dimension, multi-plane
+//! quantile thresholds packed into `u64` code words.
+//!
+//! One *bitplane* is a per-dimension threshold vector; bit `(p, d)` of an
+//! object's code says whether component `d` exceeds plane `p`'s threshold
+//! for that dimension. A single sign/median plane is too coarse for the
+//! low-dimensional feature files of the paper's workloads (32-d codes
+//! collide heavily), so the quantizer fits `planes` thresholds per
+//! dimension at evenly spaced quantiles — 2–4 planes give `2·dim`–`4·dim`
+//! code bits, enough for the Hamming pre-screen to rank candidates
+//! usefully while a whole code still fits in a few `u64` words.
+//!
+//! Everything here is deterministic: quantiles come from a total-order
+//! sort (`f32::total_cmp`), so the same training set always yields the
+//! same thresholds and the same codes.
+
+use mq_metric::Vector;
+
+/// Fitted per-dimension quantile thresholds; encodes vectors into packed
+/// binary codes of `words()` `u64`s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinaryQuantizer {
+    dim: usize,
+    planes: usize,
+    /// Plane-major: `thresholds[p * dim + d]` is plane `p`'s threshold for
+    /// dimension `d`.
+    thresholds: Vec<f32>,
+}
+
+impl BinaryQuantizer {
+    /// Fits `planes` quantile thresholds per dimension from the training
+    /// vectors (typically the whole stored collection). Plane `p` sits at
+    /// quantile `(p + 1) / (planes + 1)` — e.g. the median for one plane,
+    /// the terciles for two.
+    ///
+    /// # Panics
+    /// Panics if `planes == 0`, if no training vector is supplied, or if
+    /// the training vectors disagree on dimensionality.
+    pub fn fit<'a>(vectors: impl IntoIterator<Item = &'a Vector>, planes: usize) -> Self {
+        assert!(planes > 0, "need at least one bitplane");
+        let vectors: Vec<&Vector> = vectors.into_iter().collect();
+        let dim = vectors
+            .first()
+            .expect("need at least one training vector")
+            .dim();
+        let mut thresholds = vec![0.0f32; planes * dim];
+        let mut column = Vec::with_capacity(vectors.len());
+        for d in 0..dim {
+            column.clear();
+            for v in &vectors {
+                assert_eq!(v.dim(), dim, "training vectors must share one dim");
+                column.push(v.components()[d]);
+            }
+            column.sort_unstable_by(f32::total_cmp);
+            for p in 0..planes {
+                // Evenly spaced interior quantiles; the index arithmetic
+                // floors, so plane 0 of a 1-plane fit is the lower median.
+                let at = (column.len() * (p + 1)) / (planes + 1);
+                thresholds[p * dim + d] = column[at.min(column.len() - 1)];
+            }
+        }
+        Self {
+            dim,
+            planes,
+            thresholds,
+        }
+    }
+
+    /// Rebuilds a quantizer from its stored parts (the sidecar load path).
+    ///
+    /// # Panics
+    /// Panics if the threshold count is not `planes * dim`.
+    pub fn from_parts(dim: usize, planes: usize, thresholds: Vec<f32>) -> Self {
+        assert_eq!(thresholds.len(), planes * dim, "threshold count mismatch");
+        Self {
+            dim,
+            planes,
+            thresholds,
+        }
+    }
+
+    /// Dimensionality the quantizer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of bitplanes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// The raw threshold table, plane-major (for persistence).
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+
+    /// `u64` words per packed code.
+    pub fn words(&self) -> usize {
+        (self.planes * self.dim).div_ceil(64)
+    }
+
+    /// Packs one vector into its binary code, appending `words()` words to
+    /// `out`. Bit `p * dim + d` is set iff component `d` exceeds plane
+    /// `p`'s threshold.
+    ///
+    /// # Panics
+    /// Panics if the vector's dimensionality differs from the fit.
+    pub fn encode_into(&self, v: &Vector, out: &mut Vec<u64>) {
+        assert_eq!(v.dim(), self.dim, "vector dim differs from quantizer fit");
+        let start = out.len();
+        out.resize(start + self.words(), 0);
+        for p in 0..self.planes {
+            let plane = &self.thresholds[p * self.dim..(p + 1) * self.dim];
+            for (d, (&c, &t)) in v.components().iter().zip(plane).enumerate() {
+                if c > t {
+                    let bit = p * self.dim + d;
+                    out[start + bit / 64] |= 1 << (bit % 64);
+                }
+            }
+        }
+    }
+
+    /// [`encode_into`](Self::encode_into) returning a fresh code.
+    pub fn encode(&self, v: &Vector) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.words());
+        self.encode_into(v, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, dim: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|i| Vector::new((0..dim).map(|d| (i * (d + 1)) as f32).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn fit_is_deterministic_and_encodes_consistently() {
+        let vs = grid(100, 8);
+        let a = BinaryQuantizer::fit(&vs, 2);
+        let b = BinaryQuantizer::fit(&vs, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.words(), 1); // 16 bits
+        for v in &vs {
+            assert_eq!(a.encode(v), b.encode(v));
+        }
+    }
+
+    #[test]
+    fn median_plane_splits_the_collection() {
+        let vs = grid(101, 1);
+        let q = BinaryQuantizer::fit(&vs, 1);
+        let above = vs.iter().filter(|v| q.encode(v)[0] & 1 == 1).count();
+        // Strict `>` against the lower median: about half above.
+        assert!((40..=60).contains(&above), "split {above}/101");
+    }
+
+    #[test]
+    fn close_vectors_get_close_codes() {
+        let vs = grid(64, 16);
+        let q = BinaryQuantizer::fit(&vs, 4);
+        let near = mq_metric::kernel::hamming(&q.encode(&vs[10]), &q.encode(&vs[11]));
+        let far = mq_metric::kernel::hamming(&q.encode(&vs[10]), &q.encode(&vs[60]));
+        assert!(near < far, "hamming should track distance: {near} vs {far}");
+    }
+
+    #[test]
+    fn roundtrips_through_parts() {
+        let vs = grid(30, 5);
+        let q = BinaryQuantizer::fit(&vs, 3);
+        let r = BinaryQuantizer::from_parts(q.dim(), q.planes(), q.thresholds().to_vec());
+        assert_eq!(q, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dim differs")]
+    fn encode_rejects_wrong_dim() {
+        let q = BinaryQuantizer::fit(&grid(10, 4), 1);
+        let _ = q.encode(&Vector::new(vec![1.0, 2.0]));
+    }
+}

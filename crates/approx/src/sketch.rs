@@ -1,0 +1,400 @@
+//! The binary sketch: packed codes for a whole stored collection, a
+//! Hamming pre-screen over them, and the durable sidecar format.
+//!
+//! A [`BinarySketch`] holds one code per object-id slot of a
+//! [`PagedDatabase`] (tombstoned ids keep a zero code and a cleared
+//! *present* bit, so sketch row `i` always belongs to `ObjectId(i)`).
+//! [`search`](BinarySketch::search) ranks all present codes by Hamming
+//! distance to the query's code — the runtime-dispatched popcount kernel
+//! makes this a linear pass over a few bytes per object — and returns the
+//! `budget` closest ids as candidates for the exact re-rank. Selection
+//! tie-breaks by `(distance, id)`, so the candidate set is deterministic.
+//!
+//! The sidecar file (`sketch.mqbq`) stores the fitted thresholds, the
+//! present bitmap and all codes behind a magic/version header and an
+//! FNV-1a checksum; a reopened partition loads it back instead of
+//! re-fitting, and falls back to a rebuild when the file is missing,
+//! corrupt, or stale (object count mismatch).
+
+use crate::quantizer::BinaryQuantizer;
+use mq_core::CandidatePrescreen;
+use mq_metric::{kernel, ObjectId, Vector};
+use mq_storage::PagedDatabase;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening a sketch sidecar file.
+const MAGIC: &[u8; 4] = b"MQBQ";
+/// Sidecar format version.
+const VERSION: u32 = 1;
+
+/// Binary codes for one collection plus the quantizer that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinarySketch {
+    quantizer: BinaryQuantizer,
+    /// Id-space size (tombstones included): codes has `count * words` words.
+    count: usize,
+    /// Packed codes, row `i` at `codes[i * words .. (i + 1) * words]`.
+    codes: Vec<u64>,
+    /// Bit per id: set = live object, cleared = tombstone slot.
+    present: Vec<u64>,
+}
+
+impl BinarySketch {
+    /// Fits a quantizer on the database's live vectors and encodes every
+    /// object. `planes` is the bitplane count (see [`BinaryQuantizer`]).
+    ///
+    /// # Panics
+    /// Panics if the database holds no live object.
+    pub fn build(db: &PagedDatabase<Vector>, planes: usize) -> Self {
+        let count = db.object_count();
+        let live: Vec<&Vector> = (0..count)
+            .filter_map(|i| db.try_object(ObjectId(i as u32)))
+            .collect();
+        let quantizer = BinaryQuantizer::fit(live, planes);
+        let words = quantizer.words();
+        let mut codes = Vec::with_capacity(count * words);
+        let mut present = vec![0u64; count.div_ceil(64)];
+        for i in 0..count {
+            match db.try_object(ObjectId(i as u32)) {
+                Some(v) => {
+                    quantizer.encode_into(v, &mut codes);
+                    present[i / 64] |= 1 << (i % 64);
+                }
+                None => codes.resize(codes.len() + words, 0),
+            }
+        }
+        Self {
+            quantizer,
+            count,
+            codes,
+            present,
+        }
+    }
+
+    /// The fitted quantizer.
+    pub fn quantizer(&self) -> &BinaryQuantizer {
+        &self.quantizer
+    }
+
+    /// Id-space size the sketch was built over (tombstones included).
+    pub fn object_count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of live codes.
+    pub fn live_count(&self) -> usize {
+        self.present.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    #[inline]
+    fn is_present(&self, i: usize) -> bool {
+        (self.present[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The `budget` ids whose codes are Hamming-closest to `query`'s code,
+    /// ties broken by id. With `budget >= live_count()` this is every live
+    /// id — the exactness escape hatch the bit-identity tests pin.
+    pub fn search(&self, query: &Vector, budget: usize) -> Vec<ObjectId> {
+        let code = self.quantizer.encode(query);
+        let words = self.quantizer.words();
+        let mut ranked: Vec<(u32, u32)> = (0..self.count)
+            .filter(|&i| self.is_present(i))
+            .map(|i| {
+                let row = &self.codes[i * words..(i + 1) * words];
+                (kernel::hamming(&code, row), i as u32)
+            })
+            .collect();
+        if budget < ranked.len() {
+            // O(n) selection; the `(distance, id)` order is total, so the
+            // surviving *set* is unique however the partition shuffles.
+            ranked.select_nth_unstable(budget);
+            ranked.truncate(budget);
+        }
+        ranked.into_iter().map(|(_, i)| ObjectId(i)).collect()
+    }
+
+    /// Serializes the sketch to `path` (magic, version, shape, thresholds,
+    /// present bitmap, codes, FNV-1a checksum), atomically via a `.tmp`
+    /// sibling.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(64 + self.codes.len() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.quantizer.dim() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.quantizer.planes() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.count as u64).to_le_bytes());
+        for &t in self.quantizer.thresholds() {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        for &w in &self.present {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        for &w in &self.codes {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        let tmp = path.with_extension("mqbq.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a sketch back from `path`, verifying magic, version and
+    /// checksum. Corruption surfaces as [`io::ErrorKind::InvalidData`];
+    /// callers treat any error as "rebuild from the database".
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        if buf.len() < 32 {
+            return Err(corrupt("sketch file truncated"));
+        }
+        let (body, sum) = buf.split_at(buf.len() - 8);
+        if fnv1a(body) != u64::from_le_bytes(sum.try_into().unwrap()) {
+            return Err(corrupt("sketch checksum mismatch"));
+        }
+        let mut at = 0usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let s = body
+                .get(at..at + n)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "sketch truncated"))?;
+            at += n;
+            Ok(s)
+        };
+        if take(4)? != MAGIC {
+            return Err(corrupt("not a sketch file"));
+        }
+        let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
+        if u32_at(take(4)?) != VERSION {
+            return Err(corrupt("unsupported sketch version"));
+        }
+        let dim = u32_at(take(4)?) as usize;
+        let planes = u32_at(take(4)?) as usize;
+        let count = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        if dim == 0 || planes == 0 {
+            return Err(corrupt("degenerate sketch shape"));
+        }
+        let mut thresholds = Vec::with_capacity(dim * planes);
+        for _ in 0..dim * planes {
+            thresholds.push(f32::from_le_bytes(take(4)?.try_into().unwrap()));
+        }
+        let quantizer = BinaryQuantizer::from_parts(dim, planes, thresholds);
+        let mut present = Vec::with_capacity(count.div_ceil(64));
+        for _ in 0..count.div_ceil(64) {
+            present.push(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+        }
+        let words = quantizer.words();
+        let mut codes = Vec::with_capacity(count * words);
+        for _ in 0..count * words {
+            codes.push(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+        }
+        if at != body.len() {
+            return Err(corrupt("trailing bytes in sketch file"));
+        }
+        Ok(Self {
+            quantizer,
+            count,
+            codes,
+            present,
+        })
+    }
+
+    /// Loads the sidecar if it is valid *and* matches the database's
+    /// current id-space size; otherwise rebuilds from the database and
+    /// (best-effort) rewrites the sidecar. Returns the sketch and whether
+    /// it was loaded (`true`) or rebuilt (`false`).
+    pub fn load_or_build(path: &Path, db: &PagedDatabase<Vector>, planes: usize) -> (Self, bool) {
+        if let Ok(sketch) = Self::load(path) {
+            if sketch.count == db.object_count() && sketch.quantizer.planes() == planes {
+                return (sketch, true);
+            }
+        }
+        let sketch = Self::build(db, planes);
+        let _ = sketch.save(path);
+        (sketch, false)
+    }
+}
+
+/// FNV-1a over `bytes` — the same checksum family the store's manifests
+/// use; collisions are irrelevant here, torn writes are the threat model.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The binary-quantized Hamming pre-screen as an engine-attachable
+/// candidate tier: per query, the `budget` Hamming-closest live ids.
+pub struct BqPrescreen {
+    sketch: Arc<BinarySketch>,
+    budget: usize,
+    name: String,
+}
+
+impl BqPrescreen {
+    /// Wraps a sketch with a per-query candidate budget.
+    pub fn new(sketch: Arc<BinarySketch>, budget: usize) -> Self {
+        Self {
+            sketch,
+            budget,
+            name: format!("bq:{budget}"),
+        }
+    }
+
+    /// The per-query candidate budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The underlying sketch.
+    pub fn sketch(&self) -> &BinarySketch {
+        &self.sketch
+    }
+}
+
+impl CandidatePrescreen<Vector> for BqPrescreen {
+    fn candidates(&self, query: &Vector) -> Vec<ObjectId> {
+        self.sketch.search(query, self.budget)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_storage::{Dataset, PageLayout};
+
+    fn db(n: usize, dim: usize) -> PagedDatabase<Vector> {
+        let ds = Dataset::new(
+            (0..n)
+                .map(|i| {
+                    Vector::new(
+                        (0..dim)
+                            .map(|d| ((i * 37 + d * 11) % 97) as f32)
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        );
+        PagedDatabase::pack(&ds, PageLayout::new(256, 16))
+    }
+
+    #[test]
+    fn budget_at_least_live_count_returns_everything() {
+        let db = db(50, 8);
+        let sketch = BinarySketch::build(&db, 2);
+        let q = db.object(ObjectId(7)).clone();
+        let mut all = sketch.search(&q, 50);
+        all.sort();
+        assert_eq!(all, (0..50).map(ObjectId).collect::<Vec<_>>());
+        assert_eq!(sketch.search(&q, 1_000_000).len(), 50);
+    }
+
+    #[test]
+    fn self_is_always_a_candidate() {
+        let db = db(120, 8);
+        let sketch = BinarySketch::build(&db, 2);
+        for i in [0u32, 13, 77, 119] {
+            let q = db.object(ObjectId(i)).clone();
+            // Hamming(self, self) = 0, and (0, id) sorts into any budget
+            // unless that many other codes also collide at distance 0 with
+            // smaller ids; budget 16 on 120 spread points is safe.
+            assert!(
+                sketch.search(&q, 16).contains(&ObjectId(i)),
+                "object {i} missing from its own candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstoned_ids_never_surface() {
+        let mut db = db(40, 6);
+        db.delete_object(ObjectId(5));
+        db.delete_object(ObjectId(21));
+        let sketch = BinarySketch::build(&db, 2);
+        assert_eq!(sketch.live_count(), 38);
+        let q = db.object(ObjectId(0)).clone();
+        let hits = sketch.search(&q, 40);
+        assert_eq!(hits.len(), 38);
+        assert!(!hits.contains(&ObjectId(5)));
+        assert!(!hits.contains(&ObjectId(21)));
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let db = db(200, 16);
+        let sketch = BinarySketch::build(&db, 3);
+        let q = db.object(ObjectId(42)).clone();
+        let mut a = sketch.search(&q, 20);
+        let mut b = sketch.search(&q, 20);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sidecar_roundtrips_bit_identically() {
+        let dir = std::env::temp_dir().join("mq_approx_sketch_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.mqbq");
+        let db = db(64, 8);
+        let sketch = BinarySketch::build(&db, 2);
+        sketch.save(&path).unwrap();
+        let loaded = BinarySketch::load(&path).unwrap();
+        assert_eq!(sketch, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_and_load_or_build_recovers() {
+        let dir = std::env::temp_dir().join("mq_approx_sketch_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.mqbq");
+        let db = db(64, 8);
+        let sketch = BinarySketch::build(&db, 2);
+        sketch.save(&path).unwrap();
+        // Flip one byte mid-file: the checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            BinarySketch::load(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let (rebuilt, loaded) = BinarySketch::load_or_build(&path, &db, 2);
+        assert!(!loaded, "corrupt sidecar must trigger a rebuild");
+        assert_eq!(rebuilt, sketch);
+        // The rebuild rewrote the sidecar: the next open loads it.
+        let (again, loaded) = BinarySketch::load_or_build(&path, &db, 2);
+        assert!(loaded);
+        assert_eq!(again, sketch);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_sidecar_is_rebuilt_on_count_mismatch() {
+        let dir = std::env::temp_dir().join("mq_approx_sketch_stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.mqbq");
+        let mut db = db(64, 8);
+        BinarySketch::build(&db, 2).save(&path).unwrap();
+        db.insert_object(Vector::new(vec![1.0; 8]), 16);
+        let (sketch, loaded) = BinarySketch::load_or_build(&path, &db, 2);
+        assert!(!loaded, "stale sidecar must trigger a rebuild");
+        assert_eq!(sketch.object_count(), 65);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

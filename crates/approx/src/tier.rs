@@ -1,0 +1,87 @@
+//! Tier selection and its wire/CLI syntax: `bq:<budget>` | `hnsw:<ef>`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which approximate candidate tier to run in front of the exact
+/// multi-query re-rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApproxTier {
+    /// Binary-quantized Hamming pre-screen with a per-query candidate
+    /// budget.
+    Bq {
+        /// Candidates kept per query (the Hamming-closest ids).
+        budget: usize,
+    },
+    /// In-memory HNSW beam search.
+    Hnsw {
+        /// Beam width = candidates kept per query.
+        ef: usize,
+    },
+}
+
+impl ApproxTier {
+    /// Per-query candidate volume (the budget / beam width).
+    pub fn budget(&self) -> usize {
+        match *self {
+            ApproxTier::Bq { budget } => budget,
+            ApproxTier::Hnsw { ef } => ef,
+        }
+    }
+}
+
+impl fmt::Display for ApproxTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxTier::Bq { budget } => write!(f, "bq:{budget}"),
+            ApproxTier::Hnsw { ef } => write!(f, "hnsw:{ef}"),
+        }
+    }
+}
+
+impl FromStr for ApproxTier {
+    type Err = String;
+
+    /// Parses `bq:<budget>` or `hnsw:<ef>`; both numbers must be positive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, num) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected bq:<budget> or hnsw:<ef>, got '{s}'"))?;
+        let n: usize = num
+            .parse()
+            .map_err(|_| format!("'{num}' is not a number in approx tier '{s}'"))?;
+        if n == 0 {
+            return Err(format!("approx tier '{s}' needs a positive budget"));
+        }
+        match kind {
+            "bq" => Ok(ApproxTier::Bq { budget: n }),
+            "hnsw" => Ok(ApproxTier::Hnsw { ef: n }),
+            other => Err(format!("unknown approx tier '{other}' (use bq or hnsw)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays_round_trip() {
+        for s in ["bq:500", "hnsw:64"] {
+            let t: ApproxTier = s.parse().unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+        assert_eq!(
+            "bq:500".parse::<ApproxTier>().unwrap(),
+            ApproxTier::Bq { budget: 500 }
+        );
+        assert_eq!("bq:500".parse::<ApproxTier>().unwrap().budget(), 500);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["bq", "bq:", "bq:x", "bq:0", "lsh:5", "hnsw:-3"] {
+            assert!(s.parse::<ApproxTier>().is_err(), "'{s}' should not parse");
+        }
+    }
+}

@@ -1,12 +1,16 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use mq_core::{CostModel, QueryEngine, QueryType, StatsProbe};
+use mq_approx::{
+    ApproxTier, BinarySketch, BqPrescreen, Hnsw, HnswConfig, HnswPrescreen, DEFAULT_PLANES,
+};
+use mq_core::{CandidatePrescreen, CostModel, QueryEngine, QueryType, StatsProbe};
 use mq_datagen::{classification_query_ids, embeddings, image_histograms, tycho_like};
 use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
 use mq_metric::{CountingMetric, Euclidean, Metric, ObjectId, Vector, VectorMetric};
 use mq_storage::{persist, Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
-use mq_vafile::{VaConfig, VaFile};
+use mq_vafile::{VaConfig, VaFile, VaPageIndex};
+use std::sync::Arc;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -109,6 +113,46 @@ fn resolve_index_for_metric(
     Ok(which)
 }
 
+/// Parses `--approx bq:<budget>|hnsw:<ef>` (absent → exact engine). The
+/// candidate tiers rank by Euclidean proximity, so any other metric is
+/// refused up front rather than silently mis-screened.
+fn parse_approx(
+    args: &Args,
+    metric: VectorMetric,
+) -> Result<Option<ApproxTier>, Box<dyn std::error::Error>> {
+    if !args.has("approx") {
+        return Ok(None);
+    }
+    let tier: ApproxTier = args.required("approx")?.parse()?;
+    if metric != VectorMetric::Euclidean {
+        return Err(format!(
+            "--approx requires --metric euclidean: the {tier} tier ranks candidates \
+             by Euclidean proximity",
+        )
+        .into());
+    }
+    Ok(Some(tier))
+}
+
+/// Builds the in-memory prescreen for one tier over `db`'s id space (the
+/// serve path additionally persists binary sketches next to file stores;
+/// the offline commands rebuild per run).
+fn build_prescreen(
+    tier: ApproxTier,
+    db: &PagedDatabase<Vector>,
+) -> Box<dyn CandidatePrescreen<Vector>> {
+    match tier {
+        ApproxTier::Bq { budget } => Box::new(BqPrescreen::new(
+            Arc::new(BinarySketch::build(db, DEFAULT_PLANES)),
+            budget,
+        )),
+        ApproxTier::Hnsw { ef } => Box::new(HnswPrescreen::new(
+            Arc::new(Hnsw::build(db, HnswConfig::default())),
+            ef,
+        )),
+    }
+}
+
 /// An access method plus the database laid out for it.
 type IndexedDb = (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>);
 
@@ -144,6 +188,10 @@ fn build_index(
             );
             Ok((Box::new(tree), db))
         }
+        "vafile" => {
+            let db = PagedDatabase::pack(&ds, db.layout());
+            Ok((Box::new(VaPageIndex::build(&db, 6)), db))
+        }
         other => Err(format!("unknown --index '{other}' (scan|xtree|mtree|vafile)").into()),
     }
 }
@@ -158,6 +206,14 @@ pub fn query(args: &Args) -> CmdResult {
     let q = stored.object(ObjectId(object_id)).clone();
     let metric_choice = parse_metric(args)?;
     let which = resolve_index_for_metric(args, metric_choice, "xtree")?;
+    let tier = parse_approx(args, metric_choice)?;
+    if tier.is_some() && which == "vafile" {
+        return Err(
+            "--approx does not combine with the vafile filter-and-refine path; \
+             use --index scan, xtree, or mtree"
+                .into(),
+        );
+    }
     let dim = q.dim();
     let model = CostModel::paper_1999(dim);
     let metric = CountingMetric::new(metric_choice);
@@ -180,10 +236,32 @@ pub fn query(args: &Args) -> CmdResult {
         (answers, stats)
     } else {
         let (index, db) = build_index(&stored, &which)?;
+        let prescreen = tier.map(|t| build_prescreen(t, &db));
         let disk = SimulatedDisk::new(db, 0.10);
-        let engine = QueryEngine::new(&disk, &*index, metric.clone());
+        let mut engine = QueryEngine::new(&disk, &*index, metric.clone());
+        if let Some(p) = &prescreen {
+            engine = engine.with_prescreen(&**p);
+        }
         let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
-        let answers = engine.similarity_query(&q, &qtype);
+        let answers = if prescreen.is_some() {
+            // The prescreen hooks into session admission, so an
+            // approximate single query runs as a one-query batch.
+            let mut session = engine.new_session(vec![(q.clone(), qtype)]);
+            engine.run_to_completion(&mut session);
+            let a = session.answers(0).clone();
+            let s = session.approx_stats();
+            println!(
+                "approx {}: {} candidates, {} pages + {} objects prefiltered, {} re-ranked",
+                tier.expect("prescreen implies tier"),
+                s.candidates_emitted,
+                s.pages_skipped,
+                s.objects_skipped,
+                s.rerank_survivors,
+            );
+            a
+        } else {
+            engine.similarity_query(&q, &qtype)
+        };
         (answers, probe.finish(&disk, Default::default()))
     };
 
@@ -211,15 +289,23 @@ pub fn batch(args: &Args) -> CmdResult {
     let seed: u64 = args.parse_or("seed", 1)?;
     let metric_choice = parse_metric(args)?;
     let which = resolve_index_for_metric(args, metric_choice, "scan")?;
+    let tier = parse_approx(args, metric_choice)?;
     let avoidance = !args.has("no-avoidance");
 
     let (index, db) = build_index(&stored, &which)?;
+    let prescreen = tier.map(|t| build_prescreen(t, &db));
     let dim = db.object(ObjectId(0)).dim();
     let model = CostModel::paper_1999(dim);
     let disk = SimulatedDisk::new(db, 0.10);
     let metric = CountingMetric::new(metric_choice);
     let engine = {
-        let e = QueryEngine::new(&disk, &*index, metric.clone());
+        let mut e = QueryEngine::new(&disk, &*index, metric.clone());
+        // The tier only hooks into session admission: the singles loop
+        // below stays exact, so the printed comparison is the exact
+        // baseline against the approximate shared-batch run.
+        if let Some(p) = &prescreen {
+            e = e.with_prescreen(&**p);
+        }
         if avoidance {
             e
         } else {
@@ -249,17 +335,20 @@ pub fn batch(args: &Args) -> CmdResult {
     metric.counter().reset();
     let probe = StatsProbe::start(&disk, metric.counter(), Default::default());
     let mut avoided = 0u64;
+    let mut approx_stats = mq_core::ApproxStats::default();
     for block in queries.chunks(m) {
         let mut session = engine.new_session(block.to_vec());
         engine.run_to_completion(&mut session);
         avoided += session.avoidance_stats().avoided;
+        approx_stats += session.approx_stats();
     }
     let multiple = probe.finish(&disk, Default::default());
 
     println!(
-        "{n_queries} x {qtype} via {which} ({} distance, avoidance {}):",
+        "{n_queries} x {qtype} via {which} ({} distance, avoidance {}, approx {}):",
         metric_choice.name(),
-        if avoidance { "on" } else { "off" }
+        if avoidance { "on" } else { "off" },
+        tier.map_or("off".to_string(), |t| t.to_string()),
     );
     println!(
         "  singles      : {:>9} page reads, {:>11} distance calcs, modeled {:>9.3} s",
@@ -278,6 +367,16 @@ pub fn batch(args: &Args) -> CmdResult {
         model.total_seconds(&singles) / model.total_seconds(&multiple),
         avoided
     );
+    if tier.is_some() {
+        println!(
+            "  approx: {} candidates emitted, {} pages + {} objects prefiltered, \
+             {} re-ranked exactly",
+            approx_stats.candidates_emitted,
+            approx_stats.pages_skipped,
+            approx_stats.objects_skipped,
+            approx_stats.rerank_survivors,
+        );
+    }
     Ok(())
 }
 
@@ -297,9 +396,9 @@ fn parse_store(args: &Args) -> Result<mq_server::StoreChoice, Box<dyn std::error
 pub fn serve(args: &Args) -> CmdResult {
     use mq_obs::{Recorder, Registry};
     use mq_server::{
-        build_backend_with_recorder, ExecutionMode, QueryServer, ServerConfig, StoreChoice,
+        build_backend_with_recorder, ExecutionMode, FileIndex, QueryServer, ServerConfig,
+        StoreChoice,
     };
-    use std::sync::Arc;
     let stored = load(args)?;
     let addr = args.string_or("addr", "127.0.0.1:7878");
     let metric = parse_metric(args)?;
@@ -334,15 +433,31 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_retry_budget(retry_budget)
         .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
         .with_store(store.clone())
-        .with_metric(metric);
+        .with_metric(metric)
+        .with_approx(parse_approx(args, metric)?);
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
     }
-    let which = if matches!(store, StoreChoice::File(_)) && which != "scan" {
-        println!("note: the file store serves its recovered page layout via sequential scan; --index {which} is ignored");
-        "scan".to_string()
-    } else {
-        which
+    // The file store serves its recovered page layout as-is, so only
+    // indexes that summarize an existing layout qualify: the sequential
+    // scan and the VA page index. The tree bulk-loaders would repack —
+    // an explicit request for one is an error, while the implicit
+    // default (xtree) quietly falls back to the scan.
+    let which = match (&store, which.as_str()) {
+        (StoreChoice::File(_), "scan") => which,
+        (StoreChoice::File(_), "vafile") => {
+            config = config.with_file_index(FileIndex::VaPage);
+            which
+        }
+        (StoreChoice::File(_), other) if args.has("index") => {
+            return Err(format!(
+                "--store file:<DIR> serves the recovered page layout; --index {other} \
+                 would repack it (supported: scan, vafile)"
+            )
+            .into())
+        }
+        (StoreChoice::File(_), _) => "scan".to_string(),
+        _ => which,
     };
 
     let log_interval_s: u64 = args.parse_or("log-interval-s", 60)?;

@@ -30,23 +30,30 @@ USAGE:
   mq query <FILE> --object <ID> (--knn <K> | --range <EPS>)
                 [--index scan|xtree|mtree|vafile]
                 [--metric euclidean|manhattan|cosine|dot]
+                [--approx bq:<BUDGET>|hnsw:<EF>]
       Run one similarity query and print answers plus cost counters.
       Non-Euclidean metrics require --index scan (tree and VA-file page
-      bounds are Euclidean geometry).
+      bounds are Euclidean geometry). --approx prescreens candidates
+      with a lossy tier (binary-quantized Hamming scan keeping BUDGET
+      ids, or an HNSW beam of width EF) and re-ranks them exactly —
+      recall may drop, reported distances never lie.
 
   mq batch <FILE> --queries <N> --m <M> (--knn <K> | --range <EPS>)
-                [--index scan|xtree|mtree] [--metric ...] [--seed <S>]
-                [--no-avoidance]
+                [--index scan|xtree|mtree|vafile] [--metric ...] [--seed <S>]
+                [--no-avoidance] [--approx bq:<BUDGET>|hnsw:<EF>]
       Run N random queries in blocks of M and compare against singles.
+      With --approx the blocks run through the approximate candidate
+      tier (the singles baseline stays exact).
 
   mq dbscan <FILE> --eps <EPS> --min-pts <P> [--batch <M>]
       Density-based clustering with single or multiple queries.
 
-  mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree]
+  mq serve <FILE> [--addr 127.0.0.1:7878] [--index scan|xtree|mtree|vafile]
                 [--metric euclidean|manhattan|cosine|dot]
                 [--store sim|file:<DIR>] [--max-batch <M>] [--max-wait-ms <MS>]
                 [--cluster <S>] [--threads <T>] [--prefetch-depth <D>]
                 [--leader fifo|nearest] [--workers <W>] [--no-avoidance]
+                [--approx bq:<BUDGET>|hnsw:<EF>]
       Serve the database over TCP, batching concurrent client queries
       into multiple similarity queries (one engine, or a shared-nothing
       cluster of S servers with --cluster). --store file:<DIR> serves
@@ -61,6 +68,12 @@ USAGE:
       evaluate (non-Euclidean metrics require --index scan); clients
       receive distances under the server's configured metric — e.g.
       serve an embeddings database with --metric cosine --index scan.
+      A file store serves its recovered layout: --index scan or vafile
+      only (the VA page index summarizes the layout in place; trees
+      would repack and are refused). --approx installs the lossy
+      candidate tier in front of the exact engine; bq sketches persist
+      as sketch.mqbq next to a file store's pages and are reloaded,
+      checksum-verified, on restart.
 
   mq insert <STOREDIR> --vector 1.0,2.0,... [--checkpoint true]
       Append one object to a durable file store: WAL append + fsync,

@@ -5,6 +5,7 @@ use crate::fault::{EngineError, FaultPolicy};
 use crate::multiple::{self, LeaderPolicy, MultiQuerySession};
 use crate::obs::EngineObs;
 use crate::pool::WorkerPool;
+use crate::prescreen::CandidatePrescreen;
 use crate::query::QueryType;
 use crate::single;
 use mq_index::SimilarityIndex;
@@ -109,6 +110,10 @@ pub struct QueryEngine<'a, O, M> {
     /// The recorder the engine was wired with, so a lazily created
     /// [`WorkerPool`] inherits it.
     recorder: Recorder,
+    /// The approximate candidate tier, if any: queries admitted into a
+    /// session are prescreened and the session restricted to the candidate
+    /// union (see [`CandidatePrescreen`]). `None` = the exact engine.
+    prescreen: Option<&'a dyn CandidatePrescreen<O>>,
 }
 
 impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
@@ -123,7 +128,21 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
             pool: OnceLock::new(),
             obs: None,
             recorder: Recorder::disabled(),
+            prescreen: None,
         }
+    }
+
+    /// Attaches an approximate candidate tier: every query admitted into a
+    /// session (at [`new_session`](Self::new_session) or
+    /// [`push_query`](Self::push_query)) is prescreened and the session is
+    /// restricted to the union of all candidate sets — candidate-free plan
+    /// pages are skipped, non-candidate records are dropped before any
+    /// distance work, and the survivors are re-ranked exactly. Answers
+    /// become approximate (recall < 1 is possible); a prescreen that emits
+    /// every object keeps them bit-identical to the exact engine.
+    pub fn with_prescreen(mut self, prescreen: &'a dyn CandidatePrescreen<O>) -> Self {
+        self.prescreen = Some(prescreen);
+        self
     }
 
     /// Wires an observability [`Recorder`] through the engine: step,
@@ -258,6 +277,23 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         self.options.avoidance
     }
 
+    /// The attached approximate tier's name, if any.
+    pub fn prescreen_name(&self) -> Option<&str> {
+        self.prescreen.map(|p| p.name())
+    }
+
+    /// Prescreens one admitted query and folds its candidates into the
+    /// session's restriction.
+    fn apply_prescreen(&self, session: &mut MultiQuerySession<O>, qi: usize) {
+        if let Some(prescreen) = self.prescreen {
+            let ids = prescreen.candidates(session.query_object(qi));
+            if let Some(o) = &self.obs {
+                o.approx.candidates.add(ids.len() as u64);
+            }
+            session.restrict(&ids, self.disk.database());
+        }
+    }
+
     /// Answers one similarity query (Fig. 1).
     ///
     /// # Panics
@@ -294,7 +330,8 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
     ) -> MultiQuerySession<O> {
         let mut session = MultiQuerySession::with_page_count(self.disk.database().page_count());
         for (object, qtype) in queries {
-            multiple::admit(&mut session, &self.metric, object, qtype);
+            let qi = multiple::admit(&mut session, &self.metric, object, qtype);
+            self.apply_prescreen(&mut session, qi);
         }
         session
     }
@@ -309,7 +346,9 @@ impl<'a, O: StorageObject, M: Metric<O>> QueryEngine<'a, O, M> {
         object: O,
         qtype: QueryType,
     ) -> usize {
-        multiple::admit(session, &self.metric, object, qtype)
+        let qi = multiple::admit(session, &self.metric, object, qtype);
+        self.apply_prescreen(session, qi);
+        qi
     }
 
     /// One call of the paper's `multiple_similarity_query` (Fig. 4):

@@ -37,6 +37,7 @@ pub mod fault;
 pub mod multiple;
 pub mod obs;
 pub mod pool;
+pub mod prescreen;
 pub mod query;
 pub mod single;
 pub mod stats;
@@ -47,8 +48,9 @@ pub use browse::DistanceBrowser;
 pub use db::MetricDatabase;
 pub use engine::{EngineOptions, QueryEngine};
 pub use fault::{EngineError, FaultPolicy};
-pub use multiple::{LeaderPolicy, MultiQuerySession};
+pub use multiple::{ApproxStats, LeaderPolicy, MultiQuerySession};
 pub use obs::EngineObs;
 pub use pool::WorkerPool;
+pub use prescreen::CandidatePrescreen;
 pub use query::{QueryKind, QueryType};
 pub use stats::{CostModel, ExecutionStats, StatsProbe};

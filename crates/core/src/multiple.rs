@@ -90,7 +90,7 @@ use crate::pool::WorkerPool;
 use crate::query::QueryType;
 use mq_index::SimilarityIndex;
 use mq_metric::{Metric, ObjectId};
-use mq_storage::{PageId, PageStore, StorageObject};
+use mq_storage::{PageId, PageStore, PagedDatabase, StorageObject};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -189,6 +189,76 @@ pub(crate) struct QueryState {
     pub(crate) completed: bool,
 }
 
+/// Recall-proxy counters of the approximate candidate tier. All zeros
+/// unless the session's engine has a
+/// [`CandidatePrescreen`](crate::CandidatePrescreen) attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApproxStats {
+    /// Candidate ids emitted by the prescreen, summed over admitted
+    /// queries (before the union collapses duplicates).
+    pub candidates_emitted: u64,
+    /// Plan pages never read because no candidate lives on them.
+    pub pages_skipped: u64,
+    /// Page records skipped by the candidate filter before any avoidance
+    /// or distance work (counted once per page evaluation, not per query).
+    pub objects_skipped: u64,
+    /// Exact answers produced by the re-rank: candidate distances that
+    /// passed their query's bound at evaluation time.
+    pub rerank_survivors: u64,
+}
+
+impl std::ops::AddAssign for ApproxStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.candidates_emitted += rhs.candidates_emitted;
+        self.pages_skipped += rhs.pages_skipped;
+        self.objects_skipped += rhs.objects_skipped;
+        self.rerank_survivors += rhs.rerank_survivors;
+    }
+}
+
+/// The union of every admitted query's prescreen candidates: an object-id
+/// bitset plus the set of pages holding at least one candidate. The step
+/// loop skips plan pages outside `pages` and page records outside
+/// `objects`; everything that survives runs through the exact machinery.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CandidateRestriction {
+    /// Bit per object id (the candidate union).
+    objects: Vec<u64>,
+    /// Bit per page id (pages with at least one candidate).
+    pages: Vec<u64>,
+}
+
+impl CandidateRestriction {
+    /// Adds one candidate object and the page it lives on, growing both
+    /// universes as needed (online inserts can append fresh ids/pages).
+    pub(crate) fn admit(&mut self, id: ObjectId, page: PageId) {
+        let oi = id.index();
+        if oi / 64 >= self.objects.len() {
+            self.objects.resize(oi / 64 + 1, 0);
+        }
+        self.objects[oi / 64] |= 1 << (oi % 64);
+        let pi = page.index();
+        if pi / 64 >= self.pages.len() {
+            self.pages.resize(pi / 64 + 1, 0);
+        }
+        self.pages[pi / 64] |= 1 << (pi % 64);
+    }
+
+    /// Whether `id` is in the candidate union.
+    #[inline]
+    pub(crate) fn contains_object(&self, id: ObjectId) -> bool {
+        let i = id.index();
+        i / 64 < self.objects.len() && (self.objects[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Whether `page` holds at least one candidate.
+    #[inline]
+    pub(crate) fn covers_page(&self, page: PageId) -> bool {
+        let i = page.index();
+        i / 64 < self.pages.len() && (self.pages[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
 /// The state of one multiple similarity query across incremental calls —
 /// partial answers, processed-page sets, the inter-query distance matrix,
 /// and the avoidance counters.
@@ -210,6 +280,11 @@ pub struct MultiQuerySession<O> {
     /// The leader completed by the most recent step — the chain link
     /// consulted by [`LeaderPolicy::NearestChain`].
     pub(crate) last_leader: Option<usize>,
+    /// The approximate tier's candidate union, when the engine has a
+    /// prescreen attached. `None` means the exact engine — the step loop
+    /// takes no restriction branch at all.
+    pub(crate) restriction: Option<CandidateRestriction>,
+    pub(crate) approx_stats: ApproxStats,
 }
 
 impl<O> MultiQuerySession<O> {
@@ -221,6 +296,8 @@ impl<O> MultiQuerySession<O> {
             avoidance_stats: AvoidanceStats::default(),
             page_count,
             last_leader: None,
+            restriction: None,
+            approx_stats: ApproxStats::default(),
         }
     }
 
@@ -281,6 +358,19 @@ impl<O> MultiQuerySession<O> {
         self.avoidance_stats
     }
 
+    /// The accumulated approximate-tier counters (all zeros for an exact
+    /// session).
+    pub fn approx_stats(&self) -> ApproxStats {
+        self.approx_stats
+    }
+
+    /// Whether this session runs under a candidate restriction (i.e. the
+    /// engine has a prescreen attached and at least one query was
+    /// admitted through it).
+    pub fn is_restricted(&self) -> bool {
+        self.restriction.is_some()
+    }
+
     /// Consumes the session into the final answer lists, one per query, in
     /// admission order.
     pub fn into_answers(self) -> Vec<Vec<Answer>> {
@@ -288,6 +378,26 @@ impl<O> MultiQuerySession<O> {
             .into_iter()
             .map(|s| s.answers.into_vec())
             .collect()
+    }
+
+    /// Folds one query's prescreen candidates into the session's
+    /// restriction, resolving each candidate id to its page so the step
+    /// loop can skip candidate-free plan pages wholesale. Ids unknown to
+    /// the database (a prescreen sketch can outlive a delete) are dropped
+    /// here — they could never be read anyway.
+    pub(crate) fn restrict(&mut self, ids: &[ObjectId], db: &PagedDatabase<O>)
+    where
+        O: StorageObject,
+    {
+        let restriction = self
+            .restriction
+            .get_or_insert_with(CandidateRestriction::default);
+        self.approx_stats.candidates_emitted += ids.len() as u64;
+        for &id in ids {
+            if let Some((page, _)) = db.try_locate(id) {
+                restriction.admit(id, page);
+            }
+        }
     }
 
     /// Grows the session's page universe (after an online insert appended
@@ -327,6 +437,11 @@ where
     M: Metric<O>,
 {
     session.grow(page_count);
+    if let Some(restriction) = &mut session.restriction {
+        // A fresh insert postdates every prescreen sketch, so no sketch
+        // can vouch for (or against) it: always admit it as a candidate.
+        restriction.admit(new_id, page);
+    }
     let MultiQuerySession {
         objects, states, ..
     } = &mut *session;
@@ -398,6 +513,7 @@ pub(crate) fn admit<O, M: Metric<O>>(
 /// the chunk, in record order.
 struct ChunkOutcome {
     stats: AvoidanceStats,
+    approx: ApproxStats,
     candidates: Vec<Vec<Answer>>,
 }
 
@@ -421,6 +537,14 @@ const MORSELS_PER_THREAD: usize = 4;
 /// batch kernel. The last active query skips pivot recording entirely and
 /// uses the early-exit bounded kernel, since no later query will consult
 /// its distances.
+///
+/// With a candidate `filter` (the approximate tier), non-candidate records
+/// are dropped before any avoidance or distance work — for *every* active
+/// query, so the filter's effect is record-wise and chunk boundaries stay
+/// irrelevant. A `filter` that contains every record is a no-op: the
+/// pending lists, pivot matrices and counters are bit-identical to the
+/// unfiltered run.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_chunk<O, M>(
     records: &[(ObjectId, O)],
     queries: &[O],
@@ -429,6 +553,7 @@ fn evaluate_chunk<O, M>(
     active: &[usize],
     qd: &[f64],
     options: EngineOptions,
+    filter: Option<&CandidateRestriction>,
 ) -> ChunkOutcome
 where
     O: StorageObject,
@@ -436,6 +561,7 @@ where
 {
     let m = active.len();
     let mut stats = AvoidanceStats::default();
+    let mut approx = ApproxStats::default();
     let mut candidates: Vec<Vec<Answer>> = std::iter::repeat_with(Vec::new).take(m).collect();
     // dists[oi * m + qi] = computed distance of records[oi] to query
     // active[qi]; NaN = avoided / not computed. This is the paper's
@@ -452,6 +578,16 @@ where
         let query = &queries[i];
         pending.clear();
         for oi in 0..records.len() {
+            if let Some(f) = filter {
+                if !f.contains_object(records[oi].0) {
+                    if qi == 0 {
+                        // Count each skipped record once per page
+                        // evaluation, not once per active query.
+                        approx.objects_skipped += 1;
+                    }
+                    continue;
+                }
+            }
             if options.avoidance && qi > 0 {
                 // Pivots in active order, first `pivot_cap` computed ones —
                 // the same list the sequential loop would consult.
@@ -499,16 +635,26 @@ where
         }
     }
 
-    ChunkOutcome { stats, candidates }
+    if filter.is_some() {
+        approx.rerank_survivors = candidates.iter().map(|c| c.len() as u64).sum();
+    }
+
+    ChunkOutcome {
+        stats,
+        approx,
+        candidates,
+    }
 }
 
 fn merge_outcome(
     states: &mut [QueryState],
     stats: &mut AvoidanceStats,
+    approx: &mut ApproxStats,
     active: &[usize],
     outcome: ChunkOutcome,
 ) {
     *stats += outcome.stats;
+    *approx += outcome.approx;
     for (qi, candidates) in outcome.candidates.into_iter().enumerate() {
         let answers = &mut states[active[qi]].answers;
         for answer in candidates {
@@ -620,18 +766,23 @@ where
     // records on every exit — success, fault error, or unwind.
     let step_span = obs.map(|o| o.step_seconds.start_timer());
     let avoidance_before = session.avoidance_stats;
+    let approx_before = session.approx_stats;
 
-    // Split the session so workers can hold `objects` and `qq` immutably
-    // while the merge below mutates `states` / `avoidance_stats`.
+    // Split the session so workers can hold `objects`, `qq` and the
+    // candidate restriction immutably while the merge below mutates
+    // `states` / `avoidance_stats` / `approx_stats`.
     let MultiQuerySession {
         objects,
         states,
         qq,
         avoidance_stats,
+        restriction,
+        approx_stats,
         ..
     } = &mut *session;
     let objects: &[O] = objects.as_slice();
     let qq: &QueryDistanceMatrix = &*qq;
+    let filter: Option<&CandidateRestriction> = restriction.as_ref();
 
     let head_object = objects[head].clone();
     let mut plan = index.plan(&head_object);
@@ -665,6 +816,14 @@ where
                 // Already evaluated for the head while it was a trailing
                 // query of an earlier call — that page is free now.
                 continue;
+            }
+            if let Some(f) = filter {
+                if !f.covers_page(page_id) {
+                    // No candidate of any admitted query lives on this
+                    // page: the approximate tier never reads it.
+                    approx_stats.pages_skipped += 1;
+                    continue;
+                }
             }
             if !window.is_empty() {
                 // A prefetch that faults past the budget is absorbed: the
@@ -738,6 +897,7 @@ where
                     active_ref,
                     qd_ref,
                     options,
+                    filter,
                 );
                 *outcomes[i].lock().unwrap() = Some(outcome);
             });
@@ -750,16 +910,24 @@ where
                     .into_inner()
                     .unwrap()
                     .expect("pool.run completed every morsel");
-                merge_outcome(states, avoidance_stats, &active, outcome);
+                merge_outcome(states, avoidance_stats, approx_stats, &active, outcome);
             }
             drop(merge_span);
         } else {
             let eval_span = obs.map(|o| o.eval_seconds.start_timer());
-            let outcome =
-                evaluate_chunk(records, objects, qq, metric, &active, &qd_snapshot, options);
+            let outcome = evaluate_chunk(
+                records,
+                objects,
+                qq,
+                metric,
+                &active,
+                &qd_snapshot,
+                options,
+                filter,
+            );
             drop(eval_span);
             let merge_span = obs.map(|o| o.merge_seconds.start_timer());
-            merge_outcome(states, avoidance_stats, &active, outcome);
+            merge_outcome(states, avoidance_stats, approx_stats, &active, outcome);
             drop(merge_span);
         }
         for &i in &active {
@@ -776,6 +944,16 @@ where
         o.dist_avoided.add(after.avoided - avoidance_before.avoided);
         o.dist_performed
             .add(after.computed - avoidance_before.computed);
+        let approx_after = session.approx_stats;
+        o.approx
+            .pages_skipped
+            .add(approx_after.pages_skipped - approx_before.pages_skipped);
+        o.approx
+            .objects_skipped
+            .add(approx_after.objects_skipped - approx_before.objects_skipped);
+        o.approx
+            .rerank_survivors
+            .add(approx_after.rerank_survivors - approx_before.rerank_survivors);
         if let Some(span) = &step_span {
             o.completion_seconds.observe(span.elapsed_secs());
         }

@@ -43,6 +43,27 @@ pub struct EngineObs {
     pub(crate) eval_seconds: Arc<Histogram>,
     /// `mq_core_stage_seconds{stage="merge"}` — ordered answer merging.
     pub(crate) merge_seconds: Arc<Histogram>,
+    /// Approximate-tier counters (all stay zero for an exact engine).
+    pub(crate) approx: ApproxObs,
+}
+
+/// Instruments of the approximate candidate tier — the live mirror of
+/// [`ApproxStats`](crate::ApproxStats), plus the candidate volume the
+/// prescreen emitted. Recall itself needs ground truth, but
+/// `rerank_survivors / candidates` is the scrape-time proxy for how much
+/// of the candidate budget turns into exact answers.
+#[derive(Debug)]
+pub struct ApproxObs {
+    /// `mq_core_approx_candidates_total` — candidate ids emitted by the
+    /// prescreen across all queries.
+    pub(crate) candidates: Arc<Counter>,
+    /// `mq_core_approx_prefilter_skips_total{kind="page"}`.
+    pub(crate) pages_skipped: Arc<Counter>,
+    /// `mq_core_approx_prefilter_skips_total{kind="object"}`.
+    pub(crate) objects_skipped: Arc<Counter>,
+    /// `mq_core_approx_rerank_survivors_total` — candidates whose exact
+    /// distance passed the query bound at evaluation time.
+    pub(crate) rerank_survivors: Arc<Counter>,
 }
 
 impl EngineObs {
@@ -77,6 +98,14 @@ impl EngineObs {
                 &DURATION_BOUNDS,
             )
         };
+        let skip = |kind: &str| {
+            registry.counter(
+                "mq_core_approx_prefilter_skips_total",
+                "Pages / page records skipped by the approximate tier's \
+                 candidate prefilter",
+                &[("kind", kind)],
+            )
+        };
         Some(Arc::new(Self {
             steps: registry.counter(
                 "mq_core_steps_total",
@@ -105,6 +134,21 @@ impl EngineObs {
             fetch_seconds: stage("page_fetch"),
             eval_seconds: stage("kernel_eval"),
             merge_seconds: stage("merge"),
+            approx: ApproxObs {
+                candidates: registry.counter(
+                    "mq_core_approx_candidates_total",
+                    "Candidate ids emitted by the approximate prescreen",
+                    &[],
+                ),
+                pages_skipped: skip("page"),
+                objects_skipped: skip("object"),
+                rerank_survivors: registry.counter(
+                    "mq_core_approx_rerank_survivors_total",
+                    "Prescreen candidates whose exact re-rank distance \
+                     passed the query bound",
+                    &[],
+                ),
+            },
         }))
     }
 }

@@ -1,0 +1,39 @@
+//! The approximate candidate tier's engine-side hook.
+//!
+//! A [`CandidatePrescreen`] is a lossy index over the stored objects: for a
+//! query object it emits a *candidate set* of object ids that is expected —
+//! but not guaranteed — to contain the query's true answers. When a
+//! prescreen is attached to a [`QueryEngine`](crate::QueryEngine), every
+//! session restricts its work to the **union** of all admitted queries'
+//! candidate sets: plan pages holding no candidate are never read, and
+//! non-candidate records on the pages that are read are skipped before any
+//! distance work. Everything else — shared page fetches, per-page
+//! QueryDist snapshots, §5.2 triangle avoidance, the exact batch kernels —
+//! runs unchanged over the surviving candidates, so the emitted distances
+//! are exact ("re-rank") and only the candidate *selection* is
+//! approximate.
+//!
+//! Exactness boundary: with no prescreen attached the engine is untouched
+//! (bit-identical answers, counters and I/O). With a prescreen whose
+//! candidate set is the whole database (budget = N), the restriction never
+//! skips anything and the results are again bit-identical to the exact
+//! engine. Anything narrower trades recall for CPU and I/O — measured by
+//! [`ApproxStats`](crate::ApproxStats) and the `bench_ann` recall curves.
+
+use mq_metric::ObjectId;
+
+/// A lossy candidate generator feeding the exact multiple-query re-rank.
+///
+/// Implementations must be cheap relative to exact evaluation (the whole
+/// point) and deterministic: the same query must yield the same candidate
+/// list, or the engine's reproducibility guarantees dissolve. Ids must be
+/// valid in the database the engine serves.
+pub trait CandidatePrescreen<O>: Send + Sync {
+    /// The candidate object ids for `query`; order is irrelevant (the
+    /// engine unions them into a bitset). Duplicates are allowed and
+    /// collapse in the union.
+    fn candidates(&self, query: &O) -> Vec<ObjectId>;
+
+    /// A short name for reports and `describe()` strings.
+    fn name(&self) -> &str;
+}

@@ -353,6 +353,31 @@ pub fn dot_at(level: SimdLevel, xs: &[f32], ys: &[f32]) -> f64 {
     )
 }
 
+/// Hamming distance between two packed bit codes (`u64` words, compared
+/// up to the shorter length) at the process-wide tier. This is the
+/// approximate tier's pre-screen hot loop: one XOR + popcount per word.
+#[inline]
+pub fn hamming(xs: &[u64], ys: &[u64]) -> u32 {
+    hamming_at(active(), xs, ys)
+}
+
+/// Hamming distance at an explicit tier. Pure integer arithmetic, so all
+/// tiers return the exact same count — dispatch exists because the AVX2
+/// (nibble-lookup) and NEON (`vcnt`) tiers count several words per
+/// instruction.
+#[inline]
+pub fn hamming_at(level: SimdLevel, xs: &[u64], ys: &[u64]) -> u32 {
+    let n = xs.len().min(ys.len());
+    let (xs, ys) = (&xs[..n], &ys[..n]);
+    dispatch!(
+        level,
+        scalar::hamming(xs, ys),
+        x86::hamming_sse2(xs, ys),
+        x86::hamming_avx2(xs, ys),
+        neon::hamming_neon(xs, ys)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +468,56 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    fn pseudo_words(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hamming_identical_across_tiers_and_word_counts() {
+        // Word counts around every block boundary: AVX2 blocks are 4
+        // words, NEON blocks 2, and the tail loop takes the rest.
+        for words in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 33] {
+            let xs = pseudo_words(words, 11);
+            let ys = pseudo_words(words, 97);
+            let reference: u32 = xs.iter().zip(&ys).map(|(x, y)| (x ^ y).count_ones()).sum();
+            for level in available_levels() {
+                assert_eq!(
+                    hamming_at(level, &xs, &ys),
+                    reference,
+                    "hamming {level:?} words={words}"
+                );
+            }
+            // Self-distance is zero, full complement is every bit.
+            let flipped: Vec<u64> = xs.iter().map(|x| !x).collect();
+            for level in available_levels() {
+                assert_eq!(hamming_at(level, &xs, &xs), 0, "{level:?}");
+                assert_eq!(
+                    hamming_at(level, &xs, &flipped),
+                    64 * words as u32,
+                    "{level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_compares_up_to_the_shorter_code() {
+        let xs = pseudo_words(6, 5);
+        let ys = pseudo_words(4, 31);
+        let expect = hamming_at(SimdLevel::Scalar, &xs[..4], &ys);
+        for level in available_levels() {
+            assert_eq!(hamming_at(level, &xs, &ys), expect, "{level:?}");
         }
     }
 }

@@ -5,8 +5,8 @@ use crate::merge::merge_answers;
 use crate::partition::Declustering;
 use crate::server::Server;
 use mq_core::{
-    Answer, EngineError, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType,
-    StatsProbe, WorkerPool,
+    Answer, CandidatePrescreen, EngineError, ExecutionStats, FaultPolicy, LeaderPolicy,
+    QueryEngine, QueryType, StatsProbe, WorkerPool,
 };
 use mq_index::SimilarityIndex;
 use mq_metric::Metric;
@@ -148,6 +148,9 @@ pub struct SharedNothingCluster<O, M> {
     recorder: Recorder,
     /// Per-partition instruments, present iff `recorder` is enabled.
     obs: Option<ClusterObs>,
+    /// One approximate candidate tier per server (see
+    /// [`with_prescreens`](Self::with_prescreens)); empty = exact cluster.
+    prescreens: Vec<Arc<dyn CandidatePrescreen<O>>>,
 }
 
 impl<O, M> SharedNothingCluster<O, M>
@@ -182,6 +185,7 @@ where
             fault_policy: FaultPolicy::default(),
             recorder: Recorder::disabled(),
             obs: None,
+            prescreens: Vec::new(),
         }
     }
 
@@ -199,7 +203,34 @@ where
             fault_policy: FaultPolicy::default(),
             recorder: Recorder::disabled(),
             obs: None,
+            prescreens: Vec::new(),
         }
+    }
+
+    /// Attaches one approximate candidate tier per server (partition-local
+    /// id spaces, so every partition needs its own sketch/graph). Each
+    /// server's engines prescreen admitted queries and restrict evaluation
+    /// to the candidate union — answers may lose recall but surviving
+    /// distances stay exact, and a prescreen covering every object is
+    /// bit-identical to the exact cluster. An empty vector turns the tier
+    /// off.
+    ///
+    /// # Panics
+    /// Panics if a non-empty vector's length differs from the server count.
+    pub fn with_prescreens(mut self, prescreens: Vec<Arc<dyn CandidatePrescreen<O>>>) -> Self {
+        assert!(
+            prescreens.is_empty() || prescreens.len() == self.servers.len(),
+            "need one prescreen per server ({} servers, {} prescreens)",
+            self.servers.len(),
+            prescreens.len()
+        );
+        self.prescreens = prescreens;
+        self
+    }
+
+    /// The attached prescreens' names, in server order (empty = exact).
+    pub fn prescreen_names(&self) -> Vec<&str> {
+        self.prescreens.iter().map(|p| p.name()).collect()
     }
 
     /// Evaluates each loaded page with `threads` workers *per server*
@@ -335,6 +366,7 @@ where
                 .enumerate()
                 .map(|(si, server)| {
                     let pool = self.pools.get(si).cloned();
+                    let prescreen = self.prescreens.get(si).cloned();
                     let recorder = &self.recorder;
                     scope.spawn(move || {
                         run_on_server(
@@ -347,6 +379,7 @@ where
                             self.leader,
                             self.fault_policy,
                             recorder,
+                            prescreen,
                         )
                     })
                 })
@@ -427,11 +460,13 @@ fn run_on_server<O, M>(
     leader: LeaderPolicy,
     fault_policy: FaultPolicy,
     recorder: &Recorder,
+    prescreen: Option<Arc<dyn CandidatePrescreen<O>>>,
 ) -> Result<(Vec<Vec<Answer>>, ExecutionStats), EngineError>
 where
     O: StorageObject,
     M: Metric<O> + Clone,
 {
+    let prescreen = prescreen.as_deref();
     let engine = {
         let mut e = QueryEngine::new(server.disk(), server.index(), server.metric().clone())
             .with_threads(engine_threads)
@@ -441,6 +476,9 @@ where
             .with_recorder(recorder);
         if let Some(pool) = pool {
             e = e.with_pool(pool);
+        }
+        if let Some(p) = prescreen {
+            e = e.with_prescreen(p);
         }
         if avoidance {
             e

@@ -1,5 +1,6 @@
 //! Server configuration: batching knobs and execution mode.
 
+use mq_approx::ApproxTier;
 use mq_core::LeaderPolicy;
 use mq_metric::{Metric, VectorMetric};
 use std::path::PathBuf;
@@ -16,6 +17,32 @@ pub enum StoreChoice {
     /// already holds a store it is opened (running crash recovery);
     /// otherwise it is created from the loaded database.
     File(PathBuf),
+}
+
+/// Access method served over a *recovered* file-store page layout.
+///
+/// A durable store's pages must be served exactly as crash recovery left
+/// them, so only indexes that summarize an existing layout qualify — the
+/// tree bulk-loaders would repack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FileIndex {
+    /// Sequential scan in physical page order (every page relevant).
+    #[default]
+    Scan,
+    /// VA-quantized page bounds over the recovered layout
+    /// ([`mq_vafile::VaPageIndex`]): pages served best-first and pruned by
+    /// a true Euclidean lower bound. Euclidean metric only.
+    VaPage,
+}
+
+impl FileIndex {
+    /// The CLI `--index` name this choice answers to.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FileIndex::Scan => "scan",
+            FileIndex::VaPage => "vafile",
+        }
+    }
 }
 
 /// How flushed batches are executed.
@@ -71,11 +98,20 @@ pub struct ServerConfig {
     /// Page-store backend: in-memory simulation (the default) or the
     /// durable file store.
     pub store: StoreChoice,
+    /// Access method over a recovered file-store layout (ignored by the
+    /// simulated store, whose index comes from the build callback).
+    pub file_index: FileIndex,
     /// Distance function the engines evaluate (see
     /// [`VectorMetric`] for the names). Non-Euclidean metrics must be
     /// served through a sequential-scan index: tree page bounds are
     /// Euclidean geometry and would prune wrongly.
     pub metric: VectorMetric,
+    /// Optional approximate candidate tier in front of the exact engine
+    /// (`bq:<budget>` or `hnsw:<ef>`; see [`ApproxTier`]). `None` — the
+    /// default — serves exact answers; a tier trades recall for speed
+    /// while keeping every reported distance exact. Only supported with
+    /// the Euclidean metric.
+    pub approx: Option<ApproxTier>,
 }
 
 impl Default for ServerConfig {
@@ -92,7 +128,9 @@ impl Default for ServerConfig {
             retry_budget: 2,
             read_timeout: None,
             store: StoreChoice::Sim,
+            file_index: FileIndex::default(),
             metric: VectorMetric::default(),
+            approx: None,
         }
     }
 }
@@ -168,9 +206,21 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the access method over a recovered file-store layout.
+    pub fn with_file_index(mut self, file_index: FileIndex) -> Self {
+        self.file_index = file_index;
+        self
+    }
+
     /// Selects the distance function the engines evaluate.
     pub fn with_metric(mut self, metric: VectorMetric) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Installs (or clears) the approximate candidate tier.
+    pub fn with_approx(mut self, approx: Option<ApproxTier>) -> Self {
+        self.approx = approx;
         self
     }
 
@@ -186,11 +236,21 @@ impl ServerConfig {
         };
         let store = match &self.store {
             StoreChoice::Sim => "sim".to_string(),
-            StoreChoice::File(dir) => format!("file:{}", dir.display()),
+            StoreChoice::File(dir) => {
+                format!(
+                    "file:{} file_index={}",
+                    dir.display(),
+                    self.file_index.name()
+                )
+            }
+        };
+        let approx = match &self.approx {
+            Some(tier) => tier.to_string(),
+            None => "off".to_string(),
         };
         format!(
-            "mode={mode} store={store} metric={} max_batch={} max_wait={:.0}ms workers={} \
-             threads={} prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
+            "mode={mode} store={store} metric={} approx={approx} max_batch={} max_wait={:.0}ms \
+             workers={} threads={} prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
              read_timeout={read_timeout}",
             self.metric.name(),
             self.max_batch,
@@ -223,7 +283,8 @@ mod tests {
             .with_retry_budget(5)
             .with_read_timeout(Some(Duration::from_secs(3)))
             .with_store(StoreChoice::File(PathBuf::from("/tmp/mqdb")))
-            .with_metric(VectorMetric::Cosine);
+            .with_metric(VectorMetric::Cosine)
+            .with_approx(Some(ApproxTier::Bq { budget: 500 }));
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
@@ -236,6 +297,7 @@ mod tests {
         assert_eq!(c.read_timeout, Some(Duration::from_secs(3)));
         assert_eq!(c.store, StoreChoice::File(PathBuf::from("/tmp/mqdb")));
         assert_eq!(c.metric, VectorMetric::Cosine);
+        assert_eq!(c.approx, Some(ApproxTier::Bq { budget: 500 }));
     }
 
     #[test]
@@ -249,6 +311,7 @@ mod tests {
         assert_eq!(c.read_timeout, None);
         assert_eq!(c.store, StoreChoice::Sim);
         assert_eq!(c.metric, VectorMetric::Euclidean);
+        assert_eq!(c.approx, None);
     }
 
     #[test]
@@ -278,6 +341,7 @@ mod tests {
             "mode=cluster(3)",
             "store=sim",
             "metric=euclidean",
+            "approx=off",
             "max_batch=16",
             "max_wait=20ms",
             "workers=2",
@@ -294,5 +358,22 @@ mod tests {
             .with_store(StoreChoice::File(PathBuf::from("/data/mq")))
             .describe();
         assert!(file_line.contains("store=file:/data/mq"), "{file_line}");
+        let approx_line = ServerConfig::default()
+            .with_approx(Some(ApproxTier::Hnsw { ef: 64 }))
+            .describe();
+        assert!(approx_line.contains("approx=hnsw:64"), "{approx_line}");
+    }
+
+    #[test]
+    fn file_index_defaults_to_scan_and_describes() {
+        let c = ServerConfig::default();
+        assert_eq!(c.file_index, FileIndex::Scan);
+        let line = ServerConfig::default()
+            .with_store(StoreChoice::File(PathBuf::from("/data/mq")))
+            .with_file_index(FileIndex::VaPage)
+            .describe();
+        assert!(line.contains("file_index=vafile"), "{line}");
+        assert_eq!(FileIndex::VaPage.name(), "vafile");
+        assert_eq!(FileIndex::Scan.name(), "scan");
     }
 }

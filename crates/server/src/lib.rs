@@ -47,7 +47,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use client::{Client, ClientError, RemoteAnswers, RetryConfig, RetryingClient};
-pub use config::{ExecutionMode, ServerConfig, StoreChoice};
+pub use config::{ExecutionMode, FileIndex, ServerConfig, StoreChoice};
 pub use protocol::{Message, ProtocolError, ServiceMetrics};
 pub use scheduler::{
     build_backend, build_backend_with_recorder, BatchScheduler, ClusterBackend, QueryBackend,

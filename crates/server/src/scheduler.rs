@@ -11,22 +11,27 @@
 //! strictly sequentially; with more, batch execution overlaps batch
 //! collection.
 
-use crate::config::{ExecutionMode, ServerConfig, StoreChoice};
+use crate::config::{ExecutionMode, FileIndex, ServerConfig, StoreChoice};
 use crate::protocol::ServiceMetrics;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use mq_core::EngineObs;
+use mq_approx::{
+    ApproxTier, BinarySketch, BqPrescreen, Hnsw, HnswConfig, HnswPrescreen, DEFAULT_PLANES,
+    SKETCH_FILE,
+};
 use mq_core::{
     Answer, ExecutionStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType, StatsProbe,
     WorkerPool,
 };
+use mq_core::{CandidatePrescreen, EngineObs};
 use mq_index::{LinearScan, SimilarityIndex};
-use mq_metric::{CountingMetric, ObjectId, Vector, VectorMetric};
+use mq_metric::{CountingMetric, Metric, ObjectId, Vector, VectorMetric};
 use mq_obs::{Counter, Histogram, Recorder, DURATION_BOUNDS, SIZE_BOUNDS};
 use mq_parallel::{Declustering, Server, SharedNothingCluster};
 use mq_storage::{Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
 use mq_store::{
     FilePageStore, PartitionManifest, SegmentMeta, StoreError, SEGMENT_FILE, SEGMENT_HEADER_LEN,
 };
+use mq_vafile::VaPageIndex;
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,6 +91,9 @@ pub struct SingleEngineBackend {
     recorder: Recorder,
     /// Engine instruments shared by the short-lived engine of every batch.
     obs: Option<Arc<EngineObs>>,
+    /// Optional approximate candidate tier restricting every batch's
+    /// sessions before the exact re-rank.
+    prescreen: Option<Arc<dyn CandidatePrescreen<Vector>>>,
 }
 
 impl SingleEngineBackend {
@@ -124,6 +132,7 @@ impl SingleEngineBackend {
             dims,
             recorder: Recorder::disabled(),
             obs: None,
+            prescreen: None,
         }
     }
 
@@ -176,6 +185,14 @@ impl SingleEngineBackend {
         self
     }
 
+    /// Installs an approximate candidate tier: every batch's session is
+    /// restricted to the tier's per-query candidates before the exact
+    /// re-rank (see [`mq_core::CandidatePrescreen`]).
+    pub fn with_prescreen(mut self, prescreen: Arc<dyn CandidatePrescreen<Vector>>) -> Self {
+        self.prescreen = Some(prescreen);
+        self
+    }
+
     /// The backend's page store (fault-plan installation in tests).
     pub fn disk(&self) -> &dyn PageStore<Vector> {
         &*self.disk
@@ -201,6 +218,9 @@ impl QueryBackend for SingleEngineBackend {
         if let Some(pool) = &self.pool {
             engine = engine.with_pool(Arc::clone(pool));
         }
+        if let Some(prescreen) = &self.prescreen {
+            engine = engine.with_prescreen(&**prescreen);
+        }
         let engine = if self.avoidance {
             engine
         } else {
@@ -219,9 +239,10 @@ impl QueryBackend for SingleEngineBackend {
 
     fn describe(&self) -> String {
         format!(
-            "single engine, {} pages, avoidance {}",
+            "single engine, {} pages, avoidance {}, approx {}",
             self.disk.database().page_count(),
-            if self.avoidance { "on" } else { "off" }
+            if self.avoidance { "on" } else { "off" },
+            self.prescreen.as_deref().map_or("off", |p| p.name()),
         )
     }
 }
@@ -323,6 +344,26 @@ impl ClusterBackend {
         self
     }
 
+    /// Installs the approximate candidate tier on every partition: one
+    /// prescreen per server, built over that server's partition-local id
+    /// space. With `sidecar_root` set (file-store clusters), each
+    /// partition's binary sketch is loaded from — or rebuilt into —
+    /// `<root>/part-<i>/sketch.mqbq`.
+    pub fn with_approx(mut self, tier: ApproxTier, sidecar_root: Option<&Path>) -> Self {
+        let prescreens: Vec<Arc<dyn CandidatePrescreen<Vector>>> = self
+            .cluster
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(p, s)| {
+                let sidecar = sidecar_root.map(|root| root.join(format!("part-{p}")));
+                build_prescreen(tier, s.disk().database(), sidecar.as_deref())
+            })
+            .collect();
+        self.cluster = self.cluster.with_prescreens(prescreens);
+        self
+    }
+
     /// The underlying cluster (fault-plan installation in tests).
     pub fn cluster(&self) -> &SharedNothingCluster<Vector, CountingMetric<VectorMetric>> {
         &self.cluster
@@ -345,9 +386,14 @@ impl QueryBackend for ClusterBackend {
 
     fn describe(&self) -> String {
         format!(
-            "shared-nothing cluster of {} servers, avoidance {}",
+            "shared-nothing cluster of {} servers, avoidance {}, approx {}",
             self.servers,
-            if self.avoidance { "on" } else { "off" }
+            if self.avoidance { "on" } else { "off" },
+            self.cluster
+                .prescreen_names()
+                .first()
+                .copied()
+                .unwrap_or("off"),
         )
     }
 }
@@ -653,18 +699,41 @@ where
         &mq_storage::Dataset<Vector>,
     ) -> (Box<dyn SimilarityIndex<Vector>>, PagedDatabase<Vector>),
 {
+    // The approximate tiers rank candidates by Euclidean proximity
+    // (Hamming over quantile planes, HNSW beam over l2); pairing them
+    // with another metric would silently mis-rank, so refuse up front.
+    if config.approx.is_some() && config.metric != VectorMetric::Euclidean {
+        return Err(StoreError::Format(format!(
+            "--approx requires the euclidean metric; the candidate tiers rank by \
+             Euclidean proximity and would mis-screen under '{}'",
+            config.metric.name()
+        )));
+    }
+    // The VA page index prunes with Euclidean lower bounds, like the
+    // trees; any other metric must scan.
+    if config.file_index == FileIndex::VaPage && config.metric != VectorMetric::Euclidean {
+        return Err(StoreError::Format(format!(
+            "--index vafile prunes with Euclidean page bounds; --metric {} \
+             requires --index scan",
+            config.metric.name()
+        )));
+    }
     match (&config.mode, &config.store) {
         (ExecutionMode::Single, StoreChoice::Sim) => {
             let (index, db) = build_index(&db.to_dataset());
-            Ok(Box::new(
+            let prescreen = config.approx.map(|tier| build_prescreen(tier, &db, None));
+            let mut backend =
                 SingleEngineBackend::new(db, index, buffer_fraction, config.avoidance)
                     .with_metric(config.metric)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
                     .with_retry_budget(config.retry_budget)
-                    .with_recorder(recorder),
-            ))
+                    .with_recorder(recorder);
+            if let Some(p) = prescreen {
+                backend = backend.with_prescreen(p);
+            }
+            Ok(Box::new(backend))
         }
         (ExecutionMode::Single, StoreChoice::File(dir)) => {
             // A partition of a clustered store must not be served alone:
@@ -680,34 +749,42 @@ where
                 )));
             }
             let store = open_or_create_store(dir, db, buffer_fraction)?;
-            let index = Box::new(LinearScan::new(store.database().page_count()));
-            Ok(Box::new(
+            let index = file_store_index(store.database(), config.file_index);
+            let prescreen = config
+                .approx
+                .map(|tier| build_prescreen(tier, store.database(), Some(dir)));
+            let mut backend =
                 SingleEngineBackend::from_store(Box::new(store), index, config.avoidance)
                     .with_metric(config.metric)
                     .with_threads(config.threads)
                     .with_prefetch_depth(config.prefetch_depth)
                     .with_leader(config.leader)
                     .with_retry_budget(config.retry_budget)
-                    .with_recorder(recorder),
-            ))
+                    .with_recorder(recorder);
+            if let Some(p) = prescreen {
+                backend = backend.with_prescreen(p);
+            }
+            Ok(Box::new(backend))
         }
         (ExecutionMode::Cluster { servers }, StoreChoice::Sim) => {
             let ds = db.to_dataset();
-            Ok(Box::new(
-                ClusterBackend::build(
-                    ds.objects(),
-                    (*servers).max(1),
-                    buffer_fraction,
-                    config.avoidance,
-                    config.metric,
-                    build_index,
-                )
-                .with_engine_threads(config.threads)
-                .with_prefetch_depth(config.prefetch_depth)
-                .with_leader(config.leader)
-                .with_retry_budget(config.retry_budget)
-                .with_recorder(recorder),
-            ))
+            let mut backend = ClusterBackend::build(
+                ds.objects(),
+                (*servers).max(1),
+                buffer_fraction,
+                config.avoidance,
+                config.metric,
+                build_index,
+            )
+            .with_engine_threads(config.threads)
+            .with_prefetch_depth(config.prefetch_depth)
+            .with_leader(config.leader)
+            .with_retry_budget(config.retry_budget)
+            .with_recorder(recorder);
+            if let Some(tier) = config.approx {
+                backend = backend.with_approx(tier, None);
+            }
+            Ok(Box::new(backend))
         }
         (ExecutionMode::Cluster { servers }, StoreChoice::File(dir)) => {
             let parts = open_or_create_partition_stores(
@@ -716,16 +793,59 @@ where
                 (*servers).max(1),
                 buffer_fraction,
                 config.metric,
+                config.file_index,
             )?;
-            Ok(Box::new(
-                ClusterBackend::from_servers(parts, config.avoidance)
-                    .with_engine_threads(config.threads)
-                    .with_prefetch_depth(config.prefetch_depth)
-                    .with_leader(config.leader)
-                    .with_retry_budget(config.retry_budget)
-                    .with_recorder(recorder),
-            ))
+            let mut backend = ClusterBackend::from_servers(parts, config.avoidance)
+                .with_engine_threads(config.threads)
+                .with_prefetch_depth(config.prefetch_depth)
+                .with_leader(config.leader)
+                .with_retry_budget(config.retry_budget)
+                .with_recorder(recorder);
+            if let Some(tier) = config.approx {
+                backend = backend.with_approx(tier, Some(dir));
+            }
+            Ok(Box::new(backend))
         }
+    }
+}
+
+/// Builds the access method for a recovered file-store layout: a
+/// sequential scan, or VA-quantized page bounds summarized in place (no
+/// repacking — the recovered layout is served as-is either way).
+fn file_store_index(
+    db: &PagedDatabase<Vector>,
+    choice: FileIndex,
+) -> Box<dyn SimilarityIndex<Vector>> {
+    match choice {
+        FileIndex::Scan => Box::new(LinearScan::new(db.page_count())),
+        FileIndex::VaPage => Box::new(VaPageIndex::build(db, 6)),
+    }
+}
+
+/// Builds one approximate-tier prescreen over `db`'s id space. With a
+/// `sidecar_dir` (file-backed stores) the binary sketch is persisted as
+/// `sketch.mqbq` next to the partition's page files and reloaded —
+/// checksum-verified — on later opens; HNSW graphs are always rebuilt in
+/// memory.
+fn build_prescreen(
+    tier: ApproxTier,
+    db: &PagedDatabase<Vector>,
+    sidecar_dir: Option<&Path>,
+) -> Arc<dyn CandidatePrescreen<Vector>> {
+    match tier {
+        ApproxTier::Bq { budget } => {
+            let sketch = match sidecar_dir {
+                Some(dir) => {
+                    BinarySketch::load_or_build(&dir.join(SKETCH_FILE), db, DEFAULT_PLANES).0
+                }
+                None => BinarySketch::build(db, DEFAULT_PLANES),
+            };
+            Arc::new(BqPrescreen::new(Arc::new(sketch), budget))
+        }
+        ApproxTier::Hnsw { ef } => Arc::new(HnswPrescreen::new(
+            Arc::new(Hnsw::build(db, HnswConfig::default())),
+            ef,
+        )),
     }
 }
 
@@ -787,6 +907,7 @@ fn open_or_create_partition_stores(
     servers: usize,
     buffer_fraction: f64,
     metric: VectorMetric,
+    file_index: FileIndex,
 ) -> Result<Vec<Server<Vector, CountingMetric<VectorMetric>>>, StoreError> {
     let part_dir = |p: usize| dir.join(format!("part-{p}"));
     let mut out = Vec::new();
@@ -831,7 +952,7 @@ fn open_or_create_partition_stores(
                     )));
                 }
             }
-            let index = Box::new(LinearScan::new(local.page_count()));
+            let index = file_store_index(local, file_index);
             out.push(Server::from_parts(
                 Box::new(store),
                 index,
@@ -861,7 +982,7 @@ fn open_or_create_partition_stores(
                 global_ids: global_ids.clone(),
             }
             .save(&part_dir(p))?;
-            let index = Box::new(LinearScan::new(store.database().page_count()));
+            let index = file_store_index(store.database(), file_index);
             out.push(Server::from_parts(
                 Box::new(store),
                 index,
@@ -1201,6 +1322,183 @@ mod tests {
         let (answers, _) = backend.execute(vec![(Vector::new(vec![5.0]), QueryType::knn(1))]);
         assert_eq!(answers[0][0].id.0, 59);
         assert_eq!(answers[0][0].distance, -(5.0 * 59.0));
+    }
+
+    #[test]
+    fn approx_tier_with_full_budget_agrees_with_exact_in_every_mode() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mq-sched-approx-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let db = line_db(120);
+        let build = |ds: &Dataset<Vector>| {
+            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        };
+        let queries: Vec<(Vector, QueryType)> = (0..6)
+            .map(|i| (Vector::new(vec![i as f32 * 17.0 + 0.4]), QueryType::knn(3)))
+            .collect();
+        let exact = build_backend(&db, &ServerConfig::default(), 0.10, build)
+            .expect("exact backend")
+            .execute(queries.clone());
+
+        // A budget covering the whole collection must reproduce the exact
+        // answers bit-for-bit in every mode × store × tier combination.
+        for tier in [ApproxTier::Bq { budget: 120 }, ApproxTier::Hnsw { ef: 120 }] {
+            for (mode, store, label) in [
+                (ExecutionMode::Single, StoreChoice::Sim, "single/sim"),
+                (
+                    ExecutionMode::Cluster { servers: 3 },
+                    StoreChoice::Sim,
+                    "cluster/sim",
+                ),
+                (
+                    ExecutionMode::Single,
+                    StoreChoice::File(dir.join(format!("single-{tier}"))),
+                    "single/file",
+                ),
+                (
+                    ExecutionMode::Cluster { servers: 3 },
+                    StoreChoice::File(dir.join(format!("cluster-{tier}"))),
+                    "cluster/file",
+                ),
+            ] {
+                let config = ServerConfig::default()
+                    .with_mode(mode)
+                    .with_store(store)
+                    .with_approx(Some(tier));
+                let backend =
+                    build_backend(&db, &config, 0.10, build).expect("approx backend builds");
+                assert!(
+                    backend.describe().contains("approx"),
+                    "{}",
+                    backend.describe()
+                );
+                let (answers, _) = backend.execute(queries.clone());
+                for (qi, (a, b)) in exact.0.iter().zip(&answers).enumerate() {
+                    let ia: Vec<(u32, f64)> = a.iter().map(|x| (x.id.0, x.distance)).collect();
+                    let ib: Vec<(u32, f64)> = b.iter().map(|x| (x.id.0, x.distance)).collect();
+                    assert_eq!(ia, ib, "{label} {tier}, query {qi}");
+                }
+            }
+        }
+        // The file-backed bq runs persisted their sketches next to the
+        // page files (single at the root, cluster per partition).
+        assert!(dir.join("single-bq:120").join(super::SKETCH_FILE).exists());
+        assert!(dir
+            .join("cluster-bq:120")
+            .join("part-0")
+            .join(super::SKETCH_FILE)
+            .exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn narrow_budget_restricts_the_scan() {
+        // budget 1 admits ~1 candidate per query; the answers must be
+        // drawn from that candidate set and the distances stay exact.
+        let db = line_db(120);
+        let config = ServerConfig::default().with_approx(Some(ApproxTier::Bq { budget: 1 }));
+        let backend = build_backend(&db, &config, 0.10, |ds| {
+            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        })
+        .expect("approx backend");
+        let (answers, _) = backend.execute(vec![(Vector::new(vec![60.0]), QueryType::knn(5))]);
+        assert!(
+            answers[0].len() <= 1,
+            "budget 1 cannot yield {} answers",
+            answers[0].len()
+        );
+        for a in &answers[0] {
+            // Exact re-rank: the reported distance is the true metric
+            // distance, not a Hamming proxy.
+            assert_eq!(a.distance, (a.id.0 as f64 - 60.0).abs());
+        }
+    }
+
+    #[test]
+    fn file_store_vafile_index_agrees_with_scan_and_guards_metric() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mq-sched-vafile-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let db = line_db(120);
+        let build = |ds: &Dataset<Vector>| {
+            let db = PagedDatabase::pack(ds, db.layout());
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        };
+        let queries: Vec<(Vector, QueryType)> = (0..6)
+            .map(|i| (Vector::new(vec![i as f32 * 19.0 + 0.3]), QueryType::knn(3)))
+            .collect();
+        let oracle = build_backend(&db, &ServerConfig::default(), 0.10, build)
+            .expect("sim backend")
+            .execute(queries.clone());
+
+        for (mode, sub) in [
+            (ExecutionMode::Single, "single"),
+            (ExecutionMode::Cluster { servers: 3 }, "cluster"),
+        ] {
+            let config = ServerConfig::default()
+                .with_mode(mode)
+                .with_store(StoreChoice::File(dir.join(sub)))
+                .with_file_index(FileIndex::VaPage);
+            // Create, then reopen: the VA summary is rebuilt over the
+            // recovered layout both times.
+            for round in ["create", "reopen"] {
+                let backend =
+                    build_backend(&db, &config, 0.10, build).expect("vafile file backend");
+                let (answers, _) = backend.execute(queries.clone());
+                for (qi, (a, b)) in oracle.0.iter().zip(&answers).enumerate() {
+                    let ia: Vec<(u32, f64)> = a.iter().map(|x| (x.id.0, x.distance)).collect();
+                    let ib: Vec<(u32, f64)> = b.iter().map(|x| (x.id.0, x.distance)).collect();
+                    assert_eq!(ia, ib, "{sub} {round}, query {qi}");
+                }
+            }
+        }
+
+        let config = ServerConfig::default()
+            .with_store(StoreChoice::File(dir.join("guard")))
+            .with_file_index(FileIndex::VaPage)
+            .with_metric(VectorMetric::Dot);
+        match build_backend(&db, &config, 0.10, build) {
+            Err(StoreError::Format(msg)) => assert!(msg.contains("Euclidean"), "{msg}"),
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("vafile index + dot metric must be refused"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn approx_refuses_non_euclidean_metrics() {
+        let db = line_db(30);
+        let config = ServerConfig::default()
+            .with_metric(VectorMetric::Cosine)
+            .with_approx(Some(ApproxTier::Bq { budget: 10 }));
+        match build_backend(&db, &config, 0.10, |ds| {
+            let db = PagedDatabase::pack(ds, PageLayout::new(256, 16));
+            (
+                Box::new(LinearScan::new(db.page_count())) as Box<dyn SimilarityIndex<Vector>>,
+                db,
+            )
+        }) {
+            Err(StoreError::Format(msg)) => assert!(msg.contains("euclidean"), "{msg}"),
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("approx + cosine must be refused"),
+        }
     }
 
     #[test]

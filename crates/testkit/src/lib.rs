@@ -44,4 +44,4 @@ pub mod scenario;
 pub mod sim;
 
 pub use proxy::FlakyProxy;
-pub use sim::{config_matrix, Sim, SimConfig, SimReport};
+pub use sim::{config_matrix, LengthBudgetPrescreen, Sim, SimConfig, SimReport};

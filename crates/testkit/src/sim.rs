@@ -5,10 +5,12 @@
 //! dataset, disk and engine from the seed, so runs are independent and a
 //! faulty run and its oracle see byte-identical inputs.
 
-use mq_core::{Answer, AvoidanceStats, FaultPolicy, LeaderPolicy, QueryEngine, QueryType};
+use mq_core::{
+    Answer, AvoidanceStats, CandidatePrescreen, FaultPolicy, LeaderPolicy, QueryEngine, QueryType,
+};
 use mq_datagen::sessions::{web_sessions, SessionConfig};
 use mq_index::LinearScan;
-use mq_metric::{EditDistance, Symbols};
+use mq_metric::{EditDistance, ObjectId, Symbols};
 use mq_storage::{
     Dataset, FaultPlan, FaultStats, IoStats, PageLayout, PageStore, PagedDatabase, SimulatedDisk,
     SymbolsCodec,
@@ -68,8 +70,51 @@ pub struct SimReport {
     pub gave_up: Option<String>,
 }
 
+/// A deterministic lossy prescreen for the testkit's symbol workload: it
+/// admits the `budget` stored sessions whose *length* is closest to the
+/// query's (ties broken by id). `|len(q) − len(s)|` lower-bounds unit-cost
+/// edit distance, so this is a genuine metric prescreen — cheap,
+/// query-dependent, and lossy once `budget < N` — driving the engine's
+/// candidate-restriction machinery exactly as the vector tiers in
+/// `mq-approx` do, but over the edit-distance workload the fault plans
+/// target.
+pub struct LengthBudgetPrescreen {
+    lengths: Vec<(ObjectId, usize)>,
+    budget: usize,
+}
+
+impl LengthBudgetPrescreen {
+    /// Builds the prescreen over every live record of `db`.
+    pub fn new(db: &PagedDatabase<Symbols>, budget: usize) -> Self {
+        let mut lengths: Vec<(ObjectId, usize)> = db
+            .page_ids()
+            .flat_map(|pid| db.page(pid).records().iter().map(|(id, s)| (*id, s.len())))
+            .collect();
+        lengths.sort_unstable_by_key(|&(id, _)| id);
+        Self { lengths, budget }
+    }
+}
+
+impl CandidatePrescreen<Symbols> for LengthBudgetPrescreen {
+    fn candidates(&self, query: &Symbols) -> Vec<ObjectId> {
+        let target = query.len();
+        let mut ranked: Vec<(usize, ObjectId)> = self
+            .lengths
+            .iter()
+            .map(|&(id, len)| (len.abs_diff(target), id))
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(self.budget);
+        ranked.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn name(&self) -> &str {
+        "len-budget"
+    }
+}
+
 /// A deterministic simulation: seed-derived workload, optional fault
-/// plan, engine retry budget.
+/// plan, engine retry budget, optional approximate candidate tier.
 #[derive(Clone, Copy, Debug)]
 pub struct Sim {
     seed: u64,
@@ -77,6 +122,7 @@ pub struct Sim {
     queries: usize,
     plan: Option<FaultPlan>,
     retry_budget: u32,
+    prescreen_budget: Option<usize>,
 }
 
 impl Sim {
@@ -89,12 +135,26 @@ impl Sim {
             queries: 8,
             plan: None,
             retry_budget: 0,
+            prescreen_budget: None,
         }
     }
 
     /// Installs a fault plan (see [`crate::scenario`] for presets).
     pub fn with_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Attaches the approximate candidate tier: a
+    /// [`LengthBudgetPrescreen`] admitting `budget` candidates per query.
+    /// The oracle of a prescreened sim carries the same prescreen, so
+    /// [`assert_oracle_equivalence`](Self::assert_oracle_equivalence)
+    /// checks that fault injection and the tier compose: a faulty
+    /// prescreened run that succeeds is bit-identical to the fault-free
+    /// prescreened run. A budget of `usize::MAX` (or ≥ the object count)
+    /// admits everything and must be bit-identical to no tier at all.
+    pub fn with_prescreen_budget(mut self, budget: usize) -> Self {
+        self.prescreen_budget = Some(budget);
         self
     }
 
@@ -184,12 +244,18 @@ impl Sim {
     fn run_on(&self, config: SimConfig, disk: &dyn PageStore<Symbols>) -> SimReport {
         let (_, queries) = self.workload();
         let scan = LinearScan::new(disk.database().page_count());
+        let prescreen = self
+            .prescreen_budget
+            .map(|budget| LengthBudgetPrescreen::new(disk.database(), budget));
         disk.set_fault_plan(self.plan);
-        let engine = QueryEngine::new(disk, &scan, EditDistance)
+        let mut engine = QueryEngine::new(disk, &scan, EditDistance)
             .with_threads(config.threads)
             .with_prefetch_depth(config.prefetch_depth)
             .with_leader_policy(config.leader)
             .with_fault_policy(FaultPolicy::new(self.retry_budget));
+        if let Some(prescreen) = &prescreen {
+            engine = engine.with_prescreen(prescreen);
+        }
         let mut session = engine.new_session(queries);
         let gave_up = engine
             .try_run_to_completion(&mut session)

@@ -28,8 +28,10 @@
 //! multiple-query entry points with the same answer semantics
 //! (equality with Fig. 1 / Definition 4 is covered by the test suite).
 
+mod page_index;
 mod query;
 
+pub use page_index::VaPageIndex;
 pub use query::VaStats;
 
 use mq_metric::{ObjectId, Vector};
@@ -135,28 +137,12 @@ impl VaFile {
         // Equi-depth marks per dimension.
         let mut marks = Vec::with_capacity(dim);
         for d in 0..dim {
-            let mut values: Vec<f64> = dataset
+            let values: Vec<f64> = dataset
                 .objects()
                 .iter()
                 .map(|v| v.components()[d] as f64)
                 .collect();
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite components"));
-            let mut m = Vec::with_capacity(cells + 1);
-            for c in 0..=cells {
-                let idx = (c * (values.len() - 1)) / cells;
-                m.push(values[idx]);
-            }
-            // Strictly widen the outermost marks so every value falls into
-            // a cell even after f32 → f64 rounding.
-            m[0] -= 1e-9;
-            m[cells] += 1e-9;
-            // Enforce non-decreasing marks (duplicated quantiles collapse).
-            for c in 1..=cells {
-                if m[c] < m[c - 1] {
-                    m[c] = m[c - 1];
-                }
-            }
-            marks.push(m);
+            marks.push(dimension_marks(values, cells));
         }
 
         // Quantize all vectors.
@@ -252,7 +238,28 @@ impl VaFile {
     }
 }
 
-fn quantize(marks: &[f64], x: f64) -> u8 {
+/// Equi-depth (quantile) cell boundaries for one dimension's values:
+/// `cells + 1` non-decreasing marks with the outermost pair widened so
+/// every value falls into a cell even after f32 → f64 rounding.
+pub(crate) fn dimension_marks(mut values: Vec<f64>, cells: usize) -> Vec<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite components"));
+    let mut m = Vec::with_capacity(cells + 1);
+    for c in 0..=cells {
+        let idx = (c * (values.len() - 1)) / cells;
+        m.push(values[idx]);
+    }
+    m[0] -= 1e-9;
+    m[cells] += 1e-9;
+    // Enforce non-decreasing marks (duplicated quantiles collapse).
+    for c in 1..=cells {
+        if m[c] < m[c - 1] {
+            m[c] = m[c - 1];
+        }
+    }
+    m
+}
+
+pub(crate) fn quantize(marks: &[f64], x: f64) -> u8 {
     // partition_point gives the first mark > x; the cell is one before.
     let cells = marks.len() - 1;
     let idx = marks.partition_point(|m| *m <= x);
