@@ -5,7 +5,9 @@ use mq_approx::{
     ApproxTier, BinarySketch, BqPrescreen, Hnsw, HnswConfig, HnswPrescreen, DEFAULT_PLANES,
 };
 use mq_core::{CandidatePrescreen, CostModel, QueryEngine, QueryType, StatsProbe};
-use mq_datagen::{classification_query_ids, embeddings, image_histograms, tycho_like};
+use mq_datagen::{
+    classification_query_ids, embeddings, image_histograms, tycho_like, uniform_vectors,
+};
 use mq_index::{LinearScan, MTree, MTreeConfig, SimilarityIndex, XTree, XTreeConfig};
 use mq_metric::{CountingMetric, Euclidean, Metric, ObjectId, Vector, VectorMetric};
 use mq_storage::{persist, Dataset, PageStore, PagedDatabase, SimulatedDisk, VectorCodec};
@@ -746,5 +748,98 @@ pub fn dbscan(args: &Args) -> CmdResult {
     }
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!("  largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
+    Ok(())
+}
+
+/// `mq loadgen <ADDR>`: replay a seed-deterministic workload against a
+/// running server and print the client-side latency report.
+pub fn loadgen(args: &Args) -> CmdResult {
+    use mq_loadgen::{run, Mode, RequestPlan, RunOptions, WorkloadSpec};
+
+    let addr = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let requests: usize = args.parse_or("requests", 1_000)?;
+    let seed: u64 = args.parse_or("seed", 7)?;
+    let skew: f64 = args.parse_or("skew", 0.8)?;
+    let pool_n: usize = args.parse_or("pool", 32)?;
+    if pool_n == 0 {
+        return Err("--pool must be at least 1".into());
+    }
+    let qtype = parse_qtype(args)?;
+    let mode = match args.string_or("mode", "open").as_str() {
+        "open" => Mode::Open {
+            offered_qps: args.parse_or("rate", 500.0)?,
+        },
+        "closed" => Mode::Closed {
+            sessions: args.parse_or("sessions", 4)?,
+            think: std::time::Duration::from_millis(args.parse_or("think-ms", 1)?),
+        },
+        other => return Err(format!("unknown --mode '{other}' (open|closed)").into()),
+    };
+
+    // Query pool: objects sampled evenly from a saved database (so the
+    // server computes real distances against its own data), or synthetic
+    // uniform vectors when no file is at hand.
+    let pool: Vec<Vector> = if args.has("queries-from") {
+        let db: PagedDatabase<Vector> =
+            persist::load(&VectorCodec, args.required("queries-from")?)?;
+        let n = db.object_count();
+        if n == 0 {
+            return Err("--queries-from database is empty".into());
+        }
+        let take = pool_n.min(n);
+        (0..take)
+            .map(|i| db.object(ObjectId((i * n / take) as u32)).clone())
+            .collect()
+    } else {
+        let dim: usize = args.parse_or("dim", 3)?;
+        uniform_vectors(pool_n, dim, seed ^ 0xF00D)
+    };
+
+    let plan = RequestPlan::materialize(&WorkloadSpec {
+        mode,
+        requests,
+        qtype,
+        pool,
+        skew,
+        seed,
+    });
+    let opts = RunOptions {
+        connections: args.parse_or("connections", 4)?,
+        ..RunOptions::default()
+    };
+    println!(
+        "replaying {requests} requests against {addr} (stream fingerprint {:016x})",
+        plan.fingerprint()
+    );
+    let report = run(&plan, &addr, &opts);
+    println!("{}", report.summary());
+    if let Some(w) = &report.server {
+        let wait = w
+            .queue_wait_p99
+            .map(|s| format!(", queue-wait p99 {:.2} ms", s * 1e3))
+            .unwrap_or_default();
+        println!(
+            "  server window: {:.0} queries in {:.0} batches (mean {:.2}/batch{wait})",
+            w.queries, w.batches, w.mean_batch_size
+        );
+    }
+    if args.has("out") {
+        let path = args.required("out")?;
+        std::fs::write(path, format!("{}\n", report.to_json()))?;
+        println!("wrote {path}");
+    }
+    if report.ok as usize != requests {
+        return Err(format!(
+            "{} of {requests} requests failed ({} errors, {} timeouts)",
+            requests as u64 - report.ok,
+            report.errors,
+            report.timeouts
+        )
+        .into());
+    }
     Ok(())
 }

@@ -91,6 +91,21 @@ USAGE:
       manhattan, cosine, or dot); under dot the \"distances\" are negated
       inner products, so --range accepts negative thresholds.
 
+  mq loadgen [<ADDR>] [--mode open|closed] [--rate <QPS>] [--sessions <N>]
+                [--think-ms <MS>] [--requests <N>] [--seed <S>]
+                (--knn <K> | --range <EPS>) [--skew <THETA>] [--pool <N>]
+                [--queries-from <FILE> | --dim <D>] [--connections <C>]
+                [--out <FILE>]
+      Replay a seed-deterministic workload against a running server and
+      report client-side latency (p50/p95/p99/p999, achieved vs offered
+      throughput, errors/timeouts/retries) plus the server's batching
+      window. --mode open offers Poisson arrivals at --rate with Zipf
+      --skew over a --pool of hot query objects; --mode closed runs
+      --sessions concurrent clients with --think-ms between replies.
+      The same --seed replays the byte-identical request stream.
+      --queries-from samples the pool from a saved database;
+      --out writes the report as JSON.
+
   mq stats [<ADDR>] [--addr 127.0.0.1:7878]
       Scrape a running server's metric registry (Prometheus text
       exposition): distance calculations performed vs. avoided, buffer
@@ -141,6 +156,7 @@ fn main() {
         "insert" => commands::insert(&args),
         "delete" => commands::delete(&args),
         "client" => commands::client(&args),
+        "loadgen" => commands::loadgen(&args),
         "stats" => commands::stats(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");

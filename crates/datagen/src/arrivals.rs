@@ -1,0 +1,160 @@
+//! Arrival processes and access skew for the load generator.
+//!
+//! The paper's workloads (§6) fix *which* queries run; a latency
+//! experiment additionally needs *when* they arrive and *how often each
+//! object recurs*. Two classic models cover the open-loop side:
+//!
+//! * a **Poisson process** — independent clients issue requests at an
+//!   aggregate rate λ, so inter-arrival gaps are exponentially
+//!   distributed with mean 1/λ;
+//! * **Zipf-skewed key popularity** — a small set of hot query objects
+//!   receives most of the traffic (the image database's "popular images"
+//!   effect), which is what makes server-side batching and
+//!   triangle-inequality reuse pay off.
+//!
+//! Both generators are pure functions of their seed: the whole schedule
+//! is materialized up front as data, so a replayed seed reproduces the
+//! exact byte sequence regardless of wall clock or thread interleaving.
+//! The vendored `rand` shim carries no distribution samplers, so the
+//! exponential draw is the explicit inverse CDF `-ln(1-u)/λ`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Cumulative arrival offsets of a Poisson process: `n` arrivals at an
+/// aggregate rate of `rate_per_sec`, as offsets from the start of the
+/// run. Offsets are strictly sorted (each gap is at least one
+/// nanosecond) and fully determined by `seed`.
+///
+/// # Panics
+/// Panics if `rate_per_sec` is not finite and positive.
+pub fn poisson_arrival_offsets(n: usize, rate_per_sec: f64, seed: u64) -> Vec<Duration> {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "arrival rate must be finite and positive, got {rate_per_sec}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(n);
+    let mut clock_ns: u64 = 0;
+    for _ in 0..n {
+        // Inverse CDF of Exp(λ): u ∈ [0, 1) ⇒ gap = -ln(1 - u) / λ.
+        // The shim's f64 draw has a 53-bit mantissa, so 1 - u never
+        // rounds to 0 and the log stays finite.
+        let u: f64 = rng.random();
+        let gap_secs = -(1.0 - u).ln() / rate_per_sec;
+        let gap_ns = (gap_secs * 1e9).round().clamp(1.0, 1e18) as u64;
+        clock_ns = clock_ns.saturating_add(gap_ns);
+        offsets.push(Duration::from_nanos(clock_ns));
+    }
+    offsets
+}
+
+/// Draws `count` indices in `0..keys` under Zipf-like popularity skew:
+/// key `i` has weight `1 / (i + 1)^theta`. `theta = 0` is uniform;
+/// `theta` around 1 concentrates most draws on the first few keys
+/// (classic hot-key traffic). The mapping from rank to key identity is
+/// the caller's choice — shuffling the pool first de-correlates rank
+/// from insertion order.
+///
+/// # Panics
+/// Panics if `keys == 0` or `theta` is negative or non-finite.
+pub fn zipf_indices(keys: usize, theta: f64, count: usize, seed: u64) -> Vec<usize> {
+    assert!(keys > 0, "cannot draw from an empty key set");
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "zipf exponent must be finite and non-negative, got {theta}"
+    );
+    // Cumulative weights once, then each draw is a binary search.
+    let mut cumulative = Vec::with_capacity(keys);
+    let mut total = 0.0f64;
+    for i in 0..keys {
+        total += 1.0 / ((i + 1) as f64).powf(theta);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * total;
+            cumulative.partition_point(|&c| c <= u).min(keys - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_offsets_are_deterministic_sorted_and_seed_sensitive() {
+        let a = poisson_arrival_offsets(500, 1000.0, 7);
+        let b = poisson_arrival_offsets(500, 1000.0, 7);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "offsets strictly sorted");
+        let c = poisson_arrival_offsets(500, 1000.0, 8);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        // 20k arrivals at 1 kHz: the mean gap estimator is within a few
+        // percent of 1 ms with overwhelming probability.
+        let n = 20_000;
+        let offsets = poisson_arrival_offsets(n, 1000.0, 42);
+        let total = offsets.last().unwrap().as_secs_f64();
+        let mean_gap = total / n as f64;
+        assert!(
+            (mean_gap - 1e-3).abs() < 1e-4,
+            "mean inter-arrival {mean_gap} s, expected ~1e-3 s"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let draws = zipf_indices(10, 0.0, 10_000, 3);
+        let mut counts = [0usize; 10];
+        for d in draws {
+            counts[d] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (600..1400).contains(c),
+                "key {i} drawn {c} times under theta=0 (expected ~1000)"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_keys() {
+        let draws = zipf_indices(100, 1.0, 10_000, 5);
+        let hot = draws.iter().filter(|&&d| d < 10).count();
+        // Under theta=1 the first 10 of 100 keys carry ~56% of the mass;
+        // uniform would give 10%.
+        assert!(
+            hot > 4_000,
+            "only {hot}/10000 draws hit the 10 hottest keys"
+        );
+        assert!(draws.iter().all(|&d| d < 100));
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_seed_sensitive() {
+        assert_eq!(zipf_indices(16, 0.8, 256, 9), zipf_indices(16, 0.8, 256, 9));
+        assert_ne!(
+            zipf_indices(16, 0.8, 256, 9),
+            zipf_indices(16, 0.8, 256, 10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key set")]
+    fn zipf_rejects_empty_pool() {
+        let _ = zipf_indices(0, 1.0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = poisson_arrival_offsets(1, 0.0, 1);
+    }
+}

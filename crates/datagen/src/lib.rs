@@ -27,7 +27,10 @@
 //! query workloads (independent classification queries; the parameters of
 //! the dependent c-user exploration loop), and [`sessions`] generates
 //! edit-distance web-session data for the non-vector metric case of §1.
+//! [`arrivals`] adds the timing side: Poisson arrival schedules and
+//! Zipf-skewed key popularity for the `mq-loadgen` latency harness.
 
+pub mod arrivals;
 pub mod clustered;
 pub mod embeddings;
 pub mod histogram;
@@ -37,6 +40,7 @@ pub mod tycho;
 pub mod uniform;
 pub mod workload;
 
+pub use arrivals::{poisson_arrival_offsets, zipf_indices};
 pub use embeddings::{embeddings, embeddings_config};
 pub use histogram::{image_histograms, image_histograms_config};
 pub use labels::assign_labels;

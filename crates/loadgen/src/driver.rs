@@ -1,0 +1,279 @@
+//! The run loop: replays a [`RequestPlan`] against a live server and
+//! measures what a client actually experiences.
+//!
+//! Latency is recorded per request from monotonic timestamps
+//! ([`std::time::Instant`]) into an HDR-style log-bucketed `mq-obs`
+//! [`Histogram`] (constant relative error per bucket from 10 µs to
+//! 60 s). Open-loop latency is measured from the request's *intended*
+//! start, not from when a sender thread got around to it — queueing
+//! delay under overload is part of the answer, never silently dropped
+//! (the coordinated-omission trap).
+//!
+//! Before and after the run, the driver scrapes the server's metrics
+//! endpoint; the delta over the run window (batches flushed, mean batch
+//! size, queue-wait quantiles) lands in the [`RunReport`] next to the
+//! client-side numbers.
+
+use crate::plan::{Mode, RequestPlan};
+use crate::report::{AnswerSet, RunReport, ServerWindow};
+use mq_obs::{log_bounds, Histogram, Snapshot};
+use mq_server::{ClientError, ProtocolError, RetryConfig, RetryingClient};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of one run that are not part of the workload itself.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Sender threads in open-loop mode (closed-loop spawns one thread
+    /// per session instead). Bounds the in-flight requests; if all
+    /// senders are busy past an arrival's due time, the wait shows up as
+    /// measured latency.
+    pub connections: usize,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-reply read timeout (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Transport retries per request before it counts as an error.
+    pub max_retries: u32,
+    /// Record every request's answers (id + distance bits) for oracle
+    /// comparison — memory-heavy, test-suite use only.
+    pub capture_answers: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            connections: 8,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(10)),
+            max_retries: 3,
+            capture_answers: false,
+        }
+    }
+}
+
+/// Shared measurement state all sender threads write into.
+struct Measure {
+    latency: Histogram,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    /// Max observed latency in f64 bits (CAS loop; latencies are
+    /// non-negative so the bit pattern ordering matches the value
+    /// ordering).
+    max_bits: AtomicU64,
+    answers: Option<Mutex<crate::report::CapturedAnswers>>,
+}
+
+impl Measure {
+    fn new(n: usize, capture: bool) -> Self {
+        Self {
+            // 10 µs .. 60 s at 20 buckets per decade: relative error per
+            // bucket ~12%, 136-ish buckets — the HDR-style layout.
+            latency: Histogram::new(&log_bounds(1e-5, 60.0, 20)),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+            answers: capture.then(|| Mutex::new(vec![None; n])),
+        }
+    }
+
+    fn record(&self, index: usize, outcome: Result<AnswerSet, ClientError>, latency: f64) {
+        match outcome {
+            Ok(answers) => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                self.latency.observe(latency);
+                let mut seen = self.max_bits.load(Ordering::Relaxed);
+                let bits = latency.max(0.0).to_bits();
+                while bits > seen {
+                    match self.max_bits.compare_exchange_weak(
+                        seen,
+                        bits,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => seen = now,
+                    }
+                }
+                if let Some(slot) = &self.answers {
+                    slot.lock().expect("answers lock")[index] = Some(answers);
+                }
+            }
+            Err(e) => {
+                if is_timeout(&e) {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Protocol(ProtocolError::Io(io))
+            if io.kind() == std::io::ErrorKind::TimedOut
+                || io.kind() == std::io::ErrorKind::WouldBlock
+    )
+}
+
+fn retry_config(opts: &RunOptions, plan_seed: u64, stream: u64) -> RetryConfig {
+    RetryConfig::default()
+        .with_max_retries(opts.max_retries)
+        .with_connect_timeout(opts.connect_timeout)
+        .with_read_timeout(opts.read_timeout)
+        .with_jitter_seed(plan_seed ^ (0xB0B0 + stream))
+}
+
+/// Replays `plan` against the server at `addr` and reports what the
+/// clients measured plus the server-side window delta.
+pub fn run(plan: &RequestPlan, addr: &str, opts: &RunOptions) -> RunReport {
+    let before = scrape(addr, opts);
+    let measure = Measure::new(plan.requests.len(), opts.capture_answers);
+    let retries = AtomicU64::new(0);
+
+    let start = Instant::now();
+    match plan.mode {
+        Mode::Open { .. } => run_open(plan, addr, opts, &measure, &retries, start),
+        Mode::Closed { think, .. } => run_closed(plan, addr, opts, &measure, &retries, think),
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let after = scrape(addr, opts);
+    let ok = measure.ok.load(Ordering::Relaxed);
+    let offered_qps = match plan.mode {
+        Mode::Open { offered_qps } => Some(offered_qps),
+        Mode::Closed { .. } => None,
+    };
+    let q = |p: f64| measure.latency.quantile(p).unwrap_or(0.0);
+    let count = measure.latency.count();
+    RunReport {
+        mode: match plan.mode {
+            Mode::Open { .. } => "open",
+            Mode::Closed { .. } => "closed",
+        },
+        requests: plan.requests.len(),
+        ok,
+        errors: measure.errors.load(Ordering::Relaxed),
+        timeouts: measure.timeouts.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+        wall_secs: wall,
+        offered_qps,
+        achieved_qps: ok as f64 / wall,
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        p999: q(0.999),
+        mean_latency: if count == 0 {
+            0.0
+        } else {
+            measure.latency.sum() / count as f64
+        },
+        max_latency: f64::from_bits(measure.max_bits.load(Ordering::Relaxed)),
+        fingerprint: plan.fingerprint(),
+        server: ServerWindow::from_scrapes(before.as_ref(), after.as_ref()),
+        answers: measure
+            .answers
+            .map(|m| m.into_inner().expect("answers lock")),
+    }
+}
+
+/// Open loop: workers pull the next request index, sleep until its due
+/// time, and measure from the due time.
+fn run_open(
+    plan: &RequestPlan,
+    addr: &str,
+    opts: &RunOptions,
+    measure: &Measure,
+    retries: &AtomicU64,
+    start: Instant,
+) {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..opts.connections.max(1) {
+            let next = &next;
+            scope.spawn(move || {
+                let mut client = RetryingClient::new(addr, retry_config(opts, plan.seed, w as u64));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = plan.requests.get(i) else {
+                        break;
+                    };
+                    let due = start + request.offset;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let outcome = client
+                        .query(plan.query(request), &request.qtype)
+                        .map(|reply| {
+                            reply
+                                .answers
+                                .iter()
+                                .map(|a| (a.id.0, a.distance.to_bits()))
+                                .collect()
+                        });
+                    // Latency from the *intended* start: sender-side
+                    // queueing under overload is measured, not omitted.
+                    let latency = due.elapsed().as_secs_f64();
+                    measure.record(request.index, outcome, latency);
+                }
+                retries.fetch_add(client.retries_performed(), Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// Closed loop: one thread per session, each pacing itself with think
+/// time between reply and next request.
+fn run_closed(
+    plan: &RequestPlan,
+    addr: &str,
+    opts: &RunOptions,
+    measure: &Measure,
+    retries: &AtomicU64,
+    think: Duration,
+) {
+    std::thread::scope(|scope| {
+        for s in 0..plan.sessions() {
+            scope.spawn(move || {
+                let mut client =
+                    RetryingClient::new(addr, retry_config(opts, plan.seed, 1000 + s as u64));
+                let mut first = true;
+                for request in plan.requests.iter().filter(|r| r.session == s) {
+                    if !first && !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                    first = false;
+                    let t0 = Instant::now();
+                    let outcome = client
+                        .query(plan.query(request), &request.qtype)
+                        .map(|reply| {
+                            reply
+                                .answers
+                                .iter()
+                                .map(|a| (a.id.0, a.distance.to_bits()))
+                                .collect()
+                        });
+                    let latency = t0.elapsed().as_secs_f64();
+                    measure.record(request.index, outcome, latency);
+                }
+                retries.fetch_add(client.retries_performed(), Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// One metrics scrape, parsed; `None` when the server has no recorder
+/// (empty exposition) or the scrape fails.
+fn scrape(addr: &str, opts: &RunOptions) -> Option<Snapshot> {
+    let mut client = RetryingClient::new(addr, retry_config(opts, 0, 0x5C4A));
+    let text = client.metrics().ok()?;
+    let snapshot = Snapshot::from_exposition(&text).ok()?;
+    (!snapshot.is_empty()).then_some(snapshot)
+}

@@ -1,0 +1,285 @@
+//! Workload materialization: every request a run will send — query
+//! vector, query type, session assignment, arrival offset — computed up
+//! front as plain data from one seed.
+//!
+//! Nothing here touches the wall clock or spawns a thread, which is the
+//! whole point: the byte encoding of a plan ([`RequestPlan::encode`]) is
+//! a pure function of its [`WorkloadSpec`], so the replay-determinism
+//! suite can pin "same seed ⇒ byte-identical request sequence" without
+//! ever opening a socket.
+
+use mq_core::{QueryKind, QueryType};
+use mq_datagen::{poisson_arrival_offsets, zipf_indices};
+use mq_metric::Vector;
+use std::time::Duration;
+
+/// How requests are paced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mode {
+    /// Open loop: requests arrive on a Poisson schedule at `offered_qps`,
+    /// regardless of how fast the server answers (arrival times are
+    /// independent of completions, so queueing delay is *measured*, not
+    /// hidden — no coordinated omission).
+    Open {
+        /// Offered aggregate arrival rate, queries per second.
+        offered_qps: f64,
+    },
+    /// Closed loop: `sessions` concurrent clients, each waiting for its
+    /// answer and then thinking for `think` before the next request —
+    /// the paper's c-concurrent-users exploration shape.
+    Closed {
+        /// Number of concurrent client sessions.
+        sessions: usize,
+        /// Think time between a reply and the session's next request.
+        think: Duration,
+    },
+}
+
+/// Everything that determines a workload, and nothing else.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Pacing model.
+    pub mode: Mode,
+    /// Total requests in the run.
+    pub requests: usize,
+    /// Query type every request carries.
+    pub qtype: QueryType,
+    /// The pool of query objects; requests draw from it under Zipf skew.
+    pub pool: Vec<Vector>,
+    /// Zipf exponent of the hot-key skew (0 = uniform, ~1 = heavily hot).
+    pub skew: f64,
+    /// Master seed; arrival and key streams derive from it.
+    pub seed: u64,
+}
+
+/// One planned request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Position in the global request sequence.
+    pub index: usize,
+    /// Owning session (closed loop; 0 in open loop).
+    pub session: usize,
+    /// Intended start offset from the beginning of the run (open loop;
+    /// zero in closed loop, where pacing is reply + think time).
+    pub offset: Duration,
+    /// Index into the plan's query pool.
+    pub pool_slot: usize,
+    /// The query type.
+    pub qtype: QueryType,
+}
+
+/// A fully materialized workload: the pool plus every request in order.
+#[derive(Clone, Debug)]
+pub struct RequestPlan {
+    /// Pacing model the driver will follow.
+    pub mode: Mode,
+    /// Master seed the plan was derived from.
+    pub seed: u64,
+    /// Query-object pool shared by the requests.
+    pub pool: Vec<Vector>,
+    /// The request sequence, ascending by `index` (and by `offset` in
+    /// open-loop mode).
+    pub requests: Vec<Request>,
+}
+
+/// splitmix64 — derives independent sub-streams from the master seed so
+/// the arrival schedule, key choices and per-session jitter never share
+/// state (the workspace's standard seed-scrambling idiom).
+fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RequestPlan {
+    /// Materializes the full request sequence from a spec.
+    ///
+    /// # Panics
+    /// Panics on an empty pool, zero closed-loop sessions, or a
+    /// non-positive open-loop rate.
+    pub fn materialize(spec: &WorkloadSpec) -> Self {
+        assert!(!spec.pool.is_empty(), "workload pool must not be empty");
+        let slots = zipf_indices(
+            spec.pool.len(),
+            spec.skew,
+            spec.requests,
+            derive_seed(spec.seed, 1),
+        );
+        let offsets: Vec<Duration> = match spec.mode {
+            Mode::Open { offered_qps } => {
+                poisson_arrival_offsets(spec.requests, offered_qps, derive_seed(spec.seed, 2))
+            }
+            Mode::Closed { sessions, .. } => {
+                assert!(sessions > 0, "closed loop needs at least one session");
+                vec![Duration::ZERO; spec.requests]
+            }
+        };
+        let sessions = match spec.mode {
+            Mode::Open { .. } => 1,
+            Mode::Closed { sessions, .. } => sessions,
+        };
+        let requests = (0..spec.requests)
+            .map(|i| Request {
+                index: i,
+                session: i % sessions,
+                offset: offsets[i],
+                pool_slot: slots[i],
+                qtype: spec.qtype,
+            })
+            .collect();
+        Self {
+            mode: spec.mode,
+            seed: spec.seed,
+            pool: spec.pool.clone(),
+            requests,
+        }
+    }
+
+    /// The query vector of one request.
+    pub fn query(&self, r: &Request) -> &Vector {
+        &self.pool[r.pool_slot]
+    }
+
+    /// Number of sessions the driver should run.
+    pub fn sessions(&self) -> usize {
+        match self.mode {
+            Mode::Open { .. } => 1,
+            Mode::Closed { sessions, .. } => sessions,
+        }
+    }
+
+    /// A canonical byte encoding of the whole plan: mode, seed, pool
+    /// vectors (exact f32 bits) and every request's fields, all
+    /// little-endian. Two plans send identical traffic if and only if
+    /// their encodings are identical.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.requests.len() * 40);
+        out.extend_from_slice(b"MQLG\x01");
+        match self.mode {
+            Mode::Open { offered_qps } => {
+                out.push(0);
+                out.extend_from_slice(&offered_qps.to_bits().to_le_bytes());
+            }
+            Mode::Closed { sessions, think } => {
+                out.push(1);
+                out.extend_from_slice(&(sessions as u64).to_le_bytes());
+                out.extend_from_slice(&(think.as_nanos() as u64).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.pool.len() as u64).to_le_bytes());
+        for v in &self.pool {
+            out.extend_from_slice(&(v.dim() as u64).to_le_bytes());
+            for c in v.components() {
+                out.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.requests.len() as u64).to_le_bytes());
+        for r in &self.requests {
+            out.extend_from_slice(&(r.index as u64).to_le_bytes());
+            out.extend_from_slice(&(r.session as u64).to_le_bytes());
+            out.extend_from_slice(&(r.offset.as_nanos() as u64).to_le_bytes());
+            out.extend_from_slice(&(r.pool_slot as u64).to_le_bytes());
+            out.push(match r.qtype.kind {
+                QueryKind::Range => 0,
+                QueryKind::KNearestNeighbor => 1,
+                QueryKind::BoundedKNearestNeighbor => 2,
+            });
+            out.extend_from_slice(&r.qtype.range.to_bits().to_le_bytes());
+            out.extend_from_slice(&(r.qtype.cardinality as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`encode`](Self::encode) — the value
+    /// `BENCH_server.json` records so two runs can prove they sent the
+    /// same request stream.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.encode() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|i| Vector::new(vec![i as f32, (i * i) as f32]))
+            .collect()
+    }
+
+    fn spec(mode: Mode, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            mode,
+            requests: 64,
+            qtype: QueryType::knn(3),
+            pool: pool(8),
+            skew: 0.8,
+            seed,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        for mode in [
+            Mode::Open { offered_qps: 500.0 },
+            Mode::Closed {
+                sessions: 4,
+                think: Duration::from_millis(1),
+            },
+        ] {
+            let a = RequestPlan::materialize(&spec(mode, 7));
+            let b = RequestPlan::materialize(&spec(mode, 7));
+            assert_eq!(a.encode(), b.encode());
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            let c = RequestPlan::materialize(&spec(mode, 8));
+            assert_ne!(a.encode(), c.encode(), "seed must matter");
+        }
+    }
+
+    #[test]
+    fn open_loop_offsets_sorted_closed_loop_zero() {
+        let open = RequestPlan::materialize(&spec(Mode::Open { offered_qps: 100.0 }, 3));
+        assert!(open.requests.windows(2).all(|w| w[0].offset < w[1].offset));
+        let closed = RequestPlan::materialize(&spec(
+            Mode::Closed {
+                sessions: 4,
+                think: Duration::ZERO,
+            },
+            3,
+        ));
+        assert!(closed.requests.iter().all(|r| r.offset == Duration::ZERO));
+        // Sessions partition the sequence round-robin.
+        assert!(closed.requests.iter().all(|r| r.session == r.index % 4));
+    }
+
+    #[test]
+    fn skew_streams_differ_from_arrival_streams() {
+        // Same master seed: key choices and offsets must not be correlated
+        // copies of one stream — crude check: the first few pool slots are
+        // not simply the offsets' low bits.
+        let plan = RequestPlan::materialize(&spec(Mode::Open { offered_qps: 100.0 }, 11));
+        let slots: Vec<usize> = plan.requests.iter().take(8).map(|r| r.pool_slot).collect();
+        assert!(
+            slots.iter().any(|&s| s != slots[0]),
+            "skewed but not constant"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must not be empty")]
+    fn empty_pool_rejected() {
+        let mut s = spec(Mode::Open { offered_qps: 1.0 }, 1);
+        s.pool.clear();
+        let _ = RequestPlan::materialize(&s);
+    }
+}

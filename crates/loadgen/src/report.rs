@@ -1,0 +1,183 @@
+//! Run results and their `BENCH_server.json` serialization.
+//!
+//! The JSON is hand-assembled (the workspace has no serde); numbers are
+//! emitted with Rust's shortest-roundtrip `f64` formatting, and
+//! non-finite values become `null` so the file always parses.
+
+use mq_obs::Snapshot;
+
+/// One request's answers as `(object id, distance bits)` pairs — bits,
+/// not floats, so oracle comparisons are exact.
+pub type AnswerSet = Vec<(u32, u64)>;
+
+/// Captured answers of a whole run, indexed by request; `None` entries
+/// are requests that failed.
+pub type CapturedAnswers = Vec<Option<AnswerSet>>;
+
+/// The server-side view of one run window: deltas of the scheduler's
+/// counters between the before- and after-run scrapes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerWindow {
+    /// Queries the scheduler accepted into flushed batches.
+    pub queries: f64,
+    /// Batches flushed (all reasons).
+    pub batches: f64,
+    /// Mean queries per batch over the window.
+    pub mean_batch_size: f64,
+    /// p99 of the in-window queue-wait distribution, seconds (absent if
+    /// the window saw no queue-wait observations).
+    pub queue_wait_p99: Option<f64>,
+}
+
+impl ServerWindow {
+    /// Builds the window from the two scrapes, if both exist.
+    pub fn from_scrapes(before: Option<&Snapshot>, after: Option<&Snapshot>) -> Option<Self> {
+        let (before, after) = (before?, after?);
+        let delta = after.delta(before);
+        let queries = delta.value("mq_server_queries_total");
+        let batches = delta.value("mq_server_batches_total{reason=\"full\"}")
+            + delta.value("mq_server_batches_total{reason=\"deadline\"}")
+            + delta.value("mq_server_batches_total{reason=\"closed\"}");
+        Some(Self {
+            queries,
+            batches,
+            mean_batch_size: if batches > 0.0 {
+                queries / batches
+            } else {
+                0.0
+            },
+            queue_wait_p99: delta.quantile("mq_server_queue_wait_seconds", 0.99),
+        })
+    }
+}
+
+/// Everything one run produced: client-side latency distribution and
+/// throughput, error/timeout/retry counts, the request-stream
+/// fingerprint, and the server-side window.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// `"open"` or `"closed"`.
+    pub mode: &'static str,
+    /// Requests the plan contained.
+    pub requests: usize,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests that failed after exhausting retries (excluding
+    /// timeouts).
+    pub errors: u64,
+    /// Requests whose final failure was a read/connect timeout.
+    pub timeouts: u64,
+    /// Transport-level retries performed across all clients.
+    pub retries: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_secs: f64,
+    /// Offered rate (open loop only).
+    pub offered_qps: Option<f64>,
+    /// Successful answers per wall-clock second.
+    pub achieved_qps: f64,
+    /// Median latency, seconds.
+    pub p50: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+    /// 99.9th-percentile latency, seconds.
+    pub p999: f64,
+    /// Mean latency, seconds.
+    pub mean_latency: f64,
+    /// Largest single latency observed, seconds.
+    pub max_latency: f64,
+    /// FNV-1a fingerprint of the plan's byte encoding: equal
+    /// fingerprints ⇒ identical request streams.
+    pub fingerprint: u64,
+    /// Server-side window delta (absent if the server has no recorder).
+    pub server: Option<ServerWindow>,
+    /// Per-request answers as `(object id, distance bits)`, only when
+    /// [`RunOptions::capture_answers`](crate::RunOptions) was set.
+    pub answers: Option<CapturedAnswers>,
+}
+
+/// A finite `f64` as a JSON number, `null` otherwise.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl RunReport {
+    /// The run as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("    \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("    \"requests\": {},\n", self.requests));
+        out.push_str(&format!("    \"ok\": {},\n", self.ok));
+        out.push_str(&format!("    \"errors\": {},\n", self.errors));
+        out.push_str(&format!("    \"timeouts\": {},\n", self.timeouts));
+        out.push_str(&format!("    \"retries\": {},\n", self.retries));
+        out.push_str(&format!(
+            "    \"wall_secs\": {},\n",
+            json_num(self.wall_secs)
+        ));
+        out.push_str(&format!(
+            "    \"offered_qps\": {},\n",
+            self.offered_qps.map_or("null".into(), json_num)
+        ));
+        out.push_str(&format!(
+            "    \"achieved_qps\": {},\n",
+            json_num(self.achieved_qps)
+        ));
+        out.push_str(&format!(
+            "    \"latency_seconds\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \"max\": {} }},\n",
+            json_num(self.p50),
+            json_num(self.p95),
+            json_num(self.p99),
+            json_num(self.p999),
+            json_num(self.mean_latency),
+            json_num(self.max_latency),
+        ));
+        out.push_str(&format!(
+            "    \"request_stream_fingerprint\": \"{:016x}\",\n",
+            self.fingerprint
+        ));
+        match &self.server {
+            Some(w) => out.push_str(&format!(
+                "    \"server\": {{ \"queries\": {}, \"batches\": {}, \"mean_batch_size\": {}, \"queue_wait_p99\": {} }}\n",
+                json_num(w.queries),
+                json_num(w.batches),
+                json_num(w.mean_batch_size),
+                w.queue_wait_p99.map_or("null".into(), json_num),
+            )),
+            None => out.push_str("    \"server\": null\n"),
+        }
+        out.push_str("  }");
+        out
+    }
+
+    /// One-paragraph human summary for terminal output.
+    pub fn summary(&self) -> String {
+        let offered = self
+            .offered_qps
+            .map(|r| format!(" of {r:.0} offered"))
+            .unwrap_or_default();
+        format!(
+            "{} loop: {}/{} ok ({} errors, {} timeouts, {} retries) in {:.2}s — \
+             {:.1} qps{offered}\n  latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  \
+             p999 {:.2}ms  max {:.2}ms",
+            self.mode,
+            self.ok,
+            self.requests,
+            self.errors,
+            self.timeouts,
+            self.retries,
+            self.wall_secs,
+            self.achieved_qps,
+            self.p50 * 1e3,
+            self.p95 * 1e3,
+            self.p99 * 1e3,
+            self.p999 * 1e3,
+            self.max_latency * 1e3,
+        )
+    }
+}

@@ -36,7 +36,7 @@ mod metrics;
 mod recorder;
 mod registry;
 
-pub use metrics::{Counter, FloatCounter, Gauge, Histogram, SpanTimer};
+pub use metrics::{log_bounds, Counter, FloatCounter, Gauge, Histogram, SpanTimer};
 pub use recorder::Recorder;
 pub use registry::{MetricKind, Registry, Snapshot};
 

@@ -182,6 +182,81 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum.get()
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the bucket
+    /// counts, or `None` if the histogram is empty.
+    ///
+    /// The estimate uses rank selection with linear interpolation inside
+    /// the chosen bucket, so an observation stream placed exactly on the
+    /// bucket boundaries is recovered exactly: bounds are *inclusive*
+    /// upper limits (`observe(b)` lands in the `le = b` bucket), and the
+    /// interpolation reaches the bucket's upper bound when the target
+    /// rank is the bucket's last observation. Two clamps keep the result
+    /// meaningful at the edges:
+    ///
+    /// * a rank that falls in the overflow (`+Inf`) bucket reports the
+    ///   largest *finite* bound — the histogram cannot resolve beyond its
+    ///   range, and `+Inf` would poison downstream arithmetic;
+    /// * the first bucket's lower edge is `min(0, bounds[0])`, so
+    ///   non-negative quantities (latencies) never interpolate below 0.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Rank-selection quantile over non-cumulative bucket `counts` (one more
+/// entry than `bounds`: the overflow bucket last). Shared by
+/// [`Histogram::quantile`] and `Snapshot::quantile`.
+pub(crate) fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || !q.is_finite() {
+        return None;
+    }
+    // The rank of the selected observation, 1-based: q <= 0 selects the
+    // first, q >= 1 the last.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if cumulative + count >= rank {
+            let Some(&upper) = bounds.get(i) else {
+                // Overflow bucket: clamp to the largest finite bound.
+                return Some(bounds.last().copied().unwrap_or(f64::INFINITY));
+            };
+            let lower = if i == 0 {
+                bounds[0].min(0.0)
+            } else {
+                bounds[i - 1]
+            };
+            let within = (rank - cumulative) as f64 / count as f64;
+            return Some(lower + within * (upper - lower));
+        }
+        cumulative += count;
+    }
+    None
+}
+
+/// Log-spaced histogram bounds: `per_decade` bucket upper limits per
+/// factor of ten, from `lo` up to (at least) `hi` — the HDR-style layout
+/// the load generator uses for request latencies, where relative error
+/// per bucket is constant across six orders of magnitude.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` (both finite) and `per_decade > 0`.
+pub fn log_bounds(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi && per_decade > 0,
+        "log_bounds requires 0 < lo < hi and per_decade > 0"
+    );
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut bounds = vec![lo];
+    while *bounds.last().unwrap() < hi {
+        let next = bounds.last().unwrap() * step;
+        bounds.push(next);
+    }
+    bounds
 }
 
 /// Drop guard from [`Histogram::start_timer`]: records the span's elapsed
@@ -280,5 +355,110 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_bad_bounds() {
         let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_boundary_aligned_observations() {
+        // One bound per integer 1..=100, one observation on each bound:
+        // every percentile is known exactly, and because bounds are
+        // inclusive upper limits each observation occupies precisely its
+        // own bucket.
+        let bounds: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let h = Histogram::new(&bounds);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.50), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(0.0), Some(1.0), "q=0 selects the minimum");
+        assert_eq!(h.quantile(0.001), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // 4 observations in (2, 4]: ranks 1..=4 interpolate the bucket.
+        for v in [2.5, 3.0, 3.5, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.25), Some(2.5));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_value_on_boundary_never_spills_into_next_bucket() {
+        // 100 observations of exactly 2.0 (a bound): every quantile must
+        // report at most 2.0 — the old temptation is to place boundary
+        // values in the *next* bucket, which would report p99 = 8.
+        let h = Histogram::new(&[1.0, 2.0, 8.0]);
+        for _ in 0..100 {
+            h.observe(2.0);
+        }
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(
+            p99 > 1.0 && p99 <= 2.0,
+            "p99 = {p99} escaped the le=2 bucket"
+        );
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert_eq!(
+            h.quantile(0.5),
+            Some(1.5),
+            "mid-rank interpolates from the lower edge"
+        );
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(5.0);
+        h.observe(1e9); // overflow bucket
+        h.observe(1e9);
+        let p99 = h.quantile(0.99).unwrap();
+        assert_eq!(
+            p99, 10.0,
+            "overflow reports the largest finite bound, not +Inf"
+        );
+        assert!(h.quantile(0.99).unwrap().is_finite());
+    }
+
+    #[test]
+    fn quantile_empty_and_bad_inputs() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        h.observe(0.5);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_first_bucket_lower_edge_is_zero_for_positive_bounds() {
+        let h = Histogram::new(&[8.0, 16.0]);
+        h.observe(4.0);
+        h.observe(4.0);
+        // Rank 1 of 2 in bucket (0, 8]: interpolates to 4, not -something.
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert!(h.quantile(0.0).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn log_bounds_cover_range_with_constant_ratio() {
+        let b = log_bounds(1e-5, 10.0, 5);
+        assert!(b[0] == 1e-5 && *b.last().unwrap() >= 10.0);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        for w in b.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((ratio - 10f64.powf(0.2)).abs() < 1e-9);
+        }
+        // 6 decades at 5 buckets per decade: 31 bounds (32 if the final
+        // step lands a hair under `hi` in floating point).
+        assert!(b.len() == 31 || b.len() == 32, "got {} bounds", b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "log_bounds requires")]
+    fn log_bounds_rejects_bad_range() {
+        let _ = log_bounds(0.0, 1.0, 4);
     }
 }

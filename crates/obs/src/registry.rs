@@ -351,6 +351,82 @@ impl Snapshot {
         self.samples.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Parses a Prometheus text exposition (what
+    /// [`Registry::render`](crate::Registry::render) produces and the
+    /// MQNW `STATS` opcode serves) back into a snapshot. `# HELP`/`# TYPE`
+    /// comments and blank lines are skipped; any other unparseable line is
+    /// an error — a scrape that fails here is torn or corrupt.
+    pub fn from_exposition(text: &str) -> Result<Snapshot, String> {
+        let mut samples = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, raw) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+            let value: f64 = raw
+                .parse()
+                .map_err(|_| format!("unparseable sample value in line: {line:?}"))?;
+            if samples.insert(series.to_string(), value).is_some() {
+                return Err(format!("duplicate series in exposition: {series:?}"));
+            }
+        }
+        Ok(Snapshot { samples })
+    }
+
+    /// The `q`-quantile of the histogram family `name`, reconstructed
+    /// from its cumulative `_bucket{le=...}` samples; `None` if the
+    /// family is absent or empty. When the family has several label sets
+    /// (e.g. per-partition series) their buckets are summed, so the
+    /// result is the aggregate distribution's quantile.
+    ///
+    /// Same estimator and edge-case behavior as
+    /// [`Histogram::quantile`](crate::Histogram::quantile): linear
+    /// interpolation within the selected bucket, overflow mass clamped to
+    /// the largest finite bound.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        // Collect cumulative counts per `le` bound, summed across label
+        // sets. Keys look like `name_bucket{le="0.5"}` or
+        // `name_bucket{shard="3",le="0.5"}` — `le` is always last.
+        let prefix = format!("{name}_bucket{{");
+        let mut by_bound: Vec<(f64, f64)> = Vec::new();
+        let mut overflow = 0.0f64;
+        for (key, value) in self.samples.range(prefix.clone()..) {
+            if !key.starts_with(&prefix) {
+                break;
+            }
+            let le = key
+                .rsplit_once("le=\"")
+                .and_then(|(_, rest)| rest.strip_suffix("\"}"))?;
+            if le == "+Inf" {
+                overflow += *value;
+            } else {
+                let bound: f64 = le.parse().ok()?;
+                match by_bound.iter_mut().find(|(b, _)| *b == bound) {
+                    Some((_, v)) => *v += *value,
+                    None => by_bound.push((bound, *value)),
+                }
+            }
+        }
+        if overflow == 0.0 && by_bound.is_empty() {
+            return None;
+        }
+        by_bound.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // De-cumulate into per-bucket counts (the exposition is
+        // cumulative), appending the overflow bucket's own mass.
+        let bounds: Vec<f64> = by_bound.iter().map(|(b, _)| *b).collect();
+        let mut counts = Vec::with_capacity(bounds.len() + 1);
+        let mut prev = 0.0f64;
+        for (_, cumulative) in &by_bound {
+            counts.push((cumulative - prev).max(0.0).round() as u64);
+            prev = *cumulative;
+        }
+        counts.push((overflow - prev).max(0.0).round() as u64);
+        crate::metrics::quantile_from_buckets(&bounds, &counts, q)
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -446,6 +522,57 @@ mod tests {
             .inc();
         let text = r.render();
         assert!(text.contains("mq_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_from_exposition() {
+        let r = Registry::new();
+        r.counter("mq_rt_total", "rt", &[("k", "v")]).add(3);
+        let h = r.histogram("mq_rt_seconds", "rt", &[], &[0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(2.0);
+        let direct = r.snapshot();
+        let parsed = Snapshot::from_exposition(&r.render()).expect("parse rendered exposition");
+        assert_eq!(direct, parsed, "render/parse must round-trip exactly");
+        assert!(Snapshot::from_exposition("garbage without value\n").is_err());
+        assert!(Snapshot::from_exposition("mq_x notafloat\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_histogram_quantile() {
+        let r = Registry::new();
+        let bounds: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let h = r.histogram("mq_lat_seconds", "lat", &[], &bounds);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let snap = r.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                snap.quantile("mq_lat_seconds", q),
+                h.quantile(q),
+                "snapshot and histogram disagree at q={q}"
+            );
+        }
+        assert_eq!(snap.quantile("mq_lat_seconds", 0.5), Some(50.0));
+        assert_eq!(snap.quantile("mq_absent_seconds", 0.5), None);
+    }
+
+    #[test]
+    fn snapshot_quantile_aggregates_label_sets_and_clamps_overflow() {
+        let r = Registry::new();
+        let a = r.histogram("mq_m_seconds", "m", &[("shard", "0")], &[1.0, 10.0]);
+        let b = r.histogram("mq_m_seconds", "m", &[("shard", "1")], &[1.0, 10.0]);
+        a.observe(0.5);
+        b.observe(5.0);
+        b.observe(1e6); // overflow
+        let snap = r.snapshot();
+        // 3 observations total: p50 is in (1, 10], p100 clamps to 10.
+        let p50 = snap.quantile("mq_m_seconds", 0.5).unwrap();
+        assert!(p50 > 1.0 && p50 <= 10.0, "p50 = {p50}");
+        assert_eq!(snap.quantile("mq_m_seconds", 1.0), Some(10.0));
+        // A quantile entirely inside the overflow mass stays finite.
+        assert!(snap.quantile("mq_m_seconds", 0.999).unwrap().is_finite());
     }
 
     #[test]

@@ -404,6 +404,16 @@ struct Job {
     reply: Sender<QueryReply>,
     /// When the job entered the queue (queue-wait observability).
     submitted: Instant,
+    /// The scheduler's in-flight count; decremented on drop, so every
+    /// exit path — reply delivered, batch panicked, queue drained on
+    /// shutdown — retires the job exactly once.
+    pending: Arc<AtomicU64>,
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Why a batch stopped collecting and flushed.
@@ -485,6 +495,8 @@ pub struct BatchScheduler {
     metrics: Arc<Mutex<ServiceMetrics>>,
     dims: usize,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Jobs accepted but not yet retired (queued or executing).
+    in_flight: Arc<AtomicU64>,
 }
 
 impl BatchScheduler {
@@ -532,6 +544,7 @@ impl BatchScheduler {
             metrics,
             dims,
             workers,
+            in_flight: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -544,6 +557,10 @@ impl BatchScheduler {
     /// the query's batch flushed.
     pub fn submit(&self, object: Vector, qtype: QueryType) -> Receiver<QueryReply> {
         let (reply_tx, reply_rx) = channel::bounded(1);
+        // Count the job before it enters the queue, so `in_flight` never
+        // under-reports; the job's drop guard retires it on every path
+        // (including an immediate drop when the queue is already closed).
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
         // A send can only fail after shutdown; the caller then sees the
         // reply channel disconnected, which is the honest signal.
         let _ = self.tx.send(Job {
@@ -551,8 +568,18 @@ impl BatchScheduler {
             qtype,
             reply: reply_tx,
             submitted: Instant::now(),
+            pending: Arc::clone(&self.in_flight),
         });
         reply_rx
+    }
+
+    /// Jobs accepted but not yet retired: still queued, collecting into a
+    /// batch, or executing. Zero means every submitted query has either
+    /// been answered or dropped — the signal
+    /// [`QueryServer::drain`](crate::QueryServer::drain) polls so a load
+    /// run can end with no work left behind in the scheduler.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// A snapshot of the aggregate counters.
@@ -1031,6 +1058,28 @@ mod tests {
         assert_eq!(m.queries, 8);
         assert!(m.batches >= 2, "max_batch 4 forces at least two batches");
         assert!(m.max_batch_size <= 4);
+    }
+
+    #[test]
+    fn in_flight_counts_down_to_zero() {
+        let config = ServerConfig::default()
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(2));
+        let scheduler = BatchScheduler::start(scan_backend(100), &config);
+        assert_eq!(scheduler.in_flight(), 0);
+        let rxs: Vec<_> = (0..6)
+            .map(|i| scheduler.submit(Vector::new(vec![i as f32]), QueryType::knn(1)))
+            .collect();
+        for rx in rxs {
+            rx.recv_timeout(Duration::from_secs(5)).expect("reply");
+        }
+        // Replies are sent before the jobs retire; give the worker a
+        // bounded moment to drop the batch.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while scheduler.in_flight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(scheduler.in_flight(), 0, "all jobs must retire");
     }
 
     #[test]

@@ -101,6 +101,31 @@ impl QueryServer {
         self.recorder.render()
     }
 
+    /// Queries accepted by the scheduler but not yet answered (queued,
+    /// collecting into a batch, or executing).
+    pub fn in_flight(&self) -> u64 {
+        self.scheduler.in_flight()
+    }
+
+    /// Waits until the scheduler has no in-flight work (every submitted
+    /// query answered or dropped), polling up to `timeout`. Returns
+    /// whether the queue drained in time.
+    ///
+    /// This is the clean end of a load run: clients stop sending, the
+    /// harness calls `drain`, and only then scrapes final metrics or
+    /// shuts the server down — so no batch is still flushing while the
+    /// after-run snapshot is taken.
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.scheduler.in_flight() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
+    }
+
     /// Stops accepting connections and joins the accept thread.
     /// Connections already open finish their in-flight requests.
     pub fn shutdown(&mut self) {

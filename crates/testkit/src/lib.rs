@@ -36,12 +36,14 @@
 //!   device-loss);
 //! * [`sim`] — [`Sim`]: workload + plan + oracle comparison over the
 //!   engine-configuration matrix;
-//! * [`proxy`] — [`FlakyProxy`]: a byte-budgeted TCP forwarder that kills
-//!   connections mid-frame, for exercising the retrying network client.
+//! * [`proxy`] — [`FlakyProxy`]: a TCP forwarder injecting reply-path
+//!   faults ([`ConnFault`]: byte-budgeted mid-frame cuts, one-time
+//!   latency spikes), for exercising the retrying network client and the
+//!   `mq-loadgen` latency harness under adversity.
 
 pub mod proxy;
 pub mod scenario;
 pub mod sim;
 
-pub use proxy::FlakyProxy;
+pub use proxy::{ConnFault, FlakyProxy};
 pub use sim::{config_matrix, LengthBudgetPrescreen, Sim, SimConfig, SimReport};

@@ -1,17 +1,56 @@
-//! [`FlakyProxy`]: a TCP forwarder that kills connections after a byte
-//! budget — deterministic network faults for the retrying client.
+//! [`FlakyProxy`]: a TCP forwarder that injects reply-path faults —
+//! byte-budgeted connection cuts and one-time latency spikes — for the
+//! retrying client.
 //!
 //! The proxy forwards client bytes upstream untouched and counts the
 //! bytes flowing back. A connection whose per-connection budget runs out
 //! is shut down in both directions mid-frame, which a protocol client
 //! observes as an I/O error exactly like a crashed or partitioned server.
-//! Budgets are assigned per accepted connection from a fixed schedule, so
-//! a test's failure pattern is a plain data value, not a race.
+//! A connection with a reply delay stalls once, before its first reply
+//! byte is relayed — a deterministic stand-in for a GC pause or a
+//! routing hiccup that a latency harness must see in its tail. Faults
+//! are assigned per accepted connection from a fixed schedule, so a
+//! test's failure pattern is a plain data value, not a race.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Reply-path faults of one proxied connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnFault {
+    /// Bytes the connection may receive from the upstream before it is
+    /// cut mid-frame; `None` is unlimited.
+    pub reply_budget: Option<usize>,
+    /// One-time stall injected before the first reply byte is relayed.
+    pub reply_delay: Option<Duration>,
+}
+
+impl ConnFault {
+    /// No faults: the connection behaves like a plain forwarder.
+    pub const CLEAN: ConnFault = ConnFault {
+        reply_budget: None,
+        reply_delay: None,
+    };
+
+    /// Cut the connection after `bytes` reply bytes.
+    pub fn cut_after(bytes: usize) -> Self {
+        Self {
+            reply_budget: Some(bytes),
+            ..Self::CLEAN
+        }
+    }
+
+    /// Stall the first reply by `delay`.
+    pub fn spike(delay: Duration) -> Self {
+        Self {
+            reply_delay: Some(delay),
+            ..Self::CLEAN
+        }
+    }
+}
 
 /// A byte-budgeted TCP proxy in front of one upstream address.
 pub struct FlakyProxy {
@@ -27,6 +66,25 @@ impl FlakyProxy {
     /// receive *from* the upstream before it is cut; connections beyond
     /// the schedule (and `None` entries) are unlimited.
     pub fn start(upstream: SocketAddr, budgets: Vec<Option<usize>>) -> std::io::Result<Self> {
+        Self::start_with_faults(
+            upstream,
+            budgets
+                .into_iter()
+                .map(|reply_budget| ConnFault {
+                    reply_budget,
+                    ..ConnFault::CLEAN
+                })
+                .collect(),
+        )
+    }
+
+    /// [`start`](Self::start) with the full fault vocabulary: the `i`-th
+    /// accepted connection gets `faults[i]` (cut budget and/or reply
+    /// stall); connections beyond the schedule are clean.
+    pub fn start_with_faults(
+        upstream: SocketAddr,
+        faults: Vec<ConnFault>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -44,10 +102,10 @@ impl FlakyProxy {
                         Err(_) => continue,
                     };
                     let i = connections.fetch_add(1, Ordering::SeqCst);
-                    let budget = budgets.get(i).copied().flatten();
+                    let fault = faults.get(i).copied().unwrap_or(ConnFault::CLEAN);
                     let _ = std::thread::Builder::new()
                         .name(format!("mq-flaky-conn-{i}"))
-                        .spawn(move || forward(client, upstream, budget));
+                        .spawn(move || forward(client, upstream, fault));
                 }
             })?;
         Ok(Self {
@@ -74,9 +132,8 @@ impl Drop for FlakyProxy {
     }
 }
 
-/// Forwards one client connection, cutting it once `budget` upstream
-/// bytes were relayed.
-fn forward(client: TcpStream, upstream: SocketAddr, budget: Option<usize>) {
+/// Forwards one client connection, applying its reply-path faults.
+fn forward(client: TcpStream, upstream: SocketAddr, fault: ConnFault) {
     let Ok(server) = TcpStream::connect(upstream) else {
         let _ = client.shutdown(Shutdown::Both);
         return;
@@ -88,15 +145,18 @@ fn forward(client: TcpStream, upstream: SocketAddr, budget: Option<usize>) {
     };
     // Client → upstream: unrestricted (requests always get through; it is
     // the *reply* path a budget severs, modelling a server lost mid-answer).
-    let up = std::thread::spawn(move || copy_until(client_rx, server, None));
-    copy_until(server_rx, client, budget);
+    let up = std::thread::spawn(move || copy_until(client_rx, server, ConnFault::CLEAN));
+    copy_until(server_rx, client, fault);
     let _ = up.join();
 }
 
-/// Copies bytes until EOF, an error, or the budget runs out; then shuts
-/// the destination down so both halves of the proxied connection die.
-fn copy_until(mut from: TcpStream, mut to: TcpStream, budget: Option<usize>) {
-    let mut remaining = budget;
+/// Copies bytes until EOF, an error, or the reply budget runs out; the
+/// first relayed chunk is stalled by the fault's reply delay. Shuts the
+/// destination down at the end so both halves of the proxied connection
+/// die.
+fn copy_until(mut from: TcpStream, mut to: TcpStream, fault: ConnFault) {
+    let mut remaining = fault.reply_budget;
+    let mut delay = fault.reply_delay;
     let mut buf = [0u8; 4096];
     loop {
         let cap = match remaining {
@@ -108,6 +168,9 @@ fn copy_until(mut from: TcpStream, mut to: TcpStream, budget: Option<usize>) {
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
+        if let Some(pause) = delay.take() {
+            std::thread::sleep(pause);
+        }
         if to.write_all(&buf[..n]).is_err() {
             break;
         }
