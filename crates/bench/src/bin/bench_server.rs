@@ -17,6 +17,13 @@
 //! achieved-vs-offered throughput, error/timeout/retry counts, the
 //! server-side batching window) go to `BENCH_server.json`.
 //!
+//! A third run drives the **overload** path: a ramp plan steps the
+//! offered rate past a deliberately small admission bound (`--max-queue`
+//! territory) on the event-loop frontend, asserting that saturation
+//! produces typed `Overloaded` rejections — never transport errors — and
+//! that the latency of *admitted* requests stays bounded while the queue
+//! sheds load.
+//!
 //! Flags/env: `--smoke` shrinks the database and request counts for CI;
 //! `--assert-slo` exits non-zero when a run has transport errors or its
 //! p99 exceeds the bound — and refuses to run at all on a 1-core host,
@@ -25,11 +32,14 @@
 //! JSON records `cores`). `MQ_BENCH_N` overrides the object count,
 //! `MQ_SEED` the seed, `MQ_LOAD_REQUESTS`/`MQ_LOAD_QPS`/
 //! `MQ_LOAD_SESSIONS`/`MQ_LOAD_THINK_MS`/`MQ_LOAD_CONNECTIONS` the load
-//! shape, and `MQ_SLO_P99_MS` the (deliberately generous) p99 bound.
+//! shape, `MQ_SLO_P99_MS` the (deliberately generous) p99 bound,
+//! `MQ_OVERLOAD_QUEUE` the overload run's admission bound, and
+//! `MQ_OVERLOAD_END_QPS` the top of its ramp.
 
 use mq_bench::setup::{env_u64, env_usize};
 use mq_core::QueryType;
 use mq_datagen::image_histograms;
+use mq_front::FrontServer;
 use mq_index::LinearScan;
 use mq_loadgen::{run, Mode, RequestPlan, RunOptions, RunReport, WorkloadSpec};
 use mq_obs::Recorder;
@@ -163,6 +173,81 @@ fn main() {
         "server did not drain after both runs"
     );
 
+    // Overload run: a fresh event-loop frontend with a small per-
+    // collection queue bound, rammed past capacity by a step-rate ramp
+    // with more concurrent connections than queue slots. Saturation must
+    // surface as typed Overloaded rejections (shed at admission, before
+    // any distance work), while the requests that *were* admitted keep a
+    // bounded p99.
+    let overload_queue = env_usize("MQ_OVERLOAD_QUEUE", 8);
+    let overload_end_qps = env_f64("MQ_OVERLOAD_END_QPS", if smoke { 2_000.0 } else { 4_000.0 });
+    let overload_requests = env_usize("MQ_OVERLOAD_REQUESTS", if smoke { 400 } else { 2_000 });
+    let overload_objects = image_histograms(n, seed);
+    let overload_pool: Vec<_> = (0..32)
+        .map(|i| overload_objects[i * n / 32].clone())
+        .collect();
+    let overload_db = PagedDatabase::pack(&Dataset::new(overload_objects), PageLayout::PAPER);
+    let overload_scan = LinearScan::new(overload_db.page_count());
+    let overload_backend =
+        SingleEngineBackend::new(overload_db, Box::new(overload_scan), 0.0, true);
+    let overload_recorder = Recorder::enabled();
+    let overload_config = ServerConfig::default()
+        .with_max_batch(8)
+        .with_max_wait(Duration::from_millis(2))
+        .with_max_queue(overload_queue);
+    let overload_server = FrontServer::bind_with_recorder(
+        "127.0.0.1:0",
+        Box::new(overload_backend),
+        &overload_config,
+        &overload_recorder,
+    )
+    .expect("bind overload server");
+    let overload_addr = overload_server.local_addr().to_string();
+    let overload_plan = plan_twice(&WorkloadSpec {
+        mode: Mode::Ramp {
+            start_qps: offered_qps / 4.0,
+            end_qps: overload_end_qps,
+            steps: 4,
+        },
+        requests: overload_requests,
+        qtype,
+        pool: overload_pool,
+        skew: 0.8,
+        seed,
+    });
+    let overload_opts = RunOptions {
+        // More in-flight client requests than queue slots, so the depth
+        // bound genuinely engages.
+        connections: (overload_queue * 3).max(connections),
+        ..RunOptions::default()
+    };
+    let overload = run(&overload_plan, &overload_addr, &overload_opts);
+    println!("{}", overload.summary());
+    assert!(
+        overload_server.drain(Duration::from_secs(10)),
+        "overload server did not drain"
+    );
+    assert!(
+        overload.rejected > 0,
+        "the overload ramp (to {overload_end_qps} qps against a {overload_queue}-deep queue) \
+         never tripped admission control"
+    );
+    assert_eq!(
+        (overload.ok + overload.rejected) as usize,
+        overload.requests,
+        "every overload request must end as an answer or a typed rejection, never a transport \
+         error ({} errors, {} timeouts)",
+        overload.errors,
+        overload.timeouts,
+    );
+    // Post-drain ledger: the scheduler only ever counted admitted queries.
+    let overload_metrics = overload_server.metrics();
+    assert_eq!(
+        overload_metrics.queries, overload.ok,
+        "scheduler query counter must equal the admitted (answered) count — rejected requests \
+         never reach the engine"
+    );
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"server_load\",\n");
     json.push_str(&format!(
@@ -173,8 +258,15 @@ fn main() {
          \"slo_p99_ms\": {} }},\n",
         slo_p99 * 1e3
     ));
+    json.push_str(&format!(
+        "  \"overload_config\": {{ \"frontend\": \"event\", \"max_queue\": {overload_queue}, \
+         \"requests\": {overload_requests}, \"ramp_end_qps\": {overload_end_qps}, \
+         \"connections\": {} }},\n",
+        overload_opts.connections
+    ));
     json.push_str(&format!("  \"open\": {},\n", open.to_json()));
-    json.push_str(&format!("  \"closed\": {}\n", closed.to_json()));
+    json.push_str(&format!("  \"closed\": {},\n", closed.to_json()));
+    json.push_str(&format!("  \"overload\": {}\n", overload.to_json()));
     json.push_str("}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     println!("wrote BENCH_server.json");
@@ -182,6 +274,23 @@ fn main() {
     if assert_slo {
         let mut violations = check_slo(&open, slo_p99, "open");
         violations.extend(check_slo(&closed, slo_p99, "closed"));
+        // Overload: transport must stay clean and *admitted* requests
+        // (the only ones in the latency histogram) must stay under the
+        // bound even while the ramp sheds load.
+        if overload.errors > 0 || overload.timeouts > 0 {
+            violations.push(format!(
+                "overload: {} transport errors, {} timeouts (rejections must be typed)",
+                overload.errors, overload.timeouts
+            ));
+        }
+        if overload.p99 > slo_p99 {
+            violations.push(format!(
+                "overload: admitted p99 {:.1} ms exceeds the {:.1} ms bound — the queue bound \
+                 failed to keep admitted latency flat under saturation",
+                overload.p99 * 1e3,
+                slo_p99 * 1e3
+            ));
+        }
         if !violations.is_empty() {
             for v in &violations {
                 eprintln!("SLO violation: {v}");
@@ -189,10 +298,13 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "SLO assertion passed: p99 open {:.1} ms / closed {:.1} ms within {:.0} ms, zero errors",
+            "SLO assertion passed: p99 open {:.1} ms / closed {:.1} ms / overload-admitted \
+             {:.1} ms within {:.0} ms, zero errors, {} typed rejections under overload",
             open.p99 * 1e3,
             closed.p99 * 1e3,
-            slo_p99 * 1e3
+            overload.p99 * 1e3,
+            slo_p99 * 1e3,
+            overload.rejected,
         );
     }
 }

@@ -395,6 +395,80 @@ fn parse_store(args: &Args) -> Result<mq_server::StoreChoice, Box<dyn std::error
     }
 }
 
+/// Parses a `--quota RATE:BURST` value into a per-tenant token-bucket
+/// configuration (both halves positive finite floats).
+fn parse_quota(args: &Args) -> Result<Option<mq_server::QuotaConfig>, Box<dyn std::error::Error>> {
+    if !args.has("quota") {
+        return Ok(None);
+    }
+    let raw = args.required("quota")?;
+    let (rate, burst) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("cannot parse --quota '{raw}' (expected RATE:BURST)"))?;
+    let rate: f64 = rate
+        .parse()
+        .map_err(|_| format!("cannot parse --quota rate '{rate}'"))?;
+    let burst: f64 = burst
+        .parse()
+        .map_err(|_| format!("cannot parse --quota burst '{burst}'"))?;
+    if !(rate > 0.0 && rate.is_finite() && burst > 0.0 && burst.is_finite()) {
+        return Err(format!("--quota '{raw}': rate and burst must be positive").into());
+    }
+    Ok(Some(mq_server::QuotaConfig { rate, burst }))
+}
+
+/// The two interchangeable TCP frontends `mq serve` can run: the
+/// thread-per-connection accept loop and the single-threaded
+/// readiness-polled event loop. Both serve the same dispatcher contract
+/// and answer bit-identically.
+enum Frontend {
+    Threads(mq_server::QueryServer),
+    Event(mq_front::FrontServer),
+}
+
+impl Frontend {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            Frontend::Threads(s) => s.local_addr(),
+            Frontend::Event(s) => s.local_addr(),
+        }
+    }
+    fn metrics(&self) -> mq_server::ServiceMetrics {
+        match self {
+            Frontend::Threads(s) => s.metrics(),
+            Frontend::Event(s) => s.metrics(),
+        }
+    }
+    fn registry(&self) -> &Arc<mq_server::CollectionRegistry> {
+        match self {
+            Frontend::Threads(s) => s.registry(),
+            Frontend::Event(s) => s.registry(),
+        }
+    }
+    fn in_flight(&self) -> u64 {
+        match self {
+            Frontend::Threads(s) => s.in_flight(),
+            Frontend::Event(s) => s.in_flight(),
+        }
+    }
+    /// Stops accepting new connections; existing ones keep being served.
+    fn begin_drain(&mut self) {
+        match self {
+            // The accept thread owns the only blocking accept() call;
+            // shutdown flips its flag and joins it, leaving handler
+            // threads to finish their in-flight requests.
+            Frontend::Threads(s) => s.shutdown(),
+            Frontend::Event(s) => s.begin_drain(),
+        }
+    }
+    fn drain(&self, timeout: std::time::Duration) -> bool {
+        match self {
+            Frontend::Threads(s) => s.drain(timeout),
+            Frontend::Event(s) => s.drain(timeout),
+        }
+    }
+}
+
 pub fn serve(args: &Args) -> CmdResult {
     use mq_obs::{Recorder, Registry};
     use mq_server::{
@@ -423,6 +497,14 @@ pub fn serve(args: &Args) -> CmdResult {
     let retry_budget: u32 = args.parse_or("retry-budget", 2)?;
     // 0 = no timeout: a stalled client blocks its handler thread forever.
     let timeout_ms: u64 = args.parse_or("timeout-ms", 0)?;
+    let frontend = args.string_or("frontend", "threads");
+    if frontend != "threads" && frontend != "event" {
+        return Err(format!("unknown --frontend '{frontend}' (expected threads or event)").into());
+    }
+    // 0 = unbounded queue (no depth-based admission control).
+    let max_queue: usize = args.parse_or("max-queue", 0)?;
+    let quota = parse_quota(args)?;
+    let drain_timeout_s: u64 = args.parse_or("drain-timeout-s", 30)?;
 
     let mut config = ServerConfig::default()
         .with_max_batch(max_batch)
@@ -436,6 +518,8 @@ pub fn serve(args: &Args) -> CmdResult {
         .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))
         .with_store(store.clone())
         .with_metric(metric)
+        .with_max_queue(max_queue)
+        .with_quota(quota)
         .with_approx(parse_approx(args, metric)?);
     if servers > 0 {
         config = config.with_mode(ExecutionMode::Cluster { servers });
@@ -476,20 +560,46 @@ pub fn serve(args: &Args) -> CmdResult {
         build_index(&db, &which_owned).expect("index kind validated before serving")
     })?;
 
-    let server = QueryServer::bind_with_recorder(addr.as_str(), backend, &config, &recorder)?;
+    // Latch SIGTERM/Ctrl-C before the listener goes up so a signal at
+    // any point takes the graceful-drain path below.
+    mq_front::signals::install();
+
+    let mut server = match frontend.as_str() {
+        "event" => Frontend::Event(mq_front::FrontServer::bind_with_recorder(
+            addr.as_str(),
+            backend,
+            &config,
+            &recorder,
+        )?),
+        _ => Frontend::Threads(QueryServer::bind_with_recorder(
+            addr.as_str(),
+            backend,
+            &config,
+            &recorder,
+        )?),
+    };
     println!(
-        "mq-server listening on {} ({} objects via {which})",
+        "mq-server listening on {} ({} objects via {which}, {frontend} frontend)",
         server.local_addr(),
         stored.object_count(),
     );
     println!("config: {}", config.describe());
     println!("metrics: scrape with `mq stats {}`", server.local_addr());
-    println!("press Ctrl-C to stop");
-    // Periodic one-line heartbeat with the headline service counters.
+    println!("press Ctrl-C (or send SIGTERM) to drain and stop");
+    // Periodic one-line heartbeat with the headline service counters,
+    // polling the signal latch between prints so a drain starts within
+    // ~100ms of the signal rather than at the next heartbeat.
     let interval = std::time::Duration::from_secs(log_interval_s.max(1));
+    let tick = std::time::Duration::from_millis(100);
     let mut last = registry.snapshot();
-    loop {
-        std::thread::sleep(interval);
+    let mut since_heartbeat = std::time::Duration::ZERO;
+    while !mq_front::signals::triggered() {
+        std::thread::sleep(tick);
+        since_heartbeat += tick;
+        if since_heartbeat < interval {
+            continue;
+        }
+        since_heartbeat = std::time::Duration::ZERO;
         let now = registry.snapshot();
         let delta = now.delta(&last);
         let m = server.metrics();
@@ -505,6 +615,50 @@ pub fn serve(args: &Args) -> CmdResult {
             interval.as_secs(),
         );
         last = now;
+    }
+
+    // Graceful drain: stop accepting, let every in-flight query answer,
+    // then checkpoint file-backed stores so the next start recovers from
+    // a clean segment instead of replaying the WAL.
+    let in_flight = server.in_flight();
+    println!("signal received: draining {in_flight} in-flight queries, no longer accepting");
+    server.begin_drain();
+    let drained = server.drain(std::time::Duration::from_secs(drain_timeout_s.max(1)));
+    if !drained {
+        eprintln!(
+            "warning: {} queries still in flight after {drain_timeout_s}s drain timeout",
+            server.in_flight()
+        );
+    }
+    let m = server.metrics();
+    // Per-collection store dirs, collected before the drop releases the
+    // single-writer locks; a file-backed cluster's default collection
+    // registers no dir, so add its part-<i> partitions from the config.
+    let mut dirs = server.registry().store_dirs();
+    if let (StoreChoice::File(root), true) = (&store, servers > 0) {
+        for p in 0..servers {
+            dirs.push(root.join(format!("part-{p}")));
+        }
+        dirs.sort();
+        dirs.dedup();
+    }
+    drop(server);
+    for dir in &dirs {
+        let mut s: mq_store::FilePageStore<Vector, VectorCodec> =
+            mq_store::FilePageStore::open(dir, VectorCodec, 1)?;
+        s.checkpoint()?;
+        println!("checkpointed {}", dir.display());
+    }
+    println!(
+        "served {} queries in {} batches; drained {}, exiting",
+        m.queries,
+        m.batches,
+        if drained { "clean" } else { "with stragglers" },
+    );
+    if drained {
+        Ok(())
+    } else {
+        Err("drain timed out with queries still in flight".into())
     }
 }
 
@@ -646,8 +800,11 @@ pub fn client(args: &Args) -> CmdResult {
         .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
     let mut client = RetryingClient::new(addr, config);
 
+    let collection = args.string_or("collection", "");
+    let tenant = args.string_or("tenant", "");
+
     if args.has("stats") {
-        let m = client.stats()?;
+        let m = client.stats_for(&collection)?;
         println!("queries served : {}", m.queries);
         println!("batches flushed: {}", m.batches);
         println!("largest batch  : {}", m.max_batch_size);
@@ -671,7 +828,7 @@ pub fn client(args: &Args) -> CmdResult {
     let qtype = parse_qtype(args)?;
     let q = Vector::new(components);
 
-    let reply = client.query(&q, &qtype)?;
+    let reply = client.query_in(&collection, &tenant, &q, &qtype)?;
     println!(
         "{qtype} answered in batch #{} of {} queries:",
         reply.batch_id, reply.batch_size
@@ -687,6 +844,66 @@ pub fn client(args: &Args) -> CmdResult {
     }
     println!("\nbatch cost: {}", reply.stats);
     println!("record    : {}", reply.stats.to_record());
+    Ok(())
+}
+
+/// `mq collection create|drop|list`: manage a running server's named
+/// collections over the wire.
+pub fn collection(args: &Args) -> CmdResult {
+    use mq_server::{RetryConfig, RetryingClient};
+    let action = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("list");
+    let addr = args.string_or("addr", "127.0.0.1:7878");
+    let retries: u32 = args.parse_or("retries", 3)?;
+    let connect_timeout_ms: u64 = args.parse_or("connect-timeout-ms", 2000)?;
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 10_000)?;
+    let config = RetryConfig::default()
+        .with_max_retries(retries)
+        .with_connect_timeout(std::time::Duration::from_millis(connect_timeout_ms.max(1)))
+        .with_read_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)));
+    let mut client = RetryingClient::new(addr, config);
+
+    match action {
+        "create" => {
+            let name = args.required("name")?;
+            let dim: u32 = args.parse_or("dim", 0)?;
+            let metric = args.string_or("metric", "euclidean");
+            let source = args.string_or("source", "");
+            if source.is_empty() && dim == 0 {
+                return Err(
+                    "collection create needs --dim <D> (empty collection) or --source <FILE> \
+                     (server-side .mqdb path)"
+                        .into(),
+                );
+            }
+            let ack = client.create_collection(name, dim, &metric, &source)?;
+            println!("{ack}");
+        }
+        "drop" => {
+            let name = args.required("name")?;
+            let ack = client.drop_collection(name)?;
+            println!("{ack}");
+        }
+        "list" => {
+            let infos = client.list_collections()?;
+            println!(
+                "{:<24} {:>6} {:>10} {:>10}  metric",
+                "collection", "dim", "objects", "in-flight"
+            );
+            for c in infos {
+                println!(
+                    "{:<24} {:>6} {:>10} {:>10}  {}",
+                    c.name, c.dim, c.objects, c.in_flight, c.metric
+                );
+            }
+        }
+        other => {
+            return Err(format!("unknown collection action '{other}' (create|drop|list)").into())
+        }
+    }
     Ok(())
 }
 
@@ -769,15 +986,37 @@ pub fn loadgen(args: &Args) -> CmdResult {
         return Err("--pool must be at least 1".into());
     }
     let qtype = parse_qtype(args)?;
-    let mode = match args.string_or("mode", "open").as_str() {
-        "open" => Mode::Open {
-            offered_qps: args.parse_or("rate", 500.0)?,
-        },
-        "closed" => Mode::Closed {
-            sessions: args.parse_or("sessions", 4)?,
-            think: std::time::Duration::from_millis(args.parse_or("think-ms", 1)?),
-        },
-        other => return Err(format!("unknown --mode '{other}' (open|closed)").into()),
+    // `--ramp start:end:steps` is a step-rate open-loop profile; it
+    // overrides `--mode`.
+    let mode = if args.has("ramp") {
+        let raw = args.required("ramp")?;
+        let parts: Vec<&str> = raw.split(':').collect();
+        let bad = || format!("cannot parse --ramp '{raw}' (expected START_QPS:END_QPS:STEPS)");
+        if parts.len() != 3 {
+            return Err(bad().into());
+        }
+        let start_qps: f64 = parts[0].parse().map_err(|_| bad())?;
+        let end_qps: f64 = parts[1].parse().map_err(|_| bad())?;
+        let steps: usize = parts[2].parse().map_err(|_| bad())?;
+        if !(start_qps > 0.0 && end_qps > 0.0 && steps > 0) {
+            return Err(format!("--ramp '{raw}': rates and steps must be positive").into());
+        }
+        Mode::Ramp {
+            start_qps,
+            end_qps,
+            steps,
+        }
+    } else {
+        match args.string_or("mode", "open").as_str() {
+            "open" => Mode::Open {
+                offered_qps: args.parse_or("rate", 500.0)?,
+            },
+            "closed" => Mode::Closed {
+                sessions: args.parse_or("sessions", 4)?,
+                think: std::time::Duration::from_millis(args.parse_or("think-ms", 1)?),
+            },
+            other => return Err(format!("unknown --mode '{other}' (open|closed)").into()),
+        }
     };
 
     // Query pool: objects sampled evenly from a saved database (so the
@@ -809,6 +1048,8 @@ pub fn loadgen(args: &Args) -> CmdResult {
     });
     let opts = RunOptions {
         connections: args.parse_or("connections", 4)?,
+        collection: args.string_or("collection", ""),
+        tenant: args.string_or("tenant", ""),
         ..RunOptions::default()
     };
     println!(
@@ -832,10 +1073,13 @@ pub fn loadgen(args: &Args) -> CmdResult {
         std::fs::write(path, format!("{}\n", report.to_json()))?;
         println!("wrote {path}");
     }
-    if report.ok as usize != requests {
+    // Typed Overloaded rejections are the server's admission control
+    // working as designed, not failures; only transport errors and
+    // timeouts make the run exit nonzero.
+    if (report.ok + report.rejected) as usize != requests {
         return Err(format!(
             "{} of {requests} requests failed ({} errors, {} timeouts)",
-            requests as u64 - report.ok,
+            requests as u64 - report.ok - report.rejected,
             report.errors,
             report.timeouts
         )

@@ -54,6 +54,8 @@ USAGE:
                 [--cluster <S>] [--threads <T>] [--prefetch-depth <D>]
                 [--leader fifo|nearest] [--workers <W>] [--no-avoidance]
                 [--approx bq:<BUDGET>|hnsw:<EF>]
+                [--frontend threads|event] [--max-queue <N>]
+                [--quota <RATE:BURST>] [--drain-timeout-s <S>]
       Serve the database over TCP, batching concurrent client queries
       into multiple similarity queries (one engine, or a shared-nothing
       cluster of S servers with --cluster). --store file:<DIR> serves
@@ -73,7 +75,25 @@ USAGE:
       would repack and are refused). --approx installs the lossy
       candidate tier in front of the exact engine; bq sketches persist
       as sketch.mqbq next to a file store's pages and are reloaded,
-      checksum-verified, on restart.
+      checksum-verified, on restart. --frontend event swaps the
+      thread-per-connection accept loop for a single readiness-polled
+      event-loop thread (same batching tier, bit-identical answers).
+      --max-queue bounds in-flight queries per collection and --quota
+      installs a per-tenant token bucket; both reject with a typed
+      Overloaded{retry_after_ms} reply instead of queueing unboundedly.
+      SIGTERM or Ctrl-C drains gracefully under either frontend: stop
+      accepting, answer every in-flight query (up to --drain-timeout-s),
+      checkpoint file-backed stores, exit 0.
+
+  mq collection create --name <NAME> (--dim <D> | --source <FILE>)
+                [--metric euclidean|manhattan|cosine|dot] [--addr <ADDR>]
+  mq collection drop --name <NAME> [--addr <ADDR>]
+  mq collection list [--addr <ADDR>]
+      Manage a running server's named collections. Each collection is an
+      isolated dataset + metric + scheduler; queries address one with
+      `mq client --collection`. create --source loads a server-side
+      .mqdb path; --dim starts the collection empty. drop is refused
+      while the collection has queries in flight.
 
   mq insert <STOREDIR> --vector 1.0,2.0,... [--checkpoint true]
       Append one object to a durable file store: WAL append + fsync,
@@ -85,17 +105,22 @@ USAGE:
       ids are never reused).
 
   mq client [--addr 127.0.0.1:7878] --vector 1.0,2.0,... (--knn <K> | --range <EPS>)
-  mq client [--addr 127.0.0.1:7878] --stats true
+                [--collection <NAME>] [--tenant <ID>]
+  mq client [--addr 127.0.0.1:7878] --stats true [--collection <NAME>]
       Query a running server, or fetch its batching counters. Answer
       distances use the server's configured --metric (euclidean,
       manhattan, cosine, or dot); under dot the \"distances\" are negated
       inner products, so --range accepts negative thresholds.
+      --collection addresses a named collection (default: the server's
+      default collection); --tenant labels the request for per-tenant
+      quota accounting.
 
-  mq loadgen [<ADDR>] [--mode open|closed] [--rate <QPS>] [--sessions <N>]
+  mq loadgen [<ADDR>] [--mode open|closed | --ramp <START:END:STEPS>]
+                [--rate <QPS>] [--sessions <N>]
                 [--think-ms <MS>] [--requests <N>] [--seed <S>]
                 (--knn <K> | --range <EPS>) [--skew <THETA>] [--pool <N>]
                 [--queries-from <FILE> | --dim <D>] [--connections <C>]
-                [--out <FILE>]
+                [--collection <NAME>] [--tenant <ID>] [--out <FILE>]
       Replay a seed-deterministic workload against a running server and
       report client-side latency (p50/p95/p99/p999, achieved vs offered
       throughput, errors/timeouts/retries) plus the server's batching
@@ -103,8 +128,12 @@ USAGE:
       --skew over a --pool of hot query objects; --mode closed runs
       --sessions concurrent clients with --think-ms between replies.
       The same --seed replays the byte-identical request stream.
-      --queries-from samples the pool from a saved database;
-      --out writes the report as JSON.
+      --ramp steps the offered rate from START to END qps across STEPS
+      equal request budgets and reports per-step ok/rejected/p99 plus
+      the saturation knee (the first step that saw typed Overloaded
+      rejections or delivered under 90% of its budget). --queries-from
+      samples the pool from a saved database; --out writes the report
+      as JSON.
 
   mq stats [<ADDR>] [--addr 127.0.0.1:7878]
       Scrape a running server's metric registry (Prometheus text
@@ -153,6 +182,7 @@ fn main() {
         "batch" => commands::batch(&args),
         "dbscan" => commands::dbscan(&args),
         "serve" => commands::serve(&args),
+        "collection" => commands::collection(&args),
         "insert" => commands::insert(&args),
         "delete" => commands::delete(&args),
         "client" => commands::client(&args),

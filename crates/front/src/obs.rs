@@ -1,0 +1,93 @@
+//! Event-loop frontend instruments.
+//!
+//! Registered on the same [`Recorder`] as the scheduler and engine
+//! metrics so one `MetricsRequest` scrape covers the whole stack. The
+//! names are stable: the loadgen report and the CI overload job parse
+//! them from the text exposition.
+
+use mq_obs::{log_bounds, Gauge, Histogram, Recorder};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Instruments for the poll loop. All fields are `None` when the
+/// recorder is disabled, making every record call a no-op.
+pub struct FrontObs {
+    /// `mq_front_connections` — currently open client connections.
+    connections: Option<Arc<Gauge>>,
+    /// `mq_front_poll_loop_seconds` — wall time of one poll-loop
+    /// iteration (wait + dispatch + flush). The p99 of this histogram
+    /// bounds how stale readiness handling can get.
+    poll_loop: Option<Arc<Histogram>>,
+}
+
+impl FrontObs {
+    /// Registers the frontend series on `recorder`.
+    pub fn new(recorder: &Recorder) -> Self {
+        Self {
+            connections: recorder.gauge(
+                "mq_front_connections",
+                "Open client connections on the event-loop frontend.",
+                &[],
+            ),
+            poll_loop: recorder.histogram(
+                "mq_front_poll_loop_seconds",
+                "Duration of one event-loop iteration (poll wait excluded).",
+                &[],
+                // 1µs .. 1s, 5 buckets per decade: iteration work is
+                // expected in the micro-to-millisecond range.
+                &log_bounds(1e-6, 1.0, 5),
+            ),
+        }
+    }
+
+    /// A connection was accepted.
+    pub fn connection_opened(&self) {
+        if let Some(g) = &self.connections {
+            g.add(1);
+        }
+    }
+
+    /// A connection was closed (either side).
+    pub fn connection_closed(&self) {
+        if let Some(g) = &self.connections {
+            g.sub(1);
+        }
+    }
+
+    /// Current open-connection count (0 when the recorder is disabled).
+    pub fn connections(&self) -> i64 {
+        self.connections.as_ref().map(|g| g.get()).unwrap_or(0)
+    }
+
+    /// Records the active portion of one loop iteration.
+    pub fn observe_iteration(&self, since: Instant) {
+        if let Some(h) = &self.poll_loop {
+            h.observe_since(since);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let obs = FrontObs::new(&Recorder::disabled());
+        obs.connection_opened();
+        obs.observe_iteration(Instant::now());
+        obs.connection_closed();
+        assert_eq!(obs.connections(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_open_connections() {
+        let recorder = Recorder::enabled();
+        let obs = FrontObs::new(&recorder);
+        obs.connection_opened();
+        obs.connection_opened();
+        obs.connection_closed();
+        assert_eq!(obs.connections(), 1);
+        assert!(recorder.render().contains("mq_front_connections 1"));
+    }
+}

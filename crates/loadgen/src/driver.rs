@@ -15,7 +15,7 @@
 //! client-side numbers.
 
 use crate::plan::{Mode, RequestPlan};
-use crate::report::{AnswerSet, RunReport, ServerWindow};
+use crate::report::{AnswerSet, RunReport, ServerWindow, StepReport};
 use mq_obs::{log_bounds, Histogram, Snapshot};
 use mq_server::{ClientError, ProtocolError, RetryConfig, RetryingClient};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -39,6 +39,11 @@ pub struct RunOptions {
     /// Record every request's answers (id + distance bits) for oracle
     /// comparison — memory-heavy, test-suite use only.
     pub capture_answers: bool,
+    /// Target collection; empty = the server's default collection.
+    pub collection: String,
+    /// Tenant the requests are attributed to for quota accounting;
+    /// empty = the anonymous tenant.
+    pub tenant: String,
 }
 
 impl Default for RunOptions {
@@ -49,6 +54,27 @@ impl Default for RunOptions {
             read_timeout: Some(Duration::from_secs(10)),
             max_retries: 3,
             capture_answers: false,
+            collection: String::new(),
+            tenant: String::new(),
+        }
+    }
+}
+
+/// Per-ramp-step measurement slice.
+struct StepMeasure {
+    latency: Histogram,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl StepMeasure {
+    fn new() -> Self {
+        Self {
+            latency: Histogram::new(&log_bounds(1e-5, 60.0, 20)),
+            ok: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
         }
     }
 }
@@ -59,15 +85,21 @@ struct Measure {
     ok: AtomicU64,
     errors: AtomicU64,
     timeouts: AtomicU64,
+    /// Requests the server refused with a typed `Overloaded` reply —
+    /// backpressure working as designed, counted apart from transport
+    /// errors and excluded from the latency distribution.
+    rejected: AtomicU64,
     /// Max observed latency in f64 bits (CAS loop; latencies are
     /// non-negative so the bit pattern ordering matches the value
     /// ordering).
     max_bits: AtomicU64,
     answers: Option<Mutex<crate::report::CapturedAnswers>>,
+    /// One slice per ramp segment (ramp mode only).
+    steps: Vec<StepMeasure>,
 }
 
 impl Measure {
-    fn new(n: usize, capture: bool) -> Self {
+    fn new(n: usize, capture: bool, ramp_steps: usize) -> Self {
         Self {
             // 10 µs .. 60 s at 20 buckets per decade: relative error per
             // bucket ~12%, 136-ish buckets — the HDR-style layout.
@@ -75,16 +107,29 @@ impl Measure {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             max_bits: AtomicU64::new(0),
             answers: capture.then(|| Mutex::new(vec![None; n])),
+            steps: (0..ramp_steps).map(|_| StepMeasure::new()).collect(),
         }
     }
 
-    fn record(&self, index: usize, outcome: Result<AnswerSet, ClientError>, latency: f64) {
+    fn record(
+        &self,
+        index: usize,
+        step: Option<usize>,
+        outcome: Result<AnswerSet, ClientError>,
+        latency: f64,
+    ) {
+        let step = step.and_then(|s| self.steps.get(s));
         match outcome {
             Ok(answers) => {
                 self.ok.fetch_add(1, Ordering::Relaxed);
                 self.latency.observe(latency);
+                if let Some(s) = step {
+                    s.ok.fetch_add(1, Ordering::Relaxed);
+                    s.latency.observe(latency);
+                }
                 let mut seen = self.max_bits.load(Ordering::Relaxed);
                 let bits = latency.max(0.0).to_bits();
                 while bits > seen {
@@ -102,11 +147,20 @@ impl Measure {
                     slot.lock().expect("answers lock")[index] = Some(answers);
                 }
             }
+            Err(ClientError::Overloaded { .. }) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = step {
+                    s.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             Err(e) => {
                 if is_timeout(&e) {
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
                 } else {
                     self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(s) = step {
+                    s.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -134,12 +188,21 @@ fn retry_config(opts: &RunOptions, plan_seed: u64, stream: u64) -> RetryConfig {
 /// clients measured plus the server-side window delta.
 pub fn run(plan: &RequestPlan, addr: &str, opts: &RunOptions) -> RunReport {
     let before = scrape(addr, opts);
-    let measure = Measure::new(plan.requests.len(), opts.capture_answers);
+    let segments = plan.ramp_segments();
+    let measure = Measure::new(
+        plan.requests.len(),
+        opts.capture_answers,
+        segments.as_ref().map(|s| s.len()).unwrap_or(0),
+    );
     let retries = AtomicU64::new(0);
 
     let start = Instant::now();
     match plan.mode {
-        Mode::Open { .. } => run_open(plan, addr, opts, &measure, &retries, start),
+        // Ramp pacing lives entirely in the plan's arrival offsets, so
+        // the open-loop sender drives both.
+        Mode::Open { .. } | Mode::Ramp { .. } => {
+            run_open(plan, addr, opts, &measure, &retries, start)
+        }
         Mode::Closed { think, .. } => run_closed(plan, addr, opts, &measure, &retries, think),
     }
     let wall = start.elapsed().as_secs_f64().max(1e-9);
@@ -148,19 +211,44 @@ pub fn run(plan: &RequestPlan, addr: &str, opts: &RunOptions) -> RunReport {
     let ok = measure.ok.load(Ordering::Relaxed);
     let offered_qps = match plan.mode {
         Mode::Open { offered_qps } => Some(offered_qps),
-        Mode::Closed { .. } => None,
+        Mode::Closed { .. } | Mode::Ramp { .. } => None,
     };
+
+    // Per-step windows and the saturation knee: the first step where the
+    // server rejected work or delivered under 90% of its budget.
+    let steps: Option<Vec<StepReport>> = segments.map(|segs| {
+        segs.iter()
+            .zip(&measure.steps)
+            .map(|(seg, m)| StepReport {
+                offered_qps: seg.rate_qps,
+                requests: seg.len,
+                ok: m.ok.load(Ordering::Relaxed),
+                rejected: m.rejected.load(Ordering::Relaxed),
+                failed: m.failed.load(Ordering::Relaxed),
+                p99: m.latency.quantile(0.99).unwrap_or(0.0),
+            })
+            .collect()
+    });
+    let knee_qps = steps.as_ref().and_then(|steps| {
+        steps
+            .iter()
+            .find(|s| s.rejected > 0 || (s.ok as f64) < 0.9 * s.requests as f64)
+            .map(|s| s.offered_qps)
+    });
+
     let q = |p: f64| measure.latency.quantile(p).unwrap_or(0.0);
     let count = measure.latency.count();
     RunReport {
         mode: match plan.mode {
             Mode::Open { .. } => "open",
             Mode::Closed { .. } => "closed",
+            Mode::Ramp { .. } => "ramp",
         },
         requests: plan.requests.len(),
         ok,
         errors: measure.errors.load(Ordering::Relaxed),
         timeouts: measure.timeouts.load(Ordering::Relaxed),
+        rejected: measure.rejected.load(Ordering::Relaxed),
         retries: retries.load(Ordering::Relaxed),
         wall_secs: wall,
         offered_qps,
@@ -176,6 +264,8 @@ pub fn run(plan: &RequestPlan, addr: &str, opts: &RunOptions) -> RunReport {
         },
         max_latency: f64::from_bits(measure.max_bits.load(Ordering::Relaxed)),
         fingerprint: plan.fingerprint(),
+        steps,
+        knee_qps,
         server: ServerWindow::from_scrapes(before.as_ref(), after.as_ref()),
         answers: measure
             .answers
@@ -210,7 +300,12 @@ fn run_open(
                         std::thread::sleep(due - now);
                     }
                     let outcome = client
-                        .query(plan.query(request), &request.qtype)
+                        .query_in(
+                            &opts.collection,
+                            &opts.tenant,
+                            plan.query(request),
+                            &request.qtype,
+                        )
                         .map(|reply| {
                             reply
                                 .answers
@@ -221,7 +316,12 @@ fn run_open(
                     // Latency from the *intended* start: sender-side
                     // queueing under overload is measured, not omitted.
                     let latency = due.elapsed().as_secs_f64();
-                    measure.record(request.index, outcome, latency);
+                    measure.record(
+                        request.index,
+                        plan.ramp_step_of(request.index),
+                        outcome,
+                        latency,
+                    );
                 }
                 retries.fetch_add(client.retries_performed(), Ordering::Relaxed);
             });
@@ -252,7 +352,12 @@ fn run_closed(
                     first = false;
                     let t0 = Instant::now();
                     let outcome = client
-                        .query(plan.query(request), &request.qtype)
+                        .query_in(
+                            &opts.collection,
+                            &opts.tenant,
+                            plan.query(request),
+                            &request.qtype,
+                        )
                         .map(|reply| {
                             reply
                                 .answers
@@ -261,7 +366,7 @@ fn run_closed(
                                 .collect()
                         });
                     let latency = t0.elapsed().as_secs_f64();
-                    measure.record(request.index, outcome, latency);
+                    measure.record(request.index, None, outcome, latency);
                 }
                 retries.fetch_add(client.retries_performed(), Ordering::Relaxed);
             });

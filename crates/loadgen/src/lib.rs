@@ -32,5 +32,5 @@ pub mod plan;
 pub mod report;
 
 pub use driver::{run, RunOptions};
-pub use plan::{Mode, Request, RequestPlan, WorkloadSpec};
-pub use report::{json_num, AnswerSet, CapturedAnswers, RunReport, ServerWindow};
+pub use plan::{Mode, RampSegment, Request, RequestPlan, WorkloadSpec};
+pub use report::{json_num, AnswerSet, CapturedAnswers, RunReport, ServerWindow, StepReport};

@@ -33,6 +33,31 @@ pub enum Mode {
         /// Think time between a reply and the session's next request.
         think: Duration,
     },
+    /// Stepped open loop: the request budget is split into `steps` equal
+    /// segments whose offered rates interpolate linearly from
+    /// `start_qps` to `end_qps`. Driving the ramp past server capacity
+    /// locates the saturation knee — the first step where rejections
+    /// appear or throughput stops tracking the offered rate.
+    Ramp {
+        /// Offered rate of the first step, queries per second.
+        start_qps: f64,
+        /// Offered rate of the last step, queries per second.
+        end_qps: f64,
+        /// Number of rate steps (≥ 1).
+        steps: usize,
+    },
+}
+
+/// One segment of a [`Mode::Ramp`] plan: a contiguous slice of the
+/// request sequence offered at one rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RampSegment {
+    /// Index of the segment's first request in the global sequence.
+    pub start_index: usize,
+    /// Requests in the segment.
+    pub len: usize,
+    /// Offered rate of the segment, queries per second.
+    pub rate_qps: f64,
 }
 
 /// Everything that determines a workload, and nothing else.
@@ -94,6 +119,33 @@ fn derive_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Splits `total` requests into `steps` contiguous segments with rates
+/// interpolated linearly from `start_qps` to `end_qps` (the remainder of
+/// an uneven split lands in the last segment).
+fn ramp_segments(total: usize, start_qps: f64, end_qps: f64, steps: usize) -> Vec<RampSegment> {
+    let per_step = total / steps;
+    (0..steps)
+        .map(|i| {
+            let rate_qps = if steps == 1 {
+                start_qps
+            } else {
+                start_qps + (end_qps - start_qps) * i as f64 / (steps - 1) as f64
+            };
+            let start_index = i * per_step;
+            let len = if i == steps - 1 {
+                total - start_index
+            } else {
+                per_step
+            };
+            RampSegment {
+                start_index,
+                len,
+                rate_qps,
+            }
+        })
+        .collect()
+}
+
 impl RequestPlan {
     /// Materializes the full request sequence from a spec.
     ///
@@ -116,9 +168,40 @@ impl RequestPlan {
                 assert!(sessions > 0, "closed loop needs at least one session");
                 vec![Duration::ZERO; spec.requests]
             }
+            Mode::Ramp {
+                start_qps,
+                end_qps,
+                steps,
+            } => {
+                assert!(steps > 0, "ramp needs at least one step");
+                assert!(
+                    start_qps > 0.0 && end_qps > 0.0,
+                    "ramp rates must be positive"
+                );
+                // Each segment gets its own independent Poisson stream
+                // (seed stream 2000+i) at its own rate, shifted to start
+                // where the previous segment's arrivals actually ended —
+                // offsets stay strictly ascending across the whole ramp.
+                let mut offsets = Vec::with_capacity(spec.requests);
+                let mut base = Duration::ZERO;
+                for seg in ramp_segments(spec.requests, start_qps, end_qps, steps) {
+                    let seg_offsets = poisson_arrival_offsets(
+                        seg.len,
+                        seg.rate_qps,
+                        derive_seed(spec.seed, 2000 + seg.start_index as u64),
+                    );
+                    let mut last = Duration::ZERO;
+                    for off in seg_offsets {
+                        offsets.push(base + off);
+                        last = off;
+                    }
+                    base += last;
+                }
+                offsets
+            }
         };
         let sessions = match spec.mode {
-            Mode::Open { .. } => 1,
+            Mode::Open { .. } | Mode::Ramp { .. } => 1,
             Mode::Closed { sessions, .. } => sessions,
         };
         let requests = (0..spec.requests)
@@ -146,9 +229,35 @@ impl RequestPlan {
     /// Number of sessions the driver should run.
     pub fn sessions(&self) -> usize {
         match self.mode {
-            Mode::Open { .. } => 1,
+            Mode::Open { .. } | Mode::Ramp { .. } => 1,
             Mode::Closed { sessions, .. } => sessions,
         }
+    }
+
+    /// The ramp's segments (`None` unless the plan is [`Mode::Ramp`]).
+    pub fn ramp_segments(&self) -> Option<Vec<RampSegment>> {
+        match self.mode {
+            Mode::Ramp {
+                start_qps,
+                end_qps,
+                steps,
+            } => Some(ramp_segments(
+                self.requests.len(),
+                start_qps,
+                end_qps,
+                steps,
+            )),
+            _ => None,
+        }
+    }
+
+    /// The ramp segment a request index belongs to (`None` off-ramp).
+    pub fn ramp_step_of(&self, index: usize) -> Option<usize> {
+        self.ramp_segments().map(|segs| {
+            segs.iter()
+                .position(|s| index < s.start_index + s.len)
+                .unwrap_or(segs.len().saturating_sub(1))
+        })
     }
 
     /// A canonical byte encoding of the whole plan: mode, seed, pool
@@ -167,6 +276,16 @@ impl RequestPlan {
                 out.push(1);
                 out.extend_from_slice(&(sessions as u64).to_le_bytes());
                 out.extend_from_slice(&(think.as_nanos() as u64).to_le_bytes());
+            }
+            Mode::Ramp {
+                start_qps,
+                end_qps,
+                steps,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&start_qps.to_bits().to_le_bytes());
+                out.extend_from_slice(&end_qps.to_bits().to_le_bytes());
+                out.extend_from_slice(&(steps as u64).to_le_bytes());
             }
         }
         out.extend_from_slice(&self.seed.to_le_bytes());
@@ -281,5 +400,74 @@ mod tests {
         let mut s = spec(Mode::Open { offered_qps: 1.0 }, 1);
         s.pool.clear();
         let _ = RequestPlan::materialize(&s);
+    }
+
+    #[test]
+    fn ramp_is_deterministic_sorted_and_segmented() {
+        let mode = Mode::Ramp {
+            start_qps: 100.0,
+            end_qps: 1000.0,
+            steps: 4,
+        };
+        let a = RequestPlan::materialize(&spec(mode, 21));
+        let b = RequestPlan::materialize(&spec(mode, 21));
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.encode(),
+            RequestPlan::materialize(&spec(mode, 22)).encode(),
+            "seed must matter"
+        );
+
+        // Offsets ascend across segment boundaries too.
+        assert!(a.requests.windows(2).all(|w| w[0].offset <= w[1].offset));
+
+        // Segments cover the sequence exactly, rates interpolate
+        // linearly from start to end.
+        let segs = a.ramp_segments().expect("ramp segments");
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs.iter().map(|s| s.len).sum::<usize>(), a.requests.len());
+        assert_eq!(segs[0].rate_qps, 100.0);
+        assert_eq!(segs[3].rate_qps, 1000.0);
+        assert!(segs.windows(2).all(|w| w[0].rate_qps < w[1].rate_qps));
+        assert_eq!(
+            segs[1].start_index,
+            segs[0].start_index + segs[0].len,
+            "segments are contiguous"
+        );
+
+        // Step lookup matches the segment table.
+        assert_eq!(a.ramp_step_of(0), Some(0));
+        assert_eq!(a.ramp_step_of(a.requests.len() - 1), Some(3));
+        for (i, seg) in segs.iter().enumerate() {
+            assert_eq!(a.ramp_step_of(seg.start_index), Some(i));
+        }
+
+        // Later (faster) segments pack their arrivals more densely.
+        let seg_span = |seg: &RampSegment| {
+            let first = a.requests[seg.start_index].offset;
+            let last = a.requests[seg.start_index + seg.len - 1].offset;
+            (last - first).as_secs_f64() / seg.len as f64
+        };
+        assert!(
+            seg_span(&segs[0]) > seg_span(&segs[3]),
+            "mean inter-arrival must shrink as the rate ramps up"
+        );
+    }
+
+    #[test]
+    fn ramp_encoding_is_mode_distinct() {
+        // A ramp plan and an open plan over the same seed/pool must not
+        // collide in their byte encodings.
+        let ramp = RequestPlan::materialize(&spec(
+            Mode::Ramp {
+                start_qps: 500.0,
+                end_qps: 500.0,
+                steps: 1,
+            },
+            7,
+        ));
+        let open = RequestPlan::materialize(&spec(Mode::Open { offered_qps: 500.0 }, 7));
+        assert_ne!(ramp.encode(), open.encode());
     }
 }

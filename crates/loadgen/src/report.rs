@@ -51,12 +51,30 @@ impl ServerWindow {
     }
 }
 
+/// One step of a ramp run: its offered rate and what came back.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepReport {
+    /// Offered rate of the step, queries per second.
+    pub offered_qps: f64,
+    /// Requests budgeted to the step.
+    pub requests: usize,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests refused with a typed `Overloaded` reply.
+    pub rejected: u64,
+    /// Requests that failed with transport errors or timeouts.
+    pub failed: u64,
+    /// 99th-percentile latency of the step's successful requests,
+    /// seconds.
+    pub p99: f64,
+}
+
 /// Everything one run produced: client-side latency distribution and
 /// throughput, error/timeout/retry counts, the request-stream
 /// fingerprint, and the server-side window.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// `"open"` or `"closed"`.
+    /// `"open"`, `"closed"` or `"ramp"`.
     pub mode: &'static str,
     /// Requests the plan contained.
     pub requests: usize,
@@ -67,6 +85,9 @@ pub struct RunReport {
     pub errors: u64,
     /// Requests whose final failure was a read/connect timeout.
     pub timeouts: u64,
+    /// Requests the server refused with a typed `Overloaded` reply —
+    /// admission control doing its job, not a transport failure.
+    pub rejected: u64,
     /// Transport-level retries performed across all clients.
     pub retries: u64,
     /// Wall-clock duration of the run, seconds.
@@ -90,6 +111,12 @@ pub struct RunReport {
     /// FNV-1a fingerprint of the plan's byte encoding: equal
     /// fingerprints ⇒ identical request streams.
     pub fingerprint: u64,
+    /// Per-step windows (ramp mode only).
+    pub steps: Option<Vec<StepReport>>,
+    /// Offered rate of the saturation knee — the first ramp step that
+    /// saw rejections or delivered under 90% of its budget (`None` if
+    /// the ramp never saturated, or off-ramp).
+    pub knee_qps: Option<f64>,
     /// Server-side window delta (absent if the server has no recorder).
     pub server: Option<ServerWindow>,
     /// Per-request answers as `(object id, distance bits)`, only when
@@ -115,6 +142,7 @@ impl RunReport {
         out.push_str(&format!("    \"ok\": {},\n", self.ok));
         out.push_str(&format!("    \"errors\": {},\n", self.errors));
         out.push_str(&format!("    \"timeouts\": {},\n", self.timeouts));
+        out.push_str(&format!("    \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("    \"retries\": {},\n", self.retries));
         out.push_str(&format!(
             "    \"wall_secs\": {},\n",
@@ -141,6 +169,26 @@ impl RunReport {
             "    \"request_stream_fingerprint\": \"{:016x}\",\n",
             self.fingerprint
         ));
+        if let Some(steps) = &self.steps {
+            out.push_str("    \"ramp\": {\n      \"steps\": [\n");
+            for (i, s) in steps.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{ \"offered_qps\": {}, \"requests\": {}, \"ok\": {}, \
+                     \"rejected\": {}, \"failed\": {}, \"p99\": {} }}{}\n",
+                    json_num(s.offered_qps),
+                    s.requests,
+                    s.ok,
+                    s.rejected,
+                    s.failed,
+                    json_num(s.p99),
+                    if i + 1 < steps.len() { "," } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "      ],\n      \"knee_qps\": {}\n    }},\n",
+                self.knee_qps.map_or("null".into(), json_num)
+            ));
+        }
         match &self.server {
             Some(w) => out.push_str(&format!(
                 "    \"server\": {{ \"queries\": {}, \"batches\": {}, \"mean_batch_size\": {}, \"queue_wait_p99\": {} }}\n",
@@ -161,13 +209,14 @@ impl RunReport {
             .offered_qps
             .map(|r| format!(" of {r:.0} offered"))
             .unwrap_or_default();
-        format!(
-            "{} loop: {}/{} ok ({} errors, {} timeouts, {} retries) in {:.2}s — \
+        let mut text = format!(
+            "{} loop: {}/{} ok ({} rejected, {} errors, {} timeouts, {} retries) in {:.2}s — \
              {:.1} qps{offered}\n  latency p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  \
              p999 {:.2}ms  max {:.2}ms",
             self.mode,
             self.ok,
             self.requests,
+            self.rejected,
             self.errors,
             self.timeouts,
             self.retries,
@@ -178,6 +227,24 @@ impl RunReport {
             self.p99 * 1e3,
             self.p999 * 1e3,
             self.max_latency * 1e3,
-        )
+        );
+        if let Some(steps) = &self.steps {
+            for (i, s) in steps.iter().enumerate() {
+                text.push_str(&format!(
+                    "\n  step {i}: {:.0} qps offered — {} ok, {} rejected, {} failed, \
+                     p99 {:.2}ms",
+                    s.offered_qps,
+                    s.ok,
+                    s.rejected,
+                    s.failed,
+                    s.p99 * 1e3,
+                ));
+            }
+            text.push_str(&match self.knee_qps {
+                Some(knee) => format!("\n  saturation knee at ~{knee:.0} qps offered"),
+                None => "\n  no saturation knee within the ramp".to_string(),
+            });
+        }
+        text
     }
 }

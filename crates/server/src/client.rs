@@ -1,7 +1,9 @@
 //! The client library: a blocking connection speaking the frame protocol,
 //! plus a fault-tolerant wrapper that reconnects and resubmits.
 
-use crate::protocol::{read_message, write_message, Message, ProtocolError, ServiceMetrics};
+use crate::protocol::{
+    read_message, write_message, CollectionInfo, Message, ProtocolError, ServiceMetrics,
+};
 use mq_core::{Answer, ExecutionStats, QueryType};
 use mq_metric::Vector;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,6 +16,28 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The server answered with an error message.
     Server(String),
+    /// Admission control rejected the request; retry no sooner than the
+    /// hinted delay. Deliberately *not* retried by [`RetryingClient`] —
+    /// instant resubmission is exactly what backpressure asks against.
+    Overloaded {
+        /// Server's suggested minimum wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server refused the request with a typed reason (see
+    /// [`crate::protocol::refusal`] for the codes).
+    Refused {
+        /// Machine-readable refusal code.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// The server's protocol version.
+        server: u16,
+        /// The version this client sent.
+        client: u16,
+    },
     /// The server answered with the wrong message type.
     Unexpected(String),
 }
@@ -23,6 +47,16 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ClientError::Refused { code, detail } => {
+                write!(f, "server refused (code {code}): {detail}")
+            }
+            ClientError::VersionMismatch { server, client } => write!(
+                f,
+                "protocol version mismatch: server speaks v{server}, client sent v{client}"
+            ),
             ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
         }
     }
@@ -95,22 +129,45 @@ impl Client {
     fn call(&mut self, request: &Message) -> Result<Message, ClientError> {
         write_message(&mut self.stream, request)?;
         let response = read_message(&mut self.stream)?;
-        if let Message::Error(m) = response {
-            return Err(ClientError::Server(m));
+        match response {
+            Message::Error(m) => Err(ClientError::Server(m)),
+            Message::Overloaded { retry_after_ms } => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
+            Message::Refused { code, detail } => Err(ClientError::Refused { code, detail }),
+            Message::VersionMismatch { server, client } => {
+                Err(ClientError::VersionMismatch { server, client })
+            }
+            other => Ok(other),
         }
-        Ok(response)
     }
 
-    /// Sends one similarity query and blocks until its batch flushed on
-    /// the server and the answers arrive.
+    /// Sends one similarity query against the default collection and
+    /// blocks until its batch flushed on the server and the answers
+    /// arrive.
     pub fn query(
         &mut self,
+        object: &Vector,
+        qtype: &QueryType,
+    ) -> Result<RemoteAnswers, ClientError> {
+        self.query_in("", "", object, qtype)
+    }
+
+    /// [`query`](Self::query) against a named collection, attributed to a
+    /// tenant for quota accounting. Empty strings mean the default
+    /// collection / the anonymous tenant.
+    pub fn query_in(
+        &mut self,
+        collection: &str,
+        tenant: &str,
         object: &Vector,
         qtype: &QueryType,
     ) -> Result<RemoteAnswers, ClientError> {
         let response = self.call(&Message::Query {
             object: object.clone(),
             qtype: *qtype,
+            collection: collection.to_string(),
+            tenant: tenant.to_string(),
         })?;
         match response {
             Message::Answers {
@@ -128,9 +185,16 @@ impl Client {
         }
     }
 
-    /// Fetches the server's aggregate counters.
+    /// Fetches the default collection's aggregate counters.
     pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
-        match self.call(&Message::Stats)? {
+        self.stats_for("")
+    }
+
+    /// Fetches a named collection's aggregate counters ("" = default).
+    pub fn stats_for(&mut self, collection: &str) -> Result<ServiceMetrics, ClientError> {
+        match self.call(&Message::Stats {
+            collection: collection.to_string(),
+        })? {
             Message::StatsReply(m) => Ok(m),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
@@ -139,8 +203,50 @@ impl Client {
     /// Fetches the server's metric registry as Prometheus text exposition.
     /// Empty when the server runs without an attached recorder.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        match self.call(&Message::MetricsRequest)? {
+        match self.call(&Message::MetricsRequest {
+            collection: String::new(),
+        })? {
             Message::MetricsReply(text) => Ok(text),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Creates a collection. With `source == ""` the collection starts
+    /// empty at the declared dimensionality; otherwise `source` is a
+    /// *server-side* `.mqdb` dataset path to load. Returns the server's
+    /// acknowledgement text.
+    pub fn create_collection(
+        &mut self,
+        name: &str,
+        dim: u32,
+        metric: &str,
+        source: &str,
+    ) -> Result<String, ClientError> {
+        match self.call(&Message::CreateCollection {
+            name: name.to_string(),
+            dim,
+            metric: metric.to_string(),
+            source: source.to_string(),
+        })? {
+            Message::Ack(detail) => Ok(detail),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drops a collection (refused while it has queries in flight).
+    pub fn drop_collection(&mut self, name: &str) -> Result<String, ClientError> {
+        match self.call(&Message::DropCollection {
+            name: name.to_string(),
+        })? {
+            Message::Ack(detail) => Ok(detail),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Lists every collection the server is serving.
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionInfo>, ClientError> {
+        match self.call(&Message::ListCollections)? {
+            Message::CollectionList(infos) => Ok(infos),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -266,16 +372,62 @@ impl RetryingClient {
         self.with_retries(|client| client.query(object, qtype))
     }
 
+    /// [`query`](Self::query) against a named collection under a tenant.
+    /// `Overloaded` and `Refused` replies surface immediately — the
+    /// transport worked, and hammering a backpressure signal with instant
+    /// retries would defeat it.
+    pub fn query_in(
+        &mut self,
+        collection: &str,
+        tenant: &str,
+        object: &Vector,
+        qtype: &QueryType,
+    ) -> Result<RemoteAnswers, ClientError> {
+        self.with_retries(|client| client.query_in(collection, tenant, object, qtype))
+    }
+
     /// Fetches the server's aggregate counters, with the same retry
     /// behavior as [`query`](Self::query).
     pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
         self.with_retries(|client| client.stats())
     }
 
+    /// Fetches a named collection's counters, with the same retry
+    /// behavior as [`query`](Self::query).
+    pub fn stats_for(&mut self, collection: &str) -> Result<ServiceMetrics, ClientError> {
+        self.with_retries(|client| client.stats_for(collection))
+    }
+
     /// Fetches the server's metric exposition, with the same retry
     /// behavior as [`query`](Self::query).
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         self.with_retries(|client| client.metrics())
+    }
+
+    /// Creates a collection, with the same retry behavior as
+    /// [`query`](Self::query). Safe to resubmit: a create that actually
+    /// succeeded before the reply was lost answers `COLLECTION_EXISTS` on
+    /// the retry, which the caller can treat as confirmation.
+    pub fn create_collection(
+        &mut self,
+        name: &str,
+        dim: u32,
+        metric: &str,
+        source: &str,
+    ) -> Result<String, ClientError> {
+        self.with_retries(|client| client.create_collection(name, dim, metric, source))
+    }
+
+    /// Drops a collection, with the same retry behavior as
+    /// [`query`](Self::query).
+    pub fn drop_collection(&mut self, name: &str) -> Result<String, ClientError> {
+        self.with_retries(|client| client.drop_collection(name))
+    }
+
+    /// Lists every collection, with the same retry behavior as
+    /// [`query`](Self::query).
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionInfo>, ClientError> {
+        self.with_retries(|client| client.list_collections())
     }
 
     fn with_retries<T>(

@@ -1,10 +1,22 @@
-//! Server configuration: batching knobs and execution mode.
+//! Server configuration: batching knobs, execution mode, and admission
+//! limits.
 
 use mq_approx::ApproxTier;
 use mq_core::LeaderPolicy;
 use mq_metric::{Metric, VectorMetric};
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Per-tenant token-bucket quota: `rate` tokens per second refill, up to
+/// `burst` held. Every admitted query spends one token; a tenant that
+/// exhausts its bucket gets typed `Overloaded` replies until it refills.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaConfig {
+    /// Sustained queries per second per tenant.
+    pub rate: f64,
+    /// Largest burst a tenant can spend at once.
+    pub burst: f64,
+}
 
 /// Which page-store backend serves the database.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -112,6 +124,14 @@ pub struct ServerConfig {
     /// while keeping every reported distance exact. Only supported with
     /// the Euclidean metric.
     pub approx: Option<ApproxTier>,
+    /// Bound on each collection's scheduler queue depth. A query arriving
+    /// while the target collection already has this many in flight gets a
+    /// typed `Overloaded` reply instead of queueing — backpressure, not
+    /// buffering. `0` (the default) means unbounded.
+    pub max_queue: usize,
+    /// Per-tenant token-bucket quota; `None` (the default) admits every
+    /// tenant without rate limits.
+    pub quota: Option<QuotaConfig>,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +151,8 @@ impl Default for ServerConfig {
             file_index: FileIndex::default(),
             metric: VectorMetric::default(),
             approx: None,
+            max_queue: 0,
+            quota: None,
         }
     }
 }
@@ -224,6 +246,31 @@ impl ServerConfig {
         self
     }
 
+    /// Bounds each collection's scheduler queue depth (0 = unbounded).
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Installs (or clears) the per-tenant token-bucket quota.
+    ///
+    /// # Panics
+    /// Panics if the quota's rate or burst is not positive and finite.
+    pub fn with_quota(mut self, quota: Option<QuotaConfig>) -> Self {
+        if let Some(q) = &quota {
+            assert!(
+                q.rate > 0.0 && q.rate.is_finite(),
+                "quota rate must be positive and finite"
+            );
+            assert!(
+                q.burst > 0.0 && q.burst.is_finite(),
+                "quota burst must be positive and finite"
+            );
+        }
+        self.quota = quota;
+        self
+    }
+
     /// One-line summary of every resolved knob, for startup logs.
     pub fn describe(&self) -> String {
         let mode = match self.mode {
@@ -248,10 +295,19 @@ impl ServerConfig {
             Some(tier) => tier.to_string(),
             None => "off".to_string(),
         };
+        let max_queue = if self.max_queue == 0 {
+            "unbounded".to_string()
+        } else {
+            self.max_queue.to_string()
+        };
+        let quota = match &self.quota {
+            Some(q) => format!("{}:{}", q.rate, q.burst),
+            None => "off".to_string(),
+        };
         format!(
             "mode={mode} store={store} metric={} approx={approx} max_batch={} max_wait={:.0}ms \
              workers={} threads={} prefetch_depth={} leader={:?} avoidance={} retry_budget={} \
-             read_timeout={read_timeout}",
+             read_timeout={read_timeout} max_queue={max_queue} quota={quota}",
             self.metric.name(),
             self.max_batch,
             self.max_wait.as_secs_f64() * 1e3,
@@ -284,7 +340,12 @@ mod tests {
             .with_read_timeout(Some(Duration::from_secs(3)))
             .with_store(StoreChoice::File(PathBuf::from("/tmp/mqdb")))
             .with_metric(VectorMetric::Cosine)
-            .with_approx(Some(ApproxTier::Bq { budget: 500 }));
+            .with_approx(Some(ApproxTier::Bq { budget: 500 }))
+            .with_max_queue(64)
+            .with_quota(Some(QuotaConfig {
+                rate: 100.0,
+                burst: 10.0,
+            }));
         assert_eq!(c.max_batch, 4);
         assert_eq!(c.max_wait, Duration::from_millis(5));
         assert_eq!(c.mode, ExecutionMode::Cluster { servers: 3 });
@@ -298,6 +359,14 @@ mod tests {
         assert_eq!(c.store, StoreChoice::File(PathBuf::from("/tmp/mqdb")));
         assert_eq!(c.metric, VectorMetric::Cosine);
         assert_eq!(c.approx, Some(ApproxTier::Bq { budget: 500 }));
+        assert_eq!(c.max_queue, 64);
+        assert_eq!(
+            c.quota,
+            Some(QuotaConfig {
+                rate: 100.0,
+                burst: 10.0
+            })
+        );
     }
 
     #[test]
@@ -312,6 +381,8 @@ mod tests {
         assert_eq!(c.store, StoreChoice::Sim);
         assert_eq!(c.metric, VectorMetric::Euclidean);
         assert_eq!(c.approx, None);
+        assert_eq!(c.max_queue, 0);
+        assert_eq!(c.quota, None);
     }
 
     #[test]
@@ -325,6 +396,15 @@ mod tests {
     #[should_panic(expected = "max_batch must be positive")]
     fn zero_batch_rejected() {
         let _ = ServerConfig::default().with_max_batch(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota rate must be positive")]
+    fn non_positive_quota_rejected() {
+        let _ = ServerConfig::default().with_quota(Some(QuotaConfig {
+            rate: 0.0,
+            burst: 4.0,
+        }));
     }
 
     #[test]
@@ -351,9 +431,20 @@ mod tests {
             "avoidance=true",
             "retry_budget=5",
             "read_timeout=none",
+            "max_queue=unbounded",
+            "quota=off",
         ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
+        let admission_line = ServerConfig::default()
+            .with_max_queue(32)
+            .with_quota(Some(QuotaConfig {
+                rate: 200.0,
+                burst: 16.0,
+            }))
+            .describe();
+        assert!(admission_line.contains("max_queue=32"), "{admission_line}");
+        assert!(admission_line.contains("quota=200:16"), "{admission_line}");
         let file_line = ServerConfig::default()
             .with_store(StoreChoice::File(PathBuf::from("/data/mq")))
             .describe();

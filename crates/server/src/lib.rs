@@ -17,6 +17,13 @@
 //! - [`scheduler`] — the batching scheduler: one queue, one worker,
 //!   flush on `max_batch` or `max_wait`, backends for a single engine
 //!   (§5.1–5.2) or a shared-nothing cluster (§5.3).
+//! - [`registry`] — named collections, each owning its own scheduler,
+//!   metric, index and (optionally durable) store.
+//! - [`admission`] — bounded queue depth and per-tenant token buckets
+//!   between decode and scheduling; overload becomes a typed reply.
+//! - [`dispatch`] — the frontend-agnostic request logic both frontends
+//!   share (this crate's thread-per-connection loop and `mq-front`'s
+//!   event loop answer bit-identically because of it).
 //! - [`service`] — the `std::net` TCP frontend, thread-per-connection.
 //! - [`client`] — a small blocking client library.
 //! - [`config`] — the tuning knobs.
@@ -40,15 +47,23 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod admission;
 pub mod client;
 pub mod config;
+pub mod dispatch;
 pub mod protocol;
+pub mod registry;
 pub mod scheduler;
 pub mod service;
 
+pub use admission::AdmissionController;
 pub use client::{Client, ClientError, RemoteAnswers, RetryConfig, RetryingClient};
-pub use config::{ExecutionMode, FileIndex, ServerConfig, StoreChoice};
-pub use protocol::{Message, ProtocolError, ServiceMetrics};
+pub use config::{ExecutionMode, FileIndex, QuotaConfig, ServerConfig, StoreChoice};
+pub use dispatch::{AdmittedQuery, Dispatcher};
+pub use protocol::{
+    refusal, CollectionInfo, Message, ProtocolError, ServiceMetrics, DEFAULT_COLLECTION,
+};
+pub use registry::{Collection, CollectionRegistry};
 pub use scheduler::{
     build_backend, build_backend_with_recorder, BatchScheduler, ClusterBackend, QueryBackend,
     QueryReply, SingleEngineBackend,

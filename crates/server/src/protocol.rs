@@ -11,19 +11,28 @@
 //! style as `mq_storage::persist`):
 //!
 //! ```text
-//! 0x01 Query        object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64)
-//! 0x02 Stats        (empty)
-//! 0x03 Metrics      (empty)
+//! 0x01 Query        object(dim:u32, dim × f32), qtype(kind:u8, range:f64, cardinality:u64),
+//!                   collection:str16, tenant:str16
+//! 0x02 Stats        collection:str16 (empty = aggregate over all collections)
+//! 0x03 Metrics      collection:str16 (empty = the whole registry)
+//! 0x04 CreateCollection  name:str16, dim:u32, metric:str16, source:str16 (empty = start empty)
+//! 0x05 DropCollection    name:str16
+//! 0x06 ListCollections   (empty)
 //! 0x81 Answers      batch_id:u64, batch_size:u32, stats(12 × u64), count:u32, count × (id:u32, distance:f64)
 //! 0x82 StatsReply   queries:u64, batches:u64, max_batch_size:u32, totals(12 × u64)
 //! 0x83 MetricsReply len:u32, len × utf-8 bytes (Prometheus text exposition)
+//! 0x84 CollectionList    count:u32, count × (name:str16, dim:u32, metric:str16, objects:u64, in_flight:u64)
+//! 0x85 Ack          str16 (human-readable confirmation)
+//! 0x86 Refused      code:u16, detail:str16 (typed collection-level refusal)
+//! 0x87 Overloaded   retry_after_ms:u64 (admission control shed this request)
+//! 0xFE VersionMismatch   server:u16, client:u16
 //! 0xFF Error        len:u32, len × utf-8 bytes
 //! ```
 //!
-//! `ExecutionStats` is fixed-width: the seven `IoStats` counters
-//! (including the prefetch pair added in version 2), the
-//! distance-calculation count, the three avoidance counters, and the
-//! elapsed time in nanoseconds — twelve `u64`s.
+//! `str16` is `len:u16` + UTF-8 bytes. `ExecutionStats` is fixed-width:
+//! the seven `IoStats` counters (including the prefetch pair added in
+//! version 2), the distance-calculation count, the three avoidance
+//! counters, and the elapsed time in nanoseconds — twelve `u64`s.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mq_core::{Answer, AvoidanceStats, ExecutionStats, QueryKind, QueryType};
@@ -35,8 +44,13 @@ use std::time::Duration;
 /// Frame magic: "mquery network".
 pub const MAGIC: &[u8; 4] = b"MQNW";
 /// Protocol version carried in every frame. Version 2 widened the stats
-/// block from ten to twelve `u64`s (prefetch counters).
-pub const VERSION: u16 = 2;
+/// block from ten to twelve `u64`s (prefetch counters); version 3 added
+/// named collections, per-tenant addressing, admission-control replies
+/// (`Overloaded`, `Refused`) and the typed `VersionMismatch` reply a
+/// mismatched client receives instead of a silent disconnect.
+pub const VERSION: u16 = 3;
+/// The collection a query addresses when its collection field is empty.
+pub const DEFAULT_COLLECTION: &str = "default";
 /// Bytes of frame header preceding the payload.
 pub const HEADER_LEN: usize = 10;
 /// Upper bound on payload size; larger length prefixes are rejected as
@@ -46,10 +60,35 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 const KIND_QUERY: u8 = 0x01;
 const KIND_STATS: u8 = 0x02;
 const KIND_METRICS: u8 = 0x03;
+const KIND_CREATE_COLLECTION: u8 = 0x04;
+const KIND_DROP_COLLECTION: u8 = 0x05;
+const KIND_LIST_COLLECTIONS: u8 = 0x06;
 const KIND_ANSWERS: u8 = 0x81;
 const KIND_STATS_REPLY: u8 = 0x82;
 const KIND_METRICS_REPLY: u8 = 0x83;
+const KIND_COLLECTION_LIST: u8 = 0x84;
+const KIND_ACK: u8 = 0x85;
+const KIND_REFUSED: u8 = 0x86;
+const KIND_OVERLOADED: u8 = 0x87;
+const KIND_VERSION_MISMATCH: u8 = 0xFE;
 const KIND_ERROR: u8 = 0xFF;
+
+/// Typed refusal codes carried by [`Message::Refused`].
+pub mod refusal {
+    /// The addressed collection does not exist.
+    pub const UNKNOWN_COLLECTION: u16 = 1;
+    /// A collection of that name already exists.
+    pub const COLLECTION_EXISTS: u16 = 2;
+    /// The collection has in-flight queries; dropping it now would lose
+    /// replies. Retry once traffic stops.
+    pub const COLLECTION_BUSY: u16 = 3;
+    /// The collection specification is invalid (bad name, zero
+    /// dimension, unknown metric, unreadable source).
+    pub const BAD_COLLECTION_SPEC: u16 = 4;
+    /// The server cannot honor the operation in its current mode (e.g.
+    /// dynamic collections on a cluster backend).
+    pub const UNSUPPORTED: u16 = 5;
+}
 
 /// Errors from encoding, decoding or transporting frames.
 #[derive(Debug)]
@@ -103,6 +142,21 @@ pub struct ServiceMetrics {
     pub totals: ExecutionStats,
 }
 
+/// One collection's directory entry in a [`Message::CollectionList`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectionInfo {
+    /// The collection's name.
+    pub name: String,
+    /// Dimensionality its queries must carry (0 = not yet known).
+    pub dim: u32,
+    /// Distance metric name (see `mq_metric::VectorMetric::NAMES`).
+    pub metric: String,
+    /// Objects currently served.
+    pub objects: u64,
+    /// Queries admitted but not yet answered.
+    pub in_flight: u64,
+}
+
 /// Every message of the protocol — requests (client → server) and
 /// responses (server → client) share one codec.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,11 +167,44 @@ pub enum Message {
         object: Vector,
         /// The query type (Definitions 1–3).
         qtype: QueryType,
+        /// Addressed collection (empty = [`DEFAULT_COLLECTION`]).
+        collection: String,
+        /// Tenant identity for quota accounting (empty = anonymous).
+        tenant: String,
     },
-    /// Ask for the aggregate service counters.
-    Stats,
-    /// Ask for the full metric registry in Prometheus text exposition.
-    MetricsRequest,
+    /// Ask for the service counters of one collection (empty name =
+    /// aggregate over all collections).
+    Stats {
+        /// Collection filter (empty = aggregate).
+        collection: String,
+    },
+    /// Ask for the metric registry in Prometheus text exposition (empty
+    /// name = the whole registry; a collection name keeps only series
+    /// labeled with it).
+    MetricsRequest {
+        /// Collection filter (empty = everything).
+        collection: String,
+    },
+    /// Create a named collection.
+    CreateCollection {
+        /// New collection's name.
+        name: String,
+        /// Dimensionality its queries will carry (may be 0 with a
+        /// `source`, which then supplies the dimension).
+        dim: u32,
+        /// Distance metric name.
+        metric: String,
+        /// Server-side `.mqdb` file to load the initial objects from
+        /// (empty = start empty).
+        source: String,
+    },
+    /// Drop a named collection. Refused while it has in-flight queries.
+    DropCollection {
+        /// Collection to drop.
+        name: String,
+    },
+    /// Ask for the collection directory.
+    ListCollections,
     /// The answers of one query, with its batch's execution statistics.
     Answers {
         /// Identifier of the batch that carried this query.
@@ -135,8 +222,51 @@ pub enum Message {
     /// The metric registry rendered as Prometheus text exposition. Empty
     /// when the server runs without an attached recorder.
     MetricsReply(String),
+    /// The collection directory.
+    CollectionList(Vec<CollectionInfo>),
+    /// A collection operation succeeded.
+    Ack(String),
+    /// A typed refusal of a collection operation (see [`refusal`]).
+    Refused {
+        /// One of the [`refusal`] codes.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Admission control shed this request instead of queueing it; the
+    /// client should back off for `retry_after_ms` before resubmitting.
+    Overloaded {
+        /// Suggested backoff, derived from the server's observed
+        /// queue-wait distribution or the tenant's token deficit.
+        retry_after_ms: u64,
+    },
+    /// The peer speaks a different protocol version. Sent by the server
+    /// when a frame arrives with a version other than [`VERSION`]; a
+    /// version-2 client decoding this frame surfaces its own typed
+    /// `BadVersion(3)` — either way the mismatch is explicit.
+    VersionMismatch {
+        /// The version the server speaks.
+        server: u16,
+        /// The version the client sent.
+        client: u16,
+    },
     /// The server could not process a request.
     Error(String),
+}
+
+fn put_str16(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "str16 field too long");
+    buf.put_u16_le(s.len().min(u16::MAX as usize) as u16);
+    buf.put_slice(&s.as_bytes()[..s.len().min(u16::MAX as usize)]);
+}
+
+fn get_str16(buf: &mut Bytes) -> Result<String, ProtocolError> {
+    need(buf, 2)?;
+    let len = buf.get_u16_le() as usize;
+    need(buf, len)?;
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| ProtocolError::Malformed("non-utf8 string field".into()))
 }
 
 fn put_qtype(buf: &mut BytesMut, t: &QueryType) {
@@ -258,16 +388,75 @@ impl Message {
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
         match self {
-            Message::Query { object, qtype } => {
+            Message::Query {
+                object,
+                qtype,
+                collection,
+                tenant,
+            } => {
                 payload.put_u8(KIND_QUERY);
                 payload.put_u32_le(object.dim() as u32);
                 for &c in object.components() {
                     payload.put_f32_le(c);
                 }
                 put_qtype(&mut payload, qtype);
+                put_str16(&mut payload, collection);
+                put_str16(&mut payload, tenant);
             }
-            Message::Stats => payload.put_u8(KIND_STATS),
-            Message::MetricsRequest => payload.put_u8(KIND_METRICS),
+            Message::Stats { collection } => {
+                payload.put_u8(KIND_STATS);
+                put_str16(&mut payload, collection);
+            }
+            Message::MetricsRequest { collection } => {
+                payload.put_u8(KIND_METRICS);
+                put_str16(&mut payload, collection);
+            }
+            Message::CreateCollection {
+                name,
+                dim,
+                metric,
+                source,
+            } => {
+                payload.put_u8(KIND_CREATE_COLLECTION);
+                put_str16(&mut payload, name);
+                payload.put_u32_le(*dim);
+                put_str16(&mut payload, metric);
+                put_str16(&mut payload, source);
+            }
+            Message::DropCollection { name } => {
+                payload.put_u8(KIND_DROP_COLLECTION);
+                put_str16(&mut payload, name);
+            }
+            Message::ListCollections => payload.put_u8(KIND_LIST_COLLECTIONS),
+            Message::CollectionList(infos) => {
+                payload.put_u8(KIND_COLLECTION_LIST);
+                payload.put_u32_le(infos.len() as u32);
+                for info in infos {
+                    put_str16(&mut payload, &info.name);
+                    payload.put_u32_le(info.dim);
+                    put_str16(&mut payload, &info.metric);
+                    payload.put_u64_le(info.objects);
+                    payload.put_u64_le(info.in_flight);
+                }
+            }
+            Message::Ack(text) => {
+                payload.put_u8(KIND_ACK);
+                put_str16(&mut payload, text);
+            }
+            Message::Refused { code, detail } => {
+                payload.put_u8(KIND_REFUSED);
+                payload.put_u16_le(*code);
+                put_str16(&mut payload, detail);
+            }
+            Message::Overloaded { retry_after_ms } => {
+                payload.put_u8(KIND_OVERLOADED);
+                payload.put_u64_le(*retry_after_ms);
+            }
+            Message::VersionMismatch { server, client } => {
+                payload.put_u8(KIND_VERSION_MISMATCH);
+                payload.put_u16_le(*server);
+                payload.put_u16_le(*client);
+            }
             Message::MetricsReply(text) => {
                 payload.put_u8(KIND_METRICS_REPLY);
                 payload.put_u32_le(text.len() as u32);
@@ -360,10 +549,84 @@ impl Message {
             KIND_QUERY => {
                 let object = get_vector(buf)?;
                 let qtype = get_qtype(buf)?;
-                Ok(Message::Query { object, qtype })
+                let collection = get_str16(buf)?;
+                let tenant = get_str16(buf)?;
+                Ok(Message::Query {
+                    object,
+                    qtype,
+                    collection,
+                    tenant,
+                })
             }
-            KIND_STATS => Ok(Message::Stats),
-            KIND_METRICS => Ok(Message::MetricsRequest),
+            KIND_STATS => Ok(Message::Stats {
+                collection: get_str16(buf)?,
+            }),
+            KIND_METRICS => Ok(Message::MetricsRequest {
+                collection: get_str16(buf)?,
+            }),
+            KIND_CREATE_COLLECTION => {
+                let name = get_str16(buf)?;
+                need(buf, 4)?;
+                let dim = buf.get_u32_le();
+                let metric = get_str16(buf)?;
+                let source = get_str16(buf)?;
+                Ok(Message::CreateCollection {
+                    name,
+                    dim,
+                    metric,
+                    source,
+                })
+            }
+            KIND_DROP_COLLECTION => Ok(Message::DropCollection {
+                name: get_str16(buf)?,
+            }),
+            KIND_LIST_COLLECTIONS => Ok(Message::ListCollections),
+            KIND_COLLECTION_LIST => {
+                need(buf, 4)?;
+                let count = buf.get_u32_le() as usize;
+                // Each entry is at least 2+4+2+8+8 bytes; bound the
+                // allocation by what the buffer can actually hold.
+                if count > buf.remaining() / 24 {
+                    return Err(ProtocolError::Truncated);
+                }
+                let mut infos = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = get_str16(buf)?;
+                    need(buf, 4)?;
+                    let dim = buf.get_u32_le();
+                    let metric = get_str16(buf)?;
+                    need(buf, 16)?;
+                    let objects = buf.get_u64_le();
+                    let in_flight = buf.get_u64_le();
+                    infos.push(CollectionInfo {
+                        name,
+                        dim,
+                        metric,
+                        objects,
+                        in_flight,
+                    });
+                }
+                Ok(Message::CollectionList(infos))
+            }
+            KIND_ACK => Ok(Message::Ack(get_str16(buf)?)),
+            KIND_REFUSED => {
+                need(buf, 2)?;
+                let code = buf.get_u16_le();
+                let detail = get_str16(buf)?;
+                Ok(Message::Refused { code, detail })
+            }
+            KIND_OVERLOADED => {
+                need(buf, 8)?;
+                Ok(Message::Overloaded {
+                    retry_after_ms: buf.get_u64_le(),
+                })
+            }
+            KIND_VERSION_MISMATCH => {
+                need(buf, 4)?;
+                let server = buf.get_u16_le();
+                let client = buf.get_u16_le();
+                Ok(Message::VersionMismatch { server, client })
+            }
             KIND_METRICS_REPLY => {
                 need(buf, 4)?;
                 let len = buf.get_u32_le() as usize;
@@ -470,6 +733,8 @@ mod tests {
         let msg = Message::Query {
             object: Vector::new(vec![1.5, -2.25, 3.0]),
             qtype: QueryType::bounded_knn(7, 0.5),
+            collection: "images".into(),
+            tenant: "team-a".into(),
         };
         let frame = msg.encode();
         let (back, used) = Message::decode(&frame).expect("decode");
@@ -478,10 +743,65 @@ mod tests {
     }
 
     #[test]
+    fn collection_messages_roundtrip() {
+        for msg in [
+            Message::CreateCollection {
+                name: "embeddings".into(),
+                dim: 32,
+                metric: "cosine".into(),
+                source: "/data/emb.mqdb".into(),
+            },
+            Message::DropCollection {
+                name: "embeddings".into(),
+            },
+            Message::ListCollections,
+            Message::CollectionList(vec![
+                CollectionInfo {
+                    name: DEFAULT_COLLECTION.into(),
+                    dim: 5,
+                    metric: "euclidean".into(),
+                    objects: 10_000,
+                    in_flight: 3,
+                },
+                CollectionInfo {
+                    name: "emb".into(),
+                    dim: 32,
+                    metric: "dot".into(),
+                    objects: 0,
+                    in_flight: 0,
+                },
+            ]),
+            Message::Ack("created".into()),
+            Message::Refused {
+                code: refusal::COLLECTION_BUSY,
+                detail: "2 queries in flight".into(),
+            },
+            Message::Overloaded { retry_after_ms: 25 },
+            Message::VersionMismatch {
+                server: 3,
+                client: 2,
+            },
+            Message::Stats {
+                collection: "emb".into(),
+            },
+            Message::MetricsRequest {
+                collection: String::new(),
+            },
+        ] {
+            let frame = msg.encode();
+            let (back, used) = Message::decode(&frame).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
     fn knn_infinite_range_survives() {
         let msg = Message::Query {
             object: Vector::new(vec![0.0]),
             qtype: QueryType::knn(3),
+            collection: String::new(),
+            tenant: String::new(),
         };
         let (back, _) = Message::decode(&msg.encode()).expect("decode");
         match back {
@@ -520,7 +840,11 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        let mut frame = Message::Stats.encode().to_vec();
+        let mut frame = Message::Stats {
+            collection: String::new(),
+        }
+        .encode()
+        .to_vec();
         frame[0] = b'X';
         assert!(matches!(
             Message::decode(&frame),
@@ -533,6 +857,8 @@ mod tests {
         let frame = Message::Query {
             object: Vector::new(vec![1.0, 2.0]),
             qtype: QueryType::range(1.0),
+            collection: "c".into(),
+            tenant: "t".into(),
         }
         .encode();
         for cut in 4..frame.len() {
@@ -548,7 +874,11 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let mut frame = Message::Stats.encode().to_vec();
+        let mut frame = Message::Stats {
+            collection: String::new(),
+        }
+        .encode()
+        .to_vec();
         frame[4] = 99;
         assert!(matches!(
             Message::decode(&frame),
@@ -558,8 +888,11 @@ mod tests {
 
     #[test]
     fn metrics_roundtrip() {
-        let (back, _) = Message::decode(&Message::MetricsRequest.encode()).expect("decode");
-        assert_eq!(back, Message::MetricsRequest);
+        let req = Message::MetricsRequest {
+            collection: "emb".into(),
+        };
+        let (back, _) = Message::decode(&req.encode()).expect("decode");
+        assert_eq!(back, req);
         let text = "# HELP x y\n# TYPE x counter\nx{a=\"b\"} 1\n".to_string();
         let msg = Message::MetricsReply(text);
         let frame = msg.encode();
@@ -577,7 +910,9 @@ mod tests {
 
     #[test]
     fn io_roundtrip_over_a_buffer() {
-        let a = Message::Stats;
+        let a = Message::Stats {
+            collection: String::new(),
+        };
         let b = Message::Error("boom".into());
         let mut wire = Vec::new();
         write_message(&mut wire, &a).unwrap();

@@ -65,6 +65,12 @@ pub trait QueryBackend: Send + Sync + 'static {
     /// carries other clients' queries.
     fn dimensions(&self) -> usize;
 
+    /// Number of live objects served (0 when unknown) — what the
+    /// `ListCollections` opcode reports per collection.
+    fn object_count(&self) -> u64 {
+        0
+    }
+
     /// One-line description for logs.
     fn describe(&self) -> String;
 }
@@ -237,6 +243,10 @@ impl QueryBackend for SingleEngineBackend {
         self.dims
     }
 
+    fn object_count(&self) -> u64 {
+        self.disk.database().object_count() as u64
+    }
+
     fn describe(&self) -> String {
         format!(
             "single engine, {} pages, avoidance {}, approx {}",
@@ -384,6 +394,14 @@ impl QueryBackend for ClusterBackend {
         self.dims
     }
 
+    fn object_count(&self) -> u64 {
+        self.cluster
+            .servers()
+            .iter()
+            .map(|s| s.disk().database().object_count() as u64)
+            .sum()
+    }
+
     fn describe(&self) -> String {
         format!(
             "shared-nothing cluster of {} servers, avoidance {}, approx {}",
@@ -398,10 +416,21 @@ impl QueryBackend for ClusterBackend {
     }
 }
 
+/// Where a job's reply goes: a bounded channel the thread-per-connection
+/// frontend blocks on, or a boxed sink the event-loop frontend hands in
+/// (the sink enqueues the encoded reply on the connection's outbox and
+/// wakes the poll thread). A sink is invoked exactly once — with `Some`
+/// when the batch executed, `None` when it died first (backend panic or
+/// queue closed), so the frontend can always send *something*.
+enum ReplyTarget {
+    Channel(Sender<QueryReply>),
+    Sink(Box<dyn FnOnce(Option<QueryReply>) + Send>),
+}
+
 struct Job {
     object: Vector,
     qtype: QueryType,
-    reply: Sender<QueryReply>,
+    target: Option<ReplyTarget>,
     /// When the job entered the queue (queue-wait observability).
     submitted: Instant,
     /// The scheduler's in-flight count; decremented on drop, so every
@@ -410,8 +439,28 @@ struct Job {
     pending: Arc<AtomicU64>,
 }
 
+impl Job {
+    fn deliver(&mut self, reply: QueryReply) {
+        match self.target.take() {
+            // A client that hung up simply misses its reply.
+            Some(ReplyTarget::Channel(tx)) => {
+                let _ = tx.send(reply);
+            }
+            Some(ReplyTarget::Sink(sink)) => sink(Some(reply)),
+            None => {}
+        }
+    }
+}
+
 impl Drop for Job {
     fn drop(&mut self) {
+        // A sink still present here means the job is being retired without
+        // a reply (batch panic, queue closed at shutdown): deliver the
+        // failure so the event frontend answers with a typed error instead
+        // of leaving the connection waiting forever.
+        if let Some(ReplyTarget::Sink(sink)) = self.target.take() {
+            sink(None);
+        }
         self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -497,6 +546,9 @@ pub struct BatchScheduler {
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Jobs accepted but not yet retired (queued or executing).
     in_flight: Arc<AtomicU64>,
+    /// Scheduler instruments (None when the recorder is disabled); kept
+    /// here so admission control can read the live queue-wait p99.
+    obs: Option<Arc<SchedObs>>,
 }
 
 impl BatchScheduler {
@@ -545,6 +597,7 @@ impl BatchScheduler {
             dims,
             workers,
             in_flight: Arc::new(AtomicU64::new(0)),
+            obs,
         }
     }
 
@@ -566,11 +619,40 @@ impl BatchScheduler {
         let _ = self.tx.send(Job {
             object,
             qtype,
-            reply: reply_tx,
+            target: Some(ReplyTarget::Channel(reply_tx)),
             submitted: Instant::now(),
             pending: Arc::clone(&self.in_flight),
         });
         reply_rx
+    }
+
+    /// Submits one query whose reply is delivered by invoking `sink` from
+    /// the worker thread: `Some(reply)` once the batch executed, `None` if
+    /// the job was dropped unanswered (backend panic, queue closed). The
+    /// event-loop frontend uses this so no thread parks per in-flight
+    /// query; the thread frontend keeps [`submit`](Self::submit).
+    pub fn submit_with<F>(&self, object: Vector, qtype: QueryType, sink: F)
+    where
+        F: FnOnce(Option<QueryReply>) + Send + 'static,
+    {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        // If the queue already closed the job is dropped right here and
+        // its drop guard fires the sink with `None`.
+        let _ = self.tx.send(Job {
+            object,
+            qtype,
+            target: Some(ReplyTarget::Sink(Box::new(sink))),
+            submitted: Instant::now(),
+            pending: Arc::clone(&self.in_flight),
+        });
+    }
+
+    /// p99 of the queue-wait distribution since startup, when scheduler
+    /// observability is on and at least one query has been recorded.
+    /// Admission control uses this as the `retry_after_ms` hint on
+    /// `Overloaded` replies — a saturated queue advertises its own delay.
+    pub fn queue_wait_p99(&self) -> Option<f64> {
+        self.obs.as_ref()?.queue_wait.quantile(0.99)
     }
 
     /// Jobs accepted but not yet retired: still queued, collecting into a
@@ -666,9 +748,8 @@ fn worker_loop(
             m.totals += stats;
         }
 
-        for (job, answers) in jobs.into_iter().zip(answers) {
-            // A client that hung up simply misses its reply.
-            let _ = job.reply.send(QueryReply {
+        for (mut job, answers) in jobs.into_iter().zip(answers) {
+            job.deliver(QueryReply {
                 batch_id,
                 batch_size,
                 stats,

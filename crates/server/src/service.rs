@@ -1,9 +1,17 @@
-//! The TCP frontend: thread-per-connection over `std::net`, all
-//! connections feeding one [`BatchScheduler`].
+//! The thread-per-connection TCP frontend over `std::net`.
+//!
+//! Every accepted connection gets its own handler thread; all of them
+//! feed the shared [`Dispatcher`] (collection resolution, admission,
+//! admin opcodes) and block on their query's reply channel. The
+//! event-loop frontend in `mq-front` serves the same [`Dispatcher`]
+//! contract without per-connection threads — the two are interchangeable
+//! and answer bit-identically.
 
 use crate::config::ServerConfig;
-use crate::protocol::{read_message, write_message, Message, ProtocolError};
-use crate::scheduler::{BatchScheduler, QueryBackend};
+use crate::dispatch::Dispatcher;
+use crate::protocol::{read_message, write_message, Message, ProtocolError, VERSION};
+use crate::registry::CollectionRegistry;
+use crate::scheduler::QueryBackend;
 use mq_obs::Recorder;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -11,19 +19,19 @@ use std::sync::Arc;
 
 /// A running query server. Dropping it (or calling
 /// [`shutdown`](QueryServer::shutdown)) stops accepting, joins the accept
-/// thread, and lets the scheduler drain.
+/// thread, and lets the schedulers drain.
 pub struct QueryServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    scheduler: Arc<BatchScheduler>,
+    dispatcher: Arc<Dispatcher>,
     recorder: Recorder,
 }
 
 impl QueryServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `backend` with the given batching configuration. No recorder: a
-    /// `MetricsRequest` gets an empty reply. Use
+    /// `backend` as the default collection with the given configuration.
+    /// No recorder: a `MetricsRequest` gets an empty reply. Use
     /// [`bind_with_recorder`](Self::bind_with_recorder) for a live
     /// metrics endpoint.
     pub fn bind(
@@ -46,35 +54,39 @@ impl QueryServer {
         config: &ServerConfig,
         recorder: &Recorder,
     ) -> std::io::Result<Self> {
+        let registry = Arc::new(CollectionRegistry::new(backend, config, recorder));
+        Self::bind_registry(addr, registry, config, recorder)
+    }
+
+    /// Binds over an existing [`CollectionRegistry`] — the multi-tenant
+    /// entry point, and the one the equivalence tests share with the
+    /// event-loop frontend.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<CollectionRegistry>,
+        config: &ServerConfig,
+        recorder: &Recorder,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let scheduler = Arc::new(BatchScheduler::start_with_recorder(
-            backend, config, recorder,
-        ));
+        let dispatcher = Arc::new(Dispatcher::new(registry, config, recorder));
         let shutdown = Arc::new(AtomicBool::new(false));
         let read_timeout = config.read_timeout;
 
-        let accept_scheduler = Arc::clone(&scheduler);
+        let accept_dispatcher = Arc::clone(&dispatcher);
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_recorder = recorder.clone();
         let accept_thread =
             std::thread::Builder::new()
                 .name("mq-accept".into())
                 .spawn(move || {
-                    accept_loop(
-                        listener,
-                        accept_scheduler,
-                        accept_shutdown,
-                        read_timeout,
-                        accept_recorder,
-                    )
+                    accept_loop(listener, accept_dispatcher, accept_shutdown, read_timeout)
                 })?;
 
         Ok(Self {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
-            scheduler,
+            dispatcher,
             recorder: recorder.clone(),
         })
     }
@@ -84,9 +96,15 @@ impl QueryServer {
         self.addr
     }
 
-    /// A snapshot of the aggregate service counters.
+    /// A snapshot of the default collection's aggregate service counters
+    /// (what single-collection deployments have always seen).
     pub fn metrics(&self) -> crate::protocol::ServiceMetrics {
-        self.scheduler.metrics()
+        self.dispatcher.registry().default_metrics()
+    }
+
+    /// The server's named collections.
+    pub fn registry(&self) -> &Arc<CollectionRegistry> {
+        self.dispatcher.registry()
     }
 
     /// The server's recorder (disabled unless bound with
@@ -101,29 +119,22 @@ impl QueryServer {
         self.recorder.render()
     }
 
-    /// Queries accepted by the scheduler but not yet answered (queued,
-    /// collecting into a batch, or executing).
+    /// Queries accepted by any collection's scheduler but not yet
+    /// answered (queued, collecting into a batch, or executing).
     pub fn in_flight(&self) -> u64 {
-        self.scheduler.in_flight()
+        self.dispatcher.registry().total_in_flight()
     }
 
-    /// Waits until the scheduler has no in-flight work (every submitted
+    /// Waits until no collection has in-flight work (every submitted
     /// query answered or dropped), polling up to `timeout`. Returns
-    /// whether the queue drained in time.
+    /// whether the queues drained in time.
     ///
     /// This is the clean end of a load run: clients stop sending, the
     /// harness calls `drain`, and only then scrapes final metrics or
     /// shuts the server down — so no batch is still flushing while the
     /// after-run snapshot is taken.
     pub fn drain(&self, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.scheduler.in_flight() > 0 {
-            if std::time::Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        }
-        true
+        self.dispatcher.registry().drain(timeout)
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -148,10 +159,9 @@ impl Drop for QueryServer {
 
 fn accept_loop(
     listener: TcpListener,
-    scheduler: Arc<BatchScheduler>,
+    dispatcher: Arc<Dispatcher>,
     shutdown: Arc<AtomicBool>,
     read_timeout: Option<std::time::Duration>,
-    recorder: Recorder,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -161,21 +171,19 @@ fn accept_loop(
             Ok(s) => s,
             Err(_) => continue,
         };
-        let conn_scheduler = Arc::clone(&scheduler);
-        let conn_recorder = recorder.clone();
+        let conn_dispatcher = Arc::clone(&dispatcher);
         // Connection handlers are detached: each one exits when its client
-        // hangs up, and holds only an Arc on the scheduler.
+        // hangs up, and holds only an Arc on the dispatcher.
         let _ = std::thread::Builder::new()
             .name("mq-conn".into())
-            .spawn(move || handle_connection(stream, conn_scheduler, read_timeout, conn_recorder));
+            .spawn(move || handle_connection(stream, conn_dispatcher, read_timeout));
     }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
-    scheduler: Arc<BatchScheduler>,
+    dispatcher: Arc<Dispatcher>,
     read_timeout: Option<std::time::Duration>,
-    recorder: Recorder,
 ) {
     let _ = stream.set_nodelay(true);
     // A client that stalls mid-frame is disconnected after the timeout
@@ -187,41 +195,33 @@ fn handle_connection(
             // Clean disconnect or garbage: either way this connection is
             // done. Try to tell the client about protocol errors.
             Err(ProtocolError::Io(_)) => return,
+            Err(ProtocolError::BadVersion(client)) => {
+                // A v2 client gets a typed mismatch (which its own decoder
+                // reports as *its* version error — explicit both ways)
+                // instead of a free-text excuse.
+                let _ = write_message(
+                    &mut stream,
+                    &Message::VersionMismatch {
+                        server: VERSION,
+                        client,
+                    },
+                );
+                return;
+            }
             Err(e) => {
                 let _ = write_message(&mut stream, &Message::Error(e.to_string()));
                 return;
             }
         };
-        let response = match request {
-            Message::Query { object, qtype } => {
-                let expected = scheduler.dimensions();
-                if expected != 0 && object.dim() != expected {
-                    // Reject up front: a mismatched vector must never reach
-                    // a batch that carries other clients' queries. The
-                    // connection stays open for corrected retries.
-                    Message::Error(format!(
-                        "dimension mismatch: query vector has {} components, \
-                         database objects have {expected}",
-                        object.dim()
-                    ))
-                } else {
-                    let reply_rx = scheduler.submit(object, qtype);
-                    match reply_rx.recv() {
-                        Ok(reply) => Message::Answers {
-                            batch_id: reply.batch_id,
-                            batch_size: reply.batch_size,
-                            stats: reply.stats,
-                            answers: reply.answers,
-                        },
-                        Err(_) => {
-                            Message::Error("query batch failed or scheduler shut down".into())
-                        }
-                    }
-                }
+        let response = match dispatcher.dispatch(request) {
+            Ok(reply) => reply,
+            Err(admitted) => {
+                let reply_rx = admitted
+                    .collection
+                    .scheduler()
+                    .submit(admitted.object, admitted.qtype);
+                Dispatcher::reply_for(reply_rx.recv().ok())
             }
-            Message::Stats => Message::StatsReply(scheduler.metrics()),
-            Message::MetricsRequest => Message::MetricsReply(recorder.render()),
-            other => Message::Error(format!("unexpected client message: {other:?}")),
         };
         if write_message(&mut stream, &response).is_err() {
             return;

@@ -216,6 +216,8 @@ fn client_dropped_mid_batch_leaks_no_slot_and_others_complete() {
         let doomed_query = mq_server::Message::Query {
             object: ds.object(ObjectId(7)).clone(),
             qtype: QueryType::knn(3),
+            collection: String::new(),
+            tenant: String::new(),
         };
         let mut raw = std::net::TcpStream::connect(addr).expect("connect doomed");
         raw.write_all(&doomed_query.encode()).expect("write frame");

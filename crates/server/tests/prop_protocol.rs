@@ -63,11 +63,74 @@ fn arb_answers() -> impl Strategy<Value = Vec<Answer>> {
     )
 }
 
+/// Collection/tenant names as they appear on the wire: the protocol
+/// itself accepts any UTF-8 up to 64 KiB (registry-level validation is a
+/// separate layer), so the roundtrip property exercises unicode and
+/// punctuation too.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..6, 0..24).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&c| match c {
+                0 => 'a',
+                1 => 'Z',
+                2 => '7',
+                3 => '-',
+                4 => '.',
+                _ => 'é',
+            })
+            .collect()
+    })
+}
+
+fn arb_collection_info() -> impl Strategy<Value = mq_server::CollectionInfo> {
+    (
+        arb_name(),
+        0u32..4096,
+        arb_name(),
+        0u64..1_000_000,
+        0u64..512,
+    )
+        .prop_map(
+            |(name, dim, metric, objects, in_flight)| mq_server::CollectionInfo {
+                name,
+                dim,
+                metric,
+                objects,
+                in_flight,
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (arb_vector(), arb_qtype()).prop_map(|(object, qtype)| Message::Query { object, qtype }),
-        Just(Message::Stats),
-        Just(Message::MetricsRequest),
+        (arb_vector(), arb_qtype(), arb_name(), arb_name()).prop_map(
+            |(object, qtype, collection, tenant)| Message::Query {
+                object,
+                qtype,
+                collection,
+                tenant,
+            }
+        ),
+        arb_name().prop_map(|collection| Message::Stats { collection }),
+        arb_name().prop_map(|collection| Message::MetricsRequest { collection }),
+        // v3 admin opcodes.
+        (arb_name(), 0u32..4096, arb_name(), arb_name()).prop_map(|(name, dim, metric, source)| {
+            Message::CreateCollection {
+                name,
+                dim,
+                metric,
+                source,
+            }
+        }),
+        arb_name().prop_map(|name| Message::DropCollection { name }),
+        Just(Message::ListCollections),
+        prop::collection::vec(arb_collection_info(), 0..8).prop_map(Message::CollectionList),
+        arb_name().prop_map(Message::Ack),
+        (0u16..8, arb_name()).prop_map(|(code, detail)| Message::Refused { code, detail }),
+        (0u64..1_000_000).prop_map(|retry_after_ms| Message::Overloaded { retry_after_ms }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(server, client)| Message::VersionMismatch { server, client }),
         // Exposition-shaped and arbitrary text alike must survive the
         // roundtrip and every corruption property below.
         prop_oneof![
